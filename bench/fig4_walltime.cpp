@@ -1,0 +1,103 @@
+// Fig. 4 — "Comparing workflow running time on Sandhills and OSG when
+// blast2cap3 is executed serially and as a scientific workflow with n is
+// 10, 100, 300, and 500 respectively."
+//
+// Regenerates the figure's series at paper scale on the simulated
+// platforms, then checks the §VI.A prose claims (experiment E6 in
+// DESIGN.md):
+//   * >95 % reduction vs. the 100-hour serial run,
+//   * Sandhills n=10 ~ 41,593 s; n >= 100 ~ 10,000 s,
+//   * n = 300 optimal on Sandhills,
+//   * Sandhills beats OSG for n in {10, 100, 300}.
+//
+//   ./fig4_walltime [repetitions] [--csv out.csv]
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "common/fsutil.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pga;
+  std::size_t repetitions = 15;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else {
+      repetitions = std::stoul(argv[i]);
+    }
+  }
+
+  core::ExperimentConfig config;
+  config.repetitions = repetitions;
+  std::printf("== Fig. 4: workflow wall time, serial vs Sandhills vs OSG ==\n");
+  std::printf("(means over %zu simulated repetitions per point)\n\n", repetitions);
+
+  const auto results = core::run_platform_sweep(config);
+
+  common::Table table({"series", "n", "wall time (s)", "wall time", "vs serial"});
+  table.add_row({"serial", "-", common::format_fixed(results.serial_seconds, 0),
+                 common::format_duration(results.serial_seconds), "1.00x"});
+  for (const auto& platform : {"sandhills", "osg"}) {
+    for (const std::size_t n : config.n_values) {
+      const double wall = results.wall(platform, n);
+      table.add_row({platform, std::to_string(n), common::format_fixed(wall, 0),
+                     common::format_duration(wall),
+                     common::format_fixed(results.serial_seconds / wall, 1) + "x"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  if (!csv_path.empty()) {
+    // One row per (series, n, repetition) so external plotting can show
+    // both the means and the run-to-run spread.
+    std::ostringstream csv;
+    csv << "series,n,repetition,wall_seconds\n";
+    csv << "serial,0,0," << common::format_fixed(results.serial_seconds, 1) << "\n";
+    for (const auto& point : results.points) {
+      for (std::size_t rep = 0; rep < point.walls.size(); ++rep) {
+        csv << point.platform << ',' << point.n << ',' << rep << ','
+            << common::format_fixed(point.walls[rep], 1) << "\n";
+      }
+    }
+    common::write_file(csv_path, csv.str());
+    std::printf("series -> %s\n\n", csv_path.c_str());
+  }
+
+  const auto claims = core::evaluate_claims(results);
+  const auto check = [](bool ok) { return ok ? "REPRODUCED" : "NOT reproduced"; };
+  std::printf("paper claims (E6):\n");
+  std::printf("  '>95%% reduction vs serial'                : %.1f%% -> %s\n",
+              claims.reduction_vs_serial_percent,
+              check(claims.reduction_vs_serial_percent > 95.0));
+  std::printf("  'Sandhills n=10 is 41,593 s'               : %.0f s -> %s\n",
+              results.wall("sandhills", 10),
+              check(results.wall("sandhills", 10) > 33'000 &&
+                    results.wall("sandhills", 10) < 48'000));
+  std::printf("  'n >= 100 runs around 10,000 s (Sandhills)': %.0f / %.0f / %.0f s -> %s\n",
+              results.wall("sandhills", 100), results.wall("sandhills", 300),
+              results.wall("sandhills", 500),
+              check(results.wall("sandhills", 100) < 16'000 &&
+                    results.wall("sandhills", 300) < 16'000 &&
+                    results.wall("sandhills", 500) < 16'000));
+  std::printf("  'n=300 gives the optimum on Sandhills'     : best n=%zu -> %s\n",
+              claims.best_sandhills_n, check(claims.best_sandhills_n == 300));
+  std::printf("  'Sandhills beats OSG for n in {10,100,300}': %s\n",
+              check(claims.sandhills_beats_osg_low_n));
+  std::printf("  'n=10 -> n>=100 improves ~80%% (4-5x)'      : %.2fx -> %s\n",
+              claims.sandhills_n10_over_n300,
+              check(claims.sandhills_n10_over_n300 > 2.5));
+
+  const bool all = claims.reduction_vs_serial_percent > 95.0 &&
+                   claims.best_sandhills_n == 300 &&
+                   claims.sandhills_beats_osg_low_n &&
+                   claims.sandhills_n10_over_n300 > 2.5;
+  std::printf("\noverall: %s\n", all ? "all Fig. 4 claims reproduced"
+                                     : "SOME CLAIMS NOT REPRODUCED");
+  return all ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+// Fig. 5 — "Comparing blast2cap3 workflow running time per task on
+// Sandhills and OSG when n is 10, 100, 300, and 500 respectively."
+//
+// For every (platform, n) the paper plots, prints per-transformation
+// means of the three statistics the paper defines in §VI.B:
+//   Kickstart Time        - actual execution on the remote node,
+//   Waiting Time          - submit-host + remote queue time,
+//   Download/Install Time - software setup on OSG resources.
+// Then checks the §VI.B prose observations (experiments E5/E8).
+//
+//   ./fig5_per_task [repetitions] [--csv out.csv]
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "common/fsutil.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pga;
+  std::size_t repetitions = 5;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else {
+      repetitions = std::stoul(argv[i]);
+    }
+  }
+
+  core::ExperimentConfig config;
+  config.repetitions = repetitions;
+  const auto results = core::run_platform_sweep(config);
+
+  if (!csv_path.empty()) {
+    std::ostringstream csv;
+    csv << "platform,n,transformation,tasks,kickstart_mean,waiting_mean,"
+           "install_mean\n";
+    for (const auto& point : results.points) {
+      for (const auto& [name, tf] : point.stats.per_transformation()) {
+        csv << point.platform << ',' << point.n << ',' << name << ',' << tf.jobs
+            << ',' << common::format_fixed(tf.kickstart.empty() ? 0 : tf.kickstart.mean(), 2)
+            << ',' << common::format_fixed(tf.waiting.empty() ? 0 : tf.waiting.mean(), 2)
+            << ',' << common::format_fixed(tf.install.empty() ? 0 : tf.install.mean(), 2)
+            << '\n';
+      }
+    }
+    common::write_file(csv_path, csv.str());
+    std::printf("series -> %s\n", csv_path.c_str());
+  }
+
+  std::printf("== Fig. 5: per-task running time breakdown (means, seconds) ==\n\n");
+  for (const std::size_t n : config.n_values) {
+    std::printf("--- n = %zu ---\n", n);
+    common::Table table({"platform", "transformation", "tasks", "kickstart",
+                         "waiting", "download/install"});
+    for (const auto& platform : {"sandhills", "osg"}) {
+      const auto& point = results.point(platform, n);
+      for (const auto& [name, tf] : point.stats.per_transformation()) {
+        table.add_row(
+            {platform, name, std::to_string(tf.jobs),
+             common::format_fixed(tf.kickstart.empty() ? 0 : tf.kickstart.mean(), 1),
+             common::format_fixed(tf.waiting.empty() ? 0 : tf.waiting.mean(), 1),
+             common::format_fixed(tf.install.empty() ? 0 : tf.install.mean(), 1)});
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  // §VI.B claims.
+  const auto check = [](bool ok) { return ok ? "REPRODUCED" : "NOT reproduced"; };
+  bool sandhills_wait_negligible = true;
+  bool osg_install_positive = true;
+  bool osg_kickstart_better = true;
+  bool sandhills_kickstart_decreases = true;
+  bool osg_wait_uneven = true;
+
+  double prev_sandhills_cap3_kick = 1e18;
+  double osg_wait_min = 1e18, osg_wait_max = 0;
+  for (const std::size_t n : config.n_values) {
+    const auto& sandhills = results.point("sandhills", n).stats;
+    const auto& osg = results.point("osg", n).stats;
+    const auto& sh_cap3 = sandhills.per_transformation().at("run_cap3");
+    const auto& osg_cap3 = osg.per_transformation().at("run_cap3");
+
+    // "The Waiting Time value for the tasks ran on Sandhills is small and
+    // negligible" — mean per-task wait well under the kickstart scale.
+    if (sh_cap3.waiting.mean() > 0.25 * sh_cap3.kickstart.mean() &&
+        sh_cap3.waiting.mean() > 600.0) {
+      sandhills_wait_negligible = false;
+    }
+    // OSG pays download/install per task; Sandhills never does.
+    if (osg_cap3.install.mean() <= 0 || sh_cap3.install.mean() != 0) {
+      osg_install_positive = false;
+    }
+    // Pure execution is faster on OSG's newer cores.
+    if (osg_cap3.kickstart.mean() >= sh_cap3.kickstart.mean()) {
+      osg_kickstart_better = false;
+    }
+    // "The Kickstart Time value per task on Sandhills slowly decreases
+    // when n increases."
+    if (sh_cap3.kickstart.mean() > prev_sandhills_cap3_kick * 1.05) {
+      sandhills_kickstart_decreases = false;
+    }
+    prev_sandhills_cap3_kick = sh_cap3.kickstart.mean();
+
+    osg_wait_min = std::min(osg_wait_min, osg_cap3.waiting.mean());
+    osg_wait_max = std::max(osg_wait_max, osg_cap3.waiting.mean());
+  }
+  // "This value unevenly changes, increases and decreases, for the tasks
+  // ran on OSG" — spread across n well above Sandhills' nearly-flat waits.
+  osg_wait_uneven = osg_wait_max > 1.5 * osg_wait_min;
+
+  std::printf("paper claims (E5/E8):\n");
+  std::printf("  'Sandhills waiting time small and negligible'   : %s\n",
+              check(sandhills_wait_negligible));
+  std::printf("  'OSG tasks pay download/install, Sandhills none': %s\n",
+              check(osg_install_positive));
+  std::printf("  'OSG kickstart beats Sandhills at equal n'      : %s\n",
+              check(osg_kickstart_better));
+  std::printf("  'Sandhills kickstart decreases as n grows'      : %s\n",
+              check(sandhills_kickstart_decreases));
+  std::printf("  'OSG waiting time uneven across runs'           : %s\n",
+              check(osg_wait_uneven));
+
+  const bool all = sandhills_wait_negligible && osg_install_positive &&
+                   osg_kickstart_better && sandhills_kickstart_decreases &&
+                   osg_wait_uneven;
+  std::printf("\noverall: %s\n", all ? "all Fig. 5 claims reproduced"
+                                     : "SOME CLAIMS NOT REPRODUCED");
+  return all ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// Microbenchmarks for the alignment substrate (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "align/blastx.hpp"
+#include "align/kmer_index.hpp"
+#include "align/sw.hpp"
+#include "bio/alphabet.hpp"
+#include "bio/codon.hpp"
+#include "bio/transcriptome.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace pga;
+
+std::string random_protein(std::size_t n, common::Rng& rng) {
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(bio::kAminoAcids[rng.below(20)]);
+  }
+  return s;
+}
+
+void BM_SmithWatermanProtein(benchmark::State& state) {
+  common::Rng rng(1);
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::string a = random_protein(len, rng);
+  std::string b = a;
+  for (std::size_t i = 0; i < b.size(); i += 10) b[i] = 'A';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::smith_waterman(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SmithWatermanProtein)->Range(64, 1024)->Complexity(benchmark::oNSquared);
+
+void BM_BandedSmithWaterman(benchmark::State& state) {
+  common::Rng rng(2);
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::string a = random_protein(len, rng);
+  std::string b = a;
+  for (std::size_t i = 0; i < b.size(); i += 10) b[i] = 'A';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::banded_smith_waterman(a, b, 0, 16));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BandedSmithWaterman)->Range(64, 4096)->Complexity(benchmark::oN);
+
+void BM_KmerIndexBuild(benchmark::State& state) {
+  common::Rng rng(3);
+  std::vector<bio::SeqRecord> db;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    db.push_back({"p" + std::to_string(i), "", random_protein(300, rng)});
+  }
+  for (auto _ : state) {
+    const align::KmerIndex index(db, 3, 12);
+    benchmark::DoNotOptimize(index.total_residues());
+  }
+}
+BENCHMARK(BM_KmerIndexBuild)->Range(8, 128);
+
+void BM_KmerNeighborhoodQuery(benchmark::State& state) {
+  common::Rng rng(4);
+  std::vector<bio::SeqRecord> db;
+  for (int i = 0; i < 64; ++i) {
+    db.push_back({"p" + std::to_string(i), "", random_protein(300, rng)});
+  }
+  const align::KmerIndex index(db, 3, 12);
+  const std::string query = random_protein(200, rng);
+  std::vector<align::WordHit> hits;
+  for (auto _ : state) {
+    for (std::size_t pos = 0; pos + 3 <= query.size(); ++pos) {
+      hits.clear();
+      index.neighborhood(std::string_view(query).substr(pos, 3), hits);
+      benchmark::DoNotOptimize(hits.size());
+    }
+  }
+}
+BENCHMARK(BM_KmerNeighborhoodQuery);
+
+void BM_BlastxSearchPerTranscript(benchmark::State& state) {
+  bio::TranscriptomeParams params;
+  params.families = static_cast<std::size_t>(state.range(0));
+  params.protein_min = 100;
+  params.protein_max = 250;
+  params.seed = 5;
+  const auto txm = bio::generate_transcriptome(params);
+  const align::BlastxSearch search(txm.proteins);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        search.search(txm.transcripts[i++ % txm.transcripts.size()]));
+  }
+}
+BENCHMARK(BM_BlastxSearchPerTranscript)->Arg(8)->Arg(32);
+
+void BM_SixFrameTranslate(benchmark::State& state) {
+  common::Rng rng(6);
+  std::string dna;
+  for (int i = 0; i < 3'000; ++i) dna.push_back(bio::kBases[rng.below(4)]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::six_frame_translate(dna));
+  }
+}
+BENCHMARK(BM_SixFrameTranslate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

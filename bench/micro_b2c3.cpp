@@ -1,0 +1,65 @@
+// Microbenchmarks for the blast2cap3 algorithm layer.
+#include <benchmark/benchmark.h>
+
+#include "b2c3/cluster.hpp"
+#include "b2c3/splitter.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace pga;
+
+std::vector<align::TabularHit> synthetic_hits(std::size_t count,
+                                              std::size_t proteins,
+                                              std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<align::TabularHit> hits;
+  hits.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    align::TabularHit hit;
+    hit.qseqid = "tx_" + std::to_string(rng.below(count / 2 + 1));
+    hit.sseqid = "p_" + std::to_string(rng.zipf(proteins, 1.0));
+    hit.bitscore = static_cast<double>(rng.below(500));
+    hit.evalue = 1e-20;
+    hit.pident = 95;
+    hit.length = 150;
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+void BM_ClusterByBestHit(benchmark::State& state) {
+  const auto hits =
+      synthetic_hits(static_cast<std::size_t>(state.range(0)), 200, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b2c3::cluster_by_best_hit(hits));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ClusterByBestHit)->Range(1'000, 100'000);
+
+void BM_SplitHits(benchmark::State& state) {
+  const auto hits = synthetic_hits(50'000, 500, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        b2c3::split_hits(hits, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_SplitHits)->Arg(10)->Arg(100)->Arg(300)->Arg(500);
+
+void BM_PlanSplit(benchmark::State& state) {
+  const auto hits =
+      synthetic_hits(static_cast<std::size_t>(state.range(0)), 1'000, 3);
+  std::vector<std::string> order;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b2c3::plan_split(hits, 300, order));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PlanSplit)->Range(10'000, 1'000'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Microbenchmarks for the common substrate: RNG, summary statistics,
+// thread pool dispatch and table rendering.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/summary.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace {
+
+using namespace pga::common;
+
+void BM_RngRaw(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_RngRaw);
+
+void BM_RngLognormal(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.lognormal(5.2, 1.3));
+  }
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.zipf(n, 1.1));
+  }
+}
+BENCHMARK(BM_RngZipf)->Arg(100)->Arg(2'000);
+
+void BM_SummaryAddAndPercentile(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    Summary summary;
+    for (int i = 0; i < 1'000; ++i) summary.add(rng.uniform());
+    benchmark::DoNotOptimize(summary.percentile(95));
+  }
+}
+BENCHMARK(BM_SummaryAddAndPercentile);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<std::future<int>> futures;
+    futures.reserve(256);
+    for (int i = 0; i < 256; ++i) {
+      futures.push_back(pool.submit([i] { return i; }));
+    }
+    int sum = 0;
+    for (auto& f : futures) sum += f.get();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(2)->Arg(8);
+
+void BM_TableRender(benchmark::State& state) {
+  Table table({"platform", "n", "wall", "kickstart", "waiting"});
+  for (int i = 0; i < 100; ++i) {
+    table.add_row({"sandhills", std::to_string(i * 10), "10123.4", "352000.0",
+                   "641.2"});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.render());
+  }
+}
+BENCHMARK(BM_TableRender);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Microbenchmarks for the HTC substrate: ClassAd expression parse/eval and
+// matchmaking throughput.
+#include <benchmark/benchmark.h>
+
+#include "htc/matchmaker.hpp"
+#include "htc/submit.hpp"
+
+namespace {
+
+using namespace pga::htc;
+
+const char* kRequirement =
+    "TARGET.memory >= MY.request_memory && TARGET.has_cap3 && "
+    "(TARGET.speed > 1.2 ? true : TARGET.cpus >= 8)";
+
+void BM_ExpressionParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Expression::parse(kRequirement));
+  }
+}
+BENCHMARK(BM_ExpressionParse);
+
+void BM_ExpressionEvaluate(benchmark::State& state) {
+  const auto expr = Expression::parse(kRequirement);
+  ClassAd job, machine;
+  job.set("request_memory", 4096);
+  machine.set("memory", 8192);
+  machine.set("has_cap3", true);
+  machine.set("speed", 1.4);
+  machine.set("cpus", 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr.evaluate_bool(job, &machine));
+  }
+}
+BENCHMARK(BM_ExpressionEvaluate);
+
+void BM_FunctionCalls(benchmark::State& state) {
+  const auto expr = Expression::parse(
+      "min(max(cpus, 4), 64) + floor(speed * 10) + "
+      "(stringListMember(\"cap3\", software) ? 100 : 0)");
+  ClassAd machine;
+  machine.set("cpus", 16);
+  machine.set("speed", 1.4);
+  machine.set("software", "python,biopython,cap3");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr.evaluate(machine));
+  }
+}
+BENCHMARK(BM_FunctionCalls);
+
+void BM_Matchmaking(benchmark::State& state) {
+  const auto pool_size = static_cast<std::size_t>(state.range(0));
+  std::vector<MachineAd> machines;
+  machines.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    machines.push_back(MachineAd::make("m" + std::to_string(i), 8 + (i % 32),
+                                       4096 * (1 + i % 8),
+                                       1.0 + 0.01 * static_cast<double>(i % 60),
+                                       i % 3 != 0));
+  }
+  JobAd job;
+  job.ad.set("request_memory", 8192);
+  job.requirements = Expression::parse(
+      "TARGET.memory >= MY.request_memory && TARGET.has_cap3");
+  job.rank = Expression::parse("TARGET.speed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match_best(job, machines));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pool_size));
+}
+BENCHMARK(BM_Matchmaking)->Range(16, 1024);
+
+void BM_SubmitParse(benchmark::State& state) {
+  const std::string submit =
+      "executable = /util/opt/run_cap3\n"
+      "arguments = protein_0.txt\n"
+      "request_memory = 4096\n"
+      "requirements = TARGET.has_cap3 && TARGET.memory >= MY.request_memory\n"
+      "rank = TARGET.speed\n"
+      "queue 100\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        expand_submit_description(parse_submit_description(submit)));
+  }
+}
+BENCHMARK(BM_SubmitParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Microbenchmarks for the workflow system (google-benchmark): DAX
+// construction/serialization, planning, and engine scheduling throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/b2c3_workflow.hpp"
+#include "sim/campus_cluster.hpp"
+#include "wms/dax_xml.hpp"
+#include "wms/engine.hpp"
+#include "wms/exec_service.hpp"
+
+namespace {
+
+using namespace pga;
+
+void BM_BuildDax(benchmark::State& state) {
+  const core::B2c3WorkflowSpec spec{.n = static_cast<std::size_t>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_blast2cap3_dax(spec));
+  }
+}
+BENCHMARK(BM_BuildDax)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_DaxXmlRoundTrip(benchmark::State& state) {
+  const core::B2c3WorkflowSpec spec{.n = static_cast<std::size_t>(state.range(0))};
+  const auto dax = core::build_blast2cap3_dax(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wms::from_dax_xml(wms::to_dax_xml(dax)));
+  }
+}
+BENCHMARK(BM_DaxXmlRoundTrip)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_Plan(benchmark::State& state) {
+  const core::B2c3WorkflowSpec spec{.n = static_cast<std::size_t>(state.range(0))};
+  const auto dax = core::build_blast2cap3_dax(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_for_site(dax, "osg", spec));
+  }
+}
+BENCHMARK(BM_Plan)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_PlanWithClustering(benchmark::State& state) {
+  const core::B2c3WorkflowSpec spec{.n = 500};
+  const auto dax = core::build_blast2cap3_dax(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_for_site(
+        dax, "osg", spec, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_PlanWithClustering)->Arg(1)->Arg(5)->Arg(25);
+
+void BM_EngineSimulatedRun(benchmark::State& state) {
+  const core::WorkloadModel workload;
+  const core::B2c3WorkflowSpec spec{.n = static_cast<std::size_t>(state.range(0))};
+  const auto dax = core::build_blast2cap3_dax(spec, &workload);
+  const auto concrete = core::plan_for_site(dax, "sandhills", spec);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    sim::CampusClusterPlatform platform(queue, {});
+    wms::SimService service(queue, platform);
+    wms::DagmanEngine engine;
+    benchmark::DoNotOptimize(engine.run(concrete, service));
+  }
+  state.counters["jobs"] = static_cast<double>(concrete.jobs().size());
+}
+BENCHMARK(BM_EngineSimulatedRun)->Arg(10)->Arg(100)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// The general transcriptome assembly pipeline of the paper's Fig. 1:
+//
+//   raw reads -> preprocessing (quality trim/filter) -> de novo assembly
+//   -> redundancy reduction (blast2cap3, protein-guided) -> validation
+//
+// All stages run for real on synthetic data with ground truth, so the
+// final validation can measure what the paper's §II cites from Krasileva
+// et al.: protein-guided merging reduces the transcript catalogue and
+// avoids artificially fused sequences.
+//
+//   ./assembly_pipeline [seed]
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "align/blastx.hpp"
+#include "assembly/cap3.hpp"
+#include "assembly/metrics.hpp"
+#include "assembly/validation.hpp"
+#include "b2c3/cluster.hpp"
+#include "bio/fastq.hpp"
+#include "bio/transcriptome.hpp"
+#include "common/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pga;
+  const std::uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 11;
+
+  std::printf("== Fig. 1 transcriptome assembly pipeline ==\n\n");
+
+  // Ground-truth gene models.
+  bio::TranscriptomeParams params;
+  params.families = 10;
+  params.protein_min = 100;
+  params.protein_max = 200;
+  params.fragment_min_frac = 0.6;
+  params.seed = seed;
+  const auto txm = bio::generate_transcriptome(params);
+
+  // --- Stage 1: sequencing + preprocessing (data cleaning) -------------
+  common::Rng rng(seed);
+  const auto raw_reads = bio::simulate_reads(txm, /*reads_per_gene=*/30,
+                                             /*read_length=*/100, rng);
+  bio::QcParams qc;
+  bio::QcReport qc_report;
+  const auto clean_reads = bio::preprocess(raw_reads, qc, &qc_report);
+  std::printf("preprocessing: %zu raw reads -> %zu passed "
+              "(%zu too short, %zu N-rich, %zu bases trimmed)\n",
+              qc_report.input_reads, qc_report.passed_reads,
+              qc_report.dropped_short, qc_report.dropped_n,
+              qc_report.bases_trimmed);
+
+  // --- Stage 2: de novo assembly of reads into transcripts -------------
+  assembly::AssemblyOptions read_asm;
+  read_asm.overlap.min_overlap = 40;
+  read_asm.overlap.min_identity = 92;
+  read_asm.prefix = "DeNovo";
+  const auto de_novo = assembly::assemble(clean_reads, read_asm);
+  std::printf("de novo assembly: %zu reads -> %zu contigs + %zu singlets\n",
+              clean_reads.size(), de_novo.contigs.size(), de_novo.singlets.size());
+
+  // The draft transcript catalogue the paper starts from is the redundant
+  // fragment set; use the generator's transcripts (they play the role of
+  // the 236,529-entry transcripts.fasta).
+  const auto& transcripts = txm.transcripts;
+
+  // --- Stage 3a: baseline — whole-dataset CAP3 (nucleotide-only) -------
+  const auto cap3_only = assembly::assemble(transcripts);
+  const auto cap3_metrics =
+      assembly::compute_metrics(transcripts.size(), cap3_only, txm.transcript_gene);
+
+  // --- Stage 3b: blast2cap3 — protein-guided merging -------------------
+  const align::BlastxSearch search(txm.proteins);
+  const auto hits = search.search_all(transcripts);
+  const auto clusters = b2c3::cluster_by_best_hit(hits);
+  assembly::AssemblyResult guided;
+  std::map<std::string, const bio::SeqRecord*> by_id;
+  for (const auto& t : transcripts) by_id[t.id] = &t;
+  std::size_t clustered_inputs = 0;
+  for (const auto& cluster : clusters.clusters) {
+    std::vector<bio::SeqRecord> members;
+    for (const auto& id : cluster.transcripts) members.push_back(*by_id.at(id));
+    clustered_inputs += members.size();
+    assembly::AssemblyOptions opt;
+    opt.prefix = cluster.protein_id + ".Contig";
+    auto result = assembly::assemble(members, opt);
+    for (auto& c : result.contigs) guided.contigs.push_back(std::move(c));
+    for (auto& s : result.singlets) guided.singlets.push_back(std::move(s));
+  }
+  // Transcripts with no hit pass through unmerged.
+  for (const auto& t : transcripts) {
+    bool in_cluster = false;
+    for (const auto& cluster : clusters.clusters) {
+      if (std::binary_search(cluster.transcripts.begin(), cluster.transcripts.end(),
+                             t.id)) {
+        in_cluster = true;
+        break;
+      }
+    }
+    if (!in_cluster) guided.singlets.push_back(t);
+  }
+  const auto guided_metrics =
+      assembly::compute_metrics(transcripts.size(), guided, txm.transcript_gene);
+
+  // --- Stage 4: validation against ground truth ------------------------
+  std::printf("\n%-28s %12s %12s\n", "redundancy reduction", "CAP3-only",
+              "blast2cap3");
+  std::printf("%-28s %12zu %12zu\n", "input transcripts",
+              cap3_metrics.input_sequences, guided_metrics.input_sequences);
+  std::printf("%-28s %12zu %12zu\n", "output sequences",
+              cap3_metrics.output_sequences, guided_metrics.output_sequences);
+  std::printf("%-28s %11.1f%% %11.1f%%\n", "reduction",
+              cap3_metrics.reduction_percent, guided_metrics.reduction_percent);
+  std::printf("%-28s %12zu %12zu\n", "artificially fused contigs",
+              cap3_metrics.fused_contigs, guided_metrics.fused_contigs);
+  std::printf("%-28s %12zu %12zu\n", "artificially fused sequences",
+              cap3_metrics.fused_sequences, guided_metrics.fused_sequences);
+  std::printf("%-28s %12zu %12zu\n", "N50 (bases)", cap3_metrics.consensus_n50,
+              guided_metrics.consensus_n50);
+
+  // Gene-recovery validation (how much of the ground truth either
+  // assembly reconstructs).
+  std::vector<bio::SeqRecord> guided_records;
+  for (const auto& c : guided.contigs) guided_records.push_back({c.id, "", c.consensus});
+  for (const auto& s : guided.singlets) guided_records.push_back(s);
+  const auto cap3_validation = assembly::validate_assembly(
+      txm, cap3_only.all_records(), {.min_identity = 90.0, .min_coverage = 0.8});
+  const auto guided_validation = assembly::validate_assembly(
+      txm, guided_records, {.min_identity = 90.0, .min_coverage = 0.8});
+  std::printf("%-28s %10.0f%% %10.0f%%\n", "genes recovered (>=80% cov)",
+              100.0 * cap3_validation.recovery_rate(),
+              100.0 * guided_validation.recovery_rate());
+  std::printf("%-28s %10.0f%% %10.0f%%\n", "mean gene coverage",
+              100.0 * cap3_validation.mean_coverage,
+              100.0 * guided_validation.mean_coverage);
+
+  std::printf("\npaper claim (§II): blast2cap3 'generates fewer artificially fused\n"
+              "sequences compared to assembling the entire dataset with CAP3' -> %s\n",
+              guided_metrics.fused_sequences <= cap3_metrics.fused_sequences
+                  ? "REPRODUCED"
+                  : "NOT reproduced");
+  return 0;
+}

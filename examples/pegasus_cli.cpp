@@ -1,0 +1,188 @@
+// A pegasus-style command-line front end for the blast2cap3 workflow,
+// wiring together the whole tool suite the paper's §III describes:
+// pegasus-plan, pegasus-run, pegasus-status, pegasus-statistics,
+// pegasus-analyzer and pegasus-plots equivalents.
+//
+//   pegasus_cli generate  <dir> [seed]      make synthetic paper-shaped inputs
+//   pegasus_cli plan      <n> <site> [out.dax]   plan and describe a workflow
+//   pegasus_cli run       <dir> <n>         really execute (thread pool) with
+//                                           live status, then statistics,
+//                                           timeline and a trace CSV
+//   pegasus_cli simulate  <site> <n>        paper-scale simulated run
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "align/blastx.hpp"
+#include "align/tabular.hpp"
+#include "bio/fasta.hpp"
+#include "bio/transcriptome.hpp"
+#include "common/fsutil.hpp"
+#include "core/experiment.hpp"
+#include "core/local_run.hpp"
+#include "wms/analyzer.hpp"
+#include "wms/dax_xml.hpp"
+#include "wms/kickstart.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace pga;
+
+int cmd_generate(const fs::path& dir, std::uint64_t seed) {
+  fs::create_directories(dir);
+  bio::TranscriptomeParams params;
+  params.families = 10;
+  params.protein_min = 100;
+  params.protein_max = 200;
+  params.fragment_min_frac = 0.6;
+  params.seed = seed;
+  const auto txm = bio::generate_transcriptome(params);
+  bio::write_fasta_file(dir / "transcripts.fasta", txm.transcripts);
+  bio::write_fasta_file(dir / "proteins.fasta", txm.proteins);
+  const align::BlastxSearch search(txm.proteins);
+  const auto hits = search.search_all(txm.transcripts);
+  align::write_tabular_file(dir / "alignments.out", hits);
+  std::printf("wrote %zu transcripts, %zu proteins, %zu hits under %s\n",
+              txm.transcripts.size(), txm.proteins.size(), hits.size(),
+              dir.string().c_str());
+  return 0;
+}
+
+int cmd_plan(std::size_t n, const std::string& site, const std::string& out) {
+  const core::B2c3WorkflowSpec spec{.n = n};
+  const core::WorkloadModel workload;
+  const auto dax = core::build_blast2cap3_dax(spec, &workload);
+  if (!out.empty()) {
+    wms::write_dax_file(out, dax);
+    std::printf("abstract workflow -> %s (%zu jobs, %zu edges)\n", out.c_str(),
+                dax.jobs().size(), dax.edge_count());
+  }
+  const auto concrete = core::plan_for_site(dax, site, spec);
+  std::printf("planned '%s' for site '%s':\n", concrete.name().c_str(),
+              site.c_str());
+  std::printf("  jobs        : %zu (%zu compute, %zu transfer)\n",
+              concrete.jobs().size(), concrete.count(wms::JobKind::kCompute),
+              concrete.count(wms::JobKind::kStageIn) +
+                  concrete.count(wms::JobKind::kStageOut));
+  std::size_t setup = 0;
+  std::uint64_t staged = 0;
+  for (const auto& job : concrete.jobs()) {
+    if (job.needs_software_setup) ++setup;
+    staged += job.staged_bytes;
+  }
+  std::printf("  setup steps : %zu tasks download/install software\n", setup);
+  std::printf("  staged data : %.1f MB\n", static_cast<double>(staged) / 1e6);
+  return 0;
+}
+
+int cmd_run(const fs::path& dir, std::size_t n) {
+  core::LocalRunConfig config;
+  config.workspace = dir / "workspace";
+  fs::create_directories(config.workspace);
+  config.n = n;
+  config.slots = 4;
+
+  // Live pegasus-status monitoring from a side thread.
+  wms::StatusBoard board;
+  config.status = &board;
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    while (!done.load()) {
+      std::printf("\rpegasus-status: %s   ", board.snapshot().render().c_str());
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+  const auto result = core::run_blast2cap3_locally(dir / "transcripts.fasta",
+                                                   dir / "alignments.out", config);
+  done.store(true);
+  monitor.join();
+  std::printf("\rpegasus-status: %s\n\n", board.snapshot().render().c_str());
+
+  std::printf("%s\n", result.stats.render("pegasus-statistics").c_str());
+  std::printf("\n%s\n",
+              wms::render_timeline(result.report, {.width = 64}).c_str());
+  const auto csv = dir / "trace.csv";
+  common::write_file(csv, wms::attempts_csv(result.report));
+  std::printf("trace -> %s\n", csv.string().c_str());
+  std::printf("assembly -> %s\n", result.output.string().c_str());
+  return result.report.success ? 0 : 1;
+}
+
+int cmd_simulate(const std::string& site, std::size_t n) {
+  core::ExperimentConfig config;
+  config.n_values = {n};
+  config.include_cloud = site == "cloud";
+  const auto point = core::run_sim_point(config, site, n);
+  std::printf("%s\n",
+              point.stats
+                  .render("simulated " + site + " at paper scale, n=" +
+                          std::to_string(n))
+                  .c_str());
+  if (point.preemptions > 0) {
+    std::printf("preemptions observed: %zu\n", point.preemptions);
+  }
+  return 0;
+}
+
+int cmd_analyze(const fs::path& dir) {
+  const fs::path records_dir = dir / "workspace" / "kickstart";
+  if (!fs::exists(records_dir)) {
+    std::fprintf(stderr, "no kickstart records under %s (run `pegasus_cli run` first)\n",
+                 records_dir.string().c_str());
+    return 1;
+  }
+  const auto records = wms::read_invocation_records(records_dir);
+  const auto report = wms::report_from_records(records, dir.filename().string());
+  const auto stats = wms::WorkflowStatistics::from_run(report);
+  std::printf("%zu invocation records -> %zu jobs\n\n", records.size(),
+              report.jobs_total);
+  std::printf("%s\n", stats.render("pegasus-statistics (from provenance)").c_str());
+  std::printf("\n%s\n", wms::render_timeline(report, {.width = 64}).c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf("usage:\n"
+              "  pegasus_cli generate <dir> [seed]\n"
+              "  pegasus_cli plan <n> <sandhills|osg> [out.dax]\n"
+              "  pegasus_cli run <dir> <n>\n"
+              "  pegasus_cli simulate <sandhills|osg|cloud> <n>\n"
+              "  pegasus_cli analyze <dir>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate" && argc >= 3) {
+      return cmd_generate(argv[2], argc > 3 ? std::stoull(argv[3]) : 7);
+    }
+    if (cmd == "plan" && argc >= 4) {
+      return cmd_plan(std::stoul(argv[2]), argv[3], argc > 4 ? argv[4] : "");
+    }
+    if (cmd == "run" && argc >= 4) {
+      return cmd_run(argv[2], std::stoul(argv[3]));
+    }
+    if (cmd == "simulate" && argc >= 4) {
+      return cmd_simulate(argv[2], std::stoul(argv[3]));
+    }
+    if (cmd == "analyze" && argc >= 3) {
+      return cmd_analyze(argv[2]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}

@@ -1,0 +1,61 @@
+// Simulated platform comparison at paper scale: Sandhills vs. OSG (and,
+// with --cloud, the §VII future-work cloud profile) for a chosen n.
+//
+//   ./platform_comparison [--cloud] [n] [repetitions]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pga;
+  bool include_cloud = false;
+  std::size_t n = 300;
+  std::size_t repetitions = 3;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cloud") == 0) {
+      include_cloud = true;
+    } else if (positional == 0) {
+      n = std::stoul(argv[i]);
+      ++positional;
+    } else {
+      repetitions = std::stoul(argv[i]);
+      ++positional;
+    }
+  }
+
+  core::ExperimentConfig config;
+  config.n_values = {n};
+  config.repetitions = repetitions;
+  config.include_cloud = include_cloud;
+
+  std::printf("== simulated blast2cap3 at paper scale: n=%zu, %zu repetition(s) ==\n\n",
+              n, repetitions);
+  const auto results = core::run_platform_sweep(config);
+  std::printf("serial baseline: %s (%.0f s)\n\n",
+              common::format_duration(results.serial_seconds).c_str(),
+              results.serial_seconds);
+
+  common::Table table({"platform", "wall (s)", "wall", "kickstart (s)",
+                       "waiting (s)", "install (s)", "retries"});
+  for (const auto& point : results.points) {
+    table.add_row({point.platform, common::format_fixed(point.mean_wall(), 0),
+                   common::format_duration(point.mean_wall()),
+                   common::format_fixed(point.stats.cumulative_kickstart(), 0),
+                   common::format_fixed(point.stats.cumulative_waiting(), 0),
+                   common::format_fixed(point.stats.cumulative_install(), 0),
+                   std::to_string(point.stats.retries())});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  for (const auto& point : results.points) {
+    const double reduction =
+        100.0 * (1.0 - point.mean_wall() / results.serial_seconds);
+    std::printf("%s: %.1f%% faster than serial\n", point.platform.c_str(), reduction);
+  }
+  return 0;
+}

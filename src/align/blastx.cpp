@@ -1,0 +1,163 @@
+#include "align/blastx.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "align/sw.hpp"
+#include "bio/codon.hpp"
+#include "common/error.hpp"
+
+namespace pga::align {
+
+namespace {
+
+/// Seed accumulator for one (subject, diagonal) pair.
+struct DiagonalSeeds {
+  std::size_t count = 0;
+};
+
+/// Converts a frame-protein residue range to 1-based nucleotide query
+/// coordinates on the forward strand (BLASTX convention: reverse-strand
+/// hits have qstart > qend).
+void residue_range_to_nucleotides(int frame, std::size_t q_begin, std::size_t q_end,
+                                  std::size_t dna_length, long& qstart, long& qend) {
+  if (frame > 0) {
+    qstart = static_cast<long>(bio::frame_to_forward_offset(frame, q_begin, dna_length)) + 1;
+    qend = static_cast<long>(bio::frame_to_forward_offset(frame, q_end - 1, dna_length)) + 3;
+  } else {
+    // First codon of the alignment sits at the highest forward coordinates.
+    const std::size_t first = bio::frame_to_forward_offset(frame, q_begin, dna_length);
+    const std::size_t last = bio::frame_to_forward_offset(frame, q_end - 1, dna_length);
+    qstart = static_cast<long>(first) + 3;  // 1-based top base of first codon
+    qend = static_cast<long>(last) + 1;     // 1-based bottom base of last codon
+  }
+}
+
+}  // namespace
+
+BlastxSearch::BlastxSearch(std::vector<bio::SeqRecord> proteins, BlastxParams params)
+    : proteins_(std::move(proteins)),
+      params_(params),
+      index_(proteins_, params.word_size, params.neighbor_threshold) {
+  if (params_.min_seeds_per_diagonal == 0) {
+    throw common::InvalidArgument("min_seeds_per_diagonal must be >= 1");
+  }
+  if (params_.band == 0) throw common::InvalidArgument("band must be >= 1");
+}
+
+std::vector<TabularHit> BlastxSearch::search(const bio::SeqRecord& transcript) const {
+  std::vector<TabularHit> hits;
+  const auto k = static_cast<std::size_t>(params_.word_size);
+  const double db_residues = static_cast<double>(index_.total_residues());
+
+  // Best hit per subject across all frames (optional collapse).
+  std::unordered_map<std::uint32_t, TabularHit> best_per_subject;
+
+  for (const auto& ft : bio::six_frame_translate(transcript.seq)) {
+    const std::string& fp = ft.protein;
+    if (fp.size() < k) continue;
+
+    // Collect word seeds grouped by (subject, diagonal).
+    std::map<std::pair<std::uint32_t, long>, DiagonalSeeds> diagonals;
+    std::vector<WordHit> word_hits;
+    for (std::size_t q_pos = 0; q_pos + k <= fp.size(); ++q_pos) {
+      word_hits.clear();
+      index_.neighborhood(std::string_view(fp).substr(q_pos, k), word_hits);
+      for (const WordHit& wh : word_hits) {
+        const long diag = static_cast<long>(q_pos) - static_cast<long>(wh.position);
+        ++diagonals[{wh.subject, diag}].count;
+      }
+    }
+
+    // Select extension candidates per subject: the strongest diagonals.
+    std::unordered_map<std::uint32_t, std::vector<std::pair<std::size_t, long>>> per_subject;
+    for (const auto& [key, seeds] : diagonals) {
+      if (seeds.count >= params_.min_seeds_per_diagonal) {
+        per_subject[key.first].push_back({seeds.count, key.second});
+      }
+    }
+
+    for (auto& [subject, diags] : per_subject) {
+      std::sort(diags.begin(), diags.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      if (diags.size() > params_.max_diagonals_per_subject) {
+        diags.resize(params_.max_diagonals_per_subject);
+      }
+      LocalAlignment best_aln;
+      for (const auto& [count, diag] : diags) {
+        const LocalAlignment aln = banded_smith_waterman(
+            fp, proteins_[subject].seq, diag, params_.band, params_.gaps);
+        if (aln.score > best_aln.score) best_aln = aln;
+      }
+      if (best_aln.score <= 0) continue;
+      if (static_cast<long>(best_aln.alignment_length()) < params_.min_alignment_length) {
+        continue;
+      }
+      const double bits = bit_score(best_aln.score, params_.ka);
+      const double evalue =
+          e_value(bits, static_cast<double>(transcript.seq.size()) / 3.0, db_residues);
+      if (evalue > params_.evalue_cutoff) continue;
+
+      TabularHit hit;
+      hit.qseqid = transcript.id;
+      hit.sseqid = proteins_[subject].id;
+      hit.pident = best_aln.percent_identity();
+      hit.length = static_cast<long>(best_aln.alignment_length());
+      hit.mismatch = static_cast<long>(best_aln.mismatches);
+      hit.gapopen = static_cast<long>(best_aln.gap_opens);
+      residue_range_to_nucleotides(ft.frame, best_aln.q_begin, best_aln.q_end,
+                                   transcript.seq.size(), hit.qstart, hit.qend);
+      hit.sstart = static_cast<long>(best_aln.s_begin) + 1;
+      hit.send = static_cast<long>(best_aln.s_end);
+      hit.evalue = evalue;
+      hit.bitscore = bits;
+
+      if (params_.best_hit_per_subject) {
+        auto [it, inserted] = best_per_subject.try_emplace(subject, hit);
+        if (!inserted && hit.bitscore > it->second.bitscore) it->second = hit;
+      } else {
+        hits.push_back(std::move(hit));
+      }
+    }
+  }
+
+  if (params_.best_hit_per_subject) {
+    hits.reserve(best_per_subject.size());
+    for (auto& [subject, hit] : best_per_subject) hits.push_back(std::move(hit));
+  }
+  std::sort(hits.begin(), hits.end(), [](const TabularHit& a, const TabularHit& b) {
+    if (a.bitscore != b.bitscore) return a.bitscore > b.bitscore;
+    return a.sseqid < b.sseqid;
+  });
+  return hits;
+}
+
+std::vector<TabularHit> BlastxSearch::search_all(
+    const std::vector<bio::SeqRecord>& transcripts, common::ThreadPool* pool) const {
+  if (pool == nullptr || transcripts.size() < 2) {
+    std::vector<TabularHit> all;
+    for (const auto& t : transcripts) {
+      auto hits = search(t);
+      all.insert(all.end(), std::make_move_iterator(hits.begin()),
+                 std::make_move_iterator(hits.end()));
+    }
+    return all;
+  }
+
+  // Fan out per transcript; futures preserve input order on collection.
+  std::vector<std::future<std::vector<TabularHit>>> futures;
+  futures.reserve(transcripts.size());
+  for (const auto& t : transcripts) {
+    futures.push_back(pool->submit([this, &t] { return search(t); }));
+  }
+  std::vector<TabularHit> all;
+  for (auto& f : futures) {
+    auto hits = f.get();
+    all.insert(all.end(), std::make_move_iterator(hits.begin()),
+               std::make_move_iterator(hits.end()));
+  }
+  return all;
+}
+
+}  // namespace pga::align

@@ -1,0 +1,120 @@
+#include "align/kmer_index.hpp"
+
+#include <mutex>
+
+#include "align/scoring.hpp"
+#include "bio/alphabet.hpp"
+#include "common/error.hpp"
+
+namespace pga::align {
+
+namespace {
+
+/// Decodes a word code back to residues (inverse of KmerIndex::encode).
+void decode(std::uint32_t code, int k, char* out) {
+  for (int i = 0; i < k; ++i) {
+    out[i] = bio::kAminoAcids[code % 20];
+    code /= 20;
+  }
+}
+
+}  // namespace
+
+KmerIndex::KmerIndex(const std::vector<bio::SeqRecord>& proteins, int k,
+                     int threshold)
+    : k_(k), threshold_(threshold) {
+  if (k < 2 || k > 5) {
+    throw common::InvalidArgument("KmerIndex: k must be in [2,5]");
+  }
+  table_size_ = 1;
+  for (int i = 0; i < k; ++i) table_size_ *= 20;
+  table_.resize(table_size_);
+  neighbor_cache_.resize(table_size_);
+  neighbor_cached_.assign(table_size_, false);
+
+  subject_count_ = proteins.size();
+  if (proteins.size() > 0xffffffffULL) {
+    throw common::InvalidArgument("KmerIndex: too many subjects");
+  }
+  for (std::uint32_t s = 0; s < proteins.size(); ++s) {
+    const std::string& seq = proteins[s].seq;
+    total_residues_ += seq.size();
+    if (seq.size() < static_cast<std::size_t>(k)) continue;
+    for (std::size_t pos = 0; pos + static_cast<std::size_t>(k) <= seq.size(); ++pos) {
+      const long code = encode(std::string_view(seq).substr(pos, static_cast<std::size_t>(k)));
+      if (code < 0) continue;
+      auto& bucket = table_[static_cast<std::size_t>(code)];
+      if (bucket.empty()) occupied_codes_.push_back(static_cast<std::uint32_t>(code));
+      bucket.push_back(WordHit{s, static_cast<std::uint32_t>(pos)});
+    }
+  }
+}
+
+long KmerIndex::encode(std::string_view word) const {
+  if (word.size() != static_cast<std::size_t>(k_)) return -1;
+  long code = 0;
+  long mult = 1;
+  for (const char c : word) {
+    const int idx = bio::amino_index(c);
+    if (idx < 0) return -1;
+    code += idx * mult;
+    mult *= 20;
+  }
+  return code;
+}
+
+const std::vector<WordHit>& KmerIndex::exact(std::string_view word) const {
+  static const std::vector<WordHit> kEmpty;
+  const long code = encode(word);
+  if (code < 0) return kEmpty;
+  return table_[static_cast<std::size_t>(code)];
+}
+
+std::vector<std::uint32_t> KmerIndex::compute_neighbors(std::uint32_t code) const {
+  std::vector<char> query(static_cast<std::size_t>(k_));
+  decode(code, k_, query.data());
+  std::vector<char> candidate(static_cast<std::size_t>(k_));
+  std::vector<std::uint32_t> neighbors;
+  for (const std::uint32_t occupied : occupied_codes_) {
+    decode(occupied, k_, candidate.data());
+    int score = 0;
+    for (int i = 0; i < k_; ++i) {
+      score += blosum62(query[static_cast<std::size_t>(i)],
+                        candidate[static_cast<std::size_t>(i)]);
+    }
+    if (score >= threshold_) neighbors.push_back(occupied);
+  }
+  return neighbors;
+}
+
+void KmerIndex::neighborhood(std::string_view word, std::vector<WordHit>& out) const {
+  const long signed_code = encode(word);
+  if (signed_code < 0) return;
+  const auto code = static_cast<std::uint32_t>(signed_code);
+
+  {
+    std::shared_lock lock(cache_mutex_);
+    if (neighbor_cached_[code]) {
+      for (const std::uint32_t n : neighbor_cache_[code]) {
+        const auto& bucket = table_[n];
+        out.insert(out.end(), bucket.begin(), bucket.end());
+      }
+      return;
+    }
+  }
+  // Compute outside any lock (pure function of immutable index state).
+  std::vector<std::uint32_t> neighbors = compute_neighbors(code);
+  {
+    const std::unique_lock lock(cache_mutex_);
+    if (!neighbor_cached_[code]) {
+      neighbor_cache_[code] = neighbors;
+      neighbor_cached_[code] = true;
+    }
+  }
+  for (const std::uint32_t n : neighbors) {
+    const auto& bucket = table_[n];
+    out.insert(out.end(), bucket.begin(), bucket.end());
+  }
+}
+
+}  // namespace pga::align

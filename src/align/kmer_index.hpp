@@ -1,0 +1,67 @@
+// Protein k-mer index with BLAST-style neighborhood word seeding.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <string_view>
+#include <vector>
+
+#include "bio/sequence.hpp"
+
+namespace pga::align {
+
+/// Location of one word occurrence in the database.
+struct WordHit {
+  std::uint32_t subject;   ///< index into the indexed record vector
+  std::uint32_t position;  ///< 0-based residue offset within the subject
+};
+
+/// Indexes every length-k word of a protein database and answers
+/// neighborhood queries: all occurrences of database words scoring at
+/// least `threshold` against a query word under BLOSUM62 (BLAST's "T"
+/// parameter). Words containing nonstandard residues are skipped.
+///
+/// Thread-safe for concurrent queries; neighborhood rows are computed
+/// lazily per distinct query word and memoized under a shared_mutex.
+class KmerIndex {
+ public:
+  /// Builds the index. k must be in [2, 5] (20^k table entries).
+  KmerIndex(const std::vector<bio::SeqRecord>& proteins, int k, int threshold);
+
+  /// Exact-word occurrences of `word` (length k, standard residues only;
+  /// returns empty otherwise).
+  [[nodiscard]] const std::vector<WordHit>& exact(std::string_view word) const;
+
+  /// Appends occurrences of all database words in the BLOSUM62
+  /// neighborhood of `word` (score >= threshold, including the word itself
+  /// when it qualifies) to `out`.
+  void neighborhood(std::string_view word, std::vector<WordHit>& out) const;
+
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int threshold() const { return threshold_; }
+  /// Total residues indexed (database size for E-value computation).
+  [[nodiscard]] std::uint64_t total_residues() const { return total_residues_; }
+  [[nodiscard]] std::size_t subjects() const { return subject_count_; }
+
+ private:
+  /// Encodes a word as sum amino_index * 20^i, or -1 if any residue is
+  /// nonstandard.
+  [[nodiscard]] long encode(std::string_view word) const;
+
+  /// Occupied word codes whose word scores >= threshold against `code`'s word.
+  [[nodiscard]] std::vector<std::uint32_t> compute_neighbors(std::uint32_t code) const;
+
+  int k_;
+  int threshold_;
+  std::size_t table_size_;
+  std::size_t subject_count_ = 0;
+  std::uint64_t total_residues_ = 0;
+  std::vector<std::vector<WordHit>> table_;    // word code -> occurrences
+  std::vector<std::uint32_t> occupied_codes_;  // codes with any occurrence
+
+  mutable std::shared_mutex cache_mutex_;
+  mutable std::vector<std::vector<std::uint32_t>> neighbor_cache_;
+  mutable std::vector<bool> neighbor_cached_;
+};
+
+}  // namespace pga::align

@@ -1,0 +1,65 @@
+#include "align/scoring.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+
+#include "bio/alphabet.hpp"
+
+namespace pga::align {
+
+namespace {
+
+// Standard BLOSUM62, rows/columns in kAminoAcids order (ARNDCQEGHILKMFPSTWYV).
+constexpr std::array<std::array<int, 20>, 20> kBlosum62 = {{
+    //        A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    /*A*/ {{  4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0}},
+    /*R*/ {{ -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3}},
+    /*N*/ {{ -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3}},
+    /*D*/ {{ -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3}},
+    /*C*/ {{  0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1}},
+    /*Q*/ {{ -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2}},
+    /*E*/ {{ -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2}},
+    /*G*/ {{  0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3}},
+    /*H*/ {{ -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3}},
+    /*I*/ {{ -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3}},
+    /*L*/ {{ -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1}},
+    /*K*/ {{ -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2}},
+    /*M*/ {{ -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1}},
+    /*F*/ {{ -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1}},
+    /*P*/ {{ -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2}},
+    /*S*/ {{  1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2}},
+    /*T*/ {{  0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0}},
+    /*W*/ {{ -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3}},
+    /*Y*/ {{ -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1}},
+    /*V*/ {{  0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4}},
+}};
+
+}  // namespace
+
+int blosum62(char a, char b) {
+  const char ua = static_cast<char>(std::toupper(static_cast<unsigned char>(a)));
+  const char ub = static_cast<char>(std::toupper(static_cast<unsigned char>(b)));
+  if (ua == '*' || ub == '*') return (ua == '*' && ub == '*') ? 1 : -4;
+  const int ia = bio::amino_index(ua);
+  const int ib = bio::amino_index(ub);
+  if (ia < 0 || ib < 0) return -1;  // X or anything nonstandard
+  return kBlosum62[static_cast<std::size_t>(ia)][static_cast<std::size_t>(ib)];
+}
+
+double bit_score(int raw_score, const KarlinAltschul& ka) {
+  return (ka.lambda * raw_score - std::log(ka.k)) / std::log(2.0);
+}
+
+double e_value(double bits, double query_residues, double db_residues) {
+  return query_residues * db_residues * std::pow(2.0, -bits);
+}
+
+int word_score(std::string_view a, std::string_view b) {
+  int total = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) total += blosum62(a[i], b[i]);
+  return total;
+}
+
+}  // namespace pga::align

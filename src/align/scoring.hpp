@@ -1,0 +1,37 @@
+// Protein substitution scoring (BLOSUM62) and BLAST-style statistics.
+#pragma once
+
+#include <string_view>
+
+namespace pga::align {
+
+/// BLOSUM62 substitution score between two residues (case-insensitive).
+/// 'X' scores -1 against everything; '*' scores -4 against residues and +1
+/// against itself — the NCBI conventions.
+int blosum62(char a, char b);
+
+/// Affine gap model: a gap of length L costs open + extend * L.
+struct GapPenalties {
+  int open = 11;    ///< gap-open cost (positive)
+  int extend = 1;   ///< per-residue extension cost (positive)
+};
+
+/// Karlin–Altschul parameters for gapped BLOSUM62 with gap 11/1 — the
+/// defaults BLASTX reports bit scores and E-values with.
+struct KarlinAltschul {
+  double lambda = 0.267;
+  double k = 0.041;
+};
+
+/// Raw alignment score -> bit score: (lambda*S - ln K) / ln 2.
+double bit_score(int raw_score, const KarlinAltschul& ka = {});
+
+/// E-value for a bit score over a search space of query length m (residues)
+/// times database length n (residues): E = m * n * 2^-bits.
+double e_value(double bits, double query_residues, double db_residues);
+
+/// Sum of pairwise BLOSUM62 scores of two equal-length words (no gaps);
+/// the quantity thresholded by BLAST's two-hit word finder.
+int word_score(std::string_view a, std::string_view b);
+
+}  // namespace pga::align

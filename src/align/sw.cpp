@@ -1,0 +1,171 @@
+#include "align/sw.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pga::align {
+
+namespace {
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+// Traceback states.
+enum : unsigned char { kStop = 0, kDiagFromM = 1, kDiagFromX = 2, kDiagFromY = 3,
+                       kXOpen = 4, kXExtend = 5, kYOpen = 6, kYExtend = 7 };
+
+/// Gotoh local alignment with affine gaps and an optional band around
+/// `diagonal` (pass band >= |q|+|s| for the unbanded case). The score
+/// callback maps (query char, subject char) -> substitution score.
+LocalAlignment gotoh(std::string_view q, std::string_view s,
+                     const std::function<int(char, char)>& score,
+                     const GapPenalties& gaps, long diagonal, long band) {
+  const std::size_t n = q.size();
+  const std::size_t m = s.size();
+  LocalAlignment result;
+  if (n == 0 || m == 0) return result;
+
+  const std::size_t stride = m + 1;
+  // M = alignment ends in a substitution; X = gap in query (subject
+  // consumed); Y = gap in subject (query consumed).
+  std::vector<int> mat((n + 1) * stride, 0);
+  std::vector<int> gx((n + 1) * stride, kNegInf);
+  std::vector<int> gy((n + 1) * stride, kNegInf);
+  std::vector<unsigned char> tb_m((n + 1) * stride, kStop);
+  std::vector<unsigned char> tb_x((n + 1) * stride, kStop);
+  std::vector<unsigned char> tb_y((n + 1) * stride, kStop);
+
+  const int open_cost = gaps.open + gaps.extend;  // cost of a length-1 gap
+  int best = 0;
+  std::size_t best_i = 0, best_j = 0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    // Band limits on j for this row: |(i-1) - (j-1) - diagonal| <= band.
+    const long center = static_cast<long>(i) - diagonal;
+    const long lo = std::max<long>(1, center - band);
+    const long hi = std::min<long>(static_cast<long>(m), center + band);
+    for (long jj = lo; jj <= hi; ++jj) {
+      const auto j = static_cast<std::size_t>(jj);
+      const std::size_t idx = i * stride + j;
+      const std::size_t diag = (i - 1) * stride + (j - 1);
+      const std::size_t up = (i - 1) * stride + j;
+      const std::size_t left = i * stride + (j - 1);
+
+      // Substitution state.
+      const int sub = score(q[i - 1], s[j - 1]);
+      int from = 0;
+      unsigned char dir = kStop;
+      if (mat[diag] > from) { from = mat[diag]; dir = kDiagFromM; }
+      if (gx[diag] > from) { from = gx[diag]; dir = kDiagFromX; }
+      if (gy[diag] > from) { from = gy[diag]; dir = kDiagFromY; }
+      // dir == kStop means the local alignment starts at this cell.
+      const int m_score = from + sub;
+      if (m_score > 0) {
+        mat[idx] = m_score;
+        tb_m[idx] = dir;
+      } else {
+        mat[idx] = 0;
+        tb_m[idx] = kStop;
+      }
+
+      // Gap in query (moves left along subject).
+      const int x_open = mat[left] - open_cost;
+      const int x_ext = gx[left] - gaps.extend;
+      if (x_open >= x_ext) { gx[idx] = x_open; tb_x[idx] = kXOpen; }
+      else { gx[idx] = x_ext; tb_x[idx] = kXExtend; }
+
+      // Gap in subject (moves up along query).
+      const int y_open = mat[up] - open_cost;
+      const int y_ext = gy[up] - gaps.extend;
+      if (y_open >= y_ext) { gy[idx] = y_open; tb_y[idx] = kYOpen; }
+      else { gy[idx] = y_ext; tb_y[idx] = kYExtend; }
+
+      if (mat[idx] > best) {
+        best = mat[idx];
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+
+  if (best <= 0) return result;
+
+  // Traceback from the best substitution cell.
+  result.score = best;
+  result.q_end = best_i;
+  result.s_end = best_j;
+  std::size_t i = best_i, j = best_j;
+  char state = 'M';
+  while (i > 0 && j > 0) {
+    const std::size_t idx = i * stride + j;
+    if (state == 'M') {
+      if (q[i - 1] == s[j - 1]) ++result.matches;
+      else ++result.mismatches;
+      const unsigned char dir = tb_m[idx];
+      --i; --j;
+      if (dir == kStop) break;
+      if (dir == kDiagFromM) state = 'M';
+      else if (dir == kDiagFromX) state = 'X';
+      else state = 'Y';
+    } else if (state == 'X') {
+      ++result.gap_residues;
+      const unsigned char dir = tb_x[idx];
+      --j;
+      if (dir == kXOpen) { ++result.gap_opens; state = 'M'; }
+    } else {  // 'Y'
+      ++result.gap_residues;
+      const unsigned char dir = tb_y[idx];
+      --i;
+      if (dir == kYOpen) { ++result.gap_opens; state = 'M'; }
+    }
+  }
+  result.q_begin = i;
+  result.s_begin = j;
+  return result;
+}
+
+}  // namespace
+
+LocalAlignment smith_waterman(std::string_view query, std::string_view subject,
+                              const GapPenalties& gaps) {
+  const long band = static_cast<long>(query.size() + subject.size()) + 2;
+  return gotoh(query, subject, [](char a, char b) { return blosum62(a, b); }, gaps,
+               /*diagonal=*/0, band);
+}
+
+LocalAlignment banded_smith_waterman(std::string_view query, std::string_view subject,
+                                     long diagonal, std::size_t band,
+                                     const GapPenalties& gaps) {
+  return gotoh(query, subject, [](char a, char b) { return blosum62(a, b); }, gaps,
+               diagonal, static_cast<long>(band));
+}
+
+LocalAlignment smith_waterman_dna(std::string_view query, std::string_view subject,
+                                  int match, int mismatch, const GapPenalties& gaps) {
+  if (match <= 0 || mismatch >= 0) {
+    throw common::InvalidArgument("smith_waterman_dna: need match > 0 > mismatch");
+  }
+  const long band = static_cast<long>(query.size() + subject.size()) + 2;
+  return gotoh(
+      query, subject,
+      [match, mismatch](char a, char b) { return a == b ? match : mismatch; }, gaps,
+      /*diagonal=*/0, band);
+}
+
+LocalAlignment banded_smith_waterman_dna(std::string_view query,
+                                         std::string_view subject, long diagonal,
+                                         std::size_t band, int match, int mismatch,
+                                         const GapPenalties& gaps) {
+  if (match <= 0 || mismatch >= 0) {
+    throw common::InvalidArgument("banded_smith_waterman_dna: need match > 0 > mismatch");
+  }
+  return gotoh(
+      query, subject,
+      [match, mismatch](char a, char b) { return a == b ? match : mismatch; }, gaps,
+      diagonal, static_cast<long>(band));
+}
+
+}  // namespace pga::align

@@ -1,0 +1,57 @@
+// Smith–Waterman local alignment (affine gaps), full and banded.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "align/scoring.hpp"
+
+namespace pga::align {
+
+/// Result of a local alignment. Coordinates are 0-based half-open over the
+/// input strings; identity/mismatch/gap counts come from the traceback.
+struct LocalAlignment {
+  int score = 0;
+  std::size_t q_begin = 0, q_end = 0;  ///< aligned query range [q_begin, q_end)
+  std::size_t s_begin = 0, s_end = 0;  ///< aligned subject range
+  std::size_t matches = 0;             ///< identical aligned pairs
+  std::size_t mismatches = 0;          ///< non-identical aligned pairs
+  std::size_t gap_opens = 0;           ///< number of gap runs
+  std::size_t gap_residues = 0;        ///< total gapped positions
+  /// Aligned columns = matches + mismatches + gap_residues.
+  [[nodiscard]] std::size_t alignment_length() const {
+    return matches + mismatches + gap_residues;
+  }
+  /// Percent identity over the alignment length; 0 for empty alignments.
+  [[nodiscard]] double percent_identity() const {
+    const std::size_t len = alignment_length();
+    return len == 0 ? 0.0 : 100.0 * static_cast<double>(matches) / static_cast<double>(len);
+  }
+};
+
+/// Full O(|q|*|s|) protein local alignment under BLOSUM62 + affine gaps.
+LocalAlignment smith_waterman(std::string_view query, std::string_view subject,
+                              const GapPenalties& gaps = {});
+
+/// Banded local alignment restricted to |(i - j) - diagonal| <= band, used
+/// for seed extension: `diagonal` = q_pos - s_pos of the seed. Cells
+/// outside the band are unreachable. Falls back to the exact result when
+/// the band covers the whole matrix.
+LocalAlignment banded_smith_waterman(std::string_view query, std::string_view subject,
+                                     long diagonal, std::size_t band,
+                                     const GapPenalties& gaps = {});
+
+/// DNA local alignment with simple match/mismatch scoring (+1/-2 by
+/// default) and affine gaps — the overlap detector's inner kernel.
+LocalAlignment smith_waterman_dna(std::string_view query, std::string_view subject,
+                                  int match = 1, int mismatch = -2,
+                                  const GapPenalties& gaps = {6, 1});
+
+/// Banded DNA local alignment around `diagonal` (query_pos - subject_pos).
+LocalAlignment banded_smith_waterman_dna(std::string_view query,
+                                         std::string_view subject, long diagonal,
+                                         std::size_t band, int match = 1,
+                                         int mismatch = -2,
+                                         const GapPenalties& gaps = {6, 1});
+
+}  // namespace pga::align

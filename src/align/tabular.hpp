@@ -1,0 +1,52 @@
+// BLAST tabular ("-outfmt 6") records — the interchange format between the
+// alignment stage and blast2cap3, exactly as in the paper's
+// "alignments.out" input file.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pga::align {
+
+/// One line of BLAST outfmt-6: 12 tab-separated columns.
+/// Query coordinates are 1-based nucleotide positions on the transcript;
+/// for reverse-strand hits qstart > qend (the BLASTX convention).
+struct TabularHit {
+  std::string qseqid;   ///< query (transcript) id
+  std::string sseqid;   ///< subject (protein) id
+  double pident = 0;    ///< percent identity over the alignment
+  long length = 0;      ///< alignment length (residues)
+  long mismatch = 0;    ///< mismatched columns
+  long gapopen = 0;     ///< gap openings
+  long qstart = 0;      ///< 1-based query start (nucleotides)
+  long qend = 0;        ///< 1-based query end
+  long sstart = 0;      ///< 1-based subject start (residues)
+  long send = 0;        ///< 1-based subject end
+  double evalue = 0;    ///< expectation value
+  double bitscore = 0;  ///< bit score
+
+  friend bool operator==(const TabularHit&, const TabularHit&) = default;
+};
+
+/// Formats one hit as a tab-separated line (no trailing newline).
+std::string format_tabular(const TabularHit& hit);
+
+/// Parses one outfmt-6 line. Throws ParseError on malformed input.
+TabularHit parse_tabular_line(const std::string& line);
+
+/// Writes hits, one line each.
+void write_tabular(std::ostream& out, const std::vector<TabularHit>& hits);
+
+/// Writes hits to a file.
+void write_tabular_file(const std::filesystem::path& path,
+                        const std::vector<TabularHit>& hits);
+
+/// Reads an entire tabular file. Blank lines and '#' comments are skipped.
+std::vector<TabularHit> read_tabular_file(const std::filesystem::path& path);
+
+/// Parses tabular text held in memory.
+std::vector<TabularHit> parse_tabular(const std::string& text);
+
+}  // namespace pga::align

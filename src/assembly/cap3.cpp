@@ -1,0 +1,209 @@
+#include "assembly/cap3.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+#include "bio/alphabet.hpp"
+#include "common/error.hpp"
+
+namespace pga::assembly {
+
+namespace {
+
+/// A 1-D isometry x -> sign*x + offset. With sign == -1 the sequence
+/// participates reverse-complemented in the layout frame.
+struct Placement {
+  int sign = 1;
+  long offset = 0;
+
+  /// Composition: this ∘ other (apply `other` first).
+  [[nodiscard]] Placement then_under(const Placement& outer) const {
+    return Placement{outer.sign * sign, outer.sign * offset + outer.offset};
+  }
+  [[nodiscard]] Placement inverse() const {
+    return Placement{sign, -sign * offset};
+  }
+  [[nodiscard]] long apply(long x) const { return sign * x + offset; }
+};
+
+/// Union-find over sequence indices tracking each element's placement
+/// (orientation + offset) relative to its root — the "layout" step of OLC,
+/// strand-aware like CAP3's.
+class LayoutUnionFind {
+ public:
+  explicit LayoutUnionFind(std::size_t n) : parent_(n), rank_(n, 0), to_parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  /// Root of x; `placement` receives x's transform into the root frame.
+  std::size_t find(std::size_t x, Placement& placement) {
+    if (parent_[x] == x) {
+      placement = Placement{};
+      return x;
+    }
+    Placement parent_placement;
+    const std::size_t root = find(parent_[x], parent_placement);
+    to_parent_[x] = to_parent_[x].then_under(parent_placement);  // compress
+    parent_[x] = root;
+    placement = to_parent_[x];
+    return root;
+  }
+
+  /// Merges with the relation `rel` mapping b's frame into a's frame.
+  /// Returns true if a merge happened; false if already joined, with
+  /// `consistent` reporting whether the existing layout agrees with `rel`
+  /// (same orientation, offset within `tolerance`).
+  bool merge(std::size_t a, std::size_t b, const Placement& rel, long tolerance,
+             bool& consistent) {
+    Placement pa, pb;
+    const std::size_t ra = find(a, pa);
+    const std::size_t rb = find(b, pb);
+    const Placement b_via_a = rel.then_under(pa);  // b -> root(a)
+    if (ra == rb) {
+      consistent = b_via_a.sign == pb.sign &&
+                   std::labs(b_via_a.offset - pb.offset) <= tolerance;
+      return false;
+    }
+    consistent = true;
+    if (rank_[ra] < rank_[rb]) {
+      // Attach ra under rb: need T(ra->rb) with
+      // T(b->rb) == T(b->a-frame-root) ∘ ... i.e.
+      // pb == (rel.then_under(pa)).then_under(T)  =>  T = pb ∘ (b_via_a)^-1.
+      parent_[ra] = rb;
+      to_parent_[ra] = b_via_a.inverse().then_under(pb);
+    } else {
+      parent_[rb] = ra;
+      to_parent_[rb] = pb.inverse().then_under(b_via_a);
+      if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<unsigned> rank_;
+  std::vector<Placement> to_parent_;
+};
+
+/// Column-wise majority consensus of sequences placed by orientation-aware
+/// transforms. Base i of a member maps to column placement.apply(i); with
+/// sign -1 the complemented base is voted.
+std::string consensus_of(const std::vector<bio::SeqRecord>& seqs,
+                         const std::vector<std::pair<std::size_t, Placement>>& placed) {
+  long min_col = std::numeric_limits<long>::max();
+  long max_col = std::numeric_limits<long>::min();
+  for (const auto& [idx, p] : placed) {
+    const long len = static_cast<long>(seqs[idx].seq.size());
+    const long first = p.apply(0);
+    const long last = p.apply(len - 1);
+    min_col = std::min({min_col, first, last});
+    max_col = std::max({max_col, first, last});
+  }
+  const auto width = static_cast<std::size_t>(max_col - min_col + 1);
+  // votes[col][base]; base order ACGT, index 4 = N/other.
+  std::vector<std::array<int, 5>> votes(width, {0, 0, 0, 0, 0});
+  for (const auto& [idx, p] : placed) {
+    const std::string& s = seqs[idx].seq;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char base =
+          p.sign == 1 ? s[i] : bio::complement(s[i]);
+      const int b = bio::base_index(base);
+      const auto col = static_cast<std::size_t>(p.apply(static_cast<long>(i)) - min_col);
+      ++votes[col][b < 0 ? 4 : static_cast<std::size_t>(b)];
+    }
+  }
+  std::string consensus(width, 'N');
+  for (std::size_t col = 0; col < width; ++col) {
+    int best = -1;
+    int best_votes = 0;
+    for (int b = 0; b < 4; ++b) {
+      if (votes[col][static_cast<std::size_t>(b)] > best_votes) {
+        best_votes = votes[col][static_cast<std::size_t>(b)];
+        best = b;
+      }
+    }
+    if (best >= 0) consensus[col] = bio::kBases[static_cast<std::size_t>(best)];
+    // Columns with zero coverage (possible across slop-tolerated joins) and
+    // all-N columns stay 'N'.
+  }
+  return consensus;
+}
+
+/// The layout relation an accepted overlap implies (b's frame -> a's frame).
+Placement overlap_relation(const Overlap& overlap, std::size_t b_len) {
+  if (!overlap.flipped) {
+    return Placement{1, overlap.shift};
+  }
+  // Base i of b sits at shift + (b_len - 1 - i) in a's frame.
+  return Placement{-1, overlap.shift + static_cast<long>(b_len) - 1};
+}
+
+}  // namespace
+
+std::vector<bio::SeqRecord> AssemblyResult::all_records() const {
+  std::vector<bio::SeqRecord> out;
+  out.reserve(output_count());
+  for (const auto& c : contigs) out.push_back({c.id, "", c.consensus});
+  out.insert(out.end(), singlets.begin(), singlets.end());
+  return out;
+}
+
+AssemblyResult assemble(const std::vector<bio::SeqRecord>& seqs,
+                        const AssemblyOptions& options) {
+  return assemble_with_overlaps(seqs, find_overlaps(seqs, options.overlap), options);
+}
+
+AssemblyResult assemble_with_overlaps(const std::vector<bio::SeqRecord>& seqs,
+                                      const std::vector<Overlap>& overlaps,
+                                      const AssemblyOptions& options) {
+  AssemblyResult result;
+  result.overlaps_considered = overlaps.size();
+
+  LayoutUnionFind uf(seqs.size());
+  const long tolerance = static_cast<long>(options.overlap.max_end_slop);
+  for (const Overlap& ov : overlaps) {
+    bool consistent = false;
+    const Placement rel = overlap_relation(ov, seqs[ov.b].seq.size());
+    if (uf.merge(ov.a, ov.b, rel, tolerance, consistent)) {
+      ++result.overlaps_applied;
+    }
+    // Inconsistent same-cluster overlaps are simply skipped (greedy CAP3
+    // behaviour: the earlier, higher-scoring layout wins).
+  }
+
+  // Collect clusters keyed by root, members carrying layout placements.
+  std::map<std::size_t, std::vector<std::pair<std::size_t, Placement>>> clusters;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    Placement placement;
+    const std::size_t root = uf.find(i, placement);
+    clusters[root].push_back({i, placement});
+  }
+
+  std::size_t contig_number = 1;
+  for (auto& [root, members] : clusters) {
+    if (members.size() == 1) {
+      result.singlets.push_back(seqs[members.front().first]);
+      continue;
+    }
+    std::sort(members.begin(), members.end(), [&](const auto& x, const auto& y) {
+      const long xs = std::min(x.second.apply(0),
+                               x.second.apply(static_cast<long>(seqs[x.first].seq.size()) - 1));
+      const long ys = std::min(y.second.apply(0),
+                               y.second.apply(static_cast<long>(seqs[y.first].seq.size()) - 1));
+      if (xs != ys) return xs < ys;
+      return seqs[x.first].id < seqs[y.first].id;
+    });
+    Contig contig;
+    contig.id = options.prefix + std::to_string(contig_number++);
+    contig.consensus = consensus_of(seqs, members);
+    contig.members.reserve(members.size());
+    for (const auto& [idx, off] : members) contig.members.push_back(seqs[idx].id);
+    result.contigs.push_back(std::move(contig));
+  }
+  return result;
+}
+
+}  // namespace pga::assembly

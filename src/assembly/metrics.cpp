@@ -1,0 +1,67 @@
+#include "assembly/metrics.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pga::assembly {
+
+std::size_t n50(std::vector<std::size_t> lengths) {
+  if (lengths.empty()) return 0;
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  std::size_t total = 0;
+  for (const std::size_t l : lengths) total += l;
+  std::size_t running = 0;
+  for (const std::size_t l : lengths) {
+    running += l;
+    if (2 * running >= total) return l;
+  }
+  return lengths.back();
+}
+
+AssemblyMetrics compute_metrics(
+    std::size_t input_sequences, const AssemblyResult& result,
+    const std::unordered_map<std::string, std::string>& truth) {
+  AssemblyMetrics m;
+  m.input_sequences = input_sequences;
+  m.contigs = result.contigs.size();
+  m.singlets = result.singlets.size();
+  m.output_sequences = result.output_count();
+  if (input_sequences > 0) {
+    m.reduction_percent =
+        100.0 * (1.0 - static_cast<double>(m.output_sequences) /
+                           static_cast<double>(input_sequences));
+  }
+
+  std::vector<std::size_t> lengths;
+  lengths.reserve(m.output_sequences);
+  for (const auto& c : result.contigs) {
+    lengths.push_back(c.consensus.size());
+    m.largest_contig = std::max(m.largest_contig, c.consensus.size());
+  }
+  for (const auto& s : result.singlets) lengths.push_back(s.seq.size());
+  m.consensus_n50 = n50(std::move(lengths));
+
+  if (!truth.empty()) {
+    for (const auto& c : result.contigs) {
+      std::set<std::string> genes;
+      bool any_labelled = false;
+      for (const auto& member : c.members) {
+        const auto it = truth.find(member);
+        if (it != truth.end()) {
+          any_labelled = true;
+          genes.insert(it->second);
+        }
+      }
+      if (any_labelled) {
+        ++m.fusion_checked;
+        if (genes.size() >= 2) {
+          ++m.fused_contigs;
+          m.fused_sequences += genes.size() - 1;
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace pga::assembly

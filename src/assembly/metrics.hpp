@@ -1,0 +1,44 @@
+// Assembly quality metrics: N50, redundancy reduction and (given ground
+// truth) artificial-fusion counting — the quantities behind the paper's
+// §II claims about blast2cap3 vs. whole-dataset CAP3.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "assembly/cap3.hpp"
+
+namespace pga::assembly {
+
+/// N50 of a set of sequence lengths: the largest L such that sequences of
+/// length >= L cover at least half the total bases. 0 for empty input.
+std::size_t n50(std::vector<std::size_t> lengths);
+
+/// Summary of one assembly outcome.
+struct AssemblyMetrics {
+  std::size_t input_sequences = 0;
+  std::size_t contigs = 0;
+  std::size_t singlets = 0;
+  std::size_t output_sequences = 0;   ///< contigs + singlets
+  double reduction_percent = 0;       ///< 100 * (1 - output/input)
+  std::size_t consensus_n50 = 0;      ///< N50 over contig consensus + singlets
+  std::size_t largest_contig = 0;     ///< longest consensus (bases)
+  std::size_t fused_contigs = 0;      ///< contigs mixing >= 2 source genes
+  /// "Artificially fused sequences": for each contig, the number of extra
+  /// genes erroneously absorbed (genes_in_contig - 1, summed). A repeat-
+  /// driven mega-contig that swallows 8 genes counts 7 here but only 1 in
+  /// fused_contigs.
+  std::size_t fused_sequences = 0;
+  std::size_t fusion_checked = 0;     ///< contigs whose members had truth labels
+};
+
+/// Computes metrics. `truth` maps input sequence id -> source gene id; an
+/// empty map skips fusion counting. Members without a truth entry are
+/// ignored for the fusion check.
+AssemblyMetrics compute_metrics(
+    std::size_t input_sequences, const AssemblyResult& result,
+    const std::unordered_map<std::string, std::string>& truth = {});
+
+}  // namespace pga::assembly

@@ -1,0 +1,182 @@
+#include "assembly/overlap.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "bio/alphabet.hpp"
+#include "common/error.hpp"
+
+namespace pga::assembly {
+
+bool classify_overlap(const align::LocalAlignment& aln, std::size_t a_len,
+                      std::size_t b_len, const OverlapParams& params,
+                      OverlapKind& kind, long& shift) {
+  if (aln.alignment_length() < params.min_overlap) return false;
+  if (aln.percent_identity() < params.min_identity) return false;
+
+  const std::size_t a_left = aln.q_begin;
+  const std::size_t a_right = a_len - aln.q_end;
+  const std::size_t b_left = aln.s_begin;
+  const std::size_t b_right = b_len - aln.s_end;
+  const std::size_t slop = params.max_end_slop;
+
+  // Under the (substitution-only) ungapped layout approximation, placing b
+  // at a_offset + shift lines the aligned regions up.
+  shift = static_cast<long>(aln.q_begin) - static_cast<long>(aln.s_begin);
+
+  // Containments take priority: they are stricter conditions.
+  if (b_left <= slop && b_right <= slop) {
+    kind = OverlapKind::kAContainsB;
+    return true;
+  }
+  if (a_left <= slop && a_right <= slop) {
+    kind = OverlapKind::kBContainsA;
+    return true;
+  }
+  if (a_right <= slop && b_left <= slop) {
+    kind = OverlapKind::kSuffixPrefix;
+    return true;
+  }
+  if (a_left <= slop && b_right <= slop) {
+    kind = OverlapKind::kPrefixSuffix;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Packs an (a < b) index pair plus the relative-orientation bit.
+std::uint64_t pair_key(std::size_t a, std::size_t b, bool flipped) {
+  return (static_cast<std::uint64_t>(flipped) << 63) |
+         (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+}
+
+struct PairEvidence {
+  std::size_t shared_kmers = 0;
+  std::unordered_map<long, std::size_t> diagonal_votes;
+
+  [[nodiscard]] long best_diagonal() const {
+    long best = 0;
+    std::size_t best_votes = 0;
+    for (const auto& [diag, votes] : diagonal_votes) {
+      if (votes > best_votes || (votes == best_votes && diag < best)) {
+        best = diag;
+        best_votes = votes;
+      }
+    }
+    return best;
+  }
+};
+
+constexpr std::size_t kAlignmentBand = 48;
+
+}  // namespace
+
+std::vector<Overlap> find_overlaps(const std::vector<bio::SeqRecord>& seqs,
+                                   const OverlapParams& params) {
+  if (params.kmer < 8 || params.kmer > 32) {
+    throw common::InvalidArgument("OverlapParams.kmer must be in [8,32]");
+  }
+  if (params.min_overlap < params.kmer) {
+    throw common::InvalidArgument("min_overlap must be >= kmer");
+  }
+  if (seqs.size() >= (1ULL << 31)) {
+    throw common::InvalidArgument("too many sequences");
+  }
+
+  // Reverse complements, computed once when strand-agnostic matching is on.
+  std::vector<std::string> rc;
+  if (params.both_strands) {
+    rc.reserve(seqs.size());
+    for (const auto& s : seqs) rc.push_back(bio::reverse_complement(s.seq));
+  }
+
+  // 1. k-mer occurrence lists. With both_strands, keys are canonical
+  // (lexicographic min of the k-mer and its reverse complement) and each
+  // occurrence carries the strand on which the canonical form was seen.
+  struct Occurrence {
+    std::uint32_t seq;
+    std::uint32_t pos;      ///< position on the *forward* sequence
+    bool on_reverse;        ///< canonical form came from the reverse strand
+  };
+  std::unordered_map<std::string, std::vector<Occurrence>> buckets;
+  for (std::uint32_t i = 0; i < seqs.size(); ++i) {
+    const std::string& s = seqs[i].seq;
+    if (s.size() < params.kmer) continue;
+    for (std::size_t pos = 0; pos + params.kmer <= s.size(); ++pos) {
+      std::string kmer(std::string_view(s).substr(pos, params.kmer));
+      bool on_reverse = false;
+      if (params.both_strands) {
+        // RC of s[pos..pos+k) equals rc[L-k-pos .. L-pos).
+        std::string rk(std::string_view(rc[i]).substr(s.size() - params.kmer - pos,
+                                                      params.kmer));
+        if (rk < kmer) {
+          kmer = std::move(rk);
+          on_reverse = true;
+        }
+      }
+      buckets[std::move(kmer)].push_back(
+          {i, static_cast<std::uint32_t>(pos), on_reverse});
+    }
+  }
+
+  // 2. Candidate pairs with diagonal votes, split by relative orientation.
+  std::unordered_map<std::uint64_t, PairEvidence> pairs;
+  for (const auto& [kmer, occurrences] : buckets) {
+    if (occurrences.size() < 2 || occurrences.size() > params.max_kmer_occurrences) {
+      continue;
+    }
+    for (std::size_t x = 0; x < occurrences.size(); ++x) {
+      for (std::size_t y = x + 1; y < occurrences.size(); ++y) {
+        Occurrence oa = occurrences[x];
+        Occurrence ob = occurrences[y];
+        if (oa.seq == ob.seq) continue;
+        if (oa.seq > ob.seq) std::swap(oa, ob);
+        const bool flipped = oa.on_reverse != ob.on_reverse;
+        auto& ev = pairs[pair_key(oa.seq, ob.seq, flipped)];
+        ++ev.shared_kmers;
+        // Diagonal in the frame "a vs (rc-)b": with flipped, b's k-mer at
+        // forward position p sits at rc position len_b - k - p.
+        const long pb =
+            flipped ? static_cast<long>(seqs[ob.seq].seq.size()) -
+                          static_cast<long>(params.kmer) - static_cast<long>(ob.pos)
+                    : static_cast<long>(ob.pos);
+        ++ev.diagonal_votes[static_cast<long>(oa.pos) - pb];
+      }
+    }
+  }
+
+  // 3. Banded alignment + classification.
+  std::vector<Overlap> overlaps;
+  for (const auto& [key, ev] : pairs) {
+    if (ev.shared_kmers < params.min_shared_kmers) continue;
+    const bool flipped = (key >> 63) != 0;
+    const auto a = static_cast<std::size_t>((key >> 32) & 0x7fffffffULL);
+    const auto b = static_cast<std::size_t>(key & 0xffffffffULL);
+    const std::string& b_oriented = flipped ? rc[b] : seqs[b].seq;
+    const align::LocalAlignment aln = align::banded_smith_waterman_dna(
+        seqs[a].seq, b_oriented, ev.best_diagonal(), kAlignmentBand, params.match,
+        params.mismatch, params.gaps);
+    OverlapKind kind;
+    long shift = 0;
+    if (classify_overlap(aln, seqs[a].seq.size(), b_oriented.size(), params, kind,
+                         shift)) {
+      overlaps.push_back(Overlap{a, b, kind, shift, flipped, aln});
+    }
+  }
+
+  // Deterministic order: best alignments first (greedy merge order), ties
+  // broken by indices.
+  std::sort(overlaps.begin(), overlaps.end(), [](const Overlap& x, const Overlap& y) {
+    if (x.alignment.score != y.alignment.score) {
+      return x.alignment.score > y.alignment.score;
+    }
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  return overlaps;
+}
+
+}  // namespace pga::assembly

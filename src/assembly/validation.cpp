@@ -1,0 +1,116 @@
+#include "assembly/validation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "align/sw.hpp"
+#include "bio/alphabet.hpp"
+#include "common/error.hpp"
+
+namespace pga::assembly {
+
+namespace {
+
+struct Candidate {
+  std::size_t output_index;
+  bool reversed;
+  long diagonal;
+  std::size_t votes;
+};
+
+constexpr std::size_t kBand = 48;
+constexpr std::size_t kMaxCandidates = 4;
+
+}  // namespace
+
+ValidationReport validate_assembly(const bio::Transcriptome& truth,
+                                   const std::vector<bio::SeqRecord>& assembly_output,
+                                   const ValidationParams& params) {
+  if (params.kmer < 8 || params.kmer > 32) {
+    throw common::InvalidArgument("ValidationParams.kmer must be in [8,32]");
+  }
+  if (params.min_coverage <= 0 || params.min_coverage > 1.0) {
+    throw common::InvalidArgument("min_coverage must be in (0,1]");
+  }
+
+  // Index every output k-mer, both orientations.
+  struct Site {
+    std::uint32_t output;
+    std::uint32_t pos;  ///< position on the oriented sequence
+    bool reversed;
+  };
+  std::vector<std::string> oriented;  // forward then rc, per output
+  std::unordered_map<std::string_view, std::vector<Site>> index;
+  std::vector<std::string> rc_store(assembly_output.size());
+  for (std::uint32_t i = 0; i < assembly_output.size(); ++i) {
+    rc_store[i] = bio::reverse_complement(assembly_output[i].seq);
+    for (const bool reversed : {false, true}) {
+      const std::string& s = reversed ? rc_store[i] : assembly_output[i].seq;
+      if (s.size() < params.kmer) continue;
+      for (std::size_t pos = 0; pos + params.kmer <= s.size(); ++pos) {
+        index[std::string_view(s).substr(pos, params.kmer)].push_back(
+            {i, static_cast<std::uint32_t>(pos), reversed});
+      }
+    }
+  }
+
+  ValidationReport report;
+  report.genes_total = truth.genes.size();
+  double coverage_sum = 0;
+
+  for (const auto& gene : truth.genes) {
+    GeneRecovery recovery;
+    recovery.gene_id = gene.id;
+    const std::string& mrna = gene.mrna;
+
+    // Vote for (output, orientation, diagonal) triples.
+    std::map<std::tuple<std::uint32_t, bool, long>, std::size_t> votes;
+    if (mrna.size() >= params.kmer) {
+      for (std::size_t pos = 0; pos + params.kmer <= mrna.size(); ++pos) {
+        const auto it = index.find(std::string_view(mrna).substr(pos, params.kmer));
+        if (it == index.end()) continue;
+        for (const Site& site : it->second) {
+          ++votes[{site.output, site.reversed,
+                   static_cast<long>(pos) - static_cast<long>(site.pos)}];
+        }
+      }
+    }
+    std::vector<Candidate> candidates;
+    for (const auto& [key, n] : votes) {
+      candidates.push_back(
+          {std::get<0>(key), std::get<1>(key), std::get<2>(key), n});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) { return a.votes > b.votes; });
+    if (candidates.size() > kMaxCandidates) candidates.resize(kMaxCandidates);
+
+    for (const Candidate& candidate : candidates) {
+      const std::string& subject = candidate.reversed
+                                       ? rc_store[candidate.output_index]
+                                       : assembly_output[candidate.output_index].seq;
+      const auto aln = align::banded_smith_waterman_dna(mrna, subject,
+                                                        candidate.diagonal, kBand);
+      const double coverage = static_cast<double>(aln.q_end - aln.q_begin) /
+                              static_cast<double>(mrna.size());
+      if (coverage > recovery.coverage ||
+          (coverage == recovery.coverage &&
+           aln.percent_identity() > recovery.identity)) {
+        recovery.coverage = coverage;
+        recovery.identity = aln.percent_identity();
+        recovery.best_sequence = assembly_output[candidate.output_index].id;
+      }
+    }
+    recovery.recovered = recovery.coverage >= params.min_coverage &&
+                         recovery.identity >= params.min_identity;
+    if (recovery.recovered) ++report.genes_recovered;
+    coverage_sum += recovery.coverage;
+    report.genes.push_back(std::move(recovery));
+  }
+  if (report.genes_total > 0) {
+    report.mean_coverage = coverage_sum / static_cast<double>(report.genes_total);
+  }
+  return report;
+}
+
+}  // namespace pga::assembly

@@ -1,0 +1,55 @@
+// Assembly validation — the final stage of the paper's Fig. 1 pipeline.
+//
+// Given ground truth (the synthetic transcriptome's gene models), measures
+// how much of each gene's mRNA is recovered by the assembled output: a
+// gene is "recovered" when one output sequence covers at least
+// `min_coverage` of its mRNA at `min_identity` percent identity (either
+// orientation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "bio/transcriptome.hpp"
+
+namespace pga::assembly {
+
+/// Validation thresholds.
+struct ValidationParams {
+  double min_identity = 95.0;   ///< percent identity of the aligned region
+  double min_coverage = 0.90;   ///< fraction of the mRNA that must align
+  std::size_t kmer = 16;        ///< anchor size for candidate pairing
+};
+
+/// Per-gene outcome.
+struct GeneRecovery {
+  std::string gene_id;
+  std::string best_sequence;  ///< output record that covers the gene best
+  double coverage = 0;        ///< aligned fraction of the mRNA [0,1]
+  double identity = 0;        ///< percent identity of that alignment
+  bool recovered = false;
+};
+
+/// Whole-assembly validation summary.
+struct ValidationReport {
+  std::size_t genes_total = 0;
+  std::size_t genes_recovered = 0;
+  double mean_coverage = 0;  ///< mean over all genes
+  std::vector<GeneRecovery> genes;
+
+  [[nodiscard]] double recovery_rate() const {
+    return genes_total == 0
+               ? 0.0
+               : static_cast<double>(genes_recovered) / static_cast<double>(genes_total);
+  }
+};
+
+/// Validates `assembly_output` (contigs + singlets) against the
+/// transcriptome's gene models. Both orientations of each output sequence
+/// are considered.
+ValidationReport validate_assembly(const bio::Transcriptome& truth,
+                                   const std::vector<bio::SeqRecord>& assembly_output,
+                                   const ValidationParams& params = {});
+
+}  // namespace pga::assembly

@@ -1,0 +1,135 @@
+#include "b2c3/cluster.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+namespace pga::b2c3 {
+
+std::size_t ClusterSet::total_transcripts() const {
+  std::size_t total = 0;
+  for (const auto& c : clusters) total += c.transcripts.size();
+  return total;
+}
+
+std::size_t ClusterSet::largest_cluster() const {
+  std::size_t largest = 0;
+  for (const auto& c : clusters) largest = std::max(largest, c.transcripts.size());
+  return largest;
+}
+
+ClusterSet cluster_by_best_hit(const std::vector<align::TabularHit>& hits) {
+  // Best hit per transcript.
+  std::unordered_map<std::string, const align::TabularHit*> best;
+  for (const auto& hit : hits) {
+    auto [it, inserted] = best.try_emplace(hit.qseqid, &hit);
+    if (inserted) continue;
+    const align::TabularHit* cur = it->second;
+    const bool better = hit.bitscore > cur->bitscore ||
+                        (hit.bitscore == cur->bitscore &&
+                         (hit.evalue < cur->evalue ||
+                          (hit.evalue == cur->evalue && hit.sseqid < cur->sseqid)));
+    if (better) it->second = &hit;
+  }
+
+  // Bucket transcripts by winning protein; ordered map gives deterministic
+  // cluster order.
+  std::map<std::string, std::vector<std::string>> by_protein;
+  for (const auto& [transcript, hit] : best) {
+    by_protein[hit->sseqid].push_back(transcript);
+  }
+
+  ClusterSet set;
+  set.clusters.reserve(by_protein.size());
+  for (auto& [protein, transcripts] : by_protein) {
+    std::sort(transcripts.begin(), transcripts.end());
+    transcripts.erase(std::unique(transcripts.begin(), transcripts.end()),
+                      transcripts.end());
+    set.clusters.push_back({protein, std::move(transcripts)});
+  }
+  return set;
+}
+
+namespace {
+
+/// Plain union-find over dense indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ClusterSet cluster_hits(const std::vector<align::TabularHit>& hits,
+                        ClusterPolicy policy) {
+  return policy == ClusterPolicy::kBestHit ? cluster_by_best_hit(hits)
+                                           : cluster_by_shared_hit(hits);
+}
+
+ClusterSet cluster_by_shared_hit(const std::vector<align::TabularHit>& hits) {
+  // Dense-index the transcripts and proteins.
+  std::map<std::string, std::size_t> transcript_index;   // ordered: determinism
+  std::unordered_map<std::string, std::size_t> protein_index;
+  for (const auto& hit : hits) {
+    transcript_index.try_emplace(hit.qseqid, 0);
+    protein_index.try_emplace(hit.sseqid, 0);
+  }
+  std::vector<std::string> transcripts;
+  transcripts.reserve(transcript_index.size());
+  for (auto& [id, idx] : transcript_index) {
+    idx = transcripts.size();
+    transcripts.push_back(id);
+  }
+
+  // Union transcripts through their proteins: link every transcript of a
+  // protein to the protein's first-seen transcript.
+  UnionFind uf(transcripts.size());
+  std::unordered_map<std::string, std::size_t> protein_anchor;
+  for (const auto& hit : hits) {
+    const std::size_t t = transcript_index.at(hit.qseqid);
+    const auto [it, inserted] = protein_anchor.try_emplace(hit.sseqid, t);
+    if (!inserted) uf.unite(t, it->second);
+  }
+
+  // Components -> clusters; label by smallest protein id in the component.
+  std::map<std::size_t, std::set<std::string>> members;       // root -> ids
+  for (const auto& [id, idx] : transcript_index) {
+    members[uf.find(idx)].insert(id);
+  }
+  std::map<std::size_t, std::string> label;  // root -> min protein id
+  for (const auto& hit : hits) {
+    const std::size_t root = uf.find(transcript_index.at(hit.qseqid));
+    auto [it, inserted] = label.try_emplace(root, hit.sseqid);
+    if (!inserted && hit.sseqid < it->second) it->second = hit.sseqid;
+  }
+
+  // Order clusters by label for a deterministic result.
+  std::map<std::string, ProteinCluster> ordered;
+  for (const auto& [root, ids] : members) {
+    ProteinCluster cluster;
+    cluster.protein_id = label.at(root);
+    cluster.transcripts.assign(ids.begin(), ids.end());
+    ordered.emplace(cluster.protein_id, std::move(cluster));
+  }
+  ClusterSet set;
+  set.clusters.reserve(ordered.size());
+  for (auto& [key, cluster] : ordered) set.clusters.push_back(std::move(cluster));
+  return set;
+}
+
+}  // namespace pga::b2c3

@@ -1,0 +1,58 @@
+// Protein-guided clustering: the heart of blast2cap3.
+//
+// Transcripts sharing a common BLASTX protein hit form a cluster; each
+// cluster is assembled independently with CAP3. Assigning every transcript
+// to its best-scoring protein makes the clusters a partition, which is what
+// lets the paper's workflow run the per-cluster CAP3 tasks in parallel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "align/tabular.hpp"
+
+namespace pga::b2c3 {
+
+/// One cluster: the shared protein and its hit transcripts.
+struct ProteinCluster {
+  std::string protein_id;
+  std::vector<std::string> transcripts;  ///< sorted, unique
+};
+
+/// All clusters, sorted by protein id. Transcripts without any hit do not
+/// appear (the caller folds them into the "unjoined" output).
+struct ClusterSet {
+  std::vector<ProteinCluster> clusters;
+
+  [[nodiscard]] std::size_t total_transcripts() const;
+  /// Size of the largest cluster — the straggler that dominates coarse
+  /// splits in the paper's n-sweep.
+  [[nodiscard]] std::size_t largest_cluster() const;
+};
+
+/// Groups transcripts by the subject of their best hit (highest bit score;
+/// ties by lower E-value then lexicographic subject id). The result is a
+/// partition of the hit-bearing transcripts.
+ClusterSet cluster_by_best_hit(const std::vector<align::TabularHit>& hits);
+
+/// Which clustering rule blast2cap3 applies.
+enum class ClusterPolicy {
+  kBestHit,    ///< each transcript joins its best-scoring protein's cluster
+  kSharedHit,  ///< connected components over any shared protein hit
+               ///< (Buffalo's original script)
+};
+
+/// Dispatches on `policy`.
+ClusterSet cluster_hits(const std::vector<align::TabularHit>& hits,
+                        ClusterPolicy policy);
+
+/// Groups transcripts into connected components where two transcripts are
+/// linked whenever they share *any* protein hit — the policy of Buffalo's
+/// original blast2cap3 script ("transcripts sharing a common protein hit
+/// are merged", §II). Components are still a partition, but coarser than
+/// best-hit clustering: a multi-domain transcript bridges its proteins'
+/// clusters. Each component is labelled by its lexicographically smallest
+/// protein id.
+ClusterSet cluster_by_shared_hit(const std::vector<align::TabularHit>& hits);
+
+}  // namespace pga::b2c3

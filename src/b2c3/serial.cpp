@@ -1,0 +1,50 @@
+#include "b2c3/serial.hpp"
+
+#include "align/tabular.hpp"
+#include "b2c3/cluster.hpp"
+#include "b2c3/tasks.hpp"
+#include "common/stopwatch.hpp"
+
+namespace pga::b2c3 {
+
+namespace fs = std::filesystem;
+
+SerialReport run_serial(const fs::path& transcripts_fasta,
+                        const fs::path& alignments_out, const fs::path& output_fasta,
+                        const fs::path& work_dir,
+                        const assembly::AssemblyOptions& options,
+                        ClusterPolicy policy) {
+  const common::Stopwatch watch;
+  SerialReport report;
+
+  // Step 1: build the transcript dict and the validated hit list — the
+  // same preparation the workflow's create-list tasks perform.
+  const fs::path dict = work_dir / "transcripts_dict.txt";
+  const fs::path list = work_dir / "alignments_list.txt";
+  report.transcripts = make_transcript_dict(transcripts_fasta, dict);
+  report.hits = make_alignment_list(alignments_out, list);
+
+  // Step 2: one cluster at a time through CAP3 (n = 1 chunk).
+  const fs::path joined = work_dir / "joined.fasta";
+  const fs::path members = work_dir / "members.txt";
+  const auto chunk_report =
+      run_cap3_chunk(dict, list, joined, members, "serial", options, policy);
+  report.clusters = chunk_report.clusters;
+  report.contigs = chunk_report.contigs;
+  report.joined_transcripts = chunk_report.joined_transcripts;
+
+  {
+    const auto hits = align::read_tabular_file(list);
+    report.largest_cluster = cluster_hits(hits, policy).largest_cluster();
+  }
+
+  // Step 3: unjoined transcripts + final concatenation.
+  const fs::path unjoined = work_dir / "unjoined.fasta";
+  report.unjoined = find_unjoined(dict, {members}, unjoined);
+  report.output_records = concat_final(joined, unjoined, output_fasta);
+
+  report.wall_seconds = watch.seconds();
+  return report;
+}
+
+}  // namespace pga::b2c3

@@ -1,0 +1,37 @@
+// The serial blast2cap3 baseline — the "current implementation" the paper
+// compares against (Buffalo's Python script): cluster transcripts by shared
+// protein hit, then run CAP3 on one cluster at a time, consecutively.
+#pragma once
+
+#include <filesystem>
+
+#include "assembly/cap3.hpp"
+#include "b2c3/cluster.hpp"
+
+namespace pga::b2c3 {
+
+/// Counts from one serial run.
+struct SerialReport {
+  std::size_t transcripts = 0;       ///< input transcripts
+  std::size_t hits = 0;              ///< input alignment records
+  std::size_t clusters = 0;          ///< protein clusters processed
+  std::size_t largest_cluster = 0;   ///< transcripts in the biggest cluster
+  std::size_t contigs = 0;           ///< joined contigs written
+  std::size_t joined_transcripts = 0;
+  std::size_t unjoined = 0;          ///< transcripts passed through unmerged
+  std::size_t output_records = 0;    ///< final FASTA record count
+  double wall_seconds = 0;           ///< measured wall time of the run
+};
+
+/// Runs serial blast2cap3: reads `transcripts_fasta` and `alignments_out`,
+/// writes the merged assembly to `output_fasta`. Intermediate files go to
+/// `work_dir` (which must exist). Every cluster is assembled in sequence —
+/// deliberately no parallelism, to serve as the baseline.
+SerialReport run_serial(const std::filesystem::path& transcripts_fasta,
+                        const std::filesystem::path& alignments_out,
+                        const std::filesystem::path& output_fasta,
+                        const std::filesystem::path& work_dir,
+                        const assembly::AssemblyOptions& options = {},
+                        ClusterPolicy policy = ClusterPolicy::kBestHit);
+
+}  // namespace pga::b2c3

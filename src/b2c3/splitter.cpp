@@ -1,0 +1,124 @@
+#include "b2c3/splitter.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "b2c3/cluster.hpp"
+#include "common/error.hpp"
+
+namespace pga::b2c3 {
+
+std::vector<std::size_t> plan_split(const std::vector<align::TabularHit>& hits,
+                                    std::size_t n,
+                                    std::vector<std::string>& protein_order) {
+  if (n == 0) throw common::InvalidArgument("split: n must be >= 1");
+
+  protein_order.clear();
+  std::unordered_map<std::string, std::size_t> weight;  // protein -> hit count
+  for (const auto& hit : hits) {
+    auto [it, inserted] = weight.try_emplace(hit.sseqid, 0);
+    if (inserted) protein_order.push_back(hit.sseqid);
+    ++it->second;
+  }
+
+  // Greedy largest-first into the least-loaded chunk. Sort proteins by
+  // descending weight (ties by id for determinism).
+  std::vector<std::string> by_weight = protein_order;
+  std::sort(by_weight.begin(), by_weight.end(),
+            [&](const std::string& a, const std::string& b) {
+              if (weight[a] != weight[b]) return weight[a] > weight[b];
+              return a < b;
+            });
+
+  using Load = std::pair<std::size_t, std::size_t>;  // (load, chunk index)
+  std::priority_queue<Load, std::vector<Load>, std::greater<>> chunks;
+  for (std::size_t i = 0; i < n; ++i) chunks.push({0, i});
+
+  std::unordered_map<std::string, std::size_t> assignment;
+  for (const auto& protein : by_weight) {
+    auto [load, chunk] = chunks.top();
+    chunks.pop();
+    assignment[protein] = chunk;
+    chunks.push({load + weight[protein], chunk});
+  }
+
+  std::vector<std::size_t> result;
+  result.reserve(protein_order.size());
+  for (const auto& protein : protein_order) result.push_back(assignment[protein]);
+  return result;
+}
+
+std::vector<std::vector<align::TabularHit>> split_hits(
+    const std::vector<align::TabularHit>& hits, std::size_t n) {
+  std::vector<std::string> order;
+  const auto plan = plan_split(hits, n, order);
+  std::unordered_map<std::string, std::size_t> chunk_of;
+  for (std::size_t i = 0; i < order.size(); ++i) chunk_of[order[i]] = plan[i];
+
+  std::vector<std::vector<align::TabularHit>> chunks(n);
+  for (const auto& hit : hits) chunks[chunk_of.at(hit.sseqid)].push_back(hit);
+  return chunks;
+}
+
+std::vector<std::vector<align::TabularHit>> split_hits_component_atomic(
+    const std::vector<align::TabularHit>& hits, std::size_t n) {
+  if (n == 0) throw common::InvalidArgument("split: n must be >= 1");
+  // Components from the shared-hit clustering: transcript -> component label.
+  const ClusterSet components = cluster_by_shared_hit(hits);
+  std::unordered_map<std::string, std::size_t> component_of_transcript;
+  std::vector<std::size_t> component_weight(components.clusters.size(), 0);
+  for (std::size_t c = 0; c < components.clusters.size(); ++c) {
+    for (const auto& t : components.clusters[c].transcripts) {
+      component_of_transcript.emplace(t, c);
+    }
+  }
+  for (const auto& hit : hits) {
+    ++component_weight[component_of_transcript.at(hit.qseqid)];
+  }
+
+  // Greedy largest-first over components.
+  std::vector<std::size_t> order(components.clusters.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (component_weight[a] != component_weight[b]) {
+      return component_weight[a] > component_weight[b];
+    }
+    return components.clusters[a].protein_id < components.clusters[b].protein_id;
+  });
+  using Load = std::pair<std::size_t, std::size_t>;
+  std::priority_queue<Load, std::vector<Load>, std::greater<>> chunk_loads;
+  for (std::size_t i = 0; i < n; ++i) chunk_loads.push({0, i});
+  std::vector<std::size_t> chunk_of_component(components.clusters.size());
+  for (const std::size_t c : order) {
+    auto [load, chunk] = chunk_loads.top();
+    chunk_loads.pop();
+    chunk_of_component[c] = chunk;
+    chunk_loads.push({load + component_weight[c], chunk});
+  }
+
+  std::vector<std::vector<align::TabularHit>> chunks(n);
+  for (const auto& hit : hits) {
+    chunks[chunk_of_component[component_of_transcript.at(hit.qseqid)]].push_back(hit);
+  }
+  return chunks;
+}
+
+std::vector<std::filesystem::path> split_alignment_file(
+    const std::filesystem::path& alignments, const std::filesystem::path& out_dir,
+    std::size_t n, const std::string& prefix, ClusterPolicy policy) {
+  const auto hits = align::read_tabular_file(alignments);
+  const auto chunks = policy == ClusterPolicy::kBestHit
+                          ? split_hits(hits, n)
+                          : split_hits_component_atomic(hits, n);
+  std::vector<std::filesystem::path> paths;
+  paths.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto path = out_dir / (prefix + "_" + std::to_string(i) + ".txt");
+    align::write_tabular_file(path, chunks[i]);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace pga::b2c3

@@ -1,0 +1,48 @@
+// The split(n) stage of the blast2cap3 workflow (Fig. 2/3): divide the
+// alignment table into n chunks, keeping every protein's hits in a single
+// chunk so per-chunk clustering is exact.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "align/tabular.hpp"
+#include "b2c3/cluster.hpp"
+
+namespace pga::b2c3 {
+
+/// Assigns protein groups to `n` chunks, balancing total hit counts with a
+/// greedy largest-first bin packing. Returns chunk index per protein in
+/// the order of first appearance; `protein_order` receives that order.
+std::vector<std::size_t> plan_split(const std::vector<align::TabularHit>& hits,
+                                    std::size_t n,
+                                    std::vector<std::string>& protein_order);
+
+/// Splits `hits` into n hit vectors (chunk -> hits), protein-atomically and
+/// load-balanced. Chunks may be empty when n exceeds the protein count.
+/// Correct for the best-hit clustering policy, where clusters never span
+/// proteins.
+std::vector<std::vector<align::TabularHit>> split_hits(
+    const std::vector<align::TabularHit>& hits, std::size_t n);
+
+/// Component-atomic split for the *shared-hit* clustering policy: proteins
+/// connected through a common transcript land in the same chunk, so
+/// per-chunk cluster_by_shared_hit() equals whole-input clustering. Coarser
+/// balance than split_hits when components are large.
+std::vector<std::vector<align::TabularHit>> split_hits_component_atomic(
+    const std::vector<align::TabularHit>& hits, std::size_t n);
+
+/// File-level split: reads a tabular alignment file and writes
+/// `<out_dir>/<prefix>_<i>.txt` for i in [0, n). Returns the written paths
+/// (always exactly n files; empty chunks produce empty files, mirroring the
+/// fixed task fan-out of the workflow DAG). The split is protein-atomic
+/// for kBestHit and component-atomic for kSharedHit, so per-chunk
+/// clustering under `policy` is always exact.
+std::vector<std::filesystem::path> split_alignment_file(
+    const std::filesystem::path& alignments, const std::filesystem::path& out_dir,
+    std::size_t n, const std::string& prefix = "protein",
+    ClusterPolicy policy = ClusterPolicy::kBestHit);
+
+}  // namespace pga::b2c3

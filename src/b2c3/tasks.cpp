@@ -1,0 +1,153 @@
+#include "b2c3/tasks.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "align/tabular.hpp"
+#include "b2c3/cluster.hpp"
+#include "bio/fasta.hpp"
+#include "common/error.hpp"
+#include "common/fsutil.hpp"
+#include "common/strings.hpp"
+
+namespace pga::b2c3 {
+
+namespace fs = std::filesystem;
+
+std::size_t make_transcript_dict(const fs::path& fasta_in, const fs::path& dict_out) {
+  std::ifstream in(fasta_in);
+  if (!in) throw common::IoError("cannot open " + fasta_in.string());
+  std::ofstream out(dict_out);
+  if (!out) throw common::IoError("cannot write " + dict_out.string());
+  bio::FastaReader reader(in);
+  std::size_t count = 0;
+  while (auto rec = reader.next()) {
+    out << rec->id << '\t' << rec->seq << '\n';
+    ++count;
+  }
+  if (!out) throw common::IoError("short write to " + dict_out.string());
+  return count;
+}
+
+std::vector<bio::SeqRecord> read_transcript_dict(const fs::path& dict) {
+  std::vector<bio::SeqRecord> records;
+  for (const auto& line : common::read_lines(dict)) {
+    if (line.empty()) continue;
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0) {
+      throw common::ParseError("bad transcript dict line: " + line);
+    }
+    records.push_back({line.substr(0, tab), "", line.substr(tab + 1)});
+  }
+  return records;
+}
+
+std::size_t make_alignment_list(const fs::path& tabular_in, const fs::path& list_out) {
+  const auto hits = align::read_tabular_file(tabular_in);  // validates
+  align::write_tabular_file(list_out, hits);
+  return hits.size();
+}
+
+Cap3ChunkReport run_cap3_chunk(const fs::path& dict_path, const fs::path& chunk_path,
+                               const fs::path& joined_out, const fs::path& members_out,
+                               const std::string& chunk_tag,
+                               const assembly::AssemblyOptions& options,
+                               ClusterPolicy policy) {
+  Cap3ChunkReport report;
+
+  const auto transcripts = read_transcript_dict(dict_path);
+  std::unordered_map<std::string, const bio::SeqRecord*> by_id;
+  by_id.reserve(transcripts.size());
+  for (const auto& t : transcripts) by_id.emplace(t.id, &t);
+
+  const auto hits = align::read_tabular_file(chunk_path);
+  const ClusterSet set = cluster_hits(hits, policy);
+  report.clusters = set.clusters.size();
+
+  std::vector<bio::SeqRecord> joined;
+  std::ostringstream members;
+  std::size_t contig_counter = 1;
+  for (const auto& cluster : set.clusters) {
+    std::vector<bio::SeqRecord> seqs;
+    seqs.reserve(cluster.transcripts.size());
+    for (const auto& tid : cluster.transcripts) {
+      const auto it = by_id.find(tid);
+      if (it == by_id.end()) {
+        throw common::WorkflowError("chunk references unknown transcript " + tid);
+      }
+      seqs.push_back(*it->second);
+    }
+    report.transcripts += seqs.size();
+    if (seqs.size() < 2) continue;  // nothing to merge for singleton clusters
+
+    assembly::AssemblyOptions per_cluster = options;
+    per_cluster.prefix = chunk_tag + ".Contig";
+    const auto result = assembly::assemble_with_overlaps(
+        seqs, assembly::find_overlaps(seqs, per_cluster.overlap), per_cluster);
+    for (const auto& contig : result.contigs) {
+      bio::SeqRecord rec;
+      rec.id = chunk_tag + ".Contig" + std::to_string(contig_counter++);
+      rec.description = "protein=" + cluster.protein_id;
+      rec.seq = contig.consensus;
+      members << rec.id << '\t' << common::join(contig.members, ",") << '\n';
+      report.joined_transcripts += contig.members.size();
+      joined.push_back(std::move(rec));
+    }
+  }
+  report.contigs = joined.size();
+
+  bio::write_fasta_file(joined_out, joined);
+  common::write_file(members_out, members.str());
+  return report;
+}
+
+std::size_t merge_joined(const std::vector<fs::path>& joined_ins,
+                         const fs::path& joined_out) {
+  std::vector<bio::SeqRecord> all;
+  for (const auto& path : joined_ins) {
+    auto records = bio::read_fasta_file(path);
+    all.insert(all.end(), std::make_move_iterator(records.begin()),
+               std::make_move_iterator(records.end()));
+  }
+  bio::write_fasta_file(joined_out, all);
+  return all.size();
+}
+
+std::size_t find_unjoined(const fs::path& dict_path,
+                          const std::vector<fs::path>& members_ins,
+                          const fs::path& unjoined_out) {
+  std::unordered_set<std::string> joined_ids;
+  for (const auto& path : members_ins) {
+    for (const auto& line : common::read_lines(path)) {
+      if (line.empty()) continue;
+      const auto tab = line.find('\t');
+      if (tab == std::string::npos) {
+        throw common::ParseError("bad members line: " + line);
+      }
+      for (const auto& id : common::split(line.substr(tab + 1), ',')) {
+        if (!id.empty()) joined_ids.insert(id);
+      }
+    }
+  }
+
+  std::vector<bio::SeqRecord> unjoined;
+  for (auto& rec : read_transcript_dict(dict_path)) {
+    if (!joined_ids.count(rec.id)) unjoined.push_back(std::move(rec));
+  }
+  bio::write_fasta_file(unjoined_out, unjoined);
+  return unjoined.size();
+}
+
+std::size_t concat_final(const fs::path& joined, const fs::path& unjoined,
+                         const fs::path& final_out) {
+  auto records = bio::read_fasta_file(joined);
+  auto rest = bio::read_fasta_file(unjoined);
+  records.insert(records.end(), std::make_move_iterator(rest.begin()),
+                 std::make_move_iterator(rest.end()));
+  bio::write_fasta_file(final_out, records);
+  return records.size();
+}
+
+}  // namespace pga::b2c3

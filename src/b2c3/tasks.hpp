@@ -1,0 +1,73 @@
+// File-level blast2cap3 tasks.
+//
+// Each function is one node of the workflow DAG in Fig. 2/3 of the paper:
+// it reads input files from a workspace, does its work, and writes output
+// files. The same functions back the serial driver, the thread-pool
+// ("local universe") workflow execution, and the examples — there is a
+// single implementation of each step.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "assembly/cap3.hpp"
+#include "b2c3/cluster.hpp"
+
+namespace pga::b2c3 {
+
+/// create_transcripts_list(): FASTA -> "transcripts_dict.txt", one
+/// `id<TAB>sequence` line per transcript (the lookup every run_cap3 task
+/// loads). Returns the number of transcripts written.
+std::size_t make_transcript_dict(const std::filesystem::path& fasta_in,
+                                 const std::filesystem::path& dict_out);
+
+/// Loads a transcripts_dict.txt back into records.
+std::vector<bio::SeqRecord> read_transcript_dict(const std::filesystem::path& dict);
+
+/// create_alignments_list(): validates/normalizes the BLASTX tabular file
+/// (drops comments/blank lines, verifies 12 columns). Returns hit count.
+std::size_t make_alignment_list(const std::filesystem::path& tabular_in,
+                                const std::filesystem::path& list_out);
+
+/// Outcome of one run_cap3() task.
+struct Cap3ChunkReport {
+  std::size_t clusters = 0;            ///< protein clusters in this chunk
+  std::size_t transcripts = 0;         ///< transcripts clustered in this chunk
+  std::size_t contigs = 0;             ///< joined contigs produced
+  std::size_t joined_transcripts = 0;  ///< members absorbed into contigs
+};
+
+/// run_cap3(): loads the transcript dict and one protein chunk, clusters
+/// transcripts by best hit within the chunk, assembles each cluster with
+/// the CAP3-like assembler, writes:
+///  * `joined_out`  — FASTA of contigs, ids "<chunk_tag>.Contig<k>"
+///  * `members_out` — one line per contig: "<contig_id>\t<m1>,<m2>,..."
+Cap3ChunkReport run_cap3_chunk(const std::filesystem::path& dict_path,
+                               const std::filesystem::path& chunk_path,
+                               const std::filesystem::path& joined_out,
+                               const std::filesystem::path& members_out,
+                               const std::string& chunk_tag,
+                               const assembly::AssemblyOptions& options = {},
+                               ClusterPolicy policy = ClusterPolicy::kBestHit);
+
+/// merge_joined(): concatenates the per-chunk joined FASTAs. Returns the
+/// number of contigs in the merged file.
+std::size_t merge_joined(const std::vector<std::filesystem::path>& joined_ins,
+                         const std::filesystem::path& joined_out);
+
+/// find_unjoined(): transcripts in the dict that were absorbed into no
+/// contig (per the members files) are written out verbatim. Returns their
+/// count. This also captures transcripts that had no BLASTX hit at all.
+std::size_t find_unjoined(const std::filesystem::path& dict_path,
+                          const std::vector<std::filesystem::path>& members_ins,
+                          const std::filesystem::path& unjoined_out);
+
+/// final merge: joined contigs + unjoined transcripts -> the assembly
+/// output FASTA. Returns total records written.
+std::size_t concat_final(const std::filesystem::path& joined,
+                         const std::filesystem::path& unjoined,
+                         const std::filesystem::path& final_out);
+
+}  // namespace pga::b2c3

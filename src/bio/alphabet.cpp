@@ -1,0 +1,94 @@
+#include "bio/alphabet.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace pga::bio {
+
+namespace {
+
+constexpr std::array<int, 26> make_amino_lookup() {
+  std::array<int, 26> table{};
+  for (auto& t : table) t = -1;
+  for (int i = 0; i < static_cast<int>(kAminoAcids.size()); ++i) {
+    table[static_cast<std::size_t>(kAminoAcids[static_cast<std::size_t>(i)] - 'A')] = i;
+  }
+  return table;
+}
+
+constexpr std::array<int, 26> kAminoLookup = make_amino_lookup();
+
+}  // namespace
+
+bool is_dna_base(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A': case 'C': case 'G': case 'T': return true;
+    default: return false;
+  }
+}
+
+bool is_dna_base_or_n(char c) {
+  return is_dna_base(c) || std::toupper(static_cast<unsigned char>(c)) == 'N';
+}
+
+bool is_amino_acid(char c) {
+  const char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  if (u == '*' || u == 'X') return true;
+  return u >= 'A' && u <= 'Z' && kAminoLookup[static_cast<std::size_t>(u - 'A')] >= 0;
+}
+
+bool is_dna(std::string_view seq) {
+  for (const char c : seq) {
+    if (!is_dna_base_or_n(c)) return false;
+  }
+  return true;
+}
+
+bool is_protein(std::string_view seq) {
+  for (const char c : seq) {
+    if (!is_amino_acid(c)) return false;
+  }
+  return true;
+}
+
+char complement(char base) {
+  const bool lower = std::islower(static_cast<unsigned char>(base));
+  char out;
+  switch (std::toupper(static_cast<unsigned char>(base))) {
+    case 'A': out = 'T'; break;
+    case 'C': out = 'G'; break;
+    case 'G': out = 'C'; break;
+    case 'T': out = 'A'; break;
+    case 'N': out = 'N'; break;
+    default:
+      throw common::InvalidArgument(std::string("complement of non-base '") + base + "'");
+  }
+  return lower ? static_cast<char>(std::tolower(static_cast<unsigned char>(out))) : out;
+}
+
+std::string reverse_complement(std::string_view seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (auto it = seq.rbegin(); it != seq.rend(); ++it) out.push_back(complement(*it));
+  return out;
+}
+
+int base_index(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'G': return 2;
+    case 'T': return 3;
+    default: return -1;
+  }
+}
+
+int amino_index(char c) {
+  const char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  if (u < 'A' || u > 'Z') return -1;
+  return kAminoLookup[static_cast<std::size_t>(u - 'A')];
+}
+
+}  // namespace pga::bio

@@ -1,0 +1,44 @@
+// Nucleotide and amino-acid alphabets.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pga::bio {
+
+/// The 20 standard amino acids in a fixed canonical order (ARNDCQEGHILKMFPSTWYV).
+inline constexpr std::string_view kAminoAcids = "ARNDCQEGHILKMFPSTWYV";
+
+/// The 4 DNA bases in canonical order.
+inline constexpr std::string_view kBases = "ACGT";
+
+/// True for A/C/G/T (upper or lower case).
+bool is_dna_base(char c);
+
+/// True for A/C/G/T/N (N = ambiguous), either case.
+bool is_dna_base_or_n(char c);
+
+/// True for one of the 20 standard amino acids or '*' (stop) or 'X'
+/// (unknown), either case.
+bool is_amino_acid(char c);
+
+/// True if every character of `seq` satisfies is_dna_base_or_n.
+bool is_dna(std::string_view seq);
+
+/// True if every character of `seq` satisfies is_amino_acid.
+bool is_protein(std::string_view seq);
+
+/// Watson–Crick complement of one base. N maps to N. Preserves case.
+/// Throws InvalidArgument for non-bases.
+char complement(char base);
+
+/// Reverse complement of a DNA string.
+std::string reverse_complement(std::string_view seq);
+
+/// Index of a base in kBases (A=0..T=3); -1 for anything else (incl. N).
+int base_index(char c);
+
+/// Index of an amino acid in kAminoAcids; -1 for anything else.
+int amino_index(char c);
+
+}  // namespace pga::bio

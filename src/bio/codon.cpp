@@ -1,0 +1,142 @@
+#include "bio/codon.hpp"
+
+#include <array>
+#include <cctype>
+#include <map>
+
+#include "bio/alphabet.hpp"
+#include "common/error.hpp"
+
+namespace pga::bio {
+
+namespace {
+
+// Standard genetic code indexed by base indices (A=0,C=1,G=2,T=3):
+// index = a*16 + b*4 + c.
+constexpr std::array<char, 64> build_code() {
+  std::array<char, 64> code{};
+  const char* aas =
+      // AAA AAC AAG AAT  ACA ACC ACG ACT  AGA AGC AGG AGT  ATA ATC ATG ATT
+      "KNKN" "TTTT" "RSRS" "IIMI"
+      // CAA CAC CAG CAT  CCA CCC CCG CCT  CGA CGC CGG CGT  CTA CTC CTG CTT
+      "QHQH" "PPPP" "RRRR" "LLLL"
+      // GAA GAC GAG GAT  GCA GCC GCG GCT  GGA GGC GGG GGT  GTA GTC GTG GTT
+      "EDED" "AAAA" "GGGG" "VVVV"
+      // TAA TAC TAG TAT  TCA TCC TCG TCT  TGA TGC TGG TGT  TTA TTC TTG TTT
+      "*Y*Y" "SSSS" "*CWC" "LFLF";
+  // The string above is laid out with second base varying per 4-block and
+  // third base varying fastest — i.e. exactly index = a*16 + b*4 + c where
+  // the literal is ordered A,C,G,T for every position.
+  for (int i = 0; i < 64; ++i) code[static_cast<std::size_t>(i)] = aas[i];
+  return code;
+}
+
+constexpr std::array<char, 64> kCode = build_code();
+
+}  // namespace
+
+char translate_codon(std::string_view codon) {
+  if (codon.size() != 3) {
+    throw common::InvalidArgument("translate_codon: need exactly 3 bases");
+  }
+  int index = 0;
+  for (const char c : codon) {
+    const int b = base_index(c);
+    if (b < 0) return 'X';  // ambiguous base -> unknown residue
+    index = index * 4 + b;
+  }
+  return kCode[static_cast<std::size_t>(index)];
+}
+
+std::string translate(std::string_view dna, int frame) {
+  if (frame < 0 || frame > 2) {
+    throw common::InvalidArgument("translate: frame must be 0, 1 or 2");
+  }
+  std::string protein;
+  if (dna.size() < static_cast<std::size_t>(frame) + 3) return protein;
+  protein.reserve((dna.size() - static_cast<std::size_t>(frame)) / 3);
+  for (std::size_t i = static_cast<std::size_t>(frame); i + 3 <= dna.size(); i += 3) {
+    protein.push_back(translate_codon(dna.substr(i, 3)));
+  }
+  return protein;
+}
+
+std::vector<FrameTranslation> six_frame_translate(std::string_view dna) {
+  std::vector<FrameTranslation> frames;
+  frames.reserve(6);
+  for (int f = 0; f < 3; ++f) {
+    frames.push_back({f + 1, translate(dna, f)});
+  }
+  const std::string rc = reverse_complement(dna);
+  for (int f = 0; f < 3; ++f) {
+    frames.push_back({-(f + 1), translate(rc, f)});
+  }
+  return frames;
+}
+
+std::size_t frame_to_forward_offset(int frame, std::size_t codon_index,
+                                    std::size_t dna_length) {
+  if (frame == 0 || frame > 3 || frame < -3) {
+    throw common::InvalidArgument("frame must be in {+-1,+-2,+-3}");
+  }
+  if (frame > 0) {
+    return static_cast<std::size_t>(frame - 1) + 3 * codon_index;
+  }
+  // Reverse frames index into the reverse complement; map back.
+  const std::size_t rc_offset = static_cast<std::size_t>(-frame - 1) + 3 * codon_index;
+  // The codon occupies rc positions [rc_offset, rc_offset+2]; its last base
+  // on the forward strand is dna_length - 1 - (rc_offset + 2).
+  if (rc_offset + 3 > dna_length) {
+    throw common::InvalidArgument("codon_index out of range for reverse frame");
+  }
+  return dna_length - 3 - rc_offset;
+}
+
+namespace {
+
+const std::map<char, std::vector<std::string>>& codons_by_amino() {
+  static const std::map<char, std::vector<std::string>> table = [] {
+    std::map<char, std::vector<std::string>> t;
+    const char* bases = "ACGT";
+    for (int a = 0; a < 4; ++a) {
+      for (int b = 0; b < 4; ++b) {
+        for (int c = 0; c < 4; ++c) {
+          const std::string codon{bases[a], bases[b], bases[c]};
+          t[kCode[static_cast<std::size_t>(a * 16 + b * 4 + c)]].push_back(codon);
+        }
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::string random_codon_for(char amino, common::Rng& rng) {
+  const char u = static_cast<char>(std::toupper(static_cast<unsigned char>(amino)));
+  if (u == 'X') {
+    // Any non-stop codon.
+    while (true) {
+      const std::string codon{kBases[rng.below(4)], kBases[rng.below(4)],
+                              kBases[rng.below(4)]};
+      if (translate_codon(codon) != '*') return codon;
+    }
+  }
+  const auto& table = codons_by_amino();
+  const auto it = table.find(u);
+  if (it == table.end()) {
+    throw common::InvalidArgument(std::string("no codon for amino acid '") + amino + "'");
+  }
+  const auto& options = it->second;
+  return options[rng.below(options.size())];
+}
+
+std::string reverse_translate(std::string_view protein, common::Rng& rng) {
+  std::string dna;
+  dna.reserve(protein.size() * 3);
+  for (const char aa : protein) dna += random_codon_for(aa, rng);
+  return dna;
+}
+
+}  // namespace pga::bio

@@ -1,0 +1,45 @@
+// The standard genetic code: translation and reverse translation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pga::bio {
+
+/// Translates one codon (3 bases, case-insensitive) via the standard code.
+/// Codons containing N translate to 'X'; stops translate to '*'.
+char translate_codon(std::string_view codon);
+
+/// Translates `dna` in reading frame `frame` (0, 1 or 2): codons start at
+/// `frame` and the trailing partial codon is ignored.
+std::string translate(std::string_view dna, int frame = 0);
+
+/// One reading frame of a six-frame translation.
+struct FrameTranslation {
+  int frame;            ///< +1,+2,+3 forward; -1,-2,-3 reverse strand
+  std::string protein;  ///< translation of that frame
+};
+
+/// All six reading frames, in order +1,+2,+3,-1,-2,-3 — the search space of
+/// a BLASTX-style query.
+std::vector<FrameTranslation> six_frame_translate(std::string_view dna);
+
+/// Maps a codon-position on a frame back to the nucleotide offset on the
+/// forward strand: the 0-based position of the codon's first base. For
+/// reverse frames the returned offset is relative to the forward strand's
+/// 5' end (i.e. where the codon's *last* complemented base sits).
+std::size_t frame_to_forward_offset(int frame, std::size_t codon_index,
+                                    std::size_t dna_length);
+
+/// Picks a random codon encoding `amino` (uniform over its synonymous
+/// codons). '*' yields a random stop codon; 'X' yields a random codon.
+std::string random_codon_for(char amino, common::Rng& rng);
+
+/// Reverse-translates a protein to one plausible CDS (random synonymous
+/// codon choice per residue, no stop inserted for '*'-free input).
+std::string reverse_translate(std::string_view protein, common::Rng& rng);
+
+}  // namespace pga::bio

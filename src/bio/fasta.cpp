@@ -1,0 +1,111 @@
+#include "bio/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace pga::bio {
+
+using common::ParseError;
+
+FastaReader::FastaReader(std::istream& in) : in_(in) {}
+
+std::optional<SeqRecord> FastaReader::next() {
+  if (done_) return std::nullopt;
+
+  std::string line;
+  // Find the first header if we have not seen one yet.
+  while (!saw_header_) {
+    if (!std::getline(in_, line)) {
+      done_ = true;
+      return std::nullopt;
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto trimmed = common::trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] != '>') {
+      throw ParseError("FASTA: sequence data before first '>' header");
+    }
+    pending_header_ = std::string(trimmed.substr(1));
+    saw_header_ = true;
+  }
+
+  SeqRecord rec;
+  {
+    const auto ws = pending_header_.find_first_of(" \t");
+    if (ws == std::string::npos) {
+      rec.id = pending_header_;
+    } else {
+      rec.id = pending_header_.substr(0, ws);
+      rec.description = std::string(common::trim(pending_header_.substr(ws + 1)));
+    }
+    if (rec.id.empty()) throw ParseError("FASTA: empty record id");
+  }
+
+  while (std::getline(in_, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto trimmed = common::trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '>') {
+      pending_header_ = std::string(trimmed.substr(1));
+      return rec;
+    }
+    rec.seq += std::string(trimmed);
+  }
+  done_ = true;
+  return rec;
+}
+
+void write_fasta(std::ostream& out, const std::vector<SeqRecord>& records,
+                 std::size_t width) {
+  for (const auto& rec : records) {
+    out << '>' << rec.id;
+    if (!rec.description.empty()) out << ' ' << rec.description;
+    out << '\n';
+    if (width == 0) {
+      out << rec.seq << '\n';
+    } else {
+      for (std::size_t i = 0; i < rec.seq.size(); i += width) {
+        out << rec.seq.substr(i, width) << '\n';
+      }
+      if (rec.seq.empty()) out << '\n';
+    }
+  }
+}
+
+std::vector<SeqRecord> read_fasta_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw common::IoError("cannot open FASTA file: " + path.string());
+  FastaReader reader(in);
+  std::vector<SeqRecord> records;
+  while (auto rec = reader.next()) records.push_back(std::move(*rec));
+  return records;
+}
+
+std::vector<SeqRecord> parse_fasta(const std::string& text) {
+  std::istringstream in(text);
+  FastaReader reader(in);
+  std::vector<SeqRecord> records;
+  while (auto rec = reader.next()) records.push_back(std::move(*rec));
+  return records;
+}
+
+void write_fasta_file(const std::filesystem::path& path,
+                      const std::vector<SeqRecord>& records, std::size_t width) {
+  std::ofstream out(path);
+  if (!out) throw common::IoError("cannot write FASTA file: " + path.string());
+  write_fasta(out, records, width);
+  if (!out) throw common::IoError("short write to FASTA file: " + path.string());
+}
+
+std::string format_fasta(const std::vector<SeqRecord>& records, std::size_t width) {
+  std::ostringstream os;
+  write_fasta(os, records, width);
+  return os.str();
+}
+
+}  // namespace pga::bio

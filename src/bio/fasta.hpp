@@ -1,0 +1,56 @@
+// FASTA reading and writing.
+//
+// The reader is line-streaming (files at paper scale are hundreds of MB);
+// convenience functions load whole files when that is acceptable.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+
+namespace pga::bio {
+
+/// Streaming FASTA reader over any std::istream.
+///
+///   FastaReader r(stream);
+///   while (auto rec = r.next()) { use(*rec); }
+///
+/// Multi-line sequences are concatenated; CRLF tolerated; blank lines
+/// between records tolerated. Throws ParseError on data before the first
+/// header or an empty header.
+class FastaReader {
+ public:
+  explicit FastaReader(std::istream& in);
+
+  /// Returns the next record, or nullopt at end of input.
+  std::optional<SeqRecord> next();
+
+ private:
+  std::istream& in_;
+  std::string pending_header_;
+  bool saw_header_ = false;
+  bool done_ = false;
+};
+
+/// Writes records with sequence lines wrapped at `width` columns (0 = no wrap).
+void write_fasta(std::ostream& out, const std::vector<SeqRecord>& records,
+                 std::size_t width = 70);
+
+/// Loads an entire FASTA file.
+std::vector<SeqRecord> read_fasta_file(const std::filesystem::path& path);
+
+/// Parses FASTA text held in memory.
+std::vector<SeqRecord> parse_fasta(const std::string& text);
+
+/// Writes records to a file (truncating).
+void write_fasta_file(const std::filesystem::path& path,
+                      const std::vector<SeqRecord>& records, std::size_t width = 70);
+
+/// Renders records to a string.
+std::string format_fasta(const std::vector<SeqRecord>& records, std::size_t width = 70);
+
+}  // namespace pga::bio

@@ -1,0 +1,95 @@
+#include "bio/seq_stats.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "bio/alphabet.hpp"
+#include "common/error.hpp"
+
+namespace pga::bio {
+
+SequenceSetStats sequence_set_stats(const std::vector<SeqRecord>& records) {
+  SequenceSetStats stats;
+  if (records.empty()) return stats;
+  stats.count = records.size();
+
+  std::vector<std::size_t> lengths;
+  lengths.reserve(records.size());
+  std::size_t n_count = 0;
+  for (const auto& rec : records) {
+    lengths.push_back(rec.seq.size());
+    stats.total_bases += rec.seq.size();
+    for (const char c : rec.seq) {
+      const int b = base_index(c);
+      if (b >= 0) ++stats.base_counts[b];
+      else ++n_count;
+    }
+  }
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  stats.min_length = lengths.back();
+  stats.max_length = lengths.front();
+  stats.mean_length =
+      static_cast<double>(stats.total_bases) / static_cast<double>(stats.count);
+  std::size_t running = 0;
+  for (const std::size_t l : lengths) {
+    running += l;
+    if (2 * running >= stats.total_bases) {
+      stats.n50 = l;
+      break;
+    }
+  }
+  const std::size_t acgt = stats.base_counts[0] + stats.base_counts[1] +
+                           stats.base_counts[2] + stats.base_counts[3];
+  if (acgt > 0) {
+    stats.gc_fraction =
+        static_cast<double>(stats.base_counts[1] + stats.base_counts[2]) /
+        static_cast<double>(acgt);
+  }
+  if (stats.total_bases > 0) {
+    stats.n_fraction =
+        static_cast<double>(n_count) / static_cast<double>(stats.total_bases);
+  }
+  return stats;
+}
+
+double gc_content(const std::string& seq) {
+  std::size_t gc = 0, acgt = 0;
+  for (const char c : seq) {
+    const int b = base_index(c);
+    if (b < 0) continue;
+    ++acgt;
+    if (b == 1 || b == 2) ++gc;  // C or G
+  }
+  return acgt == 0 ? 0.0 : static_cast<double>(gc) / static_cast<double>(acgt);
+}
+
+double kmer_uniqueness(const std::string& seq, std::size_t k) {
+  if (k == 0 || k > 32) {
+    throw common::InvalidArgument("kmer_uniqueness: k must be in [1,32]");
+  }
+  if (seq.size() < k) return 0.0;
+  std::unordered_set<std::uint64_t> distinct;
+  std::size_t positions = 0;
+  // Rolling 2-bit encoding; windows containing non-ACGT reset.
+  std::uint64_t code = 0;
+  std::size_t run = 0;  // valid bases accumulated
+  const std::uint64_t mask = k == 32 ? ~0ULL : ((1ULL << (2 * k)) - 1);
+  for (const char c : seq) {
+    const int b = base_index(c);
+    if (b < 0) {
+      run = 0;
+      code = 0;
+      continue;
+    }
+    code = ((code << 2) | static_cast<std::uint64_t>(b)) & mask;
+    if (++run >= k) {
+      ++positions;
+      distinct.insert(code);
+    }
+  }
+  return positions == 0
+             ? 0.0
+             : static_cast<double>(distinct.size()) / static_cast<double>(positions);
+}
+
+}  // namespace pga::bio

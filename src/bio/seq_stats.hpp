@@ -1,0 +1,37 @@
+// Descriptive statistics over sequence sets — the numbers an assembly
+// report leads with (total bases, length distribution, GC, N-content).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bio/sequence.hpp"
+
+namespace pga::bio {
+
+/// Summary of a set of sequences.
+struct SequenceSetStats {
+  std::size_t count = 0;
+  std::size_t total_bases = 0;
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  double mean_length = 0;
+  std::size_t n50 = 0;          ///< standard N50 over the lengths
+  double gc_fraction = 0;       ///< G+C over A+C+G+T (Ns excluded)
+  double n_fraction = 0;        ///< Ns over total bases
+  std::size_t base_counts[4] = {0, 0, 0, 0};  ///< A, C, G, T
+};
+
+/// Computes the summary; empty input yields an all-zero struct.
+SequenceSetStats sequence_set_stats(const std::vector<SeqRecord>& records);
+
+/// GC fraction of one sequence (Ns excluded from the denominator); 0 for
+/// sequences without any A/C/G/T.
+double gc_content(const std::string& seq);
+
+/// Number of distinct k-mers (over A/C/G/T only) divided by the number of
+/// k-mer positions — 1.0 means every k-mer unique, low values indicate
+/// repetitive sequence. Returns 0 when no valid k-mer exists.
+double kmer_uniqueness(const std::string& seq, std::size_t k);
+
+}  // namespace pga::bio

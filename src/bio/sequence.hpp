@@ -1,0 +1,20 @@
+// The basic sequence record shared by FASTA/FASTQ and downstream stages.
+#pragma once
+
+#include <string>
+
+namespace pga::bio {
+
+/// One named sequence. `id` is the first whitespace-delimited token of the
+/// header; `description` is the remainder (may be empty).
+struct SeqRecord {
+  std::string id;
+  std::string description;
+  std::string seq;
+
+  [[nodiscard]] std::size_t length() const { return seq.size(); }
+
+  friend bool operator==(const SeqRecord&, const SeqRecord&) = default;
+};
+
+}  // namespace pga::bio

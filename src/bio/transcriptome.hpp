@@ -1,0 +1,96 @@
+// Synthetic transcriptome generator with ground truth.
+//
+// Replaces the paper's Triticum urartu dataset (NCBI PRJNA191053). The
+// generator produces the same *shape* of data that blast2cap3 consumes:
+//
+//  * a protein database ("closely related organism") — one reference
+//    protein per gene family;
+//  * genes: paralogous copies of each family protein (protein-level
+//    identity ~paralog_identity), reverse-translated to a CDS with random
+//    UTR flanks;
+//  * transcripts: redundant, partially overlapping fragments of each
+//    gene's mRNA with sequencing/assembly errors — the redundant
+//    "transcripts.fasta" that CAP3/blast2cap3 must merge;
+//  * optional shared repeat elements inserted into unrelated genes' UTRs —
+//    the nucleotide-level trap that makes whole-dataset CAP3 produce
+//    artificially fused sequences while protein-guided clustering does not
+//    (paper §II, Krasileva et al. 2013);
+//  * full ground truth (transcript -> gene -> family) so assembly quality
+//    (fusion count, redundancy reduction) is measurable.
+//
+// Family expression is Zipf-distributed, giving the heavy-tailed
+// cluster-size distribution that drives the paper's n-sweep behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "common/rng.hpp"
+
+namespace pga::bio {
+
+/// Tunable knobs for generate_transcriptome().
+struct TranscriptomeParams {
+  std::size_t families = 50;          ///< distinct protein families
+  std::size_t paralogs_min = 1;       ///< genes per family, lower bound
+  std::size_t paralogs_max = 3;       ///< genes per family, upper bound
+  std::size_t protein_min = 120;      ///< family protein length (aa), lower
+  std::size_t protein_max = 400;      ///< family protein length (aa), upper
+  double paralog_identity = 0.92;     ///< per-residue retention in paralogs
+  std::size_t utr_min = 30;           ///< UTR flank length per side, lower
+  std::size_t utr_max = 120;          ///< UTR flank length per side, upper
+  std::size_t fragments_min = 2;      ///< transcript fragments per gene, lower
+  std::size_t fragments_max = 10;     ///< transcript fragments per gene, upper
+  double zipf_s = 1.1;                ///< family expression skew (0 = uniform)
+  double fragment_min_frac = 0.45;    ///< fragment length as fraction of mRNA
+  double fragment_max_frac = 0.95;
+  double error_rate = 0.004;          ///< per-base substitution error
+  double repeat_gene_fraction = 0.25; ///< genes carrying the shared repeat
+  std::size_t repeat_length = 90;     ///< length of the shared repeat element
+  std::uint64_t seed = 1;
+};
+
+/// One synthetic gene.
+struct Gene {
+  std::string id;         ///< e.g. "gene_0012"
+  std::string family_id;  ///< e.g. "prot_0003" — matches the protein DB record
+  std::string protein;    ///< this gene's (possibly mutated) protein
+  std::string mrna;       ///< 5'UTR + CDS + 3'UTR on the forward strand
+  std::size_t cds_start = 0;  ///< offset of the CDS within mrna
+  bool has_repeat = false;    ///< carries the shared repeat element
+};
+
+/// Full generator output: inputs for the pipeline plus ground truth.
+struct Transcriptome {
+  std::vector<SeqRecord> proteins;     ///< the related-organism protein DB
+  std::vector<Gene> genes;             ///< ground-truth gene models
+  std::vector<SeqRecord> transcripts;  ///< redundant fragments ("transcripts.fasta")
+
+  /// transcript id -> gene id (ground truth).
+  std::unordered_map<std::string, std::string> transcript_gene;
+  /// gene id -> family id (ground truth).
+  std::unordered_map<std::string, std::string> gene_family;
+
+  /// Family id of a transcript (via its gene). Throws if unknown.
+  [[nodiscard]] const std::string& family_of_transcript(const std::string& tid) const;
+
+  /// True when two transcripts originate from different genes — the
+  /// definition of an artificial fusion if an assembler merges them.
+  [[nodiscard]] bool is_fusion(const std::string& tid_a, const std::string& tid_b) const;
+};
+
+/// Generates a transcriptome; deterministic in params.seed.
+Transcriptome generate_transcriptome(const TranscriptomeParams& params);
+
+/// Generates FASTQ reads from a transcriptome's genes (read_length-sized
+/// windows with quality decay), for exercising the preprocessing stage of
+/// the Fig. 1 pipeline.
+std::vector<struct FastqRecord> simulate_reads(const Transcriptome& txm,
+                                               std::size_t reads_per_gene,
+                                               std::size_t read_length,
+                                               common::Rng& rng);
+
+}  // namespace pga::bio

@@ -1,0 +1,43 @@
+// Error types shared by every pga module.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pga::common {
+
+/// Base class for all pga errors. Every module throws a subclass of this so
+/// callers can catch the whole library with a single handler.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input data (FASTA/FASTQ/tabular/DAX parsing failures).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A caller violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : Error("invalid argument: " + what) {}
+};
+
+/// Filesystem-level failures (missing files, unwritable workspace).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("i/o error: " + what) {}
+};
+
+/// A workflow-level failure (planning error, unsatisfiable catalog lookup,
+/// exhausted retries).
+class WorkflowError : public Error {
+ public:
+  explicit WorkflowError(const std::string& what)
+      : Error("workflow error: " + what) {}
+};
+
+}  // namespace pga::common

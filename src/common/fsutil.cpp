@@ -1,0 +1,98 @@
+#include "common/fsutil.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pga::common {
+
+namespace {
+std::atomic<std::uint64_t> g_scratch_counter{0};
+}
+
+ScratchDir::ScratchDir(const std::string& prefix, const std::filesystem::path& parent) {
+  namespace fs = std::filesystem;
+  const fs::path base = parent.empty() ? fs::temp_directory_path() : parent;
+  // Uniquify with a counter + random suffix; retry on collision.
+  Rng rng(0x5ca7c4d1ULL ^ g_scratch_counter.fetch_add(1) ^
+          static_cast<std::uint64_t>(
+              std::chrono::steady_clock::now().time_since_epoch().count()));
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::ostringstream name;
+    name << prefix << "-" << std::hex << rng();
+    fs::path candidate = base / name.str();
+    std::error_code ec;
+    if (fs::create_directories(candidate, ec) && !ec) {
+      path_ = candidate;
+      return;
+    }
+  }
+  throw IoError("ScratchDir: could not create unique directory under " + base.string());
+}
+
+ScratchDir::~ScratchDir() {
+  if (owned_ && !path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort in a destructor
+  }
+}
+
+ScratchDir::ScratchDir(ScratchDir&& other) noexcept
+    : path_(std::move(other.path_)), owned_(other.owned_) {
+  other.owned_ = false;
+  other.path_.clear();
+}
+
+ScratchDir& ScratchDir::operator=(ScratchDir&& other) noexcept {
+  if (this != &other) {
+    if (owned_ && !path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+    path_ = std::move(other.path_);
+    owned_ = other.owned_;
+    other.owned_ = false;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path.string());
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open for writing: " + path.string());
+  out << content;
+  if (!out) throw IoError("short write: " + path.string());
+}
+
+void append_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) throw IoError("cannot open for appending: " + path.string());
+  out << content;
+  if (!out) throw IoError("short write: " + path.string());
+}
+
+std::vector<std::string> read_lines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path.string());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace pga::common

@@ -1,0 +1,53 @@
+// Filesystem helpers: scratch workspaces and whole-file I/O.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace pga::common {
+
+/// RAII scratch directory. Created unique under the system temp dir (or a
+/// given parent) and removed recursively on destruction. Workflow runs use
+/// one workspace per run, mirroring a Pegasus scratch/work dir.
+class ScratchDir {
+ public:
+  /// Creates `<parent>/<prefix>-XXXXXX`. Parent defaults to temp_directory_path().
+  explicit ScratchDir(const std::string& prefix = "pga",
+                      const std::filesystem::path& parent = {});
+  ~ScratchDir();
+
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+  ScratchDir(ScratchDir&& other) noexcept;
+  ScratchDir& operator=(ScratchDir&& other) noexcept;
+
+  /// Absolute path to the scratch root.
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Path of a file inside the scratch dir.
+  [[nodiscard]] std::filesystem::path file(const std::string& name) const {
+    return path_ / name;
+  }
+
+  /// Releases ownership: the directory will NOT be deleted.
+  void keep() { owned_ = false; }
+
+ private:
+  std::filesystem::path path_;
+  bool owned_ = true;
+};
+
+/// Reads an entire file into a string; throws IoError if unreadable.
+std::string read_file(const std::filesystem::path& path);
+
+/// Writes (truncates) a file; throws IoError on failure.
+void write_file(const std::filesystem::path& path, const std::string& content);
+
+/// Appends to a file, creating it if missing.
+void append_file(const std::filesystem::path& path, const std::string& content);
+
+/// Reads a file as lines (without trailing newlines).
+std::vector<std::string> read_lines(const std::filesystem::path& path);
+
+}  // namespace pga::common

@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// The library logs sparingly (planner decisions, engine retries, platform
+// events at debug level). Output goes to stderr; tests silence it by
+// raising the threshold.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pga::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Thread-safe.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line ("[level] message") to stderr if `level` passes the
+/// threshold. Thread-safe (one lock per line, never interleaves).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+
+}  // namespace pga::common

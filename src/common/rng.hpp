@@ -1,0 +1,82 @@
+// Deterministic random-number generation for simulation and data synthesis.
+//
+// All stochastic components of the library (transcriptome generator, OSG
+// availability model, queue-wait sampling) draw from this engine so that a
+// (seed) pair fully reproduces an experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pga::common {
+
+/// xoshiro256** 1.0 — small, fast, high-quality PRNG.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can feed
+/// <random> distributions, but the helpers below avoid libstdc++
+/// distributions entirely to keep streams identical across standard-library
+/// implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds via SplitMix64 so that nearby seeds produce unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Standard normal via Box–Muller (cached pair).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu, sigma)). The natural model for queue waits.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given mean (NOT rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Zipf-like rank draw over {0..n-1} with exponent s; rank 0 most likely.
+  /// Used for heavy-tailed cluster-size distributions.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Forks an independent stream; child streams are stable functions of the
+  /// parent state, so fork order matters but thread timing never does.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace pga::common

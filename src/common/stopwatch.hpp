@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for real (non-simulated) runs.
+#pragma once
+
+#include <chrono>
+
+namespace pga::common {
+
+/// Measures elapsed wall time from construction (or the last reset()).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction/reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pga::common

@@ -1,0 +1,63 @@
+#include "common/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pga::common {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sorted_ = false;
+}
+
+double Summary::mean() const { return samples_.empty() ? 0.0 : sum_ / samples_.size(); }
+
+double Summary::min() const {
+  if (samples_.empty()) throw InvalidArgument("Summary::min on empty accumulator");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  if (samples_.empty()) throw InvalidArgument("Summary::max on empty accumulator");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) throw InvalidArgument("Summary::percentile on empty accumulator");
+  if (p < 0.0 || p > 100.0) throw InvalidArgument("percentile out of [0,100]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sum_ += other.sum_;
+  sorted_ = false;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+}  // namespace pga::common

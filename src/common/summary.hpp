@@ -1,0 +1,41 @@
+// Streaming summary statistics (count/mean/min/max/stddev/percentiles).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pga::common {
+
+/// Accumulates samples and answers summary queries. Keeps all samples so
+/// exact percentiles are available; our sample sets (per-task timings) are
+/// small enough that this is the right trade-off.
+class Summary {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double sum() const { return sum_; }
+  /// Mean of the samples; 0 when empty.
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated percentile, p in [0,100]. Throws when empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Merges another accumulator into this one.
+  void merge(const Summary& other);
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+
+  void ensure_sorted() const;
+};
+
+}  // namespace pga::common

@@ -1,0 +1,32 @@
+// Fixed-width text table rendering for bench/report output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pga::common {
+
+/// Builds a padded ASCII table. Columns are sized to their widest cell;
+/// numeric-looking cells are right-aligned, everything else left-aligned.
+class Table {
+ public:
+  /// Sets the header row (defines the column count).
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a rule under the header, e.g.
+  ///   n     platform   wall time
+  ///   ----  ---------  ---------
+  ///   10    sandhills  41593
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pga::common

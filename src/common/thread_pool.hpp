@@ -1,0 +1,65 @@
+// Fixed-size task-queue thread pool.
+//
+// Follows C++ Core Guidelines CP.4 (think in tasks), CP.24/25 (threads are
+// joined, never detached), CP.42 (condition-variable waits always carry a
+// predicate) and CP.20 (RAII locking only).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pga::common {
+
+/// A bounded-worker task executor. submit() returns a future; the pool
+/// joins all workers on destruction after draining outstanding tasks.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (>=1; 0 selects hardware_concurrency).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Blocks until the queue drains and all workers exit.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future carries its result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pga::common

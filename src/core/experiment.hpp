@@ -1,0 +1,79 @@
+// The paper's experiments, reproduced on the simulated platforms.
+//
+// run_platform_sweep() regenerates the data behind Fig. 4 (workflow wall
+// time: serial vs. Sandhills vs. OSG for n in {10,100,300,500}) and Fig. 5
+// (per-task Kickstart / Waiting / Download-Install breakdown).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/b2c3_workflow.hpp"
+#include "core/workload.hpp"
+#include "sim/campus_cluster.hpp"
+#include "sim/cloud.hpp"
+#include "sim/osg.hpp"
+#include "wms/statistics.hpp"
+
+namespace pga::core {
+
+/// Sweep configuration. Defaults reproduce the paper's setup.
+struct ExperimentConfig {
+  std::vector<std::size_t> n_values{10, 100, 300, 500};
+  WorkloadParams workload{};
+  sim::CampusClusterConfig sandhills{};
+  sim::OsgConfig osg{};
+  int engine_retries = 100;  ///< DAGMan retry budget (OSG preemptions)
+  std::uint64_t seed = 7;    ///< base seed; varied per (platform, n, repetition)
+  std::size_t repetitions = 1;  ///< independent runs averaged per point (the
+                                ///< paper ran "multiple times"; means tame the
+                                ///< run-to-run variance §VI.A acknowledges)
+  bool include_cloud = false;  ///< also run the §VII future-work platform
+  sim::CloudConfig cloud{};
+};
+
+/// One (platform, n) simulated point, possibly averaged over repetitions.
+struct SweepPoint {
+  std::string platform;  ///< "sandhills" | "osg" | "cloud"
+  std::size_t n = 0;
+  wms::WorkflowStatistics stats;  ///< statistics of the first repetition
+  std::vector<double> walls;      ///< wall seconds of every repetition
+  std::size_t preemptions = 0;    ///< OSG only (first repetition)
+
+  /// Mean wall time across repetitions.
+  [[nodiscard]] double mean_wall() const;
+};
+
+/// Full sweep results.
+struct SweepResults {
+  double serial_seconds = 0;  ///< the 100-hour baseline (model)
+  std::vector<SweepPoint> points;
+
+  /// Mean wall seconds for (platform, n); throws if missing.
+  [[nodiscard]] double wall(const std::string& platform, std::size_t n) const;
+  [[nodiscard]] const SweepPoint& point(const std::string& platform,
+                                        std::size_t n) const;
+};
+
+/// Runs every (platform, n) combination on fresh simulated platforms.
+SweepResults run_platform_sweep(const ExperimentConfig& config = {});
+
+/// Runs a single simulated (platform, n) point with config.repetitions
+/// independent seeds. `platform` must be "sandhills", "osg" or "cloud".
+SweepPoint run_sim_point(const ExperimentConfig& config, const std::string& platform,
+                         std::size_t n);
+
+/// Derived §VI.A headline claims, checked against the sweep.
+struct PaperClaims {
+  double reduction_vs_serial_percent = 0;  ///< best parallel vs serial (paper: >95%)
+  bool sandhills_beats_osg_low_n = false;  ///< n in {10,100,300} (paper: yes)
+  std::size_t best_sandhills_n = 0;        ///< paper: 300
+  double sandhills_n10_over_n300 = 0;      ///< paper: ~4x (41,593 vs ~10,000)
+  bool osg_kickstart_beats_sandhills = false;  ///< §VI.B: pure exec faster on OSG
+};
+
+/// Evaluates the claims over sweep results.
+PaperClaims evaluate_claims(const SweepResults& results);
+
+}  // namespace pga::core

@@ -1,0 +1,594 @@
+#include "htc/classad.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace pga::htc {
+
+using common::ParseError;
+
+// ---------------------------------------------------------------- Value
+
+bool Value::is_undefined() const { return std::holds_alternative<Undefined>(data_); }
+bool Value::is_bool() const { return std::holds_alternative<bool>(data_); }
+bool Value::is_number() const {
+  return std::holds_alternative<long>(data_) || std::holds_alternative<double>(data_);
+}
+bool Value::is_integer() const { return std::holds_alternative<long>(data_); }
+bool Value::is_string() const { return std::holds_alternative<std::string>(data_); }
+
+double Value::as_number() const {
+  if (const auto* i = std::get_if<long>(&data_)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  throw common::InvalidArgument("ClassAd value is not a number: " + to_string());
+}
+
+bool Value::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&data_)) return *b;
+  throw common::InvalidArgument("ClassAd value is not a bool: " + to_string());
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&data_)) return *s;
+  throw common::InvalidArgument("ClassAd value is not a string: " + to_string());
+}
+
+std::string Value::to_string() const {
+  if (is_undefined()) return "undefined";
+  if (const auto* b = std::get_if<bool>(&data_)) return *b ? "true" : "false";
+  if (const auto* i = std::get_if<long>(&data_)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&data_)) {
+    std::ostringstream os;
+    os << *d;
+    return os.str();
+  }
+  return "\"" + std::get<std::string>(data_) + "\"";
+}
+
+// --------------------------------------------------------------- ClassAd
+
+void ClassAd::set(const std::string& name, Value value) {
+  attrs_[common::to_lower(name)] = std::move(value);
+}
+
+Value ClassAd::get(const std::string& name) const {
+  const auto it = attrs_.find(common::to_lower(name));
+  return it == attrs_.end() ? Value() : it->second;
+}
+
+bool ClassAd::has(const std::string& name) const {
+  return attrs_.count(common::to_lower(name)) != 0;
+}
+
+// ------------------------------------------------------------ Expression
+
+namespace {
+
+enum class Op {
+  kLiteral, kRefMy, kRefTarget, kRefAuto,
+  kOr, kAnd, kNot, kNeg,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv,
+  kTernary,  // lhs ? args[0] : args[1]
+  kCall,     // name(args...)
+};
+
+}  // namespace
+
+struct Expression::Node {
+  Op op;
+  Value literal;      // kLiteral
+  std::string name;   // kRef*, kCall
+  std::unique_ptr<Node> lhs, rhs;
+  std::vector<std::unique_ptr<Node>> args;  // kCall, kTernary branches
+};
+
+namespace {
+
+using Node = Expression::Node;
+
+// ----- lexer -----
+
+struct Token {
+  enum Kind { kNumber, kString, kIdent, kOp, kEnd } kind;
+  std::string text;
+  double number = 0;
+  bool is_integer = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token next() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return {Token::kEnd, ""};
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      return lex_number();
+    }
+    if (c == '"') return lex_string();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return lex_ident();
+    return lex_operator();
+  }
+
+ private:
+  Token lex_number() {
+    const std::size_t start = pos_;
+    bool is_int = true;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      if (!std::isdigit(static_cast<unsigned char>(text_[pos_]))) is_int = false;
+      ++pos_;
+    }
+    Token t{Token::kNumber, text_.substr(start, pos_ - start)};
+    t.number = common::parse_double(t.text);
+    t.is_integer = is_int;
+    return t;
+  }
+
+  Token lex_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) throw ParseError("unterminated string in expression");
+    ++pos_;  // closing quote
+    return {Token::kString, out};
+  }
+
+  Token lex_ident() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_' ||
+            text_[pos_] == '.')) {
+      ++pos_;
+    }
+    return {Token::kIdent, text_.substr(start, pos_ - start)};
+  }
+
+  Token lex_operator() {
+    static const std::vector<std::string> kOps = {"||", "&&", "==", "!=", "<=",
+                                                  ">=", "<",  ">",  "!",  "+",
+                                                  "-",  "*",  "/",  "(",  ")",
+                                                  "?",  ":",  ","};
+    for (const auto& op : kOps) {
+      if (text_.compare(pos_, op.size(), op) == 0) {
+        pos_ += op.size();
+        return {Token::kOp, op};
+      }
+    }
+    throw ParseError(std::string("unexpected character '") + text_[pos_] +
+                     "' in expression");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ----- parser (recursive descent) -----
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) { advance(); }
+
+  std::unique_ptr<Node> parse() {
+    auto node = parse_ternary();
+    if (current_.kind != Token::kEnd) {
+      throw ParseError("trailing tokens in expression near '" + current_.text + "'");
+    }
+    return node;
+  }
+
+ private:
+  void advance() { current_ = lexer_.next(); }
+
+  bool accept_op(const std::string& op) {
+    if (current_.kind == Token::kOp && current_.text == op) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Node> make_binary(Op op, std::unique_ptr<Node> lhs,
+                                    std::unique_ptr<Node> rhs) {
+    auto node = std::make_unique<Node>();
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  std::unique_ptr<Node> parse_ternary() {
+    auto condition = parse_or();
+    if (!accept_op("?")) return condition;
+    auto node = std::make_unique<Node>();
+    node->op = Op::kTernary;
+    node->lhs = std::move(condition);
+    node->args.push_back(parse_ternary());
+    if (!accept_op(":")) throw ParseError("expected ':' in ternary expression");
+    node->args.push_back(parse_ternary());
+    return node;
+  }
+
+  std::unique_ptr<Node> parse_or() {
+    auto lhs = parse_and();
+    while (accept_op("||")) lhs = make_binary(Op::kOr, std::move(lhs), parse_and());
+    return lhs;
+  }
+
+  std::unique_ptr<Node> parse_and() {
+    auto lhs = parse_cmp();
+    while (accept_op("&&")) lhs = make_binary(Op::kAnd, std::move(lhs), parse_cmp());
+    return lhs;
+  }
+
+  std::unique_ptr<Node> parse_cmp() {
+    auto lhs = parse_add();
+    static const std::vector<std::pair<std::string, Op>> kCmps = {
+        {"==", Op::kEq}, {"!=", Op::kNe}, {"<=", Op::kLe},
+        {">=", Op::kGe}, {"<", Op::kLt},  {">", Op::kGt}};
+    for (const auto& [text, op] : kCmps) {
+      if (accept_op(text)) return make_binary(op, std::move(lhs), parse_add());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Node> parse_add() {
+    auto lhs = parse_mul();
+    while (true) {
+      if (accept_op("+")) lhs = make_binary(Op::kAdd, std::move(lhs), parse_mul());
+      else if (accept_op("-")) lhs = make_binary(Op::kSub, std::move(lhs), parse_mul());
+      else return lhs;
+    }
+  }
+
+  std::unique_ptr<Node> parse_mul() {
+    auto lhs = parse_unary();
+    while (true) {
+      if (accept_op("*")) lhs = make_binary(Op::kMul, std::move(lhs), parse_unary());
+      else if (accept_op("/")) lhs = make_binary(Op::kDiv, std::move(lhs), parse_unary());
+      else return lhs;
+    }
+  }
+
+  std::unique_ptr<Node> parse_unary() {
+    if (accept_op("!")) {
+      auto node = std::make_unique<Node>();
+      node->op = Op::kNot;
+      node->lhs = parse_unary();
+      return node;
+    }
+    if (accept_op("-")) {
+      auto node = std::make_unique<Node>();
+      node->op = Op::kNeg;
+      node->lhs = parse_unary();
+      return node;
+    }
+    return parse_primary();
+  }
+
+  std::unique_ptr<Node> parse_primary() {
+    if (accept_op("(")) {
+      auto node = parse_ternary();
+      if (!accept_op(")")) throw ParseError("expected ')' in expression");
+      return node;
+    }
+    auto node = std::make_unique<Node>();
+    switch (current_.kind) {
+      case Token::kNumber:
+        node->op = Op::kLiteral;
+        node->literal = current_.is_integer
+                            ? Value(static_cast<long>(current_.number))
+                            : Value(current_.number);
+        advance();
+        return node;
+      case Token::kString:
+        node->op = Op::kLiteral;
+        node->literal = Value(current_.text);
+        advance();
+        return node;
+      case Token::kIdent: {
+        const std::string lower = common::to_lower(current_.text);
+        // Function call?
+        advance();
+        if (current_.kind == Token::kOp && current_.text == "(") {
+          advance();
+          node->op = Op::kCall;
+          node->name = lower;
+          if (!(current_.kind == Token::kOp && current_.text == ")")) {
+            node->args.push_back(parse_ternary());
+            while (accept_op(",")) node->args.push_back(parse_ternary());
+          }
+          if (!accept_op(")")) {
+            throw ParseError("expected ')' after arguments of " + lower);
+          }
+          return node;
+        }
+        // Not a call: current_ already holds the token after the
+        // identifier, so no further advance below.
+        if (lower == "true" || lower == "false") {
+          node->op = Op::kLiteral;
+          node->literal = Value(lower == "true");
+        } else if (lower == "undefined") {
+          node->op = Op::kLiteral;
+          node->literal = Value();
+        } else if (lower.starts_with("my.")) {
+          node->op = Op::kRefMy;
+          node->name = lower.substr(3);
+        } else if (lower.starts_with("target.")) {
+          node->op = Op::kRefTarget;
+          node->name = lower.substr(7);
+        } else {
+          node->op = Op::kRefAuto;
+          node->name = lower;
+        }
+        return node;
+      }
+      default:
+        throw ParseError("unexpected token '" + current_.text + "' in expression");
+    }
+  }
+
+  Lexer lexer_;
+  Token current_;
+};
+
+// ----- evaluator -----
+
+Value eval_node(const Node& node, const ClassAd& my, const ClassAd* target);
+
+Value eval_compare(Op op, const Value& a, const Value& b) {
+  if (a.is_undefined() || b.is_undefined()) return Value();
+  // Strings compare with strings, everything else numerically/boolean.
+  if (a.is_string() != b.is_string()) {
+    return Value();  // incomparable types -> undefined, like HTCondor error
+  }
+  int cmp;
+  if (a.is_string()) {
+    cmp = a.as_string().compare(b.as_string());
+  } else {
+    const double x = a.is_bool() ? (a.as_bool() ? 1.0 : 0.0) : a.as_number();
+    const double y = b.is_bool() ? (b.as_bool() ? 1.0 : 0.0) : b.as_number();
+    cmp = x < y ? -1 : (x > y ? 1 : 0);
+  }
+  switch (op) {
+    case Op::kEq: return Value(cmp == 0);
+    case Op::kNe: return Value(cmp != 0);
+    case Op::kLt: return Value(cmp < 0);
+    case Op::kLe: return Value(cmp <= 0);
+    case Op::kGt: return Value(cmp > 0);
+    case Op::kGe: return Value(cmp >= 0);
+    default: throw common::InvalidArgument("not a comparison op");
+  }
+}
+
+Value eval_arith(Op op, const Value& a, const Value& b) {
+  if (a.is_undefined() || b.is_undefined()) return Value();
+  if (!a.is_number() || !b.is_number()) return Value();
+  const double x = a.as_number();
+  const double y = b.as_number();
+  double result;
+  switch (op) {
+    case Op::kAdd: result = x + y; break;
+    case Op::kSub: result = x - y; break;
+    case Op::kMul: result = x * y; break;
+    case Op::kDiv:
+      if (y == 0) return Value();
+      result = x / y;
+      break;
+    default: throw common::InvalidArgument("not an arithmetic op");
+  }
+  // Integer op integer stays integer when exact (division may not be);
+  // anything involving a real stays real, like HTCondor.
+  if (a.is_integer() && b.is_integer() && result == std::floor(result) &&
+      std::abs(result) < 1e15) {
+    return Value(static_cast<long>(result));
+  }
+  return Value(result);
+}
+
+/// Builtin function dispatch. Unknown functions and arity mismatches
+/// evaluate to undefined (HTCondor's error-as-undefined behaviour), except
+/// clearly-diagnosable misuse at parse time.
+Value eval_call(const Node& node, const ClassAd& my, const ClassAd* target) {
+  std::vector<Value> args;
+  args.reserve(node.args.size());
+  for (const auto& arg : node.args) args.push_back(eval_node(*arg, my, target));
+  const std::string& fn = node.name;
+  const auto arity = args.size();
+  const auto num = [&](std::size_t i) { return args[i].as_number(); };
+  const auto all_numbers = [&] {
+    for (const auto& a : args) {
+      if (!a.is_number()) return false;
+    }
+    return true;
+  };
+
+  if (fn == "isundefined") {
+    return arity == 1 ? Value(args[0].is_undefined()) : Value();
+  }
+  if (fn == "ifthenelse") {
+    if (arity != 3) return Value();
+    if (!args[0].is_bool()) return Value();
+    return args[0].as_bool() ? args[1] : args[2];
+  }
+  // Everything below propagates undefined.
+  for (const auto& a : args) {
+    if (a.is_undefined()) return Value();
+  }
+  if (fn == "min" && arity == 2 && all_numbers()) {
+    return num(0) <= num(1) ? args[0] : args[1];
+  }
+  if (fn == "max" && arity == 2 && all_numbers()) {
+    return num(0) >= num(1) ? args[0] : args[1];
+  }
+  if (fn == "floor" && arity == 1 && all_numbers()) {
+    return Value(static_cast<long>(std::floor(num(0))));
+  }
+  if (fn == "ceiling" && arity == 1 && all_numbers()) {
+    return Value(static_cast<long>(std::ceil(num(0))));
+  }
+  if (fn == "round" && arity == 1 && all_numbers()) {
+    return Value(static_cast<long>(std::llround(num(0))));
+  }
+  if (fn == "abs" && arity == 1 && all_numbers()) {
+    const double v = std::abs(num(0));
+    return v == std::floor(v) ? Value(static_cast<long>(v)) : Value(v);
+  }
+  if (fn == "pow" && arity == 2 && all_numbers()) {
+    return Value(std::pow(num(0), num(1)));
+  }
+  if (fn == "strcat") {
+    std::string out;
+    for (const auto& a : args) {
+      if (a.is_string()) out += a.as_string();
+      else out += a.to_string();
+    }
+    return Value(std::move(out));
+  }
+  if (fn == "tolower" && arity == 1 && args[0].is_string()) {
+    return Value(common::to_lower(args[0].as_string()));
+  }
+  if (fn == "toupper" && arity == 1 && args[0].is_string()) {
+    return Value(common::to_upper(args[0].as_string()));
+  }
+  if (fn == "size" && arity == 1 && args[0].is_string()) {
+    return Value(static_cast<long>(args[0].as_string().size()));
+  }
+  if (fn == "stringlistmember" && (arity == 2 || arity == 3) &&
+      args[0].is_string() && args[1].is_string()) {
+    const char delim = arity == 3 && args[2].is_string() && !args[2].as_string().empty()
+                           ? args[2].as_string()[0]
+                           : ',';
+    for (const auto& item : common::split(args[1].as_string(), delim)) {
+      if (std::string(common::trim(item)) == args[0].as_string()) {
+        return Value(true);
+      }
+    }
+    return Value(false);
+  }
+  return Value();  // unknown function or bad argument types
+}
+
+Value eval_node(const Node& node, const ClassAd& my, const ClassAd* target) {
+  switch (node.op) {
+    case Op::kTernary: {
+      const Value condition = eval_node(*node.lhs, my, target);
+      if (!condition.is_bool()) return Value();
+      return eval_node(condition.as_bool() ? *node.args[0] : *node.args[1], my,
+                       target);
+    }
+    case Op::kCall:
+      return eval_call(node, my, target);
+    case Op::kLiteral:
+      return node.literal;
+    case Op::kRefMy:
+      return my.get(node.name);
+    case Op::kRefTarget:
+      return target != nullptr ? target->get(node.name) : Value();
+    case Op::kRefAuto: {
+      if (my.has(node.name)) return my.get(node.name);
+      if (target != nullptr && target->has(node.name)) return target->get(node.name);
+      return Value();
+    }
+    case Op::kOr: {
+      const Value lhs = eval_node(*node.lhs, my, target);
+      if (lhs.is_bool() && lhs.as_bool()) return Value(true);
+      const Value rhs = eval_node(*node.rhs, my, target);
+      if (rhs.is_bool() && rhs.as_bool()) return Value(true);
+      if (lhs.is_bool() && rhs.is_bool()) return Value(false);
+      return Value();
+    }
+    case Op::kAnd: {
+      const Value lhs = eval_node(*node.lhs, my, target);
+      if (lhs.is_bool() && !lhs.as_bool()) return Value(false);
+      const Value rhs = eval_node(*node.rhs, my, target);
+      if (rhs.is_bool() && !rhs.as_bool()) return Value(false);
+      if (lhs.is_bool() && rhs.is_bool()) return Value(true);
+      return Value();
+    }
+    case Op::kNot: {
+      const Value v = eval_node(*node.lhs, my, target);
+      return v.is_bool() ? Value(!v.as_bool()) : Value();
+    }
+    case Op::kNeg: {
+      const Value v = eval_node(*node.lhs, my, target);
+      if (!v.is_number()) return Value();
+      if (v.is_integer()) return Value(-static_cast<long>(v.as_number()));
+      return Value(-v.as_number());
+    }
+    case Op::kEq: case Op::kNe: case Op::kLt:
+    case Op::kLe: case Op::kGt: case Op::kGe:
+      return eval_compare(node.op, eval_node(*node.lhs, my, target),
+                          eval_node(*node.rhs, my, target));
+    case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kDiv:
+      return eval_arith(node.op, eval_node(*node.lhs, my, target),
+                        eval_node(*node.rhs, my, target));
+  }
+  throw common::InvalidArgument("corrupt expression node");
+}
+
+std::unique_ptr<Node> clone_node(const Node* node) {
+  if (node == nullptr) return nullptr;
+  auto copy = std::make_unique<Node>();
+  copy->op = node->op;
+  copy->literal = node->literal;
+  copy->name = node->name;
+  copy->lhs = clone_node(node->lhs.get());
+  copy->rhs = clone_node(node->rhs.get());
+  copy->args.reserve(node->args.size());
+  for (const auto& arg : node->args) copy->args.push_back(clone_node(arg.get()));
+  return copy;
+}
+
+}  // namespace
+
+Expression Expression::parse(const std::string& text) {
+  Parser parser(text);
+  return Expression(parser.parse(), text);
+}
+
+Expression::Expression(std::unique_ptr<Node> root, std::string text)
+    : root_(std::move(root)), text_(std::move(text)) {}
+
+Expression::Expression(Expression&&) noexcept = default;
+Expression& Expression::operator=(Expression&&) noexcept = default;
+Expression::~Expression() = default;
+
+Expression::Expression(const Expression& other)
+    : root_(clone_node(other.root_.get())), text_(other.text_) {}
+
+Expression& Expression::operator=(const Expression& other) {
+  if (this != &other) {
+    root_ = clone_node(other.root_.get());
+    text_ = other.text_;
+  }
+  return *this;
+}
+
+Value Expression::evaluate(const ClassAd& my, const ClassAd* target) const {
+  return eval_node(*root_, my, target);
+}
+
+bool Expression::evaluate_bool(const ClassAd& my, const ClassAd* target) const {
+  const Value v = evaluate(my, target);
+  return v.is_bool() && v.as_bool();
+}
+
+}  // namespace pga::htc

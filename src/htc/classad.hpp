@@ -1,0 +1,112 @@
+// A miniature ClassAd system in the spirit of HTCondor's matchmaking
+// language: attribute maps plus a small expression language evaluated
+// against a (MY, TARGET) pair of ads.
+//
+// Supported syntax:
+//   literals   42, 3.5, "string", true, false, undefined
+//   references Attr, MY.Attr, TARGET.Attr   (case-insensitive)
+//   operators  || && == != < <= > >= + - * / unary! unary-  ( ) ?:
+//   functions  min max floor ceiling round abs pow isUndefined
+//              ifThenElse strcat toLower toUpper size stringListMember
+//
+// Undefined propagates through operators like HTCondor's: any comparison
+// or arithmetic touching undefined is undefined, and a requirements
+// expression only matches when it evaluates to definitively true.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace pga::htc {
+
+/// One attribute value.
+class Value {
+ public:
+  Value() : data_(Undefined{}) {}
+  Value(bool b) : data_(b) {}                         // NOLINT(google-explicit-constructor)
+  Value(long i) : data_(i) {}                         // NOLINT
+  Value(int i) : data_(static_cast<long>(i)) {}       // NOLINT
+  Value(double d) : data_(d) {}                       // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}       // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}     // NOLINT
+
+  [[nodiscard]] bool is_undefined() const;
+  [[nodiscard]] bool is_bool() const;
+  [[nodiscard]] bool is_number() const;  ///< integer or real
+  [[nodiscard]] bool is_integer() const;
+  [[nodiscard]] bool is_string() const;
+
+  /// Numeric view (integer widens to double). Throws if not a number.
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] bool as_bool() const;                ///< throws if not bool
+  [[nodiscard]] const std::string& as_string() const;  ///< throws if not string
+
+  /// Human-readable rendering ("undefined", "true", "42", "\"str\"").
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  struct Undefined {
+    friend bool operator==(const Undefined&, const Undefined&) = default;
+  };
+  std::variant<Undefined, bool, long, double, std::string> data_;
+};
+
+/// An attribute map. Lookup is case-insensitive (attribute names are
+/// normalized to lower case).
+class ClassAd {
+ public:
+  /// Sets (or replaces) an attribute.
+  void set(const std::string& name, Value value);
+
+  /// Attribute value; Undefined when absent.
+  [[nodiscard]] Value get(const std::string& name) const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return attrs_.size(); }
+  [[nodiscard]] const std::map<std::string, Value>& attributes() const {
+    return attrs_;
+  }
+
+ private:
+  std::map<std::string, Value> attrs_;  // keys lower-cased
+};
+
+/// A parsed expression, reusable across evaluations.
+class Expression {
+ public:
+  /// Parses `text`; throws ParseError on syntax errors.
+  static Expression parse(const std::string& text);
+
+  Expression(Expression&&) noexcept;
+  Expression& operator=(Expression&&) noexcept;
+  Expression(const Expression&);
+  Expression& operator=(const Expression&);
+  ~Expression();
+
+  /// Evaluates against a MY ad and an optional TARGET ad. Bare attribute
+  /// references resolve in MY first, then TARGET.
+  [[nodiscard]] Value evaluate(const ClassAd& my, const ClassAd* target = nullptr) const;
+
+  /// HTCondor requirements semantics: true only if evaluate() is the
+  /// boolean true (undefined and non-bool are NOT matches).
+  [[nodiscard]] bool evaluate_bool(const ClassAd& my,
+                                   const ClassAd* target = nullptr) const;
+
+  /// The original source text.
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  /// Parse-tree node (definition private to the implementation file).
+  struct Node;
+
+ private:
+  explicit Expression(std::unique_ptr<Node> root, std::string text);
+  std::unique_ptr<Node> root_;
+  std::string text_;
+};
+
+}  // namespace pga::htc

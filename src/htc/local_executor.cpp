@@ -1,0 +1,28 @@
+#include "htc/local_executor.hpp"
+
+#include <exception>
+
+namespace pga::htc {
+
+std::future<ExecutionRecord> LocalExecutor::submit(std::function<void()> payload) {
+  common::Stopwatch queued;
+  return pool_.submit([payload = std::move(payload), queued]() -> ExecutionRecord {
+    ExecutionRecord record;
+    record.queue_seconds = queued.seconds();
+    const common::Stopwatch running;
+    try {
+      payload();
+      record.success = true;
+    } catch (const std::exception& e) {
+      record.success = false;
+      record.error = e.what();
+    } catch (...) {
+      record.success = false;
+      record.error = "unknown exception";
+    }
+    record.run_seconds = running.seconds();
+    return record;
+  });
+}
+
+}  // namespace pga::htc

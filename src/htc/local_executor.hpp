@@ -1,0 +1,43 @@
+// The "local universe": really executes task callables on a bounded
+// thread pool and produces kickstart-style timing records.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <string>
+
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+
+namespace pga::htc {
+
+/// Outcome + timing of one executed task (the shape of a
+/// pegasus-kickstart invocation record).
+struct ExecutionRecord {
+  bool success = false;
+  std::string error;         ///< exception message when !success
+  double queue_seconds = 0;  ///< submit -> start (local queueing delay)
+  double run_seconds = 0;    ///< start -> end (the "Kickstart Time")
+};
+
+/// Executes std::function<void()> payloads with a fixed worker count
+/// (= the slots the experiment was allocated). Exceptions thrown by the
+/// payload are captured into the record, never propagated — a failing job
+/// must not take down the scheduler (the engine decides about retries).
+class LocalExecutor {
+ public:
+  explicit LocalExecutor(std::size_t slots) : pool_(slots) {}
+
+  /// Submits a payload; the future resolves when it finishes.
+  std::future<ExecutionRecord> submit(std::function<void()> payload);
+
+  [[nodiscard]] std::size_t slots() const { return pool_.size(); }
+
+  /// Blocks until everything submitted so far has finished.
+  void drain() { pool_.wait_idle(); }
+
+ private:
+  common::ThreadPool pool_;
+};
+
+}  // namespace pga::htc

@@ -1,0 +1,54 @@
+#include "htc/matchmaker.hpp"
+
+namespace pga::htc {
+
+MachineAd MachineAd::make(const std::string& name, long cpus, long memory_mb,
+                          double speed_factor, bool has_software_stack) {
+  MachineAd machine;
+  machine.ad.set("name", name);
+  machine.ad.set("cpus", cpus);
+  machine.ad.set("memory", memory_mb);
+  machine.ad.set("speed", speed_factor);
+  machine.ad.set("has_python", has_software_stack);
+  machine.ad.set("has_biopython", has_software_stack);
+  machine.ad.set("has_cap3", has_software_stack);
+  return machine;
+}
+
+bool is_match(const JobAd& job, const MachineAd& machine) {
+  if (job.requirements.has_value() &&
+      !job.requirements->evaluate_bool(job.ad, &machine.ad)) {
+    return false;
+  }
+  if (machine.requirements.has_value() &&
+      !machine.requirements->evaluate_bool(machine.ad, &job.ad)) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<Match> match_best(const JobAd& job,
+                                const std::vector<MachineAd>& machines) {
+  std::optional<Match> best;
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    if (!is_match(job, machines[i])) continue;
+    double rank = 0.0;
+    if (job.rank.has_value()) {
+      const Value v = job.rank->evaluate(job.ad, &machines[i].ad);
+      if (v.is_number()) rank = v.as_number();
+    }
+    if (!best.has_value() || rank > best->rank) best = Match{i, rank};
+  }
+  return best;
+}
+
+std::vector<std::size_t> match_all(const JobAd& job,
+                                   const std::vector<MachineAd>& machines) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    if (is_match(job, machines[i])) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace pga::htc

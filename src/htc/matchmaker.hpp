@@ -1,0 +1,49 @@
+// Condor-style matchmaking: pairing job ads with machine ads.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "htc/classad.hpp"
+
+namespace pga::htc {
+
+/// A machine (execution slot) advertisement plus its own requirements on
+/// jobs it will accept.
+struct MachineAd {
+  ClassAd ad;
+  std::optional<Expression> requirements;  ///< empty = accepts anything
+
+  /// Convenience constructor for the common attributes our platforms use.
+  static MachineAd make(const std::string& name, long cpus, long memory_mb,
+                        double speed_factor, bool has_software_stack);
+};
+
+/// A job advertisement: attributes + requirements + rank.
+struct JobAd {
+  ClassAd ad;
+  std::optional<Expression> requirements;  ///< must be true of the machine
+  std::optional<Expression> rank;          ///< higher is better (numeric)
+};
+
+/// One match decision.
+struct Match {
+  std::size_t machine_index;
+  double rank = 0.0;
+};
+
+/// Two-sided matchmaking: the job's requirements must hold with
+/// (MY=job, TARGET=machine) and the machine's with (MY=machine, TARGET=job).
+bool is_match(const JobAd& job, const MachineAd& machine);
+
+/// Best machine for a job: highest job-rank among matches (ties -> lowest
+/// index). nullopt when nothing matches.
+std::optional<Match> match_best(const JobAd& job,
+                                const std::vector<MachineAd>& machines);
+
+/// All matching machine indices, in input order.
+std::vector<std::size_t> match_all(const JobAd& job,
+                                   const std::vector<MachineAd>& machines);
+
+}  // namespace pga::htc

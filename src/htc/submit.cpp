@@ -1,0 +1,117 @@
+#include "htc/submit.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace pga::htc {
+
+using common::ParseError;
+
+namespace {
+
+/// Types a raw value string: integer, real, boolean, else string.
+Value type_value(std::string_view raw) {
+  const auto trimmed = common::trim(raw);
+  if (trimmed.empty()) return Value(std::string());
+  if (trimmed.size() >= 2 && trimmed.front() == '"' && trimmed.back() == '"') {
+    return Value(std::string(trimmed.substr(1, trimmed.size() - 2)));
+  }
+  const std::string lower = common::to_lower(trimmed);
+  if (lower == "true") return Value(true);
+  if (lower == "false") return Value(false);
+  try {
+    return Value(common::parse_long(trimmed));
+  } catch (const ParseError&) {
+  }
+  try {
+    return Value(common::parse_double(trimmed));
+  } catch (const ParseError&) {
+  }
+  return Value(std::string(trimmed));
+}
+
+}  // namespace
+
+SubmitDescription parse_submit_description(const std::string& text) {
+  SubmitDescription description;
+  bool queue_seen = false;
+
+  std::size_t line_number = 0;
+  for (const auto& raw_line : common::split(text, '\n')) {
+    ++line_number;
+    std::string line(common::trim(raw_line));
+    // Strip trailing comments ('#' outside quotes).
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"') in_quotes = !in_quotes;
+      if (line[i] == '#' && !in_quotes) {
+        line = std::string(common::trim(line.substr(0, i)));
+        break;
+      }
+    }
+    if (line.empty()) continue;
+
+    const std::string lower = common::to_lower(line);
+    if (lower == "queue" || lower.starts_with("queue ")) {
+      if (queue_seen) {
+        throw ParseError("duplicate queue statement at line " +
+                         std::to_string(line_number));
+      }
+      queue_seen = true;
+      const auto rest = common::trim(line.substr(5));
+      if (!rest.empty()) {
+        const long count = common::parse_long(rest);
+        if (count < 1) {
+          throw ParseError("queue count must be >= 1 at line " +
+                           std::to_string(line_number));
+        }
+        description.queue = static_cast<std::size_t>(count);
+      }
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ParseError("expected 'name = value' at line " +
+                       std::to_string(line_number) + ": " + line);
+    }
+    const std::string name = common::to_lower(common::trim(line.substr(0, eq)));
+    const std::string value(common::trim(line.substr(eq + 1)));
+    for (const char c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        throw ParseError("bad attribute name '" + name + "' at line " +
+                         std::to_string(line_number));
+      }
+    }
+
+    if (name == "requirements") {
+      description.job.requirements = Expression::parse(value);
+    } else if (name == "rank") {
+      description.job.rank = Expression::parse(value);
+    } else {
+      description.job.ad.set(name, type_value(value));
+    }
+  }
+  if (!queue_seen) {
+    throw ParseError("submit description has no queue statement");
+  }
+  if (!description.job.ad.has("executable")) {
+    throw ParseError("submit description has no executable");
+  }
+  return description;
+}
+
+std::vector<JobAd> expand_submit_description(const SubmitDescription& description) {
+  std::vector<JobAd> jobs;
+  jobs.reserve(description.queue);
+  for (std::size_t process = 0; process < description.queue; ++process) {
+    JobAd job = description.job;
+    job.ad.set("process", static_cast<long>(process));
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace pga::htc

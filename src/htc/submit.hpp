@@ -1,0 +1,40 @@
+// A condor_submit-style job description parser.
+//
+// Accepts the familiar attribute-per-line format:
+//
+//   # blast2cap3 chunk task
+//   executable     = /util/opt/run_cap3
+//   arguments      = protein_0.txt
+//   request_memory = 4096
+//   requirements   = TARGET.has_cap3 && TARGET.memory >= MY.request_memory
+//   rank           = TARGET.speed
+//   queue 3
+//
+// and produces a JobAd template plus a queue count. Values are typed:
+// integers, reals and booleans are recognized; everything else is a string
+// (surrounding double quotes stripped). `requirements` and `rank` are
+// parsed as ClassAd expressions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "htc/matchmaker.hpp"
+
+namespace pga::htc {
+
+/// Parsed submit description.
+struct SubmitDescription {
+  JobAd job;               ///< template ad with requirements/rank attached
+  std::size_t queue = 1;   ///< number of instances to queue
+};
+
+/// Parses the description; throws ParseError on malformed lines,
+/// duplicate `queue` statements, or invalid expressions.
+SubmitDescription parse_submit_description(const std::string& text);
+
+/// Expands the description into `queue` job ads; each instance gets a
+/// `process` attribute (0-based), mirroring HTCondor's $(Process).
+std::vector<JobAd> expand_submit_description(const SubmitDescription& description);
+
+}  // namespace pga::htc

@@ -1,0 +1,58 @@
+#include "sim/campus_cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace pga::sim {
+
+CampusClusterPlatform::CampusClusterPlatform(EventQueue& queue,
+                                             const CampusClusterConfig& config)
+    : queue_(queue), config_(config), rng_(config.seed) {
+  if (config.allocated_slots == 0) {
+    throw common::InvalidArgument("CampusCluster: allocated_slots must be >= 1");
+  }
+  if (config.node_speed_min <= 0 || config.node_speed_min > config.node_speed_max) {
+    throw common::InvalidArgument("CampusCluster: bad node speed bounds");
+  }
+}
+
+void CampusClusterPlatform::submit(const SimJob& job, AttemptCallback on_complete) {
+  // Batch semantics: the job enters the FIFO immediately; the (small)
+  // scheduler dispatch latency is paid when a slot is assigned.
+  Pending pending{job, std::move(on_complete), queue_.now(), queue_.now()};
+  waiting_.push_back(std::move(pending));
+  try_dispatch();
+}
+
+void CampusClusterPlatform::try_dispatch() {
+  while (busy_ < config_.allocated_slots && !waiting_.empty()) {
+    Pending pending = std::move(waiting_.front());
+    waiting_.pop_front();
+    ++busy_;
+
+    const double latency = rng_.lognormal(config_.dispatch_mu, config_.dispatch_sigma);
+    const double speed = rng_.uniform(config_.node_speed_min, config_.node_speed_max);
+    const double exec = pending.job.cpu_seconds / speed;
+    const std::string node = "sandhills-node-" + std::to_string(node_counter_++ % 44);
+
+    AttemptResult result;
+    result.job_id = pending.job.id;
+    result.transformation = pending.job.transformation;
+    result.node = node;
+    result.submit_time = pending.submit_time;
+    result.start_time = queue_.now() + latency;
+    result.wait_seconds = result.start_time - pending.submit_time;
+    result.install_seconds = 0;  // software stack is preinstalled
+    result.exec_seconds = exec;
+    result.end_time = result.start_time + exec;
+    result.success = true;  // the campus cluster never preempts or fails
+
+    queue_.schedule_in(latency + exec, [this, result = std::move(result),
+                                        cb = std::move(pending.on_complete)]() {
+      --busy_;
+      cb(result);
+      try_dispatch();
+    });
+  }
+}
+
+}  // namespace pga::sim

@@ -1,0 +1,77 @@
+#include "sim/cloud.hpp"
+
+#include "common/error.hpp"
+
+namespace pga::sim {
+
+CloudPlatform::CloudPlatform(EventQueue& queue, const CloudConfig& config)
+    : queue_(queue),
+      config_(config),
+      rng_(config.seed),
+      vm_ready_(config.vms, false),
+      vm_busy_(config.vms, false) {
+  if (config.vms == 0) throw common::InvalidArgument("Cloud: vms must be >= 1");
+  if (config.node_speed <= 0) {
+    throw common::InvalidArgument("Cloud: node_speed must be > 0");
+  }
+}
+
+void CloudPlatform::submit(const SimJob& job, AttemptCallback on_complete) {
+  waiting_.push_back(Pending{job, std::move(on_complete), queue_.now()});
+  try_dispatch();
+}
+
+void CloudPlatform::try_dispatch() {
+  while (!waiting_.empty()) {
+    // First idle VM; prefer already-provisioned ones.
+    std::size_t vm = config_.vms;
+    for (std::size_t i = 0; i < config_.vms; ++i) {
+      if (!vm_busy_[i] && vm_ready_[i]) {
+        vm = i;
+        break;
+      }
+    }
+    if (vm == config_.vms) {
+      for (std::size_t i = 0; i < config_.vms; ++i) {
+        if (!vm_busy_[i]) {
+          vm = i;
+          break;
+        }
+      }
+    }
+    if (vm == config_.vms) return;  // all busy
+
+    Pending pending = std::move(waiting_.front());
+    waiting_.pop_front();
+    vm_busy_[vm] = true;
+
+    double provision = 0;
+    if (!vm_ready_[vm]) {
+      provision = rng_.lognormal(config_.provision_mu, config_.provision_sigma);
+      vm_ready_[vm] = true;
+      ++provisioned_;
+    }
+    const double exec = pending.job.cpu_seconds / config_.node_speed;
+
+    AttemptResult result;
+    result.job_id = pending.job.id;
+    result.transformation = pending.job.transformation;
+    result.node = "cloud-vm-" + std::to_string(vm);
+    result.submit_time = pending.submit_time;
+    result.start_time = queue_.now() + provision;
+    result.wait_seconds = (queue_.now() + provision) - pending.submit_time;
+    result.install_seconds = 0;  // stack baked into the image
+    result.exec_seconds = exec;
+    result.end_time = queue_.now() + provision + exec;
+    result.success = true;
+
+    queue_.schedule_in(provision + exec, [this, vm, result = std::move(result),
+                                          cb = std::move(pending.on_complete)]() {
+      vm_busy_[vm] = false;
+      cb(result);
+      try_dispatch();
+    });
+  }
+}
+
+}  // namespace pga::sim

@@ -1,0 +1,32 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace pga::sim {
+
+void EventQueue::schedule(double time, Action action) {
+  if (time < now_) {
+    throw common::InvalidArgument("EventQueue: scheduling into the past (" +
+                                  std::to_string(time) + " < " +
+                                  std::to_string(now_) + ")");
+  }
+  events_.push(Event{time, sequence_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  // Move out before popping; the action may schedule new events.
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = event.time;
+  event.action();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (processed < max_events && step()) ++processed;
+  return processed;
+}
+
+}  // namespace pga::sim

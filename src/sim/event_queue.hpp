@@ -1,0 +1,57 @@
+// Discrete-event simulation core: a time-ordered event queue and clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pga::sim {
+
+/// The simulation executive. Events are (time, action) pairs; step() pops
+/// the earliest event, advances the clock to its time, and runs it.
+/// Simultaneous events run in scheduling (FIFO) order, which makes every
+/// simulation fully deterministic.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute simulation time `time` (>= now()).
+  /// Throws InvalidArgument for events in the past.
+  void schedule(double time, Action action);
+
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(double delay, Action action) { schedule(now_ + delay, std::move(action)); }
+
+  /// Runs the earliest pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue drains (or `max_events` is hit, as a
+  /// runaway guard). Returns the number of events processed.
+  std::size_t run(std::size_t max_events = 100'000'000);
+
+  /// Current simulation time (seconds).
+  [[nodiscard]] double now() const { return now_; }
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t sequence;  // FIFO tiebreak
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  double now_ = 0;
+  std::uint64_t sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace pga::sim

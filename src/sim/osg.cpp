@@ -1,0 +1,114 @@
+#include "sim/osg.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pga::sim {
+
+OsgPlatform::OsgPlatform(EventQueue& queue, const OsgConfig& config)
+    : queue_(queue), config_(config), rng_(config.seed), capacity_(config.base_slots) {
+  if (config.base_slots == 0) {
+    throw common::InvalidArgument("Osg: base_slots must be >= 1");
+  }
+  if (config.capacity_wobble < 0 || config.capacity_wobble >= 1.0) {
+    throw common::InvalidArgument("Osg: capacity_wobble must be in [0,1)");
+  }
+  if (config.node_speed_min <= 0 || config.node_speed_min > config.node_speed_max) {
+    throw common::InvalidArgument("Osg: bad node speed bounds");
+  }
+  if (config.install_min < 0 || config.install_min > config.install_max) {
+    throw common::InvalidArgument("Osg: bad install bounds");
+  }
+  if (config.preempt_mean <= 0) {
+    throw common::InvalidArgument("Osg: preempt_mean must be > 0");
+  }
+}
+
+void OsgPlatform::schedule_capacity_change() {
+  queue_.schedule_in(rng_.exponential(config_.capacity_period), [this] {
+    // Glideins arrive and depart: capacity wanders within
+    // [base*(1-wobble), base*(1+wobble)].
+    const double base = static_cast<double>(config_.base_slots);
+    const auto lo = static_cast<std::size_t>(
+        std::max(1.0, base * (1.0 - config_.capacity_wobble)));
+    const auto hi =
+        static_cast<std::size_t>(base * (1.0 + config_.capacity_wobble));
+    capacity_ = static_cast<std::size_t>(
+        rng_.range(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+    try_dispatch();  // capacity may have grown
+    // Keep fluctuating only while the pool has work; otherwise pause the
+    // process so an idle platform leaves the event queue empty (a later
+    // submit restarts it).
+    if (busy_ > 0 || !waiting_.empty()) {
+      schedule_capacity_change();
+    } else {
+      capacity_process_started_ = false;
+    }
+  });
+}
+
+void OsgPlatform::submit(const SimJob& job, AttemptCallback on_complete) {
+  if (!capacity_process_started_ && config_.capacity_wobble > 0) {
+    capacity_process_started_ = true;
+    schedule_capacity_change();
+  }
+  Pending pending{job, std::move(on_complete), queue_.now()};
+  // Opportunistic matchmaking delay, heavy-tailed.
+  const double match_delay = rng_.lognormal(config_.wait_mu, config_.wait_sigma);
+  queue_.schedule_in(match_delay, [this, pending = std::move(pending)]() mutable {
+    waiting_.push_back(std::move(pending));
+    try_dispatch();
+  });
+}
+
+void OsgPlatform::try_dispatch() {
+  while (busy_ < capacity_ && !waiting_.empty()) {
+    Pending pending = std::move(waiting_.front());
+    waiting_.pop_front();
+    ++busy_;
+
+    const double speed = rng_.uniform(config_.node_speed_min, config_.node_speed_max);
+    const double install =
+        pending.job.needs_software_setup
+            ? rng_.uniform(config_.install_min, config_.install_max)
+            : 0.0;
+    const double exec_needed = pending.job.cpu_seconds / speed;
+    const double time_to_preempt = rng_.exponential(config_.preempt_mean);
+    const std::string node = "osg-site-" + std::to_string(node_counter_++ % 23);
+
+    AttemptResult result;
+    result.job_id = pending.job.id;
+    result.transformation = pending.job.transformation;
+    result.node = node;
+    result.submit_time = pending.submit_time;
+    result.start_time = queue_.now();
+    result.wait_seconds = queue_.now() - pending.submit_time;
+    result.install_seconds = install;
+
+    double duration;
+    if (time_to_preempt < install + exec_needed) {
+      // The resource owner reclaimed the machine mid-attempt.
+      ++preemptions_;
+      result.success = false;
+      result.failure = "preempted";
+      duration = time_to_preempt;
+      result.install_seconds = std::min(install, time_to_preempt);
+      result.exec_seconds = std::max(0.0, time_to_preempt - install);
+    } else {
+      result.success = true;
+      duration = install + exec_needed;
+      result.exec_seconds = exec_needed;
+    }
+    result.end_time = queue_.now() + duration;
+
+    queue_.schedule_in(duration, [this, result = std::move(result),
+                                  cb = std::move(pending.on_complete)]() {
+      --busy_;
+      cb(result);
+      try_dispatch();
+    });
+  }
+}
+
+}  // namespace pga::sim

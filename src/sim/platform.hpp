@@ -1,0 +1,60 @@
+// Execution platform models.
+//
+// A platform accepts jobs (with a CPU-seconds cost) and reports one
+// *attempt result* per try via callback: queueing delay, software
+// download/install overhead, execution time, and success/failure. Retries
+// are the scheduler's (DAGMan's) business, exactly as in the real stack.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hpp"
+
+namespace pga::sim {
+
+/// One job submitted to a platform.
+struct SimJob {
+  std::string id;
+  std::string transformation;    ///< task type, e.g. "run_cap3"
+  double cpu_seconds = 0;        ///< work at speed factor 1.0
+  bool needs_software_setup = false;  ///< pay install overhead on platforms
+                                      ///< without a preinstalled stack
+};
+
+/// Outcome of one attempt at running a job.
+struct AttemptResult {
+  std::string job_id;
+  std::string transformation;
+  std::string node;          ///< execution host label
+  double submit_time = 0;    ///< when this attempt entered the platform
+  double start_time = 0;     ///< when setup/execution began on the node
+  double end_time = 0;       ///< when the attempt finished (or died)
+  double wait_seconds = 0;   ///< submit -> node assignment ("Waiting Time")
+  double install_seconds = 0;  ///< software download/install overhead
+  double exec_seconds = 0;   ///< execution time ("Kickstart Time"); partial on failure
+  bool success = false;
+  std::string failure;       ///< e.g. "preempted" when !success
+};
+
+/// Callback invoked exactly once per attempt.
+using AttemptCallback = std::function<void(const AttemptResult&)>;
+
+/// Abstract platform. Implementations share one EventQueue (the
+/// experiment's clock) owned by the caller.
+class ExecutionPlatform {
+ public:
+  virtual ~ExecutionPlatform() = default;
+
+  /// Enqueues one attempt of `job`. The callback fires (via the event
+  /// queue) when the attempt completes or fails.
+  virtual void submit(const SimJob& job, AttemptCallback on_complete) = 0;
+
+  /// Platform label ("sandhills", "osg", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Slots the platform can run concurrently (for utilization reporting).
+  [[nodiscard]] virtual std::size_t slots() const = 0;
+};
+
+}  // namespace pga::sim

@@ -1,0 +1,69 @@
+#include "wms/catalog.hpp"
+
+#include "common/error.hpp"
+
+namespace pga::wms {
+
+void ReplicaCatalog::add(const std::string& lfn, Replica replica) {
+  if (lfn.empty()) throw common::InvalidArgument("empty LFN");
+  entries_[lfn].push_back(std::move(replica));
+}
+
+std::vector<Replica> ReplicaCatalog::lookup(const std::string& lfn) const {
+  const auto it = entries_.find(lfn);
+  return it == entries_.end() ? std::vector<Replica>{} : it->second;
+}
+
+std::optional<Replica> ReplicaCatalog::best_for_site(const std::string& lfn,
+                                                     const std::string& site) const {
+  const auto it = entries_.find(lfn);
+  if (it == entries_.end() || it->second.empty()) return std::nullopt;
+  for (const auto& replica : it->second) {
+    if (replica.site == site) return replica;
+  }
+  return it->second.front();
+}
+
+bool ReplicaCatalog::has(const std::string& lfn) const {
+  return entries_.count(lfn) != 0;
+}
+
+void TransformationCatalog::add(const std::string& transformation,
+                                const std::string& site, TransformationEntry entry) {
+  if (transformation.empty()) throw common::InvalidArgument("empty transformation");
+  entries_[{transformation, site}] = std::move(entry);
+}
+
+std::optional<TransformationEntry> TransformationCatalog::lookup(
+    const std::string& transformation, const std::string& site) const {
+  const auto it = entries_.find({transformation, site});
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool TransformationCatalog::available(const std::string& transformation,
+                                      const std::string& site) const {
+  return entries_.count({transformation, site}) != 0;
+}
+
+void SiteCatalog::add(SiteEntry site) {
+  if (site.name.empty()) throw common::InvalidArgument("empty site name");
+  sites_[site.name] = std::move(site);
+}
+
+const SiteEntry& SiteCatalog::site(const std::string& name) const {
+  const auto it = sites_.find(name);
+  if (it == sites_.end()) throw common::InvalidArgument("unknown site: " + name);
+  return it->second;
+}
+
+bool SiteCatalog::has(const std::string& name) const { return sites_.count(name) != 0; }
+
+std::vector<std::string> SiteCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, entry] : sites_) out.push_back(name);
+  return out;
+}
+
+}  // namespace pga::wms

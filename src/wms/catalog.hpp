@@ -1,0 +1,88 @@
+// Pegasus catalogs: where data lives (replica), where executables live
+// (transformation), and what execution sites look like (site).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pga::wms {
+
+/// One physical replica of a logical file.
+struct Replica {
+  std::string pfn;   ///< physical file name (path/URL)
+  std::string site;  ///< site holding it ("local", "sandhills", ...)
+  std::uint64_t size_bytes = 0;  ///< 0 = unknown; drives transfer-cost hints
+};
+
+/// LFN -> replicas. The planner stages inputs in from here.
+class ReplicaCatalog {
+ public:
+  void add(const std::string& lfn, Replica replica);
+  [[nodiscard]] std::vector<Replica> lookup(const std::string& lfn) const;
+  /// First replica at `site`, else first replica anywhere, else nullopt.
+  [[nodiscard]] std::optional<Replica> best_for_site(const std::string& lfn,
+                                                     const std::string& site) const;
+  [[nodiscard]] bool has(const std::string& lfn) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  /// All entries, LFN-ordered (for serialization).
+  [[nodiscard]] const std::map<std::string, std::vector<Replica>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::vector<Replica>> entries_;
+};
+
+/// One installed (or stageable) executable.
+struct TransformationEntry {
+  std::string pfn;        ///< executable path at the site
+  bool installed = true;  ///< false = must be staged/installed before use
+};
+
+/// (transformation, site) -> entry.
+class TransformationCatalog {
+ public:
+  void add(const std::string& transformation, const std::string& site,
+           TransformationEntry entry);
+  [[nodiscard]] std::optional<TransformationEntry> lookup(
+      const std::string& transformation, const std::string& site) const;
+  [[nodiscard]] bool available(const std::string& transformation,
+                               const std::string& site) const;
+  /// All entries, (transformation, site)-ordered (for serialization).
+  [[nodiscard]] const std::map<std::pair<std::string, std::string>,
+                               TransformationEntry>&
+  entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::pair<std::string, std::string>, TransformationEntry> entries_;
+};
+
+/// Description of one execution site.
+struct SiteEntry {
+  std::string name;
+  std::size_t slots = 1;              ///< concurrently usable slots
+  bool software_preinstalled = true;  ///< Python/Biopython/CAP3 stack present
+  std::string scratch_dir = "/scratch";
+  /// Sustained transfer bandwidth into the site's scratch (bytes/second);
+  /// drives stage-in/out cost hints when replica sizes are known.
+  double stage_bandwidth_bps = 50e6;
+};
+
+/// Site name -> entry.
+class SiteCatalog {
+ public:
+  void add(SiteEntry site);
+  [[nodiscard]] const SiteEntry& site(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, SiteEntry> sites_;
+};
+
+}  // namespace pga::wms

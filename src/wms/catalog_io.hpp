@@ -1,0 +1,51 @@
+// File formats for the catalogs — Pegasus configures planning through
+// catalog *files* (replica catalog rc.txt, transformation catalog tc.txt,
+// site catalog sites.xml); this module reads and writes the same shapes.
+//
+// Replica catalog (rc.txt), one replica per line:
+//   transcripts.fasta /data/transcripts.fasta site="local" size="423624704"
+//
+// Transformation catalog (tc.txt), blocks:
+//   tr run_cap3 {
+//     site sandhills {
+//       pfn "/util/opt/run_cap3"
+//       type "INSTALLED"          # or "STAGEABLE"
+//     }
+//   }
+//
+// Site catalog (sites.xml):
+//   <sitecatalog>
+//     <site handle="sandhills" slots="512" preinstalled="true"
+//           scratch="/work/scratch" bandwidth="100000000"/>
+//   </sitecatalog>
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "wms/catalog.hpp"
+
+namespace pga::wms {
+
+/// Renders / parses the replica catalog text format.
+std::string to_rc_text(const ReplicaCatalog& catalog);
+ReplicaCatalog parse_rc_text(const std::string& text);
+
+/// Renders / parses the transformation catalog text format.
+std::string to_tc_text(const TransformationCatalog& catalog);
+TransformationCatalog parse_tc_text(const std::string& text);
+
+/// Renders / parses the site catalog XML format.
+std::string to_site_xml(const SiteCatalog& catalog);
+SiteCatalog parse_site_xml(const std::string& xml_text);
+
+/// File wrappers.
+void write_rc_file(const std::filesystem::path& path, const ReplicaCatalog& catalog);
+ReplicaCatalog read_rc_file(const std::filesystem::path& path);
+void write_tc_file(const std::filesystem::path& path,
+                   const TransformationCatalog& catalog);
+TransformationCatalog read_tc_file(const std::filesystem::path& path);
+void write_site_file(const std::filesystem::path& path, const SiteCatalog& catalog);
+SiteCatalog read_site_file(const std::filesystem::path& path);
+
+}  // namespace pga::wms

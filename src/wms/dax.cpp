@@ -1,0 +1,194 @@
+#include "wms/dax.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace pga::wms {
+
+using common::InvalidArgument;
+using common::WorkflowError;
+
+std::vector<std::string> AbstractJob::inputs() const {
+  std::vector<std::string> out;
+  for (const auto& use : uses) {
+    if (use.link == LinkType::kInput) out.push_back(use.lfn);
+  }
+  return out;
+}
+
+std::vector<std::string> AbstractJob::outputs() const {
+  std::vector<std::string> out;
+  for (const auto& use : uses) {
+    if (use.link == LinkType::kOutput) out.push_back(use.lfn);
+  }
+  return out;
+}
+
+AbstractWorkflow::AbstractWorkflow(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw InvalidArgument("workflow name must not be empty");
+}
+
+void AbstractWorkflow::add_job(AbstractJob job) {
+  if (job.id.empty()) throw InvalidArgument("job id must not be empty");
+  if (job.transformation.empty()) {
+    throw InvalidArgument("job " + job.id + " has no transformation");
+  }
+  if (index_.count(job.id)) throw InvalidArgument("duplicate job id: " + job.id);
+  index_.emplace(job.id, jobs_.size());
+  jobs_.push_back(std::move(job));
+}
+
+bool AbstractWorkflow::path_exists(const std::string& from, const std::string& to) const {
+  std::deque<std::string> frontier{from};
+  std::set<std::string> seen{from};
+  while (!frontier.empty()) {
+    const std::string current = std::move(frontier.front());
+    frontier.pop_front();
+    if (current == to) return true;
+    const auto it = children_.find(current);
+    if (it == children_.end()) continue;
+    for (const auto& next : it->second) {
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+void AbstractWorkflow::add_dependency(const std::string& parent,
+                                      const std::string& child) {
+  if (!index_.count(parent)) throw InvalidArgument("unknown parent job: " + parent);
+  if (!index_.count(child)) throw InvalidArgument("unknown child job: " + child);
+  if (parent == child) throw WorkflowError("self-dependency on " + parent);
+  if (children_.count(parent) && children_.at(parent).count(child)) return;
+  if (path_exists(child, parent)) {
+    throw WorkflowError("dependency " + parent + " -> " + child + " creates a cycle");
+  }
+  children_[parent].insert(child);
+  parents_[child].insert(parent);
+}
+
+void AbstractWorkflow::infer_dependencies_from_files() {
+  std::map<std::string, std::string> producer;  // lfn -> job id
+  for (const auto& job : jobs_) {
+    for (const auto& lfn : job.outputs()) {
+      const auto [it, inserted] = producer.emplace(lfn, job.id);
+      if (!inserted) {
+        throw WorkflowError("file " + lfn + " produced by both " + it->second +
+                            " and " + job.id);
+      }
+    }
+  }
+  for (const auto& job : jobs_) {
+    for (const auto& lfn : job.inputs()) {
+      const auto it = producer.find(lfn);
+      if (it != producer.end() && it->second != job.id) {
+        add_dependency(it->second, job.id);
+      }
+    }
+  }
+}
+
+const AbstractJob& AbstractWorkflow::job(const std::string& id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw InvalidArgument("unknown job: " + id);
+  return jobs_[it->second];
+}
+
+bool AbstractWorkflow::has_job(const std::string& id) const {
+  return index_.count(id) != 0;
+}
+
+std::vector<std::string> AbstractWorkflow::parents(const std::string& id) const {
+  if (!index_.count(id)) throw InvalidArgument("unknown job: " + id);
+  const auto it = parents_.find(id);
+  if (it == parents_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<std::string> AbstractWorkflow::children(const std::string& id) const {
+  if (!index_.count(id)) throw InvalidArgument("unknown job: " + id);
+  const auto it = children_.find(id);
+  if (it == children_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::size_t AbstractWorkflow::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& [parent, kids] : children_) total += kids.size();
+  return total;
+}
+
+std::vector<std::string> AbstractWorkflow::topological_order() const {
+  std::map<std::string, std::size_t> in_degree;
+  for (const auto& job : jobs_) in_degree[job.id] = 0;
+  for (const auto& [parent, kids] : children_) {
+    for (const auto& kid : kids) ++in_degree[kid];
+  }
+  // Seed with roots in insertion order for a stable result.
+  std::deque<std::string> ready;
+  for (const auto& job : jobs_) {
+    if (in_degree[job.id] == 0) ready.push_back(job.id);
+  }
+  std::vector<std::string> order;
+  order.reserve(jobs_.size());
+  while (!ready.empty()) {
+    const std::string current = std::move(ready.front());
+    ready.pop_front();
+    order.push_back(current);
+    const auto it = children_.find(current);
+    if (it == children_.end()) continue;
+    for (const auto& kid : it->second) {
+      if (--in_degree[kid] == 0) ready.push_back(kid);
+    }
+  }
+  if (order.size() != jobs_.size()) {
+    throw WorkflowError("workflow " + name_ + " contains a cycle");
+  }
+  return order;
+}
+
+std::vector<std::string> AbstractWorkflow::workflow_inputs() const {
+  std::set<std::string> produced;
+  std::set<std::string> consumed;
+  for (const auto& job : jobs_) {
+    for (const auto& lfn : job.outputs()) produced.insert(lfn);
+    for (const auto& lfn : job.inputs()) consumed.insert(lfn);
+  }
+  std::vector<std::string> result;
+  for (const auto& lfn : consumed) {
+    if (!produced.count(lfn)) result.push_back(lfn);
+  }
+  return result;
+}
+
+std::vector<std::string> AbstractWorkflow::workflow_outputs() const {
+  std::set<std::string> produced;
+  std::set<std::string> consumed;
+  for (const auto& job : jobs_) {
+    for (const auto& lfn : job.outputs()) produced.insert(lfn);
+    for (const auto& lfn : job.inputs()) consumed.insert(lfn);
+  }
+  std::vector<std::string> result;
+  for (const auto& lfn : produced) {
+    if (!consumed.count(lfn)) result.push_back(lfn);
+  }
+  return result;
+}
+
+void AbstractWorkflow::validate() const {
+  std::map<std::string, std::string> producer;
+  for (const auto& job : jobs_) {
+    for (const auto& lfn : job.outputs()) {
+      const auto [it, inserted] = producer.emplace(lfn, job.id);
+      if (!inserted) {
+        throw WorkflowError("file " + lfn + " produced by both " + it->second +
+                            " and " + job.id);
+      }
+    }
+  }
+  (void)topological_order();  // throws on cycles
+}
+
+}  // namespace pga::wms

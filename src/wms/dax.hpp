@@ -1,0 +1,93 @@
+// Abstract workflows — the DAX layer of the Pegasus model.
+//
+// An abstract workflow names *logical* transformations and files only; it
+// knows nothing about sites, physical paths, or software setup. The
+// planner (planner.hpp) maps it onto a concrete, executable workflow.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pga::wms {
+
+/// Direction of a file use.
+enum class LinkType { kInput, kOutput };
+
+/// One logical-file usage by a job.
+struct FileUse {
+  std::string lfn;  ///< logical file name, e.g. "alignments.out"
+  LinkType link = LinkType::kInput;
+
+  friend bool operator==(const FileUse&, const FileUse&) = default;
+};
+
+/// One abstract job (a DAX <job> element).
+struct AbstractJob {
+  std::string id;              ///< unique within the workflow, e.g. "split"
+  std::string transformation;  ///< logical executable name
+  std::vector<std::string> args;
+  std::vector<FileUse> uses;
+  /// Cost-model hint: CPU-seconds of work at reference speed. Carried into
+  /// the concrete workflow for simulated execution.
+  double cpu_seconds_hint = 0;
+
+  [[nodiscard]] std::vector<std::string> inputs() const;
+  [[nodiscard]] std::vector<std::string> outputs() const;
+};
+
+/// A directed acyclic graph of abstract jobs.
+class AbstractWorkflow {
+ public:
+  explicit AbstractWorkflow(std::string name);
+
+  /// Adds a job; throws InvalidArgument on duplicate or empty id.
+  void add_job(AbstractJob job);
+
+  /// Adds an explicit parent -> child edge; both ids must exist; duplicate
+  /// edges are ignored. Throws WorkflowError if the edge creates a cycle.
+  void add_dependency(const std::string& parent, const std::string& child);
+
+  /// Derives edges from data flow: if job A outputs an LFN that job B
+  /// inputs, adds A -> B. Call after all jobs are added (Pegasus does the
+  /// same from <uses> declarations).
+  void infer_dependencies_from_files();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<AbstractJob>& jobs() const { return jobs_; }
+  [[nodiscard]] const AbstractJob& job(const std::string& id) const;
+  [[nodiscard]] bool has_job(const std::string& id) const;
+
+  /// Parents of `id` (sorted).
+  [[nodiscard]] std::vector<std::string> parents(const std::string& id) const;
+  /// Children of `id` (sorted).
+  [[nodiscard]] std::vector<std::string> children(const std::string& id) const;
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Kahn topological order; throws WorkflowError if the graph is cyclic
+  /// (cannot normally happen — add_dependency rejects cycles).
+  [[nodiscard]] std::vector<std::string> topological_order() const;
+
+  /// LFNs consumed by some job but produced by none: the workflow's
+  /// external inputs (must come from the replica catalog).
+  [[nodiscard]] std::vector<std::string> workflow_inputs() const;
+
+  /// LFNs produced but never consumed: the workflow's final outputs.
+  [[nodiscard]] std::vector<std::string> workflow_outputs() const;
+
+  /// Sanity checks: every LFN has at most one producer. Throws
+  /// WorkflowError with a description of the first violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<AbstractJob> jobs_;
+  std::map<std::string, std::size_t> index_;           // id -> jobs_ index
+  std::map<std::string, std::set<std::string>> children_;
+  std::map<std::string, std::set<std::string>> parents_;
+
+  [[nodiscard]] bool path_exists(const std::string& from, const std::string& to) const;
+};
+
+}  // namespace pga::wms

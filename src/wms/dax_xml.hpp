@@ -1,0 +1,39 @@
+// DAX XML serialization — the interchange format Pegasus tools consume
+// ("directed acyclic graph in XML", §III of the paper).
+//
+// The writer emits DAX-3-style documents:
+//
+//   <adag name="blast2cap3">
+//     <job id="split" name="split_alignments">
+//       <argument>-n 300</argument>
+//       <uses file="alignments_list.txt" link="input"/>
+//       <uses file="protein_0.txt" link="output"/>
+//     </job>
+//     <child ref="run_cap3_0"><parent ref="split"/></child>
+//   </adag>
+//
+// The reader parses exactly this subset (elements, attributes, text
+// content; no namespaces, CDATA or processing instructions) — enough for
+// round-tripping every workflow this library generates.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "wms/dax.hpp"
+
+namespace pga::wms {
+
+/// Renders a workflow as DAX XML.
+std::string to_dax_xml(const AbstractWorkflow& workflow);
+
+/// Parses DAX XML back into a workflow. Throws ParseError on malformed
+/// documents and WorkflowError on semantic violations (duplicate ids,
+/// cyclic dependencies).
+AbstractWorkflow from_dax_xml(const std::string& xml);
+
+/// Convenience file wrappers.
+void write_dax_file(const std::filesystem::path& path, const AbstractWorkflow& workflow);
+AbstractWorkflow read_dax_file(const std::filesystem::path& path);
+
+}  // namespace pga::wms

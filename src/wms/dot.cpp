@@ -1,0 +1,69 @@
+#include "wms/dot.hpp"
+
+#include <sstream>
+
+namespace pga::wms {
+
+namespace {
+
+/// DOT identifiers: quote and escape.
+std::string quoted(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const AbstractWorkflow& workflow) {
+  std::ostringstream os;
+  os << "digraph " << quoted(workflow.name()) << " {\n";
+  os << "  rankdir=TB;\n  node [shape=ellipse, fontname=\"Helvetica\"];\n";
+  for (const auto& job : workflow.jobs()) {
+    os << "  " << quoted(job.id) << " [label="
+       << quoted(job.id + "\\n(" + job.transformation + ")") << "];\n";
+  }
+  for (const auto& job : workflow.jobs()) {
+    for (const auto& child : workflow.children(job.id)) {
+      os << "  " << quoted(job.id) << " -> " << quoted(child) << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const ConcreteWorkflow& workflow) {
+  std::ostringstream os;
+  os << "digraph " << quoted(workflow.name()) << " {\n";
+  os << "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  for (const auto& job : workflow.jobs()) {
+    const char* shape = "ellipse";
+    switch (job.kind) {
+      case JobKind::kStageIn:
+      case JobKind::kStageOut: shape = "parallelogram"; break;
+      case JobKind::kSetup:
+      case JobKind::kCleanup: shape = "box"; break;
+      case JobKind::kCompute:
+      case JobKind::kClustered: shape = "ellipse"; break;
+    }
+    // The Fig. 3 red rectangles: tasks with a download/install step.
+    if (job.needs_software_setup) shape = "box";
+    os << "  " << quoted(job.id) << " [shape=" << shape << ", label="
+       << quoted(job.id + "\\n(" + job.transformation + ")");
+    if (job.needs_software_setup) os << ", color=red, fontcolor=red";
+    os << "];\n";
+  }
+  for (const auto& job : workflow.jobs()) {
+    for (const auto& child : workflow.children(job.id)) {
+      os << "  " << quoted(job.id) << " -> " << quoted(child) << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pga::wms

@@ -1,0 +1,230 @@
+#include "wms/engine.hpp"
+
+#include <deque>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/fsutil.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace pga::wms {
+
+DagmanEngine::DagmanEngine(EngineOptions options) : options_(std::move(options)) {
+  if (options_.retries < 0) {
+    throw common::InvalidArgument("EngineOptions.retries must be >= 0");
+  }
+}
+
+std::set<std::string> DagmanEngine::read_rescue_file(
+    const std::filesystem::path& path) {
+  std::set<std::string> done;
+  for (const auto& line : common::read_lines(path)) {
+    const auto fields = common::split_ws(line);
+    if (fields.size() == 2 && fields[0] == "DONE") done.insert(fields[1]);
+  }
+  return done;
+}
+
+RunReport DagmanEngine::run(const ConcreteWorkflow& workflow,
+                            ExecutionService& service) {
+  return run_internal(workflow, service, {});
+}
+
+RunReport DagmanEngine::run_rescue(const ConcreteWorkflow& workflow,
+                                   ExecutionService& service,
+                                   const std::filesystem::path& rescue_file) {
+  return run_internal(workflow, service, read_rescue_file(rescue_file));
+}
+
+RunReport DagmanEngine::run_with_workflow_retries(const ConcreteWorkflow& workflow,
+                                                  ExecutionService& service,
+                                                  int workflow_attempts) {
+  if (workflow_attempts < 1) {
+    throw common::InvalidArgument("workflow_attempts must be >= 1");
+  }
+  if (!options_.rescue_path.has_value()) {
+    throw common::InvalidArgument(
+        "run_with_workflow_retries requires options.rescue_path");
+  }
+  RunReport report = run(workflow, service);
+  for (int attempt = 1; !report.success && attempt < workflow_attempts; ++attempt) {
+    common::log_info() << "workflow " << workflow.name() << " failed; resuming from "
+                       << options_.rescue_path->string() << " (attempt "
+                       << attempt + 1 << "/" << workflow_attempts << ")";
+    report = run_rescue(workflow, service, *options_.rescue_path);
+  }
+  return report;
+}
+
+RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
+                                     ExecutionService& service,
+                                     const std::set<std::string>& already_done) {
+  RunReport report;
+  report.workflow = workflow.name();
+  report.service = service.label();
+  report.jobs_total = workflow.jobs().size();
+  report.start_time = service.now();
+
+  StatusBoard* status = options_.status;
+  if (status != nullptr) status->begin(workflow.name(), workflow.jobs().size());
+  const auto publish = [status](const std::string& job, JobState state) {
+    if (status != nullptr) status->set_state(job, state);
+  };
+
+  const auto log_event = [&](const std::string& job, const std::string& event) {
+    std::ostringstream os;
+    os << common::format_fixed(service.now(), 3) << " " << job << " " << event;
+    report.jobstate_log.push_back(os.str());
+  };
+
+  // Per-job bookkeeping.
+  std::map<std::string, std::size_t> remaining_parents;
+  std::map<std::string, JobRun> runs;
+  for (const auto& job : workflow.jobs()) {
+    remaining_parents[job.id] = workflow.parents(job.id).size();
+    JobRun run;
+    run.id = job.id;
+    run.transformation = job.transformation;
+    run.kind = job.kind;
+    runs.emplace(job.id, std::move(run));
+  }
+
+  std::set<std::string> done;        // succeeded or rescued
+  std::set<std::string> dead;        // exhausted retries
+  std::size_t outstanding = 0;
+
+  // Seed with rescued jobs: they complete instantly without attempts.
+  std::deque<std::string> ready;
+  const auto on_success = [&](const std::string& id) {
+    done.insert(id);
+    for (const auto& child : workflow.children(id)) {
+      if (--remaining_parents[child] == 0) {
+        ready.push_back(child);
+        publish(child, JobState::kReady);
+      }
+    }
+  };
+
+  for (const auto& id : workflow.topological_order()) {
+    if (already_done.count(id)) {
+      runs[id].succeeded = true;
+      runs[id].skipped_by_rescue = true;
+      ++report.jobs_skipped;
+      log_event(id, "RESCUED");
+      publish(id, JobState::kRescued);
+    }
+  }
+  // Release rescued completions in topological order so children of
+  // rescued chains seed correctly.
+  for (const auto& id : workflow.topological_order()) {
+    if (already_done.count(id)) on_success(id);
+  }
+  for (const auto& id : workflow.topological_order()) {
+    if (!already_done.count(id) && remaining_parents[id] == 0) {
+      // Not rescued and no unfinished parents: initially ready (unless a
+      // rescued parent already pushed it via on_success).
+      bool queued = false;
+      for (const auto& r : ready) {
+        if (r == id) {
+          queued = true;
+          break;
+        }
+      }
+      if (!queued) ready.push_back(id);
+    }
+  }
+  // Deduplicate the ready queue (a job may have been seeded twice).
+  {
+    std::set<std::string> seen;
+    std::deque<std::string> unique;
+    for (auto& id : ready) {
+      if (!already_done.count(id) && seen.insert(id).second) {
+        unique.push_back(std::move(id));
+      }
+    }
+    ready = std::move(unique);
+  }
+
+  std::map<std::string, int> attempt_count;
+  const auto submit = [&](const std::string& id) {
+    ++attempt_count[id];
+    ++outstanding;
+    log_event(id, attempt_count[id] == 1 ? "SUBMIT" : "RETRY");
+    publish(id, JobState::kSubmitted);
+    service.submit(workflow.job(id));
+  };
+
+  const auto throttled = [&] {
+    return options_.max_jobs_in_flight != 0 &&
+           outstanding >= options_.max_jobs_in_flight;
+  };
+  // Pops the highest-priority ready job (FIFO within a priority level).
+  const auto pop_ready = [&]() -> std::string {
+    auto best = ready.begin();
+    for (auto it = std::next(ready.begin()); it != ready.end(); ++it) {
+      if (workflow.job(*it).priority > workflow.job(*best).priority) best = it;
+    }
+    std::string id = std::move(*best);
+    ready.erase(best);
+    return id;
+  };
+  while (!ready.empty() || outstanding > 0) {
+    while (!ready.empty() && !throttled()) {
+      submit(pop_ready());
+    }
+    if (outstanding == 0) break;
+    const auto attempts = service.wait();
+    if (attempts.empty() && outstanding > 0) {
+      throw common::WorkflowError("execution service returned no completions");
+    }
+    for (const auto& attempt : attempts) {
+      --outstanding;
+      ++report.total_attempts;
+      JobRun& run = runs.at(attempt.job_id);
+      run.attempts.push_back(attempt);
+      if (attempt.success) {
+        run.succeeded = true;
+        log_event(attempt.job_id, "SUCCESS");
+        publish(attempt.job_id, JobState::kSucceeded);
+        on_success(attempt.job_id);
+      } else if (attempt_count[attempt.job_id] <= options_.retries) {
+        ++report.total_retries;
+        if (status != nullptr) status->count_retry();
+        common::log_debug() << "job " << attempt.job_id << " failed ("
+                            << attempt.error << "), retrying";
+        ready.push_back(attempt.job_id);
+        publish(attempt.job_id, JobState::kReady);
+      } else {
+        log_event(attempt.job_id, "FAILED");
+        publish(attempt.job_id, JobState::kFailed);
+        common::log_warn() << "job " << attempt.job_id
+                           << " exhausted retries: " << attempt.error;
+        dead.insert(attempt.job_id);
+        // Children of a dead job can never run; DAGMan keeps running the
+        // independent frontier, which this loop does naturally.
+      }
+    }
+  }
+
+  report.end_time = service.now();
+  for (auto& [id, run] : runs) {
+    if (run.succeeded && !run.skipped_by_rescue) ++report.jobs_succeeded;
+    report.runs.push_back(std::move(run));
+  }
+  report.jobs_failed = dead.size();
+  report.success = done.size() == workflow.jobs().size();
+
+  if (!report.success && options_.rescue_path.has_value()) {
+    std::ostringstream os;
+    os << "# rescue DAG for " << workflow.name() << "\n";
+    for (const auto& id : workflow.topological_order()) {
+      if (done.count(id)) os << "DONE " << id << "\n";
+    }
+    common::write_file(*options_.rescue_path, os.str());
+    common::log_info() << "wrote rescue file to " << options_.rescue_path->string();
+  }
+  return report;
+}
+
+}  // namespace pga::wms

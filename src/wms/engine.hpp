@@ -1,0 +1,106 @@
+// The DAGMan-style workflow engine.
+//
+// Releases jobs in DAG order onto an ExecutionService, retries failed
+// attempts up to a per-job cap, keeps a jobstate log, and — like Pegasus —
+// writes a *rescue DAG* when the workflow cannot finish, so a later run can
+// resume from the completed frontier (§III: "If the job fails again, then
+// Pegasus generates a rescue workflow that contains information of the
+// work that remains to be done").
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "wms/exec_service.hpp"
+#include "wms/status.hpp"
+
+namespace pga::wms {
+
+/// Engine knobs.
+struct EngineOptions {
+  int retries = 3;  ///< additional attempts after the first failure
+  /// When set, a rescue file is written here if the run fails.
+  std::optional<std::filesystem::path> rescue_path;
+  /// When set, the engine publishes job-state transitions here; poll it
+  /// from another thread for pegasus-status-style monitoring. Must outlive
+  /// the run.
+  StatusBoard* status = nullptr;
+  /// DAGMan-style submit throttle (condor_dagman -maxjobs): at most this
+  /// many attempts in flight at once. 0 = unlimited.
+  std::size_t max_jobs_in_flight = 0;
+};
+
+/// Everything recorded about one job across its attempts.
+struct JobRun {
+  std::string id;
+  std::string transformation;
+  JobKind kind = JobKind::kCompute;
+  std::vector<TaskAttempt> attempts;
+  bool succeeded = false;
+  bool skipped_by_rescue = false;
+
+  /// The successful attempt (the last one when succeeded).
+  [[nodiscard]] const TaskAttempt* final_attempt() const {
+    return attempts.empty() ? nullptr : &attempts.back();
+  }
+};
+
+/// Outcome of one engine run.
+struct RunReport {
+  bool success = false;
+  std::string workflow;
+  std::string service;       ///< execution back-end label
+  double start_time = 0;     ///< service time when the run began
+  double end_time = 0;       ///< service time when the run finished
+  std::size_t jobs_total = 0;
+  std::size_t jobs_succeeded = 0;
+  std::size_t jobs_failed = 0;
+  std::size_t jobs_skipped = 0;   ///< completed in a previous (rescued) run
+  std::size_t total_attempts = 0;
+  std::size_t total_retries = 0;  ///< attempts beyond each job's first
+  std::vector<JobRun> runs;       ///< per job, in completion order
+  std::vector<std::string> jobstate_log;  ///< "<t> <job> <EVENT>" lines
+
+  /// "Workflow Wall Time" — the statistic Fig. 4 plots.
+  [[nodiscard]] double wall_seconds() const { return end_time - start_time; }
+};
+
+/// DAG scheduler. Stateless between runs; safe to reuse.
+class DagmanEngine {
+ public:
+  explicit DagmanEngine(EngineOptions options = {});
+
+  /// Runs the workflow to completion (or failure of some job past its
+  /// retry budget; independent branches still run to completion first,
+  /// like DAGMan).
+  RunReport run(const ConcreteWorkflow& workflow, ExecutionService& service);
+
+  /// Runs skipping jobs recorded as DONE in `rescue_file` (written by a
+  /// previous failed run).
+  RunReport run_rescue(const ConcreteWorkflow& workflow, ExecutionService& service,
+                       const std::filesystem::path& rescue_file);
+
+  /// Workflow-level retry (§III: "Pegasus can retry the job or the entire
+  /// workflow given number of times"): runs, and on failure resumes from
+  /// the rescue frontier up to `workflow_attempts` total runs. Requires
+  /// options.rescue_path. Returns the last run's report; completed work is
+  /// never redone.
+  RunReport run_with_workflow_retries(const ConcreteWorkflow& workflow,
+                                      ExecutionService& service,
+                                      int workflow_attempts);
+
+  /// Parses a rescue file into the set of done job ids.
+  static std::set<std::string> read_rescue_file(const std::filesystem::path& path);
+
+ private:
+  RunReport run_internal(const ConcreteWorkflow& workflow, ExecutionService& service,
+                         const std::set<std::string>& already_done);
+
+  EngineOptions options_;
+};
+
+}  // namespace pga::wms

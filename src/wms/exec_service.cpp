@@ -1,0 +1,107 @@
+#include "wms/exec_service.hpp"
+
+#include "common/error.hpp"
+
+namespace pga::wms {
+
+// ---------------------------------------------------------- LocalService
+
+LocalService::LocalService(std::size_t slots, JobRunner runner)
+    : executor_(slots), runner_(std::move(runner)) {
+  if (!runner_) throw common::InvalidArgument("LocalService: null runner");
+}
+
+void LocalService::submit(const ConcreteJob& job) {
+  {
+    const std::scoped_lock lock(mutex_);
+    ++outstanding_;
+  }
+  const double submit_time = clock_.seconds();
+  // The future from the executor is intentionally dropped: completion is
+  // delivered through the queue below instead.
+  (void)executor_.submit([this, job, submit_time] {
+    TaskAttempt attempt;
+    attempt.job_id = job.id;
+    attempt.transformation = job.transformation;
+    attempt.node = "local";
+    attempt.submit_time = submit_time;
+    const double start = clock_.seconds();
+    attempt.wait_seconds = start - submit_time;
+    try {
+      runner_(job);
+      attempt.success = true;
+    } catch (const std::exception& e) {
+      attempt.success = false;
+      attempt.error = e.what();
+    } catch (...) {
+      attempt.success = false;
+      attempt.error = "unknown exception";
+    }
+    attempt.end_time = clock_.seconds();
+    attempt.exec_seconds = attempt.end_time - start;
+    {
+      const std::scoped_lock lock(mutex_);
+      completed_.push_back(std::move(attempt));
+      --outstanding_;
+    }
+    cv_.notify_all();
+  });
+}
+
+std::vector<TaskAttempt> LocalService::wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return !completed_.empty() || outstanding_ == 0; });
+  std::vector<TaskAttempt> out(std::make_move_iterator(completed_.begin()),
+                               std::make_move_iterator(completed_.end()));
+  completed_.clear();
+  return out;
+}
+
+double LocalService::now() { return clock_.seconds(); }
+
+// ------------------------------------------------------------ SimService
+
+SimService::SimService(sim::EventQueue& queue, sim::ExecutionPlatform& platform)
+    : queue_(queue), platform_(platform) {}
+
+void SimService::submit(const ConcreteJob& job) {
+  ++outstanding_;
+  sim::SimJob sim_job;
+  sim_job.id = job.id;
+  sim_job.transformation = job.transformation;
+  sim_job.cpu_seconds = job.cpu_seconds_hint;
+  sim_job.needs_software_setup = job.needs_software_setup;
+  platform_.submit(sim_job, [this](const sim::AttemptResult& result) {
+    TaskAttempt attempt;
+    attempt.job_id = result.job_id;
+    attempt.transformation = result.transformation;
+    attempt.success = result.success;
+    attempt.error = result.failure;
+    attempt.node = result.node;
+    attempt.submit_time = result.submit_time;
+    attempt.end_time = result.end_time;
+    attempt.wait_seconds = result.wait_seconds;
+    attempt.install_seconds = result.install_seconds;
+    attempt.exec_seconds = result.exec_seconds;
+    completed_.push_back(std::move(attempt));
+    --outstanding_;
+  });
+}
+
+std::vector<TaskAttempt> SimService::wait() {
+  // Advance simulated time until at least one completion lands.
+  while (completed_.empty() && outstanding_ > 0) {
+    if (!queue_.step()) {
+      throw common::WorkflowError(
+          "simulation deadlock: outstanding jobs but no pending events");
+    }
+  }
+  std::vector<TaskAttempt> out(std::make_move_iterator(completed_.begin()),
+                               std::make_move_iterator(completed_.end()));
+  completed_.clear();
+  return out;
+}
+
+double SimService::now() { return queue_.now(); }
+
+}  // namespace pga::wms

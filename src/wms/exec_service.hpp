@@ -1,0 +1,103 @@
+// Execution back-ends behind one interface.
+//
+// The DAGMan engine is written against ExecutionService only, so the same
+// workflow runs (a) for real, on a thread pool over actual files, and
+// (b) simulated, on the discrete-event platform models at paper scale.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "htc/local_executor.hpp"
+#include "sim/platform.hpp"
+#include "wms/planner.hpp"
+
+namespace pga::wms {
+
+/// One attempt at one concrete job, in the service's time base.
+struct TaskAttempt {
+  std::string job_id;
+  std::string transformation;
+  bool success = false;
+  std::string error;
+  std::string node;
+  double submit_time = 0;
+  double end_time = 0;
+  double wait_seconds = 0;     ///< "Waiting Time" (queue + match)
+  double install_seconds = 0;  ///< "Download/Install Time"
+  double exec_seconds = 0;     ///< "Kickstart Time" (partial on failure)
+};
+
+/// Completion-pump interface. The engine calls submit() for ready jobs and
+/// wait() to collect finished attempts; implementations choose their own
+/// notion of time (wall seconds or simulation seconds).
+class ExecutionService {
+ public:
+  virtual ~ExecutionService() = default;
+
+  /// Starts one attempt of `job`. Never blocks.
+  virtual void submit(const ConcreteJob& job) = 0;
+
+  /// Returns at least one completed attempt, blocking/advancing as needed.
+  /// Returns empty only when no submitted attempt is outstanding.
+  virtual std::vector<TaskAttempt> wait() = 0;
+
+  /// Current time in this service's time base (seconds).
+  [[nodiscard]] virtual double now() = 0;
+
+  /// Human-readable back-end label.
+  [[nodiscard]] virtual std::string label() const = 0;
+};
+
+/// Real execution: jobs run as C++ callables on a bounded thread pool.
+///
+/// The `runner` receives each ConcreteJob and performs its actual work
+/// (reading/writing workspace files). Thrown exceptions become failed
+/// attempts. Wall-clock timings feed the same statistics as the simulator.
+class LocalService final : public ExecutionService {
+ public:
+  using JobRunner = std::function<void(const ConcreteJob&)>;
+
+  /// `slots`: concurrent workers. `runner`: executes one job.
+  LocalService(std::size_t slots, JobRunner runner);
+
+  void submit(const ConcreteJob& job) override;
+  std::vector<TaskAttempt> wait() override;
+  double now() override;
+  [[nodiscard]] std::string label() const override { return "local"; }
+
+ private:
+  htc::LocalExecutor executor_;
+  JobRunner runner_;
+  common::Stopwatch clock_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<TaskAttempt> completed_;
+  std::size_t outstanding_ = 0;
+};
+
+/// Simulated execution on a platform model; time is the event queue's.
+class SimService final : public ExecutionService {
+ public:
+  /// `queue` must outlive the service and be the platform's queue.
+  SimService(sim::EventQueue& queue, sim::ExecutionPlatform& platform);
+
+  void submit(const ConcreteJob& job) override;
+  std::vector<TaskAttempt> wait() override;
+  double now() override;
+  [[nodiscard]] std::string label() const override { return platform_.name(); }
+
+ private:
+  sim::EventQueue& queue_;
+  sim::ExecutionPlatform& platform_;
+  std::deque<TaskAttempt> completed_;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace pga::wms

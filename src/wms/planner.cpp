@@ -1,0 +1,341 @@
+#include "wms/planner.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace pga::wms {
+
+using common::InvalidArgument;
+using common::WorkflowError;
+
+ConcreteWorkflow::ConcreteWorkflow(std::string name, std::string site)
+    : name_(std::move(name)), site_(std::move(site)) {}
+
+void ConcreteWorkflow::add_job(ConcreteJob job) {
+  if (job.id.empty()) throw InvalidArgument("concrete job id must not be empty");
+  if (index_.count(job.id)) throw InvalidArgument("duplicate concrete job: " + job.id);
+  index_.emplace(job.id, jobs_.size());
+  jobs_.push_back(std::move(job));
+}
+
+void ConcreteWorkflow::add_dependency(const std::string& parent,
+                                      const std::string& child) {
+  if (!index_.count(parent)) throw InvalidArgument("unknown parent: " + parent);
+  if (!index_.count(child)) throw InvalidArgument("unknown child: " + child);
+  if (parent == child) throw WorkflowError("self-dependency on " + parent);
+  children_[parent].insert(child);
+  parents_[child].insert(parent);
+}
+
+const ConcreteJob& ConcreteWorkflow::job(const std::string& id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw InvalidArgument("unknown concrete job: " + id);
+  return jobs_[it->second];
+}
+
+ConcreteJob& ConcreteWorkflow::mutable_job(const std::string& id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw InvalidArgument("unknown concrete job: " + id);
+  return jobs_[it->second];
+}
+
+bool ConcreteWorkflow::has_job(const std::string& id) const {
+  return index_.count(id) != 0;
+}
+
+std::vector<std::string> ConcreteWorkflow::parents(const std::string& id) const {
+  if (!index_.count(id)) throw InvalidArgument("unknown concrete job: " + id);
+  const auto it = parents_.find(id);
+  if (it == parents_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<std::string> ConcreteWorkflow::children(const std::string& id) const {
+  if (!index_.count(id)) throw InvalidArgument("unknown concrete job: " + id);
+  const auto it = children_.find(id);
+  if (it == children_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::size_t ConcreteWorkflow::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& [parent, kids] : children_) total += kids.size();
+  return total;
+}
+
+std::vector<std::string> ConcreteWorkflow::topological_order() const {
+  std::map<std::string, std::size_t> in_degree;
+  for (const auto& job : jobs_) in_degree[job.id] = 0;
+  for (const auto& [parent, kids] : children_) {
+    for (const auto& kid : kids) ++in_degree[kid];
+  }
+  std::deque<std::string> ready;
+  for (const auto& job : jobs_) {
+    if (in_degree[job.id] == 0) ready.push_back(job.id);
+  }
+  std::vector<std::string> order;
+  order.reserve(jobs_.size());
+  while (!ready.empty()) {
+    const std::string current = std::move(ready.front());
+    ready.pop_front();
+    order.push_back(current);
+    const auto it = children_.find(current);
+    if (it == children_.end()) continue;
+    for (const auto& kid : it->second) {
+      if (--in_degree[kid] == 0) ready.push_back(kid);
+    }
+  }
+  if (order.size() != jobs_.size()) {
+    throw WorkflowError("concrete workflow " + name_ + " contains a cycle");
+  }
+  return order;
+}
+
+std::size_t ConcreteWorkflow::count(JobKind kind) const {
+  std::size_t n = 0;
+  for (const auto& job : jobs_) {
+    if (job.kind == kind) ++n;
+  }
+  return n;
+}
+
+ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites,
+                      const TransformationCatalog& transformations,
+                      const ReplicaCatalog& replicas, const PlannerOptions& options) {
+  if (!sites.has(options.target_site)) {
+    throw WorkflowError("unknown target site: " + options.target_site);
+  }
+  if (options.cluster_factor == 0) {
+    throw InvalidArgument("cluster_factor must be >= 1");
+  }
+  abstract.validate();
+  const SiteEntry& site = sites.site(options.target_site);
+
+  ConcreteWorkflow concrete(abstract.name(), site.name);
+
+  // 1. Resolve every transformation and decide whether it needs setup.
+  std::map<std::string, bool> job_needs_setup;  // abstract id -> flag
+  for (const auto& job : abstract.jobs()) {
+    const auto entry = transformations.lookup(job.transformation, site.name);
+    if (!entry.has_value()) {
+      throw WorkflowError("transformation " + job.transformation +
+                          " not available at site " + site.name);
+    }
+    job_needs_setup[job.id] = !site.software_preinstalled || !entry->installed;
+  }
+
+  // 2. Horizontal clustering: group compute jobs with the same
+  // transformation and identical parent sets, then pack cluster_factor
+  // members per concrete job.
+  std::map<std::string, std::string> to_concrete;  // abstract id -> concrete id
+  if (options.cluster_factor > 1) {
+    std::map<std::string, std::vector<std::string>> groups;  // signature -> ids
+    std::vector<std::string> group_order;
+    for (const auto& job : abstract.jobs()) {
+      const std::string signature =
+          job.transformation + "|" + common::join(abstract.parents(job.id), ",");
+      auto [it, inserted] = groups.try_emplace(signature);
+      if (inserted) group_order.push_back(signature);
+      it->second.push_back(job.id);
+    }
+    std::size_t cluster_counter = 0;
+    for (const auto& signature : group_order) {
+      const auto& members = groups[signature];
+      for (std::size_t start = 0; start < members.size();
+           start += options.cluster_factor) {
+        const std::size_t end =
+            std::min(members.size(), start + options.cluster_factor);
+        if (end - start == 1) {
+          // Lone member: stays an ordinary compute job.
+          const AbstractJob& a = abstract.job(members[start]);
+          ConcreteJob job;
+          job.id = a.id;
+          job.transformation = a.transformation;
+          job.kind = JobKind::kCompute;
+          job.site = site.name;
+          job.args = a.args;
+          job.cpu_seconds_hint = a.cpu_seconds_hint;
+          job.needs_software_setup = job_needs_setup[a.id];
+          job.abstract_id = a.id;
+          to_concrete[a.id] = job.id;
+          concrete.add_job(std::move(job));
+          continue;
+        }
+        ConcreteJob clustered;
+        clustered.id = "cluster_" + std::to_string(cluster_counter++);
+        clustered.transformation =
+            abstract.job(members[start]).transformation;
+        clustered.kind = JobKind::kClustered;
+        clustered.site = site.name;
+        bool any_setup = false;
+        for (std::size_t i = start; i < end; ++i) {
+          const AbstractJob& a = abstract.job(members[i]);
+          clustered.cpu_seconds_hint += a.cpu_seconds_hint;
+          clustered.constituents.push_back(a.id);
+          any_setup = any_setup || job_needs_setup[a.id];
+          to_concrete[a.id] = clustered.id;
+        }
+        // One download/install per clustered job — this is exactly the
+        // overhead-amortization clustering exists for.
+        clustered.needs_software_setup = any_setup;
+        concrete.add_job(std::move(clustered));
+      }
+    }
+  } else {
+    for (const auto& a : abstract.jobs()) {
+      ConcreteJob job;
+      job.id = a.id;
+      job.transformation = a.transformation;
+      job.kind = JobKind::kCompute;
+      job.site = site.name;
+      job.args = a.args;
+      job.cpu_seconds_hint = a.cpu_seconds_hint;
+      job.needs_software_setup = job_needs_setup[a.id];
+      job.abstract_id = a.id;
+      to_concrete[a.id] = job.id;
+      concrete.add_job(std::move(job));
+    }
+  }
+
+  // 3. Abstract edges, collapsed through the clustering map.
+  for (const auto& a : abstract.jobs()) {
+    for (const auto& child : abstract.children(a.id)) {
+      const std::string& cp = to_concrete[a.id];
+      const std::string& cc = to_concrete[child];
+      if (cp != cc) concrete.add_dependency(cp, cc);
+    }
+  }
+
+  // 4. Stage-in for external inputs.
+  if (options.add_stage_jobs) {
+    const auto inputs = abstract.workflow_inputs();
+    if (!inputs.empty()) {
+      for (const auto& lfn : inputs) {
+        if (!replicas.has(lfn)) {
+          throw WorkflowError("workflow input " + lfn + " has no replica");
+        }
+      }
+      ConcreteJob stage_in;
+      stage_in.id = "stage_in_0";
+      stage_in.transformation = "pegasus::transfer";
+      stage_in.kind = JobKind::kStageIn;
+      stage_in.site = site.name;
+      stage_in.args = inputs;
+      for (const auto& lfn : inputs) {
+        const auto replica = replicas.best_for_site(lfn, site.name);
+        if (replica.has_value()) stage_in.staged_bytes += replica->size_bytes;
+      }
+      stage_in.cpu_seconds_hint =
+          options.stage_in_seconds +
+          (site.stage_bandwidth_bps > 0
+               ? static_cast<double>(stage_in.staged_bytes) / site.stage_bandwidth_bps
+               : 0.0);
+      concrete.add_job(std::move(stage_in));
+      // Parents every consumer of an external input.
+      const std::set<std::string> input_set(inputs.begin(), inputs.end());
+      std::set<std::string> consumers;
+      for (const auto& a : abstract.jobs()) {
+        for (const auto& lfn : a.inputs()) {
+          if (input_set.count(lfn)) consumers.insert(to_concrete[a.id]);
+        }
+      }
+      for (const auto& consumer : consumers) {
+        concrete.add_dependency("stage_in_0", consumer);
+      }
+    }
+
+    // 5. Stage-out for final outputs.
+    const auto outputs = abstract.workflow_outputs();
+    if (!outputs.empty()) {
+      ConcreteJob stage_out;
+      stage_out.id = "stage_out_0";
+      stage_out.transformation = "pegasus::transfer";
+      stage_out.kind = JobKind::kStageOut;
+      stage_out.site = site.name;
+      stage_out.args = outputs;
+      stage_out.cpu_seconds_hint = options.stage_out_seconds;
+      concrete.add_job(std::move(stage_out));
+      const std::set<std::string> output_set(outputs.begin(), outputs.end());
+      std::set<std::string> producers;
+      for (const auto& a : abstract.jobs()) {
+        for (const auto& lfn : a.outputs()) {
+          if (output_set.count(lfn)) producers.insert(to_concrete[a.id]);
+        }
+      }
+      for (const auto& producer : producers) {
+        concrete.add_dependency(producer, "stage_out_0");
+      }
+    }
+  }
+
+  // 6. Optional in-place cleanup jobs: for each abstract job whose outputs
+  // are all intermediate (consumed by other jobs, not workflow outputs),
+  // delete those files once every consumer has finished.
+  if (options.add_cleanup_jobs) {
+    const auto outputs = abstract.workflow_outputs();
+    const std::set<std::string> final_outputs(outputs.begin(), outputs.end());
+    for (const auto& producer : abstract.jobs()) {
+      // Files this job produces that are NOT final outputs.
+      std::vector<std::string> intermediates;
+      for (const auto& lfn : producer.outputs()) {
+        if (!final_outputs.count(lfn)) intermediates.push_back(lfn);
+      }
+      if (intermediates.empty()) continue;
+      // All consumers of those files.
+      const std::set<std::string> intermediate_set(intermediates.begin(),
+                                                   intermediates.end());
+      std::set<std::string> consumers;
+      for (const auto& consumer : abstract.jobs()) {
+        for (const auto& lfn : consumer.inputs()) {
+          if (intermediate_set.count(lfn)) consumers.insert(to_concrete[consumer.id]);
+        }
+      }
+      if (consumers.empty()) continue;  // nothing reads them; keep the files
+
+      ConcreteJob cleanup;
+      cleanup.id = "cleanup_" + producer.id;
+      cleanup.transformation = "pegasus::cleanup";
+      cleanup.kind = JobKind::kCleanup;
+      cleanup.site = site.name;
+      cleanup.args = intermediates;
+      cleanup.cpu_seconds_hint = options.cleanup_seconds;
+      const std::string cleanup_id = cleanup.id;
+      concrete.add_job(std::move(cleanup));
+      for (const auto& consumer : consumers) {
+        // The producer may have been clustered together with a consumer;
+        // avoid self-edges.
+        if (consumer != cleanup_id) concrete.add_dependency(consumer, cleanup_id);
+      }
+    }
+  }
+
+  // 7. Optional explicit setup nodes (Fig. 3 drawn as separate steps).
+  if (options.explicit_setup_jobs) {
+    std::vector<std::string> flagged;
+    for (const auto& job : concrete.jobs()) {
+      if (job.needs_software_setup &&
+          (job.kind == JobKind::kCompute || job.kind == JobKind::kClustered)) {
+        flagged.push_back(job.id);
+      }
+    }
+    for (const auto& id : flagged) {
+      ConcreteJob setup;
+      setup.id = "setup_" + id;
+      setup.transformation = "install_software_stack";
+      setup.kind = JobKind::kSetup;
+      setup.site = site.name;
+      setup.cpu_seconds_hint = options.setup_seconds;
+      concrete.add_job(std::move(setup));
+      concrete.add_dependency("setup_" + id, id);
+      // The install cost is now carried by the explicit setup node.
+      concrete.mutable_job(id).needs_software_setup = false;
+    }
+  }
+
+  return concrete;
+}
+
+}  // namespace pga::wms

@@ -1,0 +1,107 @@
+// The planning stage: abstract workflow -> concrete (executable) workflow.
+//
+// Mirrors pegasus-plan (§III): resolve transformations against the target
+// site, insert stage-in/stage-out transfer jobs for external inputs and
+// final outputs, flag (or insert) software-setup steps on sites without a
+// preinstalled stack (the Fig. 3 red rectangles), and optionally cluster
+// small tasks ("Pegasus also allows clustering of small tasks into larger
+// clusters that are scheduled and executed to the same remote site").
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "wms/catalog.hpp"
+#include "wms/dax.hpp"
+
+namespace pga::wms {
+
+/// Role of a concrete job.
+enum class JobKind { kCompute, kStageIn, kStageOut, kSetup, kClustered, kCleanup };
+
+/// One schedulable job of the concrete workflow.
+struct ConcreteJob {
+  std::string id;
+  std::string transformation;
+  JobKind kind = JobKind::kCompute;
+  std::string site;
+  std::vector<std::string> args;
+  double cpu_seconds_hint = 0;
+  /// Pay per-attempt software download/install overhead on the execution
+  /// node (OSG-style sites). Mirrors the paper's "modified tasks".
+  bool needs_software_setup = false;
+  /// For kClustered: the abstract job ids folded into this job.
+  std::vector<std::string> constituents;
+  /// The abstract job this concrete job realizes (empty for auxiliary jobs).
+  std::string abstract_id;
+  /// For transfer jobs: total bytes moved (0 when replica sizes unknown).
+  std::uint64_t staged_bytes = 0;
+  /// DAGMan-style priority: among ready jobs, higher submits first (FIFO
+  /// within a priority level). Longest-task-first scheduling sets this
+  /// from the cost hint.
+  int priority = 0;
+};
+
+/// A planned workflow bound to a site.
+class ConcreteWorkflow {
+ public:
+  ConcreteWorkflow(std::string name, std::string site);
+
+  void add_job(ConcreteJob job);
+  void add_dependency(const std::string& parent, const std::string& child);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& site() const { return site_; }
+  [[nodiscard]] const std::vector<ConcreteJob>& jobs() const { return jobs_; }
+  [[nodiscard]] const ConcreteJob& job(const std::string& id) const;
+  /// Mutable access (the planner adjusts flags after structural edits).
+  [[nodiscard]] ConcreteJob& mutable_job(const std::string& id);
+  [[nodiscard]] bool has_job(const std::string& id) const;
+  [[nodiscard]] std::vector<std::string> parents(const std::string& id) const;
+  [[nodiscard]] std::vector<std::string> children(const std::string& id) const;
+  [[nodiscard]] std::vector<std::string> topological_order() const;
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Count of jobs of one kind.
+  [[nodiscard]] std::size_t count(JobKind kind) const;
+
+ private:
+  std::string name_;
+  std::string site_;
+  std::vector<ConcreteJob> jobs_;
+  std::map<std::string, std::size_t> index_;
+  std::map<std::string, std::set<std::string>> children_;
+  std::map<std::string, std::set<std::string>> parents_;
+};
+
+/// Planner knobs.
+struct PlannerOptions {
+  std::string target_site;
+  bool add_stage_jobs = true;      ///< insert stage_in/stage_out transfer jobs
+  bool explicit_setup_jobs = false;  ///< emit setup jobs as separate DAG nodes
+                                     ///< instead of per-task flags
+  std::size_t cluster_factor = 1;  ///< >1: horizontally cluster compute jobs of
+                                   ///< the same transformation with identical
+                                   ///< parent sets, cluster_factor per group
+  /// Base cost hints for transfer jobs; when replica sizes are known the
+  /// planner adds bytes / site.stage_bandwidth_bps on top.
+  double stage_in_seconds = 60;
+  double stage_out_seconds = 60;
+  double setup_seconds = 300;      ///< cost hint for explicit setup jobs
+  /// Pegasus-style in-place data cleanup: for every job producing
+  /// intermediate files, insert a cleanup job that removes them once all
+  /// consumers finish. Bounds the scratch footprint of large workflows.
+  bool add_cleanup_jobs = false;
+  double cleanup_seconds = 5;      ///< cost hint per cleanup job
+};
+
+/// Plans `abstract` onto `options.target_site`. Throws WorkflowError when a
+/// transformation is not in the catalog for the site, or an external input
+/// has no replica.
+ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites,
+                      const TransformationCatalog& transformations,
+                      const ReplicaCatalog& replicas, const PlannerOptions& options);
+
+}  // namespace pga::wms

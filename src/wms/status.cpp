@@ -1,0 +1,88 @@
+#include "wms/status.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace pga::wms {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kUnready: return "UNREADY";
+    case JobState::kReady: return "READY";
+    case JobState::kSubmitted: return "RUN";
+    case JobState::kSucceeded: return "DONE";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kRescued: return "RESCUED";
+  }
+  return "?";
+}
+
+double StatusBoard::Snapshot::percent_done() const {
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(succeeded + rescued + failed) /
+         static_cast<double>(total);
+}
+
+std::string StatusBoard::Snapshot::render() const {
+  std::ostringstream os;
+  os << "UNREADY:" << unready << " READY:" << ready << " RUN:" << submitted
+     << " DONE:" << succeeded + rescued << " FAIL:" << failed << " ("
+     << common::format_fixed(percent_done(), 1) << "% of " << total << " jobs";
+  if (retries > 0) os << ", " << retries << " retries";
+  os << ")";
+  return os.str();
+}
+
+void StatusBoard::begin(const std::string& workflow, std::size_t total_jobs) {
+  const std::scoped_lock lock(mutex_);
+  workflow_ = workflow;
+  total_ = total_jobs;
+  retries_ = 0;
+  states_.clear();
+}
+
+void StatusBoard::set_state(const std::string& job, JobState state) {
+  const std::scoped_lock lock(mutex_);
+  states_[job] = state;
+}
+
+void StatusBoard::count_retry() {
+  const std::scoped_lock lock(mutex_);
+  ++retries_;
+}
+
+StatusBoard::Snapshot StatusBoard::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  Snapshot snap;
+  snap.total = total_;
+  snap.retries = retries_;
+  std::size_t tracked = 0;
+  for (const auto& [job, state] : states_) {
+    ++tracked;
+    switch (state) {
+      case JobState::kUnready: ++snap.unready; break;
+      case JobState::kReady: ++snap.ready; break;
+      case JobState::kSubmitted: ++snap.submitted; break;
+      case JobState::kSucceeded: ++snap.succeeded; break;
+      case JobState::kFailed: ++snap.failed; break;
+      case JobState::kRescued: ++snap.rescued; break;
+    }
+  }
+  // Jobs the engine has not touched yet are unready.
+  snap.unready += total_ > tracked ? total_ - tracked : 0;
+  return snap;
+}
+
+std::string StatusBoard::workflow() const {
+  const std::scoped_lock lock(mutex_);
+  return workflow_;
+}
+
+JobState StatusBoard::state_of(const std::string& job) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = states_.find(job);
+  return it == states_.end() ? JobState::kUnready : it->second;
+}
+
+}  // namespace pga::wms

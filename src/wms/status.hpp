@@ -1,0 +1,73 @@
+// pegasus-status equivalent (§III: "After the workflow is submitted, it
+// can be monitored using the pegasus-status command that shows information
+// about the running jobs and the percentage of finished jobs").
+//
+// The engine publishes job-state transitions to a StatusBoard; any thread
+// may poll a consistent snapshot while a LocalService run is in flight.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace pga::wms {
+
+/// Lifecycle states of one job, DAGMan-style.
+enum class JobState {
+  kUnready,    ///< waiting on parents
+  kReady,      ///< parents done, not yet submitted
+  kSubmitted,  ///< attempt in flight
+  kSucceeded,
+  kFailed,     ///< retries exhausted
+  kRescued,    ///< completed in a previous run
+};
+
+/// Returns a short label ("READY", "RUN", ...).
+const char* job_state_name(JobState state);
+
+/// Thread-safe aggregation of workflow progress.
+class StatusBoard {
+ public:
+  /// Consistent view of progress at one instant.
+  struct Snapshot {
+    std::size_t total = 0;
+    std::size_t unready = 0;
+    std::size_t ready = 0;
+    std::size_t submitted = 0;
+    std::size_t succeeded = 0;
+    std::size_t failed = 0;
+    std::size_t rescued = 0;
+    std::size_t retries = 0;
+
+    /// Finished fraction in [0, 100] (succeeded + rescued + failed).
+    [[nodiscard]] double percent_done() const;
+    /// One-line pegasus-status-style rendering.
+    [[nodiscard]] std::string render() const;
+  };
+
+  /// Resets the board for a workflow of `total_jobs` jobs (engine calls
+  /// this at run start).
+  void begin(const std::string& workflow, std::size_t total_jobs);
+
+  /// Records a state transition for `job` (engine calls these).
+  void set_state(const std::string& job, JobState state);
+  /// Counts one retry (job goes back to kReady separately).
+  void count_retry();
+
+  /// Point-in-time copy; safe to call from any thread at any moment.
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Name of the workflow being tracked ("" before begin()).
+  [[nodiscard]] std::string workflow() const;
+  /// State of one job (kUnready if unknown).
+  [[nodiscard]] JobState state_of(const std::string& job) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::string workflow_;
+  std::size_t total_ = 0;
+  std::size_t retries_ = 0;
+  std::map<std::string, JobState> states_;
+};
+
+}  // namespace pga::wms

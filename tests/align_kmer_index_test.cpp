@@ -1,0 +1,127 @@
+#include "align/kmer_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "align/scoring.hpp"
+#include "common/error.hpp"
+
+namespace pga::align {
+namespace {
+
+std::vector<bio::SeqRecord> tiny_db() {
+  return {
+      {"p1", "", "MKWVTFISLL"},
+      {"p2", "", "AAAMKWAAA"},
+  };
+}
+
+TEST(KmerIndex, ValidatesK) {
+  const auto db = tiny_db();
+  EXPECT_THROW(KmerIndex(db, 1, 11), common::InvalidArgument);
+  EXPECT_THROW(KmerIndex(db, 6, 11), common::InvalidArgument);
+  EXPECT_NO_THROW(KmerIndex(db, 3, 11));
+}
+
+TEST(KmerIndex, ExactLookupFindsAllOccurrences) {
+  const KmerIndex index(tiny_db(), 3, 11);
+  const auto& hits = index.exact("MKW");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].subject, 0u);
+  EXPECT_EQ(hits[0].position, 0u);
+  EXPECT_EQ(hits[1].subject, 1u);
+  EXPECT_EQ(hits[1].position, 3u);
+}
+
+TEST(KmerIndex, ExactLookupMissReturnsEmpty) {
+  const KmerIndex index(tiny_db(), 3, 11);
+  EXPECT_TRUE(index.exact("WWW").empty());
+  EXPECT_TRUE(index.exact("MK").empty());    // wrong length
+  EXPECT_TRUE(index.exact("MKX").empty());   // nonstandard residue
+}
+
+TEST(KmerIndex, TotalResiduesAndSubjects) {
+  const KmerIndex index(tiny_db(), 3, 11);
+  EXPECT_EQ(index.total_residues(), 10u + 9u);
+  EXPECT_EQ(index.subjects(), 2u);
+}
+
+TEST(KmerIndex, NeighborhoodIncludesExactWordWhenSelfScorePasses) {
+  const KmerIndex index(tiny_db(), 3, 11);
+  ASSERT_GE(word_score("MKW", "MKW"), 11);
+  std::vector<WordHit> hits;
+  index.neighborhood("MKW", hits);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> got;
+  for (const auto& h : hits) got.insert({h.subject, h.position});
+  EXPECT_TRUE(got.count({0, 0}));
+  EXPECT_TRUE(got.count({1, 3}));
+}
+
+TEST(KmerIndex, NeighborhoodFindsSimilarWords) {
+  // DB has "ILL"; query "VLL" scores blosum(I,V)+2*blosum(L,L)=3+8=11.
+  const std::vector<bio::SeqRecord> db{{"p", "", "AAAILLAAA"}};
+  const KmerIndex index(db, 3, 11);
+  std::vector<WordHit> hits;
+  index.neighborhood("VLL", hits);
+  bool found = false;
+  for (const auto& h : hits) {
+    if (h.position == 3) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(KmerIndex, ThresholdExcludesWeakNeighbors) {
+  const std::vector<bio::SeqRecord> db{{"p", "", "AAAILLAAA"}};
+  const KmerIndex strict(db, 3, 12);  // VLL vs ILL scores 11 < 12
+  std::vector<WordHit> hits;
+  strict.neighborhood("VLL", hits);
+  for (const auto& h : hits) EXPECT_NE(h.position, 3u);
+}
+
+TEST(KmerIndex, SkipsWordsWithNonstandardResidues) {
+  const std::vector<bio::SeqRecord> db{{"p", "", "MKXWVT"}};
+  const KmerIndex index(db, 3, 11);
+  // Words MKX, KXW, XWV contain X and are not indexed; WVT is.
+  EXPECT_TRUE(index.exact("MKX").empty());
+  EXPECT_EQ(index.exact("WVT").size(), 1u);
+}
+
+TEST(KmerIndex, ShortSequencesContributeNothing) {
+  const std::vector<bio::SeqRecord> db{{"p", "", "MK"}};
+  const KmerIndex index(db, 3, 11);
+  EXPECT_EQ(index.total_residues(), 2u);
+  EXPECT_TRUE(index.exact("MKW").empty());
+}
+
+TEST(KmerIndex, ConcurrentNeighborhoodQueriesAreSafe) {
+  // Hammer the lazy neighborhood cache from many threads.
+  std::vector<bio::SeqRecord> db;
+  const std::string_view aas = "ARNDCQEGHILKMFPSTWYV";
+  std::string seq;
+  for (const char a : aas)
+    for (const char b : aas) seq += std::string{a, b};
+  db.push_back({"big", "", seq});
+  const KmerIndex index(db, 3, 10);
+
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> total{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&index, &total, aas] {
+      std::vector<WordHit> hits;
+      for (const char a : aas) {
+        for (const char b : aas) {
+          hits.clear();
+          index.neighborhood(std::string{a, b, 'L'}, hits);
+          total += hits.size();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(total.load(), 0u);
+}
+
+}  // namespace
+}  // namespace pga::align

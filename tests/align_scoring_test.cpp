@@ -1,0 +1,79 @@
+#include "align/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/alphabet.hpp"
+
+namespace pga::align {
+namespace {
+
+TEST(Blosum62, KnownValues) {
+  EXPECT_EQ(blosum62('A', 'A'), 4);
+  EXPECT_EQ(blosum62('W', 'W'), 11);
+  EXPECT_EQ(blosum62('A', 'R'), -1);
+  EXPECT_EQ(blosum62('C', 'C'), 9);
+  EXPECT_EQ(blosum62('I', 'V'), 3);
+  EXPECT_EQ(blosum62('D', 'E'), 2);
+  EXPECT_EQ(blosum62('W', 'P'), -4);
+  EXPECT_EQ(blosum62('K', 'R'), 2);
+}
+
+TEST(Blosum62, SymmetricOverAllPairs) {
+  for (const char a : bio::kAminoAcids) {
+    for (const char b : bio::kAminoAcids) {
+      EXPECT_EQ(blosum62(a, b), blosum62(b, a)) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Blosum62, DiagonalDominatesRow) {
+  // Identity should never score below any substitution for that residue.
+  for (const char a : bio::kAminoAcids) {
+    for (const char b : bio::kAminoAcids) {
+      EXPECT_GE(blosum62(a, a), blosum62(a, b));
+    }
+  }
+}
+
+TEST(Blosum62, CaseInsensitive) {
+  EXPECT_EQ(blosum62('a', 'A'), 4);
+  EXPECT_EQ(blosum62('w', 'w'), 11);
+}
+
+TEST(Blosum62, SpecialResidues) {
+  EXPECT_EQ(blosum62('X', 'A'), -1);
+  EXPECT_EQ(blosum62('A', 'X'), -1);
+  EXPECT_EQ(blosum62('X', 'X'), -1);
+  EXPECT_EQ(blosum62('*', '*'), 1);
+  EXPECT_EQ(blosum62('*', 'A'), -4);
+  EXPECT_EQ(blosum62('B', 'A'), -1);  // nonstandard treated like X
+}
+
+TEST(BitScore, IncreasesWithRawScore) {
+  EXPECT_GT(bit_score(100), bit_score(50));
+  EXPECT_GT(bit_score(50), 0.0);
+}
+
+TEST(BitScore, KnownFormula) {
+  // (0.267*52 - ln 0.041)/ln 2 ~= 24.64
+  EXPECT_NEAR(bit_score(52), 24.64, 0.05);
+}
+
+TEST(EValue, ShrinksWithBits) {
+  const double big_space = 1e6;
+  EXPECT_GT(e_value(20, 300, big_space), e_value(40, 300, big_space));
+}
+
+TEST(EValue, GrowsWithSearchSpace) {
+  EXPECT_GT(e_value(30, 300, 1e8), e_value(30, 300, 1e4));
+}
+
+TEST(WordScore, SumsPairScores) {
+  EXPECT_EQ(word_score("AAA", "AAA"), 12);
+  EXPECT_EQ(word_score("WWW", "WWW"), 33);
+  EXPECT_EQ(word_score("ARN", "ARN"), 4 + 5 + 6);
+  EXPECT_EQ(word_score("AAA", "RRR"), -3);
+}
+
+}  // namespace
+}  // namespace pga::align

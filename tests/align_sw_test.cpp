@@ -1,0 +1,171 @@
+#include "align/sw.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pga::align {
+namespace {
+
+TEST(SmithWaterman, IdenticalSequences) {
+  const std::string seq = "MKWVTFISLL";
+  const auto aln = smith_waterman(seq, seq);
+  EXPECT_EQ(aln.matches, seq.size());
+  EXPECT_EQ(aln.mismatches, 0u);
+  EXPECT_EQ(aln.gap_residues, 0u);
+  EXPECT_EQ(aln.q_begin, 0u);
+  EXPECT_EQ(aln.q_end, seq.size());
+  EXPECT_EQ(aln.s_begin, 0u);
+  EXPECT_EQ(aln.s_end, seq.size());
+  EXPECT_DOUBLE_EQ(aln.percent_identity(), 100.0);
+}
+
+TEST(SmithWaterman, EmptyInputs) {
+  EXPECT_EQ(smith_waterman("", "MKW").score, 0);
+  EXPECT_EQ(smith_waterman("MKW", "").score, 0);
+  EXPECT_EQ(smith_waterman("", "").score, 0);
+}
+
+TEST(SmithWaterman, FindsEmbeddedMatch) {
+  // Subject contains the query flanked by dissimilar residues.
+  const auto aln = smith_waterman("WWWWW", "AAAWWWWWAAA");
+  EXPECT_EQ(aln.matches, 5u);
+  EXPECT_EQ(aln.q_begin, 0u);
+  EXPECT_EQ(aln.q_end, 5u);
+  EXPECT_EQ(aln.s_begin, 3u);
+  EXPECT_EQ(aln.s_end, 8u);
+  EXPECT_EQ(aln.score, 55);  // 5 * 11
+}
+
+TEST(SmithWaterman, LocalAlignmentIgnoresBadFlanks) {
+  const auto aln = smith_waterman("PPPPWWWWW", "GGGGWWWWW");
+  EXPECT_EQ(aln.matches, 5u);
+  EXPECT_EQ(aln.score, 55);
+}
+
+TEST(SmithWaterman, SingleMismatchInMiddle) {
+  const auto aln = smith_waterman("WWWAWWW", "WWWRWWW");
+  EXPECT_EQ(aln.matches, 6u);
+  EXPECT_EQ(aln.mismatches, 1u);
+  EXPECT_EQ(aln.score, 6 * 11 + blosum62('A', 'R'));
+}
+
+TEST(SmithWaterman, GapInsertion) {
+  // Query has an extra residue; a single gap beats a run of mismatches.
+  const GapPenalties gaps{11, 1};
+  const auto aln = smith_waterman("WWWWWAWWWWW", "WWWWWWWWWW", gaps);
+  EXPECT_EQ(aln.gap_opens, 1u);
+  EXPECT_EQ(aln.gap_residues, 1u);
+  EXPECT_EQ(aln.matches, 10u);
+  EXPECT_EQ(aln.score, 10 * 11 - (11 + 1));
+}
+
+TEST(SmithWaterman, LongerGapExtension) {
+  const GapPenalties gaps{5, 1};
+  const auto aln = smith_waterman("WWWWWAAAWWWWW", "WWWWWWWWWW", gaps);
+  EXPECT_EQ(aln.gap_opens, 1u);
+  EXPECT_EQ(aln.gap_residues, 3u);
+  EXPECT_EQ(aln.score, 10 * 11 - (5 + 3));
+}
+
+TEST(SmithWaterman, ScoreNeverNegative) {
+  const auto aln = smith_waterman("WWW", "PPP");
+  EXPECT_EQ(aln.score, 0);
+  EXPECT_EQ(aln.alignment_length(), 0u);
+  EXPECT_DOUBLE_EQ(aln.percent_identity(), 0.0);
+}
+
+TEST(SmithWaterman, AccountingIdentity) {
+  common::Rng rng(11);
+  const std::string_view aas = "ARNDCQEGHILKMFPSTWYV";
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string q, s;
+    for (int i = 0; i < 50; ++i) q.push_back(aas[rng.below(20)]);
+    s = q;
+    for (int i = 0; i < 5; ++i) s[rng.below(s.size())] = aas[rng.below(20)];
+    const auto aln = smith_waterman(q, s);
+    EXPECT_EQ(aln.alignment_length(),
+              aln.matches + aln.mismatches + aln.gap_residues);
+    EXPECT_LE(aln.q_begin, aln.q_end);
+    EXPECT_LE(aln.s_begin, aln.s_end);
+    EXPECT_LE(aln.q_end, q.size());
+    EXPECT_LE(aln.s_end, s.size());
+    // Aligned spans are consistent with the operation counts.
+    EXPECT_EQ(aln.q_end - aln.q_begin + aln.s_end - aln.s_begin,
+              2 * (aln.matches + aln.mismatches) + aln.gap_residues);
+  }
+}
+
+TEST(BandedSmithWaterman, WideBandMatchesFull) {
+  common::Rng rng(13);
+  const std::string_view aas = "ARNDCQEGHILKMFPSTWYV";
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string q, s;
+    for (int i = 0; i < 40; ++i) q.push_back(aas[rng.below(20)]);
+    s = q;
+    for (int i = 0; i < 4; ++i) s[rng.below(s.size())] = aas[rng.below(20)];
+    const auto full = smith_waterman(q, s);
+    const auto banded = banded_smith_waterman(q, s, 0, q.size() + s.size());
+    EXPECT_EQ(full.score, banded.score);
+    EXPECT_EQ(full.matches, banded.matches);
+  }
+}
+
+TEST(BandedSmithWaterman, NarrowBandStillFindsOnDiagonalMatch) {
+  const std::string seq = "MKWVTFISLLMKWVTFISLL";
+  const auto aln = banded_smith_waterman(seq, seq, 0, 2);
+  EXPECT_EQ(aln.matches, seq.size());
+}
+
+TEST(BandedSmithWaterman, OffsetDiagonal) {
+  // Query = subject shifted right by 5.
+  const std::string core = "MKWVTFISLLFLFSSAYS";
+  const std::string q = "PPPPP" + core;
+  const auto aln = banded_smith_waterman(q, core, /*diagonal=*/5, /*band=*/2);
+  EXPECT_EQ(aln.matches, core.size());
+  EXPECT_EQ(aln.q_begin, 5u);
+  EXPECT_EQ(aln.s_begin, 0u);
+}
+
+TEST(BandedSmithWaterman, BandExcludesOffDiagonalMatch) {
+  // The only match lies on diagonal +5; searching around diagonal 0 with a
+  // tight band must miss most of it.
+  const std::string core = "WWWWWWWWWW";
+  const std::string q = "AAAAA" + core;
+  const auto on_band = banded_smith_waterman(q, core, 5, 1);
+  const auto off_band = banded_smith_waterman(q, core, 0, 1);
+  EXPECT_EQ(on_band.matches, core.size());
+  EXPECT_LT(off_band.matches, core.size());
+}
+
+TEST(SmithWatermanDna, ExactOverlap) {
+  const auto aln = smith_waterman_dna("ACGTACGTAC", "ACGTACGTAC");
+  EXPECT_EQ(aln.matches, 10u);
+  EXPECT_EQ(aln.score, 10);
+}
+
+TEST(SmithWatermanDna, SuffixPrefixOverlap) {
+  // Suffix of q overlaps prefix of s.
+  const auto aln = smith_waterman_dna("TTTTTACGTACGT", "ACGTACGTGGGGG");
+  EXPECT_EQ(aln.matches, 8u);
+  EXPECT_EQ(aln.q_begin, 5u);
+  EXPECT_EQ(aln.q_end, 13u);
+  EXPECT_EQ(aln.s_begin, 0u);
+  EXPECT_EQ(aln.s_end, 8u);
+}
+
+TEST(SmithWatermanDna, ParameterValidation) {
+  EXPECT_THROW(smith_waterman_dna("A", "A", 0, -1), common::InvalidArgument);
+  EXPECT_THROW(smith_waterman_dna("A", "A", 1, 1), common::InvalidArgument);
+}
+
+TEST(SmithWatermanDna, MismatchPenaltyApplied) {
+  const auto aln = smith_waterman_dna("AAAAATAAAAA", "AAAAACAAAAA", 1, -2);
+  EXPECT_EQ(aln.matches, 10u);
+  EXPECT_EQ(aln.mismatches, 1u);
+  EXPECT_EQ(aln.score, 10 - 2);
+}
+
+}  // namespace
+}  // namespace pga::align

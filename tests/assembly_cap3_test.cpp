@@ -1,0 +1,203 @@
+#include "assembly/cap3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bio/transcriptome.hpp"
+#include "common/rng.hpp"
+
+namespace pga::assembly {
+namespace {
+
+std::string random_dna(std::size_t n, common::Rng& rng) {
+  static constexpr std::string_view kBases = "ACGT";
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(kBases[rng.below(4)]);
+  return s;
+}
+
+TEST(Assemble, EmptyInput) {
+  const auto result = assemble({});
+  EXPECT_TRUE(result.contigs.empty());
+  EXPECT_TRUE(result.singlets.empty());
+  EXPECT_EQ(result.output_count(), 0u);
+}
+
+TEST(Assemble, SingleSequenceIsSinglet) {
+  common::Rng rng(3);
+  const auto result = assemble({{"x", "", random_dna(200, rng)}});
+  EXPECT_TRUE(result.contigs.empty());
+  ASSERT_EQ(result.singlets.size(), 1u);
+  EXPECT_EQ(result.singlets[0].id, "x");
+}
+
+TEST(Assemble, TwoOverlappingFragmentsMerge) {
+  common::Rng rng(5);
+  const std::string genome = random_dna(400, rng);
+  const std::string left = genome.substr(0, 250);
+  const std::string right = genome.substr(150);  // 100-base overlap
+  const auto result = assemble({{"L", "", left}, {"R", "", right}});
+  ASSERT_EQ(result.contigs.size(), 1u);
+  EXPECT_TRUE(result.singlets.empty());
+  const auto& contig = result.contigs[0];
+  EXPECT_EQ(contig.members.size(), 2u);
+  // With zero errors the consensus reconstructs the genome exactly.
+  EXPECT_EQ(contig.consensus, genome);
+}
+
+TEST(Assemble, ThreeWayTilingReconstructsGenome) {
+  common::Rng rng(7);
+  const std::string genome = random_dna(600, rng);
+  const auto result = assemble({
+      {"a", "", genome.substr(0, 250)},
+      {"b", "", genome.substr(180, 250)},
+      {"c", "", genome.substr(360, 240)},
+  });
+  ASSERT_EQ(result.contigs.size(), 1u);
+  EXPECT_EQ(result.contigs[0].consensus, genome);
+  EXPECT_EQ(result.contigs[0].members.size(), 3u);
+}
+
+TEST(Assemble, ErrorsAreVotedOutByCoverage) {
+  common::Rng rng(11);
+  const std::string genome = random_dna(300, rng);
+  // Three full-length copies, each with one (distinct-position) error.
+  std::string c1 = genome, c2 = genome, c3 = genome;
+  c1[50] = c1[50] == 'A' ? 'C' : 'A';
+  c2[150] = c2[150] == 'G' ? 'T' : 'G';
+  c3[250] = c3[250] == 'C' ? 'G' : 'C';
+  const auto result = assemble({{"c1", "", c1}, {"c2", "", c2}, {"c3", "", c3}});
+  ASSERT_EQ(result.contigs.size(), 1u);
+  EXPECT_EQ(result.contigs[0].consensus, genome);
+}
+
+TEST(Assemble, UnrelatedSequencesStaySeparate) {
+  common::Rng rng(13);
+  const auto result = assemble({
+      {"a", "", random_dna(300, rng)},
+      {"b", "", random_dna(300, rng)},
+      {"c", "", random_dna(300, rng)},
+  });
+  EXPECT_TRUE(result.contigs.empty());
+  EXPECT_EQ(result.singlets.size(), 3u);
+}
+
+TEST(Assemble, TwoIndependentContigs) {
+  common::Rng rng(17);
+  const std::string g1 = random_dna(400, rng);
+  const std::string g2 = random_dna(400, rng);
+  const auto result = assemble({
+      {"a1", "", g1.substr(0, 250)},
+      {"a2", "", g1.substr(150)},
+      {"b1", "", g2.substr(0, 250)},
+      {"b2", "", g2.substr(150)},
+      {"solo", "", random_dna(300, rng)},
+  });
+  EXPECT_EQ(result.contigs.size(), 2u);
+  ASSERT_EQ(result.singlets.size(), 1u);
+  EXPECT_EQ(result.singlets[0].id, "solo");
+  std::set<std::string> consensuses;
+  for (const auto& c : result.contigs) consensuses.insert(c.consensus);
+  EXPECT_TRUE(consensuses.count(g1));
+  EXPECT_TRUE(consensuses.count(g2));
+}
+
+TEST(Assemble, ContainmentJoinsCluster) {
+  common::Rng rng(19);
+  const std::string genome = random_dna(500, rng);
+  const auto result = assemble({
+      {"whole", "", genome},
+      {"inner", "", genome.substr(100, 200)},
+  });
+  ASSERT_EQ(result.contigs.size(), 1u);
+  EXPECT_EQ(result.contigs[0].consensus, genome);
+}
+
+TEST(Assemble, ContigIdsAndPrefix) {
+  common::Rng rng(23);
+  const std::string g1 = random_dna(400, rng);
+  AssemblyOptions options;
+  options.prefix = "Ctg";
+  const auto result = assemble(
+      {{"a", "", g1.substr(0, 250)}, {"b", "", g1.substr(150)}}, options);
+  ASSERT_EQ(result.contigs.size(), 1u);
+  EXPECT_EQ(result.contigs[0].id, "Ctg1");
+}
+
+TEST(Assemble, DeterministicAcrossRuns) {
+  bio::TranscriptomeParams params;
+  params.families = 6;
+  params.protein_min = 80;
+  params.protein_max = 150;
+  params.seed = 31;
+  const auto txm = bio::generate_transcriptome(params);
+  const auto r1 = assemble(txm.transcripts);
+  const auto r2 = assemble(txm.transcripts);
+  ASSERT_EQ(r1.contigs.size(), r2.contigs.size());
+  for (std::size_t i = 0; i < r1.contigs.size(); ++i) {
+    EXPECT_EQ(r1.contigs[i].consensus, r2.contigs[i].consensus);
+    EXPECT_EQ(r1.contigs[i].members, r2.contigs[i].members);
+  }
+}
+
+TEST(Assemble, MembersPartitionInputs) {
+  bio::TranscriptomeParams params;
+  params.families = 6;
+  params.protein_min = 80;
+  params.protein_max = 150;
+  params.seed = 37;
+  const auto txm = bio::generate_transcriptome(params);
+  const auto result = assemble(txm.transcripts);
+  std::multiset<std::string> seen;
+  for (const auto& c : result.contigs) {
+    EXPECT_GE(c.members.size(), 2u);
+    for (const auto& m : c.members) seen.insert(m);
+  }
+  for (const auto& s : result.singlets) seen.insert(s.id);
+  std::multiset<std::string> expected;
+  for (const auto& t : txm.transcripts) expected.insert(t.id);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Assemble, ReducesRedundantTranscriptome) {
+  bio::TranscriptomeParams params;
+  params.families = 5;
+  params.protein_min = 70;
+  params.protein_max = 130;
+  params.fragments_min = 4;
+  params.fragments_max = 6;
+  params.fragment_min_frac = 0.6;  // big overlaps -> mergeable
+  params.seed = 41;
+  const auto txm = bio::generate_transcriptome(params);
+  const auto result = assemble(txm.transcripts);
+  EXPECT_LT(result.output_count(), txm.transcripts.size());
+  EXPECT_FALSE(result.contigs.empty());
+}
+
+TEST(Assemble, AllRecordsConcatenatesContigsAndSinglets) {
+  common::Rng rng(43);
+  const std::string g1 = random_dna(400, rng);
+  const auto result = assemble({
+      {"a", "", g1.substr(0, 250)},
+      {"b", "", g1.substr(150)},
+      {"solo", "", random_dna(250, rng)},
+  });
+  const auto records = result.all_records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, "Contig1");
+  EXPECT_EQ(records[1].id, "solo");
+}
+
+TEST(Assemble, OverlapCountsReported) {
+  common::Rng rng(47);
+  const std::string g1 = random_dna(400, rng);
+  const auto result = assemble({{"a", "", g1.substr(0, 250)}, {"b", "", g1.substr(150)}});
+  EXPECT_EQ(result.overlaps_considered, 1u);
+  EXPECT_EQ(result.overlaps_applied, 1u);
+}
+
+}  // namespace
+}  // namespace pga::assembly

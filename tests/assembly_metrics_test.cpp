@@ -1,0 +1,89 @@
+#include "assembly/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pga::assembly {
+namespace {
+
+TEST(N50, EmptyIsZero) { EXPECT_EQ(n50({}), 0u); }
+
+TEST(N50, SingleSequence) { EXPECT_EQ(n50({500}), 500u); }
+
+TEST(N50, ClassicExample) {
+  // Lengths 80,70,50,40,30,20 -> total 290, half 145; 80+70=150 >= 145 -> 70.
+  EXPECT_EQ(n50({80, 70, 50, 40, 30, 20}), 70u);
+}
+
+TEST(N50, AllEqual) { EXPECT_EQ(n50({100, 100, 100}), 100u); }
+
+TEST(N50, OrderIndependent) {
+  EXPECT_EQ(n50({20, 80, 30, 70, 40, 50}), n50({80, 70, 50, 40, 30, 20}));
+}
+
+AssemblyResult sample_result() {
+  AssemblyResult r;
+  r.contigs.push_back({"Contig1", std::string(300, 'A'), {"t1", "t2", "t3"}});
+  r.contigs.push_back({"Contig2", std::string(200, 'C'), {"t4", "t5"}});
+  r.singlets.push_back({"t6", "", std::string(100, 'G')});
+  return r;
+}
+
+TEST(Metrics, CountsAndReduction) {
+  const auto m = compute_metrics(6, sample_result());
+  EXPECT_EQ(m.input_sequences, 6u);
+  EXPECT_EQ(m.contigs, 2u);
+  EXPECT_EQ(m.singlets, 1u);
+  EXPECT_EQ(m.output_sequences, 3u);
+  EXPECT_DOUBLE_EQ(m.reduction_percent, 50.0);
+  EXPECT_EQ(m.largest_contig, 300u);
+  EXPECT_EQ(m.consensus_n50, 300u);  // 300 covers 300/600 >= half
+}
+
+TEST(Metrics, ZeroInputSafe) {
+  const auto m = compute_metrics(0, AssemblyResult{});
+  EXPECT_DOUBLE_EQ(m.reduction_percent, 0.0);
+  EXPECT_EQ(m.consensus_n50, 0u);
+}
+
+TEST(Metrics, FusionCounting) {
+  const std::unordered_map<std::string, std::string> truth{
+      {"t1", "geneA"}, {"t2", "geneA"}, {"t3", "geneA"},
+      {"t4", "geneB"}, {"t5", "geneC"},  // Contig2 mixes genes -> fusion
+  };
+  const auto m = compute_metrics(6, sample_result(), truth);
+  EXPECT_EQ(m.fusion_checked, 2u);
+  EXPECT_EQ(m.fused_contigs, 1u);
+  EXPECT_EQ(m.fused_sequences, 1u);
+}
+
+TEST(Metrics, FusedSequencesCountExtraGenesPerContig) {
+  // One mega-contig absorbing 4 genes counts as 1 fused contig but 3
+  // fused sequences.
+  AssemblyResult r;
+  r.contigs.push_back(
+      {"Contig1", std::string(100, 'A'), {"a", "b", "c", "d"}});
+  const std::unordered_map<std::string, std::string> truth{
+      {"a", "g1"}, {"b", "g2"}, {"c", "g3"}, {"d", "g4"}};
+  const auto m = compute_metrics(4, r, truth);
+  EXPECT_EQ(m.fused_contigs, 1u);
+  EXPECT_EQ(m.fused_sequences, 3u);
+}
+
+TEST(Metrics, UnlabelledMembersIgnoredForFusion) {
+  const std::unordered_map<std::string, std::string> truth{
+      {"t1", "geneA"}, {"t4", "geneB"},
+  };
+  const auto m = compute_metrics(6, sample_result(), truth);
+  // Both contigs have one labelled member each -> checked but not fused.
+  EXPECT_EQ(m.fusion_checked, 2u);
+  EXPECT_EQ(m.fused_contigs, 0u);
+}
+
+TEST(Metrics, EmptyTruthSkipsFusionCheck) {
+  const auto m = compute_metrics(6, sample_result());
+  EXPECT_EQ(m.fusion_checked, 0u);
+  EXPECT_EQ(m.fused_contigs, 0u);
+}
+
+}  // namespace
+}  // namespace pga::assembly

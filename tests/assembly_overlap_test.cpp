@@ -1,0 +1,239 @@
+#include "assembly/overlap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/sw.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pga::assembly {
+namespace {
+
+std::string random_dna(std::size_t n, common::Rng& rng) {
+  static constexpr std::string_view kBases = "ACGT";
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(kBases[rng.below(4)]);
+  return s;
+}
+
+TEST(ClassifyOverlap, SuffixPrefix) {
+  // a = [x][shared], b = [shared][y]; alignment covers `shared`.
+  align::LocalAlignment aln;
+  aln.q_begin = 60;
+  aln.q_end = 110;  // a is 110 long: suffix aligned
+  aln.s_begin = 0;
+  aln.s_end = 50;  // b prefix aligned
+  aln.matches = 50;
+  OverlapParams params;
+  OverlapKind kind;
+  long shift = 0;
+  ASSERT_TRUE(classify_overlap(aln, 110, 120, params, kind, shift));
+  EXPECT_EQ(kind, OverlapKind::kSuffixPrefix);
+  EXPECT_EQ(shift, 60);
+}
+
+TEST(ClassifyOverlap, PrefixSuffix) {
+  align::LocalAlignment aln;
+  aln.q_begin = 0;
+  aln.q_end = 50;
+  aln.s_begin = 70;
+  aln.s_end = 120;
+  aln.matches = 50;
+  OverlapParams params;
+  OverlapKind kind;
+  long shift = 0;
+  ASSERT_TRUE(classify_overlap(aln, 130, 120, params, kind, shift));
+  EXPECT_EQ(kind, OverlapKind::kPrefixSuffix);
+  EXPECT_EQ(shift, -70);
+}
+
+TEST(ClassifyOverlap, Containment) {
+  align::LocalAlignment aln;
+  aln.q_begin = 30;
+  aln.q_end = 90;
+  aln.s_begin = 0;
+  aln.s_end = 60;  // all of b (length 60) inside a
+  aln.matches = 60;
+  OverlapParams params;
+  OverlapKind kind;
+  long shift = 0;
+  ASSERT_TRUE(classify_overlap(aln, 200, 60, params, kind, shift));
+  EXPECT_EQ(kind, OverlapKind::kAContainsB);
+  EXPECT_EQ(shift, 30);
+}
+
+TEST(ClassifyOverlap, RejectsShortAlignment) {
+  align::LocalAlignment aln;
+  aln.q_begin = 80;
+  aln.q_end = 110;
+  aln.s_begin = 0;
+  aln.s_end = 30;
+  aln.matches = 30;  // < min_overlap 40
+  OverlapParams params;
+  OverlapKind kind;
+  long shift = 0;
+  EXPECT_FALSE(classify_overlap(aln, 110, 100, params, kind, shift));
+}
+
+TEST(ClassifyOverlap, RejectsLowIdentity) {
+  align::LocalAlignment aln;
+  aln.q_begin = 60;
+  aln.q_end = 110;
+  aln.s_begin = 0;
+  aln.s_end = 50;
+  aln.matches = 40;
+  aln.mismatches = 10;  // 80% identity < 90
+  OverlapParams params;
+  OverlapKind kind;
+  long shift = 0;
+  EXPECT_FALSE(classify_overlap(aln, 110, 100, params, kind, shift));
+}
+
+TEST(ClassifyOverlap, RejectsInternalAlignment) {
+  // Alignment in the middle of both sequences: no end reaches within slop.
+  align::LocalAlignment aln;
+  aln.q_begin = 50;
+  aln.q_end = 100;
+  aln.s_begin = 50;
+  aln.s_end = 100;
+  aln.matches = 50;
+  OverlapParams params;
+  OverlapKind kind;
+  long shift = 0;
+  EXPECT_FALSE(classify_overlap(aln, 200, 200, params, kind, shift));
+}
+
+TEST(FindOverlaps, DetectsSuffixPrefixPair) {
+  common::Rng rng(41);
+  const std::string shared = random_dna(80, rng);
+  const std::string a = random_dna(100, rng) + shared;
+  const std::string b = shared + random_dna(100, rng);
+  const auto overlaps = find_overlaps({{"a", "", a}, {"b", "", b}});
+  ASSERT_EQ(overlaps.size(), 1u);
+  EXPECT_EQ(overlaps[0].a, 0u);
+  EXPECT_EQ(overlaps[0].b, 1u);
+  EXPECT_EQ(overlaps[0].kind, OverlapKind::kSuffixPrefix);
+  EXPECT_EQ(overlaps[0].shift, 100);
+  EXPECT_GE(overlaps[0].alignment.matches, 78u);
+}
+
+TEST(FindOverlaps, DetectsContainment) {
+  common::Rng rng(43);
+  const std::string big = random_dna(400, rng);
+  const std::string inner = big.substr(100, 150);
+  const auto overlaps = find_overlaps({{"big", "", big}, {"inner", "", inner}});
+  ASSERT_EQ(overlaps.size(), 1u);
+  EXPECT_EQ(overlaps[0].kind, OverlapKind::kAContainsB);
+  EXPECT_EQ(overlaps[0].shift, 100);
+}
+
+TEST(FindOverlaps, NoOverlapBetweenUnrelated) {
+  common::Rng rng(47);
+  const auto overlaps = find_overlaps(
+      {{"a", "", random_dna(300, rng)}, {"b", "", random_dna(300, rng)}});
+  EXPECT_TRUE(overlaps.empty());
+}
+
+TEST(FindOverlaps, ToleratesSubstitutionErrors) {
+  common::Rng rng(53);
+  const std::string shared = random_dna(100, rng);
+  std::string noisy = shared;
+  for (std::size_t i = 10; i < noisy.size(); i += 25) {
+    noisy[i] = noisy[i] == 'A' ? 'C' : 'A';  // 4 substitutions -> 96% id
+  }
+  const std::string a = random_dna(80, rng) + shared;
+  const std::string b = noisy + random_dna(80, rng);
+  const auto overlaps = find_overlaps({{"a", "", a}, {"b", "", b}});
+  ASSERT_EQ(overlaps.size(), 1u);
+  EXPECT_GE(overlaps[0].alignment.percent_identity(), 90.0);
+}
+
+TEST(FindOverlaps, RejectsBelowMinOverlap) {
+  common::Rng rng(59);
+  const std::string shared = random_dna(30, rng);  // < default min 40
+  const std::string a = random_dna(150, rng) + shared;
+  const std::string b = shared + random_dna(150, rng);
+  OverlapParams params;
+  params.kmer = 12;
+  EXPECT_TRUE(find_overlaps({{"a", "", a}, {"b", "", b}}, params).empty());
+}
+
+TEST(FindOverlaps, MinOverlapParameterHonored) {
+  common::Rng rng(59);
+  const std::string shared = random_dna(30, rng);
+  const std::string a = random_dna(150, rng) + shared;
+  const std::string b = shared + random_dna(150, rng);
+  OverlapParams params;
+  params.kmer = 12;
+  params.min_overlap = 25;
+  EXPECT_EQ(find_overlaps({{"a", "", a}, {"b", "", b}}, params).size(), 1u);
+}
+
+TEST(FindOverlaps, SortedByScoreDescending) {
+  common::Rng rng(61);
+  const std::string s1 = random_dna(120, rng);
+  const std::string s2 = random_dna(60, rng);
+  // Pair (a,b) overlaps by 120 bases; pair (c,d) by 60.
+  const std::string a = random_dna(50, rng) + s1;
+  const std::string b = s1 + random_dna(50, rng);
+  const std::string c = random_dna(50, rng) + s2;
+  const std::string d = s2 + random_dna(50, rng);
+  const auto overlaps = find_overlaps(
+      {{"a", "", a}, {"b", "", b}, {"c", "", c}, {"d", "", d}});
+  ASSERT_GE(overlaps.size(), 2u);
+  for (std::size_t i = 1; i < overlaps.size(); ++i) {
+    EXPECT_GE(overlaps[i - 1].alignment.score, overlaps[i].alignment.score);
+  }
+}
+
+TEST(FindOverlaps, RepeatSuppressionBlocksHyperFrequentKmers) {
+  // 12 unrelated sequences all carrying one identical 80-base element at
+  // an end: with suppression off they pair up through the repeat; with a
+  // low occurrence cap the repeat k-mers are ignored.
+  common::Rng rng(67);
+  const std::string repeat = random_dna(80, rng);
+  std::vector<bio::SeqRecord> seqs;
+  for (int i = 0; i < 12; ++i) {
+    // Half carry the repeat terminally at the 3' end, half at the 5' end,
+    // so (end, start) pairs form suffix-prefix dovetails through it.
+    if (i % 2 == 0) {
+      seqs.push_back({"s" + std::to_string(i), "", random_dna(150, rng) + repeat});
+    } else {
+      seqs.push_back({"s" + std::to_string(i), "", repeat + random_dna(150, rng)});
+    }
+  }
+  OverlapParams permissive;
+  permissive.max_kmer_occurrences = 512;
+  EXPECT_FALSE(find_overlaps(seqs, permissive).empty());
+
+  OverlapParams strict = permissive;
+  strict.max_kmer_occurrences = 6;  // the repeat occurs 12x -> suppressed
+  EXPECT_TRUE(find_overlaps(seqs, strict).empty());
+}
+
+TEST(FindOverlaps, MinSharedKmersGatesAlignment) {
+  common::Rng rng(71);
+  const std::string shared = random_dna(60, rng);
+  const std::string a = random_dna(100, rng) + shared;
+  const std::string b = shared + random_dna(100, rng);
+  OverlapParams demanding;
+  demanding.min_shared_kmers = 100;  // 60-base overlap has only 45 k-mers
+  EXPECT_TRUE(find_overlaps({{"a", "", a}, {"b", "", b}}, demanding).empty());
+  OverlapParams normal;
+  EXPECT_EQ(find_overlaps({{"a", "", a}, {"b", "", b}}, normal).size(), 1u);
+}
+
+TEST(FindOverlaps, ParameterValidation) {
+  EXPECT_THROW(find_overlaps({}, OverlapParams{.kmer = 4}), common::InvalidArgument);
+  EXPECT_THROW(find_overlaps({}, OverlapParams{.min_overlap = 10, .kmer = 16}),
+               common::InvalidArgument);
+}
+
+TEST(FindOverlaps, EmptyAndSingletonInputs) {
+  EXPECT_TRUE(find_overlaps({}).empty());
+  EXPECT_TRUE(find_overlaps({{"only", "", "ACGTACGTACGTACGTACGT"}}).empty());
+}
+
+}  // namespace
+}  // namespace pga::assembly

@@ -1,0 +1,154 @@
+// Tests for strand-agnostic (both_strands) overlap detection and
+// orientation-aware layout/consensus — the CAP3 behaviour for reads of
+// unknown strand.
+#include <gtest/gtest.h>
+
+#include "assembly/cap3.hpp"
+#include "bio/alphabet.hpp"
+#include "common/rng.hpp"
+
+namespace pga::assembly {
+namespace {
+
+std::string random_dna(std::size_t n, common::Rng& rng) {
+  static constexpr std::string_view kBases = "ACGT";
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(kBases[rng.below(4)]);
+  return s;
+}
+
+AssemblyOptions strand_agnostic() {
+  AssemblyOptions options;
+  options.overlap.both_strands = true;
+  return options;
+}
+
+TEST(BothStrands, DetectsReverseComplementOverlap) {
+  common::Rng rng(101);
+  const std::string genome = random_dna(400, rng);
+  const std::string left = genome.substr(0, 250);
+  const std::string right_rc = bio::reverse_complement(genome.substr(150));
+  OverlapParams params;
+  params.both_strands = true;
+  const auto overlaps = find_overlaps({{"L", "", left}, {"R", "", right_rc}}, params);
+  ASSERT_EQ(overlaps.size(), 1u);
+  EXPECT_TRUE(overlaps[0].flipped);
+  EXPECT_GE(overlaps[0].alignment.matches, 98u);
+}
+
+TEST(BothStrands, OffByDefaultMissesFlippedOverlap) {
+  common::Rng rng(101);
+  const std::string genome = random_dna(400, rng);
+  const std::string left = genome.substr(0, 250);
+  const std::string right_rc = bio::reverse_complement(genome.substr(150));
+  EXPECT_TRUE(find_overlaps({{"L", "", left}, {"R", "", right_rc}}).empty());
+}
+
+TEST(BothStrands, ForwardOverlapsStillFoundAndNotFlipped) {
+  common::Rng rng(103);
+  const std::string genome = random_dna(400, rng);
+  OverlapParams params;
+  params.both_strands = true;
+  const auto overlaps = find_overlaps(
+      {{"L", "", genome.substr(0, 250)}, {"R", "", genome.substr(150)}}, params);
+  ASSERT_EQ(overlaps.size(), 1u);
+  EXPECT_FALSE(overlaps[0].flipped);
+  EXPECT_EQ(overlaps[0].shift, 150);
+}
+
+TEST(BothStrands, AssemblesMixedOrientationFragments) {
+  common::Rng rng(107);
+  const std::string genome = random_dna(600, rng);
+  const auto result = assemble(
+      {
+          {"f1", "", genome.substr(0, 250)},
+          {"f2", "", bio::reverse_complement(genome.substr(180, 250))},
+          {"f3", "", genome.substr(360, 240)},
+      },
+      strand_agnostic());
+  ASSERT_EQ(result.contigs.size(), 1u);
+  EXPECT_TRUE(result.singlets.empty());
+  const std::string& consensus = result.contigs[0].consensus;
+  // The consensus equals the genome up to global orientation.
+  EXPECT_TRUE(consensus == genome || consensus == bio::reverse_complement(genome))
+      << "consensus length " << consensus.size();
+}
+
+TEST(BothStrands, AllFragmentsReversedReconstructGenome) {
+  common::Rng rng(109);
+  const std::string genome = random_dna(500, rng);
+  const auto result = assemble(
+      {
+          {"a", "", bio::reverse_complement(genome.substr(0, 300))},
+          {"b", "", bio::reverse_complement(genome.substr(200))},
+      },
+      strand_agnostic());
+  ASSERT_EQ(result.contigs.size(), 1u);
+  const std::string& consensus = result.contigs[0].consensus;
+  EXPECT_TRUE(consensus == genome || consensus == bio::reverse_complement(genome));
+}
+
+TEST(BothStrands, ErrorsVotedOutAcrossOrientations) {
+  common::Rng rng(113);
+  const std::string genome = random_dna(300, rng);
+  std::string fwd1 = genome, fwd2 = genome;
+  fwd1[40] = fwd1[40] == 'A' ? 'C' : 'A';
+  fwd2[200] = fwd2[200] == 'G' ? 'T' : 'G';
+  std::string rev = bio::reverse_complement(genome);
+  const auto result = assemble(
+      {{"x", "", fwd1}, {"y", "", fwd2}, {"z", "", rev}}, strand_agnostic());
+  ASSERT_EQ(result.contigs.size(), 1u);
+  const std::string& consensus = result.contigs[0].consensus;
+  EXPECT_TRUE(consensus == genome || consensus == bio::reverse_complement(genome));
+}
+
+TEST(BothStrands, PalindromeSafeDeterminism) {
+  // Sequences whose k-mers equal their reverse complements must not break
+  // candidate pairing (canonical form ties).
+  const std::string palindromic = "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"
+                                  "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT";
+  OverlapParams params;
+  params.both_strands = true;
+  params.min_overlap = 40;
+  const auto overlaps = find_overlaps(
+      {{"p1", "", palindromic}, {"p2", "", palindromic}}, params);
+  EXPECT_FALSE(overlaps.empty());
+  const auto r1 = assemble({{"p1", "", palindromic}, {"p2", "", palindromic}},
+                           strand_agnostic());
+  const auto r2 = assemble({{"p1", "", palindromic}, {"p2", "", palindromic}},
+                           strand_agnostic());
+  ASSERT_EQ(r1.contigs.size(), r2.contigs.size());
+  if (!r1.contigs.empty()) {
+    EXPECT_EQ(r1.contigs[0].consensus, r2.contigs[0].consensus);
+  }
+}
+
+TEST(BothStrands, UnrelatedSequencesUnaffected) {
+  common::Rng rng(127);
+  const auto result = assemble(
+      {{"a", "", random_dna(300, rng)}, {"b", "", random_dna(300, rng)}},
+      strand_agnostic());
+  EXPECT_TRUE(result.contigs.empty());
+  EXPECT_EQ(result.singlets.size(), 2u);
+}
+
+TEST(BothStrands, FourFragmentChainMixedOrientations) {
+  common::Rng rng(131);
+  const std::string genome = random_dna(900, rng);
+  const auto result = assemble(
+      {
+          {"a", "", genome.substr(0, 300)},
+          {"b", "", bio::reverse_complement(genome.substr(200, 300))},
+          {"c", "", genome.substr(400, 300)},
+          {"d", "", bio::reverse_complement(genome.substr(600))},
+      },
+      strand_agnostic());
+  ASSERT_EQ(result.contigs.size(), 1u);
+  EXPECT_EQ(result.contigs[0].members.size(), 4u);
+  const std::string& consensus = result.contigs[0].consensus;
+  EXPECT_TRUE(consensus == genome || consensus == bio::reverse_complement(genome));
+}
+
+}  // namespace
+}  // namespace pga::assembly

@@ -1,0 +1,102 @@
+#include "assembly/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assembly/cap3.hpp"
+#include "bio/alphabet.hpp"
+#include "common/error.hpp"
+
+namespace pga::assembly {
+namespace {
+
+bio::Transcriptome make_txm(std::uint64_t seed = 3) {
+  bio::TranscriptomeParams params;
+  params.families = 6;
+  params.protein_min = 80;
+  params.protein_max = 140;
+  params.fragments_min = 4;
+  params.fragments_max = 6;
+  params.fragment_min_frac = 0.7;
+  params.seed = seed;
+  return bio::generate_transcriptome(params);
+}
+
+TEST(Validation, PerfectAssemblyRecoversEveryGene) {
+  const auto txm = make_txm();
+  // "Assemble" by handing validation the exact gene mRNAs.
+  std::vector<bio::SeqRecord> perfect;
+  for (const auto& g : txm.genes) perfect.push_back({g.id + "_asm", "", g.mrna});
+  const auto report = validate_assembly(txm, perfect);
+  EXPECT_EQ(report.genes_total, txm.genes.size());
+  EXPECT_EQ(report.genes_recovered, txm.genes.size());
+  EXPECT_DOUBLE_EQ(report.recovery_rate(), 1.0);
+  EXPECT_GT(report.mean_coverage, 0.99);
+  for (const auto& g : report.genes) {
+    EXPECT_TRUE(g.recovered) << g.gene_id;
+    EXPECT_GT(g.identity, 99.0);
+  }
+}
+
+TEST(Validation, ReverseComplementedOutputStillCounts) {
+  const auto txm = make_txm(5);
+  std::vector<bio::SeqRecord> flipped;
+  for (const auto& g : txm.genes) {
+    flipped.push_back({g.id + "_rc", "", bio::reverse_complement(g.mrna)});
+  }
+  const auto report = validate_assembly(txm, flipped);
+  EXPECT_EQ(report.genes_recovered, txm.genes.size());
+}
+
+TEST(Validation, EmptyAssemblyRecoversNothing) {
+  const auto txm = make_txm(7);
+  const auto report = validate_assembly(txm, {});
+  EXPECT_EQ(report.genes_recovered, 0u);
+  EXPECT_DOUBLE_EQ(report.recovery_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_coverage, 0.0);
+}
+
+TEST(Validation, PartialFragmentsGivePartialCoverage) {
+  const auto txm = make_txm(9);
+  // Only the first half of each mRNA.
+  std::vector<bio::SeqRecord> halves;
+  for (const auto& g : txm.genes) {
+    halves.push_back({g.id + "_half", "", g.mrna.substr(0, g.mrna.size() / 2)});
+  }
+  const auto report = validate_assembly(txm, halves);
+  EXPECT_EQ(report.genes_recovered, 0u);  // 50% < 90% required coverage
+  EXPECT_GT(report.mean_coverage, 0.35);
+  EXPECT_LT(report.mean_coverage, 0.65);
+}
+
+TEST(Validation, RealAssemblyOfDeepFragmentsRecoversMostGenes) {
+  const auto txm = make_txm(11);
+  const auto result = assemble(txm.transcripts);
+  const auto report = validate_assembly(txm, result.all_records(),
+                                        {.min_identity = 90.0, .min_coverage = 0.8});
+  // Deep tiling (4-6 fragments of >=70% length) reconstructs most genes.
+  EXPECT_GT(report.recovery_rate(), 0.6)
+      << report.genes_recovered << "/" << report.genes_total;
+  EXPECT_GT(report.mean_coverage, 0.7);
+}
+
+TEST(Validation, BestSequenceNamed) {
+  const auto txm = make_txm(13);
+  std::vector<bio::SeqRecord> perfect;
+  for (const auto& g : txm.genes) perfect.push_back({g.id + "_asm", "", g.mrna});
+  const auto report = validate_assembly(txm, perfect);
+  for (const auto& g : report.genes) {
+    EXPECT_EQ(g.best_sequence, g.gene_id + "_asm");
+  }
+}
+
+TEST(Validation, ParameterChecks) {
+  const auto txm = make_txm(15);
+  EXPECT_THROW(validate_assembly(txm, {}, {.kmer = 4}), common::InvalidArgument);
+  EXPECT_THROW(validate_assembly(txm, {}, {.min_coverage = 0.0}),
+               common::InvalidArgument);
+  EXPECT_THROW(validate_assembly(txm, {}, {.min_coverage = 1.5}),
+               common::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pga::assembly

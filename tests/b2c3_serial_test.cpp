@@ -1,0 +1,101 @@
+#include "b2c3/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/blastx.hpp"
+#include "align/tabular.hpp"
+#include "bio/fasta.hpp"
+#include "bio/transcriptome.hpp"
+#include "common/error.hpp"
+#include "common/fsutil.hpp"
+
+namespace pga::b2c3 {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Setup {
+  bio::Transcriptome txm;
+  common::ScratchDir dir{"b2c3-serial"};
+  fs::path fasta;
+  fs::path alignments;
+  fs::path output;
+  fs::path work;
+};
+
+/// The transcriptome + BLASTX setup is expensive; build it once and give
+/// every test its own output/work paths inside the shared scratch dir.
+Setup& shared_setup() {
+  static Setup* setup = [] {
+    auto* s = new Setup;
+    bio::TranscriptomeParams params;
+    params.families = 5;
+    params.protein_min = 80;
+    params.protein_max = 140;
+    params.fragment_min_frac = 0.6;
+    params.seed = 101;
+    s->txm = bio::generate_transcriptome(params);
+    s->fasta = s->dir.file("transcripts.fasta");
+    s->alignments = s->dir.file("alignments.out");
+    bio::write_fasta_file(s->fasta, s->txm.transcripts);
+    const align::BlastxSearch search(s->txm.proteins);
+    align::write_tabular_file(s->alignments, search.search_all(s->txm.transcripts));
+    return s;
+  }();
+  return *setup;
+}
+
+Setup& make_setup(const std::string& tag) {
+  Setup& s = shared_setup();
+  s.output = s.dir.file("assembly-" + tag + ".fasta");
+  s.work = s.dir.path() / ("work-" + tag);
+  fs::create_directories(s.work);
+  return s;
+}
+
+TEST(Serial, RunsEndToEnd) {
+  auto& s = make_setup("e2e");
+  const auto report = run_serial(s.fasta, s.alignments, s.output, s.work);
+  EXPECT_EQ(report.transcripts, s.txm.transcripts.size());
+  EXPECT_GT(report.hits, 0u);
+  EXPECT_GT(report.clusters, 0u);
+  EXPECT_GT(report.contigs, 0u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  // Accounting: final record count = contigs + unjoined.
+  EXPECT_EQ(report.output_records, report.contigs + report.unjoined);
+  // Merging reduces the catalogue.
+  EXPECT_LT(report.output_records, report.transcripts);
+  EXPECT_EQ(bio::read_fasta_file(s.output).size(), report.output_records);
+}
+
+TEST(Serial, JoinedPlusUnjoinedCoversInput) {
+  auto& s = make_setup("cover");
+  const auto report = run_serial(s.fasta, s.alignments, s.output, s.work);
+  EXPECT_EQ(report.joined_transcripts + report.unjoined, report.transcripts);
+}
+
+TEST(Serial, LargestClusterReported) {
+  auto& s = make_setup("largest");
+  const auto report = run_serial(s.fasta, s.alignments, s.output, s.work);
+  EXPECT_GE(report.largest_cluster, 1u);
+  EXPECT_LE(report.largest_cluster, report.transcripts);
+}
+
+TEST(Serial, DeterministicOutput) {
+  auto& s = make_setup("det");
+  const auto r1 = run_serial(s.fasta, s.alignments, s.output, s.work);
+  const auto first = common::read_file(s.output);
+  const auto r2 = run_serial(s.fasta, s.alignments, s.output, s.work);
+  EXPECT_EQ(first, common::read_file(s.output));
+  EXPECT_EQ(r1.output_records, r2.output_records);
+}
+
+TEST(Serial, MissingInputThrows) {
+  auto& s = make_setup("missing");
+  EXPECT_THROW(
+      run_serial(s.dir.file("nope.fasta"), s.alignments, s.output, s.work),
+      common::IoError);
+}
+
+}  // namespace
+}  // namespace pga::b2c3

@@ -1,0 +1,180 @@
+#include "b2c3/tasks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "align/blastx.hpp"
+#include "b2c3/splitter.hpp"
+#include "bio/fasta.hpp"
+#include "bio/transcriptome.hpp"
+#include "common/error.hpp"
+#include "common/fsutil.hpp"
+#include "common/strings.hpp"
+
+namespace pga::b2c3 {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Shared fixture: a small transcriptome, its FASTA, and its BLASTX hits.
+class TasksFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bio::TranscriptomeParams params;
+    params.families = 6;
+    params.protein_min = 80;
+    params.protein_max = 160;
+    params.fragments_min = 3;
+    params.fragments_max = 6;
+    params.fragment_min_frac = 0.6;
+    params.seed = 91;
+    txm_ = bio::generate_transcriptome(params);
+
+    dir_ = std::make_unique<common::ScratchDir>("b2c3-tasks");
+    fasta_ = dir_->file("transcripts.fasta");
+    alignments_ = dir_->file("alignments.out");
+    bio::write_fasta_file(fasta_, txm_.transcripts);
+    const align::BlastxSearch search(txm_.proteins);
+    align::write_tabular_file(alignments_, search.search_all(txm_.transcripts));
+  }
+
+  bio::Transcriptome txm_;
+  std::unique_ptr<common::ScratchDir> dir_;
+  fs::path fasta_;
+  fs::path alignments_;
+};
+
+TEST_F(TasksFixture, TranscriptDictRoundTrip) {
+  const auto dict = dir_->file("dict.txt");
+  const std::size_t n = make_transcript_dict(fasta_, dict);
+  EXPECT_EQ(n, txm_.transcripts.size());
+  const auto loaded = read_transcript_dict(dict);
+  ASSERT_EQ(loaded.size(), txm_.transcripts.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, txm_.transcripts[i].id);
+    EXPECT_EQ(loaded[i].seq, txm_.transcripts[i].seq);
+  }
+}
+
+TEST_F(TasksFixture, TranscriptDictRejectsBadLines) {
+  const auto dict = dir_->file("bad.txt");
+  common::write_file(dict, "no_tab_here\n");
+  EXPECT_THROW(read_transcript_dict(dict), common::ParseError);
+}
+
+TEST_F(TasksFixture, AlignmentListNormalizes) {
+  const auto list = dir_->file("list.txt");
+  const std::size_t n = make_alignment_list(alignments_, list);
+  EXPECT_GT(n, 0u);
+  EXPECT_EQ(align::read_tabular_file(list).size(), n);
+}
+
+TEST_F(TasksFixture, RunCap3ChunkProducesContigsAndMembers) {
+  const auto dict = dir_->file("dict.txt");
+  make_transcript_dict(fasta_, dict);
+  const auto joined = dir_->file("joined_0.fasta");
+  const auto members = dir_->file("members_0.txt");
+  const auto report = run_cap3_chunk(dict, alignments_, joined, members, "chunk0");
+  EXPECT_GT(report.clusters, 0u);
+  EXPECT_GT(report.contigs, 0u);
+  EXPECT_GE(report.joined_transcripts, 2 * report.contigs);
+
+  const auto contigs = bio::read_fasta_file(joined);
+  EXPECT_EQ(contigs.size(), report.contigs);
+  for (const auto& c : contigs) {
+    EXPECT_TRUE(c.id.starts_with("chunk0.Contig")) << c.id;
+  }
+  const auto member_lines = common::read_lines(members);
+  std::size_t nonempty = 0;
+  for (const auto& l : member_lines) {
+    if (!l.empty()) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, report.contigs);
+}
+
+TEST_F(TasksFixture, ChunkReferencingUnknownTranscriptThrows) {
+  const auto dict = dir_->file("dict.txt");
+  common::write_file(dict, "only_one\tACGTACGT\n");
+  // Two hits to the same protein, referencing transcripts not in the dict,
+  // form a >=2 cluster whose members cannot be resolved.
+  common::write_file(dir_->file("chunk.txt"),
+                     "ghost1\tpX\t95\t100\t2\t0\t1\t300\t1\t100\t1e-30\t200\n"
+                     "ghost2\tpX\t95\t100\t2\t0\t1\t300\t1\t100\t1e-30\t200\n");
+  EXPECT_THROW(run_cap3_chunk(dict, dir_->file("chunk.txt"), dir_->file("j.fasta"),
+                              dir_->file("m.txt"), "c"),
+               common::WorkflowError);
+}
+
+TEST_F(TasksFixture, EndToEndSplitWorkflowMatchesSingleChunk) {
+  // Running the pipeline with n=4 chunks must produce the same set of
+  // output sequences as n=1 (split is behaviour-preserving).
+  const auto dict = dir_->file("dict.txt");
+  make_transcript_dict(fasta_, dict);
+
+  const auto run_pipeline = [&](std::size_t n, const std::string& tag) {
+    const auto chunk_paths = split_alignment_file(alignments_, dir_->path(), n,
+                                                  "chunk-" + tag);
+    std::vector<fs::path> joined_paths, member_paths;
+    for (std::size_t i = 0; i < chunk_paths.size(); ++i) {
+      const auto joined = dir_->file("joined-" + tag + "-" + std::to_string(i));
+      const auto members = dir_->file("members-" + tag + "-" + std::to_string(i));
+      run_cap3_chunk(dict, chunk_paths[i], joined, members,
+                     "c" + std::to_string(i));
+      joined_paths.push_back(joined);
+      member_paths.push_back(members);
+    }
+    const auto joined_all = dir_->file("joined-" + tag + ".fasta");
+    const auto unjoined = dir_->file("unjoined-" + tag + ".fasta");
+    const auto final_out = dir_->file("final-" + tag + ".fasta");
+    merge_joined(joined_paths, joined_all);
+    find_unjoined(dict, member_paths, unjoined);
+    concat_final(joined_all, unjoined, final_out);
+    return bio::read_fasta_file(final_out);
+  };
+
+  const auto one = run_pipeline(1, "one");
+  const auto four = run_pipeline(4, "four");
+
+  // Same number of records and the same multiset of sequences (contig ids
+  // differ by chunk tag, so compare sequences).
+  ASSERT_EQ(one.size(), four.size());
+  std::multiset<std::string> seqs_one, seqs_four;
+  for (const auto& r : one) seqs_one.insert(r.seq);
+  for (const auto& r : four) seqs_four.insert(r.seq);
+  EXPECT_EQ(seqs_one, seqs_four);
+}
+
+TEST_F(TasksFixture, FindUnjoinedCoversNoHitTranscripts) {
+  const auto dict = dir_->file("dict.txt");
+  make_transcript_dict(fasta_, dict);
+  const auto joined = dir_->file("joined.fasta");
+  const auto members = dir_->file("members.txt");
+  const auto report = run_cap3_chunk(dict, alignments_, joined, members, "c0");
+  const auto unjoined = dir_->file("unjoined.fasta");
+  const std::size_t n_unjoined = find_unjoined(dict, {members}, unjoined);
+  EXPECT_EQ(n_unjoined + report.joined_transcripts, txm_.transcripts.size());
+
+  // Union of joined members and unjoined records = all transcript ids.
+  std::set<std::string> ids;
+  for (const auto& r : bio::read_fasta_file(unjoined)) ids.insert(r.id);
+  for (const auto& line : common::read_lines(members)) {
+    if (line.empty()) continue;
+    const auto tab = line.find('\t');
+    for (const auto& id : common::split(line.substr(tab + 1), ',')) ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), txm_.transcripts.size());
+}
+
+TEST_F(TasksFixture, ConcatFinalCountsRecords) {
+  const auto a = dir_->file("a.fasta");
+  const auto b = dir_->file("b.fasta");
+  bio::write_fasta_file(a, {{"x", "", "ACGT"}});
+  bio::write_fasta_file(b, {{"y", "", "GGTT"}, {"z", "", "AATT"}});
+  const auto out = dir_->file("out.fasta");
+  EXPECT_EQ(concat_final(a, b, out), 3u);
+  EXPECT_EQ(bio::read_fasta_file(out).size(), 3u);
+}
+
+}  // namespace
+}  // namespace pga::b2c3

@@ -1,0 +1,73 @@
+#include "bio/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pga::bio {
+namespace {
+
+TEST(Alphabet, DnaBaseRecognition) {
+  for (const char c : {'A', 'C', 'G', 'T', 'a', 'c', 'g', 't'}) {
+    EXPECT_TRUE(is_dna_base(c)) << c;
+  }
+  for (const char c : {'N', 'U', 'X', '-', ' ', '1'}) {
+    EXPECT_FALSE(is_dna_base(c)) << c;
+  }
+  EXPECT_TRUE(is_dna_base_or_n('N'));
+  EXPECT_TRUE(is_dna_base_or_n('n'));
+  EXPECT_FALSE(is_dna_base_or_n('U'));
+}
+
+TEST(Alphabet, AminoAcidRecognition) {
+  for (const char c : kAminoAcids) EXPECT_TRUE(is_amino_acid(c)) << c;
+  EXPECT_TRUE(is_amino_acid('*'));
+  EXPECT_TRUE(is_amino_acid('X'));
+  EXPECT_TRUE(is_amino_acid('k'));
+  for (const char c : {'B', 'J', 'O', 'U', 'Z', '-', '1'}) {
+    EXPECT_FALSE(is_amino_acid(c)) << c;
+  }
+}
+
+TEST(Alphabet, SequenceValidation) {
+  EXPECT_TRUE(is_dna("ACGTN"));
+  EXPECT_FALSE(is_dna("ACGU"));
+  EXPECT_TRUE(is_dna(""));
+  EXPECT_TRUE(is_protein("MKWVTFISLLFLFSSAYS"));
+  EXPECT_FALSE(is_protein("MKB"));
+}
+
+TEST(Alphabet, ComplementBasics) {
+  EXPECT_EQ(complement('A'), 'T');
+  EXPECT_EQ(complement('T'), 'A');
+  EXPECT_EQ(complement('C'), 'G');
+  EXPECT_EQ(complement('G'), 'C');
+  EXPECT_EQ(complement('N'), 'N');
+  EXPECT_EQ(complement('a'), 't');  // case preserved
+  EXPECT_THROW(complement('U'), common::InvalidArgument);
+}
+
+TEST(Alphabet, ReverseComplement) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(reverse_complement("AAAC"), "GTTT");
+  EXPECT_EQ(reverse_complement(""), "");
+  EXPECT_EQ(reverse_complement("ATGNC"), "GNCAT");
+}
+
+TEST(Alphabet, ReverseComplementIsInvolution) {
+  const std::string seq = "ATGCGTAACCGGTTNATCG";
+  EXPECT_EQ(reverse_complement(reverse_complement(seq)), seq);
+}
+
+TEST(Alphabet, Indices) {
+  EXPECT_EQ(base_index('A'), 0);
+  EXPECT_EQ(base_index('t'), 3);
+  EXPECT_EQ(base_index('N'), -1);
+  EXPECT_EQ(amino_index('A'), 0);
+  EXPECT_EQ(amino_index('V'), 19);
+  EXPECT_EQ(amino_index('*'), -1);
+  EXPECT_EQ(amino_index('B'), -1);
+}
+
+}  // namespace
+}  // namespace pga::bio

@@ -1,0 +1,142 @@
+#include "bio/codon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bio/alphabet.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pga::bio {
+namespace {
+
+TEST(TranslateCodon, KnownCodons) {
+  EXPECT_EQ(translate_codon("ATG"), 'M');
+  EXPECT_EQ(translate_codon("TGG"), 'W');
+  EXPECT_EQ(translate_codon("TAA"), '*');
+  EXPECT_EQ(translate_codon("TAG"), '*');
+  EXPECT_EQ(translate_codon("TGA"), '*');
+  EXPECT_EQ(translate_codon("GCT"), 'A');
+  EXPECT_EQ(translate_codon("AAA"), 'K');
+  EXPECT_EQ(translate_codon("TTT"), 'F');
+  EXPECT_EQ(translate_codon("CGA"), 'R');
+  EXPECT_EQ(translate_codon("atg"), 'M');  // case-insensitive
+}
+
+TEST(TranslateCodon, AmbiguousBaseGivesX) {
+  EXPECT_EQ(translate_codon("ANG"), 'X');
+  EXPECT_EQ(translate_codon("NNN"), 'X');
+}
+
+TEST(TranslateCodon, WrongLengthThrows) {
+  EXPECT_THROW(translate_codon("AT"), common::InvalidArgument);
+  EXPECT_THROW(translate_codon("ATGA"), common::InvalidArgument);
+}
+
+TEST(TranslateCodon, CodeHasCorrectDegeneracy) {
+  // The standard code: 61 sense codons covering all 20 amino acids + 3 stops.
+  std::map<char, int> counts;
+  const char* bases = "ACGT";
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b)
+      for (int c = 0; c < 4; ++c)
+        ++counts[translate_codon(std::string{bases[a], bases[b], bases[c]})];
+  EXPECT_EQ(counts['*'], 3);
+  EXPECT_EQ(counts['L'], 6);
+  EXPECT_EQ(counts['R'], 6);
+  EXPECT_EQ(counts['S'], 6);
+  EXPECT_EQ(counts['M'], 1);
+  EXPECT_EQ(counts['W'], 1);
+  int total = 0;
+  for (const auto& [aa, n] : counts) total += n;
+  EXPECT_EQ(total, 64);
+  EXPECT_EQ(counts.size(), 21u);  // 20 aa + stop
+}
+
+TEST(Translate, FramesShiftStart) {
+  // ATG GCC TAA
+  EXPECT_EQ(translate("ATGGCCTAA", 0), "MA*");
+  EXPECT_EQ(translate("ATGGCCTAA", 1), "WP");   // TGG CCT (AA dropped)
+  EXPECT_EQ(translate("ATGGCCTAA", 2), "GL");   // GGC CTA (A dropped)
+  EXPECT_THROW(translate("ATG", 3), common::InvalidArgument);
+}
+
+TEST(Translate, ShortInput) {
+  EXPECT_EQ(translate("AT", 0), "");
+  EXPECT_EQ(translate("ATG", 2), "");
+}
+
+TEST(SixFrame, ProducesSixFramesInOrder) {
+  const auto frames = six_frame_translate("ATGGCCTAA");
+  ASSERT_EQ(frames.size(), 6u);
+  EXPECT_EQ(frames[0].frame, 1);
+  EXPECT_EQ(frames[0].protein, "MA*");
+  EXPECT_EQ(frames[3].frame, -1);
+  // Reverse complement of ATGGCCTAA is TTAGGCCAT; frame -1 = TTA GGC CAT.
+  EXPECT_EQ(frames[3].protein, "LGH");
+  EXPECT_EQ(frames[5].frame, -3);
+}
+
+TEST(FrameToForwardOffset, ForwardFrames) {
+  EXPECT_EQ(frame_to_forward_offset(1, 0, 30), 0u);
+  EXPECT_EQ(frame_to_forward_offset(1, 2, 30), 6u);
+  EXPECT_EQ(frame_to_forward_offset(2, 0, 30), 1u);
+  EXPECT_EQ(frame_to_forward_offset(3, 1, 30), 5u);
+}
+
+TEST(FrameToForwardOffset, ReverseFrames) {
+  // Frame -1, codon 0 occupies rc[0..2] = forward[L-3..L-1]; start = L-3.
+  EXPECT_EQ(frame_to_forward_offset(-1, 0, 30), 27u);
+  EXPECT_EQ(frame_to_forward_offset(-1, 1, 30), 24u);
+  EXPECT_EQ(frame_to_forward_offset(-2, 0, 30), 26u);
+}
+
+TEST(FrameToForwardOffset, Validation) {
+  EXPECT_THROW(frame_to_forward_offset(0, 0, 30), common::InvalidArgument);
+  EXPECT_THROW(frame_to_forward_offset(4, 0, 30), common::InvalidArgument);
+  EXPECT_THROW(frame_to_forward_offset(-1, 100, 30), common::InvalidArgument);
+}
+
+TEST(RandomCodon, EncodesRequestedAmino) {
+  common::Rng rng(5);
+  for (const char aa : kAminoAcids) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(translate_codon(random_codon_for(aa, rng)), aa);
+    }
+  }
+}
+
+TEST(RandomCodon, StopAndUnknown) {
+  common::Rng rng(6);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(translate_codon(random_codon_for('*', rng)), '*');
+    EXPECT_NE(translate_codon(random_codon_for('X', rng)), '*');
+  }
+}
+
+TEST(RandomCodon, UnknownAminoThrows) {
+  common::Rng rng(7);
+  EXPECT_THROW(random_codon_for('B', rng), common::InvalidArgument);
+}
+
+TEST(ReverseTranslate, RoundTripsThroughTranslation) {
+  common::Rng rng(8);
+  const std::string protein = "MKWVTFISLLFLFSSAYSRGVFRRDAHK";
+  for (int i = 0; i < 5; ++i) {
+    const std::string cds = reverse_translate(protein, rng);
+    EXPECT_EQ(cds.size(), protein.size() * 3);
+    EXPECT_EQ(translate(cds, 0), protein);
+  }
+}
+
+TEST(ReverseTranslate, SynonymousChoiceVaries) {
+  common::Rng rng(9);
+  const std::string protein(60, 'L');  // 6-fold degenerate
+  const std::string a = reverse_translate(protein, rng);
+  const std::string b = reverse_translate(protein, rng);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace pga::bio

@@ -1,0 +1,102 @@
+#include "bio/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/fsutil.hpp"
+
+namespace pga::bio {
+namespace {
+
+TEST(FastaReader, ParsesMultipleRecords) {
+  const std::string text = ">tx_1 first transcript\nACGT\nACGT\n>tx_2\nGGGG\n";
+  const auto records = parse_fasta(text);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, "tx_1");
+  EXPECT_EQ(records[0].description, "first transcript");
+  EXPECT_EQ(records[0].seq, "ACGTACGT");
+  EXPECT_EQ(records[1].id, "tx_2");
+  EXPECT_EQ(records[1].description, "");
+  EXPECT_EQ(records[1].seq, "GGGG");
+}
+
+TEST(FastaReader, ToleratesBlankLinesAndCrLf) {
+  const std::string text = "\n>a desc here\r\nAC\r\n\r\nGT\r\n\n>b\nTT\n";
+  const auto records = parse_fasta(text);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, "ACGT");
+  EXPECT_EQ(records[0].description, "desc here");
+  EXPECT_EQ(records[1].seq, "TT");
+}
+
+TEST(FastaReader, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(parse_fasta("").empty());
+  EXPECT_TRUE(parse_fasta("\n\n").empty());
+}
+
+TEST(FastaReader, DataBeforeHeaderThrows) {
+  EXPECT_THROW(parse_fasta("ACGT\n>x\nAC\n"), common::ParseError);
+}
+
+TEST(FastaReader, EmptyHeaderThrows) {
+  EXPECT_THROW(parse_fasta(">\nACGT\n"), common::ParseError);
+}
+
+TEST(FastaReader, EmptySequenceAllowed) {
+  const auto records = parse_fasta(">empty\n>next\nAC\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, "");
+  EXPECT_EQ(records[1].seq, "AC");
+}
+
+TEST(FastaReader, StreamingInterface) {
+  std::istringstream in(">a\nAC\n>b\nGT\n");
+  FastaReader reader(in);
+  auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, "a");
+  auto second = reader.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->id, "b");
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());  // stays exhausted
+}
+
+TEST(FastaWrite, WrapsSequencesAtWidth) {
+  const std::vector<SeqRecord> records{{"x", "", std::string(25, 'A')}};
+  const std::string out = format_fasta(records, 10);
+  EXPECT_EQ(out, ">x\nAAAAAAAAAA\nAAAAAAAAAA\nAAAAA\n");
+}
+
+TEST(FastaWrite, NoWrapWhenWidthZero) {
+  const std::vector<SeqRecord> records{{"x", "d", std::string(25, 'A')}};
+  const std::string out = format_fasta(records, 0);
+  EXPECT_EQ(out, ">x d\n" + std::string(25, 'A') + "\n");
+}
+
+TEST(FastaRoundTrip, WriteThenReadIdentical) {
+  std::vector<SeqRecord> records{
+      {"tx_000001", "gene_0001", "ACGTACGTACGTNNACGT"},
+      {"tx_000002", "", "TTTT"},
+      {"prot_0001", "synthetic family protein", "MKWVTFISLLFLFSSAYS"},
+  };
+  const auto parsed = parse_fasta(format_fasta(records, 7));
+  EXPECT_EQ(parsed, records);
+}
+
+TEST(FastaFile, RoundTripThroughDisk) {
+  common::ScratchDir dir("fasta-test");
+  const auto path = dir.file("seqs.fasta");
+  const std::vector<SeqRecord> records{{"a", "", "ACGT"}, {"b", "x y", "GTCA"}};
+  write_fasta_file(path, records);
+  EXPECT_EQ(read_fasta_file(path), records);
+}
+
+TEST(FastaFile, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/no/such/file.fasta"), common::IoError);
+}
+
+}  // namespace
+}  // namespace pga::bio

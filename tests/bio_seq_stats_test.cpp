@@ -1,0 +1,96 @@
+#include "bio/seq_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/transcriptome.hpp"
+#include "common/error.hpp"
+
+namespace pga::bio {
+namespace {
+
+TEST(SeqStats, EmptyInput) {
+  const auto stats = sequence_set_stats({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.total_bases, 0u);
+  EXPECT_EQ(stats.n50, 0u);
+}
+
+TEST(SeqStats, BasicCountsAndLengths) {
+  const auto stats = sequence_set_stats({
+      {"a", "", "ACGT"},        // 4
+      {"b", "", "GGCCGGCC"},    // 8
+      {"c", "", "AATTAATTAATT"},  // 12
+  });
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_EQ(stats.total_bases, 24u);
+  EXPECT_EQ(stats.min_length, 4u);
+  EXPECT_EQ(stats.max_length, 12u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 8.0);
+  // Sorted desc: 12, 8, 4; half of 24 = 12 -> N50 = 12.
+  EXPECT_EQ(stats.n50, 12u);
+  EXPECT_EQ(stats.base_counts[0], 7u);   // A
+  EXPECT_EQ(stats.base_counts[1], 5u);   // C
+  EXPECT_EQ(stats.base_counts[2], 5u);   // G
+  EXPECT_EQ(stats.base_counts[3], 7u);   // T
+  EXPECT_DOUBLE_EQ(stats.gc_fraction, 10.0 / 24.0);
+}
+
+TEST(SeqStats, NsExcludedFromGcIncludedInNFraction) {
+  const auto stats = sequence_set_stats({{"x", "", "GGNNCC"}});
+  EXPECT_DOUBLE_EQ(stats.gc_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(stats.n_fraction, 2.0 / 6.0);
+}
+
+TEST(GcContent, Basics) {
+  EXPECT_DOUBLE_EQ(gc_content("GGCC"), 1.0);
+  EXPECT_DOUBLE_EQ(gc_content("AATT"), 0.0);
+  EXPECT_DOUBLE_EQ(gc_content("ACGT"), 0.5);
+  EXPECT_DOUBLE_EQ(gc_content("NNNN"), 0.0);
+  EXPECT_DOUBLE_EQ(gc_content(""), 0.0);
+}
+
+TEST(KmerUniqueness, UniqueAndRepetitiveExtremes) {
+  // All 16-mers of a random-ish string are unique.
+  EXPECT_DOUBLE_EQ(kmer_uniqueness("ACGTAGCTTGCAACGGTCA", 16), 1.0);
+  // A homopolymer has exactly one distinct k-mer.
+  const std::string poly(100, 'A');
+  EXPECT_NEAR(kmer_uniqueness(poly, 16), 1.0 / 85.0, 1e-9);
+}
+
+TEST(KmerUniqueness, NsBreakWindows) {
+  // Valid k-mers only on either side of the N.
+  const std::string seq = "ACGTACGTNACGTACGT";
+  EXPECT_GT(kmer_uniqueness(seq, 4), 0.0);
+  EXPECT_DOUBLE_EQ(kmer_uniqueness("NNNNNNNN", 4), 0.0);
+}
+
+TEST(KmerUniqueness, ShortInputAndValidation) {
+  EXPECT_DOUBLE_EQ(kmer_uniqueness("ACG", 16), 0.0);
+  EXPECT_THROW(kmer_uniqueness("ACGT", 0), common::InvalidArgument);
+  EXPECT_THROW(kmer_uniqueness("ACGT", 33), common::InvalidArgument);
+}
+
+TEST(KmerUniqueness, TandemRepeatScoresLow) {
+  std::string repeat;
+  for (int i = 0; i < 20; ++i) repeat += "ACGTTGCA";
+  EXPECT_LT(kmer_uniqueness(repeat, 8), 0.1);
+}
+
+TEST(SeqStats, TranscriptomeSanity) {
+  bio::TranscriptomeParams params;
+  params.families = 5;
+  params.protein_min = 60;
+  params.protein_max = 100;
+  params.seed = 4;
+  const auto txm = generate_transcriptome(params);
+  const auto stats = sequence_set_stats(txm.transcripts);
+  EXPECT_EQ(stats.count, txm.transcripts.size());
+  // Random synthetic sequence: GC near 0.5, no Ns.
+  EXPECT_NEAR(stats.gc_fraction, 0.5, 0.05);
+  EXPECT_DOUBLE_EQ(stats.n_fraction, 0.0);
+  EXPECT_GE(stats.n50, stats.min_length);
+  EXPECT_LE(stats.n50, stats.max_length);
+}
+
+}  // namespace
+}  // namespace pga::bio

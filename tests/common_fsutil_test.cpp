@@ -1,0 +1,92 @@
+#include "common/fsutil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace pga::common {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ScratchDir, CreatesAndRemoves) {
+  fs::path where;
+  {
+    ScratchDir dir("pga-test");
+    where = dir.path();
+    EXPECT_TRUE(fs::exists(where));
+    EXPECT_TRUE(fs::is_directory(where));
+  }
+  EXPECT_FALSE(fs::exists(where));
+}
+
+TEST(ScratchDir, UniquePaths) {
+  ScratchDir a("pga-test"), b("pga-test");
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(ScratchDir, KeepPreventsRemoval) {
+  fs::path where;
+  {
+    ScratchDir dir("pga-test");
+    where = dir.path();
+    dir.keep();
+  }
+  EXPECT_TRUE(fs::exists(where));
+  fs::remove_all(where);
+}
+
+TEST(ScratchDir, MoveTransfersOwnership) {
+  fs::path where;
+  {
+    ScratchDir a("pga-test");
+    where = a.path();
+    ScratchDir b = std::move(a);
+    EXPECT_EQ(b.path(), where);
+    EXPECT_TRUE(fs::exists(where));
+  }
+  EXPECT_FALSE(fs::exists(where));
+}
+
+TEST(ScratchDir, FileHelperJoinsPaths) {
+  ScratchDir dir("pga-test");
+  const fs::path p = dir.file("transcripts.fasta");
+  EXPECT_EQ(p.parent_path(), dir.path());
+  EXPECT_EQ(p.filename(), "transcripts.fasta");
+}
+
+TEST(FileIo, WriteReadRoundTrip) {
+  ScratchDir dir("pga-test");
+  const auto p = dir.file("x.txt");
+  write_file(p, "hello\nworld\n");
+  EXPECT_EQ(read_file(p), "hello\nworld\n");
+}
+
+TEST(FileIo, AppendCreatesAndExtends) {
+  ScratchDir dir("pga-test");
+  const auto p = dir.file("log.txt");
+  append_file(p, "a");
+  append_file(p, "b");
+  EXPECT_EQ(read_file(p), "ab");
+}
+
+TEST(FileIo, ReadLinesStripsNewlinesAndCr) {
+  ScratchDir dir("pga-test");
+  const auto p = dir.file("lines.txt");
+  write_file(p, "one\r\ntwo\nthree");
+  const auto lines = read_lines(p);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/path/file.txt"), IoError);
+  EXPECT_THROW(read_lines("/nonexistent/path/file.txt"), IoError);
+}
+
+}  // namespace
+}  // namespace pga::common

@@ -1,0 +1,160 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace pga::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRangeAndHitsAllValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), InvalidArgument);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, RangeBadBoundsThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.range(3, 2), InvalidArgument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 1'000; ++i) EXPECT_GT(rng.lognormal(2.0, 1.5), 0.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.15);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+  EXPECT_THROW(rng.exponential(-1.0), InvalidArgument);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(23);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20'000; ++i) ++counts[rng.zipf(100, 1.2)];
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[0], 20'000 / 100);  // well above uniform share
+  for (const auto& [rank, n] : counts) {
+    EXPECT_LT(rank, 100u);
+    EXPECT_GT(n, 0);
+  }
+}
+
+TEST(Rng, ZipfZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.zipf(0, 1.0), InvalidArgument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child1 = parent.fork();
+  Rng child2 = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1() == child2()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  Rng rng(1);
+  (void)rng();
+}
+
+}  // namespace
+}  // namespace pga::common

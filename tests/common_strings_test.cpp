@@ -1,0 +1,115 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pga::common {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleFieldWhenSeparatorAbsent) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, TrailingSeparator) {
+  const auto parts = split("a\tb\t", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitWs, DropsAllWhitespaceRuns) {
+  const auto parts = split_ws("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(SplitWs, EmptyAndBlankInputs) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t\n ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Join, InterleavesSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("transcripts.fasta", "transcripts"));
+  EXPECT_FALSE(starts_with("abc", "abcd"));
+  EXPECT_TRUE(ends_with("alignments.out", ".out"));
+  EXPECT_FALSE(ends_with("x", "xyz"));
+}
+
+TEST(CaseConversion, AsciiOnly) {
+  EXPECT_EQ(to_lower("BLASTX"), "blastx");
+  EXPECT_EQ(to_upper("cap3"), "CAP3");
+}
+
+TEST(FormatDuration, SecondsOnly) { EXPECT_EQ(format_duration(42), "42s"); }
+
+TEST(FormatDuration, MinutesAndSeconds) { EXPECT_EQ(format_duration(125), "2m 05s"); }
+
+TEST(FormatDuration, HoursPath) { EXPECT_EQ(format_duration(3 * 3600 + 60 + 1), "3h 01m 01s"); }
+
+TEST(FormatDuration, PaperSerialRuntime) {
+  // The serial blast2cap3 run: 100 hours.
+  EXPECT_EQ(format_duration(100.0 * 3600), "4d 04h 00m 00s");
+}
+
+TEST(FormatDuration, Negative) { EXPECT_EQ(format_duration(-61), "-1m 01s"); }
+
+TEST(FormatFixed, RoundsHalfway) {
+  EXPECT_EQ(format_fixed(1.005, 1), "1.0");
+  EXPECT_EQ(format_fixed(95.4999, 1), "95.5");
+}
+
+TEST(ParseLong, AcceptsTrimmedIntegers) {
+  EXPECT_EQ(parse_long(" 42 "), 42);
+  EXPECT_EQ(parse_long("-7"), -7);
+}
+
+TEST(ParseLong, RejectsJunk) {
+  EXPECT_THROW(parse_long("12x"), ParseError);
+  EXPECT_THROW(parse_long(""), ParseError);
+  EXPECT_THROW(parse_long("1.5"), ParseError);
+}
+
+TEST(ParseDouble, AcceptsScientific) {
+  EXPECT_DOUBLE_EQ(parse_double("1e-30"), 1e-30);
+  EXPECT_DOUBLE_EQ(parse_double(" 2.5 "), 2.5);
+}
+
+TEST(ParseDouble, RejectsJunk) {
+  EXPECT_THROW(parse_double("abc"), ParseError);
+  EXPECT_THROW(parse_double("1.2.3"), ParseError);
+  EXPECT_THROW(parse_double(""), ParseError);
+}
+
+}  // namespace
+}  // namespace pga::common

@@ -1,0 +1,64 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pga::common {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) { EXPECT_THROW(Table({}), InvalidArgument); }
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"n", "platform", "wall"});
+  t.add_row({"10", "sandhills", "41593"});
+  t.add_row({"300", "osg", "12000"});
+  const std::string out = t.render();
+  // Header first, rule second, rows after.
+  EXPECT_NE(out.find("n    platform"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("sandhills"), std::string::npos);
+  EXPECT_NE(out.find("41593"), std::string::npos);
+}
+
+TEST(Table, NumericCellsRightAligned) {
+  Table t({"value"});
+  t.add_row({"7"});
+  t.add_row({"12345"});
+  const std::string out = t.render();
+  // "7" padded to width 5 -> four spaces then 7.
+  EXPECT_NE(out.find("    7\n"), std::string::npos);
+}
+
+TEST(Table, TextCellsLeftAligned) {
+  Table t({"name", "x"});
+  t.add_row({"ab", "1"});
+  t.add_row({"abcdef", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("ab      "), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t({"h"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"x"});
+  t.add_row({"y"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PercentAndCommaStillNumeric) {
+  Table t({"pct"});
+  t.add_row({"95.5%"});
+  t.add_row({"41,593"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("95.5%"), std::string::npos);
+  EXPECT_NE(out.find("41,593"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pga::common

@@ -1,0 +1,130 @@
+// Tests for the ClassAd expression extensions: ternary operator and
+// HTCondor-style builtin functions.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "htc/classad.hpp"
+
+namespace pga::htc {
+namespace {
+
+Value eval(const std::string& text) {
+  const ClassAd empty;
+  return Expression::parse(text).evaluate(empty);
+}
+
+TEST(Ternary, SelectsBranchByCondition) {
+  EXPECT_EQ(eval("true ? 1 : 2"), Value(1));
+  EXPECT_EQ(eval("false ? 1 : 2"), Value(2));
+  EXPECT_EQ(eval("3 < 4 ? \"yes\" : \"no\""), Value("yes"));
+}
+
+TEST(Ternary, NestsRightAssociatively) {
+  EXPECT_EQ(eval("false ? 1 : true ? 2 : 3"), Value(2));
+  EXPECT_EQ(eval("true ? false ? 1 : 2 : 3"), Value(2));
+}
+
+TEST(Ternary, UndefinedConditionPropagates) {
+  EXPECT_TRUE(eval("missing > 3 ? 1 : 2").is_undefined());
+  EXPECT_TRUE(eval("7 ? 1 : 2").is_undefined());  // non-bool condition
+}
+
+TEST(Ternary, ParseErrors) {
+  EXPECT_THROW(Expression::parse("true ? 1"), common::ParseError);
+  EXPECT_THROW(Expression::parse("true ? 1 :"), common::ParseError);
+}
+
+TEST(Ternary, WorksInsideLargerExpressions) {
+  EXPECT_EQ(eval("(true ? 10 : 20) + 5"), Value(15));
+  ClassAd machine;
+  machine.set("speed", 1.5);
+  const auto rank =
+      Expression::parse("speed > 1.2 ? speed * 100 : speed * 10");
+  EXPECT_EQ(rank.evaluate(machine), Value(150.0));
+}
+
+TEST(Functions, MinMax) {
+  EXPECT_EQ(eval("min(3, 7)"), Value(3));
+  EXPECT_EQ(eval("max(3, 7)"), Value(7));
+  EXPECT_EQ(eval("max(2.5, 2)"), Value(2.5));
+  EXPECT_TRUE(eval("min(1)").is_undefined());        // wrong arity
+  EXPECT_TRUE(eval("min(\"a\", 2)").is_undefined()); // wrong type
+}
+
+TEST(Functions, RoundingFamily) {
+  EXPECT_EQ(eval("floor(2.9)"), Value(2));
+  EXPECT_EQ(eval("ceiling(2.1)"), Value(3));
+  EXPECT_EQ(eval("round(2.5)"), Value(3));
+  EXPECT_EQ(eval("round(2.4)"), Value(2));
+  EXPECT_EQ(eval("abs(-4)"), Value(4));
+  EXPECT_EQ(eval("abs(-2.5)"), Value(2.5));
+}
+
+TEST(Functions, Pow) {
+  EXPECT_EQ(eval("pow(2, 10)"), Value(1024.0));
+}
+
+TEST(Functions, IsUndefinedAndIfThenElse) {
+  EXPECT_EQ(eval("isUndefined(missing)"), Value(true));
+  EXPECT_EQ(eval("isUndefined(1)"), Value(false));
+  EXPECT_EQ(eval("ifThenElse(true, 1, 2)"), Value(1));
+  EXPECT_EQ(eval("ifThenElse(false, 1, 2)"), Value(2));
+  EXPECT_TRUE(eval("ifThenElse(42, 1, 2)").is_undefined());
+}
+
+TEST(Functions, StringFamily) {
+  EXPECT_EQ(eval("strcat(\"a\", \"b\", \"c\")"), Value("abc"));
+  EXPECT_EQ(eval("strcat(\"n=\", 5)"), Value("n=5"));
+  EXPECT_EQ(eval("toLower(\"CAP3\")"), Value("cap3"));
+  EXPECT_EQ(eval("toUpper(\"osg\")"), Value("OSG"));
+  EXPECT_EQ(eval("size(\"blast2cap3\")"), Value(10));
+}
+
+TEST(Functions, StringListMember) {
+  EXPECT_EQ(eval("stringListMember(\"cap3\", \"python,biopython,cap3\")"),
+            Value(true));
+  EXPECT_EQ(eval("stringListMember(\"perl\", \"python,biopython,cap3\")"),
+            Value(false));
+  // Custom delimiter + trimmed entries.
+  EXPECT_EQ(eval("stringListMember(\"b\", \"a; b ;c\", \";\")"), Value(true));
+}
+
+TEST(Functions, UndefinedArgumentsPropagate) {
+  EXPECT_TRUE(eval("min(missing, 2)").is_undefined());
+  EXPECT_TRUE(eval("strcat(\"x\", missing)").is_undefined());
+}
+
+TEST(Functions, UnknownFunctionIsUndefined) {
+  EXPECT_TRUE(eval("regexp(\"a\", \"b\")").is_undefined());
+}
+
+TEST(Functions, CaseInsensitiveNames) {
+  EXPECT_EQ(eval("MIN(1, 2)"), Value(1));
+  EXPECT_EQ(eval("IfThenElse(true, 1, 0)"), Value(1));
+}
+
+TEST(Functions, ParseErrors) {
+  EXPECT_THROW(Expression::parse("min(1, 2"), common::ParseError);
+  EXPECT_THROW(Expression::parse("min(1,,2)"), common::ParseError);
+}
+
+TEST(Functions, RealisticRequirementWithSoftwareList) {
+  ClassAd job, machine;
+  job.set("needed", "cap3");
+  machine.set("software", "python,biopython,cap3");
+  const auto req = Expression::parse(
+      "stringListMember(MY.needed, TARGET.software)");
+  EXPECT_TRUE(req.evaluate_bool(job, &machine));
+  machine.set("software", "gcc,make");
+  EXPECT_FALSE(req.evaluate_bool(job, &machine));
+}
+
+TEST(Functions, CopyPreservesCallNodes) {
+  const auto original = Expression::parse("min(2, 3) + max(1, 4)");
+  const Expression copy = original;
+  const ClassAd empty;
+  EXPECT_EQ(copy.evaluate(empty), Value(6));
+}
+
+}  // namespace
+}  // namespace pga::htc

@@ -1,0 +1,166 @@
+#include "htc/classad.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pga::htc {
+namespace {
+
+TEST(Value, TypePredicates) {
+  EXPECT_TRUE(Value().is_undefined());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(42).is_number());
+  EXPECT_TRUE(Value(3.5).is_number());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_FALSE(Value(42).is_string());
+}
+
+TEST(Value, Conversions) {
+  EXPECT_DOUBLE_EQ(Value(42).as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_number(), 2.5);
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+  EXPECT_THROW(Value("hi").as_number(), common::InvalidArgument);
+  EXPECT_THROW(Value(1).as_bool(), common::InvalidArgument);
+  EXPECT_THROW(Value().as_string(), common::InvalidArgument);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value().to_string(), "undefined");
+  EXPECT_EQ(Value(true).to_string(), "true");
+  EXPECT_EQ(Value(7).to_string(), "7");
+  EXPECT_EQ(Value("s").to_string(), "\"s\"");
+}
+
+TEST(ClassAd, SetGetCaseInsensitive) {
+  ClassAd ad;
+  ad.set("Cpus", 16);
+  EXPECT_TRUE(ad.has("cpus"));
+  EXPECT_TRUE(ad.has("CPUS"));
+  EXPECT_EQ(ad.get("cpus"), Value(16));
+  EXPECT_TRUE(ad.get("missing").is_undefined());
+}
+
+TEST(ClassAd, Overwrite) {
+  ClassAd ad;
+  ad.set("x", 1);
+  ad.set("X", 2);
+  EXPECT_EQ(ad.size(), 1u);
+  EXPECT_EQ(ad.get("x"), Value(2));
+}
+
+TEST(Expression, Literals) {
+  ClassAd empty;
+  EXPECT_EQ(Expression::parse("42").evaluate(empty), Value(42));
+  EXPECT_EQ(Expression::parse("2.5").evaluate(empty), Value(2.5));
+  EXPECT_EQ(Expression::parse("true").evaluate(empty), Value(true));
+  EXPECT_EQ(Expression::parse("FALSE").evaluate(empty), Value(false));
+  EXPECT_EQ(Expression::parse("\"str\"").evaluate(empty), Value("str"));
+  EXPECT_TRUE(Expression::parse("undefined").evaluate(empty).is_undefined());
+}
+
+TEST(Expression, Arithmetic) {
+  ClassAd empty;
+  EXPECT_EQ(Expression::parse("2 + 3 * 4").evaluate(empty), Value(14));
+  EXPECT_EQ(Expression::parse("(2 + 3) * 4").evaluate(empty), Value(20));
+  EXPECT_EQ(Expression::parse("10 / 4").evaluate(empty), Value(2.5));
+  EXPECT_EQ(Expression::parse("10 - 4 - 3").evaluate(empty), Value(3));
+  EXPECT_EQ(Expression::parse("-5 + 2").evaluate(empty), Value(-3));
+  EXPECT_TRUE(Expression::parse("1 / 0").evaluate(empty).is_undefined());
+}
+
+TEST(Expression, Comparisons) {
+  ClassAd empty;
+  EXPECT_EQ(Expression::parse("3 < 4").evaluate(empty), Value(true));
+  EXPECT_EQ(Expression::parse("3 >= 4").evaluate(empty), Value(false));
+  EXPECT_EQ(Expression::parse("3 == 3.0").evaluate(empty), Value(true));
+  EXPECT_EQ(Expression::parse("\"a\" < \"b\"").evaluate(empty), Value(true));
+  EXPECT_EQ(Expression::parse("\"a\" != \"b\"").evaluate(empty), Value(true));
+  // Mixed string/number comparison is undefined.
+  EXPECT_TRUE(Expression::parse("\"a\" == 1").evaluate(empty).is_undefined());
+}
+
+TEST(Expression, BooleanLogic) {
+  ClassAd empty;
+  EXPECT_EQ(Expression::parse("true && false").evaluate(empty), Value(false));
+  EXPECT_EQ(Expression::parse("true || false").evaluate(empty), Value(true));
+  EXPECT_EQ(Expression::parse("!true").evaluate(empty), Value(false));
+  EXPECT_EQ(Expression::parse("1 < 2 && 3 < 4").evaluate(empty), Value(true));
+}
+
+TEST(Expression, UndefinedPropagation) {
+  ClassAd empty;
+  // Comparisons with undefined attributes are undefined ...
+  EXPECT_TRUE(Expression::parse("missing > 4").evaluate(empty).is_undefined());
+  EXPECT_TRUE(Expression::parse("missing + 1").evaluate(empty).is_undefined());
+  // ... but short-circuit logic can still decide.
+  EXPECT_EQ(Expression::parse("true || missing > 4").evaluate(empty), Value(true));
+  EXPECT_EQ(Expression::parse("false && missing > 4").evaluate(empty), Value(false));
+  EXPECT_TRUE(Expression::parse("true && missing > 4").evaluate(empty).is_undefined());
+  // evaluate_bool: only definite true matches.
+  EXPECT_FALSE(Expression::parse("missing > 4").evaluate_bool(empty));
+}
+
+TEST(Expression, AttributeReferences) {
+  ClassAd job, machine;
+  job.set("request_memory", 4096);
+  machine.set("memory", 8192);
+  machine.set("has_cap3", true);
+
+  const auto req = Expression::parse(
+      "TARGET.memory >= MY.request_memory && TARGET.has_cap3");
+  EXPECT_TRUE(req.evaluate_bool(job, &machine));
+
+  machine.set("memory", 2048);
+  EXPECT_FALSE(req.evaluate_bool(job, &machine));
+}
+
+TEST(Expression, BareReferencesResolveMyThenTarget) {
+  ClassAd my, target;
+  my.set("x", 1);
+  target.set("x", 2);
+  target.set("y", 3);
+  EXPECT_EQ(Expression::parse("x").evaluate(my, &target), Value(1));
+  EXPECT_EQ(Expression::parse("y").evaluate(my, &target), Value(3));
+  EXPECT_TRUE(Expression::parse("z").evaluate(my, &target).is_undefined());
+}
+
+TEST(Expression, TargetWithoutTargetAdIsUndefined) {
+  ClassAd my;
+  my.set("x", 1);
+  EXPECT_TRUE(Expression::parse("TARGET.x").evaluate(my).is_undefined());
+}
+
+TEST(Expression, ParseErrors) {
+  EXPECT_THROW(Expression::parse("1 +"), common::ParseError);
+  EXPECT_THROW(Expression::parse("(1"), common::ParseError);
+  EXPECT_THROW(Expression::parse("\"unterminated"), common::ParseError);
+  EXPECT_THROW(Expression::parse("1 ~ 2"), common::ParseError);
+  EXPECT_THROW(Expression::parse("1 2"), common::ParseError);
+}
+
+TEST(Expression, CopySemantics) {
+  const auto original = Expression::parse("1 + 2");
+  const Expression copy = original;  // deep copy
+  ClassAd empty;
+  EXPECT_EQ(copy.evaluate(empty), Value(3));
+  EXPECT_EQ(original.evaluate(empty), Value(3));
+  EXPECT_EQ(copy.text(), "1 + 2");
+}
+
+TEST(Expression, RealWorldRequirement) {
+  // The requirement the OSG-flavoured jobs would carry if sites advertised
+  // their stack: run anywhere with memory, prefer fast nodes.
+  ClassAd job, site;
+  job.set("request_memory", 2000);
+  site.set("memory", 4000);
+  site.set("speed", 1.4);
+  const auto req = Expression::parse("TARGET.Memory >= MY.request_memory");
+  const auto rank = Expression::parse("TARGET.speed * 100");
+  EXPECT_TRUE(req.evaluate_bool(job, &site));
+  EXPECT_DOUBLE_EQ(rank.evaluate(job, &site).as_number(), 140.0);
+}
+
+}  // namespace
+}  // namespace pga::htc

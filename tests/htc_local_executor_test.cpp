@@ -1,0 +1,90 @@
+#include "htc/local_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace pga::htc {
+namespace {
+
+TEST(LocalExecutor, RunsPayloadsAndReportsSuccess) {
+  LocalExecutor exec(4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<ExecutionRecord>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(exec.submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) {
+    const auto record = f.get();
+    EXPECT_TRUE(record.success);
+    EXPECT_TRUE(record.error.empty());
+    EXPECT_GE(record.run_seconds, 0.0);
+    EXPECT_GE(record.queue_seconds, 0.0);
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(LocalExecutor, CapturesExceptions) {
+  LocalExecutor exec(2);
+  auto f = exec.submit([] { throw std::runtime_error("task exploded"); });
+  const auto record = f.get();
+  EXPECT_FALSE(record.success);
+  EXPECT_EQ(record.error, "task exploded");
+}
+
+TEST(LocalExecutor, CapturesNonStdExceptions) {
+  LocalExecutor exec(1);
+  auto f = exec.submit([] { throw 42; });  // NOLINT
+  const auto record = f.get();
+  EXPECT_FALSE(record.success);
+  EXPECT_EQ(record.error, "unknown exception");
+}
+
+TEST(LocalExecutor, FailureDoesNotPoisonLaterJobs) {
+  LocalExecutor exec(1);
+  exec.submit([] { throw std::runtime_error("boom"); }).get();
+  const auto ok = exec.submit([] {}).get();
+  EXPECT_TRUE(ok.success);
+}
+
+TEST(LocalExecutor, MeasuresRunTime) {
+  LocalExecutor exec(1);
+  auto f = exec.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  const auto record = f.get();
+  EXPECT_GE(record.run_seconds, 0.045);
+}
+
+TEST(LocalExecutor, QueueTimeGrowsWhenSaturated) {
+  LocalExecutor exec(1);
+  auto first = exec.submit(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(60)); });
+  auto second = exec.submit([] {});
+  first.get();
+  const auto record = second.get();
+  EXPECT_GE(record.queue_seconds, 0.05);
+}
+
+TEST(LocalExecutor, SlotsReported) {
+  LocalExecutor exec(3);
+  EXPECT_EQ(exec.slots(), 3u);
+}
+
+TEST(LocalExecutor, DrainWaitsForCompletion) {
+  LocalExecutor exec(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    exec.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    });
+  }
+  exec.drain();
+  EXPECT_EQ(done.load(), 16);
+}
+
+}  // namespace
+}  // namespace pga::htc

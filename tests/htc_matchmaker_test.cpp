@@ -1,0 +1,100 @@
+#include "htc/matchmaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pga::htc {
+namespace {
+
+std::vector<MachineAd> sample_pool() {
+  std::vector<MachineAd> machines;
+  machines.push_back(MachineAd::make("slow-full", 8, 16'000, 0.9, true));
+  machines.push_back(MachineAd::make("fast-bare", 32, 64'000, 1.6, false));
+  machines.push_back(MachineAd::make("mid-full", 16, 32'000, 1.2, true));
+  return machines;
+}
+
+JobAd cap3_job() {
+  JobAd job;
+  job.ad.set("request_memory", 8'000);
+  job.requirements = Expression::parse(
+      "TARGET.memory >= MY.request_memory && TARGET.has_cap3");
+  job.rank = Expression::parse("TARGET.speed");
+  return job;
+}
+
+TEST(Matchmaker, IsMatchChecksJobRequirements) {
+  const auto machines = sample_pool();
+  const auto job = cap3_job();
+  EXPECT_TRUE(is_match(job, machines[0]));
+  EXPECT_FALSE(is_match(job, machines[1]));  // no cap3
+  EXPECT_TRUE(is_match(job, machines[2]));
+}
+
+TEST(Matchmaker, MachineRequirementsAreChecked) {
+  auto machines = sample_pool();
+  machines[0].requirements =
+      Expression::parse("TARGET.request_memory <= 4000");  // too small
+  const auto job = cap3_job();
+  EXPECT_FALSE(is_match(job, machines[0]));
+}
+
+TEST(Matchmaker, BestMatchMaximizesRank) {
+  const auto machines = sample_pool();
+  const auto best = match_best(cap3_job(), machines);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->machine_index, 2u);  // fastest machine with the stack
+  EXPECT_DOUBLE_EQ(best->rank, 1.2);
+}
+
+TEST(Matchmaker, NoMatchReturnsNullopt) {
+  const auto machines = sample_pool();
+  JobAd job;
+  job.ad.set("request_memory", 1'000'000);
+  job.requirements = Expression::parse("TARGET.memory >= MY.request_memory");
+  EXPECT_FALSE(match_best(job, machines).has_value());
+}
+
+TEST(Matchmaker, JobWithoutRequirementsMatchesEverything) {
+  const auto machines = sample_pool();
+  JobAd job;
+  EXPECT_EQ(match_all(job, machines).size(), machines.size());
+}
+
+TEST(Matchmaker, RankTiesPickLowestIndex) {
+  std::vector<MachineAd> machines;
+  machines.push_back(MachineAd::make("a", 8, 16'000, 1.0, true));
+  machines.push_back(MachineAd::make("b", 8, 16'000, 1.0, true));
+  JobAd job;
+  job.rank = Expression::parse("TARGET.speed");
+  const auto best = match_best(job, machines);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->machine_index, 0u);
+}
+
+TEST(Matchmaker, UndefinedRankTreatedAsZero) {
+  auto machines = sample_pool();
+  JobAd job;
+  job.rank = Expression::parse("TARGET.no_such_attr");
+  const auto best = match_best(job, machines);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->rank, 0.0);
+}
+
+TEST(Matchmaker, MatchAllPreservesOrder) {
+  const auto machines = sample_pool();
+  const auto all = match_all(cap3_job(), machines);
+  EXPECT_EQ(all, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(MachineAdMake, SoftwareFlagsConsistent) {
+  const auto bare = MachineAd::make("x", 4, 8'000, 1.0, false);
+  EXPECT_EQ(bare.ad.get("has_python"), Value(false));
+  EXPECT_EQ(bare.ad.get("has_biopython"), Value(false));
+  EXPECT_EQ(bare.ad.get("has_cap3"), Value(false));
+  const auto full = MachineAd::make("y", 4, 8'000, 1.0, true);
+  EXPECT_EQ(full.ad.get("has_cap3"), Value(true));
+  EXPECT_EQ(full.ad.get("name"), Value("y"));
+}
+
+}  // namespace
+}  // namespace pga::htc

@@ -1,0 +1,100 @@
+#include "htc/submit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pga::htc {
+namespace {
+
+const char* kCap3Submit = R"(
+# blast2cap3 chunk task
+executable     = /util/opt/run_cap3
+arguments      = protein_0.txt
+request_memory = 4096
+nice_user      = true
+priority       = 2.5
+requirements   = TARGET.has_cap3 && TARGET.memory >= MY.request_memory
+rank           = TARGET.speed
+queue 3
+)";
+
+TEST(Submit, ParsesTypedAttributes) {
+  const auto description = parse_submit_description(kCap3Submit);
+  EXPECT_EQ(description.queue, 3u);
+  const ClassAd& ad = description.job.ad;
+  EXPECT_EQ(ad.get("executable"), Value("/util/opt/run_cap3"));
+  EXPECT_EQ(ad.get("arguments"), Value("protein_0.txt"));
+  EXPECT_EQ(ad.get("request_memory"), Value(4096));
+  EXPECT_EQ(ad.get("nice_user"), Value(true));
+  EXPECT_EQ(ad.get("priority"), Value(2.5));
+}
+
+TEST(Submit, RequirementsAndRankAreExpressions) {
+  const auto description = parse_submit_description(kCap3Submit);
+  ASSERT_TRUE(description.job.requirements.has_value());
+  ASSERT_TRUE(description.job.rank.has_value());
+  const auto machine = MachineAd::make("m", 16, 8192, 1.4, true);
+  EXPECT_TRUE(is_match(description.job, machine));
+  const auto small = MachineAd::make("s", 4, 1024, 1.0, true);
+  EXPECT_FALSE(is_match(description.job, small));
+}
+
+TEST(Submit, QueueWithoutCountDefaultsToOne) {
+  const auto description =
+      parse_submit_description("executable = /bin/x\nqueue\n");
+  EXPECT_EQ(description.queue, 1u);
+}
+
+TEST(Submit, QuotedStringsKeepSpaces) {
+  const auto description = parse_submit_description(
+      "executable = /bin/x\nlabel = \"two words # not a comment\"\nqueue\n");
+  EXPECT_EQ(description.job.ad.get("label"), Value("two words # not a comment"));
+}
+
+TEST(Submit, CommentsAndBlanksIgnored) {
+  const auto description = parse_submit_description(
+      "# header\n\nexecutable = /bin/x  # trailing\n\nqueue 2\n");
+  EXPECT_EQ(description.job.ad.get("executable"), Value("/bin/x"));
+  EXPECT_EQ(description.queue, 2u);
+}
+
+TEST(Submit, Errors) {
+  EXPECT_THROW(parse_submit_description("queue\n"), common::ParseError);  // no exe
+  EXPECT_THROW(parse_submit_description("executable = /bin/x\n"),
+               common::ParseError);  // no queue
+  EXPECT_THROW(parse_submit_description("executable = /bin/x\nqueue\nqueue\n"),
+               common::ParseError);  // duplicate queue
+  EXPECT_THROW(parse_submit_description("executable = /bin/x\nqueue 0\n"),
+               common::ParseError);  // bad count
+  EXPECT_THROW(parse_submit_description("just some junk\nqueue\n"),
+               common::ParseError);  // no '='
+  EXPECT_THROW(parse_submit_description("bad name = 1\nqueue\n"),
+               common::ParseError);  // invalid attr name
+  EXPECT_THROW(
+      parse_submit_description("executable = /bin/x\nrequirements = 1 +\nqueue\n"),
+      common::ParseError);  // bad expression
+}
+
+TEST(Submit, ExpandAssignsProcessNumbers) {
+  const auto description = parse_submit_description(kCap3Submit);
+  const auto jobs = expand_submit_description(description);
+  ASSERT_EQ(jobs.size(), 3u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].ad.get("process"), Value(static_cast<long>(i)));
+    EXPECT_EQ(jobs[i].ad.get("executable"), Value("/util/opt/run_cap3"));
+    ASSERT_TRUE(jobs[i].requirements.has_value());
+  }
+}
+
+TEST(Submit, ExpandedJobsMatchIndependently) {
+  const auto jobs =
+      expand_submit_description(parse_submit_description(kCap3Submit));
+  const std::vector<MachineAd> pool{MachineAd::make("m", 16, 8192, 1.4, true)};
+  for (const auto& job : jobs) {
+    EXPECT_TRUE(match_best(job, pool).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace pga::htc

@@ -1,0 +1,224 @@
+// Cross-module integration scenarios: the whole stack under stress —
+// task-level failure injection during a real run, rescue-DAG resume of a
+// half-finished real workflow, and statistics accounting identities on
+// paper-scale simulated runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+
+#include "align/blastx.hpp"
+#include "align/tabular.hpp"
+#include "b2c3/splitter.hpp"
+#include "b2c3/tasks.hpp"
+#include "bio/fasta.hpp"
+#include "bio/transcriptome.hpp"
+#include "common/fsutil.hpp"
+#include "core/b2c3_workflow.hpp"
+#include "core/experiment.hpp"
+#include "wms/engine.hpp"
+#include "wms/exec_service.hpp"
+
+namespace pga {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Small real dataset shared by the integration scenarios.
+struct Dataset {
+  bio::Transcriptome txm;
+  common::ScratchDir dir{"integration"};
+  fs::path fasta;
+  fs::path alignments;
+};
+
+Dataset& dataset() {
+  static Dataset* data = [] {
+    auto* d = new Dataset;
+    bio::TranscriptomeParams params;
+    params.families = 4;
+    params.protein_min = 70;
+    params.protein_max = 120;
+    params.fragment_min_frac = 0.6;
+    params.seed = 515;
+    d->txm = bio::generate_transcriptome(params);
+    d->fasta = d->dir.file("transcripts.fasta");
+    d->alignments = d->dir.file("alignments.out");
+    bio::write_fasta_file(d->fasta, d->txm.transcripts);
+    const align::BlastxSearch search(d->txm.proteins);
+    align::write_tabular_file(d->alignments, search.search_all(d->txm.transcripts));
+    return d;
+  }();
+  return *data;
+}
+
+/// A runner over real b2c3 tasks that injects failures for chosen jobs.
+class FlakyRunner {
+ public:
+  FlakyRunner(const fs::path& workspace, const Dataset& data, std::size_t n)
+      : ws_(workspace), data_(data), n_(n) {}
+
+  std::map<std::string, int> fail_budget;  ///< job id -> failures to inject
+  std::atomic<int> executions{0};
+
+  void operator()(const wms::ConcreteJob& job) {
+    executions.fetch_add(1);
+    {
+      static std::mutex mutex;
+      const std::scoped_lock lock(mutex);
+      auto it = fail_budget.find(job.id);
+      if (it != fail_budget.end() && it->second > 0) {
+        --it->second;
+        throw std::runtime_error("injected failure in " + job.id);
+      }
+    }
+    const auto lfn = [this](const std::string& name) { return ws_ / name; };
+    if (job.kind == wms::JobKind::kStageIn) {
+      fs::copy_file(data_.fasta, lfn("transcripts.fasta"),
+                    fs::copy_options::overwrite_existing);
+      fs::copy_file(data_.alignments, lfn("alignments.out"),
+                    fs::copy_options::overwrite_existing);
+    } else if (job.kind == wms::JobKind::kStageOut) {
+    } else if (job.transformation == "create_list") {
+      if (job.args.at(0) == "transcripts.fasta") {
+        b2c3::make_transcript_dict(lfn("transcripts.fasta"),
+                                   lfn("transcripts_dict.txt"));
+      } else {
+        b2c3::make_alignment_list(lfn("alignments.out"), lfn("alignments_list.txt"));
+      }
+    } else if (job.transformation == "split_alignments") {
+      b2c3::split_alignment_file(lfn("alignments_list.txt"), ws_, n_, "protein");
+    } else if (job.transformation == "run_cap3") {
+      const std::string& chunk = job.args.at(0);
+      const std::string index =
+          chunk.substr(chunk.rfind('_') + 1,
+                       chunk.rfind('.') - chunk.rfind('_') - 1);
+      b2c3::run_cap3_chunk(lfn("transcripts_dict.txt"), lfn(chunk),
+                           lfn("joined_" + index + ".fasta"),
+                           lfn("members_" + index + ".txt"), "c" + index);
+    } else if (job.transformation == "merge_joined") {
+      std::vector<fs::path> joined;
+      for (std::size_t i = 0; i < n_; ++i) {
+        joined.push_back(lfn("joined_" + std::to_string(i) + ".fasta"));
+      }
+      b2c3::merge_joined(joined, lfn("joined.fasta"));
+    } else if (job.transformation == "find_unjoined") {
+      std::vector<fs::path> members;
+      for (std::size_t i = 0; i < n_; ++i) {
+        members.push_back(lfn("members_" + std::to_string(i) + ".txt"));
+      }
+      b2c3::find_unjoined(lfn("transcripts_dict.txt"), members, lfn("unjoined.fasta"));
+    } else if (job.transformation == "final_merge") {
+      b2c3::concat_final(lfn("joined.fasta"), lfn("unjoined.fasta"),
+                         lfn("assembly.fasta"));
+    } else {
+      throw std::runtime_error("unknown transformation " + job.transformation);
+    }
+  }
+
+ private:
+  fs::path ws_;
+  const Dataset& data_;
+  std::size_t n_;
+};
+
+TEST(Integration, TaskFailuresAreRetriedAndOutputIsUnaffected) {
+  auto& data = dataset();
+  const std::size_t n = 3;
+  const fs::path ws = data.dir.path() / "ws-flaky";
+  fs::create_directories(ws);
+
+  const core::B2c3WorkflowSpec spec{.n = n};
+  const auto concrete =
+      core::plan_for_site(core::build_blast2cap3_dax(spec), "sandhills", spec);
+
+  auto runner = std::make_shared<FlakyRunner>(ws, data, n);
+  runner->fail_budget["run_cap3_1"] = 2;  // fails twice, succeeds third
+  runner->fail_budget["merge_joined"] = 1;
+  wms::LocalService service(3, [runner](const wms::ConcreteJob& job) { (*runner)(job); });
+  wms::DagmanEngine engine(wms::EngineOptions{.retries = 3, .rescue_path = {}});
+  const auto report = engine.run(concrete, service);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.total_retries, 3u);
+
+  // Output equals a clean run's output (multiset of sequences).
+  const fs::path clean_ws = data.dir.path() / "ws-clean";
+  fs::create_directories(clean_ws);
+  auto clean_runner = std::make_shared<FlakyRunner>(clean_ws, data, n);
+  wms::LocalService clean_service(
+      3, [clean_runner](const wms::ConcreteJob& job) { (*clean_runner)(job); });
+  wms::DagmanEngine clean_engine;
+  ASSERT_TRUE(clean_engine.run(concrete, clean_service).success);
+
+  std::multiset<std::string> flaky_seqs, clean_seqs;
+  for (const auto& r : bio::read_fasta_file(ws / "assembly.fasta")) {
+    flaky_seqs.insert(r.seq);
+  }
+  for (const auto& r : bio::read_fasta_file(clean_ws / "assembly.fasta")) {
+    clean_seqs.insert(r.seq);
+  }
+  EXPECT_EQ(flaky_seqs, clean_seqs);
+}
+
+TEST(Integration, RescueResumeFinishesARealHalfFailedWorkflow) {
+  auto& data = dataset();
+  const std::size_t n = 3;
+  const fs::path ws = data.dir.path() / "ws-rescue";
+  fs::create_directories(ws);
+  const fs::path rescue = ws / "rescue.dag";
+
+  const core::B2c3WorkflowSpec spec{.n = n};
+  const auto concrete =
+      core::plan_for_site(core::build_blast2cap3_dax(spec), "sandhills", spec);
+
+  // First run: run_cap3_2 fails permanently (budget > retries).
+  auto runner = std::make_shared<FlakyRunner>(ws, data, n);
+  runner->fail_budget["run_cap3_2"] = 100;
+  {
+    wms::LocalService service(2, [runner](const wms::ConcreteJob& job) { (*runner)(job); });
+    wms::DagmanEngine engine(wms::EngineOptions{.retries = 1, .rescue_path = rescue});
+    const auto report = engine.run(concrete, service);
+    EXPECT_FALSE(report.success);
+    ASSERT_TRUE(fs::exists(rescue));
+  }
+  const int executions_before_resume = runner->executions.load();
+
+  // Second run resumes: the flake is gone; only the missing frontier runs.
+  runner->fail_budget.clear();
+  {
+    wms::LocalService service(2, [runner](const wms::ConcreteJob& job) { (*runner)(job); });
+    wms::DagmanEngine engine(wms::EngineOptions{.retries = 1, .rescue_path = rescue});
+    const auto report = engine.run_rescue(concrete, service, rescue);
+    EXPECT_TRUE(report.success);
+    EXPECT_GT(report.jobs_skipped, 0u);
+  }
+  // Resume did strictly less work than a full re-run would have.
+  const int resumed_executions = runner->executions.load() - executions_before_resume;
+  EXPECT_LT(resumed_executions, static_cast<int>(concrete.jobs().size()));
+  EXPECT_TRUE(fs::exists(ws / "assembly.fasta"));
+}
+
+TEST(Integration, SimulatedStatisticsSatisfyAccountingIdentities) {
+  core::ExperimentConfig config;
+  config.n_values = {100};
+  const auto sweep = core::run_platform_sweep(config);
+  const core::WorkloadModel workload(config.workload);
+  for (const auto& point : sweep.points) {
+    const auto& stats = point.stats;
+    // Wall time is at least the most expensive chunk divided by the
+    // fastest core, and no more than the serial time.
+    EXPECT_LT(stats.wall_seconds(), sweep.serial_seconds) << point.platform;
+    EXPECT_GT(stats.wall_seconds(),
+              workload.largest_cluster_cost() / 2.0)  // generous speed bound
+        << point.platform;
+    // Goodput equals the planned work within node-speed bounds.
+    EXPECT_GT(stats.cumulative_kickstart(), workload.total_cap3_seconds() / 1.8)
+        << point.platform;
+    // attempts = jobs + retries.
+    EXPECT_EQ(stats.attempts(), stats.jobs() + stats.retries()) << point.platform;
+  }
+}
+
+}  // namespace
+}  // namespace pga

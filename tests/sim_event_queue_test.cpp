@@ -1,0 +1,102 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pga::sim {
+namespace {
+
+TEST(EventQueue, StartsAtZero) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 30.0);
+}
+
+TEST(EventQueue, SimultaneousEventsRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ClockAdvancesMonotonically) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(1, [&] { times.push_back(q.now()); });
+  q.schedule(2, [&] {
+    times.push_back(q.now());
+    q.schedule_in(0.5, [&] { times.push_back(q.now()); });
+  });
+  q.schedule(5, [&] { times.push_back(q.now()); });
+  q.run();
+  ASSERT_EQ(times.size(), 4u);
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_GE(times[i], times[i - 1]);
+  EXPECT_DOUBLE_EQ(times[2], 2.5);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) q.schedule_in(1.0, chain);
+  };
+  q.schedule(0, chain);
+  const std::size_t processed = q.run();
+  EXPECT_EQ(processed, 100u);
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(q.now(), 99.0);
+}
+
+TEST(EventQueue, SchedulingIntoPastThrows) {
+  EventQueue q;
+  q.schedule(10, [&] {
+    EXPECT_THROW(q.schedule(5, [] {}), common::InvalidArgument);
+  });
+  q.run();
+}
+
+TEST(EventQueue, ZeroDelayAllowed) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule(3, [&] { q.schedule_in(0, [&] { ran = true; }); });
+  q.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, MaxEventsGuard) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule_in(1.0, forever); };
+  q.schedule(0, forever);
+  EXPECT_EQ(q.run(1'000), 1'000u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, PendingCount) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.step();
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace pga::sim

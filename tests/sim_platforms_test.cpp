@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/campus_cluster.hpp"
+#include "sim/cloud.hpp"
+#include "sim/osg.hpp"
+
+namespace pga::sim {
+namespace {
+
+SimJob job(const std::string& id, double cpu, bool setup = false) {
+  return SimJob{id, "run_cap3", cpu, setup};
+}
+
+/// Submits jobs, retrying failures up to `max_retries`, and returns one
+/// final result per job plus the attempt count.
+struct Harness {
+  EventQueue queue;
+  std::map<std::string, AttemptResult> final_results;
+  std::map<std::string, int> attempts;
+
+  void run_all(ExecutionPlatform& platform, const std::vector<SimJob>& jobs,
+               int max_retries = 10) {
+    for (const auto& j : jobs) submit_with_retry(platform, j, max_retries);
+    queue.run();
+  }
+
+  void submit_with_retry(ExecutionPlatform& platform, const SimJob& j,
+                         int retries_left) {
+    platform.submit(j, [this, &platform, j, retries_left](const AttemptResult& r) {
+      ++attempts[j.id];
+      if (r.success || retries_left == 0) {
+        final_results[j.id] = r;
+      } else {
+        submit_with_retry(platform, j, retries_left - 1);
+      }
+    });
+  }
+};
+
+// ------------------------------------------------------- Campus cluster
+
+TEST(CampusCluster, RunsAllJobsSuccessfully) {
+  Harness h;
+  CampusClusterConfig config;
+  config.allocated_slots = 4;
+  CampusClusterPlatform platform(h.queue, config);
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < 20; ++i) jobs.push_back(job("j" + std::to_string(i), 600));
+  h.run_all(platform, jobs);
+  EXPECT_EQ(h.final_results.size(), 20u);
+  for (const auto& [id, r] : h.final_results) {
+    EXPECT_TRUE(r.success) << id;
+    EXPECT_DOUBLE_EQ(r.install_seconds, 0.0) << id;  // preinstalled stack
+    EXPECT_EQ(h.attempts[id], 1) << id;              // never retries
+  }
+}
+
+TEST(CampusCluster, WaitingTimeSmallWhenUnsaturated) {
+  Harness h;
+  CampusClusterConfig config;
+  config.allocated_slots = 32;
+  CampusClusterPlatform platform(h.queue, config);
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < 10; ++i) jobs.push_back(job("j" + std::to_string(i), 3'600));
+  h.run_all(platform, jobs);
+  for (const auto& [id, r] : h.final_results) {
+    // Dispatch latency only: well under 5 minutes.
+    EXPECT_LT(r.wait_seconds, 300.0) << id;
+  }
+}
+
+TEST(CampusCluster, SlotsLimitConcurrency) {
+  // 8 equal jobs on 2 slots: makespan must be >= 4 job-durations.
+  Harness h;
+  CampusClusterConfig config;
+  config.allocated_slots = 2;
+  config.node_speed_min = 1.0;
+  config.node_speed_max = 1.0;
+  CampusClusterPlatform platform(h.queue, config);
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < 8; ++i) jobs.push_back(job("j" + std::to_string(i), 1'000));
+  h.run_all(platform, jobs);
+  double makespan = 0;
+  for (const auto& [id, r] : h.final_results) makespan = std::max(makespan, r.end_time);
+  EXPECT_GE(makespan, 4'000.0);
+  EXPECT_LT(makespan, 4'000.0 + 2'000.0);  // dispatch latency slack
+}
+
+TEST(CampusCluster, ExecTimeScalesWithCost) {
+  Harness h;
+  CampusClusterPlatform platform(h.queue, {});
+  h.run_all(platform, {job("small", 100), job("big", 10'000)});
+  EXPECT_GT(h.final_results["big"].exec_seconds,
+            h.final_results["small"].exec_seconds * 50);
+}
+
+TEST(CampusCluster, DeterministicForSeed) {
+  const auto run_once = [] {
+    Harness h;
+    CampusClusterConfig config;
+    config.seed = 77;
+    CampusClusterPlatform platform(h.queue, config);
+    std::vector<SimJob> jobs;
+    for (int i = 0; i < 12; ++i) jobs.push_back(job("j" + std::to_string(i), 500));
+    h.run_all(platform, jobs);
+    double makespan = 0;
+    for (const auto& [id, r] : h.final_results) {
+      makespan = std::max(makespan, r.end_time);
+    }
+    return makespan;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(CampusCluster, ConfigValidation) {
+  EventQueue q;
+  CampusClusterConfig config;
+  config.allocated_slots = 0;
+  EXPECT_THROW(CampusClusterPlatform(q, config), common::InvalidArgument);
+  config = CampusClusterConfig{};
+  config.node_speed_min = 2.0;
+  config.node_speed_max = 1.0;
+  EXPECT_THROW(CampusClusterPlatform(q, config), common::InvalidArgument);
+}
+
+// ------------------------------------------------------------------ OSG
+
+TEST(Osg, InstallOverheadOnlyWhenRequested) {
+  Harness h;
+  OsgConfig config;
+  config.preempt_mean = 1e12;  // effectively no preemption
+  OsgPlatform platform(h.queue, config);
+  h.run_all(platform, {job("setup", 600, true), job("bare", 600, false)});
+  EXPECT_GE(h.final_results["setup"].install_seconds, config.install_min);
+  EXPECT_LE(h.final_results["setup"].install_seconds, config.install_max);
+  EXPECT_DOUBLE_EQ(h.final_results["bare"].install_seconds, 0.0);
+}
+
+TEST(Osg, FasterCoresThanCampus) {
+  // Same job cost: OSG kickstart should beat the campus cluster's
+  // (speed ranges don't overlap).
+  Harness hc;
+  CampusClusterConfig cc;
+  cc.seed = 5;
+  CampusClusterPlatform campus(hc.queue, cc);
+  hc.run_all(campus, {job("j", 36'000)});
+
+  Harness ho;
+  OsgConfig oc;
+  oc.preempt_mean = 1e12;
+  oc.seed = 5;
+  OsgPlatform osg(ho.queue, oc);
+  ho.run_all(osg, {job("j", 36'000)});
+
+  EXPECT_LT(ho.final_results["j"].exec_seconds, hc.final_results["j"].exec_seconds);
+}
+
+TEST(Osg, PreemptionCausesRetries) {
+  Harness h;
+  OsgConfig config;
+  config.preempt_mean = 1'000;  // brutal: jobs of 3000s rarely survive
+  config.seed = 11;
+  OsgPlatform platform(h.queue, config);
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < 30; ++i) jobs.push_back(job("j" + std::to_string(i), 3'000, true));
+  h.run_all(platform, jobs, /*max_retries=*/50);
+  EXPECT_GT(platform.preemptions(), 0u);
+  int total_attempts = 0;
+  for (const auto& [id, n] : h.attempts) total_attempts += n;
+  EXPECT_GT(total_attempts, 30);  // at least one retry happened
+  for (const auto& [id, r] : h.final_results) EXPECT_TRUE(r.success) << id;
+}
+
+TEST(Osg, PreemptedAttemptReportsPartialExecution) {
+  Harness h;
+  OsgConfig config;
+  config.preempt_mean = 200;
+  config.seed = 13;
+  OsgPlatform platform(h.queue, config);
+  bool saw_preemption = false;
+  for (int i = 0; i < 20 && !saw_preemption; ++i) {
+    platform.submit(job("p" + std::to_string(i), 50'000, true),
+                    [&](const AttemptResult& r) {
+                      if (!r.success) {
+                        saw_preemption = true;
+                        EXPECT_EQ(r.failure, "preempted");
+                        EXPECT_LT(r.exec_seconds, 50'000.0 / config.node_speed_max);
+                        EXPECT_GE(r.end_time, r.start_time);
+                      }
+                    });
+  }
+  h.queue.run();
+  EXPECT_TRUE(saw_preemption);
+}
+
+TEST(Osg, WaitingTimeHeavyTailed) {
+  Harness h;
+  OsgConfig config;
+  config.preempt_mean = 1e12;
+  config.seed = 17;
+  OsgPlatform platform(h.queue, config);
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < 200; ++i) jobs.push_back(job("j" + std::to_string(i), 10));
+  h.run_all(platform, jobs);
+  double max_wait = 0, min_wait = 1e18;
+  for (const auto& [id, r] : h.final_results) {
+    max_wait = std::max(max_wait, r.wait_seconds);
+    min_wait = std::min(min_wait, r.wait_seconds);
+  }
+  // Unevenness: the slowest match takes far longer than the fastest.
+  EXPECT_GT(max_wait, 10 * min_wait);
+}
+
+TEST(Osg, CapacityFluctuates) {
+  Harness h;
+  OsgConfig config;
+  config.base_slots = 100;
+  config.capacity_wobble = 0.5;
+  config.capacity_period = 100;
+  config.preempt_mean = 1e12;
+  config.seed = 19;
+  OsgPlatform platform(h.queue, config);
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < 50; ++i) jobs.push_back(job("j" + std::to_string(i), 5'000));
+  // Track capacity over the run via completion callbacks.
+  std::vector<std::size_t> capacities;
+  for (const auto& j : jobs) {
+    platform.submit(j, [&](const AttemptResult&) {
+      capacities.push_back(platform.current_capacity());
+    });
+  }
+  h.queue.run();
+  std::set<std::size_t> distinct(capacities.begin(), capacities.end());
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(Osg, ConfigValidation) {
+  EventQueue q;
+  OsgConfig config;
+  config.base_slots = 0;
+  EXPECT_THROW(OsgPlatform(q, config), common::InvalidArgument);
+  config = OsgConfig{};
+  config.capacity_wobble = 1.5;
+  EXPECT_THROW(OsgPlatform(q, config), common::InvalidArgument);
+  config = OsgConfig{};
+  config.install_min = 700;
+  config.install_max = 600;
+  EXPECT_THROW(OsgPlatform(q, config), common::InvalidArgument);
+  config = OsgConfig{};
+  config.preempt_mean = 0;
+  EXPECT_THROW(OsgPlatform(q, config), common::InvalidArgument);
+}
+
+// ---------------------------------------------------------------- Cloud
+
+TEST(Cloud, ProvisionsVmsOnceAndReusesThem) {
+  Harness h;
+  CloudConfig config;
+  config.vms = 4;
+  CloudPlatform platform(h.queue, config);
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < 16; ++i) jobs.push_back(job("j" + std::to_string(i), 1'000));
+  h.run_all(platform, jobs);
+  EXPECT_EQ(h.final_results.size(), 16u);
+  EXPECT_LE(platform.provisioned(), 4u);
+  for (const auto& [id, r] : h.final_results) {
+    EXPECT_TRUE(r.success);
+    EXPECT_DOUBLE_EQ(r.install_seconds, 0.0);
+  }
+}
+
+TEST(Cloud, FirstWaveWaitsForBoot) {
+  Harness h;
+  CloudConfig config;
+  config.vms = 2;
+  CloudPlatform platform(h.queue, config);
+  h.run_all(platform, {job("a", 100), job("b", 100)});
+  for (const auto& [id, r] : h.final_results) {
+    EXPECT_GT(r.wait_seconds, 30.0) << id;  // VM boot delay
+  }
+}
+
+TEST(Cloud, ConfigValidation) {
+  EventQueue q;
+  CloudConfig config;
+  config.vms = 0;
+  EXPECT_THROW(CloudPlatform(q, config), common::InvalidArgument);
+  config = CloudConfig{};
+  config.node_speed = 0;
+  EXPECT_THROW(CloudPlatform(q, config), common::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pga::sim

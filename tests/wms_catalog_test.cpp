@@ -1,0 +1,72 @@
+#include "wms/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pga::wms {
+namespace {
+
+TEST(ReplicaCatalog, AddLookup) {
+  ReplicaCatalog rc;
+  rc.add("transcripts.fasta", {"/data/transcripts.fasta", "local"});
+  rc.add("transcripts.fasta", {"/scratch/transcripts.fasta", "sandhills"});
+  EXPECT_TRUE(rc.has("transcripts.fasta"));
+  EXPECT_FALSE(rc.has("nope"));
+  EXPECT_EQ(rc.lookup("transcripts.fasta").size(), 2u);
+  EXPECT_TRUE(rc.lookup("nope").empty());
+  EXPECT_THROW(rc.add("", {"x", "y"}), common::InvalidArgument);
+}
+
+TEST(ReplicaCatalog, BestForSitePrefersLocalReplica) {
+  ReplicaCatalog rc;
+  rc.add("f", {"/a", "local"});
+  rc.add("f", {"/b", "sandhills"});
+  const auto at_sandhills = rc.best_for_site("f", "sandhills");
+  ASSERT_TRUE(at_sandhills.has_value());
+  EXPECT_EQ(at_sandhills->pfn, "/b");
+  const auto at_osg = rc.best_for_site("f", "osg");
+  ASSERT_TRUE(at_osg.has_value());
+  EXPECT_EQ(at_osg->pfn, "/a");  // falls back to first
+  EXPECT_FALSE(rc.best_for_site("ghost", "osg").has_value());
+}
+
+TEST(TransformationCatalog, LookupPerSite) {
+  TransformationCatalog tc;
+  tc.add("run_cap3", "sandhills", {"/usr/bin/cap3", true});
+  tc.add("run_cap3", "osg", {"http://repo/cap3.tar.gz", false});
+  EXPECT_TRUE(tc.available("run_cap3", "sandhills"));
+  EXPECT_FALSE(tc.available("run_cap3", "cloud"));
+  const auto osg = tc.lookup("run_cap3", "osg");
+  ASSERT_TRUE(osg.has_value());
+  EXPECT_FALSE(osg->installed);
+  const auto sandhills = tc.lookup("run_cap3", "sandhills");
+  ASSERT_TRUE(sandhills.has_value());
+  EXPECT_TRUE(sandhills->installed);
+  EXPECT_THROW(tc.add("", "s", {"p", true}), common::InvalidArgument);
+}
+
+TEST(SiteCatalog, AddAndQuery) {
+  SiteCatalog sc;
+  sc.add({"sandhills", 64, true, "/work"});
+  sc.add({"osg", 150, false, "/tmp"});
+  EXPECT_TRUE(sc.has("sandhills"));
+  EXPECT_FALSE(sc.has("xsede"));
+  EXPECT_EQ(sc.site("sandhills").slots, 64u);
+  EXPECT_TRUE(sc.site("sandhills").software_preinstalled);
+  EXPECT_FALSE(sc.site("osg").software_preinstalled);
+  EXPECT_THROW(sc.site("xsede"), common::InvalidArgument);
+  EXPECT_EQ(sc.names(), (std::vector<std::string>{"osg", "sandhills"}));
+  EXPECT_THROW(sc.add({"", 1, true, ""}), common::InvalidArgument);
+}
+
+TEST(SiteCatalog, ReplaceUpdatesEntry) {
+  SiteCatalog sc;
+  sc.add({"s", 8, true, "/a"});
+  sc.add({"s", 16, false, "/b"});
+  EXPECT_EQ(sc.site("s").slots, 16u);
+  EXPECT_FALSE(sc.site("s").software_preinstalled);
+}
+
+}  // namespace
+}  // namespace pga::wms

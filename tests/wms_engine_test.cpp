@@ -1,0 +1,306 @@
+#include "wms/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/fsutil.hpp"
+#include "common/rng.hpp"
+#include "sim/campus_cluster.hpp"
+#include "wms/statistics.hpp"
+
+namespace pga::wms {
+namespace {
+
+/// Deterministic in-memory service: each submit completes on the next
+/// wait() call; per-job failure budgets make jobs fail their first N
+/// attempts.
+class FakeService final : public ExecutionService {
+ public:
+  std::map<std::string, int> failures_before_success;
+
+  void submit(const ConcreteJob& job) override {
+    pending_.push_back(job.id);
+    order.push_back(job.id);
+  }
+
+  std::vector<TaskAttempt> wait() override {
+    std::vector<TaskAttempt> out;
+    for (const auto& id : pending_) {
+      TaskAttempt attempt;
+      attempt.job_id = id;
+      attempt.transformation = "tf";
+      attempt.submit_time = time_;
+      attempt.wait_seconds = 1;
+      attempt.exec_seconds = 10;
+      attempt.end_time = time_ + 11;
+      auto it = failures_before_success.find(id);
+      if (it != failures_before_success.end() && it->second > 0) {
+        --it->second;
+        attempt.success = false;
+        attempt.error = "injected failure";
+      } else {
+        attempt.success = true;
+      }
+      out.push_back(std::move(attempt));
+    }
+    pending_.clear();
+    time_ += 11;
+    return out;
+  }
+
+  double now() override { return time_; }
+  [[nodiscard]] std::string label() const override { return "fake"; }
+
+  std::vector<std::string> order;  ///< submission order observed
+
+ private:
+  std::vector<std::string> pending_;
+  double time_ = 0;
+};
+
+/// Diamond: a -> {b, c} -> d.
+ConcreteWorkflow diamond() {
+  ConcreteWorkflow wf("diamond", "fake");
+  for (const auto* id : {"a", "b", "c", "d"}) {
+    ConcreteJob job;
+    job.id = id;
+    job.transformation = "tf";
+    wf.add_job(std::move(job));
+  }
+  wf.add_dependency("a", "b");
+  wf.add_dependency("a", "c");
+  wf.add_dependency("b", "d");
+  wf.add_dependency("c", "d");
+  return wf;
+}
+
+TEST(Engine, RunsDagInOrder) {
+  FakeService service;
+  DagmanEngine engine;
+  const auto report = engine.run(diamond(), service);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.jobs_total, 4u);
+  EXPECT_EQ(report.jobs_succeeded, 4u);
+  EXPECT_EQ(report.total_attempts, 4u);
+  ASSERT_EQ(service.order.size(), 4u);
+  EXPECT_EQ(service.order[0], "a");
+  EXPECT_EQ(service.order[3], "d");
+}
+
+TEST(Engine, RetriesFailedJobs) {
+  FakeService service;
+  service.failures_before_success["b"] = 2;
+  DagmanEngine engine(EngineOptions{.retries = 3, .rescue_path = {}});
+  const auto report = engine.run(diamond(), service);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.total_retries, 2u);
+  EXPECT_EQ(report.total_attempts, 6u);
+}
+
+TEST(Engine, ExhaustedRetriesFailTheWorkflowButSiblingsFinish) {
+  FakeService service;
+  service.failures_before_success["b"] = 100;
+  DagmanEngine engine(EngineOptions{.retries = 2, .rescue_path = {}});
+  const auto report = engine.run(diamond(), service);
+  EXPECT_FALSE(report.success);
+  EXPECT_EQ(report.jobs_failed, 1u);
+  // c still ran; d never could.
+  bool c_done = false, d_attempted = false;
+  for (const auto& run : report.runs) {
+    if (run.id == "c") c_done = run.succeeded;
+    if (run.id == "d") d_attempted = !run.attempts.empty();
+  }
+  EXPECT_TRUE(c_done);
+  EXPECT_FALSE(d_attempted);
+}
+
+TEST(Engine, WritesAndConsumesRescueFile) {
+  common::ScratchDir dir("engine-rescue");
+  const auto rescue = dir.file("rescue.dag");
+  {
+    FakeService service;
+    service.failures_before_success["d"] = 100;
+    DagmanEngine engine(EngineOptions{.retries = 1, .rescue_path = rescue});
+    const auto report = engine.run(diamond(), service);
+    EXPECT_FALSE(report.success);
+    ASSERT_TRUE(std::filesystem::exists(rescue));
+  }
+  const auto done = DagmanEngine::read_rescue_file(rescue);
+  EXPECT_EQ(done, (std::set<std::string>{"a", "b", "c"}));
+  {
+    // Resume: only d runs this time.
+    FakeService service;
+    DagmanEngine engine;
+    const auto report = engine.run_rescue(diamond(), service, rescue);
+    EXPECT_TRUE(report.success);
+    EXPECT_EQ(report.jobs_skipped, 3u);
+    EXPECT_EQ(report.total_attempts, 1u);
+    EXPECT_EQ(service.order, (std::vector<std::string>{"d"}));
+  }
+}
+
+TEST(Engine, JobstateLogRecordsLifecycle) {
+  FakeService service;
+  service.failures_before_success["a"] = 1;
+  DagmanEngine engine(EngineOptions{.retries = 1, .rescue_path = {}});
+  const auto report = engine.run(diamond(), service);
+  ASSERT_TRUE(report.success);
+  std::size_t submits = 0, retries = 0, successes = 0;
+  for (const auto& line : report.jobstate_log) {
+    if (line.find("SUBMIT") != std::string::npos) ++submits;
+    if (line.find("RETRY") != std::string::npos) ++retries;
+    if (line.find("SUCCESS") != std::string::npos) ++successes;
+  }
+  EXPECT_EQ(submits, 4u);
+  EXPECT_EQ(retries, 1u);
+  EXPECT_EQ(successes, 4u);
+}
+
+TEST(Engine, NegativeRetriesRejected) {
+  EXPECT_THROW(DagmanEngine(EngineOptions{.retries = -1, .rescue_path = {}}),
+               common::InvalidArgument);
+}
+
+TEST(Engine, WideFanOutCompletes) {
+  // split -> 100 x cap3 -> merge, the Fig. 2 shape at n=100.
+  ConcreteWorkflow wf("fan", "fake");
+  ConcreteJob split;
+  split.id = "split";
+  split.transformation = "split";
+  wf.add_job(split);
+  ConcreteJob merge;
+  merge.id = "merge";
+  merge.transformation = "merge";
+  wf.add_job(merge);
+  for (int i = 0; i < 100; ++i) {
+    ConcreteJob cap3;
+    cap3.id = "cap3_" + std::to_string(i);
+    cap3.transformation = "run_cap3";
+    wf.add_job(cap3);
+    wf.add_dependency("split", cap3.id);
+    wf.add_dependency(cap3.id, "merge");
+  }
+  FakeService service;
+  DagmanEngine engine;
+  const auto report = engine.run(wf, service);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.jobs_succeeded, 102u);
+  EXPECT_EQ(service.order.front(), "split");
+  EXPECT_EQ(service.order.back(), "merge");
+}
+
+TEST(Engine, RandomDagsRespectTopologicalOrder) {
+  common::Rng rng(333);
+  for (int trial = 0; trial < 10; ++trial) {
+    ConcreteWorkflow wf("random", "fake");
+    const int n = 30;
+    for (int i = 0; i < n; ++i) {
+      ConcreteJob job;
+      job.id = "j" + std::to_string(i);
+      job.transformation = "tf";
+      wf.add_job(std::move(job));
+    }
+    // Edges only forward: guarantees acyclicity.
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.chance(0.1)) {
+          wf.add_dependency("j" + std::to_string(i), "j" + std::to_string(j));
+        }
+      }
+    }
+    FakeService service;
+    DagmanEngine engine;
+    const auto report = engine.run(wf, service);
+    ASSERT_TRUE(report.success);
+    // Submission order must respect every edge.
+    std::map<std::string, std::size_t> pos;
+    for (std::size_t i = 0; i < service.order.size(); ++i) {
+      pos[service.order[i]] = i;
+    }
+    for (const auto& job : wf.jobs()) {
+      for (const auto& parent : wf.parents(job.id)) {
+        EXPECT_LT(pos[parent], pos[job.id]);
+      }
+    }
+  }
+}
+
+TEST(Engine, ThrottleLimitsInFlightJobs) {
+  // A service that records the maximum number of concurrently outstanding
+  // submissions.
+  class CountingService final : public ExecutionService {
+   public:
+    void submit(const ConcreteJob& job) override {
+      pending_.push_back(job.id);
+      peak_ = std::max(peak_, pending_.size());
+    }
+    std::vector<TaskAttempt> wait() override {
+      std::vector<TaskAttempt> out;
+      if (pending_.empty()) return out;
+      // Complete ONE job per wait() so the engine refills under throttle.
+      TaskAttempt attempt;
+      attempt.job_id = pending_.front();
+      attempt.transformation = "tf";
+      attempt.success = true;
+      pending_.erase(pending_.begin());
+      out.push_back(std::move(attempt));
+      return out;
+    }
+    double now() override { return 0; }
+    [[nodiscard]] std::string label() const override { return "counting"; }
+    std::size_t peak_ = 0;
+
+   private:
+    std::vector<std::string> pending_;
+  };
+
+  ConcreteWorkflow wf("wide", "x");
+  for (int i = 0; i < 40; ++i) {
+    ConcreteJob job;
+    job.id = "j" + std::to_string(i);
+    job.transformation = "tf";
+    wf.add_job(std::move(job));
+  }
+
+  CountingService service;
+  DagmanEngine engine(EngineOptions{
+      .retries = 0, .rescue_path = {}, .status = nullptr, .max_jobs_in_flight = 5});
+  const auto report = engine.run(wf, service);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(service.peak_, 5u);
+
+  CountingService unthrottled;
+  DagmanEngine free_engine;
+  EXPECT_TRUE(free_engine.run(wf, unthrottled).success);
+  EXPECT_EQ(unthrottled.peak_, 40u);
+}
+
+TEST(Engine, RunsOnSimulatedCampusCluster) {
+  sim::EventQueue queue;
+  sim::CampusClusterConfig config;
+  config.allocated_slots = 4;
+  sim::CampusClusterPlatform platform(queue, config);
+  SimService service(queue, platform);
+
+  ConcreteWorkflow wf = diamond();
+  for (const auto& job : wf.jobs()) {
+    wf.mutable_job(job.id).cpu_seconds_hint = 500;
+  }
+  DagmanEngine engine;
+  const auto report = engine.run(wf, service);
+  EXPECT_TRUE(report.success);
+  // Critical path a -> b -> d (3 x ~500s) plus dispatch latencies.
+  EXPECT_GT(report.wall_seconds(), 1'200.0);
+  EXPECT_LT(report.wall_seconds(), 3'000.0);
+
+  const auto stats = WorkflowStatistics::from_run(report);
+  EXPECT_EQ(stats.jobs(), 4u);
+  EXPECT_GT(stats.cumulative_kickstart(), 1'500.0);
+  EXPECT_DOUBLE_EQ(stats.cumulative_install(), 0.0);
+}
+
+}  // namespace
+}  // namespace pga::wms
