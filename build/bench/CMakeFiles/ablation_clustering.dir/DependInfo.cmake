@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_clustering.cpp" "bench/CMakeFiles/ablation_clustering.dir/ablation_clustering.cpp.o" "gcc" "bench/CMakeFiles/ablation_clustering.dir/ablation_clustering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pga_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/b2c3/CMakeFiles/pga_b2c3.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/pga_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pga_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/pga_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/wms/CMakeFiles/pga_wms.dir/DependInfo.cmake"
+  "/root/repo/build/src/htc/CMakeFiles/pga_htc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pga_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clustering.dir/ablation_clustering.cpp.o"
+  "CMakeFiles/ablation_clustering.dir/ablation_clustering.cpp.o.d"
+  "ablation_clustering"
+  "ablation_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_install.dir/ablation_install.cpp.o"
+  "CMakeFiles/ablation_install.dir/ablation_install.cpp.o.d"
+  "ablation_install"
+  "ablation_install.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_install.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_install.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_walltime.dir/fig4_walltime.cpp.o"
+  "CMakeFiles/fig4_walltime.dir/fig4_walltime.cpp.o.d"
+  "fig4_walltime"
+  "fig4_walltime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_walltime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_per_task.dir/fig5_per_task.cpp.o"
+  "CMakeFiles/fig5_per_task.dir/fig5_per_task.cpp.o.d"
+  "fig5_per_task"
+  "fig5_per_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_per_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_align.dir/micro_align.cpp.o"
+  "CMakeFiles/micro_align.dir/micro_align.cpp.o.d"
+  "micro_align"
+  "micro_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_assembly.dir/micro_assembly.cpp.o"
+  "CMakeFiles/micro_assembly.dir/micro_assembly.cpp.o.d"
+  "micro_assembly"
+  "micro_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_b2c3.dir/micro_b2c3.cpp.o"
+  "CMakeFiles/micro_b2c3.dir/micro_b2c3.cpp.o.d"
+  "micro_b2c3"
+  "micro_b2c3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_b2c3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bio.dir/micro_bio.cpp.o"
+  "CMakeFiles/micro_bio.dir/micro_bio.cpp.o.d"
+  "micro_bio"
+  "micro_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_common.dir/micro_common.cpp.o"
+  "CMakeFiles/micro_common.dir/micro_common.cpp.o.d"
+  "micro_common"
+  "micro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_htc.dir/micro_htc.cpp.o"
+  "CMakeFiles/micro_htc.dir/micro_htc.cpp.o.d"
+  "micro_htc"
+  "micro_htc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_htc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_wms.dir/micro_wms.cpp.o"
+  "CMakeFiles/micro_wms.dir/micro_wms.cpp.o.d"
+  "micro_wms"
+  "micro_wms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_wms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

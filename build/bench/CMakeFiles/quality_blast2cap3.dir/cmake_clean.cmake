@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_blast2cap3.dir/quality_blast2cap3.cpp.o"
+  "CMakeFiles/quality_blast2cap3.dir/quality_blast2cap3.cpp.o.d"
+  "quality_blast2cap3"
+  "quality_blast2cap3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_blast2cap3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

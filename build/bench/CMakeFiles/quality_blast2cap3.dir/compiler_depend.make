@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quality_blast2cap3.
+# This may be replaced when dependencies are built.

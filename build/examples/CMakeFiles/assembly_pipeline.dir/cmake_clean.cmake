@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembly_pipeline.dir/assembly_pipeline.cpp.o"
+  "CMakeFiles/assembly_pipeline.dir/assembly_pipeline.cpp.o.d"
+  "assembly_pipeline"
+  "assembly_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembly_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dax_generator.dir/dax_generator.cpp.o"
+  "CMakeFiles/dax_generator.dir/dax_generator.cpp.o.d"
+  "dax_generator"
+  "dax_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dax_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

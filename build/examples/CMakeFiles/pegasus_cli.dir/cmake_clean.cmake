@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pegasus_cli.dir/pegasus_cli.cpp.o"
+  "CMakeFiles/pegasus_cli.dir/pegasus_cli.cpp.o.d"
+  "pegasus_cli"
+  "pegasus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pegasus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

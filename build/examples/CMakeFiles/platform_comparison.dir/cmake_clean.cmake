@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_comparison.dir/platform_comparison.cpp.o"
+  "CMakeFiles/platform_comparison.dir/platform_comparison.cpp.o.d"
+  "platform_comparison"
+  "platform_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("bio")
+subdirs("align")
+subdirs("assembly")
+subdirs("b2c3")
+subdirs("htc")
+subdirs("sim")
+subdirs("wms")
+subdirs("core")

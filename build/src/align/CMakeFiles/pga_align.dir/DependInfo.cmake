@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/blastx.cpp" "src/align/CMakeFiles/pga_align.dir/blastx.cpp.o" "gcc" "src/align/CMakeFiles/pga_align.dir/blastx.cpp.o.d"
+  "/root/repo/src/align/kmer_index.cpp" "src/align/CMakeFiles/pga_align.dir/kmer_index.cpp.o" "gcc" "src/align/CMakeFiles/pga_align.dir/kmer_index.cpp.o.d"
+  "/root/repo/src/align/scoring.cpp" "src/align/CMakeFiles/pga_align.dir/scoring.cpp.o" "gcc" "src/align/CMakeFiles/pga_align.dir/scoring.cpp.o.d"
+  "/root/repo/src/align/sw.cpp" "src/align/CMakeFiles/pga_align.dir/sw.cpp.o" "gcc" "src/align/CMakeFiles/pga_align.dir/sw.cpp.o.d"
+  "/root/repo/src/align/tabular.cpp" "src/align/CMakeFiles/pga_align.dir/tabular.cpp.o" "gcc" "src/align/CMakeFiles/pga_align.dir/tabular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/pga_bio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

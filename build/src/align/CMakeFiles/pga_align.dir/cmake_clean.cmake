@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pga_align.dir/blastx.cpp.o"
+  "CMakeFiles/pga_align.dir/blastx.cpp.o.d"
+  "CMakeFiles/pga_align.dir/kmer_index.cpp.o"
+  "CMakeFiles/pga_align.dir/kmer_index.cpp.o.d"
+  "CMakeFiles/pga_align.dir/scoring.cpp.o"
+  "CMakeFiles/pga_align.dir/scoring.cpp.o.d"
+  "CMakeFiles/pga_align.dir/sw.cpp.o"
+  "CMakeFiles/pga_align.dir/sw.cpp.o.d"
+  "CMakeFiles/pga_align.dir/tabular.cpp.o"
+  "CMakeFiles/pga_align.dir/tabular.cpp.o.d"
+  "libpga_align.a"
+  "libpga_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pga_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

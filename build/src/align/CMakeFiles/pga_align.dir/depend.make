@@ -1,0 +1,2 @@
+# Empty dependencies file for pga_align.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembly/cap3.cpp" "src/assembly/CMakeFiles/pga_assembly.dir/cap3.cpp.o" "gcc" "src/assembly/CMakeFiles/pga_assembly.dir/cap3.cpp.o.d"
+  "/root/repo/src/assembly/metrics.cpp" "src/assembly/CMakeFiles/pga_assembly.dir/metrics.cpp.o" "gcc" "src/assembly/CMakeFiles/pga_assembly.dir/metrics.cpp.o.d"
+  "/root/repo/src/assembly/overlap.cpp" "src/assembly/CMakeFiles/pga_assembly.dir/overlap.cpp.o" "gcc" "src/assembly/CMakeFiles/pga_assembly.dir/overlap.cpp.o.d"
+  "/root/repo/src/assembly/validation.cpp" "src/assembly/CMakeFiles/pga_assembly.dir/validation.cpp.o" "gcc" "src/assembly/CMakeFiles/pga_assembly.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/pga_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pga_align.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

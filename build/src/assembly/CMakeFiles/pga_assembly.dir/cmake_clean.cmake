@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pga_assembly.dir/cap3.cpp.o"
+  "CMakeFiles/pga_assembly.dir/cap3.cpp.o.d"
+  "CMakeFiles/pga_assembly.dir/metrics.cpp.o"
+  "CMakeFiles/pga_assembly.dir/metrics.cpp.o.d"
+  "CMakeFiles/pga_assembly.dir/overlap.cpp.o"
+  "CMakeFiles/pga_assembly.dir/overlap.cpp.o.d"
+  "CMakeFiles/pga_assembly.dir/validation.cpp.o"
+  "CMakeFiles/pga_assembly.dir/validation.cpp.o.d"
+  "libpga_assembly.a"
+  "libpga_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pga_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/b2c3/cluster.cpp" "src/b2c3/CMakeFiles/pga_b2c3.dir/cluster.cpp.o" "gcc" "src/b2c3/CMakeFiles/pga_b2c3.dir/cluster.cpp.o.d"
+  "/root/repo/src/b2c3/serial.cpp" "src/b2c3/CMakeFiles/pga_b2c3.dir/serial.cpp.o" "gcc" "src/b2c3/CMakeFiles/pga_b2c3.dir/serial.cpp.o.d"
+  "/root/repo/src/b2c3/splitter.cpp" "src/b2c3/CMakeFiles/pga_b2c3.dir/splitter.cpp.o" "gcc" "src/b2c3/CMakeFiles/pga_b2c3.dir/splitter.cpp.o.d"
+  "/root/repo/src/b2c3/tasks.cpp" "src/b2c3/CMakeFiles/pga_b2c3.dir/tasks.cpp.o" "gcc" "src/b2c3/CMakeFiles/pga_b2c3.dir/tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/pga_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pga_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/pga_assembly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pga_b2c3.dir/cluster.cpp.o"
+  "CMakeFiles/pga_b2c3.dir/cluster.cpp.o.d"
+  "CMakeFiles/pga_b2c3.dir/serial.cpp.o"
+  "CMakeFiles/pga_b2c3.dir/serial.cpp.o.d"
+  "CMakeFiles/pga_b2c3.dir/splitter.cpp.o"
+  "CMakeFiles/pga_b2c3.dir/splitter.cpp.o.d"
+  "CMakeFiles/pga_b2c3.dir/tasks.cpp.o"
+  "CMakeFiles/pga_b2c3.dir/tasks.cpp.o.d"
+  "libpga_b2c3.a"
+  "libpga_b2c3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pga_b2c3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpga_b2c3.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pga_b2c3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/alphabet.cpp" "src/bio/CMakeFiles/pga_bio.dir/alphabet.cpp.o" "gcc" "src/bio/CMakeFiles/pga_bio.dir/alphabet.cpp.o.d"
+  "/root/repo/src/bio/codon.cpp" "src/bio/CMakeFiles/pga_bio.dir/codon.cpp.o" "gcc" "src/bio/CMakeFiles/pga_bio.dir/codon.cpp.o.d"
+  "/root/repo/src/bio/fasta.cpp" "src/bio/CMakeFiles/pga_bio.dir/fasta.cpp.o" "gcc" "src/bio/CMakeFiles/pga_bio.dir/fasta.cpp.o.d"
+  "/root/repo/src/bio/fastq.cpp" "src/bio/CMakeFiles/pga_bio.dir/fastq.cpp.o" "gcc" "src/bio/CMakeFiles/pga_bio.dir/fastq.cpp.o.d"
+  "/root/repo/src/bio/seq_stats.cpp" "src/bio/CMakeFiles/pga_bio.dir/seq_stats.cpp.o" "gcc" "src/bio/CMakeFiles/pga_bio.dir/seq_stats.cpp.o.d"
+  "/root/repo/src/bio/transcriptome.cpp" "src/bio/CMakeFiles/pga_bio.dir/transcriptome.cpp.o" "gcc" "src/bio/CMakeFiles/pga_bio.dir/transcriptome.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

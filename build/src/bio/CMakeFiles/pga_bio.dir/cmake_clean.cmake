@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pga_bio.dir/alphabet.cpp.o"
+  "CMakeFiles/pga_bio.dir/alphabet.cpp.o.d"
+  "CMakeFiles/pga_bio.dir/codon.cpp.o"
+  "CMakeFiles/pga_bio.dir/codon.cpp.o.d"
+  "CMakeFiles/pga_bio.dir/fasta.cpp.o"
+  "CMakeFiles/pga_bio.dir/fasta.cpp.o.d"
+  "CMakeFiles/pga_bio.dir/fastq.cpp.o"
+  "CMakeFiles/pga_bio.dir/fastq.cpp.o.d"
+  "CMakeFiles/pga_bio.dir/seq_stats.cpp.o"
+  "CMakeFiles/pga_bio.dir/seq_stats.cpp.o.d"
+  "CMakeFiles/pga_bio.dir/transcriptome.cpp.o"
+  "CMakeFiles/pga_bio.dir/transcriptome.cpp.o.d"
+  "libpga_bio.a"
+  "libpga_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pga_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

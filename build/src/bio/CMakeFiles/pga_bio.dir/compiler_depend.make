@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pga_bio.
+# This may be replaced when dependencies are built.

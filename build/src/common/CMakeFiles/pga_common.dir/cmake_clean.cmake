@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pga_common.dir/fsutil.cpp.o"
+  "CMakeFiles/pga_common.dir/fsutil.cpp.o.d"
+  "CMakeFiles/pga_common.dir/log.cpp.o"
+  "CMakeFiles/pga_common.dir/log.cpp.o.d"
+  "CMakeFiles/pga_common.dir/rng.cpp.o"
+  "CMakeFiles/pga_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pga_common.dir/strings.cpp.o"
+  "CMakeFiles/pga_common.dir/strings.cpp.o.d"
+  "CMakeFiles/pga_common.dir/summary.cpp.o"
+  "CMakeFiles/pga_common.dir/summary.cpp.o.d"
+  "CMakeFiles/pga_common.dir/table.cpp.o"
+  "CMakeFiles/pga_common.dir/table.cpp.o.d"
+  "CMakeFiles/pga_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pga_common.dir/thread_pool.cpp.o.d"
+  "libpga_common.a"
+  "libpga_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pga_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

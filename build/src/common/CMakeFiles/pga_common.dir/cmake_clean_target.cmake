@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpga_common.a"
+)

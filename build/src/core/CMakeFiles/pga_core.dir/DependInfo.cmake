@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/b2c3_workflow.cpp" "src/core/CMakeFiles/pga_core.dir/b2c3_workflow.cpp.o" "gcc" "src/core/CMakeFiles/pga_core.dir/b2c3_workflow.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/pga_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/pga_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/local_run.cpp" "src/core/CMakeFiles/pga_core.dir/local_run.cpp.o" "gcc" "src/core/CMakeFiles/pga_core.dir/local_run.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/pga_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/pga_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/b2c3/CMakeFiles/pga_b2c3.dir/DependInfo.cmake"
+  "/root/repo/build/src/wms/CMakeFiles/pga_wms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pga_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/pga_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pga_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/pga_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/htc/CMakeFiles/pga_htc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

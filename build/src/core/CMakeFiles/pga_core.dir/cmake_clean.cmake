@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pga_core.dir/b2c3_workflow.cpp.o"
+  "CMakeFiles/pga_core.dir/b2c3_workflow.cpp.o.d"
+  "CMakeFiles/pga_core.dir/experiment.cpp.o"
+  "CMakeFiles/pga_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/pga_core.dir/local_run.cpp.o"
+  "CMakeFiles/pga_core.dir/local_run.cpp.o.d"
+  "CMakeFiles/pga_core.dir/workload.cpp.o"
+  "CMakeFiles/pga_core.dir/workload.cpp.o.d"
+  "libpga_core.a"
+  "libpga_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pga_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

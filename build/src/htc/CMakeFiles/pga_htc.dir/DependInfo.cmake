@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htc/classad.cpp" "src/htc/CMakeFiles/pga_htc.dir/classad.cpp.o" "gcc" "src/htc/CMakeFiles/pga_htc.dir/classad.cpp.o.d"
+  "/root/repo/src/htc/local_executor.cpp" "src/htc/CMakeFiles/pga_htc.dir/local_executor.cpp.o" "gcc" "src/htc/CMakeFiles/pga_htc.dir/local_executor.cpp.o.d"
+  "/root/repo/src/htc/matchmaker.cpp" "src/htc/CMakeFiles/pga_htc.dir/matchmaker.cpp.o" "gcc" "src/htc/CMakeFiles/pga_htc.dir/matchmaker.cpp.o.d"
+  "/root/repo/src/htc/submit.cpp" "src/htc/CMakeFiles/pga_htc.dir/submit.cpp.o" "gcc" "src/htc/CMakeFiles/pga_htc.dir/submit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

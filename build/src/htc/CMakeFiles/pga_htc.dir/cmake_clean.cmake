@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pga_htc.dir/classad.cpp.o"
+  "CMakeFiles/pga_htc.dir/classad.cpp.o.d"
+  "CMakeFiles/pga_htc.dir/local_executor.cpp.o"
+  "CMakeFiles/pga_htc.dir/local_executor.cpp.o.d"
+  "CMakeFiles/pga_htc.dir/matchmaker.cpp.o"
+  "CMakeFiles/pga_htc.dir/matchmaker.cpp.o.d"
+  "CMakeFiles/pga_htc.dir/submit.cpp.o"
+  "CMakeFiles/pga_htc.dir/submit.cpp.o.d"
+  "libpga_htc.a"
+  "libpga_htc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pga_htc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

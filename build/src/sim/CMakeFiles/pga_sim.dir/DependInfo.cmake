@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/campus_cluster.cpp" "src/sim/CMakeFiles/pga_sim.dir/campus_cluster.cpp.o" "gcc" "src/sim/CMakeFiles/pga_sim.dir/campus_cluster.cpp.o.d"
+  "/root/repo/src/sim/cloud.cpp" "src/sim/CMakeFiles/pga_sim.dir/cloud.cpp.o" "gcc" "src/sim/CMakeFiles/pga_sim.dir/cloud.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/pga_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/pga_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/osg.cpp" "src/sim/CMakeFiles/pga_sim.dir/osg.cpp.o" "gcc" "src/sim/CMakeFiles/pga_sim.dir/osg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

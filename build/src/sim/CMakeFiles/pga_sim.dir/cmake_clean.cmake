@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pga_sim.dir/campus_cluster.cpp.o"
+  "CMakeFiles/pga_sim.dir/campus_cluster.cpp.o.d"
+  "CMakeFiles/pga_sim.dir/cloud.cpp.o"
+  "CMakeFiles/pga_sim.dir/cloud.cpp.o.d"
+  "CMakeFiles/pga_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pga_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pga_sim.dir/osg.cpp.o"
+  "CMakeFiles/pga_sim.dir/osg.cpp.o.d"
+  "libpga_sim.a"
+  "libpga_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pga_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

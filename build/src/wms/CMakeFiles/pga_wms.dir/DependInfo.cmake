@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wms/analyzer.cpp" "src/wms/CMakeFiles/pga_wms.dir/analyzer.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/analyzer.cpp.o.d"
+  "/root/repo/src/wms/catalog.cpp" "src/wms/CMakeFiles/pga_wms.dir/catalog.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/catalog.cpp.o.d"
+  "/root/repo/src/wms/catalog_io.cpp" "src/wms/CMakeFiles/pga_wms.dir/catalog_io.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/catalog_io.cpp.o.d"
+  "/root/repo/src/wms/dax.cpp" "src/wms/CMakeFiles/pga_wms.dir/dax.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/dax.cpp.o.d"
+  "/root/repo/src/wms/dax_xml.cpp" "src/wms/CMakeFiles/pga_wms.dir/dax_xml.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/dax_xml.cpp.o.d"
+  "/root/repo/src/wms/dot.cpp" "src/wms/CMakeFiles/pga_wms.dir/dot.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/dot.cpp.o.d"
+  "/root/repo/src/wms/engine.cpp" "src/wms/CMakeFiles/pga_wms.dir/engine.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/engine.cpp.o.d"
+  "/root/repo/src/wms/exec_service.cpp" "src/wms/CMakeFiles/pga_wms.dir/exec_service.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/exec_service.cpp.o.d"
+  "/root/repo/src/wms/kickstart.cpp" "src/wms/CMakeFiles/pga_wms.dir/kickstart.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/kickstart.cpp.o.d"
+  "/root/repo/src/wms/planner.cpp" "src/wms/CMakeFiles/pga_wms.dir/planner.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/planner.cpp.o.d"
+  "/root/repo/src/wms/statistics.cpp" "src/wms/CMakeFiles/pga_wms.dir/statistics.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/statistics.cpp.o.d"
+  "/root/repo/src/wms/status.cpp" "src/wms/CMakeFiles/pga_wms.dir/status.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/status.cpp.o.d"
+  "/root/repo/src/wms/xml_util.cpp" "src/wms/CMakeFiles/pga_wms.dir/xml_util.cpp.o" "gcc" "src/wms/CMakeFiles/pga_wms.dir/xml_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/htc/CMakeFiles/pga_htc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pga_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pga_wms.dir/analyzer.cpp.o"
+  "CMakeFiles/pga_wms.dir/analyzer.cpp.o.d"
+  "CMakeFiles/pga_wms.dir/catalog.cpp.o"
+  "CMakeFiles/pga_wms.dir/catalog.cpp.o.d"
+  "CMakeFiles/pga_wms.dir/catalog_io.cpp.o"
+  "CMakeFiles/pga_wms.dir/catalog_io.cpp.o.d"
+  "CMakeFiles/pga_wms.dir/dax.cpp.o"
+  "CMakeFiles/pga_wms.dir/dax.cpp.o.d"
+  "CMakeFiles/pga_wms.dir/dax_xml.cpp.o"
+  "CMakeFiles/pga_wms.dir/dax_xml.cpp.o.d"
+  "CMakeFiles/pga_wms.dir/dot.cpp.o"
+  "CMakeFiles/pga_wms.dir/dot.cpp.o.d"
+  "CMakeFiles/pga_wms.dir/engine.cpp.o"
+  "CMakeFiles/pga_wms.dir/engine.cpp.o.d"
+  "CMakeFiles/pga_wms.dir/exec_service.cpp.o"
+  "CMakeFiles/pga_wms.dir/exec_service.cpp.o.d"
+  "CMakeFiles/pga_wms.dir/kickstart.cpp.o"
+  "CMakeFiles/pga_wms.dir/kickstart.cpp.o.d"
+  "CMakeFiles/pga_wms.dir/planner.cpp.o"
+  "CMakeFiles/pga_wms.dir/planner.cpp.o.d"
+  "CMakeFiles/pga_wms.dir/statistics.cpp.o"
+  "CMakeFiles/pga_wms.dir/statistics.cpp.o.d"
+  "CMakeFiles/pga_wms.dir/status.cpp.o"
+  "CMakeFiles/pga_wms.dir/status.cpp.o.d"
+  "CMakeFiles/pga_wms.dir/xml_util.cpp.o"
+  "CMakeFiles/pga_wms.dir/xml_util.cpp.o.d"
+  "libpga_wms.a"
+  "libpga_wms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pga_wms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

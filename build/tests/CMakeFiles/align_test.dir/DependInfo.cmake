@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align_blastx_test.cpp" "tests/CMakeFiles/align_test.dir/align_blastx_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align_blastx_test.cpp.o.d"
+  "/root/repo/tests/align_kmer_index_test.cpp" "tests/CMakeFiles/align_test.dir/align_kmer_index_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align_kmer_index_test.cpp.o.d"
+  "/root/repo/tests/align_scoring_test.cpp" "tests/CMakeFiles/align_test.dir/align_scoring_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align_scoring_test.cpp.o.d"
+  "/root/repo/tests/align_sw_test.cpp" "tests/CMakeFiles/align_test.dir/align_sw_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align_sw_test.cpp.o.d"
+  "/root/repo/tests/align_tabular_test.cpp" "tests/CMakeFiles/align_test.dir/align_tabular_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align_tabular_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/pga_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/pga_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

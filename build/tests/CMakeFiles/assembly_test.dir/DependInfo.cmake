@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assembly_cap3_test.cpp" "tests/CMakeFiles/assembly_test.dir/assembly_cap3_test.cpp.o" "gcc" "tests/CMakeFiles/assembly_test.dir/assembly_cap3_test.cpp.o.d"
+  "/root/repo/tests/assembly_metrics_test.cpp" "tests/CMakeFiles/assembly_test.dir/assembly_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/assembly_test.dir/assembly_metrics_test.cpp.o.d"
+  "/root/repo/tests/assembly_overlap_test.cpp" "tests/CMakeFiles/assembly_test.dir/assembly_overlap_test.cpp.o" "gcc" "tests/CMakeFiles/assembly_test.dir/assembly_overlap_test.cpp.o.d"
+  "/root/repo/tests/assembly_strand_test.cpp" "tests/CMakeFiles/assembly_test.dir/assembly_strand_test.cpp.o" "gcc" "tests/CMakeFiles/assembly_test.dir/assembly_strand_test.cpp.o.d"
+  "/root/repo/tests/assembly_validation_test.cpp" "tests/CMakeFiles/assembly_test.dir/assembly_validation_test.cpp.o" "gcc" "tests/CMakeFiles/assembly_test.dir/assembly_validation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assembly/CMakeFiles/pga_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pga_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/pga_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

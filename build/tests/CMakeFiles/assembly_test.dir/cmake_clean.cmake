@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembly_test.dir/assembly_cap3_test.cpp.o"
+  "CMakeFiles/assembly_test.dir/assembly_cap3_test.cpp.o.d"
+  "CMakeFiles/assembly_test.dir/assembly_metrics_test.cpp.o"
+  "CMakeFiles/assembly_test.dir/assembly_metrics_test.cpp.o.d"
+  "CMakeFiles/assembly_test.dir/assembly_overlap_test.cpp.o"
+  "CMakeFiles/assembly_test.dir/assembly_overlap_test.cpp.o.d"
+  "CMakeFiles/assembly_test.dir/assembly_strand_test.cpp.o"
+  "CMakeFiles/assembly_test.dir/assembly_strand_test.cpp.o.d"
+  "CMakeFiles/assembly_test.dir/assembly_validation_test.cpp.o"
+  "CMakeFiles/assembly_test.dir/assembly_validation_test.cpp.o.d"
+  "assembly_test"
+  "assembly_test.pdb"
+  "assembly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

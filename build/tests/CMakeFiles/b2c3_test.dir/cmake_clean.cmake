@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2c3_test.dir/b2c3_cluster_test.cpp.o"
+  "CMakeFiles/b2c3_test.dir/b2c3_cluster_test.cpp.o.d"
+  "CMakeFiles/b2c3_test.dir/b2c3_serial_test.cpp.o"
+  "CMakeFiles/b2c3_test.dir/b2c3_serial_test.cpp.o.d"
+  "CMakeFiles/b2c3_test.dir/b2c3_splitter_test.cpp.o"
+  "CMakeFiles/b2c3_test.dir/b2c3_splitter_test.cpp.o.d"
+  "CMakeFiles/b2c3_test.dir/b2c3_tasks_test.cpp.o"
+  "CMakeFiles/b2c3_test.dir/b2c3_tasks_test.cpp.o.d"
+  "b2c3_test"
+  "b2c3_test.pdb"
+  "b2c3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2c3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bio_alphabet_test.cpp" "tests/CMakeFiles/bio_test.dir/bio_alphabet_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio_alphabet_test.cpp.o.d"
+  "/root/repo/tests/bio_codon_test.cpp" "tests/CMakeFiles/bio_test.dir/bio_codon_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio_codon_test.cpp.o.d"
+  "/root/repo/tests/bio_fasta_test.cpp" "tests/CMakeFiles/bio_test.dir/bio_fasta_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio_fasta_test.cpp.o.d"
+  "/root/repo/tests/bio_fastq_test.cpp" "tests/CMakeFiles/bio_test.dir/bio_fastq_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio_fastq_test.cpp.o.d"
+  "/root/repo/tests/bio_seq_stats_test.cpp" "tests/CMakeFiles/bio_test.dir/bio_seq_stats_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio_seq_stats_test.cpp.o.d"
+  "/root/repo/tests/bio_transcriptome_test.cpp" "tests/CMakeFiles/bio_test.dir/bio_transcriptome_test.cpp.o" "gcc" "tests/CMakeFiles/bio_test.dir/bio_transcriptome_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/pga_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

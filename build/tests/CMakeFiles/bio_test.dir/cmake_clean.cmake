@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_test.dir/bio_alphabet_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio_alphabet_test.cpp.o.d"
+  "CMakeFiles/bio_test.dir/bio_codon_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio_codon_test.cpp.o.d"
+  "CMakeFiles/bio_test.dir/bio_fasta_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio_fasta_test.cpp.o.d"
+  "CMakeFiles/bio_test.dir/bio_fastq_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio_fastq_test.cpp.o.d"
+  "CMakeFiles/bio_test.dir/bio_seq_stats_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio_seq_stats_test.cpp.o.d"
+  "CMakeFiles/bio_test.dir/bio_transcriptome_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio_transcriptome_test.cpp.o.d"
+  "bio_test"
+  "bio_test.pdb"
+  "bio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common_fsutil_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_fsutil_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_log_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_log_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_rng_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_rng_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_strings_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_strings_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_summary_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_summary_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_table_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_table_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common_thread_pool_test.cpp.o"
+  "CMakeFiles/common_test.dir/common_thread_pool_test.cpp.o.d"
+  "common_test"
+  "common_test.pdb"
+  "common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/htc_classad_functions_test.cpp" "tests/CMakeFiles/htc_test.dir/htc_classad_functions_test.cpp.o" "gcc" "tests/CMakeFiles/htc_test.dir/htc_classad_functions_test.cpp.o.d"
+  "/root/repo/tests/htc_classad_test.cpp" "tests/CMakeFiles/htc_test.dir/htc_classad_test.cpp.o" "gcc" "tests/CMakeFiles/htc_test.dir/htc_classad_test.cpp.o.d"
+  "/root/repo/tests/htc_local_executor_test.cpp" "tests/CMakeFiles/htc_test.dir/htc_local_executor_test.cpp.o" "gcc" "tests/CMakeFiles/htc_test.dir/htc_local_executor_test.cpp.o.d"
+  "/root/repo/tests/htc_matchmaker_test.cpp" "tests/CMakeFiles/htc_test.dir/htc_matchmaker_test.cpp.o" "gcc" "tests/CMakeFiles/htc_test.dir/htc_matchmaker_test.cpp.o.d"
+  "/root/repo/tests/htc_submit_test.cpp" "tests/CMakeFiles/htc_test.dir/htc_submit_test.cpp.o" "gcc" "tests/CMakeFiles/htc_test.dir/htc_submit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/htc/CMakeFiles/pga_htc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htc_test.dir/htc_classad_functions_test.cpp.o"
+  "CMakeFiles/htc_test.dir/htc_classad_functions_test.cpp.o.d"
+  "CMakeFiles/htc_test.dir/htc_classad_test.cpp.o"
+  "CMakeFiles/htc_test.dir/htc_classad_test.cpp.o.d"
+  "CMakeFiles/htc_test.dir/htc_local_executor_test.cpp.o"
+  "CMakeFiles/htc_test.dir/htc_local_executor_test.cpp.o.d"
+  "CMakeFiles/htc_test.dir/htc_matchmaker_test.cpp.o"
+  "CMakeFiles/htc_test.dir/htc_matchmaker_test.cpp.o.d"
+  "CMakeFiles/htc_test.dir/htc_submit_test.cpp.o"
+  "CMakeFiles/htc_test.dir/htc_submit_test.cpp.o.d"
+  "htc_test"
+  "htc_test.pdb"
+  "htc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

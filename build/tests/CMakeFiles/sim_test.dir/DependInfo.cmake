@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_distributions_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_distributions_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_distributions_test.cpp.o.d"
+  "/root/repo/tests/sim_event_queue_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim_platforms_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_platforms_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_platforms_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pga_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wms_analyzer_test.cpp" "tests/CMakeFiles/wms_test.dir/wms_analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/wms_test.dir/wms_analyzer_test.cpp.o.d"
+  "/root/repo/tests/wms_catalog_io_test.cpp" "tests/CMakeFiles/wms_test.dir/wms_catalog_io_test.cpp.o" "gcc" "tests/CMakeFiles/wms_test.dir/wms_catalog_io_test.cpp.o.d"
+  "/root/repo/tests/wms_catalog_test.cpp" "tests/CMakeFiles/wms_test.dir/wms_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/wms_test.dir/wms_catalog_test.cpp.o.d"
+  "/root/repo/tests/wms_dax_test.cpp" "tests/CMakeFiles/wms_test.dir/wms_dax_test.cpp.o" "gcc" "tests/CMakeFiles/wms_test.dir/wms_dax_test.cpp.o.d"
+  "/root/repo/tests/wms_dax_xml_test.cpp" "tests/CMakeFiles/wms_test.dir/wms_dax_xml_test.cpp.o" "gcc" "tests/CMakeFiles/wms_test.dir/wms_dax_xml_test.cpp.o.d"
+  "/root/repo/tests/wms_dot_test.cpp" "tests/CMakeFiles/wms_test.dir/wms_dot_test.cpp.o" "gcc" "tests/CMakeFiles/wms_test.dir/wms_dot_test.cpp.o.d"
+  "/root/repo/tests/wms_engine_test.cpp" "tests/CMakeFiles/wms_test.dir/wms_engine_test.cpp.o" "gcc" "tests/CMakeFiles/wms_test.dir/wms_engine_test.cpp.o.d"
+  "/root/repo/tests/wms_exec_service_test.cpp" "tests/CMakeFiles/wms_test.dir/wms_exec_service_test.cpp.o" "gcc" "tests/CMakeFiles/wms_test.dir/wms_exec_service_test.cpp.o.d"
+  "/root/repo/tests/wms_kickstart_test.cpp" "tests/CMakeFiles/wms_test.dir/wms_kickstart_test.cpp.o" "gcc" "tests/CMakeFiles/wms_test.dir/wms_kickstart_test.cpp.o.d"
+  "/root/repo/tests/wms_planner_test.cpp" "tests/CMakeFiles/wms_test.dir/wms_planner_test.cpp.o" "gcc" "tests/CMakeFiles/wms_test.dir/wms_planner_test.cpp.o.d"
+  "/root/repo/tests/wms_status_test.cpp" "tests/CMakeFiles/wms_test.dir/wms_status_test.cpp.o" "gcc" "tests/CMakeFiles/wms_test.dir/wms_status_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wms/CMakeFiles/pga_wms.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pga_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/htc/CMakeFiles/pga_htc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pga_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/b2c3/CMakeFiles/pga_b2c3.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/pga_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pga_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/pga_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

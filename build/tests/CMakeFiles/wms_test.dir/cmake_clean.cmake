@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wms_test.dir/wms_analyzer_test.cpp.o"
+  "CMakeFiles/wms_test.dir/wms_analyzer_test.cpp.o.d"
+  "CMakeFiles/wms_test.dir/wms_catalog_io_test.cpp.o"
+  "CMakeFiles/wms_test.dir/wms_catalog_io_test.cpp.o.d"
+  "CMakeFiles/wms_test.dir/wms_catalog_test.cpp.o"
+  "CMakeFiles/wms_test.dir/wms_catalog_test.cpp.o.d"
+  "CMakeFiles/wms_test.dir/wms_dax_test.cpp.o"
+  "CMakeFiles/wms_test.dir/wms_dax_test.cpp.o.d"
+  "CMakeFiles/wms_test.dir/wms_dax_xml_test.cpp.o"
+  "CMakeFiles/wms_test.dir/wms_dax_xml_test.cpp.o.d"
+  "CMakeFiles/wms_test.dir/wms_dot_test.cpp.o"
+  "CMakeFiles/wms_test.dir/wms_dot_test.cpp.o.d"
+  "CMakeFiles/wms_test.dir/wms_engine_test.cpp.o"
+  "CMakeFiles/wms_test.dir/wms_engine_test.cpp.o.d"
+  "CMakeFiles/wms_test.dir/wms_exec_service_test.cpp.o"
+  "CMakeFiles/wms_test.dir/wms_exec_service_test.cpp.o.d"
+  "CMakeFiles/wms_test.dir/wms_kickstart_test.cpp.o"
+  "CMakeFiles/wms_test.dir/wms_kickstart_test.cpp.o.d"
+  "CMakeFiles/wms_test.dir/wms_planner_test.cpp.o"
+  "CMakeFiles/wms_test.dir/wms_planner_test.cpp.o.d"
+  "CMakeFiles/wms_test.dir/wms_status_test.cpp.o"
+  "CMakeFiles/wms_test.dir/wms_status_test.cpp.o.d"
+  "wms_test"
+  "wms_test.pdb"
+  "wms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
