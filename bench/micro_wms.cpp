@@ -7,6 +7,7 @@
 #include "wms/dax_xml.hpp"
 #include "wms/engine.hpp"
 #include "wms/exec_service.hpp"
+#include "wms/fault_injection.hpp"
 
 namespace {
 
@@ -63,6 +64,38 @@ void BM_EngineSimulatedRun(benchmark::State& state) {
   state.counters["jobs"] = static_cast<double>(concrete.jobs().size());
 }
 BENCHMARK(BM_EngineSimulatedRun)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_EngineChaosRun(benchmark::State& state) {
+  // Scheduling throughput with the hardening features exercised: chaos
+  // fault injection plus attempt timeouts, retry backoff and node
+  // blacklisting. Measures the engine's bookkeeping overhead, not the
+  // simulated time.
+  const core::WorkloadModel workload;
+  const core::B2c3WorkflowSpec spec{.n = static_cast<std::size_t>(state.range(0))};
+  const auto dax = core::build_blast2cap3_dax(spec, &workload);
+  const auto concrete = core::plan_for_site(dax, "sandhills", spec);
+  wms::ChaosConfig chaos;
+  chaos.fail_probability = 0.1;
+  chaos.hang_probability = 0.05;
+  chaos.delay_probability = 0.1;
+  chaos.seed = 99;
+  wms::EngineOptions options;
+  options.retries = 5;
+  options.attempt_timeout_seconds = 50'000;
+  options.backoff_base_seconds = 5;
+  options.backoff_max_seconds = 60;
+  options.node_blacklist_threshold = 3;
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    sim::CampusClusterPlatform platform(queue, {});
+    wms::SimService service(queue, platform);
+    wms::FaultyService faulty(service, wms::FaultPlan().chaos(chaos));
+    wms::DagmanEngine engine(options);
+    benchmark::DoNotOptimize(engine.run(concrete, faulty));
+  }
+  state.counters["jobs"] = static_cast<double>(concrete.jobs().size());
+}
+BENCHMARK(BM_EngineChaosRun)->Arg(10)->Arg(100);
 
 }  // namespace
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 CI: configure, build and run the test suite twice —
+#   1. default (Release-ish) build in build/
+#   2. ThreadSanitizer build (-DPGA_SANITIZE=thread) in build-tsan/,
+#      catching data races in LocalService / htc::LocalExecutor and the
+#      chaos suite's concurrent paths.
+# Usage: ./ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs="${1:-$(nproc)}"
+
+run_suite() {
+  local dir="$1"; shift
+  echo "==> configure ${dir} ($*)"
+  cmake -B "${dir}" -S . "$@"
+  echo "==> build ${dir}"
+  cmake --build "${dir}" -j "${jobs}"
+  echo "==> ctest ${dir}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_suite build
+run_suite build-tsan -DPGA_SANITIZE=thread
+
+echo "==> CI OK (default + tsan)"

@@ -15,6 +15,21 @@ CampusClusterPlatform::CampusClusterPlatform(EventQueue& queue,
   }
 }
 
+void CampusClusterPlatform::avoid_node(const std::string& node) {
+  avoided_.insert(node);
+}
+
+std::string CampusClusterPlatform::pick_node() {
+  // 44 physical nodes in round-robin; a blacklisted node is skipped unless
+  // every node is blacklisted (the batch system must place the job somewhere).
+  constexpr std::size_t kNodes = 44;
+  for (std::size_t tried = 0; tried < kNodes; ++tried) {
+    std::string node = "sandhills-node-" + std::to_string(node_counter_++ % kNodes);
+    if (!avoided_.count(node)) return node;
+  }
+  return "sandhills-node-" + std::to_string(node_counter_++ % kNodes);
+}
+
 void CampusClusterPlatform::submit(const SimJob& job, AttemptCallback on_complete) {
   // Batch semantics: the job enters the FIFO immediately; the (small)
   // scheduler dispatch latency is paid when a slot is assigned.
@@ -32,7 +47,7 @@ void CampusClusterPlatform::try_dispatch() {
     const double latency = rng_.lognormal(config_.dispatch_mu, config_.dispatch_sigma);
     const double speed = rng_.uniform(config_.node_speed_min, config_.node_speed_max);
     const double exec = pending.job.cpu_seconds / speed;
-    const std::string node = "sandhills-node-" + std::to_string(node_counter_++ % 44);
+    const std::string node = pick_node();
 
     AttemptResult result;
     result.job_id = pending.job.id;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -39,6 +40,7 @@ class CampusClusterPlatform final : public ExecutionPlatform {
   CampusClusterPlatform(EventQueue& queue, const CampusClusterConfig& config);
 
   void submit(const SimJob& job, AttemptCallback on_complete) override;
+  void avoid_node(const std::string& node) override;
   [[nodiscard]] std::string name() const override { return "sandhills"; }
   [[nodiscard]] std::size_t slots() const override { return config_.allocated_slots; }
 
@@ -54,11 +56,13 @@ class CampusClusterPlatform final : public ExecutionPlatform {
   };
 
   void try_dispatch();
+  std::string pick_node();
 
   EventQueue& queue_;
   CampusClusterConfig config_;
   common::Rng rng_;
   std::deque<Pending> waiting_;
+  std::set<std::string> avoided_;
   std::size_t busy_ = 0;
   std::size_t node_counter_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace pga::sim {
@@ -21,6 +23,16 @@ bool EventQueue::step() {
   now_ = event.time;
   event.action();
   return true;
+}
+
+std::optional<double> EventQueue::next_time() const {
+  if (events_.empty()) return std::nullopt;
+  return events_.top().time;
+}
+
+void EventQueue::advance_to(double time) {
+  if (!events_.empty()) time = std::min(time, events_.top().time);
+  now_ = std::max(now_, time);
 }
 
 std::size_t EventQueue::run(std::size_t max_events) {

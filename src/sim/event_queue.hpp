@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -25,6 +26,15 @@ class EventQueue {
 
   /// Runs the earliest pending event. Returns false when the queue is empty.
   bool step();
+
+  /// Time of the earliest pending event, or nothing when the queue is empty.
+  [[nodiscard]] std::optional<double> next_time() const;
+
+  /// Advances the clock toward `time` without running anything. The clock
+  /// never moves backwards and never passes the earliest pending event, so
+  /// the call is always safe; it lets a service burn idle simulated time
+  /// (e.g. while waiting out an attempt timeout with nothing scheduled).
+  void advance_to(double time);
 
   /// Runs events until the queue drains (or `max_events` is hit, as a
   /// runaway guard). Returns the number of events processed.

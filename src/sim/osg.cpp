@@ -48,6 +48,20 @@ void OsgPlatform::schedule_capacity_change() {
   });
 }
 
+void OsgPlatform::avoid_node(const std::string& node) { avoided_.insert(node); }
+
+std::string OsgPlatform::pick_node() {
+  // The glidein pool cycles through 23 notional sites; honour the
+  // scheduler's blacklist by skipping avoided sites, falling back to the
+  // next site in rotation when every site is blacklisted.
+  constexpr std::size_t kSites = 23;
+  for (std::size_t tried = 0; tried < kSites; ++tried) {
+    std::string node = "osg-site-" + std::to_string(node_counter_++ % kSites);
+    if (!avoided_.count(node)) return node;
+  }
+  return "osg-site-" + std::to_string(node_counter_++ % kSites);
+}
+
 void OsgPlatform::submit(const SimJob& job, AttemptCallback on_complete) {
   if (!capacity_process_started_ && config_.capacity_wobble > 0) {
     capacity_process_started_ = true;
@@ -75,7 +89,7 @@ void OsgPlatform::try_dispatch() {
             : 0.0;
     const double exec_needed = pending.job.cpu_seconds / speed;
     const double time_to_preempt = rng_.exponential(config_.preempt_mean);
-    const std::string node = "osg-site-" + std::to_string(node_counter_++ % 23);
+    const std::string node = pick_node();
 
     AttemptResult result;
     result.job_id = pending.job.id;

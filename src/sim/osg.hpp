@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <set>
 
 #include "common/rng.hpp"
 #include "sim/platform.hpp"
@@ -44,6 +45,7 @@ class OsgPlatform final : public ExecutionPlatform {
   OsgPlatform(EventQueue& queue, const OsgConfig& config);
 
   void submit(const SimJob& job, AttemptCallback on_complete) override;
+  void avoid_node(const std::string& node) override;
   [[nodiscard]] std::string name() const override { return "osg"; }
   [[nodiscard]] std::size_t slots() const override { return config_.base_slots; }
 
@@ -51,6 +53,8 @@ class OsgPlatform final : public ExecutionPlatform {
   [[nodiscard]] std::size_t preemptions() const { return preemptions_; }
   /// Current fluctuating capacity.
   [[nodiscard]] std::size_t current_capacity() const { return capacity_; }
+  /// Nodes the scheduler asked us to avoid.
+  [[nodiscard]] const std::set<std::string>& avoided_nodes() const { return avoided_; }
 
  private:
   struct Pending {
@@ -61,11 +65,13 @@ class OsgPlatform final : public ExecutionPlatform {
 
   void try_dispatch();
   void schedule_capacity_change();
+  std::string pick_node();
 
   EventQueue& queue_;
   OsgConfig config_;
   common::Rng rng_;
   std::deque<Pending> waiting_;
+  std::set<std::string> avoided_;
   std::size_t busy_ = 0;
   std::size_t capacity_;
   std::size_t node_counter_ = 0;

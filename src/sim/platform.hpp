@@ -50,6 +50,12 @@ class ExecutionPlatform {
   /// queue) when the attempt completes or fails.
   virtual void submit(const SimJob& job, AttemptCallback on_complete) = 0;
 
+  /// Advisory blacklist hint from the scheduler: avoid placing future
+  /// attempts on `node` (DAGMan steering retries away from hosts that keep
+  /// failing). Platforms may ignore it, and fall back to blacklisted nodes
+  /// when nothing else is available.
+  virtual void avoid_node(const std::string& node) { (void)node; }
+
   /// Platform label ("sandhills", "osg", ...).
   [[nodiscard]] virtual std::string name() const = 0;
 

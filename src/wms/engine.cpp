@@ -1,11 +1,15 @@
 #include "wms/engine.hpp"
 
+#include <cmath>
 #include <deque>
+#include <limits>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/fsutil.hpp"
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "common/strings.hpp"
 
 namespace pga::wms {
@@ -13,6 +17,24 @@ namespace pga::wms {
 DagmanEngine::DagmanEngine(EngineOptions options) : options_(std::move(options)) {
   if (options_.retries < 0) {
     throw common::InvalidArgument("EngineOptions.retries must be >= 0");
+  }
+  if (options_.attempt_timeout_seconds < 0) {
+    throw common::InvalidArgument("EngineOptions.attempt_timeout_seconds must be >= 0");
+  }
+  if (options_.backoff_base_seconds < 0 || options_.backoff_max_seconds < 0) {
+    throw common::InvalidArgument("EngineOptions backoff seconds must be >= 0");
+  }
+  if (options_.backoff_base_seconds > 0 &&
+      options_.backoff_max_seconds < options_.backoff_base_seconds) {
+    throw common::InvalidArgument(
+        "EngineOptions.backoff_max_seconds must be >= backoff_base_seconds");
+  }
+  if (options_.backoff_jitter < 0 || options_.backoff_jitter >= 1.0) {
+    throw common::InvalidArgument("EngineOptions.backoff_jitter must be in [0, 1)");
+  }
+  if (options_.node_blacklist_threshold < 0) {
+    throw common::InvalidArgument(
+        "EngineOptions.node_blacklist_threshold must be >= 0");
   }
 }
 
@@ -146,12 +168,36 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
     ready = std::move(unique);
   }
 
+  // Hardening state: per-attempt deadlines, retry cool-offs, and the
+  // per-node consecutive-failure ledger feeding the blacklist.
+  constexpr double kEps = 1e-9;
+  const bool timeout_on = options_.attempt_timeout_seconds > 0;
+  struct InFlight {
+    double submitted_at = 0;  ///< service time the attempt was handed over
+    double deadline = 0;      ///< submitted_at + attempt timeout
+  };
+  std::map<std::string, InFlight> in_flight;
+  // Attempts we declared timed out whose real completion may still surface
+  // later (a slow LocalService job finishing after the deadline). Counted
+  // per job so stragglers are dropped instead of double-counted.
+  std::map<std::string, int> stale_attempts;
+  struct Cooling {
+    std::string id;
+    double release_time;
+  };
+  std::vector<Cooling> cooling;
+  std::map<std::string, int> node_fail_streak;
+  std::set<std::string> blacklisted;
+  common::Rng backoff_rng(options_.backoff_seed);
+
   std::map<std::string, int> attempt_count;
   const auto submit = [&](const std::string& id) {
     ++attempt_count[id];
     ++outstanding;
     log_event(id, attempt_count[id] == 1 ? "SUBMIT" : "RETRY");
     publish(id, JobState::kSubmitted);
+    const double at = service.now();
+    in_flight[id] = InFlight{at, at + options_.attempt_timeout_seconds};
     service.submit(workflow.job(id));
   };
 
@@ -169,40 +215,194 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
     ready.erase(best);
     return id;
   };
-  while (!ready.empty() || outstanding > 0) {
+
+  // Cool-off before the next retry of `id` (its attempt_count submissions
+  // so far have all failed). Exponential in the retry index, capped, with
+  // deterministic downward jitter.
+  const auto next_backoff = [&](const std::string& id) -> double {
+    if (options_.backoff_base_seconds <= 0) return 0;
+    const int retry_index = std::max(1, attempt_count[id]);  // 1 => first retry
+    double delay = options_.backoff_base_seconds *
+                   std::pow(2.0, static_cast<double>(retry_index - 1));
+    delay = std::min(delay, options_.backoff_max_seconds);
+    if (options_.backoff_jitter > 0) {
+      delay *= 1.0 - options_.backoff_jitter * backoff_rng.uniform();
+    }
+    return delay;
+  };
+
+  // Moves cooled-off jobs whose release time arrived back onto the ready
+  // queue.
+  const auto release_due = [&] {
+    for (auto it = cooling.begin(); it != cooling.end();) {
+      if (it->release_time <= service.now() + kEps) {
+        ready.push_back(std::move(it->id));
+        it = cooling.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  // One attempt outcome (real or synthesized) flows through here.
+  const auto handle_attempt = [&](TaskAttempt attempt) {
+    --outstanding;
+    ++report.total_attempts;
+    JobRun& run = runs.at(attempt.job_id);
+    // Node ledger: consecutive failures blacklist a node; success clears it.
+    if (options_.node_blacklist_threshold > 0 && !attempt.node.empty()) {
+      if (attempt.success) {
+        node_fail_streak[attempt.node] = 0;
+      } else if (!blacklisted.count(attempt.node) &&
+                 ++node_fail_streak[attempt.node] >=
+                     options_.node_blacklist_threshold) {
+        blacklisted.insert(attempt.node);
+        report.blacklisted_nodes.push_back(attempt.node);
+        service.avoid_node(attempt.node);
+        log_event(attempt.job_id, "BLACKLIST " + attempt.node);
+        common::log_warn() << "node " << attempt.node << " blacklisted after "
+                           << options_.node_blacklist_threshold
+                           << " consecutive failures";
+      }
+    }
+    const std::string id = attempt.job_id;
+    run.attempts.push_back(std::move(attempt));
+    const TaskAttempt& recorded = run.attempts.back();
+    if (recorded.success) {
+      run.succeeded = true;
+      log_event(id, "SUCCESS");
+      publish(id, JobState::kSucceeded);
+      on_success(id);
+    } else if (attempt_count[id] <= options_.retries) {
+      ++report.total_retries;
+      if (status != nullptr) status->count_retry();
+      common::log_debug() << "job " << id << " failed (" << recorded.error
+                          << "), retrying";
+      const double delay = next_backoff(id);
+      if (delay > 0) {
+        run.backoff_seconds += delay;
+        report.total_backoff_seconds += delay;
+        log_event(id, "BACKOFF");
+        cooling.push_back(Cooling{id, service.now() + delay});
+      } else {
+        ready.push_back(id);
+      }
+      publish(id, JobState::kReady);
+    } else {
+      log_event(id, "FAILED");
+      publish(id, JobState::kFailed);
+      common::log_warn() << "job " << id
+                         << " exhausted retries: " << recorded.error;
+      dead.insert(id);
+      // Children of a dead job can never run; DAGMan keeps running the
+      // independent frontier, which this loop does naturally.
+    }
+  };
+
+  // Declares the outstanding attempt of `id` dead by timeout.
+  const auto expire_attempt = [&](const std::string& id, const InFlight& info) {
+    TaskAttempt timed_out;
+    timed_out.job_id = id;
+    timed_out.transformation = runs.at(id).transformation;
+    timed_out.success = false;
+    timed_out.error =
+        "attempt timed out after " +
+        common::format_fixed(options_.attempt_timeout_seconds, 3) + " s";
+    timed_out.submit_time = info.submitted_at;
+    timed_out.end_time = service.now();
+    ++report.timed_out_attempts;
+    ++stale_attempts[id];
+    if (status != nullptr) status->count_timeout();
+    log_event(id, "TIMEOUT");
+    handle_attempt(std::move(timed_out));
+  };
+
+  while (true) {
+    release_due();
     while (!ready.empty() && !throttled()) {
       submit(pop_ready());
     }
-    if (outstanding == 0) break;
-    const auto attempts = service.wait();
-    if (attempts.empty() && outstanding > 0) {
-      throw common::WorkflowError("execution service returned no completions");
+    if (outstanding == 0 && cooling.empty()) break;
+
+    // Wait horizon: the earliest attempt deadline or retry release. With
+    // neither feature active this stays infinite and we use the plain
+    // blocking wait exactly as before.
+    double horizon = std::numeric_limits<double>::infinity();
+    if (timeout_on) {
+      for (const auto& [id, info] : in_flight) {
+        horizon = std::min(horizon, info.deadline);
+      }
     }
-    for (const auto& attempt : attempts) {
-      --outstanding;
-      ++report.total_attempts;
-      JobRun& run = runs.at(attempt.job_id);
-      run.attempts.push_back(attempt);
-      if (attempt.success) {
-        run.succeeded = true;
-        log_event(attempt.job_id, "SUCCESS");
-        publish(attempt.job_id, JobState::kSucceeded);
-        on_success(attempt.job_id);
-      } else if (attempt_count[attempt.job_id] <= options_.retries) {
-        ++report.total_retries;
-        if (status != nullptr) status->count_retry();
-        common::log_debug() << "job " << attempt.job_id << " failed ("
-                            << attempt.error << "), retrying";
-        ready.push_back(attempt.job_id);
-        publish(attempt.job_id, JobState::kReady);
-      } else {
-        log_event(attempt.job_id, "FAILED");
-        publish(attempt.job_id, JobState::kFailed);
-        common::log_warn() << "job " << attempt.job_id
-                           << " exhausted retries: " << attempt.error;
-        dead.insert(attempt.job_id);
-        // Children of a dead job can never run; DAGMan keeps running the
-        // independent frontier, which this loop does naturally.
+    for (const auto& cool : cooling) {
+      horizon = std::min(horizon, cool.release_time);
+    }
+
+    std::vector<TaskAttempt> attempts;
+    if (std::isinf(horizon)) {
+      attempts = service.wait();
+      if (attempts.empty() && outstanding > 0) {
+        throw common::WorkflowError("execution service returned no completions");
+      }
+    } else {
+      attempts = service.wait_for(std::max(0.0, horizon - service.now()));
+    }
+
+    bool progress = false;
+    for (auto& attempt : attempts) {
+      const auto fit = in_flight.find(attempt.job_id);
+      const bool current = fit != in_flight.end() &&
+                           attempt.submit_time + kEps >= fit->second.submitted_at;
+      if (!current) {
+        // A completion for an attempt we already wrote off (timed out), or
+        // one we never submitted: drop it rather than corrupt accounting.
+        auto sit = stale_attempts.find(attempt.job_id);
+        if (sit != stale_attempts.end() && sit->second > 0) --sit->second;
+        common::log_debug() << "dropping stale completion for " << attempt.job_id;
+        continue;
+      }
+      in_flight.erase(fit);
+      handle_attempt(std::move(attempt));
+      progress = true;
+    }
+
+    if (timeout_on) {
+      // Expire every in-flight attempt whose deadline has passed.
+      std::vector<std::pair<std::string, InFlight>> expired;
+      for (const auto& [id, info] : in_flight) {
+        if (info.deadline <= service.now() + kEps) expired.emplace_back(id, info);
+      }
+      for (const auto& [id, info] : expired) {
+        in_flight.erase(id);
+        expire_attempt(id, info);
+        progress = true;
+      }
+    }
+
+    if (!progress && attempts.empty() && !std::isinf(horizon) &&
+        service.now() + kEps < horizon) {
+      // The service could not advance its clock to the horizon (a bare
+      // stub without wait_for support). Force the earliest horizon item
+      // through so the run can never wedge: either release the coolest
+      // retry or expire the next deadline at the current clock.
+      double earliest_release = std::numeric_limits<double>::infinity();
+      for (const auto& cool : cooling) {
+        earliest_release = std::min(earliest_release, cool.release_time);
+      }
+      if (earliest_release <= horizon + kEps && !cooling.empty()) {
+        auto it = cooling.begin();
+        for (auto jt = std::next(it); jt != cooling.end(); ++jt) {
+          if (jt->release_time < it->release_time) it = jt;
+        }
+        ready.push_back(std::move(it->id));
+        cooling.erase(it);
+      } else if (timeout_on && !in_flight.empty()) {
+        auto it = in_flight.begin();
+        for (auto jt = std::next(it); jt != in_flight.end(); ++jt) {
+          if (jt->second.deadline < it->second.deadline) it = jt;
+        }
+        const auto [id, info] = *it;
+        in_flight.erase(it);
+        expire_attempt(id, info);
       }
     }
   }

@@ -32,6 +32,27 @@ struct EngineOptions {
   /// DAGMan-style submit throttle (condor_dagman -maxjobs): at most this
   /// many attempts in flight at once. 0 = unlimited.
   std::size_t max_jobs_in_flight = 0;
+  /// Per-attempt timeout in service seconds (condor periodic_remove /
+  /// DAGMan ABORT-DAG-ON discipline): an attempt still outstanding after
+  /// this long is declared failed ("timed out") and consumes one retry, so
+  /// a hung attempt can never wedge the run. 0 disables.
+  double attempt_timeout_seconds = 0;
+  /// Exponential backoff between retries of the same job: the k-th retry
+  /// waits min(backoff_base_seconds * 2^(k-1), backoff_max_seconds) before
+  /// resubmission. 0 disables (retry immediately).
+  double backoff_base_seconds = 0;
+  double backoff_max_seconds = 300;
+  /// Jitter fraction in [0, 1): each backoff is shaved by up to this
+  /// fraction, drawn from a private deterministic Rng seeded with
+  /// backoff_seed — decorrelates retry storms without losing
+  /// reproducibility.
+  double backoff_jitter = 0;
+  std::uint64_t backoff_seed = 0x5eedULL;
+  /// Blacklist an execution node after this many *consecutive* failed
+  /// attempts reported from it; the service is hinted to avoid it (the
+  /// Pegasus/OSG behaviour of retries landing on different sites). A
+  /// success on a node resets its streak. 0 disables.
+  int node_blacklist_threshold = 0;
 };
 
 /// Everything recorded about one job across its attempts.
@@ -42,6 +63,8 @@ struct JobRun {
   std::vector<TaskAttempt> attempts;
   bool succeeded = false;
   bool skipped_by_rescue = false;
+  /// Total seconds this job spent cooling off between retries.
+  double backoff_seconds = 0;
 
   /// The successful attempt (the last one when succeeded).
   [[nodiscard]] const TaskAttempt* final_attempt() const {
@@ -62,6 +85,10 @@ struct RunReport {
   std::size_t jobs_skipped = 0;   ///< completed in a previous (rescued) run
   std::size_t total_attempts = 0;
   std::size_t total_retries = 0;  ///< attempts beyond each job's first
+  std::size_t timed_out_attempts = 0;  ///< attempts declared dead by timeout
+  double total_backoff_seconds = 0;    ///< summed retry cool-off across jobs
+  /// Nodes blacklisted during the run, in blacklist order.
+  std::vector<std::string> blacklisted_nodes;
   std::vector<JobRun> runs;       ///< per job, in completion order
   std::vector<std::string> jobstate_log;  ///< "<t> <job> <EVENT>" lines
 

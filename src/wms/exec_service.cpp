@@ -1,5 +1,8 @@
 #include "wms/exec_service.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/error.hpp"
 
 namespace pga::wms {
@@ -7,7 +10,7 @@ namespace pga::wms {
 // ---------------------------------------------------------- LocalService
 
 LocalService::LocalService(std::size_t slots, JobRunner runner)
-    : executor_(slots), runner_(std::move(runner)) {
+    : runner_(std::move(runner)), executor_(slots) {
   if (!runner_) throw common::InvalidArgument("LocalService: null runner");
 }
 
@@ -57,6 +60,19 @@ std::vector<TaskAttempt> LocalService::wait() {
   return out;
 }
 
+std::vector<TaskAttempt> LocalService::wait_for(double timeout_seconds) {
+  std::unique_lock lock(mutex_);
+  // Unlike wait(), sleep out the full deadline even with nothing
+  // outstanding: a decorator above us may have swallowed the attempt (a
+  // hung job), and the engine relies on this call consuming wall time.
+  cv_.wait_for(lock, std::chrono::duration<double>(std::max(0.0, timeout_seconds)),
+               [this] { return !completed_.empty(); });
+  std::vector<TaskAttempt> out(std::make_move_iterator(completed_.begin()),
+                               std::make_move_iterator(completed_.end()));
+  completed_.clear();
+  return out;
+}
+
 double LocalService::now() { return clock_.seconds(); }
 
 // ------------------------------------------------------------ SimService
@@ -95,6 +111,25 @@ std::vector<TaskAttempt> SimService::wait() {
       throw common::WorkflowError(
           "simulation deadlock: outstanding jobs but no pending events");
     }
+  }
+  std::vector<TaskAttempt> out(std::make_move_iterator(completed_.begin()),
+                               std::make_move_iterator(completed_.end()));
+  completed_.clear();
+  return out;
+}
+
+std::vector<TaskAttempt> SimService::wait_for(double timeout_seconds) {
+  const double deadline = queue_.now() + std::max(0.0, timeout_seconds);
+  while (completed_.empty()) {
+    const auto next = queue_.next_time();
+    if (!next.has_value() || *next > deadline) break;
+    queue_.step();
+  }
+  if (completed_.empty()) {
+    // Nothing landed by the deadline: burn the remaining simulated time so
+    // the engine's clock reaches it (even when nothing is scheduled at all,
+    // e.g. every outstanding attempt was swallowed by a fault injector).
+    queue_.advance_to(deadline);
   }
   std::vector<TaskAttempt> out(std::make_move_iterator(completed_.begin()),
                                std::make_move_iterator(completed_.end()));

@@ -47,6 +47,21 @@ class ExecutionService {
   /// Returns empty only when no submitted attempt is outstanding.
   virtual std::vector<TaskAttempt> wait() = 0;
 
+  /// Like wait(), but gives up after `timeout_seconds` of this service's
+  /// time, returning whatever completed (possibly nothing). Services that
+  /// control their own clock (the simulator) advance it up to the deadline
+  /// even with nothing outstanding, so the engine can wait out attempt
+  /// timeouts and retry backoffs. The default falls back to wait(), i.e.
+  /// the deadline is advisory.
+  virtual std::vector<TaskAttempt> wait_for(double timeout_seconds) {
+    (void)timeout_seconds;
+    return wait();
+  }
+
+  /// Advisory hint: the scheduler blacklisted `node`; place future attempts
+  /// elsewhere when possible. Default ignores it.
+  virtual void avoid_node(const std::string& node) { (void)node; }
+
   /// Current time in this service's time base (seconds).
   [[nodiscard]] virtual double now() = 0;
 
@@ -68,11 +83,11 @@ class LocalService final : public ExecutionService {
 
   void submit(const ConcreteJob& job) override;
   std::vector<TaskAttempt> wait() override;
+  std::vector<TaskAttempt> wait_for(double timeout_seconds) override;
   double now() override;
   [[nodiscard]] std::string label() const override { return "local"; }
 
  private:
-  htc::LocalExecutor executor_;
   JobRunner runner_;
   common::Stopwatch clock_;
 
@@ -80,6 +95,11 @@ class LocalService final : public ExecutionService {
   std::condition_variable cv_;
   std::deque<TaskAttempt> completed_;
   std::size_t outstanding_ = 0;
+
+  // Declared last on purpose: the executor's destructor joins its worker
+  // threads, and workers touch mutex_/cv_ in the completion callback, so
+  // the executor must be destroyed before (i.e. declared after) them.
+  htc::LocalExecutor executor_;
 };
 
 /// Simulated execution on a platform model; time is the event queue's.
@@ -90,6 +110,8 @@ class SimService final : public ExecutionService {
 
   void submit(const ConcreteJob& job) override;
   std::vector<TaskAttempt> wait() override;
+  std::vector<TaskAttempt> wait_for(double timeout_seconds) override;
+  void avoid_node(const std::string& node) override { platform_.avoid_node(node); }
   double now() override;
   [[nodiscard]] std::string label() const override { return platform_.name(); }
 

@@ -13,6 +13,9 @@ WorkflowStatistics WorkflowStatistics::from_run(const RunReport& report) {
   stats.wall_seconds_ = report.wall_seconds();
   stats.retries_ = report.total_retries;
   stats.failed_jobs_ = report.jobs_failed;
+  stats.timed_out_attempts_ = report.timed_out_attempts;
+  stats.total_backoff_seconds_ = report.total_backoff_seconds;
+  stats.blacklisted_nodes_ = report.blacklisted_nodes.size();
 
   for (const JobRun& run : report.runs) {
     if (run.skipped_by_rescue) continue;
@@ -57,6 +60,13 @@ std::string WorkflowStatistics::render(const std::string& title) const {
      << "\n";
   os << "Jobs / Attempts / Retries  : " << jobs_ << " / " << attempts_ << " / "
      << retries_ << "\n";
+  if (timed_out_attempts_ > 0 || total_backoff_seconds_ > 0 ||
+      blacklisted_nodes_ > 0) {
+    os << "Timed-out Attempts         : " << timed_out_attempts_ << "\n";
+    os << "Cumulative Backoff         : "
+       << common::format_duration(total_backoff_seconds_) << "\n";
+    os << "Blacklisted Nodes          : " << blacklisted_nodes_ << "\n";
+  }
   os << "Status                     : " << (success_ ? "success" : "FAILED (")
      << (success_ ? "" : std::to_string(failed_jobs_) + " dead jobs)") << "\n";
 

@@ -43,6 +43,12 @@ class WorkflowStatistics {
   [[nodiscard]] std::size_t attempts() const { return attempts_; }
   [[nodiscard]] std::size_t retries() const { return retries_; }
   [[nodiscard]] std::size_t failed_jobs() const { return failed_jobs_; }
+  /// Attempts the engine declared dead via its per-attempt timeout.
+  [[nodiscard]] std::size_t timed_out_attempts() const { return timed_out_attempts_; }
+  /// Retry cool-off the engine inserted across all jobs.
+  [[nodiscard]] double total_backoff_seconds() const { return total_backoff_seconds_; }
+  /// Nodes the engine blacklisted during the run.
+  [[nodiscard]] std::size_t blacklisted_nodes() const { return blacklisted_nodes_; }
   [[nodiscard]] bool success() const { return success_; }
 
   [[nodiscard]] const std::map<std::string, TransformationStats>&
@@ -64,6 +70,9 @@ class WorkflowStatistics {
   std::size_t attempts_ = 0;
   std::size_t retries_ = 0;
   std::size_t failed_jobs_ = 0;
+  std::size_t timed_out_attempts_ = 0;
+  double total_backoff_seconds_ = 0;
+  std::size_t blacklisted_nodes_ = 0;
   std::map<std::string, TransformationStats> per_transformation_;
 };
 

@@ -30,6 +30,7 @@ std::string StatusBoard::Snapshot::render() const {
      << " DONE:" << succeeded + rescued << " FAIL:" << failed << " ("
      << common::format_fixed(percent_done(), 1) << "% of " << total << " jobs";
   if (retries > 0) os << ", " << retries << " retries";
+  if (timeouts > 0) os << ", " << timeouts << " timeouts";
   os << ")";
   return os.str();
 }
@@ -39,6 +40,7 @@ void StatusBoard::begin(const std::string& workflow, std::size_t total_jobs) {
   workflow_ = workflow;
   total_ = total_jobs;
   retries_ = 0;
+  timeouts_ = 0;
   states_.clear();
 }
 
@@ -52,11 +54,17 @@ void StatusBoard::count_retry() {
   ++retries_;
 }
 
+void StatusBoard::count_timeout() {
+  const std::scoped_lock lock(mutex_);
+  ++timeouts_;
+}
+
 StatusBoard::Snapshot StatusBoard::snapshot() const {
   const std::scoped_lock lock(mutex_);
   Snapshot snap;
   snap.total = total_;
   snap.retries = retries_;
+  snap.timeouts = timeouts_;
   std::size_t tracked = 0;
   for (const auto& [job, state] : states_) {
     ++tracked;

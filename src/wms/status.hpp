@@ -39,6 +39,7 @@ class StatusBoard {
     std::size_t failed = 0;
     std::size_t rescued = 0;
     std::size_t retries = 0;
+    std::size_t timeouts = 0;  ///< attempts the engine declared timed out
 
     /// Finished fraction in [0, 100] (succeeded + rescued + failed).
     [[nodiscard]] double percent_done() const;
@@ -54,6 +55,8 @@ class StatusBoard {
   void set_state(const std::string& job, JobState state);
   /// Counts one retry (job goes back to kReady separately).
   void count_retry();
+  /// Counts one attempt declared dead by the engine's attempt timeout.
+  void count_timeout();
 
   /// Point-in-time copy; safe to call from any thread at any moment.
   [[nodiscard]] Snapshot snapshot() const;
@@ -67,6 +70,7 @@ class StatusBoard {
   std::string workflow_;
   std::size_t total_ = 0;
   std::size_t retries_ = 0;
+  std::size_t timeouts_ = 0;
   std::map<std::string, JobState> states_;
 };
 

@@ -1,0 +1,275 @@
+// Seeded chaos suite: randomized DAGs run under seeded-random fault plans
+// on the simulated platforms, with the engine's hardening (attempt
+// timeouts, retry backoff, node blacklisting) switched on. Every invariant
+// asserted here must hold for *any* seed; the suite is fully deterministic
+// — same seed, same run, byte-identical jobstate logs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/fsutil.hpp"
+#include "common/rng.hpp"
+#include "sim/campus_cluster.hpp"
+#include "sim/osg.hpp"
+#include "wms/engine.hpp"
+#include "wms/fault_injection.hpp"
+#include "wms/statistics.hpp"
+
+namespace pga::wms {
+namespace {
+
+/// Random DAG in the style of tests/property_test.cpp: forward edges only.
+ConcreteWorkflow random_dag(std::uint64_t seed, int n = 25) {
+  common::Rng rng(seed);
+  ConcreteWorkflow wf("chaos-" + std::to_string(seed), "sim");
+  for (int i = 0; i < n; ++i) {
+    ConcreteJob job;
+    job.id = "j" + std::to_string(i);
+    job.transformation = i % 3 == 0 ? "split" : "run_cap3";
+    job.cpu_seconds_hint = rng.uniform(50, 500);
+    wf.add_job(std::move(job));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.chance(0.12)) {
+        wf.add_dependency("j" + std::to_string(i), "j" + std::to_string(j));
+      }
+    }
+  }
+  return wf;
+}
+
+ChaosConfig chaos_for(std::uint64_t seed) {
+  ChaosConfig chaos;
+  chaos.fail_probability = 0.15;
+  chaos.hang_probability = 0.10;
+  chaos.delay_probability = 0.10;
+  chaos.corrupt_probability = 0.05;
+  chaos.max_delay_seconds = 400;
+  chaos.seed = seed;
+  return chaos;
+}
+
+EngineOptions hardened_options() {
+  EngineOptions options;
+  options.retries = 6;
+  // Far above any genuine attempt's queue-wait + exec + injected delay on
+  // the campus backend, so only injected hangs ever trip it.
+  options.attempt_timeout_seconds = 20'000;
+  options.backoff_base_seconds = 5;
+  options.backoff_max_seconds = 60;
+  options.backoff_jitter = 0.25;
+  options.node_blacklist_threshold = 3;
+  return options;
+}
+
+struct ChaosRun {
+  RunReport report;
+  std::size_t injected_hangs = 0;
+};
+
+/// One full chaos run: random DAG + chaos plan over the simulated campus
+/// cluster (deterministic backend; the chaos layer supplies the failures).
+ChaosRun run_chaos(std::uint64_t seed, EngineOptions options = hardened_options()) {
+  sim::EventQueue queue;
+  sim::CampusClusterConfig config;
+  config.allocated_slots = 4;
+  config.seed = seed;
+  sim::CampusClusterPlatform platform(queue, config);
+  SimService sim_service(queue, platform);
+  FaultyService faulty(sim_service, FaultPlan().chaos(chaos_for(seed)));
+  DagmanEngine engine(options);
+  ChaosRun out;
+  out.report = engine.run(random_dag(seed), faulty);
+  out.injected_hangs = faulty.injected_hangs();
+  return out;
+}
+
+class ChaosSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSeed,
+                         ::testing::Values(3, 17, 42, 271, 1009, 65537));
+
+TEST_P(ChaosSeed, NoJobStartsBeforeItsParentsSucceed) {
+  const auto chaos = run_chaos(GetParam());
+  const auto wf = random_dag(GetParam());
+  // Replay the jobstate log: SUBMIT of a job must come after SUCCESS (or
+  // RESCUED) of every parent.
+  std::set<std::string> finished;
+  for (const auto& line : chaos.report.jobstate_log) {
+    std::istringstream is(line);
+    std::string time, job, event;
+    is >> time >> job >> event;
+    if (event == "SUCCESS" || event == "RESCUED") finished.insert(job);
+    if (event == "SUBMIT") {
+      for (const auto& parent : wf.parents(job)) {
+        EXPECT_TRUE(finished.count(parent))
+            << job << " submitted before parent " << parent << " finished";
+      }
+    }
+  }
+}
+
+TEST_P(ChaosSeed, AttemptsNeverExceedRetryBudget) {
+  const auto chaos = run_chaos(GetParam());
+  const auto options = hardened_options();
+  for (const auto& run : chaos.report.runs) {
+    EXPECT_LE(run.attempts.size(),
+              static_cast<std::size_t>(options.retries) + 1)
+        << run.id;
+  }
+}
+
+TEST_P(ChaosSeed, AccountingIsSelfConsistent) {
+  const auto chaos = run_chaos(GetParam());
+  const RunReport& report = chaos.report;
+
+  std::size_t attempts = 0;
+  std::size_t launched = 0;
+  std::size_t succeeded = 0;
+  std::size_t dead = 0;
+  double backoff = 0;
+  for (const auto& run : report.runs) {
+    attempts += run.attempts.size();
+    backoff += run.backoff_seconds;
+    if (!run.attempts.empty()) ++launched;
+    if (run.succeeded && !run.skipped_by_rescue) ++succeeded;
+    if (!run.succeeded && !run.attempts.empty()) ++dead;
+  }
+  EXPECT_EQ(report.total_attempts, attempts);
+  EXPECT_EQ(report.jobs_succeeded, succeeded);
+  EXPECT_EQ(report.jobs_failed, dead);
+  // Every attempt after a job's first was scheduled as a retry.
+  EXPECT_EQ(report.total_retries, attempts - launched);
+  EXPECT_DOUBLE_EQ(report.total_backoff_seconds, backoff);
+  EXPECT_EQ(report.success,
+            report.jobs_succeeded + report.jobs_skipped == report.jobs_total);
+
+  // Timed-out attempts both appear in the log and never exceed the total.
+  std::size_t timeout_lines = 0;
+  for (const auto& line : report.jobstate_log) {
+    if (line.find(" TIMEOUT") != std::string::npos) ++timeout_lines;
+  }
+  EXPECT_EQ(report.timed_out_attempts, timeout_lines);
+  EXPECT_LE(report.timed_out_attempts, report.total_attempts);
+  // Hangs can only be cleared by timeouts; with the timeout enabled the run
+  // always terminates, and every injected hang was written off.
+  EXPECT_EQ(report.timed_out_attempts, chaos.injected_hangs);
+
+  // Blacklisted nodes are unique.
+  std::set<std::string> unique(report.blacklisted_nodes.begin(),
+                               report.blacklisted_nodes.end());
+  EXPECT_EQ(unique.size(), report.blacklisted_nodes.size());
+
+  // The statistics layer agrees with the report.
+  const auto stats = WorkflowStatistics::from_run(report);
+  EXPECT_EQ(stats.timed_out_attempts(), report.timed_out_attempts);
+  EXPECT_DOUBLE_EQ(stats.total_backoff_seconds(), report.total_backoff_seconds);
+  EXPECT_EQ(stats.blacklisted_nodes(), report.blacklisted_nodes.size());
+  EXPECT_EQ(stats.attempts(), report.total_attempts);
+}
+
+TEST_P(ChaosSeed, SameSeedProducesByteIdenticalJobstateLogs) {
+  const auto first = run_chaos(GetParam());
+  const auto second = run_chaos(GetParam());
+  ASSERT_EQ(first.report.jobstate_log.size(), second.report.jobstate_log.size());
+  for (std::size_t i = 0; i < first.report.jobstate_log.size(); ++i) {
+    EXPECT_EQ(first.report.jobstate_log[i], second.report.jobstate_log[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(first.report.wall_seconds(), second.report.wall_seconds());
+  EXPECT_EQ(first.report.blacklisted_nodes, second.report.blacklisted_nodes);
+  EXPECT_DOUBLE_EQ(first.report.total_backoff_seconds,
+                   second.report.total_backoff_seconds);
+}
+
+TEST_P(ChaosSeed, RescueNeverRerunsADoneJob) {
+  const std::uint64_t seed = GetParam();
+  common::ScratchDir dir("chaos-rescue");
+  const auto rescue = dir.file("rescue.dag");
+
+  // First run: chaos plus one unconditionally dead job, so the run fails
+  // and writes a rescue file.
+  auto options = hardened_options();
+  options.rescue_path = rescue;
+  std::set<std::string> done_first;
+  {
+    sim::EventQueue queue;
+    sim::CampusClusterConfig config;
+    config.allocated_slots = 4;
+    config.seed = seed;
+    sim::CampusClusterPlatform platform(queue, config);
+    SimService sim_service(queue, platform);
+    FaultyService faulty(sim_service, FaultPlan()
+                                          .always_fail("j12", "poisoned")
+                                          .chaos(chaos_for(seed)));
+    DagmanEngine engine(options);
+    const auto report = engine.run(random_dag(seed), faulty);
+    EXPECT_FALSE(report.success);
+    ASSERT_TRUE(std::filesystem::exists(rescue));
+    for (const auto& run : report.runs) {
+      if (run.succeeded) done_first.insert(run.id);
+    }
+  }
+  EXPECT_EQ(DagmanEngine::read_rescue_file(rescue), done_first);
+
+  // Rescue run without the poison: completes, and no DONE job is re-run.
+  {
+    sim::EventQueue queue;
+    sim::CampusClusterConfig config;
+    config.allocated_slots = 4;
+    config.seed = seed;
+    sim::CampusClusterPlatform platform(queue, config);
+    SimService sim_service(queue, platform);
+    FaultyService faulty(sim_service, FaultPlan().chaos(chaos_for(seed + 1)));
+    DagmanEngine engine(options);
+    const auto report =
+        engine.run_rescue(random_dag(seed), sim_service, rescue);
+    EXPECT_TRUE(report.success);
+    EXPECT_EQ(report.jobs_skipped, done_first.size());
+    for (const auto& run : report.runs) {
+      if (done_first.count(run.id)) {
+        EXPECT_TRUE(run.skipped_by_rescue) << run.id;
+        EXPECT_TRUE(run.attempts.empty()) << run.id << " was re-run";
+      }
+    }
+  }
+}
+
+TEST_P(ChaosSeed, SurvivesTheOsgBackendToo) {
+  // Chaos stacked on the already-failure-prone OSG model: preemption,
+  // install overheads, fluctuating capacity, plus injected faults — the
+  // worst day the paper's §VI describes. The hardened engine still
+  // terminates with consistent accounting.
+  const std::uint64_t seed = GetParam();
+  sim::EventQueue queue;
+  sim::OsgConfig config;
+  config.seed = seed;
+  config.base_slots = 8;
+  config.preempt_mean = 6'000;
+  sim::OsgPlatform platform(queue, config);
+  SimService sim_service(queue, platform);
+  auto chaos = chaos_for(seed);
+  chaos.hang_probability = 0.05;
+  FaultyService faulty(sim_service, FaultPlan().chaos(chaos));
+  auto options = hardened_options();
+  options.retries = 10;
+  options.attempt_timeout_seconds = 50'000;  // OSG waits are heavy-tailed
+  DagmanEngine engine(options);
+  const auto report = engine.run(random_dag(seed, 20), faulty);
+  // Terminates (this line being reached is the headline assertion) with
+  // coherent accounting whether or not every job survived its budget.
+  std::size_t attempts = 0, launched = 0;
+  for (const auto& run : report.runs) {
+    attempts += run.attempts.size();
+    if (!run.attempts.empty()) ++launched;
+  }
+  EXPECT_EQ(report.total_attempts, attempts);
+  EXPECT_EQ(report.total_retries, attempts - launched);
+  if (!report.success) EXPECT_GT(report.jobs_failed, 0u);
+}
+
+}  // namespace
+}  // namespace pga::wms

@@ -278,6 +278,253 @@ TEST(Engine, ThrottleLimitsInFlightJobs) {
   EXPECT_EQ(unthrottled.peak_, 40u);
 }
 
+/// Stub with a controllable clock for the hardening features: honours
+/// wait_for by advancing time, can swallow attempts (hang), fail jobs a
+/// set number of times, pin attempts to a node, and records avoid_node
+/// hints.
+class TimedStubService final : public ExecutionService {
+ public:
+  std::map<std::string, int> failures_before_success;
+  std::set<std::string> hang;            ///< jobs whose attempts never finish
+  std::string node = "node-1";           ///< node every attempt reports
+  std::vector<std::string> avoided;      ///< avoid_node calls, in order
+
+  void submit(const ConcreteJob& job) override {
+    if (hang.count(job.id)) {
+      ++swallowed_;
+      return;  // the attempt vanishes; only a timeout can clear it
+    }
+    pending_.push_back({job.id, time_});
+  }
+
+  std::vector<TaskAttempt> wait() override { return drain(); }
+
+  std::vector<TaskAttempt> wait_for(double timeout_seconds) override {
+    if (pending_.empty()) {
+      // Nothing will ever complete: consume the engine's horizon so cooled
+      // retries release and hung attempts expire.
+      time_ += timeout_seconds;
+      return {};
+    }
+    return drain();
+  }
+
+  void avoid_node(const std::string& n) override { avoided.push_back(n); }
+  double now() override { return time_; }
+  [[nodiscard]] std::string label() const override { return "timed-stub"; }
+
+ private:
+  struct Pending {
+    std::string id;
+    double submitted_at;
+  };
+
+  std::vector<TaskAttempt> drain() {
+    time_ += 10;
+    std::vector<TaskAttempt> out;
+    for (const auto& p : pending_) {
+      TaskAttempt attempt;
+      attempt.job_id = p.id;
+      attempt.transformation = "tf";
+      attempt.node = node;
+      attempt.submit_time = p.submitted_at;
+      attempt.wait_seconds = 2;
+      attempt.exec_seconds = 8;
+      attempt.end_time = time_;
+      auto it = failures_before_success.find(p.id);
+      if (it != failures_before_success.end() && it->second > 0) {
+        --it->second;
+        attempt.success = false;
+        attempt.error = "injected failure";
+      } else {
+        attempt.success = true;
+      }
+      out.push_back(std::move(attempt));
+    }
+    pending_.clear();
+    return out;
+  }
+
+  std::vector<Pending> pending_;
+  std::size_t swallowed_ = 0;
+  double time_ = 0;
+};
+
+TEST(Engine, TimeoutConvertsHungAttemptIntoFailedAttempt) {
+  TimedStubService service;
+  service.hang = {"b"};
+  DagmanEngine engine(EngineOptions{.retries = 0,
+                                    .rescue_path = {},
+                                    .attempt_timeout_seconds = 30});
+  // Without the timeout this would wedge forever; with it, the run
+  // completes with b's attempt recorded as timed out.
+  const auto report = engine.run(diamond(), service);
+  EXPECT_FALSE(report.success);
+  EXPECT_EQ(report.timed_out_attempts, 1u);
+  EXPECT_EQ(report.jobs_failed, 1u);
+  for (const auto& run : report.runs) {
+    if (run.id != "b") continue;
+    ASSERT_EQ(run.attempts.size(), 1u);
+    EXPECT_FALSE(run.attempts[0].success);
+    EXPECT_NE(run.attempts[0].error.find("timed out"), std::string::npos);
+    EXPECT_GE(run.attempts[0].end_time,
+              run.attempts[0].submit_time + 30 - 1e-6);
+  }
+  bool logged = false;
+  for (const auto& line : report.jobstate_log) {
+    if (line.find("b TIMEOUT") != std::string::npos) logged = true;
+  }
+  EXPECT_TRUE(logged);
+}
+
+TEST(Engine, HungAttemptIsRetriedAfterTimeoutUntilBudgetExhausted) {
+  TimedStubService service;
+  service.hang = {"b"};
+  DagmanEngine engine(EngineOptions{.retries = 2,
+                                    .rescue_path = {},
+                                    .attempt_timeout_seconds = 30});
+  // Every attempt of b hangs; each one is written off by the timeout and
+  // retried until the budget is spent. The run terminates regardless.
+  const auto report = engine.run(diamond(), service);
+  EXPECT_FALSE(report.success);
+  EXPECT_EQ(report.timed_out_attempts, 3u);  // initial + 2 retries
+  for (const auto& run : report.runs) {
+    if (run.id == "b") EXPECT_EQ(run.attempts.size(), 3u);
+  }
+}
+
+TEST(Engine, BackoffIsExponentialAndCapped) {
+  TimedStubService service;
+  service.failures_before_success["a"] = 3;
+  DagmanEngine engine(EngineOptions{.retries = 3,
+                                    .rescue_path = {},
+                                    .backoff_base_seconds = 10,
+                                    .backoff_max_seconds = 15,
+                                    .backoff_jitter = 0});
+  const auto report = engine.run(diamond(), service);
+  EXPECT_TRUE(report.success);
+  // Retries 1..3 cool off min(10 * 2^(k-1), 15): 10 + 15 + 15.
+  EXPECT_DOUBLE_EQ(report.total_backoff_seconds, 40.0);
+  for (const auto& run : report.runs) {
+    if (run.id == "a") EXPECT_DOUBLE_EQ(run.backoff_seconds, 40.0);
+    if (run.id == "b") EXPECT_DOUBLE_EQ(run.backoff_seconds, 0.0);
+  }
+  std::size_t backoff_lines = 0;
+  for (const auto& line : report.jobstate_log) {
+    if (line.find("BACKOFF") != std::string::npos) ++backoff_lines;
+  }
+  EXPECT_EQ(backoff_lines, 3u);
+  // The service clock actually waited the cool-offs out.
+  EXPECT_GE(report.wall_seconds(), 40.0);
+}
+
+TEST(Engine, BackoffJitterOnlyShavesAndStaysDeterministic) {
+  const auto run_once = [] {
+    TimedStubService service;
+    service.failures_before_success["a"] = 2;
+    DagmanEngine engine(EngineOptions{.retries = 2,
+                                      .rescue_path = {},
+                                      .backoff_base_seconds = 100,
+                                      .backoff_max_seconds = 1'000,
+                                      .backoff_jitter = 0.5,
+                                      .backoff_seed = 7});
+    return engine.run(diamond(), service).total_backoff_seconds;
+  };
+  const double total = run_once();
+  // Nominal 100 + 200; jitter shaves each by up to 50%.
+  EXPECT_GT(total, 150.0);
+  EXPECT_LE(total, 300.0);
+  EXPECT_DOUBLE_EQ(total, run_once());  // same seed, same jitter
+}
+
+TEST(Engine, BlacklistsNodeAfterConsecutiveFailuresAndHintsService) {
+  TimedStubService service;
+  service.node = "bad-node";
+  service.failures_before_success["a"] = 2;
+  DagmanEngine engine(EngineOptions{.retries = 3,
+                                    .rescue_path = {},
+                                    .node_blacklist_threshold = 2});
+  const auto report = engine.run(diamond(), service);
+  EXPECT_TRUE(report.success);
+  ASSERT_EQ(report.blacklisted_nodes.size(), 1u);
+  EXPECT_EQ(report.blacklisted_nodes[0], "bad-node");
+  EXPECT_EQ(service.avoided, std::vector<std::string>{"bad-node"});
+  bool logged = false;
+  for (const auto& line : report.jobstate_log) {
+    if (line.find("BLACKLIST bad-node") != std::string::npos) logged = true;
+  }
+  EXPECT_TRUE(logged);
+}
+
+TEST(Engine, SuccessResetsTheNodeFailureStreak) {
+  // a fails once, then succeeds on the same node; b fails once more. The
+  // streak was reset by the success, so threshold 2 is never reached.
+  TimedStubService service;
+  service.failures_before_success["a"] = 1;
+  service.failures_before_success["b"] = 1;
+  DagmanEngine engine(EngineOptions{.retries = 3,
+                                    .rescue_path = {},
+                                    .node_blacklist_threshold = 2});
+  const auto report = engine.run(diamond(), service);
+  EXPECT_TRUE(report.success);
+  EXPECT_TRUE(report.blacklisted_nodes.empty());
+  EXPECT_TRUE(service.avoided.empty());
+}
+
+TEST(Engine, FailedAttemptTimingStaysPartialButConsistent) {
+  // Regression: failed (and timed-out) attempts keep coherent bookkeeping —
+  // the recorded phases never exceed the attempt's wall span, and times
+  // never run backwards.
+  TimedStubService service;
+  service.failures_before_success["a"] = 2;
+  service.hang = {"c"};
+  DagmanEngine engine(EngineOptions{.retries = 2,
+                                    .rescue_path = {},
+                                    .attempt_timeout_seconds = 25,
+                                    .backoff_base_seconds = 5});
+  const auto report = engine.run(diamond(), service);
+  for (const auto& run : report.runs) {
+    for (const auto& attempt : run.attempts) {
+      EXPECT_GE(attempt.end_time + 1e-9, attempt.submit_time) << run.id;
+      EXPECT_GE(attempt.wait_seconds, 0.0) << run.id;
+      EXPECT_GE(attempt.exec_seconds, 0.0) << run.id;
+      EXPECT_GE(attempt.install_seconds, 0.0) << run.id;
+      EXPECT_LE(attempt.wait_seconds + attempt.exec_seconds +
+                    attempt.install_seconds,
+                attempt.end_time - attempt.submit_time + 1e-6)
+          << run.id;
+    }
+  }
+  // The statistics layer digests the mixed outcome without imbalance.
+  const auto stats = WorkflowStatistics::from_run(report);
+  EXPECT_EQ(stats.timed_out_attempts(), report.timed_out_attempts);
+  EXPECT_GT(stats.cumulative_badput(), 0.0);
+}
+
+TEST(Engine, HardeningOptionsAreValidated) {
+  EXPECT_THROW(DagmanEngine(EngineOptions{.retries = 0,
+                                          .rescue_path = {},
+                                          .attempt_timeout_seconds = -1}),
+               common::InvalidArgument);
+  EXPECT_THROW(DagmanEngine(EngineOptions{.retries = 0,
+                                          .rescue_path = {},
+                                          .backoff_base_seconds = -5}),
+               common::InvalidArgument);
+  EXPECT_THROW(DagmanEngine(EngineOptions{.retries = 0,
+                                          .rescue_path = {},
+                                          .backoff_base_seconds = 1,
+                                          .backoff_max_seconds = 0.5}),
+               common::InvalidArgument);
+  EXPECT_THROW(DagmanEngine(EngineOptions{.retries = 0,
+                                          .rescue_path = {},
+                                          .backoff_jitter = 1.5}),
+               common::InvalidArgument);
+  EXPECT_THROW(DagmanEngine(EngineOptions{.retries = 0,
+                                          .rescue_path = {},
+                                          .node_blacklist_threshold = -2}),
+               common::InvalidArgument);
+}
+
 TEST(Engine, RunsOnSimulatedCampusCluster) {
   sim::EventQueue queue;
   sim::CampusClusterConfig config;
