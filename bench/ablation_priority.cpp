@@ -51,7 +51,11 @@ int main(int argc, char** argv) {
       cfg.seed = 4000 + rep;
       sim::CampusClusterPlatform platform(queue, cfg);
       wms::SimService service(queue, platform);
-      wms::DagmanEngine engine;
+      // The default policy is pure FIFO; the priority arm must opt into the
+      // policy that honors ConcreteJob::priority.
+      wms::EngineOptions options;
+      if (use_priorities) options.policy = wms::job_priority_policy();
+      wms::DagmanEngine engine(std::move(options));
       const auto report = engine.run(concrete, service);
       if (!report.success) {
         std::printf("run failed\n");

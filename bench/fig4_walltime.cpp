@@ -10,7 +10,8 @@
 //   * n = 300 optimal on Sandhills,
 //   * Sandhills beats OSG for n in {10, 100, 300}.
 //
-//   ./fig4_walltime [repetitions] [--csv out.csv]
+//   ./fig4_walltime [repetitions] [--csv out.csv] [--policy fifo|priority|
+//                   critical-path|widest-branch]
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -25,9 +26,12 @@ int main(int argc, char** argv) {
   using namespace pga;
   std::size_t repetitions = 15;
   std::string csv_path;
+  std::string policy = "fifo";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      policy = argv[++i];
     } else {
       repetitions = std::stoul(argv[i]);
     }
@@ -35,8 +39,10 @@ int main(int argc, char** argv) {
 
   core::ExperimentConfig config;
   config.repetitions = repetitions;
+  config.scheduling_policy = policy;
   std::printf("== Fig. 4: workflow wall time, serial vs Sandhills vs OSG ==\n");
-  std::printf("(means over %zu simulated repetitions per point)\n\n", repetitions);
+  std::printf("(means over %zu simulated repetitions per point, %s scheduling)\n\n",
+              repetitions, policy.c_str());
 
   const auto results = core::run_platform_sweep(config);
 

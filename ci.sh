@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 CI: configure, build and run the test suite twice —
+# Tier-1 CI: configure, build and run the tier-1 suite three times —
 #   1. default (Release-ish) build in build/
-#   2. ThreadSanitizer build (-DPGA_SANITIZE=thread) in build-tsan/,
+#   2. ASan+UBSan build (-DPGA_SANITIZE=address) in build-asan/, catching
+#      lifetime bugs in the event-observer wiring (borrowed EngineObserver
+#      pointers, the kAttemptFinished result pointer that is only valid
+#      during the callback) and UB anywhere in the suite.
+#   3. ThreadSanitizer build (-DPGA_SANITIZE=thread) in build-tsan/,
 #      catching data races in LocalService / htc::LocalExecutor and the
 #      chaos suite's concurrent paths.
+# Every test carries a tier1* ctest label; the chaos suite additionally
+# matches -L chaos (see tests/CMakeLists.txt).
 # Usage: ./ci.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -16,11 +22,12 @@ run_suite() {
   cmake -B "${dir}" -S . "$@"
   echo "==> build ${dir}"
   cmake --build "${dir}" -j "${jobs}"
-  echo "==> ctest ${dir}"
-  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  echo "==> ctest ${dir} (-L tier1)"
+  ctest --test-dir "${dir}" -L tier1 --output-on-failure -j "${jobs}"
 }
 
 run_suite build
+run_suite build-asan -DPGA_SANITIZE=address
 run_suite build-tsan -DPGA_SANITIZE=thread
 
-echo "==> CI OK (default + tsan)"
+echo "==> CI OK (default + asan/ubsan + tsan)"

@@ -71,8 +71,10 @@ SingleRun run_once(const ExperimentConfig& config, const std::string& platform,
   }
 
   wms::SimService service(queue, *sim_platform);
-  wms::DagmanEngine engine(
-      wms::EngineOptions{.retries = config.engine_retries, .rescue_path = {}});
+  wms::EngineOptions options{.retries = config.engine_retries, .rescue_path = {}};
+  options.max_jobs_in_flight = config.max_jobs_in_flight;
+  options.policy = wms::make_policy(config.scheduling_policy);
+  wms::DagmanEngine engine(std::move(options));
   const auto report = engine.run(concrete, service);
   if (!report.success) {
     throw common::WorkflowError("simulated run failed on " + platform + " n=" +

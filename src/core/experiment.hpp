@@ -31,6 +31,15 @@ struct ExperimentConfig {
                                 ///< run-to-run variance §VI.A acknowledges)
   bool include_cloud = false;  ///< also run the §VII future-work platform
   sim::CloudConfig cloud{};
+  /// Engine scheduling policy (wms::make_policy name): "fifo" (default,
+  /// the paper's DAGMan behaviour), "priority", "critical-path" or
+  /// "widest-branch". Lets the Fig. 4 sweep quantify how much of the n=10
+  /// straggler penalty smarter release order can claw back.
+  std::string scheduling_policy = "fifo";
+  /// DAGMan -maxjobs submit throttle. 0 = unlimited (the platform model
+  /// does all the slot scheduling, so release order barely matters); set
+  /// it at or below the slot count to make the policy choice decisive.
+  std::size_t max_jobs_in_flight = 0;
 };
 
 /// One (platform, n) simulated point, possibly averaged over repetitions.

@@ -60,7 +60,8 @@ SubmitDescription parse_submit_description(const std::string& text) {
                          std::to_string(line_number));
       }
       queue_seen = true;
-      const auto rest = common::trim(line.substr(5));
+      // Materialize: trim() returns a view into the substr temporary.
+      const std::string rest(common::trim(line.substr(5)));
       if (!rest.empty()) {
         const long count = common::parse_long(rest);
         if (count < 1) {

@@ -151,15 +151,41 @@ std::size_t peak_utilization(const RunReport& report) {
   return peak;
 }
 
-std::string attempts_csv(const RunReport& report) {
+void TraceCollector::on_event(const EngineEvent& event) {
+  switch (event.type) {
+    case EngineEventType::kRunStarted:
+      jobs_.clear();
+      break;
+    case EngineEventType::kAttemptFinished: {
+      JobTrace& trace = jobs_[event.job_id];
+      trace.transformation = event.result->transformation;
+      trace.attempts.push_back(*event.result);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TraceCollector::ingest(const RunReport& report) {
+  for (const JobRun& run : report.runs) {
+    if (run.attempts.empty()) continue;
+    JobTrace& trace = jobs_[run.id];
+    trace.transformation = run.transformation;
+    trace.attempts.insert(trace.attempts.end(), run.attempts.begin(),
+                          run.attempts.end());
+  }
+}
+
+std::string TraceCollector::csv() const {
   std::ostringstream os;
   os << "job,transformation,attempt,success,node,submit,start,end,wait,install,exec\n";
-  for (const JobRun& run : report.runs) {
+  for (const auto& [id, trace] : jobs_) {
     std::size_t attempt_number = 1;
-    for (const TaskAttempt& attempt : run.attempts) {
+    for (const TaskAttempt& attempt : trace.attempts) {
       const double start =
           attempt.end_time - attempt.exec_seconds - attempt.install_seconds;
-      os << run.id << ',' << run.transformation << ',' << attempt_number++ << ','
+      os << id << ',' << trace.transformation << ',' << attempt_number++ << ','
          << (attempt.success ? 1 : 0) << ',' << attempt.node << ','
          << common::format_fixed(attempt.submit_time, 3) << ','
          << common::format_fixed(start, 3) << ','
@@ -170,6 +196,18 @@ std::string attempts_csv(const RunReport& report) {
     }
   }
   return os.str();
+}
+
+std::size_t TraceCollector::attempt_count() const {
+  std::size_t total = 0;
+  for (const auto& [id, trace] : jobs_) total += trace.attempts.size();
+  return total;
+}
+
+std::string attempts_csv(const RunReport& report) {
+  TraceCollector collector;
+  collector.ingest(report);
+  return collector.csv();
 }
 
 }  // namespace pga::wms

@@ -1,7 +1,6 @@
 #include "wms/engine.hpp"
 
 #include <cmath>
-#include <deque>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -13,6 +12,78 @@
 #include "common/strings.hpp"
 
 namespace pga::wms {
+
+// ------------------------------------------------------ RunReportBuilder
+
+RunReportBuilder::RunReportBuilder(const ConcreteWorkflow& workflow)
+    : log_(report_.jobstate_log) {
+  for (const auto& job : workflow.jobs()) {
+    JobRun run;
+    run.id = job.id;
+    run.transformation = job.transformation;
+    run.kind = job.kind;
+    runs_.emplace(job.id, std::move(run));
+  }
+}
+
+void RunReportBuilder::on_event(const EngineEvent& event) {
+  log_.on_event(event);
+  switch (event.type) {
+    case EngineEventType::kRunStarted:
+      report_.workflow = event.workflow;
+      report_.service = event.service;
+      report_.jobs_total = event.total_jobs;
+      report_.start_time = event.time;
+      break;
+    case EngineEventType::kJobRescued: {
+      JobRun& run = runs_.at(event.job_id);
+      run.succeeded = true;
+      run.skipped_by_rescue = true;
+      ++report_.jobs_skipped;
+      break;
+    }
+    case EngineEventType::kAttemptFinished: {
+      ++report_.total_attempts;
+      JobRun& run = runs_.at(event.job_id);
+      run.attempts.push_back(*event.result);
+      if (event.success) run.succeeded = true;
+      break;
+    }
+    case EngineEventType::kJobRetry:
+      ++report_.total_retries;
+      break;
+    case EngineEventType::kJobBackoff:
+      runs_.at(event.job_id).backoff_seconds += event.backoff_seconds;
+      report_.total_backoff_seconds += event.backoff_seconds;
+      break;
+    case EngineEventType::kAttemptTimedOut:
+      ++report_.timed_out_attempts;
+      break;
+    case EngineEventType::kNodeBlacklisted:
+      report_.blacklisted_nodes.push_back(event.node);
+      break;
+    case EngineEventType::kJobFailed:
+      ++report_.jobs_failed;
+      break;
+    case EngineEventType::kRunFinished:
+      report_.end_time = event.time;
+      report_.success = event.success;
+      break;
+    default:
+      break;  // kJobReady / kJobSubmitted / kJobSucceeded carry no accounting
+  }
+}
+
+RunReport RunReportBuilder::take() {
+  for (auto& [id, run] : runs_) {
+    if (run.succeeded && !run.skipped_by_rescue) ++report_.jobs_succeeded;
+    report_.runs.push_back(std::move(run));
+  }
+  runs_.clear();
+  return std::move(report_);
+}
+
+// --------------------------------------------------------- DagmanEngine
 
 DagmanEngine::DagmanEngine(EngineOptions options) : options_(std::move(options)) {
   if (options_.retries < 0) {
@@ -82,94 +153,67 @@ RunReport DagmanEngine::run_with_workflow_retries(const ConcreteWorkflow& workfl
 RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
                                      ExecutionService& service,
                                      const std::set<std::string>& already_done) {
-  RunReport report;
-  report.workflow = workflow.name();
-  report.service = service.label();
-  report.jobs_total = workflow.jobs().size();
-  report.start_time = service.now();
+  // The three scheduler-core pieces: state machine, policy, event bus.
+  JobStateMachine fsm(workflow);
 
-  StatusBoard* status = options_.status;
-  if (status != nullptr) status->begin(workflow.name(), workflow.jobs().size());
-  const auto publish = [status](const std::string& job, JobState state) {
-    if (status != nullptr) status->set_state(job, state);
+  std::unique_ptr<SchedulingPolicy> default_policy;
+  SchedulingPolicy* policy = options_.policy.get();
+  if (policy == nullptr) {
+    default_policy = fifo_policy();
+    policy = default_policy.get();
+  }
+  policy->prepare(workflow);
+
+  RunReportBuilder builder(workflow);
+  std::unique_ptr<StatusBoardObserver> status_observer;
+  EventBus bus;
+  bus.subscribe(&builder);
+  if (options_.status != nullptr) {
+    status_observer = std::make_unique<StatusBoardObserver>(*options_.status);
+    bus.subscribe(status_observer.get());
+  }
+  for (EngineObserver* observer : options_.observers) bus.subscribe(observer);
+
+  const auto job_event = [&](EngineEventType type, const std::string& id) {
+    EngineEvent event;
+    event.type = type;
+    event.time = service.now();
+    event.job_id = id;
+    return event;
   };
 
-  const auto log_event = [&](const std::string& job, const std::string& event) {
-    std::ostringstream os;
-    os << common::format_fixed(service.now(), 3) << " " << job << " " << event;
-    report.jobstate_log.push_back(os.str());
-  };
-
-  // Per-job bookkeeping.
-  std::map<std::string, std::size_t> remaining_parents;
-  std::map<std::string, JobRun> runs;
-  for (const auto& job : workflow.jobs()) {
-    remaining_parents[job.id] = workflow.parents(job.id).size();
-    JobRun run;
-    run.id = job.id;
-    run.transformation = job.transformation;
-    run.kind = job.kind;
-    runs.emplace(job.id, std::move(run));
-  }
-
-  std::set<std::string> done;        // succeeded or rescued
-  std::set<std::string> dead;        // exhausted retries
-  std::size_t outstanding = 0;
-
-  // Seed with rescued jobs: they complete instantly without attempts.
-  std::deque<std::string> ready;
-  const auto on_success = [&](const std::string& id) {
-    done.insert(id);
-    for (const auto& child : workflow.children(id)) {
-      if (--remaining_parents[child] == 0) {
-        ready.push_back(child);
-        publish(child, JobState::kReady);
-      }
-    }
-  };
-
-  for (const auto& id : workflow.topological_order()) {
-    if (already_done.count(id)) {
-      runs[id].succeeded = true;
-      runs[id].skipped_by_rescue = true;
-      ++report.jobs_skipped;
-      log_event(id, "RESCUED");
-      publish(id, JobState::kRescued);
-    }
-  }
-  // Release rescued completions in topological order so children of
-  // rescued chains seed correctly.
-  for (const auto& id : workflow.topological_order()) {
-    if (already_done.count(id)) on_success(id);
-  }
-  for (const auto& id : workflow.topological_order()) {
-    if (!already_done.count(id) && remaining_parents[id] == 0) {
-      // Not rescued and no unfinished parents: initially ready (unless a
-      // rescued parent already pushed it via on_success).
-      bool queued = false;
-      for (const auto& r : ready) {
-        if (r == id) {
-          queued = true;
-          break;
-        }
-      }
-      if (!queued) ready.push_back(id);
-    }
-  }
-  // Deduplicate the ready queue (a job may have been seeded twice).
   {
-    std::set<std::string> seen;
-    std::deque<std::string> unique;
-    for (auto& id : ready) {
-      if (!already_done.count(id) && seen.insert(id).second) {
-        unique.push_back(std::move(id));
-      }
-    }
-    ready = std::move(unique);
+    EngineEvent started;
+    started.type = EngineEventType::kRunStarted;
+    started.time = service.now();
+    started.workflow = workflow.name();
+    started.service = service.label();
+    started.total_jobs = workflow.jobs().size();
+    bus.emit(started);
   }
 
-  // Hardening state: per-attempt deadlines, retry cool-offs, and the
-  // per-node consecutive-failure ledger feeding the blacklist.
+  // Seed with rescued jobs: they complete instantly without attempts, then
+  // release their children in topological order so rescued chains seed
+  // correctly; finally the untouched roots join the ready queue.
+  const auto topo = workflow.topological_order();
+  for (const auto& id : topo) {
+    if (already_done.count(id)) {
+      fsm.mark_skipped(fsm.index_of(id));
+      bus.emit(job_event(EngineEventType::kJobRescued, id));
+    }
+  }
+  for (const auto& id : topo) {
+    if (!already_done.count(id)) continue;
+    for (const std::uint32_t child : fsm.release_children(fsm.index_of(id))) {
+      bus.emit(job_event(EngineEventType::kJobReady, fsm.id_of(child)));
+    }
+  }
+  for (const auto& id : topo) {
+    if (!already_done.count(id)) fsm.seed_root(fsm.index_of(id));
+  }
+
+  // Hardening state the state machine does not own: per-attempt deadlines
+  // and the per-node consecutive-failure ledger feeding the blacklist.
   constexpr double kEps = 1e-9;
   const bool timeout_on = options_.attempt_timeout_seconds > 0;
   struct InFlight {
@@ -181,21 +225,16 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
   // later (a slow LocalService job finishing after the deadline). Counted
   // per job so stragglers are dropped instead of double-counted.
   std::map<std::string, int> stale_attempts;
-  struct Cooling {
-    std::string id;
-    double release_time;
-  };
-  std::vector<Cooling> cooling;
   std::map<std::string, int> node_fail_streak;
   std::set<std::string> blacklisted;
   common::Rng backoff_rng(options_.backoff_seed);
 
-  std::map<std::string, int> attempt_count;
-  const auto submit = [&](const std::string& id) {
-    ++attempt_count[id];
-    ++outstanding;
-    log_event(id, attempt_count[id] == 1 ? "SUBMIT" : "RETRY");
-    publish(id, JobState::kSubmitted);
+  const auto submit = [&](std::size_t position) {
+    const std::uint32_t index = fsm.take_ready(position);
+    const std::string& id = fsm.id_of(index);
+    EngineEvent event = job_event(EngineEventType::kJobSubmitted, id);
+    event.attempt = fsm.attempts(index);
+    bus.emit(event);
     const double at = service.now();
     in_flight[id] = InFlight{at, at + options_.attempt_timeout_seconds};
     service.submit(workflow.job(id));
@@ -203,25 +242,15 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
 
   const auto throttled = [&] {
     return options_.max_jobs_in_flight != 0 &&
-           outstanding >= options_.max_jobs_in_flight;
-  };
-  // Pops the highest-priority ready job (FIFO within a priority level).
-  const auto pop_ready = [&]() -> std::string {
-    auto best = ready.begin();
-    for (auto it = std::next(ready.begin()); it != ready.end(); ++it) {
-      if (workflow.job(*it).priority > workflow.job(*best).priority) best = it;
-    }
-    std::string id = std::move(*best);
-    ready.erase(best);
-    return id;
+           fsm.submitted_count() >= options_.max_jobs_in_flight;
   };
 
-  // Cool-off before the next retry of `id` (its attempt_count submissions
-  // so far have all failed). Exponential in the retry index, capped, with
-  // deterministic downward jitter.
-  const auto next_backoff = [&](const std::string& id) -> double {
+  // Cool-off before the next retry (all `attempts` submissions so far have
+  // failed). Exponential in the retry index, capped, with deterministic
+  // downward jitter.
+  const auto next_backoff = [&](int attempts) -> double {
     if (options_.backoff_base_seconds <= 0) return 0;
-    const int retry_index = std::max(1, attempt_count[id]);  // 1 => first retry
+    const int retry_index = std::max(1, attempts);  // 1 => first retry
     double delay = options_.backoff_base_seconds *
                    std::pow(2.0, static_cast<double>(retry_index - 1));
     delay = std::min(delay, options_.backoff_max_seconds);
@@ -231,24 +260,10 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
     return delay;
   };
 
-  // Moves cooled-off jobs whose release time arrived back onto the ready
-  // queue.
-  const auto release_due = [&] {
-    for (auto it = cooling.begin(); it != cooling.end();) {
-      if (it->release_time <= service.now() + kEps) {
-        ready.push_back(std::move(it->id));
-        it = cooling.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-
   // One attempt outcome (real or synthesized) flows through here.
   const auto handle_attempt = [&](TaskAttempt attempt) {
-    --outstanding;
-    ++report.total_attempts;
-    JobRun& run = runs.at(attempt.job_id);
+    const std::string id = attempt.job_id;
+    const std::uint32_t index = fsm.index_of(id);
     // Node ledger: consecutive failures blacklist a node; success clears it.
     if (options_.node_blacklist_threshold > 0 && !attempt.node.empty()) {
       if (attempt.success) {
@@ -257,43 +272,50 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
                  ++node_fail_streak[attempt.node] >=
                      options_.node_blacklist_threshold) {
         blacklisted.insert(attempt.node);
-        report.blacklisted_nodes.push_back(attempt.node);
         service.avoid_node(attempt.node);
-        log_event(attempt.job_id, "BLACKLIST " + attempt.node);
+        EngineEvent event = job_event(EngineEventType::kNodeBlacklisted, id);
+        event.node = attempt.node;
+        bus.emit(event);
         common::log_warn() << "node " << attempt.node << " blacklisted after "
                            << options_.node_blacklist_threshold
                            << " consecutive failures";
       }
     }
-    const std::string id = attempt.job_id;
-    run.attempts.push_back(std::move(attempt));
-    const TaskAttempt& recorded = run.attempts.back();
-    if (recorded.success) {
-      run.succeeded = true;
-      log_event(id, "SUCCESS");
-      publish(id, JobState::kSucceeded);
-      on_success(id);
-    } else if (attempt_count[id] <= options_.retries) {
-      ++report.total_retries;
-      if (status != nullptr) status->count_retry();
-      common::log_debug() << "job " << id << " failed (" << recorded.error
-                          << "), retrying";
-      const double delay = next_backoff(id);
-      if (delay > 0) {
-        run.backoff_seconds += delay;
-        report.total_backoff_seconds += delay;
-        log_event(id, "BACKOFF");
-        cooling.push_back(Cooling{id, service.now() + delay});
-      } else {
-        ready.push_back(id);
+    {
+      EngineEvent event = job_event(EngineEventType::kAttemptFinished, id);
+      event.attempt = fsm.attempts(index);
+      event.success = attempt.success;
+      event.result = &attempt;
+      bus.emit(event);
+    }
+    if (attempt.success) {
+      fsm.mark_done(index);
+      bus.emit(job_event(EngineEventType::kJobSucceeded, id));
+      for (const std::uint32_t child : fsm.release_children(index)) {
+        bus.emit(job_event(EngineEventType::kJobReady, fsm.id_of(child)));
       }
-      publish(id, JobState::kReady);
+    } else if (fsm.attempts(index) <= options_.retries) {
+      EngineEvent event = job_event(EngineEventType::kJobRetry, id);
+      event.attempt = fsm.attempts(index);
+      bus.emit(event);
+      common::log_debug() << "job " << id << " failed (" << attempt.error
+                          << "), retrying";
+      const double delay = next_backoff(fsm.attempts(index));
+      if (delay > 0) {
+        EngineEvent backoff = job_event(EngineEventType::kJobBackoff, id);
+        backoff.backoff_seconds = delay;
+        bus.emit(backoff);
+        fsm.start_backoff(index, service.now() + delay);
+      } else {
+        fsm.requeue(index);
+      }
+      bus.emit(job_event(EngineEventType::kJobReady, id));
     } else {
-      log_event(id, "FAILED");
-      publish(id, JobState::kFailed);
-      common::log_warn() << "job " << id
-                         << " exhausted retries: " << recorded.error;
-      dead.insert(id);
+      EngineEvent event = job_event(EngineEventType::kJobFailed, id);
+      event.error = attempt.error;
+      bus.emit(event);
+      common::log_warn() << "job " << id << " exhausted retries: " << attempt.error;
+      fsm.mark_failed(index);
       // Children of a dead job can never run; DAGMan keeps running the
       // independent frontier, which this loop does naturally.
     }
@@ -303,44 +325,42 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
   const auto expire_attempt = [&](const std::string& id, const InFlight& info) {
     TaskAttempt timed_out;
     timed_out.job_id = id;
-    timed_out.transformation = runs.at(id).transformation;
+    timed_out.transformation = workflow.job(id).transformation;
     timed_out.success = false;
     timed_out.error =
         "attempt timed out after " +
         common::format_fixed(options_.attempt_timeout_seconds, 3) + " s";
     timed_out.submit_time = info.submitted_at;
     timed_out.end_time = service.now();
-    ++report.timed_out_attempts;
     ++stale_attempts[id];
-    if (status != nullptr) status->count_timeout();
-    log_event(id, "TIMEOUT");
+    EngineEvent event = job_event(EngineEventType::kAttemptTimedOut, id);
+    event.attempt = fsm.attempts(fsm.index_of(id));
+    event.error = timed_out.error;
+    bus.emit(event);
     handle_attempt(std::move(timed_out));
   };
 
   while (true) {
-    release_due();
-    while (!ready.empty() && !throttled()) {
-      submit(pop_ready());
+    fsm.release_due(service.now(), kEps);
+    while (fsm.has_ready() && !throttled()) {
+      submit(policy->pick(fsm.ready()));
     }
-    if (outstanding == 0 && cooling.empty()) break;
+    if (fsm.submitted_count() == 0 && !fsm.any_cooling()) break;
 
     // Wait horizon: the earliest attempt deadline or retry release. With
     // neither feature active this stays infinite and we use the plain
     // blocking wait exactly as before.
-    double horizon = std::numeric_limits<double>::infinity();
+    double horizon = fsm.earliest_release();
     if (timeout_on) {
       for (const auto& [id, info] : in_flight) {
         horizon = std::min(horizon, info.deadline);
       }
     }
-    for (const auto& cool : cooling) {
-      horizon = std::min(horizon, cool.release_time);
-    }
 
     std::vector<TaskAttempt> attempts;
     if (std::isinf(horizon)) {
       attempts = service.wait();
-      if (attempts.empty() && outstanding > 0) {
+      if (attempts.empty() && fsm.submitted_count() > 0) {
         throw common::WorkflowError("execution service returned no completions");
       }
     } else {
@@ -384,17 +404,8 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
       // stub without wait_for support). Force the earliest horizon item
       // through so the run can never wedge: either release the coolest
       // retry or expire the next deadline at the current clock.
-      double earliest_release = std::numeric_limits<double>::infinity();
-      for (const auto& cool : cooling) {
-        earliest_release = std::min(earliest_release, cool.release_time);
-      }
-      if (earliest_release <= horizon + kEps && !cooling.empty()) {
-        auto it = cooling.begin();
-        for (auto jt = std::next(it); jt != cooling.end(); ++jt) {
-          if (jt->release_time < it->release_time) it = jt;
-        }
-        ready.push_back(std::move(it->id));
-        cooling.erase(it);
+      if (fsm.any_cooling() && fsm.earliest_release() <= horizon + kEps) {
+        fsm.force_release_earliest();
       } else if (timeout_on && !in_flight.empty()) {
         auto it = in_flight.begin();
         for (auto jt = std::next(it); jt != in_flight.end(); ++jt) {
@@ -407,19 +418,23 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
     }
   }
 
-  report.end_time = service.now();
-  for (auto& [id, run] : runs) {
-    if (run.succeeded && !run.skipped_by_rescue) ++report.jobs_succeeded;
-    report.runs.push_back(std::move(run));
+  {
+    EngineEvent finished;
+    finished.type = EngineEventType::kRunFinished;
+    finished.time = service.now();
+    finished.success = fsm.done_count() == workflow.jobs().size();
+    bus.emit(finished);
   }
-  report.jobs_failed = dead.size();
-  report.success = done.size() == workflow.jobs().size();
+  RunReport report = builder.take();
 
   if (!report.success && options_.rescue_path.has_value()) {
     std::ostringstream os;
     os << "# rescue DAG for " << workflow.name() << "\n";
-    for (const auto& id : workflow.topological_order()) {
-      if (done.count(id)) os << "DONE " << id << "\n";
+    for (const auto& id : topo) {
+      const SchedState state = fsm.state(fsm.index_of(id));
+      if (state == SchedState::kDone || state == SchedState::kSkipped) {
+        os << "DONE " << id << "\n";
+      }
     }
     common::write_file(*options_.rescue_path, os.str());
     common::log_info() << "wrote rescue file to " << options_.rescue_path->string();

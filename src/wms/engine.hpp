@@ -6,16 +6,28 @@
 // resume from the completed frontier (§III: "If the job fails again, then
 // Pegasus generates a rescue workflow that contains information of the
 // work that remains to be done").
+//
+// Internally the engine is an event loop around three pieces:
+//   - JobStateMachine (wms/scheduler.hpp) holds every job's lifecycle state
+//     and releases children by decrementing predecessor counts;
+//   - a SchedulingPolicy picks which ready job submits next under the
+//     max_jobs_in_flight throttle (default FIFO, byte-identical to the
+//     pre-refactor engine);
+//   - an EventBus (wms/events.hpp) publishes every observable step; the
+//     jobstate log, the StatusBoard and RunReport itself are observers.
 #pragma once
 
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "wms/events.hpp"
 #include "wms/exec_service.hpp"
+#include "wms/scheduler.hpp"
 #include "wms/status.hpp"
 
 namespace pga::wms {
@@ -53,6 +65,15 @@ struct EngineOptions {
   /// Pegasus/OSG behaviour of retries landing on different sites). A
   /// success on a node resets its streak. 0 disables.
   int node_blacklist_threshold = 0;
+  /// Which ready job to submit next under the throttle. Null = FIFO (the
+  /// pre-refactor behaviour, byte-identical jobstate logs). Shared so
+  /// EngineOptions stays copyable; one policy instance must not serve two
+  /// concurrently-running engines (sequential reuse is fine — the engine
+  /// calls prepare() at the start of every run).
+  std::shared_ptr<SchedulingPolicy> policy = nullptr;
+  /// Extra engine-event observers, notified after the engine's own
+  /// (report, status) in this order. Borrowed; must outlive every run.
+  std::vector<EngineObserver*> observers = {};
 };
 
 /// Everything recorded about one job across its attempts.
@@ -94,6 +115,26 @@ struct RunReport {
 
   /// "Workflow Wall Time" — the statistic Fig. 4 plots.
   [[nodiscard]] double wall_seconds() const { return end_time - start_time; }
+};
+
+/// Assembles a RunReport purely from the engine-event stream: counters from
+/// the typed events, per-job attempt records from kAttemptFinished, and the
+/// jobstate log via an embedded JobstateLogObserver. The engine subscribes
+/// one per run; it is public so tests and external replays can feed a
+/// recorded stream through the same accounting.
+class RunReportBuilder final : public EngineObserver {
+ public:
+  /// `workflow` provides the job roster (id, transformation, kind) and must
+  /// outlive the builder.
+  explicit RunReportBuilder(const ConcreteWorkflow& workflow);
+  void on_event(const EngineEvent& event) override;
+  /// Finalizes and returns the report. Call once, after kRunFinished.
+  [[nodiscard]] RunReport take();
+
+ private:
+  RunReport report_;
+  JobstateLogObserver log_;  ///< writes into report_.jobstate_log
+  std::map<std::string, JobRun> runs_;
 };
 
 /// DAG scheduler. Stateless between runs; safe to reuse.

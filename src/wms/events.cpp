@@ -1,0 +1,85 @@
+#include "wms/events.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace pga::wms {
+
+const char* engine_event_name(EngineEventType type) {
+  switch (type) {
+    case EngineEventType::kRunStarted: return "RUN_STARTED";
+    case EngineEventType::kJobRescued: return "RESCUED";
+    case EngineEventType::kJobReady: return "READY";
+    case EngineEventType::kJobSubmitted: return "SUBMIT";
+    case EngineEventType::kAttemptFinished: return "ATTEMPT_FINISHED";
+    case EngineEventType::kJobRetry: return "RETRY";
+    case EngineEventType::kJobBackoff: return "BACKOFF";
+    case EngineEventType::kAttemptTimedOut: return "TIMEOUT";
+    case EngineEventType::kNodeBlacklisted: return "BLACKLIST";
+    case EngineEventType::kJobSucceeded: return "SUCCESS";
+    case EngineEventType::kJobFailed: return "FAILED";
+    case EngineEventType::kRunFinished: return "RUN_FINISHED";
+  }
+  return "?";
+}
+
+void EventBus::subscribe(EngineObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+void EventBus::emit(const EngineEvent& event) {
+  for (EngineObserver* observer : observers_) observer->on_event(event);
+}
+
+void JobstateLogObserver::on_event(const EngineEvent& event) {
+  std::string text;
+  switch (event.type) {
+    case EngineEventType::kJobRescued: text = "RESCUED"; break;
+    case EngineEventType::kJobSubmitted:
+      text = event.attempt == 1 ? "SUBMIT" : "RETRY";
+      break;
+    case EngineEventType::kJobSucceeded: text = "SUCCESS"; break;
+    case EngineEventType::kJobBackoff: text = "BACKOFF"; break;
+    case EngineEventType::kJobFailed: text = "FAILED"; break;
+    case EngineEventType::kAttemptTimedOut: text = "TIMEOUT"; break;
+    case EngineEventType::kNodeBlacklisted: text = "BLACKLIST " + event.node; break;
+    default: return;  // not a jobstate line
+  }
+  std::ostringstream os;
+  os << common::format_fixed(event.time, 3) << " " << event.job_id << " " << text;
+  sink_->push_back(os.str());
+}
+
+void StatusBoardObserver::on_event(const EngineEvent& event) {
+  switch (event.type) {
+    case EngineEventType::kRunStarted:
+      board_->begin(event.workflow, event.total_jobs);
+      break;
+    case EngineEventType::kJobRescued:
+      board_->set_state(event.job_id, JobState::kRescued);
+      break;
+    case EngineEventType::kJobReady:
+      board_->set_state(event.job_id, JobState::kReady);
+      break;
+    case EngineEventType::kJobSubmitted:
+      board_->set_state(event.job_id, JobState::kSubmitted);
+      break;
+    case EngineEventType::kJobRetry:
+      board_->count_retry();
+      break;
+    case EngineEventType::kAttemptTimedOut:
+      board_->count_timeout();
+      break;
+    case EngineEventType::kJobSucceeded:
+      board_->set_state(event.job_id, JobState::kSucceeded);
+      break;
+    case EngineEventType::kJobFailed:
+      board_->set_state(event.job_id, JobState::kFailed);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace pga::wms

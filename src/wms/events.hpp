@@ -1,0 +1,106 @@
+// The engine's typed event stream.
+//
+// Every observable thing DagmanEngine does — a job released, an attempt
+// submitted or finished, a retry cooled off, a node blacklisted, the run
+// starting or finishing — is published as one EngineEvent on an EventBus.
+// The jobstate log, the StatusBoard, the statistics accumulator and the
+// trace/plot writers are all observers of that one stream (instead of the
+// ad-hoc appends the pre-refactor loop scattered through itself), and
+// RunReport is assembled from the same stream by RunReportBuilder.
+//
+// Event-emission order is part of the engine's contract: under the default
+// FIFO policy the JobstateLogObserver reproduces the pre-refactor jobstate
+// log byte-for-byte (tests/wms_golden_log_test.cpp pins this).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "wms/exec_service.hpp"
+#include "wms/status.hpp"
+
+namespace pga::wms {
+
+/// What happened. Doc comments note which optional fields are set.
+enum class EngineEventType {
+  kRunStarted,      ///< workflow, service, total_jobs
+  kJobRescued,      ///< job_id — completed in a previous run, skipped here
+  kJobReady,        ///< job_id — all parents done (or retry rescheduled)
+  kJobSubmitted,    ///< job_id, attempt (1-based)
+  kAttemptFinished, ///< job_id, attempt, result, success
+  kJobRetry,        ///< job_id, attempt — failed attempt will be retried
+  kJobBackoff,      ///< job_id, backoff_seconds — cooling before the retry
+  kAttemptTimedOut, ///< job_id, attempt — engine wrote the attempt off
+  kNodeBlacklisted, ///< job_id (the attempt that tripped it), node
+  kJobSucceeded,    ///< job_id
+  kJobFailed,       ///< job_id, error — retry budget exhausted
+  kRunFinished,     ///< success
+};
+
+/// Short label ("SUBMIT", "SUCCESS", ...) as used in the jobstate log.
+const char* engine_event_name(EngineEventType type);
+
+/// One engine event. `time` is always the service clock at emission.
+struct EngineEvent {
+  EngineEventType type = EngineEventType::kRunStarted;
+  double time = 0;
+  std::string job_id;            ///< empty for run-level events
+  int attempt = 0;               ///< 1-based attempt number, 0 if n/a
+  bool success = false;          ///< kAttemptFinished / kRunFinished
+  const TaskAttempt* result = nullptr;  ///< kAttemptFinished only; valid
+                                        ///< only during the callback
+  double backoff_seconds = 0;    ///< kJobBackoff
+  std::string node;              ///< kNodeBlacklisted
+  std::string error;             ///< kJobFailed / kAttemptTimedOut detail
+  std::string workflow;          ///< kRunStarted
+  std::string service;           ///< kRunStarted
+  std::size_t total_jobs = 0;    ///< kRunStarted
+};
+
+/// Observer interface. Callbacks run synchronously on the engine's thread,
+/// in emission order; implementations must not re-enter the engine.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void on_event(const EngineEvent& event) = 0;
+};
+
+/// A plain synchronous fan-out bus. Observers are borrowed, not owned.
+class EventBus {
+ public:
+  void subscribe(EngineObserver* observer);
+  void emit(const EngineEvent& event);
+  [[nodiscard]] std::size_t observer_count() const { return observers_.size(); }
+
+ private:
+  std::vector<EngineObserver*> observers_;
+};
+
+/// Writes DAGMan-style jobstate lines ("<t> <job> <EVENT>") into a sink
+/// vector. Exactly the events the pre-refactor engine logged become lines:
+/// RESCUED, SUBMIT/RETRY, SUCCESS, BACKOFF, FAILED, TIMEOUT,
+/// BLACKLIST <node>; everything else is ignored.
+class JobstateLogObserver final : public EngineObserver {
+ public:
+  /// `sink` must outlive the observer.
+  explicit JobstateLogObserver(std::vector<std::string>& sink) : sink_(&sink) {}
+  void on_event(const EngineEvent& event) override;
+
+ private:
+  std::vector<std::string>* sink_;
+};
+
+/// Adapts a StatusBoard to the event stream (begin, set_state, retry and
+/// timeout counters) — the pegasus-status consumer.
+class StatusBoardObserver final : public EngineObserver {
+ public:
+  /// `board` must outlive the observer.
+  explicit StatusBoardObserver(StatusBoard& board) : board_(&board) {}
+  void on_event(const EngineEvent& event) override;
+
+ private:
+  StatusBoard* board_;
+};
+
+}  // namespace pga::wms

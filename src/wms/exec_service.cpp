@@ -51,13 +51,17 @@ void LocalService::submit(const ConcreteJob& job) {
   });
 }
 
-std::vector<TaskAttempt> LocalService::wait() {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return !completed_.empty() || outstanding_ == 0; });
+std::vector<TaskAttempt> LocalService::drain_locked() {
   std::vector<TaskAttempt> out(std::make_move_iterator(completed_.begin()),
                                std::make_move_iterator(completed_.end()));
   completed_.clear();
   return out;
+}
+
+std::vector<TaskAttempt> LocalService::wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return !completed_.empty() || outstanding_ == 0; });
+  return drain_locked();
 }
 
 std::vector<TaskAttempt> LocalService::wait_for(double timeout_seconds) {
@@ -67,10 +71,7 @@ std::vector<TaskAttempt> LocalService::wait_for(double timeout_seconds) {
   // hung job), and the engine relies on this call consuming wall time.
   cv_.wait_for(lock, std::chrono::duration<double>(std::max(0.0, timeout_seconds)),
                [this] { return !completed_.empty(); });
-  std::vector<TaskAttempt> out(std::make_move_iterator(completed_.begin()),
-                               std::make_move_iterator(completed_.end()));
-  completed_.clear();
-  return out;
+  return drain_locked();
 }
 
 double LocalService::now() { return clock_.seconds(); }
@@ -104,37 +105,45 @@ void SimService::submit(const ConcreteJob& job) {
   });
 }
 
-std::vector<TaskAttempt> SimService::wait() {
-  // Advance simulated time until at least one completion lands.
-  while (completed_.empty() && outstanding_ > 0) {
-    if (!queue_.step()) {
-      throw common::WorkflowError(
-          "simulation deadlock: outstanding jobs but no pending events");
+void SimService::pump(std::optional<double> deadline) {
+  if (!deadline.has_value()) {
+    // Advance simulated time until at least one completion lands.
+    while (completed_.empty() && outstanding_ > 0) {
+      if (!queue_.step()) {
+        throw common::WorkflowError(
+            "simulation deadlock: outstanding jobs but no pending events");
+      }
     }
+    return;
   }
-  std::vector<TaskAttempt> out(std::make_move_iterator(completed_.begin()),
-                               std::make_move_iterator(completed_.end()));
-  completed_.clear();
-  return out;
-}
-
-std::vector<TaskAttempt> SimService::wait_for(double timeout_seconds) {
-  const double deadline = queue_.now() + std::max(0.0, timeout_seconds);
   while (completed_.empty()) {
     const auto next = queue_.next_time();
-    if (!next.has_value() || *next > deadline) break;
+    if (!next.has_value() || *next > *deadline) break;
     queue_.step();
   }
   if (completed_.empty()) {
     // Nothing landed by the deadline: burn the remaining simulated time so
     // the engine's clock reaches it (even when nothing is scheduled at all,
     // e.g. every outstanding attempt was swallowed by a fault injector).
-    queue_.advance_to(deadline);
+    queue_.advance_to(*deadline);
   }
+}
+
+std::vector<TaskAttempt> SimService::take_completed() {
   std::vector<TaskAttempt> out(std::make_move_iterator(completed_.begin()),
                                std::make_move_iterator(completed_.end()));
   completed_.clear();
   return out;
+}
+
+std::vector<TaskAttempt> SimService::wait() {
+  pump(std::nullopt);
+  return take_completed();
+}
+
+std::vector<TaskAttempt> SimService::wait_for(double timeout_seconds) {
+  pump(queue_.now() + std::max(0.0, timeout_seconds));
+  return take_completed();
 }
 
 double SimService::now() { return queue_.now(); }

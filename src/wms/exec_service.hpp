@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,9 @@ class LocalService final : public ExecutionService {
   [[nodiscard]] std::string label() const override { return "local"; }
 
  private:
+  /// Moves everything accumulated in completed_ out. Caller holds mutex_.
+  std::vector<TaskAttempt> drain_locked();
+
   JobRunner runner_;
   common::Stopwatch clock_;
 
@@ -116,6 +120,13 @@ class SimService final : public ExecutionService {
   [[nodiscard]] std::string label() const override { return platform_.name(); }
 
  private:
+  /// Steps the event queue until a completion lands. With a deadline, stops
+  /// once the next event lies past it and burns the remaining simulated
+  /// time; without one, throws on deadlock (outstanding jobs, no events).
+  void pump(std::optional<double> deadline);
+  /// Moves everything accumulated in completed_ out.
+  std::vector<TaskAttempt> take_completed();
+
   sim::EventQueue& queue_;
   sim::ExecutionPlatform& platform_;
   std::deque<TaskAttempt> completed_;

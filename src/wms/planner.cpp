@@ -46,6 +46,12 @@ bool ConcreteWorkflow::has_job(const std::string& id) const {
   return index_.count(id) != 0;
 }
 
+std::uint32_t ConcreteWorkflow::job_index(const std::string& id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw InvalidArgument("unknown concrete job: " + id);
+  return static_cast<std::uint32_t>(it->second);
+}
+
 std::vector<std::string> ConcreteWorkflow::parents(const std::string& id) const {
   if (!index_.count(id)) throw InvalidArgument("unknown concrete job: " + id);
   const auto it = parents_.find(id);

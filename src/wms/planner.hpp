@@ -8,6 +8,7 @@
 // clusters that are scheduled and executed to the same remote site").
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -38,9 +39,10 @@ struct ConcreteJob {
   std::string abstract_id;
   /// For transfer jobs: total bytes moved (0 when replica sizes unknown).
   std::uint64_t staged_bytes = 0;
-  /// DAGMan-style priority: among ready jobs, higher submits first (FIFO
-  /// within a priority level). Longest-task-first scheduling sets this
-  /// from the cost hint.
+  /// DAGMan-style priority, honored by the "priority" scheduling policy
+  /// (wms/scheduler.hpp): among ready jobs, higher submits first, FIFO
+  /// within a priority level. The default FIFO policy ignores it.
+  /// Longest-task-first scheduling sets this from the cost hint.
   int priority = 0;
 };
 
@@ -59,6 +61,9 @@ class ConcreteWorkflow {
   /// Mutable access (the planner adjusts flags after structural edits).
   [[nodiscard]] ConcreteJob& mutable_job(const std::string& id);
   [[nodiscard]] bool has_job(const std::string& id) const;
+  /// Dense index of `id` within jobs() (the scheduler core keys its per-job
+  /// state by this). Throws InvalidArgument for unknown ids.
+  [[nodiscard]] std::uint32_t job_index(const std::string& id) const;
   [[nodiscard]] std::vector<std::string> parents(const std::string& id) const;
   [[nodiscard]] std::vector<std::string> children(const std::string& id) const;
   [[nodiscard]] std::vector<std::string> topological_order() const;

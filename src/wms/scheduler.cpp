@@ -1,0 +1,289 @@
+#include "wms/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace pga::wms {
+
+const char* sched_state_name(SchedState state) {
+  switch (state) {
+    case SchedState::kIdle: return "IDLE";
+    case SchedState::kReady: return "READY";
+    case SchedState::kSubmitted: return "SUBMITTED";
+    case SchedState::kBackoff: return "BACKOFF";
+    case SchedState::kDone: return "DONE";
+    case SchedState::kFailed: return "FAILED";
+    case SchedState::kSkipped: return "SKIPPED";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- policies
+
+namespace {
+
+/// Scans `ready` for the job maximizing `score`, keeping the earliest
+/// arrival on ties — FIFO within a score level, like DAGMan priorities.
+template <typename Score>
+std::size_t argmax_position(const std::deque<std::uint32_t>& ready, Score&& score) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ready.size(); ++i) {
+    if (score(ready[i]) > score(ready[best])) best = i;
+  }
+  return best;
+}
+
+class FifoPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "fifo"; }
+  [[nodiscard]] std::size_t pick(const std::deque<std::uint32_t>& ready) override {
+    (void)ready;
+    return 0;
+  }
+};
+
+class JobPriorityPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "priority"; }
+  void prepare(const ConcreteWorkflow& workflow) override {
+    priority_.clear();
+    priority_.reserve(workflow.jobs().size());
+    for (const auto& job : workflow.jobs()) priority_.push_back(job.priority);
+  }
+  [[nodiscard]] std::size_t pick(const std::deque<std::uint32_t>& ready) override {
+    return argmax_position(ready, [this](std::uint32_t i) { return priority_[i]; });
+  }
+
+ private:
+  std::vector<int> priority_;
+};
+
+class CriticalPathPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "critical-path"; }
+  void prepare(const ConcreteWorkflow& workflow) override {
+    // Upward rank: cost of the job plus the costliest path below it,
+    // computed in one reverse-topological sweep.
+    const auto& jobs = workflow.jobs();
+    rank_.assign(jobs.size(), 0.0);
+    const auto order = workflow.topological_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const std::uint32_t index = workflow.job_index(*it);
+      double below = 0;
+      for (const auto& child : workflow.children(*it)) {
+        below = std::max(below, rank_[workflow.job_index(child)]);
+      }
+      rank_[index] = jobs[index].cpu_seconds_hint + below;
+    }
+  }
+  [[nodiscard]] std::size_t pick(const std::deque<std::uint32_t>& ready) override {
+    return argmax_position(ready, [this](std::uint32_t i) { return rank_[i]; });
+  }
+
+ private:
+  std::vector<double> rank_;
+};
+
+class WidestBranchPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "widest-branch"; }
+  void prepare(const ConcreteWorkflow& workflow) override {
+    fan_out_.clear();
+    fan_out_.reserve(workflow.jobs().size());
+    for (const auto& job : workflow.jobs()) {
+      fan_out_.push_back(workflow.children(job.id).size());
+    }
+  }
+  [[nodiscard]] std::size_t pick(const std::deque<std::uint32_t>& ready) override {
+    return argmax_position(ready, [this](std::uint32_t i) { return fan_out_[i]; });
+  }
+
+ private:
+  std::vector<std::size_t> fan_out_;
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulingPolicy> fifo_policy() {
+  return std::make_unique<FifoPolicy>();
+}
+std::unique_ptr<SchedulingPolicy> job_priority_policy() {
+  return std::make_unique<JobPriorityPolicy>();
+}
+std::unique_ptr<SchedulingPolicy> critical_path_policy() {
+  return std::make_unique<CriticalPathPolicy>();
+}
+std::unique_ptr<SchedulingPolicy> widest_branch_policy() {
+  return std::make_unique<WidestBranchPolicy>();
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy(const std::string& name) {
+  if (name == "fifo") return fifo_policy();
+  if (name == "priority") return job_priority_policy();
+  if (name == "critical-path") return critical_path_policy();
+  if (name == "widest-branch") return widest_branch_policy();
+  throw common::InvalidArgument("unknown scheduling policy: " + name +
+                                " (expected fifo, priority, critical-path or "
+                                "widest-branch)");
+}
+
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> names{"fifo", "priority", "critical-path",
+                                              "widest-branch"};
+  return names;
+}
+
+// ------------------------------------------------------ JobStateMachine
+
+JobStateMachine::JobStateMachine(const ConcreteWorkflow& workflow)
+    : workflow_(&workflow) {
+  const auto& jobs = workflow.jobs();
+  nodes_.resize(jobs.size());
+  children_.resize(jobs.size());
+  for (std::uint32_t i = 0; i < jobs.size(); ++i) {
+    nodes_[i].remaining_parents =
+        static_cast<std::uint32_t>(workflow.parents(jobs[i].id).size());
+    const auto kids = workflow.children(jobs[i].id);
+    children_[i].reserve(kids.size());
+    for (const auto& kid : kids) children_[i].push_back(workflow.job_index(kid));
+  }
+}
+
+std::uint32_t JobStateMachine::index_of(const std::string& id) const {
+  return workflow_->job_index(id);
+}
+
+const std::string& JobStateMachine::id_of(std::uint32_t index) const {
+  return workflow_->jobs()[index].id;
+}
+
+SchedState JobStateMachine::state(std::uint32_t index) const {
+  return nodes_[index].state;
+}
+
+int JobStateMachine::attempts(std::uint32_t index) const {
+  return nodes_[index].attempts;
+}
+
+void JobStateMachine::expect(std::uint32_t index, SchedState from,
+                             const char* transition) const {
+  if (nodes_[index].state != from) {
+    throw common::WorkflowError(
+        std::string("illegal scheduler transition '") + transition + "' for job " +
+        id_of(index) + ": state is " + sched_state_name(nodes_[index].state) +
+        ", expected " + sched_state_name(from));
+  }
+}
+
+void JobStateMachine::mark_skipped(std::uint32_t index) {
+  expect(index, SchedState::kIdle, "skip");
+  nodes_[index].state = SchedState::kSkipped;
+  ++done_;
+}
+
+std::vector<std::uint32_t> JobStateMachine::release_children(std::uint32_t index) {
+  std::vector<std::uint32_t> released;
+  for (const std::uint32_t child : children_[index]) {
+    Node& node = nodes_[child];
+    if (--node.remaining_parents == 0 && node.state == SchedState::kIdle) {
+      node.state = SchedState::kReady;
+      ready_.push_back(child);
+      released.push_back(child);
+    }
+  }
+  return released;
+}
+
+void JobStateMachine::seed_root(std::uint32_t index) {
+  Node& node = nodes_[index];
+  if (node.state != SchedState::kIdle || node.remaining_parents != 0) return;
+  node.state = SchedState::kReady;
+  ready_.push_back(index);
+}
+
+std::uint32_t JobStateMachine::take_ready(std::size_t position) {
+  if (position >= ready_.size()) {
+    throw common::InvalidArgument("scheduling policy picked position " +
+                                  std::to_string(position) + " of a ready queue of " +
+                                  std::to_string(ready_.size()));
+  }
+  const std::uint32_t index = ready_[position];
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(position));
+  expect(index, SchedState::kReady, "submit");
+  nodes_[index].state = SchedState::kSubmitted;
+  ++nodes_[index].attempts;
+  ++submitted_;
+  return index;
+}
+
+void JobStateMachine::mark_done(std::uint32_t index) {
+  expect(index, SchedState::kSubmitted, "done");
+  nodes_[index].state = SchedState::kDone;
+  --submitted_;
+  ++done_;
+}
+
+void JobStateMachine::requeue(std::uint32_t index) {
+  expect(index, SchedState::kSubmitted, "requeue");
+  nodes_[index].state = SchedState::kReady;
+  --submitted_;
+  ready_.push_back(index);
+}
+
+void JobStateMachine::start_backoff(std::uint32_t index, double release_time) {
+  expect(index, SchedState::kSubmitted, "backoff");
+  nodes_[index].state = SchedState::kBackoff;
+  --submitted_;
+  cooling_.push_back(Cooling{index, release_time});
+}
+
+void JobStateMachine::mark_failed(std::uint32_t index) {
+  expect(index, SchedState::kSubmitted, "fail");
+  nodes_[index].state = SchedState::kFailed;
+  --submitted_;
+  ++failed_;
+}
+
+std::vector<std::uint32_t> JobStateMachine::release_due(double now, double eps) {
+  std::vector<std::uint32_t> released;
+  for (auto it = cooling_.begin(); it != cooling_.end();) {
+    if (it->release_time <= now + eps) {
+      expect(it->index, SchedState::kBackoff, "release");
+      nodes_[it->index].state = SchedState::kReady;
+      ready_.push_back(it->index);
+      released.push_back(it->index);
+      it = cooling_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return released;
+}
+
+double JobStateMachine::earliest_release() const {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const Cooling& cool : cooling_) {
+    earliest = std::min(earliest, cool.release_time);
+  }
+  return earliest;
+}
+
+std::uint32_t JobStateMachine::force_release_earliest() {
+  if (cooling_.empty()) {
+    throw common::WorkflowError("force_release_earliest with nothing cooling");
+  }
+  auto it = cooling_.begin();
+  for (auto jt = std::next(it); jt != cooling_.end(); ++jt) {
+    if (jt->release_time < it->release_time) it = jt;
+  }
+  const std::uint32_t index = it->index;
+  cooling_.erase(it);
+  expect(index, SchedState::kBackoff, "release");
+  nodes_[index].state = SchedState::kReady;
+  ready_.push_back(index);
+  return index;
+}
+
+}  // namespace pga::wms

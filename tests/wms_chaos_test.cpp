@@ -11,60 +11,22 @@
 #include <string>
 
 #include "common/fsutil.hpp"
-#include "common/rng.hpp"
 #include "sim/campus_cluster.hpp"
 #include "sim/osg.hpp"
 #include "wms/engine.hpp"
 #include "wms/fault_injection.hpp"
 #include "wms/statistics.hpp"
+#include "wms_test_dags.hpp"
 
 namespace pga::wms {
 namespace {
 
-/// Random DAG in the style of tests/property_test.cpp: forward edges only.
-ConcreteWorkflow random_dag(std::uint64_t seed, int n = 25) {
-  common::Rng rng(seed);
-  ConcreteWorkflow wf("chaos-" + std::to_string(seed), "sim");
-  for (int i = 0; i < n; ++i) {
-    ConcreteJob job;
-    job.id = "j" + std::to_string(i);
-    job.transformation = i % 3 == 0 ? "split" : "run_cap3";
-    job.cpu_seconds_hint = rng.uniform(50, 500);
-    wf.add_job(std::move(job));
-  }
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      if (rng.chance(0.12)) {
-        wf.add_dependency("j" + std::to_string(i), "j" + std::to_string(j));
-      }
-    }
-  }
-  return wf;
-}
-
-ChaosConfig chaos_for(std::uint64_t seed) {
-  ChaosConfig chaos;
-  chaos.fail_probability = 0.15;
-  chaos.hang_probability = 0.10;
-  chaos.delay_probability = 0.10;
-  chaos.corrupt_probability = 0.05;
-  chaos.max_delay_seconds = 400;
-  chaos.seed = seed;
-  return chaos;
-}
-
-EngineOptions hardened_options() {
-  EngineOptions options;
-  options.retries = 6;
-  // Far above any genuine attempt's queue-wait + exec + injected delay on
-  // the campus backend, so only injected hangs ever trip it.
-  options.attempt_timeout_seconds = 20'000;
-  options.backoff_base_seconds = 5;
-  options.backoff_max_seconds = 60;
-  options.backoff_jitter = 0.25;
-  options.node_blacklist_threshold = 3;
-  return options;
-}
+// Scenario builders shared with the golden-log suite and its fixture
+// generator, so the chaos invariants and the recorded logs can never
+// drift apart.
+using testing::chaos_for;
+using testing::hardened_options;
+using testing::random_dag;
 
 struct ChaosRun {
   RunReport report;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 
@@ -523,6 +524,101 @@ TEST(Engine, HardeningOptionsAreValidated) {
                                           .rescue_path = {},
                                           .node_blacklist_threshold = -2}),
                common::InvalidArgument);
+}
+
+TEST(Engine, ReadRescueFileSkipsCommentsBlanksAndMalformedLines) {
+  common::ScratchDir dir("engine-rescue-parse");
+  const auto rescue = dir.file("rescue.dag");
+  common::write_file(rescue,
+                     "# rescue DAG for diamond\n"
+                     "\n"
+                     "DONE a\n"
+                     "   \n"
+                     "# DONE commented_out\n"
+                     "DONE b extra_field\n"
+                     "PENDING c\n"
+                     "DONE\n"
+                     "DONE b\n");
+  EXPECT_EQ(DagmanEngine::read_rescue_file(rescue),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(Engine, ReadRescueFileHandlesCrlfAndDuplicates) {
+  common::ScratchDir dir("engine-rescue-crlf");
+  const auto rescue = dir.file("rescue.dag");
+  // A rescue file edited on Windows: CRLF endings, repeated entries.
+  common::write_file(rescue, "DONE a\r\nDONE b\r\nDONE a\r\nDONE b\r\n");
+  EXPECT_EQ(DagmanEngine::read_rescue_file(rescue),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(Engine, RescueRunIgnoresUnknownDoneIds) {
+  // Ids from a stale rescue file (e.g. a replanned workflow) parse fine and
+  // are ignored by the engine rather than crashing the run.
+  common::ScratchDir dir("engine-rescue-unknown");
+  const auto rescue = dir.file("rescue.dag");
+  common::write_file(rescue, "DONE a\nDONE ghost_job\n");
+  EXPECT_EQ(DagmanEngine::read_rescue_file(rescue),
+            (std::set<std::string>{"a", "ghost_job"}));
+  FakeService service;
+  DagmanEngine engine;
+  const auto report = engine.run_rescue(diamond(), service, rescue);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.jobs_skipped, 1u);  // only a exists
+  EXPECT_EQ(report.total_attempts, 3u);
+}
+
+TEST(Engine, EmptyRescueFileMeansNothingIsSkipped) {
+  common::ScratchDir dir("engine-rescue-empty");
+  const auto rescue = dir.file("rescue.dag");
+  common::write_file(rescue, "# header only\n\n");
+  EXPECT_TRUE(DagmanEngine::read_rescue_file(rescue).empty());
+  FakeService service;
+  DagmanEngine engine;
+  const auto report = engine.run_rescue(diamond(), service, rescue);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.jobs_skipped, 0u);
+  EXPECT_EQ(report.total_attempts, 4u);
+}
+
+/// Records the typed event stream for the observer-contract test.
+class RecordingObserver final : public EngineObserver {
+ public:
+  void on_event(const EngineEvent& event) override {
+    types.push_back(event.type);
+    if (event.type == EngineEventType::kAttemptFinished) {
+      // The attempt pointer is only valid during the callback.
+      ASSERT_NE(event.result, nullptr);
+      attempt_jobs.push_back(event.result->job_id);
+    }
+  }
+  std::vector<EngineEventType> types;
+  std::vector<std::string> attempt_jobs;
+};
+
+TEST(Engine, CustomObserversSeeTheFullTypedEventStream) {
+  FakeService service;
+  service.failures_before_success["b"] = 1;
+  RecordingObserver recorder;
+  EngineOptions options;
+  options.retries = 1;
+  options.observers.push_back(&recorder);
+  DagmanEngine engine(std::move(options));
+  const auto report = engine.run(diamond(), service);
+  ASSERT_TRUE(report.success);
+
+  ASSERT_FALSE(recorder.types.empty());
+  EXPECT_EQ(recorder.types.front(), EngineEventType::kRunStarted);
+  EXPECT_EQ(recorder.types.back(), EngineEventType::kRunFinished);
+  const auto count = [&](EngineEventType type) {
+    return std::count(recorder.types.begin(), recorder.types.end(), type);
+  };
+  EXPECT_EQ(count(EngineEventType::kJobSubmitted), 5);  // 4 jobs + 1 retry
+  EXPECT_EQ(count(EngineEventType::kAttemptFinished), 5);
+  EXPECT_EQ(count(EngineEventType::kJobSucceeded), 4);
+  EXPECT_EQ(count(EngineEventType::kJobRetry), 1);
+  EXPECT_EQ(count(EngineEventType::kJobFailed), 0);
+  EXPECT_EQ(recorder.attempt_jobs.size(), 5u);
 }
 
 TEST(Engine, RunsOnSimulatedCampusCluster) {

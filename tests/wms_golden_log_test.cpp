@@ -1,0 +1,170 @@
+// Golden-log equivalence suite: the refactored event-driven engine under
+// its default FIFO policy must reproduce the pre-refactor engine's
+// jobstate logs byte for byte. The fixtures in tests/golden/ were recorded
+// against the engine as of the commit preceding the scheduler-core
+// refactor; the scenarios are rebuilt here from the same shared builders
+// (tests/wms_test_dags.hpp), so any drift — event order, timestamps,
+// formatting — fails line-by-line with context.
+//
+// The same runs double as live-observer equivalence checks: statistics and
+// traces accumulated from the event stream must match what the post-hoc
+// RunReport paths compute.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fsutil.hpp"
+#include "core/b2c3_workflow.hpp"
+#include "sim/campus_cluster.hpp"
+#include "sim/osg.hpp"
+#include "wms/analyzer.hpp"
+#include "wms/engine.hpp"
+#include "wms/exec_service.hpp"
+#include "wms/fault_injection.hpp"
+#include "wms/statistics.hpp"
+#include "wms_test_dags.hpp"
+
+namespace pga::wms {
+namespace {
+
+std::filesystem::path golden_path(const std::string& name) {
+  return std::filesystem::path(PGA_GOLDEN_DIR) / name;
+}
+
+/// Line-by-line comparison with readable context on the first divergence.
+void expect_matches_golden(const RunReport& report, const std::string& name) {
+  const auto expected = common::read_lines(golden_path(name));
+  ASSERT_FALSE(expected.empty()) << "missing or empty fixture: " << name;
+  for (std::size_t i = 0; i < std::min(expected.size(), report.jobstate_log.size());
+       ++i) {
+    ASSERT_EQ(report.jobstate_log[i], expected[i])
+        << name << " diverges at line " << i + 1;
+  }
+  EXPECT_EQ(report.jobstate_log.size(), expected.size()) << name;
+}
+
+/// Every scenario also validates the event-stream observers against the
+/// post-hoc RunReport paths they replaced.
+void expect_observers_agree(const RunReport& report,
+                            const StatisticsAccumulator& accumulator,
+                            const TraceCollector& live_trace) {
+  const auto reference = WorkflowStatistics::from_run(report);
+  const auto& live = accumulator.stats();
+  EXPECT_EQ(live.success(), reference.success());
+  EXPECT_EQ(live.jobs(), reference.jobs());
+  EXPECT_EQ(live.attempts(), reference.attempts());
+  EXPECT_EQ(live.retries(), reference.retries());
+  EXPECT_EQ(live.failed_jobs(), reference.failed_jobs());
+  EXPECT_EQ(live.timed_out_attempts(), reference.timed_out_attempts());
+  EXPECT_EQ(live.blacklisted_nodes(), reference.blacklisted_nodes());
+  EXPECT_DOUBLE_EQ(live.wall_seconds(), reference.wall_seconds());
+  EXPECT_DOUBLE_EQ(live.cumulative_kickstart(), reference.cumulative_kickstart());
+  EXPECT_DOUBLE_EQ(live.cumulative_badput(), reference.cumulative_badput());
+  EXPECT_DOUBLE_EQ(live.cumulative_waiting(), reference.cumulative_waiting());
+  EXPECT_DOUBLE_EQ(live.cumulative_install(), reference.cumulative_install());
+  EXPECT_DOUBLE_EQ(live.total_backoff_seconds(), reference.total_backoff_seconds());
+  // The rendered summaries cover the per-transformation distributions.
+  EXPECT_EQ(live.render("x"), reference.render("x"));
+  EXPECT_EQ(live_trace.csv(), attempts_csv(report));
+  EXPECT_EQ(live_trace.attempt_count(), report.total_attempts);
+}
+
+/// Observer bundle every scenario threads through EngineOptions.observers.
+struct LiveObservers {
+  StatisticsAccumulator statistics;
+  TraceCollector trace;
+
+  void attach(EngineOptions& options) {
+    options.observers.push_back(&statistics);
+    options.observers.push_back(&trace);
+  }
+};
+
+TEST(GoldenLog, SandhillsN10MatchesPreRefactorEngine) {
+  const core::WorkloadModel workload;
+  const core::B2c3WorkflowSpec spec{.n = 10};
+  const auto dax = core::build_blast2cap3_dax(spec, &workload);
+  const auto concrete = core::plan_for_site(dax, "sandhills", spec);
+  sim::EventQueue queue;
+  sim::CampusClusterConfig config;
+  config.allocated_slots = 16;
+  config.seed = 11;
+  sim::CampusClusterPlatform platform(queue, config);
+  SimService service(queue, platform);
+  EngineOptions options;
+  LiveObservers live;
+  live.attach(options);
+  DagmanEngine engine(std::move(options));
+  const auto report = engine.run(concrete, service);
+  ASSERT_TRUE(report.success);
+  expect_matches_golden(report, "sandhills_n10.log");
+  expect_observers_agree(report, live.statistics, live.trace);
+}
+
+TEST(GoldenLog, OsgN10MatchesPreRefactorEngine) {
+  const core::WorkloadModel workload;
+  const core::B2c3WorkflowSpec spec{.n = 10};
+  const auto dax = core::build_blast2cap3_dax(spec, &workload);
+  const auto concrete = core::plan_for_site(dax, "osg", spec);
+  sim::EventQueue queue;
+  sim::OsgConfig config;
+  config.seed = 11;
+  sim::OsgPlatform platform(queue, config);
+  SimService service(queue, platform);
+  EngineOptions options;
+  options.retries = 100;
+  LiveObservers live;
+  live.attach(options);
+  DagmanEngine engine(std::move(options));
+  const auto report = engine.run(concrete, service);
+  ASSERT_TRUE(report.success);
+  expect_matches_golden(report, "osg_n10.log");
+  expect_observers_agree(report, live.statistics, live.trace);
+}
+
+TEST(GoldenLog, ChaosSeed42MatchesPreRefactorEngine) {
+  // The chaos suite's seed-42 run: injected failures, hangs, delays and
+  // corruption with every hardening feature on — the densest event stream
+  // (RETRY, BACKOFF, TIMEOUT, BLACKLIST) the engine produces.
+  sim::EventQueue queue;
+  sim::CampusClusterConfig config;
+  config.allocated_slots = 4;
+  config.seed = 42;
+  sim::CampusClusterPlatform platform(queue, config);
+  SimService sim_service(queue, platform);
+  FaultyService faulty(sim_service, FaultPlan().chaos(testing::chaos_for(42)));
+  auto options = testing::hardened_options();
+  LiveObservers live;
+  live.attach(options);
+  DagmanEngine engine(std::move(options));
+  const auto report = engine.run(testing::random_dag(42), faulty);
+  expect_matches_golden(report, "chaos_42.log");
+  expect_observers_agree(report, live.statistics, live.trace);
+}
+
+TEST(GoldenLog, ExplicitFifoAndNullPolicyAreIdentical) {
+  // EngineOptions.policy = nullptr must mean exactly fifo_policy(), and a
+  // zero-priority workflow must make the priority policy degenerate to it.
+  const auto wf = testing::random_dag(7);
+  const auto run_with = [&](std::shared_ptr<SchedulingPolicy> policy) {
+    sim::EventQueue queue;
+    sim::CampusClusterConfig config;
+    config.allocated_slots = 4;
+    config.seed = 7;
+    sim::CampusClusterPlatform platform(queue, config);
+    SimService service(queue, platform);
+    EngineOptions options;
+    options.max_jobs_in_flight = 3;  // make the pick order decisive
+    options.policy = std::move(policy);
+    DagmanEngine engine(std::move(options));
+    return engine.run(wf, service).jobstate_log;
+  };
+  const auto baseline = run_with(nullptr);
+  EXPECT_EQ(run_with(fifo_policy()), baseline);
+  EXPECT_EQ(run_with(job_priority_policy()), baseline);
+}
+
+}  // namespace
+}  // namespace pga::wms

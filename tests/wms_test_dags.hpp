@@ -1,0 +1,65 @@
+// Shared deterministic scenario builders for the engine test suites.
+//
+// The chaos suite (wms_chaos_test.cpp), the golden-log equivalence test
+// (wms_golden_log_test.cpp) and the golden-log generator all build their
+// workflows and fault plans from these helpers, so the recorded logs and
+// the replayed runs can never drift apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "wms/engine.hpp"
+#include "wms/fault_injection.hpp"
+
+namespace pga::wms::testing {
+
+/// Random DAG in the style of tests/property_test.cpp: forward edges only.
+inline ConcreteWorkflow random_dag(std::uint64_t seed, int n = 25) {
+  common::Rng rng(seed);
+  ConcreteWorkflow wf("chaos-" + std::to_string(seed), "sim");
+  for (int i = 0; i < n; ++i) {
+    ConcreteJob job;
+    job.id = "j" + std::to_string(i);
+    job.transformation = i % 3 == 0 ? "split" : "run_cap3";
+    job.cpu_seconds_hint = rng.uniform(50, 500);
+    wf.add_job(std::move(job));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.chance(0.12)) {
+        wf.add_dependency("j" + std::to_string(i), "j" + std::to_string(j));
+      }
+    }
+  }
+  return wf;
+}
+
+/// The chaos suite's standard fault mix for one seed.
+inline ChaosConfig chaos_for(std::uint64_t seed) {
+  ChaosConfig chaos;
+  chaos.fail_probability = 0.15;
+  chaos.hang_probability = 0.10;
+  chaos.delay_probability = 0.10;
+  chaos.corrupt_probability = 0.05;
+  chaos.max_delay_seconds = 400;
+  chaos.seed = seed;
+  return chaos;
+}
+
+/// Engine options with every hardening feature switched on.
+inline EngineOptions hardened_options() {
+  EngineOptions options;
+  options.retries = 6;
+  // Far above any genuine attempt's queue-wait + exec + injected delay on
+  // the campus backend, so only injected hangs ever trip it.
+  options.attempt_timeout_seconds = 20'000;
+  options.backoff_base_seconds = 5;
+  options.backoff_max_seconds = 60;
+  options.backoff_jitter = 0.25;
+  options.node_blacklist_threshold = 3;
+  return options;
+}
+
+}  // namespace pga::wms::testing
