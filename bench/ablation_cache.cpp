@@ -1,0 +1,75 @@
+// Ablation — the §VII fix, realized: per-node software caching on OSG.
+//
+// The paper's OSG runs pay a download/install overhead on every task
+// attempt (§VI.B) and name "setting the proper software configuration on
+// the OSG resources for less time" as future work (§VII). The data layer
+// (DESIGN §6c) makes that concrete: a per-node SoftwareCache turns repeat
+// installs on a node into cheap warm hits. This harness compares OSG wall
+// time per-attempt vs per-node-cached at n in {10, 100, 300} against the
+// Sandhills reference and reports the cache hit rate, then double-runs one
+// point to demonstrate the (config, seed) -> byte-identical determinism.
+//
+//   ./ablation_cache [repetitions]
+#include <cstdio>
+#include <string>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pga;
+  const std::size_t repetitions = argc > 1 ? std::stoul(argv[1]) : 9;
+
+  core::ExperimentConfig base;
+  base.repetitions = repetitions;
+
+  core::ExperimentConfig cached = base;
+  cached.data.cache_installs = true;
+
+  std::printf("== ablation: per-node software cache on OSG (%zu reps) ==\n",
+              repetitions);
+  std::printf("cache: %.1f GiB/node, warm hit %.0f s (cold: %.0f-%.0f s draw)\n\n",
+              static_cast<double>(cached.data.cache.capacity_bytes) /
+                  (1024.0 * 1024.0 * 1024.0),
+              cached.data.cache.hit_seconds, base.osg.install_min,
+              base.osg.install_max);
+
+  common::Table table({"n", "sandhills (s)", "osg per-attempt (s)",
+                       "osg cached (s)", "saved", "hit rate", "gap left"});
+  for (const std::size_t n : {std::size_t{10}, std::size_t{100}, std::size_t{300}}) {
+    base.n_values = {n};
+    cached.n_values = {n};
+    const auto sandhills = core::run_sim_point(base, "sandhills", n);
+    const auto stock = core::run_sim_point(base, "osg", n);
+    const auto warm = core::run_sim_point(cached, "osg", n);
+
+    const double saved = stock.mean_wall() - warm.mean_wall();
+    table.add_row(
+        {std::to_string(n), common::format_fixed(sandhills.mean_wall(), 0),
+         common::format_fixed(stock.mean_wall(), 0),
+         common::format_fixed(warm.mean_wall(), 0),
+         common::format_fixed(100.0 * saved / stock.mean_wall(), 1) + "%",
+         common::format_fixed(warm.stats.cache_hit_rate() * 100.0, 1) + "%",
+         common::format_fixed(warm.mean_wall() / sandhills.mean_wall(), 2) + "x"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("caching shrinks Cumulative Install toward the warm-hit floor; the\n"
+              "residual OSG gap is opportunistic waiting plus preemption retries\n"
+              "(the ablation_install finding), now demonstrated with the install\n"
+              "fix the paper proposed instead of by deleting the overhead.\n\n");
+
+  // Determinism: same (config, seed) must reproduce byte-identical stats.
+  core::ExperimentConfig det = cached;
+  det.n_values = {300};
+  det.repetitions = 1;
+  const auto first = core::run_sim_point(det, "osg", 300);
+  const auto second = core::run_sim_point(det, "osg", 300);
+  const bool identical =
+      first.stats.render("r") == second.stats.render("r") &&
+      first.stats.warm_installs() == second.stats.warm_installs();
+  std::printf("determinism check (n=300 cached, double run): %s\n",
+              identical ? "byte-identical" : "MISMATCH");
+  return identical ? 0 : 1;
+}

@@ -36,8 +36,10 @@ int main(int argc, char** argv) {
   double zero_install_wall = 0;
   for (const double scale : {1.0, 0.5, 0.25, 0.0}) {
     auto config = base;
-    config.osg.install_min = 180 * scale;
-    config.osg.install_max = 600 * scale;
+    // Sweep from the config's own defaults so an OsgConfig recalibration
+    // cannot silently desynchronize this bench from the model.
+    config.osg.install_min = base.osg.install_min * scale;
+    config.osg.install_max = base.osg.install_max * scale;
     const auto point = core::run_sim_point(config, "osg", n);
     if (scale == 0.0) zero_install_wall = point.mean_wall();
     table.add_row(

@@ -23,7 +23,9 @@ run_suite() {
   echo "==> build ${dir}"
   cmake --build "${dir}" -j "${jobs}"
   echo "==> ctest ${dir} (-L tier1)"
-  ctest --test-dir "${dir}" -L tier1 --output-on-failure -j "${jobs}"
+  # Explicit per-test timeout: a wedged simulation (staging deadlock, hung
+  # chaos run) fails the leg instead of stalling CI forever.
+  ctest --test-dir "${dir}" -L tier1 --timeout 300 --output-on-failure -j "${jobs}"
 }
 
 run_suite build

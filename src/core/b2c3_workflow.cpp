@@ -133,10 +133,14 @@ wms::TransformationCatalog paper_transformation_catalog() {
   wms::TransformationCatalog tc;
   const char* transformations[] = {"create_list", "split_alignments", "run_cap3",
                                    "merge_joined", "find_unjoined", "final_merge"};
+  // The OSG bundle is the whole Python/Biopython/CAP3 stack each modified
+  // task downloads (§IV.B); ~350 MB is what the 180–600 s install window
+  // implies at the paper-era stage bandwidths.
+  const std::uint64_t osg_bundle_bytes = 350ull * 1024 * 1024;
   for (const char* tf : transformations) {
     tc.add(tf, "sandhills", {std::string("/util/opt/") + tf, /*installed=*/true});
     tc.add(tf, "osg", {std::string("http://stash/b2c3/") + tf + ".tar.gz",
-                       /*installed=*/false});
+                       /*installed=*/false, osg_bundle_bytes});
   }
   return tc;
 }

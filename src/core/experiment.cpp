@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "data/staging_service.hpp"
 #include "wms/engine.hpp"
 #include "wms/exec_service.hpp"
 
@@ -38,6 +39,25 @@ struct SingleRun {
   std::size_t preemptions = 0;
 };
 
+/// Registers a storage element per paper site (plus the submit host) on
+/// `transfers`, deriving bandwidths from the site catalog.
+void add_site_elements(data::TransferManager& transfers, std::size_t transfer_slots) {
+  const wms::SiteCatalog sites = paper_site_catalog();
+  for (const auto& name : sites.names()) {
+    const wms::SiteEntry& site = sites.site(name);
+    data::StorageElementConfig element;
+    element.site = name;
+    element.bandwidth_in_bps = site.stage_bandwidth_bps;
+    element.bandwidth_out_bps = site.stage_bandwidth_bps;
+    element.transfer_slots = transfer_slots;
+    transfers.add_element(std::move(element));
+  }
+  data::StorageElementConfig submit_host;
+  submit_host.site = "local";
+  submit_host.transfer_slots = transfer_slots;
+  transfers.add_element(std::move(submit_host));
+}
+
 SingleRun run_once(const ExperimentConfig& config, const std::string& platform,
                    std::size_t n, std::uint64_t run_seed) {
   if (platform != "sandhills" && platform != "osg" && platform != "cloud") {
@@ -70,12 +90,34 @@ SingleRun run_once(const ExperimentConfig& config, const std::string& platform,
     throw common::InvalidArgument("unknown platform: " + platform);
   }
 
-  wms::SimService service(queue, *sim_platform);
+  // Optional data layer: per-node software cache and/or modeled staging.
+  std::unique_ptr<data::SoftwareCache> cache;
+  if (config.data.cache_installs) {
+    cache = std::make_unique<data::SoftwareCache>(config.data.cache);
+    sim_platform->set_install_model(cache.get());
+  }
+
+  wms::SimService sim_service(queue, *sim_platform);
+  std::unique_ptr<data::TransferManager> transfers;
+  std::unique_ptr<data::StagingService> staging;
+  wms::ExecutionService* service = &sim_service;
+  const wms::ReplicaCatalog replicas = paper_replica_catalog(spec);
+  if (config.data.model_staging) {
+    data::TransferConfig transfer_config = config.data.transfers;
+    // Each repetition draws its own failure stream, like the platforms.
+    transfer_config.seed ^= run_seed;
+    transfers = std::make_unique<data::TransferManager>(queue, transfer_config);
+    add_site_elements(*transfers, config.data.transfer_slots);
+    staging = std::make_unique<data::StagingService>(queue, sim_service, *transfers,
+                                                     replicas);
+    service = staging.get();
+  }
+
   wms::EngineOptions options{.retries = config.engine_retries, .rescue_path = {}};
   options.max_jobs_in_flight = config.max_jobs_in_flight;
   options.policy = wms::make_policy(config.scheduling_policy);
   wms::DagmanEngine engine(std::move(options));
-  const auto report = engine.run(concrete, service);
+  const auto report = engine.run(concrete, *service);
   if (!report.success) {
     throw common::WorkflowError("simulated run failed on " + platform + " n=" +
                                 std::to_string(n));

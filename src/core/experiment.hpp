@@ -11,12 +11,30 @@
 
 #include "core/b2c3_workflow.hpp"
 #include "core/workload.hpp"
+#include "data/software_cache.hpp"
+#include "data/transfer_manager.hpp"
 #include "sim/campus_cluster.hpp"
 #include "sim/cloud.hpp"
 #include "sim/osg.hpp"
 #include "wms/statistics.hpp"
 
 namespace pga::core {
+
+/// Data-layer knobs (src/data/): per-node software caching and modeled
+/// staging. Both default off, which reproduces the paper's per-attempt
+/// install and hint-priced transfers byte-identically.
+struct DataLayerConfig {
+  /// Attach a per-node SoftwareCache to the platform so install overhead
+  /// is paid once per node instead of once per attempt (§VII future work).
+  bool cache_installs = false;
+  data::SoftwareCacheConfig cache{};
+  /// Replace the flat-cost stage-in/stage-out jobs with bandwidth-modeled
+  /// transfers between per-site storage elements.
+  bool model_staging = false;
+  data::TransferConfig transfers{};
+  /// Concurrent-transfer slots per auto-built site storage element.
+  std::size_t transfer_slots = 4;
+};
 
 /// Sweep configuration. Defaults reproduce the paper's setup.
 struct ExperimentConfig {
@@ -40,6 +58,8 @@ struct ExperimentConfig {
   /// does all the slot scheduling, so release order barely matters); set
   /// it at or below the slot count to make the policy choice decisive.
   std::size_t max_jobs_in_flight = 0;
+  /// Data-layer models (software cache + modeled staging); off by default.
+  DataLayerConfig data{};
 };
 
 /// One (platform, n) simulated point, possibly averaged over repetitions.

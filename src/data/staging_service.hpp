@@ -1,0 +1,91 @@
+// StagingService — an ExecutionService decorator (same shape as
+// wms::FaultyService) that intercepts the planner's stage-in/stage-out
+// jobs and realizes them as modeled transfers on the TransferManager
+// instead of flat-cost simulated jobs. Compute/setup/cleanup jobs pass
+// through to the wrapped service untouched.
+//
+// Stage-in: every LFN in the job's args is transferred from its selected
+// replica source (TransferManager::select_source) to the execution site.
+// Stage-out: every LFN moves from the execution site back to the submit
+// site. The per-file transfers of one job run concurrently (slots
+// permitting) and are folded into one TaskAttempt: success means every
+// file landed; a file that exhausts its retries fails the whole attempt,
+// which the DAGMan engine then retries like any other failed job.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/transfer_manager.hpp"
+#include "sim/event_queue.hpp"
+#include "wms/catalog.hpp"
+#include "wms/exec_service.hpp"
+
+namespace pga::data {
+
+/// Tunables for the staging decorator.
+struct StagingConfig {
+  std::string submit_site = "local";  ///< where inputs start and outputs land
+  /// Bytes assumed per staged file when the replica catalog has no size
+  /// (notably workflow outputs, which have no replica at plan time).
+  std::uint64_t default_file_bytes = 0;
+};
+
+/// Decorates a simulation-backed ExecutionService with modeled staging.
+/// The inner service must share `queue` (its completions and the
+/// transfer events interleave on one clock); this matches SimService.
+class StagingService final : public wms::ExecutionService {
+ public:
+  /// All references must outlive the service.
+  StagingService(sim::EventQueue& queue, wms::ExecutionService& inner,
+                 TransferManager& transfers, const wms::ReplicaCatalog& replicas,
+                 StagingConfig config = {});
+
+  void submit(const wms::ConcreteJob& job) override;
+  std::vector<wms::TaskAttempt> wait() override;
+  std::vector<wms::TaskAttempt> wait_for(double timeout_seconds) override;
+  void avoid_node(const std::string& node) override { inner_.avoid_node(node); }
+  double now() override { return queue_.now(); }
+  [[nodiscard]] std::string label() const override { return inner_.label(); }
+
+  /// Staging attempts intercepted so far (for reporting/tests).
+  [[nodiscard]] std::size_t staged_jobs() const { return staged_jobs_; }
+
+ private:
+  /// Aggregates the per-file transfers of one staging job.
+  struct StagingJob {
+    std::string job_id;
+    std::string transformation;
+    std::string site;
+    double submit_time = 0;
+    std::size_t remaining = 0;
+    bool all_ok = true;
+    std::string error;
+    double first_start = -1;
+    double last_end = 0;
+    std::uint64_t bytes = 0;
+    std::size_t attempts = 0;
+  };
+
+  void stage(const wms::ConcreteJob& job);
+  void complete(const std::shared_ptr<StagingJob>& staging);
+  /// Everything finished so far: own staged attempts + the inner
+  /// service's, drained without advancing time.
+  std::vector<wms::TaskAttempt> drain();
+
+  sim::EventQueue& queue_;
+  wms::ExecutionService& inner_;
+  TransferManager& transfers_;
+  const wms::ReplicaCatalog& replicas_;
+  StagingConfig config_;
+
+  std::deque<wms::TaskAttempt> completed_;
+  std::size_t own_outstanding_ = 0;
+  std::size_t inner_outstanding_ = 0;
+  std::size_t staged_jobs_ = 0;
+};
+
+}  // namespace pga::data

@@ -1,0 +1,66 @@
+#include "data/storage_element.hpp"
+
+#include "common/error.hpp"
+
+namespace pga::data {
+
+StorageElement::StorageElement(StorageElementConfig config)
+    : config_(std::move(config)) {
+  if (config_.site.empty()) {
+    throw common::InvalidArgument("StorageElement: empty site name");
+  }
+  if (config_.bandwidth_in_bps <= 0 || config_.bandwidth_out_bps <= 0) {
+    throw common::InvalidArgument("StorageElement: bandwidth must be > 0");
+  }
+  if (config_.transfer_slots == 0) {
+    throw common::InvalidArgument("StorageElement: transfer_slots must be >= 1");
+  }
+}
+
+bool StorageElement::holds(const std::string& lfn) const {
+  return files_.count(lfn) != 0;
+}
+
+bool StorageElement::store(const std::string& lfn, std::uint64_t bytes) {
+  const auto it = files_.find(lfn);
+  const std::uint64_t previous = it == files_.end() ? 0 : it->second;
+  const std::uint64_t would_use = used_ - previous + bytes;
+  if (config_.capacity_bytes > 0 && would_use > config_.capacity_bytes) {
+    return false;
+  }
+  files_[lfn] = bytes;
+  used_ = would_use;
+  return true;
+}
+
+void StorageElement::evict(const std::string& lfn) {
+  const auto it = files_.find(lfn);
+  if (it == files_.end()) return;
+  used_ -= it->second;
+  files_.erase(it);
+}
+
+std::uint64_t StorageElement::free_bytes() const {
+  if (config_.capacity_bytes == 0) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return config_.capacity_bytes > used_ ? config_.capacity_bytes - used_ : 0;
+}
+
+void StorageElement::acquire_slot() {
+  if (!slot_available()) {
+    throw common::WorkflowError("StorageElement " + config_.site +
+                                ": no transfer slot available");
+  }
+  ++active_transfers_;
+}
+
+void StorageElement::release_slot() {
+  if (active_transfers_ == 0) {
+    throw common::WorkflowError("StorageElement " + config_.site +
+                                ": release_slot without acquire");
+  }
+  --active_transfers_;
+}
+
+}  // namespace pga::data

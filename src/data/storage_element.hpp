@@ -1,0 +1,64 @@
+// Per-site storage elements — the data layer's model of a site's scratch
+// or gridftp endpoint (CERN EOS being the production-scale exemplar): a
+// byte capacity, asymmetric in/out bandwidth, and a bounded number of
+// concurrent transfer slots. The TransferManager owns one element per
+// site and schedules transfers against their slots and bandwidths.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace pga::data {
+
+/// Tunables for one site's storage element.
+struct StorageElementConfig {
+  std::string site;                   ///< owning site ("local", "osg", ...)
+  std::uint64_t capacity_bytes = 0;   ///< 0 = unbounded scratch
+  double bandwidth_in_bps = 100e6;    ///< sustained ingest bandwidth
+  double bandwidth_out_bps = 100e6;   ///< sustained serving bandwidth
+  std::size_t transfer_slots = 4;     ///< concurrent transfers (in + out)
+};
+
+/// One site's storage: a set of held files plus transfer-slot accounting.
+/// Purely bookkeeping — durations and queuing live in TransferManager, so
+/// this class stays deterministic and trivially testable.
+class StorageElement {
+ public:
+  explicit StorageElement(StorageElementConfig config);
+
+  [[nodiscard]] const std::string& site() const { return config_.site; }
+  [[nodiscard]] const StorageElementConfig& config() const { return config_; }
+
+  /// Whether the element currently holds `lfn`.
+  [[nodiscard]] bool holds(const std::string& lfn) const;
+  /// Records `lfn` as held (replacing any previous size). Returns false —
+  /// and stores nothing — when a bounded element lacks the free space;
+  /// the transfer itself still succeeded, the copy just isn't retained.
+  bool store(const std::string& lfn, std::uint64_t bytes);
+  /// Drops `lfn` if held (no-op otherwise).
+  void evict(const std::string& lfn);
+
+  [[nodiscard]] std::uint64_t used_bytes() const { return used_; }
+  /// Free space; unbounded elements report uint64 max.
+  [[nodiscard]] std::uint64_t free_bytes() const;
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+
+  /// Transfer-slot accounting (one slot per active transfer touching this
+  /// element, whichever direction).
+  [[nodiscard]] bool slot_available() const {
+    return active_transfers_ < config_.transfer_slots;
+  }
+  void acquire_slot();
+  void release_slot();
+  [[nodiscard]] std::size_t active_transfers() const { return active_transfers_; }
+
+ private:
+  StorageElementConfig config_;
+  std::map<std::string, std::uint64_t> files_;  ///< lfn -> bytes
+  std::uint64_t used_ = 0;
+  std::size_t active_transfers_ = 0;
+};
+
+}  // namespace pga::data

@@ -1,0 +1,221 @@
+#include "data/transfer_manager.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace pga::data {
+
+using common::InvalidArgument;
+
+TransferManager::TransferManager(sim::EventQueue& queue, TransferConfig config)
+    : queue_(queue), config_(config), rng_(config.seed) {
+  if (config_.latency_seconds < 0) {
+    throw InvalidArgument("TransferManager: latency must be >= 0");
+  }
+  if (config_.failure_probability < 0 || config_.failure_probability >= 1.0) {
+    throw InvalidArgument("TransferManager: failure_probability must be in [0,1)");
+  }
+  if (config_.retry_backoff_seconds < 0) {
+    throw InvalidArgument("TransferManager: retry backoff must be >= 0");
+  }
+}
+
+void TransferManager::add_element(StorageElementConfig config) {
+  const std::string site = config.site;
+  elements_.erase(site);
+  elements_.emplace(site, StorageElement(std::move(config)));
+}
+
+bool TransferManager::has_element(const std::string& site) const {
+  return elements_.count(site) != 0;
+}
+
+StorageElement& TransferManager::element(const std::string& site) {
+  const auto it = elements_.find(site);
+  if (it == elements_.end()) {
+    throw InvalidArgument("TransferManager: no storage element for site " + site);
+  }
+  return it->second;
+}
+
+const StorageElement& TransferManager::element(const std::string& site) const {
+  const auto it = elements_.find(site);
+  if (it == elements_.end()) {
+    throw InvalidArgument("TransferManager: no storage element for site " + site);
+  }
+  return it->second;
+}
+
+StorageElement& TransferManager::ensure_element(const std::string& site) {
+  const auto it = elements_.find(site);
+  if (it != elements_.end()) return it->second;
+  StorageElementConfig config;
+  config.site = site;
+  return elements_.emplace(site, StorageElement(std::move(config))).first->second;
+}
+
+std::optional<wms::Replica> TransferManager::select_source(
+    const wms::ReplicaCatalog& catalog, const std::string& lfn,
+    const std::string& dest_site) const {
+  const auto candidates = catalog.lookup(lfn);
+  if (candidates.empty()) return std::nullopt;
+
+  const wms::Replica* local = nullptr;
+  const wms::Replica* fastest = nullptr;
+  double fastest_bps = -1;
+  const wms::Replica* any = nullptr;
+  for (const auto& replica : candidates) {
+    if (replica.site == dest_site && (local == nullptr || replica.pfn < local->pfn)) {
+      local = &replica;
+    }
+    const auto it = elements_.find(replica.site);
+    if (it != elements_.end()) {
+      const double bps = it->second.config().bandwidth_out_bps;
+      if (fastest == nullptr || bps > fastest_bps ||
+          (bps == fastest_bps && std::tie(replica.site, replica.pfn) <
+                                     std::tie(fastest->site, fastest->pfn))) {
+        fastest = &replica;
+        fastest_bps = bps;
+      }
+    }
+    if (any == nullptr || std::tie(replica.site, replica.pfn) <
+                              std::tie(any->site, any->pfn)) {
+      any = &replica;
+    }
+  }
+  if (local != nullptr) return *local;
+  if (fastest != nullptr) return *fastest;
+  return *any;
+}
+
+double TransferManager::duration_for(std::uint64_t bytes,
+                                     const std::string& source_site,
+                                     const std::string& dest_site) const {
+  if (source_site == dest_site) return config_.latency_seconds;
+  double bps = StorageElementConfig{}.bandwidth_out_bps;
+  const auto src = elements_.find(source_site);
+  const auto dst = elements_.find(dest_site);
+  if (src != elements_.end() && dst != elements_.end()) {
+    bps = std::min(src->second.config().bandwidth_out_bps,
+                   dst->second.config().bandwidth_in_bps);
+  } else if (src != elements_.end()) {
+    bps = src->second.config().bandwidth_out_bps;
+  } else if (dst != elements_.end()) {
+    bps = dst->second.config().bandwidth_in_bps;
+  }
+  return config_.latency_seconds + static_cast<double>(bytes) / bps;
+}
+
+void TransferManager::transfer(const std::string& lfn, std::uint64_t bytes,
+                               const std::string& source_site,
+                               const std::string& dest_site,
+                               TransferCallback on_complete) {
+  if (!on_complete) throw InvalidArgument("TransferManager: null callback");
+  ensure_element(source_site);
+  ensure_element(dest_site);
+  auto request = std::make_shared<Request>();
+  request->lfn = lfn;
+  request->bytes = bytes;
+  request->source_site = source_site;
+  request->dest_site = dest_site;
+  request->on_complete = std::move(on_complete);
+  request->submit_time = queue_.now();
+  waiting_.push_back(std::move(request));
+  pump();
+}
+
+void TransferManager::pump() {
+  // Scan-first-dispatchable: a request blocked on a busy endpoint must not
+  // starve transfers between idle sites behind it. FIFO order still wins
+  // among requests contending for the same endpoints.
+  for (auto it = waiting_.begin(); it != waiting_.end();) {
+    StorageElement& src = element((*it)->source_site);
+    StorageElement& dst = element((*it)->dest_site);
+    const bool same_site = (*it)->source_site == (*it)->dest_site;
+    const bool dispatchable =
+        same_site ? dst.slot_available()
+                  : (src.slot_available() && dst.slot_available());
+    if (!dispatchable) {
+      ++it;
+      continue;
+    }
+    std::shared_ptr<Request> request = *it;
+    it = waiting_.erase(it);
+    start(std::move(request));
+    // Restart the scan: start() may have freed nothing, but iterator
+    // stability across erase + container growth elsewhere is not worth
+    // reasoning about per element.
+    it = waiting_.begin();
+  }
+}
+
+void TransferManager::start(std::shared_ptr<Request> request) {
+  StorageElement& src = element(request->source_site);
+  StorageElement& dst = element(request->dest_site);
+  const bool same_site = request->source_site == request->dest_site;
+  if (!same_site) src.acquire_slot();
+  dst.acquire_slot();
+  ++in_flight_;
+  ++request->attempts;
+  if (request->first_start < 0) request->first_start = queue_.now();
+
+  const double duration =
+      duration_for(request->bytes, request->source_site, request->dest_site);
+  // Failure draw order is fixed (fail?, then partial fraction) so the RNG
+  // stream — and with it the whole run — replays from the seed.
+  bool failed = false;
+  double elapsed = duration;
+  if (config_.failure_probability > 0) {
+    failed = rng_.uniform() < config_.failure_probability;
+    if (failed) elapsed = rng_.uniform(0.0, duration);
+  }
+
+  queue_.schedule_in(elapsed, [this, request = std::move(request), same_site,
+                               failed]() mutable {
+    StorageElement& src = element(request->source_site);
+    StorageElement& dst = element(request->dest_site);
+    if (!same_site) src.release_slot();
+    dst.release_slot();
+    --in_flight_;
+    if (!failed) {
+      dst.store(request->lfn, request->bytes);
+      finish(request, /*success=*/true);
+    } else if (request->attempts <= config_.max_retries) {
+      ++stats_.retries;
+      queue_.schedule_in(config_.retry_backoff_seconds,
+                         [this, request = std::move(request)]() mutable {
+                           waiting_.push_back(std::move(request));
+                           pump();
+                         });
+    } else {
+      finish(request, /*success=*/false);
+    }
+    pump();
+  });
+}
+
+void TransferManager::finish(const std::shared_ptr<Request>& request, bool success) {
+  TransferResult result;
+  result.lfn = request->lfn;
+  result.source_site = request->source_site;
+  result.dest_site = request->dest_site;
+  result.bytes = request->bytes;
+  result.submit_time = request->submit_time;
+  result.start_time = request->first_start;
+  result.end_time = queue_.now();
+  result.attempts = request->attempts;
+  result.success = success;
+  if (success) {
+    stats_.bytes_moved += request->bytes;
+    ++stats_.completed;
+  } else {
+    result.failure = "transfer failed after " + std::to_string(request->attempts) +
+                     " attempts";
+    ++stats_.failed;
+  }
+  request->on_complete(result);
+}
+
+}  // namespace pga::data

@@ -13,6 +13,9 @@ CampusClusterPlatform::CampusClusterPlatform(EventQueue& queue,
   if (config.node_speed_min <= 0 || config.node_speed_min > config.node_speed_max) {
     throw common::InvalidArgument("CampusCluster: bad node speed bounds");
   }
+  if (config.install_min < 0 || config.install_min > config.install_max) {
+    throw common::InvalidArgument("CampusCluster: bad install bounds");
+  }
 }
 
 void CampusClusterPlatform::avoid_node(const std::string& node) {
@@ -49,6 +52,25 @@ void CampusClusterPlatform::try_dispatch() {
     const double exec = pending.job.cpu_seconds / speed;
     const std::string node = pick_node();
 
+    // Default config models the preinstalled stack: install_max == 0, no
+    // charge and — deliberately — no RNG draw, so existing seeded runs
+    // replay byte-identically. Nonzero bounds enable the overhead, with an
+    // attached cache model able to shortcut repeat installs per node.
+    double install = 0;
+    bool cache_hit = false;
+    if (pending.job.needs_software_setup && config_.install_max > 0) {
+      install = rng_.uniform(config_.install_min, config_.install_max);
+      if (install_model_ != nullptr) {
+        const InstallOutcome outcome = install_model_->install(
+            node, pending.job.transformation, pending.job.software_bytes, install);
+        install = std::min(outcome.seconds, install);
+        cache_hit = outcome.cache_hit;
+        // The cluster never preempts, so every install runs to completion.
+        install_model_->commit(node, pending.job.transformation,
+                               pending.job.software_bytes);
+      }
+    }
+
     AttemptResult result;
     result.job_id = pending.job.id;
     result.transformation = pending.job.transformation;
@@ -56,13 +78,15 @@ void CampusClusterPlatform::try_dispatch() {
     result.submit_time = pending.submit_time;
     result.start_time = queue_.now() + latency;
     result.wait_seconds = result.start_time - pending.submit_time;
-    result.install_seconds = 0;  // software stack is preinstalled
+    result.install_seconds = install;
+    result.install_cache_hit = cache_hit;
     result.exec_seconds = exec;
-    result.end_time = result.start_time + exec;
+    result.end_time = result.start_time + install + exec;
     result.success = true;  // the campus cluster never preempts or fails
 
-    queue_.schedule_in(latency + exec, [this, result = std::move(result),
-                                        cb = std::move(pending.on_complete)]() {
+    queue_.schedule_in(latency + install + exec,
+                       [this, result = std::move(result),
+                        cb = std::move(pending.on_complete)]() {
       --busy_;
       cb(result);
       try_dispatch();

@@ -31,6 +31,12 @@ struct CampusClusterConfig {
   double dispatch_sigma = 0.45;       ///< median exp(3.5) ~ 33 s
   double node_speed_min = 0.95;       ///< heterogeneous 2011 AMD cores
   double node_speed_max = 1.08;
+  /// Download/install overhead bounds for jobs flagged needs_software_setup.
+  /// Sandhills has the stack preinstalled, so both default to 0 (no charge,
+  /// and — important for seed-stable replay — no RNG draw). Raise them to
+  /// model a campus cluster without the preinstalled stack.
+  double install_min = 0;
+  double install_max = 0;
   std::uint64_t seed = 1;
 };
 

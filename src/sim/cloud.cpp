@@ -14,6 +14,9 @@ CloudPlatform::CloudPlatform(EventQueue& queue, const CloudConfig& config)
   if (config.node_speed <= 0) {
     throw common::InvalidArgument("Cloud: node_speed must be > 0");
   }
+  if (config.install_min < 0 || config.install_min > config.install_max) {
+    throw common::InvalidArgument("Cloud: bad install bounds");
+  }
 }
 
 void CloudPlatform::submit(const SimJob& job, AttemptCallback on_complete) {
@@ -52,21 +55,42 @@ void CloudPlatform::try_dispatch() {
       ++provisioned_;
     }
     const double exec = pending.job.cpu_seconds / config_.node_speed;
+    const std::string node = "cloud-vm-" + std::to_string(vm);
+
+    // Stock image: install_max == 0, stack baked in — no charge and no RNG
+    // draw (keeps seeded runs replayable). Nonzero bounds model a bare
+    // image; the cache model amortizes the download per VM.
+    double install = 0;
+    bool cache_hit = false;
+    if (pending.job.needs_software_setup && config_.install_max > 0) {
+      install = rng_.uniform(config_.install_min, config_.install_max);
+      if (install_model_ != nullptr) {
+        const InstallOutcome outcome = install_model_->install(
+            node, pending.job.transformation, pending.job.software_bytes, install);
+        install = std::min(outcome.seconds, install);
+        cache_hit = outcome.cache_hit;
+        // VMs are reliable: installs always complete.
+        install_model_->commit(node, pending.job.transformation,
+                               pending.job.software_bytes);
+      }
+    }
 
     AttemptResult result;
     result.job_id = pending.job.id;
     result.transformation = pending.job.transformation;
-    result.node = "cloud-vm-" + std::to_string(vm);
+    result.node = node;
     result.submit_time = pending.submit_time;
     result.start_time = queue_.now() + provision;
     result.wait_seconds = (queue_.now() + provision) - pending.submit_time;
-    result.install_seconds = 0;  // stack baked into the image
+    result.install_seconds = install;
+    result.install_cache_hit = cache_hit;
     result.exec_seconds = exec;
-    result.end_time = queue_.now() + provision + exec;
+    result.end_time = queue_.now() + provision + install + exec;
     result.success = true;
 
-    queue_.schedule_in(provision + exec, [this, vm, result = std::move(result),
-                                          cb = std::move(pending.on_complete)]() {
+    queue_.schedule_in(provision + install + exec,
+                       [this, vm, result = std::move(result),
+                        cb = std::move(pending.on_complete)]() {
       vm_busy_[vm] = false;
       cb(result);
       try_dispatch();

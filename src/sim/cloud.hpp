@@ -23,6 +23,12 @@ struct CloudConfig {
   double provision_mu = 4.7;         ///< lognormal mu of VM boot delay (median ~110 s)
   double provision_sigma = 0.4;
   double node_speed = 1.25;          ///< homogeneous modern cores
+  /// Install overhead bounds for flagged jobs. The stock image bakes the
+  /// stack in, so both default to 0 (no charge, no RNG draw); nonzero
+  /// bounds model a bare image that downloads the stack, which a cache
+  /// model then amortizes per VM.
+  double install_min = 0;
+  double install_max = 0;
   std::uint64_t seed = 3;
 };
 

@@ -82,14 +82,27 @@ void OsgPlatform::try_dispatch() {
     waiting_.pop_front();
     ++busy_;
 
+    // pick_node() draws no randomness, so hoisting it above the RNG calls
+    // keeps the stream (and golden logs) identical to the pre-cache model.
+    const std::string node = pick_node();
+
     const double speed = rng_.uniform(config_.node_speed_min, config_.node_speed_max);
-    const double install =
+    // Always burn the cold-install draw for flagged jobs — the attached
+    // cache model may shortcut the charge, but never the RNG stream.
+    const double cold_install =
         pending.job.needs_software_setup
             ? rng_.uniform(config_.install_min, config_.install_max)
             : 0.0;
+    double install = cold_install;
+    bool cache_hit = false;
+    if (pending.job.needs_software_setup && install_model_ != nullptr) {
+      const InstallOutcome outcome = install_model_->install(
+          node, pending.job.transformation, pending.job.software_bytes, cold_install);
+      install = std::min(outcome.seconds, cold_install);
+      cache_hit = outcome.cache_hit;
+    }
     const double exec_needed = pending.job.cpu_seconds / speed;
     const double time_to_preempt = rng_.exponential(config_.preempt_mean);
-    const std::string node = pick_node();
 
     AttemptResult result;
     result.job_id = pending.job.id;
@@ -99,6 +112,7 @@ void OsgPlatform::try_dispatch() {
     result.start_time = queue_.now();
     result.wait_seconds = queue_.now() - pending.submit_time;
     result.install_seconds = install;
+    result.install_cache_hit = cache_hit;
 
     double duration;
     if (time_to_preempt < install + exec_needed) {
@@ -113,6 +127,13 @@ void OsgPlatform::try_dispatch() {
       result.success = true;
       duration = install + exec_needed;
       result.exec_seconds = exec_needed;
+    }
+    // A preemption that cut the download short leaves the node without the
+    // bundle; only a completed install populates the cache.
+    if (pending.job.needs_software_setup && install_model_ != nullptr &&
+        time_to_preempt >= install) {
+      install_model_->commit(node, pending.job.transformation,
+                             pending.job.software_bytes);
     }
     result.end_time = queue_.now() + duration;
 

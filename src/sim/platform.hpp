@@ -6,6 +6,7 @@
 // are the scheduler's (DAGMan's) business, exactly as in the real stack.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -20,6 +21,35 @@ struct SimJob {
   double cpu_seconds = 0;        ///< work at speed factor 1.0
   bool needs_software_setup = false;  ///< pay install overhead on platforms
                                       ///< without a preinstalled stack
+  std::uint64_t software_bytes = 0;   ///< size of the software bundle the
+                                      ///< setup downloads (cache accounting)
+};
+
+/// What an install-cost model charged for one software setup.
+struct InstallOutcome {
+  double seconds = 0;      ///< charged install time for this attempt
+  bool cache_hit = false;  ///< the node already held the bundle
+};
+
+/// Pluggable software-install cost model. The data layer's per-node
+/// SoftwareCache implements this; without one attached a platform charges
+/// `cold_seconds` (its own per-attempt draw) every time. Split into a
+/// lookup (install) and a commit so a platform can decline to cache a
+/// bundle whose install was cut short (e.g. preempted mid-download).
+class InstallModel {
+ public:
+  virtual ~InstallModel() = default;
+
+  /// Cost of setting up `package` on `node` when a fresh download/install
+  /// would take `cold_seconds`. A hit must never cost more than the cold
+  /// path. Does not mark the bundle as cached — see commit().
+  virtual InstallOutcome install(const std::string& node, const std::string& package,
+                                 std::uint64_t bytes, double cold_seconds) = 0;
+
+  /// Records that the install of `package` on `node` ran to completion, so
+  /// later attempts on that node can hit.
+  virtual void commit(const std::string& node, const std::string& package,
+                      std::uint64_t bytes) = 0;
 };
 
 /// Outcome of one attempt at running a job.
@@ -34,6 +64,7 @@ struct AttemptResult {
   double install_seconds = 0;  ///< software download/install overhead
   double exec_seconds = 0;   ///< execution time ("Kickstart Time"); partial on failure
   bool success = false;
+  bool install_cache_hit = false;  ///< software setup was served from a node cache
   std::string failure;       ///< e.g. "preempted" when !success
 };
 
@@ -61,6 +92,13 @@ class ExecutionPlatform {
 
   /// Slots the platform can run concurrently (for utilization reporting).
   [[nodiscard]] virtual std::size_t slots() const = 0;
+
+  /// Attaches an install-cost model (e.g. data::SoftwareCache). Not owned;
+  /// must outlive the platform. nullptr restores the per-attempt default.
+  void set_install_model(InstallModel* model) { install_model_ = model; }
+
+ protected:
+  InstallModel* install_model_ = nullptr;  ///< consulted for software setups
 };
 
 }  // namespace pga::sim

@@ -1,5 +1,7 @@
 #include "wms/catalog.hpp"
 
+#include <tuple>
+
 #include "common/error.hpp"
 
 namespace pga::wms {
@@ -18,10 +20,21 @@ std::optional<Replica> ReplicaCatalog::best_for_site(const std::string& lfn,
                                                      const std::string& site) const {
   const auto it = entries_.find(lfn);
   if (it == entries_.end() || it->second.empty()) return std::nullopt;
+  // Deterministic selection regardless of insertion order: the same-site
+  // replica with the lexicographically smallest pfn wins; with no same-site
+  // replica, the smallest (site, pfn) pair anywhere does.
+  const Replica* local = nullptr;
+  const Replica* any = nullptr;
   for (const auto& replica : it->second) {
-    if (replica.site == site) return replica;
+    if (replica.site == site && (local == nullptr || replica.pfn < local->pfn)) {
+      local = &replica;
+    }
+    if (any == nullptr || std::tie(replica.site, replica.pfn) <
+                              std::tie(any->site, any->pfn)) {
+      any = &replica;
+    }
   }
-  return it->second.front();
+  return local != nullptr ? *local : *any;
 }
 
 bool ReplicaCatalog::has(const std::string& lfn) const {

@@ -22,7 +22,11 @@ class ReplicaCatalog {
  public:
   void add(const std::string& lfn, Replica replica);
   [[nodiscard]] std::vector<Replica> lookup(const std::string& lfn) const;
-  /// First replica at `site`, else first replica anywhere, else nullopt.
+  /// Deterministic replica selection, independent of insertion order:
+  /// the same-site replica with the lexicographically smallest pfn; with
+  /// no same-site replica, the replica with the smallest (site, pfn) pair
+  /// anywhere; nullopt when the LFN is unknown. Planning and staging both
+  /// rely on this contract for seed-stable replays.
   [[nodiscard]] std::optional<Replica> best_for_site(const std::string& lfn,
                                                      const std::string& site) const;
   [[nodiscard]] bool has(const std::string& lfn) const;
@@ -40,6 +44,8 @@ class ReplicaCatalog {
 struct TransformationEntry {
   std::string pfn;        ///< executable path at the site
   bool installed = true;  ///< false = must be staged/installed before use
+  std::uint64_t size_bytes = 0;  ///< stageable bundle size (0 = unknown);
+                                 ///< drives software-cache accounting
 };
 
 /// (transformation, site) -> entry.

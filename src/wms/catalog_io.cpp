@@ -93,6 +93,9 @@ std::string to_tc_text(const TransformationCatalog& catalog) {
     os << "  site " << site << " {\n";
     os << "    pfn \"" << entry.pfn << "\"\n";
     os << "    type \"" << (entry.installed ? "INSTALLED" : "STAGEABLE") << "\"\n";
+    if (entry.size_bytes > 0) {
+      os << "    size \"" << entry.size_bytes << "\"\n";
+    }
     os << "  }\n";
   }
   if (open) os << "}\n";
@@ -105,6 +108,7 @@ TransformationCatalog parse_tc_text(const std::string& text) {
   std::string site;
   std::string pfn;
   bool installed = true;
+  std::uint64_t size_bytes = 0;
   int depth = 0;
 
   for (const auto& raw : common::split(text, '\n')) {
@@ -124,6 +128,7 @@ TransformationCatalog parse_tc_text(const std::string& text) {
       site = fields[1];
       pfn.clear();
       installed = true;
+      size_bytes = 0;
       depth = 2;
     } else if (fields[0] == "pfn" && fields.size() >= 2) {
       pfn = std::string(common::trim(line.substr(3)));
@@ -140,12 +145,18 @@ TransformationCatalog parse_tc_text(const std::string& text) {
                          type);
       }
       installed = type == "INSTALLED";
+    } else if (fields[0] == "size" && fields.size() >= 2) {
+      std::string value(common::trim(line.substr(4)));
+      if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+        value = value.substr(1, value.size() - 2);
+      }
+      size_bytes = static_cast<std::uint64_t>(common::parse_long(value));
     } else if (fields[0] == "}") {
       if (depth == 2) {
         if (transformation.empty() || site.empty() || pfn.empty()) {
           throw ParseError("incomplete site block for " + transformation);
         }
-        catalog.add(transformation, site, {pfn, installed});
+        catalog.add(transformation, site, {pfn, installed, size_bytes});
         depth = 1;
       } else if (depth == 1) {
         depth = 0;

@@ -68,6 +68,16 @@ void StatusBoardObserver::on_event(const EngineEvent& event) {
     case EngineEventType::kJobRetry:
       board_->count_retry();
       break;
+    case EngineEventType::kAttemptFinished:
+      // Data-layer telemetry; both fields are zero/false without the cache
+      // and staging models, leaving stock snapshots untouched.
+      if (event.result != nullptr) {
+        if (event.result->install_cache_hit) board_->count_cache_hit();
+        if (event.result->transferred_bytes > 0) {
+          board_->add_staged_bytes(event.result->transferred_bytes);
+        }
+      }
+      break;
     case EngineEventType::kAttemptTimedOut:
       board_->count_timeout();
       break;

@@ -91,8 +91,9 @@ class JobstateLogObserver final : public EngineObserver {
   std::vector<std::string>* sink_;
 };
 
-/// Adapts a StatusBoard to the event stream (begin, set_state, retry and
-/// timeout counters) — the pegasus-status consumer.
+/// Adapts a StatusBoard to the event stream (begin, set_state, retry/
+/// timeout counters, and the data layer's cache-hit and staged-bytes
+/// telemetry) — the pegasus-status consumer.
 class StatusBoardObserver final : public EngineObserver {
  public:
   /// `board` must outlive the observer.

@@ -88,6 +88,7 @@ void SimService::submit(const ConcreteJob& job) {
   sim_job.transformation = job.transformation;
   sim_job.cpu_seconds = job.cpu_seconds_hint;
   sim_job.needs_software_setup = job.needs_software_setup;
+  sim_job.software_bytes = job.software_bytes;
   platform_.submit(sim_job, [this](const sim::AttemptResult& result) {
     TaskAttempt attempt;
     attempt.job_id = result.job_id;
@@ -100,6 +101,7 @@ void SimService::submit(const ConcreteJob& job) {
     attempt.wait_seconds = result.wait_seconds;
     attempt.install_seconds = result.install_seconds;
     attempt.exec_seconds = result.exec_seconds;
+    attempt.install_cache_hit = result.install_cache_hit;
     completed_.push_back(std::move(attempt));
     --outstanding_;
   });

@@ -32,6 +32,9 @@ struct TaskAttempt {
   double wait_seconds = 0;     ///< "Waiting Time" (queue + match)
   double install_seconds = 0;  ///< "Download/Install Time"
   double exec_seconds = 0;     ///< "Kickstart Time" (partial on failure)
+  bool install_cache_hit = false;  ///< software setup came from a node cache
+  std::uint64_t transferred_bytes = 0;  ///< bytes moved by a staging attempt
+  std::size_t transfer_attempts = 0;    ///< transfer tries incl. retries
 };
 
 /// Completion-pump interface. The engine calls submit() for ready jobs and

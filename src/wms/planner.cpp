@@ -124,6 +124,7 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
 
   // 1. Resolve every transformation and decide whether it needs setup.
   std::map<std::string, bool> job_needs_setup;  // abstract id -> flag
+  std::map<std::string, std::uint64_t> job_bundle_bytes;  // abstract id -> size
   for (const auto& job : abstract.jobs()) {
     const auto entry = transformations.lookup(job.transformation, site.name);
     if (!entry.has_value()) {
@@ -131,6 +132,7 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
                           " not available at site " + site.name);
     }
     job_needs_setup[job.id] = !site.software_preinstalled || !entry->installed;
+    job_bundle_bytes[job.id] = entry->size_bytes;
   }
 
   // 2. Horizontal clustering: group compute jobs with the same
@@ -165,6 +167,7 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
           job.args = a.args;
           job.cpu_seconds_hint = a.cpu_seconds_hint;
           job.needs_software_setup = job_needs_setup[a.id];
+          job.software_bytes = job_bundle_bytes[a.id];
           job.abstract_id = a.id;
           to_concrete[a.id] = job.id;
           concrete.add_job(std::move(job));
@@ -182,6 +185,9 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
           clustered.cpu_seconds_hint += a.cpu_seconds_hint;
           clustered.constituents.push_back(a.id);
           any_setup = any_setup || job_needs_setup[a.id];
+          // Members share one transformation, hence one software bundle.
+          clustered.software_bytes =
+              std::max(clustered.software_bytes, job_bundle_bytes[a.id]);
           to_concrete[a.id] = clustered.id;
         }
         // One download/install per clustered job — this is exactly the
@@ -200,6 +206,7 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
       job.args = a.args;
       job.cpu_seconds_hint = a.cpu_seconds_hint;
       job.needs_software_setup = job_needs_setup[a.id];
+      job.software_bytes = job_bundle_bytes[a.id];
       job.abstract_id = a.id;
       to_concrete[a.id] = job.id;
       concrete.add_job(std::move(job));
@@ -262,7 +269,13 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
       stage_out.kind = JobKind::kStageOut;
       stage_out.site = site.name;
       stage_out.args = outputs;
-      stage_out.cpu_seconds_hint = options.stage_out_seconds;
+      stage_out.staged_bytes = options.expected_output_bytes;
+      stage_out.cpu_seconds_hint =
+          options.stage_out_seconds +
+          (options.expected_output_bytes > 0 && site.stage_bandwidth_bps > 0
+               ? static_cast<double>(options.expected_output_bytes) /
+                     site.stage_bandwidth_bps
+               : 0.0);
       concrete.add_job(std::move(stage_out));
       const std::set<std::string> output_set(outputs.begin(), outputs.end());
       std::set<std::string> producers;

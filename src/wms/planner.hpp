@@ -33,6 +33,10 @@ struct ConcreteJob {
   /// Pay per-attempt software download/install overhead on the execution
   /// node (OSG-style sites). Mirrors the paper's "modified tasks".
   bool needs_software_setup = false;
+  /// Size of the stageable software bundle the setup downloads (from
+  /// TransformationEntry::size_bytes; 0 = unknown). Drives the per-node
+  /// software cache's byte accounting.
+  std::uint64_t software_bytes = 0;
   /// For kClustered: the abstract job ids folded into this job.
   std::vector<std::string> constituents;
   /// The abstract job this concrete job realizes (empty for auxiliary jobs).
@@ -94,6 +98,12 @@ struct PlannerOptions {
   /// planner adds bytes / site.stage_bandwidth_bps on top.
   double stage_in_seconds = 60;
   double stage_out_seconds = 60;
+  /// Expected total bytes of the final outputs (outputs have no replica
+  /// entries at plan time, so they cannot be priced from the catalog).
+  /// When nonzero the stage-out job is priced like stage-in: base +
+  /// bytes / site.stage_bandwidth_bps, and carries the bytes in
+  /// staged_bytes. 0 keeps the flat stage_out_seconds hint.
+  std::uint64_t expected_output_bytes = 0;
   double setup_seconds = 300;      ///< cost hint for explicit setup jobs
   /// Pegasus-style in-place data cleanup: for every job producing
   /// intermediate files, insert a cleanup job that removes them once all

@@ -30,6 +30,13 @@ WorkflowStatistics WorkflowStatistics::from_run(const RunReport& report) {
       ++tf.attempts;
       job_wait += attempt.wait_seconds;
       job_install += attempt.install_seconds;
+      if (attempt.install_cache_hit) {
+        ++stats.warm_installs_;
+      } else if (attempt.install_seconds > 0) {
+        ++stats.cold_installs_;
+      }
+      stats.bytes_staged_ += attempt.transferred_bytes;
+      stats.transfer_attempts_ += attempt.transfer_attempts;
       if (attempt.success) {
         stats.cumulative_kickstart_ += attempt.exec_seconds;
         tf.kickstart.add(attempt.exec_seconds);
@@ -58,7 +65,10 @@ void StatisticsAccumulator::on_event(const EngineEvent& event) {
       agg.attempts.push_back(AttemptSlice{event.result->success,
                                           event.result->exec_seconds,
                                           event.result->wait_seconds,
-                                          event.result->install_seconds});
+                                          event.result->install_seconds,
+                                          event.result->install_cache_hit,
+                                          event.result->transferred_bytes,
+                                          event.result->transfer_attempts});
       break;
     }
     case EngineEventType::kJobRetry:
@@ -92,6 +102,13 @@ void StatisticsAccumulator::on_event(const EngineEvent& event) {
           ++tf.attempts;
           job_wait += attempt.wait_seconds;
           job_install += attempt.install_seconds;
+          if (attempt.install_cache_hit) {
+            ++stats_.warm_installs_;
+          } else if (attempt.install_seconds > 0) {
+            ++stats_.cold_installs_;
+          }
+          stats_.bytes_staged_ += attempt.transferred_bytes;
+          stats_.transfer_attempts_ += attempt.transfer_attempts;
           if (attempt.success) {
             stats_.cumulative_kickstart_ += attempt.exec_seconds;
             tf.kickstart.add(attempt.exec_seconds);
@@ -131,6 +148,17 @@ std::string WorkflowStatistics::render(const std::string& title) const {
     os << "Cumulative Backoff         : "
        << common::format_duration(total_backoff_seconds_) << "\n";
     os << "Blacklisted Nodes          : " << blacklisted_nodes_ << "\n";
+  }
+  // Data-layer lines only appear when the cache/staging models ran, so
+  // stock (per-attempt install, hint-priced staging) renders are unchanged.
+  if (warm_installs_ > 0) {
+    os << "Warm / Cold Installs       : " << warm_installs_ << " / "
+       << cold_installs_ << " (hit rate "
+       << common::format_fixed(cache_hit_rate() * 100.0, 1) << " %)\n";
+  }
+  if (bytes_staged_ > 0 || transfer_attempts_ > 0) {
+    os << "Bytes Staged               : " << bytes_staged_ << " ("
+       << transfer_attempts_ << " transfer attempts)\n";
   }
   os << "Status                     : " << (success_ ? "success" : "FAILED (")
      << (success_ ? "" : std::to_string(failed_jobs_) + " dead jobs)") << "\n";

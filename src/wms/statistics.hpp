@@ -8,6 +8,7 @@
 // aggregated overall and per transformation.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -53,6 +54,21 @@ class WorkflowStatistics {
   [[nodiscard]] double total_backoff_seconds() const { return total_backoff_seconds_; }
   /// Nodes the engine blacklisted during the run.
   [[nodiscard]] std::size_t blacklisted_nodes() const { return blacklisted_nodes_; }
+  /// Software setups served warm from a per-node cache (data layer).
+  [[nodiscard]] std::size_t warm_installs() const { return warm_installs_; }
+  /// Software setups that paid the cold download/install price.
+  [[nodiscard]] std::size_t cold_installs() const { return cold_installs_; }
+  /// Warm fraction of all priced setups (0 when none ran).
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::size_t total = warm_installs_ + cold_installs_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(warm_installs_) /
+                            static_cast<double>(total);
+  }
+  /// Payload moved by modeled staging attempts (0 without the data layer).
+  [[nodiscard]] std::uint64_t bytes_staged() const { return bytes_staged_; }
+  /// Transfer tries consumed by staging attempts, retries included.
+  [[nodiscard]] std::size_t transfer_attempts() const { return transfer_attempts_; }
   [[nodiscard]] bool success() const { return success_; }
 
   [[nodiscard]] const std::map<std::string, TransformationStats>&
@@ -77,6 +93,10 @@ class WorkflowStatistics {
   std::size_t timed_out_attempts_ = 0;
   double total_backoff_seconds_ = 0;
   std::size_t blacklisted_nodes_ = 0;
+  std::size_t warm_installs_ = 0;
+  std::size_t cold_installs_ = 0;
+  std::uint64_t bytes_staged_ = 0;
+  std::size_t transfer_attempts_ = 0;
   std::map<std::string, TransformationStats> per_transformation_;
 
   friend class StatisticsAccumulator;
@@ -102,6 +122,9 @@ class StatisticsAccumulator final : public EngineObserver {
     double exec_seconds = 0;
     double wait_seconds = 0;
     double install_seconds = 0;
+    bool install_cache_hit = false;
+    std::uint64_t transferred_bytes = 0;
+    std::size_t transfer_attempts = 0;
   };
   struct JobAgg {
     std::string transformation;

@@ -31,6 +31,8 @@ std::string StatusBoard::Snapshot::render() const {
      << common::format_fixed(percent_done(), 1) << "% of " << total << " jobs";
   if (retries > 0) os << ", " << retries << " retries";
   if (timeouts > 0) os << ", " << timeouts << " timeouts";
+  if (cache_hits > 0) os << ", " << cache_hits << " cache hits";
+  if (bytes_staged > 0) os << ", " << bytes_staged << " B staged";
   os << ")";
   return os.str();
 }
@@ -41,6 +43,8 @@ void StatusBoard::begin(const std::string& workflow, std::size_t total_jobs) {
   total_ = total_jobs;
   retries_ = 0;
   timeouts_ = 0;
+  cache_hits_ = 0;
+  bytes_staged_ = 0;
   states_.clear();
 }
 
@@ -59,12 +63,24 @@ void StatusBoard::count_timeout() {
   ++timeouts_;
 }
 
+void StatusBoard::count_cache_hit() {
+  const std::scoped_lock lock(mutex_);
+  ++cache_hits_;
+}
+
+void StatusBoard::add_staged_bytes(std::uint64_t bytes) {
+  const std::scoped_lock lock(mutex_);
+  bytes_staged_ += bytes;
+}
+
 StatusBoard::Snapshot StatusBoard::snapshot() const {
   const std::scoped_lock lock(mutex_);
   Snapshot snap;
   snap.total = total_;
   snap.retries = retries_;
   snap.timeouts = timeouts_;
+  snap.cache_hits = cache_hits_;
+  snap.bytes_staged = bytes_staged_;
   std::size_t tracked = 0;
   for (const auto& [job, state] : states_) {
     ++tracked;

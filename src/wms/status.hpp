@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -40,6 +41,8 @@ class StatusBoard {
     std::size_t rescued = 0;
     std::size_t retries = 0;
     std::size_t timeouts = 0;  ///< attempts the engine declared timed out
+    std::size_t cache_hits = 0;  ///< software setups served warm (data layer)
+    std::uint64_t bytes_staged = 0;  ///< payload moved by modeled staging
 
     /// Finished fraction in [0, 100] (succeeded + rescued + failed).
     [[nodiscard]] double percent_done() const;
@@ -57,6 +60,10 @@ class StatusBoard {
   void count_retry();
   /// Counts one attempt declared dead by the engine's attempt timeout.
   void count_timeout();
+  /// Counts one software setup served warm from a node cache.
+  void count_cache_hit();
+  /// Adds staged payload bytes from a finished transfer attempt.
+  void add_staged_bytes(std::uint64_t bytes);
 
   /// Point-in-time copy; safe to call from any thread at any moment.
   [[nodiscard]] Snapshot snapshot() const;
@@ -71,6 +78,8 @@ class StatusBoard {
   std::size_t total_ = 0;
   std::size_t retries_ = 0;
   std::size_t timeouts_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::uint64_t bytes_staged_ = 0;
   std::map<std::string, JobState> states_;
 };
 

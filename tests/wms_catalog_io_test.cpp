@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+
 #include "common/error.hpp"
 #include "common/fsutil.hpp"
 #include "core/b2c3_workflow.hpp"
@@ -33,6 +36,23 @@ TEST(ReplicaCatalogIo, ParseSkipsCommentsAndRejectsJunk) {
   EXPECT_THROW(parse_rc_text("f /p other=\"x\"\n"), common::ParseError);
 }
 
+TEST(ReplicaCatalogIo, SizeBytesSurviveEveryReplica) {
+  // Sized and unsized replicas of one LFN round-trip independently: the
+  // size attribute is per replica, and absence must parse back to 0.
+  ReplicaCatalog rc;
+  rc.add("f", {"/a/f", "local", 1'234});
+  rc.add("f", {"/b/f", "osg"});
+  rc.add("f", {"/c/f", "sandhills", 999'999'999'999ull});  // > 32-bit
+  const auto parsed = parse_rc_text(to_rc_text(rc));
+  const auto replicas = parsed.lookup("f");
+  ASSERT_EQ(replicas.size(), 3u);
+  std::map<std::string, std::uint64_t> sizes;
+  for (const auto& replica : replicas) sizes[replica.pfn] = replica.size_bytes;
+  EXPECT_EQ(sizes["/a/f"], 1'234u);
+  EXPECT_EQ(sizes["/b/f"], 0u);
+  EXPECT_EQ(sizes["/c/f"], 999'999'999'999ull);
+}
+
 TEST(TransformationCatalogIo, RoundTrip) {
   const auto tc = core::paper_transformation_catalog();
   const auto parsed = parse_tc_text(to_tc_text(tc));
@@ -41,7 +61,31 @@ TEST(TransformationCatalogIo, RoundTrip) {
     ASSERT_TRUE(round.has_value()) << key.first << "@" << key.second;
     EXPECT_EQ(round->pfn, entry.pfn);
     EXPECT_EQ(round->installed, entry.installed);
+    EXPECT_EQ(round->size_bytes, entry.size_bytes);
   }
+  // The paper catalog mixes both flavors, so the loop above genuinely
+  // exercises INSTALLED and STAGEABLE (sized) entries.
+  EXPECT_TRUE(parsed.lookup("run_cap3", "sandhills")->installed);
+  EXPECT_FALSE(parsed.lookup("run_cap3", "osg")->installed);
+  EXPECT_GT(parsed.lookup("run_cap3", "osg")->size_bytes, 0u);
+}
+
+TEST(TransformationCatalogIo, InstalledAndSizeFieldsRoundTrip) {
+  TransformationCatalog tc;
+  tc.add("t", "a", {"/p/a", /*installed=*/true});
+  tc.add("t", "b", {"http://stash/t.tgz", /*installed=*/false, 350'000'000});
+  const std::string text = to_tc_text(tc);
+  // Size lines are only emitted when known — the installed entry stays
+  // two-line, byte-compatible with pre-size catalogs.
+  const auto site_b = text.find("site b");
+  ASSERT_NE(site_b, std::string::npos);
+  EXPECT_EQ(text.substr(0, site_b).find("size"), std::string::npos);
+  EXPECT_NE(text.find("size", site_b), std::string::npos);
+  const auto parsed = parse_tc_text(text);
+  EXPECT_TRUE(parsed.lookup("t", "a")->installed);
+  EXPECT_EQ(parsed.lookup("t", "a")->size_bytes, 0u);
+  EXPECT_FALSE(parsed.lookup("t", "b")->installed);
+  EXPECT_EQ(parsed.lookup("t", "b")->size_bytes, 350'000'000u);
 }
 
 TEST(TransformationCatalogIo, ParseErrors) {

@@ -5,6 +5,7 @@
 // — same seed, same run, byte-identical jobstate logs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -197,6 +198,43 @@ TEST_P(ChaosSeed, RescueNeverRerunsADoneJob) {
         EXPECT_TRUE(run.attempts.empty()) << run.id << " was re-run";
       }
     }
+  }
+}
+
+TEST_P(ChaosSeed, StagingHeavyDagSurvivesChaosWithOrderedStaging) {
+  // The staging-heavy scenario shared with the scheduler and data-layer
+  // suites, run without the data layer: its stage jobs execute as plain
+  // simulated jobs under chaos, and the dependency bracket (stage_in
+  // before any compute, stage_out after all of them) must survive any
+  // injected failure pattern.
+  const std::uint64_t seed = GetParam();
+  sim::EventQueue queue;
+  sim::CampusClusterConfig config;
+  config.allocated_slots = 4;
+  config.seed = seed;
+  sim::CampusClusterPlatform platform(queue, config);
+  SimService sim_service(queue, platform);
+  auto chaos = chaos_for(seed);
+  chaos.hang_probability = 0;  // keep the run bounded by retries alone
+  FaultyService faulty(sim_service, FaultPlan().chaos(chaos));
+  DagmanEngine engine(hardened_options());
+  const auto report = engine.run(testing::staging_heavy_dag(4), faulty);
+  double stage_in_done = -1;
+  double last_compute_done = -1;
+  for (const auto& run : report.runs) {
+    if (!run.succeeded) continue;
+    const double end = run.final_attempt()->end_time;
+    if (run.id == "stage_in_0") stage_in_done = end;
+    if (run.kind == JobKind::kCompute) {
+      last_compute_done = std::max(last_compute_done, end);
+      EXPECT_GE(run.attempts.front().submit_time, stage_in_done) << run.id;
+    }
+    if (run.id == "stage_out_0") {
+      EXPECT_GE(run.attempts.front().submit_time, last_compute_done);
+    }
+  }
+  if (report.success) {
+    EXPECT_GT(stage_in_done, 0);
   }
 }
 

@@ -15,6 +15,7 @@
 #include "sim/campus_cluster.hpp"
 #include "wms/engine.hpp"
 #include "wms/exec_service.hpp"
+#include "wms_test_dags.hpp"
 
 namespace pga::wms {
 namespace {
@@ -369,6 +370,29 @@ TEST(SchedulingPolicy, EngineDefaultsToFifoUnderThrottle) {
   // Priorities are ignored without an explicit policy: arrival order.
   EXPECT_EQ(service.order,
             (std::vector<std::string>{"root", "w0", "w1", "w2", "w3"}));
+}
+
+TEST(SchedulingPolicy, CriticalPathRunsCostliestChunkFirstOnStagingHeavyDag) {
+  // The shared staging-heavy scenario: stage_in gates a compute fan whose
+  // cost hints rise with the index, and stage_out joins them. Under a
+  // 1-wide throttle, critical-path releases the costliest chunk first
+  // while FIFO sticks to id order — the stage jobs bracket both.
+  const auto wf = testing::staging_heavy_dag(3);
+  const auto run = [&wf](std::shared_ptr<SchedulingPolicy> policy) {
+    SerializingService service;
+    EngineOptions options;
+    options.max_jobs_in_flight = 1;
+    options.policy = std::move(policy);
+    DagmanEngine engine(std::move(options));
+    EXPECT_TRUE(engine.run(wf, service).success);
+    return service.order;
+  };
+  EXPECT_EQ(run(critical_path_policy()),
+            (std::vector<std::string>{"stage_in_0", "run_cap3_2", "run_cap3_1",
+                                      "run_cap3_0", "stage_out_0"}));
+  EXPECT_EQ(run(nullptr),
+            (std::vector<std::string>{"stage_in_0", "run_cap3_0", "run_cap3_1",
+                                      "run_cap3_2", "stage_out_0"}));
 }
 
 // --------------------------------------------------- acceptance: Fig. 4

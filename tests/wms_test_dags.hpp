@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/rng.hpp"
+#include "wms/catalog.hpp"
 #include "wms/engine.hpp"
 #include "wms/fault_injection.hpp"
 
@@ -46,6 +47,64 @@ inline ChaosConfig chaos_for(std::uint64_t seed) {
   chaos.max_delay_seconds = 400;
   chaos.seed = seed;
   return chaos;
+}
+
+/// Staging-heavy diamond: one stage_in fans `width` large reference files
+/// into `width` compute jobs whose outputs a final stage_out collects.
+/// The stage jobs carry lfn args (the planner's convention), so the data
+/// layer's StagingService intercepts them while plain SimService runs them
+/// as ordinary transfer-priced jobs — letting the scheduler, chaos and
+/// data-layer suites share one scenario.
+inline ConcreteWorkflow staging_heavy_dag(std::size_t width = 4,
+                                          const std::string& site = "osg") {
+  ConcreteWorkflow wf("staging-heavy-" + std::to_string(width), site);
+  ConcreteJob stage_in;
+  stage_in.id = "stage_in_0";
+  stage_in.transformation = "pegasus-transfer";
+  stage_in.kind = JobKind::kStageIn;
+  stage_in.site = site;
+  stage_in.cpu_seconds_hint = 60;
+  for (std::size_t i = 0; i < width; ++i) {
+    stage_in.args.push_back("reference_" + std::to_string(i) + ".fasta");
+  }
+  wf.add_job(std::move(stage_in));
+  ConcreteJob stage_out;
+  stage_out.id = "stage_out_0";
+  stage_out.transformation = "pegasus-transfer";
+  stage_out.kind = JobKind::kStageOut;
+  stage_out.site = site;
+  stage_out.cpu_seconds_hint = 60;
+  for (std::size_t i = 0; i < width; ++i) {
+    ConcreteJob job;
+    job.id = "run_cap3_" + std::to_string(i);
+    job.transformation = "run_cap3";
+    job.site = site;
+    job.cpu_seconds_hint = 200 + 10.0 * static_cast<double>(i);
+    job.needs_software_setup = site == "osg";
+    job.software_bytes = 350ull * 1024 * 1024;
+    wf.add_job(std::move(job));
+    wf.add_dependency("stage_in_0", "run_cap3_" + std::to_string(i));
+    stage_out.args.push_back("contigs_" + std::to_string(i) + ".fasta");
+  }
+  wf.add_job(std::move(stage_out));
+  for (std::size_t i = 0; i < width; ++i) {
+    wf.add_dependency("run_cap3_" + std::to_string(i), "stage_out_0");
+  }
+  return wf;
+}
+
+/// Replicas for staging_heavy_dag(): every reference file lives on the
+/// submit host ("local") at 64 MiB, with the even-numbered ones also
+/// mirrored on `site` so replica selection has a same-site option.
+inline ReplicaCatalog staging_heavy_replicas(std::size_t width = 4,
+                                             const std::string& site = "osg") {
+  ReplicaCatalog rc;
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::string lfn = "reference_" + std::to_string(i) + ".fasta";
+    rc.add(lfn, {"/data/" + lfn, "local", 64ull * 1024 * 1024});
+    if (i % 2 == 0) rc.add(lfn, {"/scratch/" + lfn, site, 64ull * 1024 * 1024});
+  }
+  return rc;
 }
 
 /// Engine options with every hardening feature switched on.
