@@ -1,6 +1,8 @@
 // Microbenchmarks for the alignment substrate (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include <future>
+
 #include "align/blastx.hpp"
 #include "align/kmer_index.hpp"
 #include "align/sw.hpp"
@@ -95,6 +97,42 @@ void BM_BlastxSearchPerTranscript(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BlastxSearchPerTranscript)->Arg(8)->Arg(32);
+
+/// search_all fan-out cost: one pool task per transcript (the old
+/// submission pattern, reproduced inline) versus the chunked submission
+/// search_all now does (~4 contiguous chunks per worker). Same pool, same
+/// inputs — the delta is pure packaged_task/future overhead.
+void BM_BlastxSearchAllFanout(benchmark::State& state, bool chunked) {
+  bio::TranscriptomeParams params;
+  params.families = 24;
+  params.protein_min = 100;
+  params.protein_max = 250;
+  params.seed = 7;
+  const auto txm = bio::generate_transcriptome(params);
+  const align::BlastxSearch search(txm.proteins);
+  common::ThreadPool pool(4);
+  for (auto _ : state) {
+    if (chunked) {
+      benchmark::DoNotOptimize(search.search_all(txm.transcripts, &pool));
+    } else {
+      std::vector<std::future<std::vector<align::TabularHit>>> futures;
+      futures.reserve(txm.transcripts.size());
+      for (const auto& t : txm.transcripts) {
+        futures.push_back(pool.submit([&search, &t] { return search.search(t); }));
+      }
+      std::vector<align::TabularHit> all;
+      for (auto& f : futures) {
+        auto hits = f.get();
+        all.insert(all.end(), std::make_move_iterator(hits.begin()),
+                   std::make_move_iterator(hits.end()));
+      }
+      benchmark::DoNotOptimize(all.size());
+    }
+  }
+  state.counters["transcripts"] = static_cast<double>(txm.transcripts.size());
+}
+BENCHMARK_CAPTURE(BM_BlastxSearchAllFanout, per_item, false);
+BENCHMARK_CAPTURE(BM_BlastxSearchAllFanout, chunked, true);
 
 void BM_SixFrameTranslate(benchmark::State& state) {
   common::Rng rng(6);

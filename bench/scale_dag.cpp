@@ -1,0 +1,428 @@
+// Million-job DAG throughput harness (ISSUE PR 4).
+//
+// Sweeps a synthetic blast2cap3-shaped workflow (2 roots -> split -> n
+// run_cap3 workers -> merge_joined -> find_unjoined -> final_merge) through
+// the full DagmanEngine at n in {1e4, 1e5, 1e6} and reports scheduling
+// throughput: jobs/sec released, engine events/sec, peak RSS and per-phase
+// timings. An InstantService completes every submitted attempt on the next
+// wait(), so the numbers measure pure engine + observer bookkeeping — no
+// simulated platform time.
+//
+// For n <= 1e5 it also drains the same DAG through a *legacy reference
+// arm*: a faithful reimplementation of the pre-PR string-keyed layout
+// (std::map<string, set<string>> adjacency, map-keyed run records, events
+// carrying four std::string copies, ostringstream jobstate lines). The
+// jobs/sec ratio between the arms is the speedup the interned-handle
+// rework buys; BENCH_scale.json records the trajectory.
+//
+// Usage: scale_dag [--smoke] [--out PATH]
+//   --smoke   n=1e4 only, no legacy arm, deterministic event-count
+//             assertion (CI perf-smoke leg; exits non-zero on violation)
+//   --out     where to write the JSON report (default BENCH_scale.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "wms/engine.hpp"
+#include "wms/exec_service.hpp"
+#include "wms/planner.hpp"
+
+namespace {
+
+using namespace pga;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Peak resident set size (VmHWM) in bytes; 0 if /proc is unavailable.
+/// Process-wide high-water mark, so within a sweep only the largest n's
+/// reading is "its own" — run smallest-first and read after each point.
+std::size_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream is(line.substr(6));
+      std::size_t kb = 0;
+      is >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+/// The blast2cap3 shape at arbitrary n, built directly as a
+/// ConcreteWorkflow (no planner/catalog machinery — this harness measures
+/// the graph core and engine, not planning).
+wms::ConcreteWorkflow make_scaled_b2c3(std::size_t n) {
+  wms::ConcreteWorkflow workflow("b2c3_scale_n" + std::to_string(n), "bench");
+  workflow.reserve(n + 6, (n + 6) * 16);
+  const auto add = [&](std::string id, std::string transformation) {
+    wms::ConcreteJob job;
+    job.id = std::move(id);
+    job.transformation = std::move(transformation);
+    job.cpu_seconds_hint = 1.0;
+    return workflow.add_job(std::move(job));
+  };
+  const std::uint32_t transcripts = add("create_transcripts_list", "create_list");
+  add("create_alignments_list", "create_list");
+  const std::uint32_t split = add("split", "split_alignments");
+  workflow.add_dependency("create_transcripts_list", "split");
+  workflow.add_dependency("create_alignments_list", "split");
+  std::vector<std::uint32_t> workers;
+  workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t worker = add("run_cap3_" + std::to_string(i), "run_cap3");
+    workflow.add_dependency(split, worker);
+    workers.push_back(worker);
+  }
+  const std::uint32_t merge = add("merge_joined", "merge_joined");
+  for (const std::uint32_t worker : workers) {
+    workflow.add_dependency(worker, merge);
+  }
+  const std::uint32_t unjoined = add("find_unjoined", "find_unjoined");
+  workflow.add_dependency(transcripts, unjoined);
+  workflow.add_dependency(merge, unjoined);
+  const std::uint32_t final_merge = add("final_merge", "final_merge");
+  workflow.add_dependency(merge, final_merge);
+  workflow.add_dependency(unjoined, final_merge);
+  return workflow;
+}
+
+/// Completes every submitted attempt on the next wait(), one tick later.
+class InstantService final : public wms::ExecutionService {
+ public:
+  void submit(const wms::ConcreteJob& job) override {
+    pending_.push_back({job.id, job.index, now_});
+  }
+  std::vector<wms::TaskAttempt> wait() override {
+    now_ += 1.0;
+    std::vector<wms::TaskAttempt> out;
+    out.reserve(pending_.size());
+    for (auto& p : pending_) {
+      wms::TaskAttempt attempt;
+      attempt.job_id = std::move(p.id);
+      attempt.job = p.index;  // handle echo: engine matches without hashing
+      attempt.transformation = "work";
+      attempt.success = true;
+      attempt.node = "bench";
+      attempt.submit_time = p.submitted;
+      attempt.end_time = now_;
+      out.push_back(std::move(attempt));
+    }
+    pending_.clear();
+    return out;
+  }
+  double now() override { return now_; }
+  [[nodiscard]] std::string label() const override { return "instant"; }
+
+ private:
+  struct Pending {
+    std::string id;
+    std::uint32_t index;
+    double submitted;
+  };
+  double now_ = 0;
+  std::vector<Pending> pending_;
+};
+
+struct CountingObserver final : wms::EngineObserver {
+  std::size_t events = 0;
+  void on_event(const wms::EngineEvent&) override { ++events; }
+};
+
+// ------------------------------------------------------------------ legacy
+
+/// The pre-PR event record: four owning strings constructed per emission.
+struct LegacyEvent {
+  double time = 0;
+  std::string type;
+  std::string job_id;
+  std::string node;
+  std::string workflow;
+  int attempt = 0;
+};
+
+struct LegacyRun {
+  std::string transformation;
+  std::vector<wms::TaskAttempt> attempts;
+  bool succeeded = false;
+};
+
+struct LegacyResult {
+  std::size_t events = 0;
+  std::size_t log_bytes = 0;
+  std::size_t completed = 0;
+};
+
+/// Drains the DAG exactly like the string-keyed pre-PR engine laid out its
+/// state: set<string> adjacency walked through map lookups, a deque of
+/// job-id strings as the ready queue, map-keyed run records, an owning
+/// string event per observable step and an ostringstream-formatted
+/// jobstate line per event. Same wave semantics as InstantService, so
+/// both arms do identical scheduling work.
+LegacyResult legacy_drain(const std::map<std::string, std::set<std::string>>& children,
+                          const std::map<std::string, std::size_t>& indegree,
+                          const std::map<std::string, std::string>& transformation,
+                          const std::string& workflow_name) {
+  LegacyResult result;
+  std::map<std::string, std::size_t> remaining = indegree;
+  std::map<std::string, LegacyRun> runs;
+  std::deque<std::string> ready;
+  for (const auto& [id, parents] : remaining) {
+    if (parents == 0) ready.push_back(id);
+  }
+  double now = 0;
+  const auto emit = [&](const char* type, const std::string& job_id, int attempt) {
+    LegacyEvent event;
+    event.time = now;
+    event.type = type;
+    event.job_id = job_id;
+    event.node = "bench";
+    event.workflow = workflow_name;
+    event.attempt = attempt;
+    std::ostringstream os;
+    os << event.time << ' ' << event.job_id << ' ' << event.type << ' '
+       << event.attempt;
+    result.log_bytes += os.str().size();
+    ++result.events;
+  };
+  std::vector<std::string> wave;
+  while (!ready.empty()) {
+    wave.clear();
+    while (!ready.empty()) {
+      std::string id = ready.front();
+      ready.pop_front();
+      emit("SUBMIT", id, 1);
+      LegacyRun& run = runs[id];
+      run.transformation = transformation.at(id);
+      wave.push_back(std::move(id));
+    }
+    now += 1.0;
+    for (const std::string& id : wave) {
+      LegacyRun& run = runs.at(id);
+      wms::TaskAttempt attempt;
+      attempt.job_id = id;
+      attempt.transformation = run.transformation;
+      attempt.success = true;
+      attempt.node = "bench";
+      attempt.submit_time = now - 1.0;
+      attempt.end_time = now;
+      run.attempts.push_back(std::move(attempt));
+      run.succeeded = true;
+      emit("POST_SCRIPT_SUCCESS", id, 1);
+      ++result.completed;
+      const auto kids = children.find(id);
+      if (kids == children.end()) continue;
+      for (const std::string& child : kids->second) {
+        auto left = remaining.find(child);
+        if (left != remaining.end() && --left->second == 0) {
+          emit("PRE_SCRIPT_STARTED", child, 0);
+          ready.push_back(child);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+// -------------------------------------------------------------------- main
+
+struct Point {
+  std::size_t n = 0;
+  std::size_t jobs = 0;
+  std::size_t edges = 0;
+  double build_seconds = 0;
+  double engine_seconds = 0;
+  std::size_t events = 0;
+  double jobs_per_sec = 0;
+  double events_per_sec = 0;
+  std::size_t peak_rss_bytes = 0;
+  bool has_legacy = false;
+  double legacy_engine_seconds = 0;
+  double legacy_jobs_per_sec = 0;
+  double speedup = 0;
+};
+
+Point run_point(std::size_t n, bool run_legacy) {
+  Point point;
+  point.n = n;
+
+  auto t0 = std::chrono::steady_clock::now();
+  const wms::ConcreteWorkflow workflow = make_scaled_b2c3(n);
+  point.build_seconds = seconds_since(t0);
+  point.jobs = workflow.jobs().size();
+  point.edges = workflow.edge_count();
+
+  InstantService service;
+  CountingObserver counter;
+  wms::EngineOptions options;
+  options.observers.push_back(&counter);
+  wms::DagmanEngine engine(std::move(options));
+  t0 = std::chrono::steady_clock::now();
+  const wms::RunReport report = engine.run(workflow, service);
+  point.engine_seconds = seconds_since(t0);
+  point.events = counter.events;
+  if (!report.success || report.jobs_succeeded != point.jobs) {
+    throw common::Error("scale_dag: engine run failed at n=" + std::to_string(n));
+  }
+  point.jobs_per_sec = static_cast<double>(point.jobs) / point.engine_seconds;
+  point.events_per_sec = static_cast<double>(point.events) / point.engine_seconds;
+  point.peak_rss_bytes = peak_rss_bytes();
+
+  if (run_legacy) {
+    // Rebuild the legacy layout from the workflow (untimed: the pre-PR
+    // AbstractWorkflow held these containers as its resident state).
+    std::map<std::string, std::set<std::string>> children;
+    std::map<std::string, std::size_t> indegree;
+    std::map<std::string, std::string> transformation;
+    for (const auto& job : workflow.jobs()) {
+      indegree[job.id];  // ensure roots appear
+      transformation[job.id] = job.transformation;
+    }
+    for (const auto& job : workflow.jobs()) {
+      const std::uint32_t index = workflow.job_index(job.id);
+      for (const std::uint32_t child : workflow.children_of(index)) {
+        const std::string child_id{workflow.ids().name(child)};
+        children[job.id].insert(child_id);
+        ++indegree[child_id];
+      }
+    }
+    t0 = std::chrono::steady_clock::now();
+    const LegacyResult legacy =
+        legacy_drain(children, indegree, transformation, workflow.name());
+    point.legacy_engine_seconds = seconds_since(t0);
+    if (legacy.completed != point.jobs) {
+      throw common::Error("scale_dag: legacy arm lost jobs at n=" + std::to_string(n));
+    }
+    point.has_legacy = true;
+    point.legacy_jobs_per_sec =
+        static_cast<double>(legacy.completed) / point.legacy_engine_seconds;
+    point.speedup = point.jobs_per_sec / point.legacy_jobs_per_sec;
+  }
+  return point;
+}
+
+void write_json(const std::string& path, const std::vector<Point>& points,
+                bool smoke) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"benchmark\": \"scale_dag\",\n";
+  out << "  \"mode\": \"" << (smoke ? "smoke" : "sweep") << "\",\n";
+  out << "  \"dag\": \"blast2cap3-shaped: 2 roots -> split -> n run_cap3 -> "
+         "merge_joined -> find_unjoined -> final_merge\",\n";
+  out << "  \"service\": \"instant (pure engine+observer bookkeeping)\",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    out << "    {\n";
+    out << "      \"n\": " << p.n << ",\n";
+    out << "      \"jobs\": " << p.jobs << ",\n";
+    out << "      \"edges\": " << p.edges << ",\n";
+    out << "      \"build_seconds\": " << common::format_fixed(p.build_seconds, 4)
+        << ",\n";
+    out << "      \"engine_seconds\": " << common::format_fixed(p.engine_seconds, 4)
+        << ",\n";
+    out << "      \"events\": " << p.events << ",\n";
+    out << "      \"jobs_per_sec\": " << common::format_fixed(p.jobs_per_sec, 1)
+        << ",\n";
+    out << "      \"events_per_sec\": " << common::format_fixed(p.events_per_sec, 1)
+        << ",\n";
+    out << "      \"peak_rss_mb\": "
+        << common::format_fixed(static_cast<double>(p.peak_rss_bytes) / (1024.0 * 1024.0), 1)
+        << ",\n";
+    if (p.has_legacy) {
+      out << "      \"legacy_engine_seconds\": "
+          << common::format_fixed(p.legacy_engine_seconds, 4) << ",\n";
+      out << "      \"legacy_jobs_per_sec\": "
+          << common::format_fixed(p.legacy_jobs_per_sec, 1) << ",\n";
+      out << "      \"speedup_vs_legacy\": " << common::format_fixed(p.speedup, 2)
+          << "\n";
+    } else {
+      out << "      \"legacy_engine_seconds\": null\n";
+    }
+    out << "    }" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: scale_dag [--smoke] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::size_t> sweep{10'000, 100'000, 1'000'000};
+  if (smoke) sweep = {10'000};
+
+  std::vector<Point> points;
+  try {
+    for (const std::size_t n : sweep) {
+      // Legacy reference arm only up to 1e5: at 1e6 the string-keyed drain
+      // takes minutes and adds nothing to the trajectory.
+      const bool run_legacy = !smoke && n <= 100'000;
+      const Point point = run_point(n, run_legacy);
+      std::cout << "n=" << point.n << " jobs=" << point.jobs
+                << " edges=" << point.edges << " build=" << point.build_seconds
+                << "s engine=" << point.engine_seconds << "s events=" << point.events
+                << " jobs/s=" << static_cast<std::size_t>(point.jobs_per_sec)
+                << " rss=" << point.peak_rss_bytes / (1024 * 1024) << "MB";
+      if (point.has_legacy) {
+        std::cout << " legacy_jobs/s="
+                  << static_cast<std::size_t>(point.legacy_jobs_per_sec)
+                  << " speedup=" << common::format_fixed(point.speedup, 2) << "x";
+      }
+      std::cout << "\n";
+      points.push_back(point);
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "scale_dag: " << err.what() << "\n";
+    return 1;
+  }
+
+  if (smoke) {
+    // Deterministic complexity guard for CI: a clean run emits exactly one
+    // READY/SUBMIT/ATTEMPT_FINISHED/SUCCEEDED per job plus the run
+    // bracket. Assert a generous envelope on the *event count*, never on
+    // walltime, so an algorithmic regression (events re-emitted per edge,
+    // repeated releases) fails deterministically on any machine.
+    const Point& p = points.front();
+    const std::size_t floor = 4 * p.jobs;
+    const std::size_t ceiling = 6 * p.jobs + 16;
+    if (p.events < floor || p.events > ceiling) {
+      std::cerr << "scale_dag --smoke: event count " << p.events
+                << " outside envelope [" << floor << ", " << ceiling << "]\n";
+      return 1;
+    }
+    std::cout << "smoke OK: " << p.events << " events within [" << floor << ", "
+              << ceiling << "]\n";
+  }
+
+  write_json(out_path, points, smoke);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

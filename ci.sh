@@ -32,4 +32,16 @@ run_suite build
 run_suite build-asan -DPGA_SANITIZE=address
 run_suite build-tsan -DPGA_SANITIZE=thread
 
-echo "==> CI OK (default + asan/ubsan + tsan)"
+# Perf smoke: run the scale benchmark at n=10^4 in the default (Release)
+# build. --smoke asserts an event-count envelope (exactly one READY /
+# SUBMIT / ATTEMPT_FINISHED / SUCCEEDED per job on a clean run, plus the
+# run bracket), so a complexity regression — duplicate events, retry
+# storms, quadratic re-scans — fails deterministically without depending
+# on machine speed. BENCH_scale.json in the repo root is the committed
+# full-sweep trajectory baseline (n up to 10^6); regenerate it with
+# `build/bench/scale_dag` when the layout changes.
+echo "==> perf smoke (scale_dag --smoke, n=10^4)"
+cmake --build build -j "${jobs}" --target scale_dag
+build/bench/scale_dag --smoke --out build/BENCH_scale_smoke.json
+
+echo "==> CI OK (default + asan/ubsan + tsan + perf smoke)"

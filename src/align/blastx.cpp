@@ -145,11 +145,30 @@ std::vector<TabularHit> BlastxSearch::search_all(
     return all;
   }
 
-  // Fan out per transcript; futures preserve input order on collection.
+  // Fan out in contiguous chunks, ~4 per worker: enough slack for load
+  // balancing across uneven transcripts while paying the packaged_task /
+  // future overhead once per chunk instead of once per transcript.
+  // Chunk-order collection preserves input order exactly like the old
+  // per-transcript fan-out did.
+  const std::size_t chunk_target = std::max<std::size_t>(1, pool->size() * 4);
+  const std::size_t chunk_count = std::min(transcripts.size(), chunk_target);
+  const std::size_t base = transcripts.size() / chunk_count;
+  const std::size_t extra = transcripts.size() % chunk_count;
   std::vector<std::future<std::vector<TabularHit>>> futures;
-  futures.reserve(transcripts.size());
-  for (const auto& t : transcripts) {
-    futures.push_back(pool->submit([this, &t] { return search(t); }));
+  futures.reserve(chunk_count);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    futures.push_back(pool->submit([this, &transcripts, begin, end] {
+      std::vector<TabularHit> chunk_hits;
+      for (std::size_t i = begin; i < end; ++i) {
+        auto hits = search(transcripts[i]);
+        chunk_hits.insert(chunk_hits.end(), std::make_move_iterator(hits.begin()),
+                          std::make_move_iterator(hits.end()));
+      }
+      return chunk_hits;
+    }));
+    begin = end;
   }
   std::vector<TabularHit> all;
   for (auto& f : futures) {

@@ -2,7 +2,6 @@
 
 #include <array>
 #include <cctype>
-#include <map>
 
 #include "bio/alphabet.hpp"
 #include "common/error.hpp"
@@ -94,21 +93,39 @@ std::size_t frame_to_forward_offset(int frame, std::size_t codon_index,
 
 namespace {
 
-const std::map<char, std::vector<std::string>>& codons_by_amino() {
-  static const std::map<char, std::vector<std::string>> table = [] {
-    std::map<char, std::vector<std::string>> t;
-    const char* bases = "ACGT";
-    for (int a = 0; a < 4; ++a) {
-      for (int b = 0; b < 4; ++b) {
-        for (int c = 0; c < 4; ++c) {
-          const std::string codon{bases[a], bases[b], bases[c]};
-          t[kCode[static_cast<std::size_t>(a * 16 + b * 4 + c)]].push_back(codon);
-        }
+/// Synonymous codons of one amino acid. The standard code has at most 6
+/// (L, R, S), so a fixed-size slot suffices.
+struct CodonSet {
+  std::array<std::array<char, 3>, 6> codons{};
+  std::size_t count = 0;
+};
+
+/// The reverse genetic code as a flat table indexed directly by the amino
+/// char — one constexpr array instead of the heap-built map + tree lookup
+/// the old codons_by_amino() paid on every call.
+constexpr std::array<CodonSet, 128> build_codons_by_amino() {
+  std::array<CodonSet, 128> table{};
+  constexpr char bases[4] = {'A', 'C', 'G', 'T'};
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      for (int c = 0; c < 4; ++c) {
+        const char amino = kCode[static_cast<std::size_t>(a * 16 + b * 4 + c)];
+        CodonSet& set = table[static_cast<std::size_t>(amino)];
+        set.codons[set.count] = {bases[a], bases[b], bases[c]};
+        ++set.count;
       }
     }
-    return t;
-  }();
+  }
   return table;
+}
+
+constexpr std::array<CodonSet, 128> kCodonsByAmino = build_codons_by_amino();
+
+/// Lookup with the same contract the map-based helper had: the synonymous
+/// codons of `amino` in A<C<G<T enumeration order, count 0 when unknown.
+constexpr const CodonSet& codons_by_amino(char amino) {
+  const auto index = static_cast<unsigned char>(amino);
+  return kCodonsByAmino[index < 128 ? index : 0];
 }
 
 }  // namespace
@@ -123,13 +140,12 @@ std::string random_codon_for(char amino, common::Rng& rng) {
       if (translate_codon(codon) != '*') return codon;
     }
   }
-  const auto& table = codons_by_amino();
-  const auto it = table.find(u);
-  if (it == table.end()) {
+  const CodonSet& options = codons_by_amino(u);
+  if (options.count == 0) {
     throw common::InvalidArgument(std::string("no codon for amino acid '") + amino + "'");
   }
-  const auto& options = it->second;
-  return options[rng.below(options.size())];
+  const auto& codon = options.codons[rng.below(options.count)];
+  return std::string(codon.begin(), codon.end());
 }
 
 std::string reverse_translate(std::string_view protein, common::Rng& rng) {

@@ -40,4 +40,12 @@ class WorkflowError : public Error {
       : Error("workflow error: " + what) {}
 };
 
+/// The discrete-event simulator gave up (runaway event budget exhausted).
+/// Surfaced in RunReport::error instead of silently truncating a run.
+class SimulationError : public Error {
+ public:
+  explicit SimulationError(const std::string& what)
+      : Error("simulation error: " + what) {}
+};
+
 }  // namespace pga::common

@@ -1,5 +1,6 @@
 #include "common/strings.hpp"
 
+#include <array>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -102,6 +103,17 @@ std::string format_duration(double seconds) {
 }
 
 std::string format_fixed(double value, int digits) {
+  // std::to_chars(fixed) is specified to match printf("%.*f"), which is
+  // also what a fixed-mode ostringstream produces under the default
+  // locale — same bytes, no stream construction per call. This runs twice
+  // per job in the jobstate log, so it is hot at million-job scale.
+  std::array<char, 64> buf;
+  const auto result = std::to_chars(buf.data(), buf.data() + buf.size(), value,
+                                    std::chars_format::fixed, digits);
+  if (result.ec == std::errc{}) {
+    return std::string(buf.data(), result.ptr);
+  }
+  // Magnitude too large for the buffer: fall back to the stream path.
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(digits);

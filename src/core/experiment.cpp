@@ -70,6 +70,9 @@ SingleRun run_once(const ExperimentConfig& config, const std::string& platform,
       plan_for_site(dax, platform == "cloud" ? "osg" : platform, spec);
 
   sim::EventQueue queue;
+  // Simulated attempts schedule a handful of events each; pre-sizing the
+  // heap keeps large-n sweeps from reallocating it mid-run.
+  queue.reserve(concrete.jobs().size() * 4);
   std::unique_ptr<sim::ExecutionPlatform> sim_platform;
   const sim::OsgPlatform* osg_ptr = nullptr;
   if (platform == "sandhills") {

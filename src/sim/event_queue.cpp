@@ -1,6 +1,7 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -12,14 +13,17 @@ void EventQueue::schedule(double time, Action action) {
                                   std::to_string(time) + " < " +
                                   std::to_string(now_) + ")");
   }
-  events_.push(Event{time, sequence_++, std::move(action)});
+  events_.push_back(Event{time, sequence_++, std::move(action)});
+  std::push_heap(events_.begin(), events_.end(), Later{});
 }
 
 bool EventQueue::step() {
   if (events_.empty()) return false;
-  // Move out before popping; the action may schedule new events.
-  Event event = std::move(const_cast<Event&>(events_.top()));
-  events_.pop();
+  // Move the earliest event out before running it; the action may schedule
+  // new events (and thus reallocate the heap).
+  std::pop_heap(events_.begin(), events_.end(), Later{});
+  Event event = std::move(events_.back());
+  events_.pop_back();
   now_ = event.time;
   event.action();
   return true;
@@ -27,17 +31,24 @@ bool EventQueue::step() {
 
 std::optional<double> EventQueue::next_time() const {
   if (events_.empty()) return std::nullopt;
-  return events_.top().time;
+  return events_.front().time;
 }
 
 void EventQueue::advance_to(double time) {
-  if (!events_.empty()) time = std::min(time, events_.top().time);
+  if (!events_.empty()) time = std::min(time, events_.front().time);
   now_ = std::max(now_, time);
 }
 
 std::size_t EventQueue::run(std::size_t max_events) {
   std::size_t processed = 0;
   while (processed < max_events && step()) ++processed;
+  if (!events_.empty()) {
+    throw common::SimulationError(
+        "event budget exhausted after " + std::to_string(processed) +
+        " events with " + std::to_string(events_.size()) +
+        " still pending at t=" + std::to_string(now_) +
+        " (runaway simulation?)");
+  }
   return processed;
 }
 

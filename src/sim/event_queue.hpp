@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
 #include <vector>
 
 namespace pga::sim {
@@ -13,6 +12,10 @@ namespace pga::sim {
 /// the earliest event, advances the clock to its time, and runs it.
 /// Simultaneous events run in scheduling (FIFO) order, which makes every
 /// simulation fully deterministic.
+///
+/// Storage is a binary heap on a plain vector (push_heap/pop_heap) rather
+/// than std::priority_queue so callers running million-event workflows can
+/// reserve() capacity up front instead of reallocating mid-heap.
 class EventQueue {
  public:
   using Action = std::function<void()>;
@@ -36,9 +39,14 @@ class EventQueue {
   /// (e.g. while waiting out an attempt timeout with nothing scheduled).
   void advance_to(double time);
 
-  /// Runs events until the queue drains (or `max_events` is hit, as a
-  /// runaway guard). Returns the number of events processed.
+  /// Runs events until the queue drains. `max_events` is a runaway guard:
+  /// exceeding it with events still pending throws common::SimulationError
+  /// (a silent truncation here used to masquerade as a finished run).
+  /// Returns the number of events processed.
   std::size_t run(std::size_t max_events = 100'000'000);
+
+  /// Pre-sizes event storage; one allocation for a known-scale run.
+  void reserve(std::size_t events) { events_.reserve(events); }
 
   /// Current simulation time (seconds).
   [[nodiscard]] double now() const { return now_; }
@@ -61,7 +69,7 @@ class EventQueue {
 
   double now_ = 0;
   std::uint64_t sequence_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::vector<Event> events_;  ///< binary min-heap under Later
 };
 
 }  // namespace pga::sim

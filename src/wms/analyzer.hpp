@@ -14,6 +14,7 @@
 
 #include "wms/engine.hpp"
 #include "wms/events.hpp"
+#include "wms/id_table.hpp"
 
 namespace pga::wms {
 
@@ -88,10 +89,14 @@ class TraceCollector final : public EngineObserver {
 
  private:
   struct JobTrace {
+    std::string id;
     std::string transformation;
     std::vector<TaskAttempt> attempts;
   };
-  std::map<std::string, JobTrace> jobs_;
+  /// Jobs in first-seen order, interned by id; csv() sorts by id at render
+  /// time (the order the old map produced).
+  IdTable ids_;
+  std::vector<JobTrace> jobs_;
 };
 
 /// Exports per-attempt rows as CSV (TraceCollector::csv over one report):

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <string_view>
 
 #include "common/error.hpp"
 
@@ -30,165 +31,253 @@ AbstractWorkflow::AbstractWorkflow(std::string name) : name_(std::move(name)) {
   if (name_.empty()) throw InvalidArgument("workflow name must not be empty");
 }
 
-void AbstractWorkflow::add_job(AbstractJob job) {
+std::uint32_t AbstractWorkflow::add_job(AbstractJob job) {
   if (job.id.empty()) throw InvalidArgument("job id must not be empty");
   if (job.transformation.empty()) {
     throw InvalidArgument("job " + job.id + " has no transformation");
   }
-  if (index_.count(job.id)) throw InvalidArgument("duplicate job id: " + job.id);
-  index_.emplace(job.id, jobs_.size());
+  if (ids_.contains(job.id)) throw InvalidArgument("duplicate job id: " + job.id);
+  const std::uint32_t handle = ids_.intern(job.id);  // == jobs_.size(): dense
   jobs_.push_back(std::move(job));
+  children_.emplace_back();
+  parents_.emplace_back();
+  return handle;
 }
 
-bool AbstractWorkflow::path_exists(const std::string& from, const std::string& to) const {
-  std::deque<std::string> frontier{from};
-  std::set<std::string> seen{from};
+bool AbstractWorkflow::path_exists(std::uint32_t from, std::uint32_t to) const {
+  if (visit_mark_.size() < jobs_.size()) visit_mark_.resize(jobs_.size(), 0);
+  if (++visit_epoch_ == 0) {  // epoch wrapped: old stamps are ambiguous
+    std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
+    visit_epoch_ = 1;
+  }
+  const std::uint32_t epoch = visit_epoch_;
+  std::vector<std::uint32_t> frontier{from};
+  visit_mark_[from] = epoch;
   while (!frontier.empty()) {
-    const std::string current = std::move(frontier.front());
-    frontier.pop_front();
+    const std::uint32_t current = frontier.back();
+    frontier.pop_back();
     if (current == to) return true;
-    const auto it = children_.find(current);
-    if (it == children_.end()) continue;
-    for (const auto& next : it->second) {
-      if (seen.insert(next).second) frontier.push_back(next);
+    for (const std::uint32_t next : children_[current]) {
+      if (visit_mark_[next] != epoch) {
+        visit_mark_[next] = epoch;
+        frontier.push_back(next);
+      }
     }
   }
   return false;
 }
 
+namespace {
+
+/// Inserts `handle` into `list` keeping it sorted by interned name (the
+/// order the old std::set<std::string> adjacency iterated in). Returns
+/// false for duplicates.
+bool insert_sorted_by_name(std::vector<std::uint32_t>& list,
+                           std::uint32_t handle, const IdTable& ids) {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), handle,
+      [&ids](std::uint32_t a, std::uint32_t b) { return ids.name(a) < ids.name(b); });
+  if (it != list.end() && *it == handle) return false;
+  list.insert(it, handle);
+  return true;
+}
+
+}  // namespace
+
 void AbstractWorkflow::add_dependency(const std::string& parent,
                                       const std::string& child) {
-  if (!index_.count(parent)) throw InvalidArgument("unknown parent job: " + parent);
-  if (!index_.count(child)) throw InvalidArgument("unknown child job: " + child);
-  if (parent == child) throw WorkflowError("self-dependency on " + parent);
-  if (children_.count(parent) && children_.at(parent).count(child)) return;
-  if (path_exists(child, parent)) {
-    throw WorkflowError("dependency " + parent + " -> " + child + " creates a cycle");
+  const std::uint32_t p = ids_.find(parent);
+  const std::uint32_t c = ids_.find(child);
+  if (p == IdTable::kInvalid) throw InvalidArgument("unknown parent job: " + parent);
+  if (c == IdTable::kInvalid) throw InvalidArgument("unknown child job: " + child);
+  add_dependency(p, c);
+}
+
+void AbstractWorkflow::add_dependency(std::uint32_t parent, std::uint32_t child) {
+  if (parent >= jobs_.size()) {
+    throw InvalidArgument("unknown parent handle: " + std::to_string(parent));
   }
-  children_[parent].insert(child);
-  parents_[child].insert(parent);
+  if (child >= jobs_.size()) {
+    throw InvalidArgument("unknown child handle: " + std::to_string(child));
+  }
+  if (parent == child) throw WorkflowError("self-dependency on " + jobs_[parent].id);
+  if (std::binary_search(children_[parent].begin(), children_[parent].end(), child,
+                         [this](std::uint32_t a, std::uint32_t b) {
+                           return ids_.name(a) < ids_.name(b);
+                         })) {
+    return;
+  }
+  if (path_exists(child, parent)) {
+    throw WorkflowError("dependency " + jobs_[parent].id + " -> " +
+                        jobs_[child].id + " creates a cycle");
+  }
+  insert_sorted_by_name(children_[parent], child, ids_);
+  insert_sorted_by_name(parents_[child], parent, ids_);
+  ++edge_count_;
 }
 
 void AbstractWorkflow::infer_dependencies_from_files() {
-  std::map<std::string, std::string> producer;  // lfn -> job id
+  // LFNs get their own interner: producer[lfn handle] = producing job.
+  IdTable lfns;
+  std::vector<std::uint32_t> producer;
   for (const auto& job : jobs_) {
     for (const auto& lfn : job.outputs()) {
-      const auto [it, inserted] = producer.emplace(lfn, job.id);
-      if (!inserted) {
-        throw WorkflowError("file " + lfn + " produced by both " + it->second +
-                            " and " + job.id);
+      const std::uint32_t f = lfns.intern(lfn);
+      if (f >= producer.size()) producer.resize(f + 1, IdTable::kInvalid);
+      if (producer[f] != IdTable::kInvalid) {
+        throw WorkflowError("file " + lfn + " produced by both " +
+                            jobs_[producer[f]].id + " and " + job.id);
       }
+      producer[f] = ids_.find(job.id);
     }
   }
   for (const auto& job : jobs_) {
-    for (const auto& lfn : job.inputs()) {
-      const auto it = producer.find(lfn);
-      if (it != producer.end() && it->second != job.id) {
-        add_dependency(it->second, job.id);
+    const std::uint32_t self = ids_.find(job.id);
+    for (const auto& use : job.uses) {
+      if (use.link != LinkType::kInput) continue;
+      const std::uint32_t f = lfns.find(use.lfn);
+      if (f == IdTable::kInvalid || f >= producer.size()) continue;
+      const std::uint32_t from = producer[f];
+      if (from != IdTable::kInvalid && from != self) {
+        add_dependency(from, self);
       }
     }
   }
 }
 
 const AbstractJob& AbstractWorkflow::job(const std::string& id) const {
-  const auto it = index_.find(id);
-  if (it == index_.end()) throw InvalidArgument("unknown job: " + id);
-  return jobs_[it->second];
+  return jobs_[job_index(id)];
 }
 
 bool AbstractWorkflow::has_job(const std::string& id) const {
-  return index_.count(id) != 0;
+  return ids_.contains(id);
+}
+
+std::uint32_t AbstractWorkflow::job_index(const std::string& id) const {
+  const std::uint32_t handle = ids_.find(id);
+  if (handle == IdTable::kInvalid) throw InvalidArgument("unknown job: " + id);
+  return handle;
+}
+
+const std::vector<std::uint32_t>& AbstractWorkflow::parents_of(
+    std::uint32_t index) const {
+  if (index >= parents_.size()) {
+    throw InvalidArgument("unknown job handle: " + std::to_string(index));
+  }
+  return parents_[index];
+}
+
+const std::vector<std::uint32_t>& AbstractWorkflow::children_of(
+    std::uint32_t index) const {
+  if (index >= children_.size()) {
+    throw InvalidArgument("unknown job handle: " + std::to_string(index));
+  }
+  return children_[index];
 }
 
 std::vector<std::string> AbstractWorkflow::parents(const std::string& id) const {
-  if (!index_.count(id)) throw InvalidArgument("unknown job: " + id);
-  const auto it = parents_.find(id);
-  if (it == parents_.end()) return {};
-  return {it->second.begin(), it->second.end()};
+  const auto& list = parents_[job_index(id)];
+  std::vector<std::string> out;
+  out.reserve(list.size());
+  for (const std::uint32_t h : list) out.emplace_back(ids_.name(h));
+  return out;
 }
 
 std::vector<std::string> AbstractWorkflow::children(const std::string& id) const {
-  if (!index_.count(id)) throw InvalidArgument("unknown job: " + id);
-  const auto it = children_.find(id);
-  if (it == children_.end()) return {};
-  return {it->second.begin(), it->second.end()};
+  const auto& list = children_[job_index(id)];
+  std::vector<std::string> out;
+  out.reserve(list.size());
+  for (const std::uint32_t h : list) out.emplace_back(ids_.name(h));
+  return out;
 }
 
-std::size_t AbstractWorkflow::edge_count() const {
-  std::size_t total = 0;
-  for (const auto& [parent, kids] : children_) total += kids.size();
-  return total;
-}
-
-std::vector<std::string> AbstractWorkflow::topological_order() const {
-  std::map<std::string, std::size_t> in_degree;
-  for (const auto& job : jobs_) in_degree[job.id] = 0;
-  for (const auto& [parent, kids] : children_) {
-    for (const auto& kid : kids) ++in_degree[kid];
+std::vector<std::uint32_t> AbstractWorkflow::topological_order_indices() const {
+  const std::size_t n = jobs_.size();
+  std::vector<std::uint32_t> in_degree(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    in_degree[i] = static_cast<std::uint32_t>(parents_[i].size());
   }
   // Seed with roots in insertion order for a stable result.
-  std::deque<std::string> ready;
-  for (const auto& job : jobs_) {
-    if (in_degree[job.id] == 0) ready.push_back(job.id);
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (in_degree[i] == 0) order.push_back(i);
   }
-  std::vector<std::string> order;
-  order.reserve(jobs_.size());
-  while (!ready.empty()) {
-    const std::string current = std::move(ready.front());
-    ready.pop_front();
-    order.push_back(current);
-    const auto it = children_.find(current);
-    if (it == children_.end()) continue;
-    for (const auto& kid : it->second) {
-      if (--in_degree[kid] == 0) ready.push_back(kid);
+  // `order` doubles as the Kahn queue: everything before `head` is final.
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (const std::uint32_t kid : children_[order[head]]) {
+      if (--in_degree[kid] == 0) order.push_back(kid);
     }
   }
-  if (order.size() != jobs_.size()) {
+  if (order.size() != n) {
     throw WorkflowError("workflow " + name_ + " contains a cycle");
   }
   return order;
 }
 
+std::vector<std::string> AbstractWorkflow::topological_order() const {
+  const auto indices = topological_order_indices();
+  std::vector<std::string> order;
+  order.reserve(indices.size());
+  for (const std::uint32_t h : indices) order.emplace_back(ids_.name(h));
+  return order;
+}
+
+namespace {
+
+/// Collects every LFN with flags for "some job produces it" / "some job
+/// consumes it", then returns the selected side sorted lexicographically
+/// (the order the old std::set scan produced).
+std::vector<std::string> lfn_frontier(const std::vector<AbstractJob>& jobs,
+                                      bool want_produced) {
+  IdTable lfns;
+  std::vector<char> produced;
+  std::vector<char> consumed;
+  for (const auto& job : jobs) {
+    for (const auto& use : job.uses) {
+      const std::uint32_t f = lfns.intern(use.lfn);
+      if (f >= produced.size()) {
+        produced.resize(f + 1, 0);
+        consumed.resize(f + 1, 0);
+      }
+      (use.link == LinkType::kOutput ? produced[f] : consumed[f]) = 1;
+    }
+  }
+  std::vector<std::string_view> picked;
+  for (std::uint32_t f = 0; f < lfns.size(); ++f) {
+    const bool take = want_produced ? (produced[f] && !consumed[f])
+                                    : (consumed[f] && !produced[f]);
+    if (take) picked.push_back(lfns.name(f));
+  }
+  std::sort(picked.begin(), picked.end());
+  return {picked.begin(), picked.end()};
+}
+
+}  // namespace
+
 std::vector<std::string> AbstractWorkflow::workflow_inputs() const {
-  std::set<std::string> produced;
-  std::set<std::string> consumed;
-  for (const auto& job : jobs_) {
-    for (const auto& lfn : job.outputs()) produced.insert(lfn);
-    for (const auto& lfn : job.inputs()) consumed.insert(lfn);
-  }
-  std::vector<std::string> result;
-  for (const auto& lfn : consumed) {
-    if (!produced.count(lfn)) result.push_back(lfn);
-  }
-  return result;
+  return lfn_frontier(jobs_, /*want_produced=*/false);
 }
 
 std::vector<std::string> AbstractWorkflow::workflow_outputs() const {
-  std::set<std::string> produced;
-  std::set<std::string> consumed;
-  for (const auto& job : jobs_) {
-    for (const auto& lfn : job.outputs()) produced.insert(lfn);
-    for (const auto& lfn : job.inputs()) consumed.insert(lfn);
-  }
-  std::vector<std::string> result;
-  for (const auto& lfn : produced) {
-    if (!consumed.count(lfn)) result.push_back(lfn);
-  }
-  return result;
+  return lfn_frontier(jobs_, /*want_produced=*/true);
 }
 
 void AbstractWorkflow::validate() const {
-  std::map<std::string, std::string> producer;
+  IdTable lfns;
+  std::vector<std::uint32_t> producer;
   for (const auto& job : jobs_) {
     for (const auto& lfn : job.outputs()) {
-      const auto [it, inserted] = producer.emplace(lfn, job.id);
-      if (!inserted) {
-        throw WorkflowError("file " + lfn + " produced by both " + it->second +
-                            " and " + job.id);
+      const std::uint32_t f = lfns.intern(lfn);
+      if (f >= producer.size()) producer.resize(f + 1, IdTable::kInvalid);
+      if (producer[f] != IdTable::kInvalid) {
+        throw WorkflowError("file " + lfn + " produced by both " +
+                            jobs_[producer[f]].id + " and " + job.id);
       }
+      producer[f] = ids_.find(job.id);
     }
   }
-  (void)topological_order();  // throws on cycles
+  (void)topological_order_indices();  // throws on cycles
 }
 
 }  // namespace pga::wms

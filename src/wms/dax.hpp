@@ -3,12 +3,20 @@
 // An abstract workflow names *logical* transformations and files only; it
 // knows nothing about sites, physical paths, or software setup. The
 // planner (planner.hpp) maps it onto a concrete, executable workflow.
+//
+// Jobs are interned: every id maps to a dense u32 handle (IdTable) and the
+// dependency graph is stored as flat per-node adjacency vectors of handles
+// instead of string-keyed map<set> — one hash probe per touch instead of
+// O(log n) string compares. The string-based parents()/children()/
+// topological_order() remain as thin shims over the handle layout and
+// preserve the original sorted-id ordering exactly.
 #pragma once
 
-#include <map>
-#include <set>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "wms/id_table.hpp"
 
 namespace pga::wms {
 
@@ -42,12 +50,15 @@ class AbstractWorkflow {
  public:
   explicit AbstractWorkflow(std::string name);
 
-  /// Adds a job; throws InvalidArgument on duplicate or empty id.
-  void add_job(AbstractJob job);
+  /// Adds a job; throws InvalidArgument on duplicate or empty id. Returns
+  /// the job's dense handle (== position in jobs()).
+  std::uint32_t add_job(AbstractJob job);
 
   /// Adds an explicit parent -> child edge; both ids must exist; duplicate
   /// edges are ignored. Throws WorkflowError if the edge creates a cycle.
   void add_dependency(const std::string& parent, const std::string& child);
+  /// Handle-based edge insertion — no id lookups, for bulk graph builds.
+  void add_dependency(std::uint32_t parent, std::uint32_t child);
 
   /// Derives edges from data flow: if job A outputs an LFN that job B
   /// inputs, adds A -> B. Call after all jobs are added (Pegasus does the
@@ -59,11 +70,26 @@ class AbstractWorkflow {
   [[nodiscard]] const AbstractJob& job(const std::string& id) const;
   [[nodiscard]] bool has_job(const std::string& id) const;
 
+  // ----------------------------------------------------- handle interface
+  /// Dense handle of `id` (its position in jobs()); throws InvalidArgument
+  /// for unknown ids.
+  [[nodiscard]] std::uint32_t job_index(const std::string& id) const;
+  /// The job-id interner; handle h names jobs()[h].id.
+  [[nodiscard]] const IdTable& ids() const { return ids_; }
+  /// Parent handles of `index`, sorted by parent id.
+  [[nodiscard]] const std::vector<std::uint32_t>& parents_of(std::uint32_t index) const;
+  /// Child handles of `index`, sorted by child id.
+  [[nodiscard]] const std::vector<std::uint32_t>& children_of(std::uint32_t index) const;
+  /// Kahn topological order over handles; same sequence as
+  /// topological_order() maps to.
+  [[nodiscard]] std::vector<std::uint32_t> topological_order_indices() const;
+
+  // ------------------------------------------------- string compatibility
   /// Parents of `id` (sorted).
   [[nodiscard]] std::vector<std::string> parents(const std::string& id) const;
   /// Children of `id` (sorted).
   [[nodiscard]] std::vector<std::string> children(const std::string& id) const;
-  [[nodiscard]] std::size_t edge_count() const;
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
 
   /// Kahn topological order; throws WorkflowError if the graph is cyclic
   /// (cannot normally happen — add_dependency rejects cycles).
@@ -83,11 +109,19 @@ class AbstractWorkflow {
  private:
   std::string name_;
   std::vector<AbstractJob> jobs_;
-  std::map<std::string, std::size_t> index_;           // id -> jobs_ index
-  std::map<std::string, std::set<std::string>> children_;
-  std::map<std::string, std::set<std::string>> parents_;
+  IdTable ids_;  // job id -> handle == index into jobs_
+  /// Flat adjacency by handle, each list sorted by the neighbour's id so
+  /// the string shims (and everything ordered on top of them) see exactly
+  /// the order the old map<string, set<string>> produced.
+  std::vector<std::vector<std::uint32_t>> children_;
+  std::vector<std::vector<std::uint32_t>> parents_;
+  std::size_t edge_count_ = 0;
+  /// Cycle-check scratch: epoch-stamped visit marks so each BFS touches
+  /// only the nodes it reaches instead of clearing an O(n) bitmap per edge.
+  mutable std::vector<std::uint32_t> visit_mark_;
+  mutable std::uint32_t visit_epoch_ = 0;
 
-  [[nodiscard]] bool path_exists(const std::string& from, const std::string& to) const;
+  [[nodiscard]] bool path_exists(std::uint32_t from, std::uint32_t to) const;
 };
 
 }  // namespace pga::wms

@@ -1,7 +1,10 @@
 #include "wms/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <numeric>
 #include <sstream>
 #include <utility>
 
@@ -17,12 +20,13 @@ namespace pga::wms {
 
 RunReportBuilder::RunReportBuilder(const ConcreteWorkflow& workflow)
     : log_(report_.jobstate_log) {
+  runs_.reserve(workflow.jobs().size());
   for (const auto& job : workflow.jobs()) {
     JobRun run;
     run.id = job.id;
     run.transformation = job.transformation;
     run.kind = job.kind;
-    runs_.emplace(job.id, std::move(run));
+    runs_.push_back(std::move(run));
   }
 }
 
@@ -30,13 +34,16 @@ void RunReportBuilder::on_event(const EngineEvent& event) {
   log_.on_event(event);
   switch (event.type) {
     case EngineEventType::kRunStarted:
-      report_.workflow = event.workflow;
-      report_.service = event.service;
+      report_.workflow = std::string(event.workflow);
+      report_.service = std::string(event.service);
       report_.jobs_total = event.total_jobs;
       report_.start_time = event.time;
+      // A clean run logs two lines per job (SUBMIT, SUCCESS); sizing the
+      // vector up front avoids ~20 reallocations at million-job scale.
+      report_.jobstate_log.reserve(2 * event.total_jobs + 8);
       break;
     case EngineEventType::kJobRescued: {
-      JobRun& run = runs_.at(event.job_id);
+      JobRun& run = runs_.at(event.job);
       run.succeeded = true;
       run.skipped_by_rescue = true;
       ++report_.jobs_skipped;
@@ -44,7 +51,7 @@ void RunReportBuilder::on_event(const EngineEvent& event) {
     }
     case EngineEventType::kAttemptFinished: {
       ++report_.total_attempts;
-      JobRun& run = runs_.at(event.job_id);
+      JobRun& run = runs_.at(event.job);
       run.attempts.push_back(*event.result);
       if (event.success) run.succeeded = true;
       break;
@@ -53,14 +60,14 @@ void RunReportBuilder::on_event(const EngineEvent& event) {
       ++report_.total_retries;
       break;
     case EngineEventType::kJobBackoff:
-      runs_.at(event.job_id).backoff_seconds += event.backoff_seconds;
+      runs_.at(event.job).backoff_seconds += event.backoff_seconds;
       report_.total_backoff_seconds += event.backoff_seconds;
       break;
     case EngineEventType::kAttemptTimedOut:
       ++report_.timed_out_attempts;
       break;
     case EngineEventType::kNodeBlacklisted:
-      report_.blacklisted_nodes.push_back(event.node);
+      report_.blacklisted_nodes.emplace_back(event.node);
       break;
     case EngineEventType::kJobFailed:
       ++report_.jobs_failed;
@@ -75,7 +82,15 @@ void RunReportBuilder::on_event(const EngineEvent& event) {
 }
 
 RunReport RunReportBuilder::take() {
-  for (auto& [id, run] : runs_) {
+  // Emit sorted by job id — the order the old map<string, JobRun> walked in.
+  std::vector<std::uint32_t> by_id(runs_.size());
+  std::iota(by_id.begin(), by_id.end(), 0);
+  std::sort(by_id.begin(), by_id.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return runs_[a].id < runs_[b].id;
+  });
+  report_.runs.reserve(runs_.size());
+  for (const std::uint32_t index : by_id) {
+    JobRun& run = runs_[index];
     if (run.succeeded && !run.skipped_by_rescue) ++report_.jobs_succeeded;
     report_.runs.push_back(std::move(run));
   }
@@ -153,6 +168,9 @@ RunReport DagmanEngine::run_with_workflow_retries(const ConcreteWorkflow& workfl
 RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
                                      ExecutionService& service,
                                      const std::set<std::string>& already_done) {
+  const IdTable& ids = workflow.ids();
+  const std::size_t total_jobs = workflow.jobs().size();
+
   // The three scheduler-core pieces: state machine, policy, event bus.
   JobStateMachine fsm(workflow);
 
@@ -174,11 +192,12 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
   }
   for (EngineObserver* observer : options_.observers) bus.subscribe(observer);
 
-  const auto job_event = [&](EngineEventType type, const std::string& id) {
+  const auto job_event = [&](EngineEventType type, std::uint32_t index) {
     EngineEvent event;
     event.type = type;
     event.time = service.now();
-    event.job_id = id;
+    event.job = index;
+    event.job_id = ids.name(index);
     return event;
   };
 
@@ -188,28 +207,36 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
     started.time = service.now();
     started.workflow = workflow.name();
     started.service = service.label();
-    started.total_jobs = workflow.jobs().size();
+    started.total_jobs = total_jobs;
     bus.emit(started);
+  }
+
+  // Resolve the rescue frontier onto dense handles (ids the workflow does
+  // not know are ignored, as the string-keyed lookups always did).
+  std::vector<char> rescued(total_jobs, 0);
+  for (const auto& id : already_done) {
+    const std::uint32_t index = ids.find(id);
+    if (index != IdTable::kInvalid) rescued[index] = 1;
   }
 
   // Seed with rescued jobs: they complete instantly without attempts, then
   // release their children in topological order so rescued chains seed
   // correctly; finally the untouched roots join the ready queue.
-  const auto topo = workflow.topological_order();
-  for (const auto& id : topo) {
-    if (already_done.count(id)) {
-      fsm.mark_skipped(fsm.index_of(id));
-      bus.emit(job_event(EngineEventType::kJobRescued, id));
+  const auto topo = workflow.topological_order_indices();
+  for (const std::uint32_t index : topo) {
+    if (rescued[index]) {
+      fsm.mark_skipped(index);
+      bus.emit(job_event(EngineEventType::kJobRescued, index));
     }
   }
-  for (const auto& id : topo) {
-    if (!already_done.count(id)) continue;
-    for (const std::uint32_t child : fsm.release_children(fsm.index_of(id))) {
-      bus.emit(job_event(EngineEventType::kJobReady, fsm.id_of(child)));
+  for (const std::uint32_t index : topo) {
+    if (!rescued[index]) continue;
+    for (const std::uint32_t child : fsm.release_children(index)) {
+      bus.emit(job_event(EngineEventType::kJobReady, child));
     }
   }
-  for (const auto& id : topo) {
-    if (!already_done.count(id)) fsm.seed_root(fsm.index_of(id));
+  for (const std::uint32_t index : topo) {
+    if (!rescued[index]) fsm.seed_root(index);
   }
 
   // Hardening state the state machine does not own: per-attempt deadlines
@@ -219,25 +246,45 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
   struct InFlight {
     double submitted_at = 0;  ///< service time the attempt was handed over
     double deadline = 0;      ///< submitted_at + attempt timeout
+    std::uint32_t list_pos = 0;  ///< position in inflight_list (swap-remove)
+    bool active = false;
   };
-  std::map<std::string, InFlight> in_flight;
+  // Dense slots by handle plus a compact list of active handles, so the
+  // per-wake deadline scan is O(#in-flight) without any string keys.
+  std::vector<InFlight> in_flight(total_jobs);
+  std::vector<std::uint32_t> inflight_list;
+  const auto inflight_add = [&](std::uint32_t index, double at) {
+    InFlight& slot = in_flight[index];
+    slot.submitted_at = at;
+    slot.deadline = at + options_.attempt_timeout_seconds;
+    slot.list_pos = static_cast<std::uint32_t>(inflight_list.size());
+    slot.active = true;
+    inflight_list.push_back(index);
+  };
+  const auto inflight_remove = [&](std::uint32_t index) {
+    InFlight& slot = in_flight[index];
+    const std::uint32_t pos = slot.list_pos;
+    const std::uint32_t last = inflight_list.back();
+    inflight_list[pos] = last;
+    in_flight[last].list_pos = pos;
+    inflight_list.pop_back();
+    slot.active = false;
+  };
   // Attempts we declared timed out whose real completion may still surface
   // later (a slow LocalService job finishing after the deadline). Counted
   // per job so stragglers are dropped instead of double-counted.
-  std::map<std::string, int> stale_attempts;
+  std::vector<int> stale_attempts(total_jobs, 0);
   std::map<std::string, int> node_fail_streak;
   std::set<std::string> blacklisted;
   common::Rng backoff_rng(options_.backoff_seed);
 
   const auto submit = [&](std::size_t position) {
     const std::uint32_t index = fsm.take_ready(position);
-    const std::string& id = fsm.id_of(index);
-    EngineEvent event = job_event(EngineEventType::kJobSubmitted, id);
+    EngineEvent event = job_event(EngineEventType::kJobSubmitted, index);
     event.attempt = fsm.attempts(index);
     bus.emit(event);
-    const double at = service.now();
-    in_flight[id] = InFlight{at, at + options_.attempt_timeout_seconds};
-    service.submit(workflow.job(id));
+    inflight_add(index, service.now());
+    service.submit(workflow.job_at(index));
   };
 
   const auto throttled = [&] {
@@ -261,9 +308,7 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
   };
 
   // One attempt outcome (real or synthesized) flows through here.
-  const auto handle_attempt = [&](TaskAttempt attempt) {
-    const std::string id = attempt.job_id;
-    const std::uint32_t index = fsm.index_of(id);
+  const auto handle_attempt = [&](std::uint32_t index, TaskAttempt attempt) {
     // Node ledger: consecutive failures blacklist a node; success clears it.
     if (options_.node_blacklist_threshold > 0 && !attempt.node.empty()) {
       if (attempt.success) {
@@ -273,7 +318,7 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
                      options_.node_blacklist_threshold) {
         blacklisted.insert(attempt.node);
         service.avoid_node(attempt.node);
-        EngineEvent event = job_event(EngineEventType::kNodeBlacklisted, id);
+        EngineEvent event = job_event(EngineEventType::kNodeBlacklisted, index);
         event.node = attempt.node;
         bus.emit(event);
         common::log_warn() << "node " << attempt.node << " blacklisted after "
@@ -282,7 +327,7 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
       }
     }
     {
-      EngineEvent event = job_event(EngineEventType::kAttemptFinished, id);
+      EngineEvent event = job_event(EngineEventType::kAttemptFinished, index);
       event.attempt = fsm.attempts(index);
       event.success = attempt.success;
       event.result = &attempt;
@@ -290,55 +335,60 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
     }
     if (attempt.success) {
       fsm.mark_done(index);
-      bus.emit(job_event(EngineEventType::kJobSucceeded, id));
+      bus.emit(job_event(EngineEventType::kJobSucceeded, index));
       for (const std::uint32_t child : fsm.release_children(index)) {
-        bus.emit(job_event(EngineEventType::kJobReady, fsm.id_of(child)));
+        bus.emit(job_event(EngineEventType::kJobReady, child));
       }
     } else if (fsm.attempts(index) <= options_.retries) {
-      EngineEvent event = job_event(EngineEventType::kJobRetry, id);
+      EngineEvent event = job_event(EngineEventType::kJobRetry, index);
       event.attempt = fsm.attempts(index);
       bus.emit(event);
-      common::log_debug() << "job " << id << " failed (" << attempt.error
-                          << "), retrying";
+      common::log_debug() << "job " << ids.name(index) << " failed ("
+                          << attempt.error << "), retrying";
       const double delay = next_backoff(fsm.attempts(index));
       if (delay > 0) {
-        EngineEvent backoff = job_event(EngineEventType::kJobBackoff, id);
+        EngineEvent backoff = job_event(EngineEventType::kJobBackoff, index);
         backoff.backoff_seconds = delay;
         bus.emit(backoff);
         fsm.start_backoff(index, service.now() + delay);
       } else {
         fsm.requeue(index);
       }
-      bus.emit(job_event(EngineEventType::kJobReady, id));
+      bus.emit(job_event(EngineEventType::kJobReady, index));
     } else {
-      EngineEvent event = job_event(EngineEventType::kJobFailed, id);
+      EngineEvent event = job_event(EngineEventType::kJobFailed, index);
       event.error = attempt.error;
       bus.emit(event);
-      common::log_warn() << "job " << id << " exhausted retries: " << attempt.error;
+      common::log_warn() << "job " << ids.name(index)
+                         << " exhausted retries: " << attempt.error;
       fsm.mark_failed(index);
       // Children of a dead job can never run; DAGMan keeps running the
       // independent frontier, which this loop does naturally.
     }
   };
 
-  // Declares the outstanding attempt of `id` dead by timeout.
-  const auto expire_attempt = [&](const std::string& id, const InFlight& info) {
+  // Declares the outstanding attempt of `index` dead by timeout.
+  const auto expire_attempt = [&](std::uint32_t index, const InFlight& info) {
     TaskAttempt timed_out;
-    timed_out.job_id = id;
-    timed_out.transformation = workflow.job(id).transformation;
+    timed_out.job_id = std::string(ids.name(index));
+    timed_out.transformation = workflow.job_at(index).transformation;
     timed_out.success = false;
     timed_out.error =
         "attempt timed out after " +
         common::format_fixed(options_.attempt_timeout_seconds, 3) + " s";
     timed_out.submit_time = info.submitted_at;
     timed_out.end_time = service.now();
-    ++stale_attempts[id];
-    EngineEvent event = job_event(EngineEventType::kAttemptTimedOut, id);
-    event.attempt = fsm.attempts(fsm.index_of(id));
+    ++stale_attempts[index];
+    EngineEvent event = job_event(EngineEventType::kAttemptTimedOut, index);
+    event.attempt = fsm.attempts(index);
     event.error = timed_out.error;
     bus.emit(event);
-    handle_attempt(std::move(timed_out));
+    handle_attempt(index, std::move(timed_out));
   };
+
+  // Set when the simulator aborts the run (event budget exhausted); the
+  // partial report is finalized as a failure carrying this diagnostic.
+  std::string abort_error;
 
   while (true) {
     fsm.release_due(service.now(), kEps);
@@ -352,48 +402,68 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
     // blocking wait exactly as before.
     double horizon = fsm.earliest_release();
     if (timeout_on) {
-      for (const auto& [id, info] : in_flight) {
-        horizon = std::min(horizon, info.deadline);
+      for (const std::uint32_t index : inflight_list) {
+        horizon = std::min(horizon, in_flight[index].deadline);
       }
     }
 
     std::vector<TaskAttempt> attempts;
-    if (std::isinf(horizon)) {
-      attempts = service.wait();
-      if (attempts.empty() && fsm.submitted_count() > 0) {
-        throw common::WorkflowError("execution service returned no completions");
+    try {
+      if (std::isinf(horizon)) {
+        attempts = service.wait();
+        if (attempts.empty() && fsm.submitted_count() > 0) {
+          throw common::WorkflowError("execution service returned no completions");
+        }
+      } else {
+        attempts = service.wait_for(std::max(0.0, horizon - service.now()));
       }
-    } else {
-      attempts = service.wait_for(std::max(0.0, horizon - service.now()));
+    } catch (const common::SimulationError& err) {
+      abort_error = err.what();
+      common::log_warn() << "run aborted by simulator: " << abort_error;
+      break;
     }
 
     bool progress = false;
     for (auto& attempt : attempts) {
-      const auto fit = in_flight.find(attempt.job_id);
-      const bool current = fit != in_flight.end() &&
-                           attempt.submit_time + kEps >= fit->second.submitted_at;
+      // Services that echo the submit handle save the hash lookup; the
+      // name check keeps a buggy echo from corrupting another job.
+      std::uint32_t index = attempt.job;
+      if (index >= total_jobs || ids.name(index) != attempt.job_id) {
+        index = ids.find(attempt.job_id);
+      }
+      const bool current = index != IdTable::kInvalid && in_flight[index].active &&
+                           attempt.submit_time + kEps >= in_flight[index].submitted_at;
       if (!current) {
         // A completion for an attempt we already wrote off (timed out), or
         // one we never submitted: drop it rather than corrupt accounting.
-        auto sit = stale_attempts.find(attempt.job_id);
-        if (sit != stale_attempts.end() && sit->second > 0) --sit->second;
+        if (index != IdTable::kInvalid && stale_attempts[index] > 0) {
+          --stale_attempts[index];
+        }
         common::log_debug() << "dropping stale completion for " << attempt.job_id;
         continue;
       }
-      in_flight.erase(fit);
-      handle_attempt(std::move(attempt));
+      inflight_remove(index);
+      handle_attempt(index, std::move(attempt));
       progress = true;
     }
 
     if (timeout_on) {
-      // Expire every in-flight attempt whose deadline has passed.
-      std::vector<std::pair<std::string, InFlight>> expired;
-      for (const auto& [id, info] : in_flight) {
-        if (info.deadline <= service.now() + kEps) expired.emplace_back(id, info);
+      // Expire every in-flight attempt whose deadline has passed, in
+      // id-lexicographic order — the old map<string, InFlight> walk.
+      std::vector<std::uint32_t> expired;
+      for (const std::uint32_t index : inflight_list) {
+        if (in_flight[index].deadline <= service.now() + kEps) {
+          expired.push_back(index);
+        }
       }
-      for (const auto& [id, info] : expired) {
-        in_flight.erase(id);
-        expire_attempt(id, info);
+      std::sort(expired.begin(), expired.end(),
+                [&ids](std::uint32_t a, std::uint32_t b) {
+                  return ids.name(a) < ids.name(b);
+                });
+      for (const std::uint32_t index : expired) {
+        const InFlight info = in_flight[index];
+        inflight_remove(index);
+        expire_attempt(index, info);
         progress = true;
       }
     }
@@ -406,14 +476,21 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
       // retry or expire the next deadline at the current clock.
       if (fsm.any_cooling() && fsm.earliest_release() <= horizon + kEps) {
         fsm.force_release_earliest();
-      } else if (timeout_on && !in_flight.empty()) {
-        auto it = in_flight.begin();
-        for (auto jt = std::next(it); jt != in_flight.end(); ++jt) {
-          if (jt->second.deadline < it->second.deadline) it = jt;
+      } else if (timeout_on && !inflight_list.empty()) {
+        // Earliest deadline; ties go to the smaller id, as the old
+        // id-ordered map scan with strict less produced.
+        std::uint32_t victim = inflight_list.front();
+        for (const std::uint32_t index : inflight_list) {
+          if (index == victim) continue;
+          const double d = in_flight[index].deadline;
+          const double best = in_flight[victim].deadline;
+          if (d < best || (d == best && ids.name(index) < ids.name(victim))) {
+            victim = index;
+          }
         }
-        const auto [id, info] = *it;
-        in_flight.erase(it);
-        expire_attempt(id, info);
+        const InFlight info = in_flight[victim];
+        inflight_remove(victim);
+        expire_attempt(victim, info);
       }
     }
   }
@@ -422,18 +499,19 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
     EngineEvent finished;
     finished.type = EngineEventType::kRunFinished;
     finished.time = service.now();
-    finished.success = fsm.done_count() == workflow.jobs().size();
+    finished.success = abort_error.empty() && fsm.done_count() == total_jobs;
     bus.emit(finished);
   }
   RunReport report = builder.take();
+  report.error = abort_error;
 
   if (!report.success && options_.rescue_path.has_value()) {
     std::ostringstream os;
     os << "# rescue DAG for " << workflow.name() << "\n";
-    for (const auto& id : topo) {
-      const SchedState state = fsm.state(fsm.index_of(id));
+    for (const std::uint32_t index : topo) {
+      const SchedState state = fsm.state(index);
       if (state == SchedState::kDone || state == SchedState::kSkipped) {
-        os << "DONE " << id << "\n";
+        os << "DONE " << ids.name(index) << "\n";
       }
     }
     common::write_file(*options_.rescue_path, os.str());

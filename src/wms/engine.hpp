@@ -18,7 +18,6 @@
 #pragma once
 
 #include <filesystem>
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -96,6 +95,10 @@ struct JobRun {
 /// Outcome of one engine run.
 struct RunReport {
   bool success = false;
+  /// Diagnostic when the run was aborted by the simulator rather than
+  /// finishing (e.g. the event-queue runaway guard tripped); empty on
+  /// normal completion or ordinary job failure.
+  std::string error;
   std::string workflow;
   std::string service;       ///< execution back-end label
   double start_time = 0;     ///< service time when the run began
@@ -134,7 +137,9 @@ class RunReportBuilder final : public EngineObserver {
  private:
   RunReport report_;
   JobstateLogObserver log_;  ///< writes into report_.jobstate_log
-  std::map<std::string, JobRun> runs_;
+  /// Per-job records indexed by dense handle (EngineEvent::job); take()
+  /// emits them sorted by id, matching the old map iteration order.
+  std::vector<JobRun> runs_;
 };
 
 /// DAG scheduler. Stateless between runs; safe to reuse.

@@ -1,6 +1,6 @@
 #include "wms/events.hpp"
 
-#include <sstream>
+#include <string>
 
 #include "common/strings.hpp"
 
@@ -33,7 +33,8 @@ void EventBus::emit(const EngineEvent& event) {
 }
 
 void JobstateLogObserver::on_event(const EngineEvent& event) {
-  std::string text;
+  std::string_view text;
+  std::string_view suffix;  // only BLACKLIST carries one (the node)
   switch (event.type) {
     case EngineEventType::kJobRescued: text = "RESCUED"; break;
     case EngineEventType::kJobSubmitted:
@@ -43,27 +44,40 @@ void JobstateLogObserver::on_event(const EngineEvent& event) {
     case EngineEventType::kJobBackoff: text = "BACKOFF"; break;
     case EngineEventType::kJobFailed: text = "FAILED"; break;
     case EngineEventType::kAttemptTimedOut: text = "TIMEOUT"; break;
-    case EngineEventType::kNodeBlacklisted: text = "BLACKLIST " + event.node; break;
+    case EngineEventType::kNodeBlacklisted:
+      text = "BLACKLIST";
+      suffix = event.node;
+      break;
     default: return;  // not a jobstate line
   }
-  std::ostringstream os;
-  os << common::format_fixed(event.time, 3) << " " << event.job_id << " " << text;
-  sink_->push_back(os.str());
+  // One string build, no stringstream: this runs once per logged event and
+  // dominated the observer fan-out's allocation profile at scale.
+  std::string line = common::format_fixed(event.time, 3);
+  line.reserve(line.size() + event.job_id.size() + text.size() + suffix.size() + 3);
+  line += ' ';
+  line += event.job_id;
+  line += ' ';
+  line += text;
+  if (!suffix.empty()) {
+    line += ' ';
+    line += suffix;
+  }
+  sink_->push_back(std::move(line));
 }
 
 void StatusBoardObserver::on_event(const EngineEvent& event) {
   switch (event.type) {
     case EngineEventType::kRunStarted:
-      board_->begin(event.workflow, event.total_jobs);
+      board_->begin(std::string(event.workflow), event.total_jobs);
       break;
     case EngineEventType::kJobRescued:
-      board_->set_state(event.job_id, JobState::kRescued);
+      board_->set_state(std::string(event.job_id), JobState::kRescued);
       break;
     case EngineEventType::kJobReady:
-      board_->set_state(event.job_id, JobState::kReady);
+      board_->set_state(std::string(event.job_id), JobState::kReady);
       break;
     case EngineEventType::kJobSubmitted:
-      board_->set_state(event.job_id, JobState::kSubmitted);
+      board_->set_state(std::string(event.job_id), JobState::kSubmitted);
       break;
     case EngineEventType::kJobRetry:
       board_->count_retry();
@@ -82,10 +96,10 @@ void StatusBoardObserver::on_event(const EngineEvent& event) {
       board_->count_timeout();
       break;
     case EngineEventType::kJobSucceeded:
-      board_->set_state(event.job_id, JobState::kSucceeded);
+      board_->set_state(std::string(event.job_id), JobState::kSucceeded);
       break;
     case EngineEventType::kJobFailed:
-      board_->set_state(event.job_id, JobState::kFailed);
+      board_->set_state(std::string(event.job_id), JobState::kFailed);
       break;
     default:
       break;

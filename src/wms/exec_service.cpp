@@ -25,6 +25,7 @@ void LocalService::submit(const ConcreteJob& job) {
   (void)executor_.submit([this, job, submit_time] {
     TaskAttempt attempt;
     attempt.job_id = job.id;
+    attempt.job = job.index;
     attempt.transformation = job.transformation;
     attempt.node = "local";
     attempt.submit_time = submit_time;

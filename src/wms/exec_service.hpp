@@ -5,6 +5,7 @@
 // (b) simulated, on the discrete-event platform models at paper scale.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -23,6 +24,11 @@ namespace pga::wms {
 /// One attempt at one concrete job, in the service's time base.
 struct TaskAttempt {
   std::string job_id;
+  /// Optional echo of ConcreteJob::index from the submitted job. When a
+  /// service fills it, the engine verifies the name and skips the hash
+  /// lookup that matching completions by job_id costs; 0xFFFFFFFFu
+  /// (IdTable::kInvalid) means "not set, match by job_id".
+  std::uint32_t job = 0xFFFFFFFFu;
   std::string transformation;
   bool success = false;
   std::string error;

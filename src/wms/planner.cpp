@@ -1,7 +1,8 @@
 #include "wms/planner.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <map>
+#include <set>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -14,90 +15,154 @@ using common::WorkflowError;
 ConcreteWorkflow::ConcreteWorkflow(std::string name, std::string site)
     : name_(std::move(name)), site_(std::move(site)) {}
 
-void ConcreteWorkflow::add_job(ConcreteJob job) {
+std::uint32_t ConcreteWorkflow::add_job(ConcreteJob job) {
   if (job.id.empty()) throw InvalidArgument("concrete job id must not be empty");
-  if (index_.count(job.id)) throw InvalidArgument("duplicate concrete job: " + job.id);
-  index_.emplace(job.id, jobs_.size());
+  if (ids_.contains(job.id)) {
+    throw InvalidArgument("duplicate concrete job: " + job.id);
+  }
+  const std::uint32_t handle = ids_.intern(job.id);  // == jobs_.size(): dense
+  job.index = handle;
   jobs_.push_back(std::move(job));
+  children_.emplace_back();
+  parents_.emplace_back();
+  return handle;
 }
+
+namespace {
+
+/// Inserts `handle` into `list` keeping it sorted by interned name (the
+/// order the old std::set<std::string> adjacency iterated in). Returns
+/// false for duplicates.
+bool insert_sorted_by_name(std::vector<std::uint32_t>& list,
+                           std::uint32_t handle, const IdTable& ids) {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), handle,
+      [&ids](std::uint32_t a, std::uint32_t b) { return ids.name(a) < ids.name(b); });
+  if (it != list.end() && *it == handle) return false;
+  list.insert(it, handle);
+  return true;
+}
+
+}  // namespace
 
 void ConcreteWorkflow::add_dependency(const std::string& parent,
                                       const std::string& child) {
-  if (!index_.count(parent)) throw InvalidArgument("unknown parent: " + parent);
-  if (!index_.count(child)) throw InvalidArgument("unknown child: " + child);
-  if (parent == child) throw WorkflowError("self-dependency on " + parent);
-  children_[parent].insert(child);
-  parents_[child].insert(parent);
+  const std::uint32_t p = ids_.find(parent);
+  const std::uint32_t c = ids_.find(child);
+  if (p == IdTable::kInvalid) throw InvalidArgument("unknown parent: " + parent);
+  if (c == IdTable::kInvalid) throw InvalidArgument("unknown child: " + child);
+  add_dependency(p, c);
+}
+
+void ConcreteWorkflow::add_dependency(std::uint32_t parent, std::uint32_t child) {
+  if (parent >= jobs_.size()) {
+    throw InvalidArgument("unknown parent handle: " + std::to_string(parent));
+  }
+  if (child >= jobs_.size()) {
+    throw InvalidArgument("unknown child handle: " + std::to_string(child));
+  }
+  if (parent == child) throw WorkflowError("self-dependency on " + jobs_[parent].id);
+  if (insert_sorted_by_name(children_[parent], child, ids_)) {
+    insert_sorted_by_name(parents_[child], parent, ids_);
+    ++edge_count_;
+  }
 }
 
 const ConcreteJob& ConcreteWorkflow::job(const std::string& id) const {
-  const auto it = index_.find(id);
-  if (it == index_.end()) throw InvalidArgument("unknown concrete job: " + id);
-  return jobs_[it->second];
+  return jobs_[job_index(id)];
 }
 
 ConcreteJob& ConcreteWorkflow::mutable_job(const std::string& id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) throw InvalidArgument("unknown concrete job: " + id);
-  return jobs_[it->second];
+  return jobs_[job_index(id)];
 }
 
 bool ConcreteWorkflow::has_job(const std::string& id) const {
-  return index_.count(id) != 0;
+  return ids_.contains(id);
 }
 
 std::uint32_t ConcreteWorkflow::job_index(const std::string& id) const {
-  const auto it = index_.find(id);
-  if (it == index_.end()) throw InvalidArgument("unknown concrete job: " + id);
-  return static_cast<std::uint32_t>(it->second);
+  const std::uint32_t handle = ids_.find(id);
+  if (handle == IdTable::kInvalid) {
+    throw InvalidArgument("unknown concrete job: " + id);
+  }
+  return handle;
+}
+
+const ConcreteJob& ConcreteWorkflow::job_at(std::uint32_t index) const {
+  if (index >= jobs_.size()) {
+    throw InvalidArgument("unknown concrete job handle: " + std::to_string(index));
+  }
+  return jobs_[index];
+}
+
+const std::vector<std::uint32_t>& ConcreteWorkflow::parents_of(
+    std::uint32_t index) const {
+  if (index >= parents_.size()) {
+    throw InvalidArgument("unknown concrete job handle: " + std::to_string(index));
+  }
+  return parents_[index];
+}
+
+const std::vector<std::uint32_t>& ConcreteWorkflow::children_of(
+    std::uint32_t index) const {
+  if (index >= children_.size()) {
+    throw InvalidArgument("unknown concrete job handle: " + std::to_string(index));
+  }
+  return children_[index];
 }
 
 std::vector<std::string> ConcreteWorkflow::parents(const std::string& id) const {
-  if (!index_.count(id)) throw InvalidArgument("unknown concrete job: " + id);
-  const auto it = parents_.find(id);
-  if (it == parents_.end()) return {};
-  return {it->second.begin(), it->second.end()};
+  const auto& list = parents_[job_index(id)];
+  std::vector<std::string> out;
+  out.reserve(list.size());
+  for (const std::uint32_t h : list) out.emplace_back(ids_.name(h));
+  return out;
 }
 
 std::vector<std::string> ConcreteWorkflow::children(const std::string& id) const {
-  if (!index_.count(id)) throw InvalidArgument("unknown concrete job: " + id);
-  const auto it = children_.find(id);
-  if (it == children_.end()) return {};
-  return {it->second.begin(), it->second.end()};
+  const auto& list = children_[job_index(id)];
+  std::vector<std::string> out;
+  out.reserve(list.size());
+  for (const std::uint32_t h : list) out.emplace_back(ids_.name(h));
+  return out;
 }
 
-std::size_t ConcreteWorkflow::edge_count() const {
-  std::size_t total = 0;
-  for (const auto& [parent, kids] : children_) total += kids.size();
-  return total;
-}
-
-std::vector<std::string> ConcreteWorkflow::topological_order() const {
-  std::map<std::string, std::size_t> in_degree;
-  for (const auto& job : jobs_) in_degree[job.id] = 0;
-  for (const auto& [parent, kids] : children_) {
-    for (const auto& kid : kids) ++in_degree[kid];
+std::vector<std::uint32_t> ConcreteWorkflow::topological_order_indices() const {
+  const std::size_t n = jobs_.size();
+  std::vector<std::uint32_t> in_degree(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    in_degree[i] = static_cast<std::uint32_t>(parents_[i].size());
   }
-  std::deque<std::string> ready;
-  for (const auto& job : jobs_) {
-    if (in_degree[job.id] == 0) ready.push_back(job.id);
+  // Seed with roots in insertion order; `order` doubles as the Kahn queue.
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (in_degree[i] == 0) order.push_back(i);
   }
-  std::vector<std::string> order;
-  order.reserve(jobs_.size());
-  while (!ready.empty()) {
-    const std::string current = std::move(ready.front());
-    ready.pop_front();
-    order.push_back(current);
-    const auto it = children_.find(current);
-    if (it == children_.end()) continue;
-    for (const auto& kid : it->second) {
-      if (--in_degree[kid] == 0) ready.push_back(kid);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (const std::uint32_t kid : children_[order[head]]) {
+      if (--in_degree[kid] == 0) order.push_back(kid);
     }
   }
-  if (order.size() != jobs_.size()) {
+  if (order.size() != n) {
     throw WorkflowError("concrete workflow " + name_ + " contains a cycle");
   }
   return order;
+}
+
+std::vector<std::string> ConcreteWorkflow::topological_order() const {
+  const auto indices = topological_order_indices();
+  std::vector<std::string> order;
+  order.reserve(indices.size());
+  for (const std::uint32_t h : indices) order.emplace_back(ids_.name(h));
+  return order;
+}
+
+void ConcreteWorkflow::reserve(std::size_t job_count, std::size_t id_bytes) {
+  jobs_.reserve(job_count);
+  children_.reserve(job_count);
+  parents_.reserve(job_count);
+  ids_.reserve(job_count, id_bytes);
 }
 
 std::size_t ConcreteWorkflow::count(JobKind kind) const {

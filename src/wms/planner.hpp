@@ -9,13 +9,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "wms/catalog.hpp"
 #include "wms/dax.hpp"
+#include "wms/id_table.hpp"
 
 namespace pga::wms {
 
@@ -48,6 +47,11 @@ struct ConcreteJob {
   /// within a priority level. The default FIFO policy ignores it.
   /// Longest-task-first scheduling sets this from the cost hint.
   int priority = 0;
+  /// Dense handle assigned by ConcreteWorkflow::add_job (== position in
+  /// jobs()). Execution services may echo it back in TaskAttempt::job so
+  /// the engine matches completions without a hash lookup; kInvalid until
+  /// the job is added to a workflow.
+  std::uint32_t index = 0xFFFFFFFFu;
 };
 
 /// A planned workflow bound to a site.
@@ -55,8 +59,11 @@ class ConcreteWorkflow {
  public:
   ConcreteWorkflow(std::string name, std::string site);
 
-  void add_job(ConcreteJob job);
+  /// Adds a job and returns its dense handle (== position in jobs()).
+  std::uint32_t add_job(ConcreteJob job);
   void add_dependency(const std::string& parent, const std::string& child);
+  /// Handle-based edge insertion — no id lookups, for bulk graph builds.
+  void add_dependency(std::uint32_t parent, std::uint32_t child);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::string& site() const { return site_; }
@@ -68,10 +75,23 @@ class ConcreteWorkflow {
   /// Dense index of `id` within jobs() (the scheduler core keys its per-job
   /// state by this). Throws InvalidArgument for unknown ids.
   [[nodiscard]] std::uint32_t job_index(const std::string& id) const;
+  /// jobs()[index], bounds-checked; the engine's hot path submits by handle.
+  [[nodiscard]] const ConcreteJob& job_at(std::uint32_t index) const;
+  /// The job-id interner; handle h names jobs()[h].id.
+  [[nodiscard]] const IdTable& ids() const { return ids_; }
+  /// Parent/child handles of `index`, each list sorted by the neighbour's
+  /// id (the order the old set<string> adjacency iterated in).
+  [[nodiscard]] const std::vector<std::uint32_t>& parents_of(std::uint32_t index) const;
+  [[nodiscard]] const std::vector<std::uint32_t>& children_of(std::uint32_t index) const;
+  [[nodiscard]] std::vector<std::uint32_t> topological_order_indices() const;
   [[nodiscard]] std::vector<std::string> parents(const std::string& id) const;
   [[nodiscard]] std::vector<std::string> children(const std::string& id) const;
   [[nodiscard]] std::vector<std::string> topological_order() const;
-  [[nodiscard]] std::size_t edge_count() const;
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  /// Pre-sizes the interner and job storage (scale benches build
+  /// million-job workflows; one allocation instead of log2(n) regrows).
+  void reserve(std::size_t job_count, std::size_t id_bytes = 0);
 
   /// Count of jobs of one kind.
   [[nodiscard]] std::size_t count(JobKind kind) const;
@@ -80,9 +100,10 @@ class ConcreteWorkflow {
   std::string name_;
   std::string site_;
   std::vector<ConcreteJob> jobs_;
-  std::map<std::string, std::size_t> index_;
-  std::map<std::string, std::set<std::string>> children_;
-  std::map<std::string, std::set<std::string>> parents_;
+  IdTable ids_;  // job id -> handle == index into jobs_
+  std::vector<std::vector<std::uint32_t>> children_;
+  std::vector<std::vector<std::uint32_t>> parents_;
+  std::size_t edge_count_ = 0;
 };
 
 /// Planner knobs.

@@ -65,15 +65,15 @@ class CriticalPathPolicy final : public SchedulingPolicy {
   [[nodiscard]] std::string name() const override { return "critical-path"; }
   void prepare(const ConcreteWorkflow& workflow) override {
     // Upward rank: cost of the job plus the costliest path below it,
-    // computed in one reverse-topological sweep.
+    // computed in one reverse-topological sweep over dense handles.
     const auto& jobs = workflow.jobs();
     rank_.assign(jobs.size(), 0.0);
-    const auto order = workflow.topological_order();
+    const auto order = workflow.topological_order_indices();
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      const std::uint32_t index = workflow.job_index(*it);
+      const std::uint32_t index = *it;
       double below = 0;
-      for (const auto& child : workflow.children(*it)) {
-        below = std::max(below, rank_[workflow.job_index(child)]);
+      for (const std::uint32_t child : workflow.children_of(index)) {
+        below = std::max(below, rank_[child]);
       }
       rank_[index] = jobs[index].cpu_seconds_hint + below;
     }
@@ -92,8 +92,8 @@ class WidestBranchPolicy final : public SchedulingPolicy {
   void prepare(const ConcreteWorkflow& workflow) override {
     fan_out_.clear();
     fan_out_.reserve(workflow.jobs().size());
-    for (const auto& job : workflow.jobs()) {
-      fan_out_.push_back(workflow.children(job.id).size());
+    for (std::uint32_t i = 0; i < workflow.jobs().size(); ++i) {
+      fan_out_.push_back(workflow.children_of(i).size());
     }
   }
   [[nodiscard]] std::size_t pick(const std::deque<std::uint32_t>& ready) override {
@@ -139,15 +139,11 @@ const std::vector<std::string>& policy_names() {
 
 JobStateMachine::JobStateMachine(const ConcreteWorkflow& workflow)
     : workflow_(&workflow) {
-  const auto& jobs = workflow.jobs();
-  nodes_.resize(jobs.size());
-  children_.resize(jobs.size());
-  for (std::uint32_t i = 0; i < jobs.size(); ++i) {
+  const std::size_t n = workflow.jobs().size();
+  nodes_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
     nodes_[i].remaining_parents =
-        static_cast<std::uint32_t>(workflow.parents(jobs[i].id).size());
-    const auto kids = workflow.children(jobs[i].id);
-    children_[i].reserve(kids.size());
-    for (const auto& kid : kids) children_[i].push_back(workflow.job_index(kid));
+        static_cast<std::uint32_t>(workflow.parents_of(i).size());
   }
 }
 
@@ -185,7 +181,7 @@ void JobStateMachine::mark_skipped(std::uint32_t index) {
 
 std::vector<std::uint32_t> JobStateMachine::release_children(std::uint32_t index) {
   std::vector<std::uint32_t> released;
-  for (const std::uint32_t child : children_[index]) {
+  for (const std::uint32_t child : workflow_->children_of(index)) {
     Node& node = nodes_[child];
     if (--node.remaining_parents == 0 && node.state == SchedState::kIdle) {
       node.state = SchedState::kReady;

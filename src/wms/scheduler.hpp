@@ -161,9 +161,9 @@ class JobStateMachine {
 
   const ConcreteWorkflow* workflow_;
   std::vector<Node> nodes_;
-  /// Children as dense indices, in the same sorted-id order the workflow
-  /// reports them (keeps release order identical to the legacy engine).
-  std::vector<std::vector<std::uint32_t>> children_;
+  // Children come straight from the workflow's flat adjacency
+  // (children_of), already in the sorted-id order the legacy engine
+  // released them in — no per-run copy needed.
   std::deque<std::uint32_t> ready_;
   std::vector<Cooling> cooling_;  ///< insertion (backoff-start) order
   std::size_t submitted_ = 0;

@@ -1,5 +1,6 @@
 #include "wms/statistics.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/strings.hpp"
@@ -55,12 +56,14 @@ WorkflowStatistics WorkflowStatistics::from_run(const RunReport& report) {
 void StatisticsAccumulator::on_event(const EngineEvent& event) {
   switch (event.type) {
     case EngineEventType::kRunStarted:
-      jobs_.clear();
+      jobs_.assign(event.total_jobs, JobAgg{});
       stats_ = WorkflowStatistics();
       start_time_ = event.time;
       break;
     case EngineEventType::kAttemptFinished: {
-      JobAgg& agg = jobs_[event.job_id];
+      if (event.job >= jobs_.size()) jobs_.resize(event.job + 1);
+      JobAgg& agg = jobs_[event.job];
+      if (agg.id.empty()) agg.id = std::string(event.job_id);
       agg.transformation = event.result->transformation;
       agg.attempts.push_back(AttemptSlice{event.result->success,
                                           event.result->exec_seconds,
@@ -86,12 +89,20 @@ void StatisticsAccumulator::on_event(const EngineEvent& event) {
     case EngineEventType::kJobFailed:
       ++stats_.failed_jobs_;
       break;
-    case EngineEventType::kRunFinished:
+    case EngineEventType::kRunFinished: {
       stats_.success_ = event.success;
       stats_.wall_seconds_ = event.time - start_time_;
       // Finalize the per-job aggregation in sorted-job order — the same
       // traversal from_run does over report.runs, so sums match exactly.
-      for (const auto& [id, agg] : jobs_) {
+      std::vector<const JobAgg*> ran;
+      ran.reserve(jobs_.size());
+      for (const JobAgg& agg : jobs_) {
+        if (!agg.attempts.empty()) ran.push_back(&agg);
+      }
+      std::sort(ran.begin(), ran.end(),
+                [](const JobAgg* a, const JobAgg* b) { return a->id < b->id; });
+      for (const JobAgg* agg_ptr : ran) {
+        const JobAgg& agg = *agg_ptr;
         ++stats_.jobs_;
         auto& tf = stats_.per_transformation_[agg.transformation];
         ++tf.jobs;
@@ -122,6 +133,7 @@ void StatisticsAccumulator::on_event(const EngineEvent& event) {
         tf.install.add(job_install);
       }
       break;
+    }
     default:
       break;
   }

@@ -127,11 +127,14 @@ class StatisticsAccumulator final : public EngineObserver {
     std::size_t transfer_attempts = 0;
   };
   struct JobAgg {
+    std::string id;  ///< for the sorted-id finalize traversal
     std::string transformation;
     std::vector<AttemptSlice> attempts;
   };
 
-  std::map<std::string, JobAgg> jobs_;
+  /// Dense per-job slots indexed by EngineEvent::job (sized on
+  /// kRunStarted); only jobs that ran have a non-empty attempts list.
+  std::vector<JobAgg> jobs_;
   double start_time_ = 0;
   WorkflowStatistics stats_;
 };

@@ -81,12 +81,35 @@ TEST(EventQueue, ZeroDelayAllowed) {
   EXPECT_TRUE(ran);
 }
 
-TEST(EventQueue, MaxEventsGuard) {
+TEST(EventQueue, MaxEventsGuardThrows) {
   EventQueue q;
   std::function<void()> forever = [&] { q.schedule_in(1.0, forever); };
   q.schedule(0, forever);
-  EXPECT_EQ(q.run(1'000), 1'000u);
+  // A runaway simulation must be an error, not a silent truncation that
+  // masquerades as a drained queue.
+  EXPECT_THROW(q.run(1'000), common::SimulationError);
   EXPECT_FALSE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 999.0);  // 1000 events did run before the guard
+}
+
+TEST(EventQueue, MaxEventsGuardDoesNotFireOnExactDrain) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) q.schedule(i, [&] { ++count; });
+  EXPECT_EQ(q.run(10), 10u);  // budget == pending: drained, no error
+  EXPECT_EQ(count, 10);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ReservePreservesBehaviour) {
+  EventQueue q;
+  q.reserve(1'000);
+  std::vector<int> order;
+  q.schedule(3, [&] { order.push_back(3); });
+  q.schedule(1, [&] { order.push_back(1); });
+  q.schedule(2, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(EventQueue, PendingCount) {

@@ -645,5 +645,34 @@ TEST(Engine, RunsOnSimulatedCampusCluster) {
   EXPECT_DOUBLE_EQ(stats.cumulative_install(), 0.0);
 }
 
+TEST(Engine, SimulatorAbortSurfacesInRunReport) {
+  // A service that hits the simulator's runaway guard (or any other
+  // SimulationError) must produce a failed report carrying the message —
+  // not a silent truncation that looks like a stuck-but-clean run.
+  class RunawayService final : public ExecutionService {
+   public:
+    void submit(const ConcreteJob&) override {}
+    std::vector<TaskAttempt> wait() override {
+      throw common::SimulationError(
+          "event budget exhausted after 100000000 events (runaway simulation?)");
+    }
+    std::vector<TaskAttempt> wait_for(double) override { return wait(); }
+    double now() override { return 0.0; }
+    [[nodiscard]] std::string label() const override { return "runaway"; }
+  };
+
+  RunawayService service;
+  DagmanEngine engine;
+  const auto report = engine.run(diamond(), service);
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.error.find("event budget exhausted"), std::string::npos)
+      << report.error;
+  EXPECT_NE(report.error.find("runaway"), std::string::npos) << report.error;
+  // The abort is still a bracketed run: jobs submitted before the abort
+  // stay unresolved rather than being invented as successes.
+  EXPECT_EQ(report.jobs_succeeded, 0u);
+  EXPECT_EQ(report.jobs_total, 4u);
+}
+
 }  // namespace
 }  // namespace pga::wms

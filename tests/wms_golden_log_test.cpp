@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,74 @@ TEST(GoldenLog, OsgN10MatchesPreRefactorEngine) {
   ASSERT_TRUE(report.success);
   expect_matches_golden(report, "osg_n10.log");
   expect_observers_agree(report, live.statistics, live.trace);
+}
+
+/// Paper-scale scenario: plans blast2cap3 at `n` for `site` and runs it on
+/// the platform the pre-PR fixtures were recorded with. Checks the
+/// jobstate log byte-for-byte, the rendered statistics against the .stats
+/// fixture, and the live observers against the post-hoc paths.
+void run_paper_scale_scenario(const std::string& site, std::size_t n) {
+  const core::WorkloadModel workload;
+  const core::B2c3WorkflowSpec spec{.n = n};
+  const auto dax = core::build_blast2cap3_dax(spec, &workload);
+  const auto concrete = core::plan_for_site(dax, site, spec);
+
+  // Interning round-trip over the whole planned DAX: every id maps to a
+  // dense handle that names back to the same spelling, and handles equal
+  // the job's position in jobs().
+  const IdTable& ids = concrete.ids();
+  ASSERT_EQ(ids.size(), concrete.jobs().size());
+  for (std::uint32_t i = 0; i < concrete.jobs().size(); ++i) {
+    const auto& job = concrete.jobs()[i];
+    EXPECT_EQ(concrete.job_index(job.id), i);
+    EXPECT_EQ(ids.name(i), job.id);
+    EXPECT_EQ(ids.find(job.id), i);
+    EXPECT_EQ(job.index, i);
+  }
+
+  sim::EventQueue queue;
+  std::unique_ptr<sim::ExecutionPlatform> platform;
+  EngineOptions options;
+  if (site == "sandhills") {
+    sim::CampusClusterConfig config;
+    config.allocated_slots = 16;
+    config.seed = 11;
+    platform = std::make_unique<sim::CampusClusterPlatform>(queue, config);
+  } else {
+    sim::OsgConfig config;
+    config.seed = 11;
+    platform = std::make_unique<sim::OsgPlatform>(queue, config);
+    options.retries = 100;
+  }
+  SimService service(queue, *platform);
+  LiveObservers live;
+  live.attach(options);
+  DagmanEngine engine(std::move(options));
+  const auto report = engine.run(concrete, service);
+  ASSERT_TRUE(report.success);
+
+  const std::string stem = site + "_n" + std::to_string(n);
+  expect_matches_golden(report, stem + ".log");
+  EXPECT_EQ(WorkflowStatistics::from_run(report).render("golden"),
+            common::read_file(golden_path(stem + ".stats")))
+      << stem << ".stats";
+  expect_observers_agree(report, live.statistics, live.trace);
+}
+
+TEST(GoldenLog, SandhillsN100MatchesPreReworkEngine) {
+  run_paper_scale_scenario("sandhills", 100);
+}
+
+TEST(GoldenLog, OsgN100MatchesPreReworkEngine) {
+  run_paper_scale_scenario("osg", 100);
+}
+
+TEST(GoldenLog, SandhillsN300MatchesPreReworkEngine) {
+  run_paper_scale_scenario("sandhills", 300);
+}
+
+TEST(GoldenLog, OsgN300MatchesPreReworkEngine) {
+  run_paper_scale_scenario("osg", 300);
 }
 
 TEST(GoldenLog, ChaosSeed42MatchesPreRefactorEngine) {
