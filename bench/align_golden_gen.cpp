@@ -1,0 +1,24 @@
+// Regenerates the alignment/assembly golden fixtures in tests/golden/.
+//
+// The cases themselves live in tests/align_golden_shared.hpp, shared with
+// the byte-pinning suite (tests/golden_outputs_test.cpp) so the generator
+// and the checker can never drift apart. Run this after any *intentional*
+// output change and commit the updated fixtures.
+//
+// Usage: align_golden_gen [output_dir]   (default tests/golden)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "../tests/align_golden_shared.hpp"
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "tests/golden";
+  for (const auto& c : pga::golden::build_golden_cases()) {
+    const std::string path = dir + "/" + c.name;
+    std::ofstream out(path, std::ios::binary);
+    out << c.content;
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), c.content.size());
+  }
+  return 0;
+}

@@ -50,6 +50,23 @@ void BM_BandedSmithWaterman(benchmark::State& state) {
 }
 BENCHMARK(BM_BandedSmithWaterman)->Range(64, 4096)->Complexity(benchmark::oN);
 
+/// Score-only pass on the same inputs as BM_BandedSmithWaterman — the
+/// delta is the cost of traceback storage + walk that candidate pruning
+/// avoids paying for losers.
+void BM_BandedScoreOnly(benchmark::State& state) {
+  common::Rng rng(2);
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::string a = random_protein(len, rng);
+  std::string b = a;
+  for (std::size_t i = 0; i < b.size(); i += 10) b[i] = 'A';
+  const auto& profile = align::ScoringProfile::protein_blosum62();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::banded_score_only(a, b, profile, 0, 16));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BandedScoreOnly)->Range(64, 4096)->Complexity(benchmark::oN);
+
 void BM_KmerIndexBuild(benchmark::State& state) {
   common::Rng rng(3);
   std::vector<bio::SeqRecord> db;
@@ -81,6 +98,30 @@ void BM_KmerNeighborhoodQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KmerNeighborhoodQuery);
+
+/// Cold neighborhood queries: a fresh index per iteration, so every query
+/// takes the compute_neighbors path (scanning the precomputed residue
+/// array of occupied words) instead of the memoized row.
+void BM_KmerNeighborhoodCold(benchmark::State& state) {
+  common::Rng rng(4);
+  std::vector<bio::SeqRecord> db;
+  for (int i = 0; i < 64; ++i) {
+    db.push_back({"p" + std::to_string(i), "", random_protein(300, rng)});
+  }
+  const std::string query = random_protein(64, rng);
+  std::vector<align::WordHit> hits;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const align::KmerIndex index(db, 3, 12);
+    state.ResumeTiming();
+    for (std::size_t pos = 0; pos + 3 <= query.size(); ++pos) {
+      hits.clear();
+      index.neighborhood(std::string_view(query).substr(pos, 3), hits);
+      benchmark::DoNotOptimize(hits.size());
+    }
+  }
+}
+BENCHMARK(BM_KmerNeighborhoodCold);
 
 void BM_BlastxSearchPerTranscript(benchmark::State& state) {
   bio::TranscriptomeParams params;

@@ -4,6 +4,7 @@
 #include "assembly/cap3.hpp"
 #include "bio/transcriptome.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace {
 
@@ -33,6 +34,18 @@ void BM_FindOverlaps(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_FindOverlaps)->Range(4, 64)->Complexity();
+
+/// The same workload through the parallel overlap phase at various worker
+/// counts (Arg = pool size). Results are bit-identical to serial; the
+/// interesting number is the wall-clock ratio to BM_FindOverlaps/32.
+void BM_FindOverlapsPool(benchmark::State& state) {
+  const auto seqs = fragments_of_one_gene(32, 1);
+  common::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assembly::find_overlaps(seqs, {}, &pool));
+  }
+}
+BENCHMARK(BM_FindOverlapsPool)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_AssembleCluster(benchmark::State& state) {
   const auto seqs = fragments_of_one_gene(static_cast<std::size_t>(state.range(0)), 2);

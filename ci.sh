@@ -44,4 +44,14 @@ echo "==> perf smoke (scale_dag --smoke, n=10^4)"
 cmake --build build -j "${jobs}" --target scale_dag
 build/bench/scale_dag --smoke --out build/BENCH_scale_smoke.json
 
-echo "==> CI OK (default + asan/ubsan + tsan + perf smoke)"
+# Align perf smoke: machine-independent guards on the science kernels —
+# banded DP cell counts match the closed-form in-band envelope (so a band
+# or layout regression that reintroduces quadratic work fails), score-only
+# and traceback kernels agree, and the parallel overlap phase is
+# bit-identical to serial. BENCH_align.json in the repo root is the
+# committed full benchmark; regenerate with `build/bench/align_e2e`.
+echo "==> perf smoke (align_e2e --smoke)"
+cmake --build build -j "${jobs}" --target align_e2e
+build/bench/align_e2e --smoke --out build/BENCH_align_smoke.json
+
+echo "==> CI OK (default + asan/ubsan + tsan + perf smokes)"

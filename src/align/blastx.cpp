@@ -1,7 +1,7 @@
 #include "align/blastx.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
 #include <unordered_map>
 
 #include "align/sw.hpp"
@@ -12,10 +12,40 @@ namespace pga::align {
 
 namespace {
 
-/// Seed accumulator for one (subject, diagonal) pair.
-struct DiagonalSeeds {
-  std::size_t count = 0;
+/// Packs a (subject, diagonal) seed into one sortable key: subject in the
+/// high 32 bits, the diagonal bias-shifted so unsigned key order equals
+/// (subject asc, diagonal asc) — the iteration order the old
+/// std::map<pair<subject, diag>> accumulator produced, which downstream
+/// tie-breaking depends on.
+constexpr std::uint64_t kDiagBias = 1ULL << 31;
+
+inline std::uint64_t pack_seed(std::uint32_t subject, long diag) {
+  return (static_cast<std::uint64_t>(subject) << 32) |
+         static_cast<std::uint32_t>(static_cast<long long>(diag) + kDiagBias);
+}
+inline std::uint32_t seed_subject(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key >> 32);
+}
+inline long seed_diag(std::uint64_t key) {
+  return static_cast<long>(static_cast<long long>(key & 0xffffffffULL) -
+                           static_cast<long long>(kDiagBias));
+}
+
+/// Per-thread scratch reused across search() calls: frame translations,
+/// the reverse-complement buffer, the word-hit list and the flat seed
+/// accumulator. Steady-state searches allocate nothing here.
+struct SearchScratch {
+  std::vector<bio::FrameTranslation> frames;
+  std::string rc;
+  std::vector<WordHit> word_hits;
+  std::vector<std::uint64_t> seeds;
+  std::vector<std::pair<std::size_t, long>> diags;  // (count, diagonal)
 };
+
+SearchScratch& search_scratch() {
+  thread_local SearchScratch scratch;
+  return scratch;
+}
 
 /// Converts a frame-protein residue range to 1-based nucleotide query
 /// coordinates on the forward strand (BLASTX convention: reverse-strand
@@ -50,47 +80,77 @@ std::vector<TabularHit> BlastxSearch::search(const bio::SeqRecord& transcript) c
   std::vector<TabularHit> hits;
   const auto k = static_cast<std::size_t>(params_.word_size);
   const double db_residues = static_cast<double>(index_.total_residues());
+  const ScoringProfile& profile = ScoringProfile::protein_blosum62();
+  SearchScratch& scratch = search_scratch();
 
   // Best hit per subject across all frames (optional collapse).
   std::unordered_map<std::uint32_t, TabularHit> best_per_subject;
 
-  for (const auto& ft : bio::six_frame_translate(transcript.seq)) {
+  bio::six_frame_translate(transcript.seq, scratch.frames, scratch.rc);
+  for (const auto& ft : scratch.frames) {
     const std::string& fp = ft.protein;
     if (fp.size() < k) continue;
 
-    // Collect word seeds grouped by (subject, diagonal).
-    std::map<std::pair<std::uint32_t, long>, DiagonalSeeds> diagonals;
-    std::vector<WordHit> word_hits;
+    // Collect word seeds as packed (subject, diagonal) keys — a flat
+    // append + sort + run-length scan instead of a node-based map insert
+    // per word hit.
+    std::vector<std::uint64_t>& seeds = scratch.seeds;
+    seeds.clear();
+    std::vector<WordHit>& word_hits = scratch.word_hits;
     for (std::size_t q_pos = 0; q_pos + k <= fp.size(); ++q_pos) {
       word_hits.clear();
       index_.neighborhood(std::string_view(fp).substr(q_pos, k), word_hits);
       for (const WordHit& wh : word_hits) {
         const long diag = static_cast<long>(q_pos) - static_cast<long>(wh.position);
-        ++diagonals[{wh.subject, diag}].count;
+        seeds.push_back(pack_seed(wh.subject, diag));
       }
     }
+    std::sort(seeds.begin(), seeds.end());
 
-    // Select extension candidates per subject: the strongest diagonals.
-    std::unordered_map<std::uint32_t, std::vector<std::pair<std::size_t, long>>> per_subject;
-    for (const auto& [key, seeds] : diagonals) {
-      if (seeds.count >= params_.min_seeds_per_diagonal) {
-        per_subject[key.first].push_back({seeds.count, key.second});
+    // Walk runs of equal keys; a subject's candidate diagonals arrive in
+    // ascending-diagonal order, exactly as the old map iteration fed them.
+    std::size_t run = 0;
+    while (run < seeds.size()) {
+      const std::uint32_t subject = seed_subject(seeds[run]);
+      std::vector<std::pair<std::size_t, long>>& diags = scratch.diags;
+      diags.clear();
+      while (run < seeds.size() && seed_subject(seeds[run]) == subject) {
+        const std::uint64_t key = seeds[run];
+        std::size_t count = 0;
+        while (run < seeds.size() && seeds[run] == key) {
+          ++count;
+          ++run;
+        }
+        if (count >= params_.min_seeds_per_diagonal) {
+          diags.push_back({count, seed_diag(key)});
+        }
       }
-    }
+      if (diags.empty()) continue;
 
-    for (auto& [subject, diags] : per_subject) {
       std::sort(diags.begin(), diags.end(),
                 [](const auto& a, const auto& b) { return a.first > b.first; });
       if (diags.size() > params_.max_diagonals_per_subject) {
         diags.resize(params_.max_diagonals_per_subject);
       }
-      LocalAlignment best_aln;
+      // Score-only pass over the candidates; only the winner (first
+      // strict maximum, matching the old strict-greater update) pays for
+      // a traceback. Scores are identical between the two kernels, so
+      // the chosen alignment is too.
+      int best_score = 0;
+      long best_diag = 0;
+      bool have_best = false;
       for (const auto& [count, diag] : diags) {
-        const LocalAlignment aln = banded_smith_waterman(
-            fp, proteins_[subject].seq, diag, params_.band, params_.gaps);
-        if (aln.score > best_aln.score) best_aln = aln;
+        const ScoreOnlyResult so = banded_score_only(
+            fp, proteins_[subject].seq, profile, diag, params_.band, params_.gaps);
+        if (so.score > best_score) {
+          best_score = so.score;
+          best_diag = diag;
+          have_best = true;
+        }
       }
-      if (best_aln.score <= 0) continue;
+      if (!have_best) continue;
+      const LocalAlignment best_aln = banded_align(
+          fp, proteins_[subject].seq, profile, best_diag, params_.band, params_.gaps);
       if (static_cast<long>(best_aln.alignment_length()) < params_.min_alignment_length) {
         continue;
       }

@@ -48,6 +48,13 @@ KmerIndex::KmerIndex(const std::vector<bio::SeqRecord>& proteins, int k,
       bucket.push_back(WordHit{s, static_cast<std::uint32_t>(pos)});
     }
   }
+  // Decode every occupied word once; neighborhood scans then compare raw
+  // residue arrays instead of re-deriving each candidate word per query.
+  occupied_residues_.resize(occupied_codes_.size() * static_cast<std::size_t>(k_));
+  for (std::size_t i = 0; i < occupied_codes_.size(); ++i) {
+    decode(occupied_codes_[i], k_,
+           occupied_residues_.data() + i * static_cast<std::size_t>(k_));
+  }
 }
 
 long KmerIndex::encode(std::string_view word) const {
@@ -73,16 +80,16 @@ const std::vector<WordHit>& KmerIndex::exact(std::string_view word) const {
 std::vector<std::uint32_t> KmerIndex::compute_neighbors(std::uint32_t code) const {
   std::vector<char> query(static_cast<std::size_t>(k_));
   decode(code, k_, query.data());
-  std::vector<char> candidate(static_cast<std::size_t>(k_));
   std::vector<std::uint32_t> neighbors;
+  const auto k = static_cast<std::size_t>(k_);
+  const char* candidate = occupied_residues_.data();
   for (const std::uint32_t occupied : occupied_codes_) {
-    decode(occupied, k_, candidate.data());
     int score = 0;
-    for (int i = 0; i < k_; ++i) {
-      score += blosum62(query[static_cast<std::size_t>(i)],
-                        candidate[static_cast<std::size_t>(i)]);
+    for (std::size_t i = 0; i < k; ++i) {
+      score += blosum62(query[i], candidate[i]);
     }
     if (score >= threshold_) neighbors.push_back(occupied);
+    candidate += k;
   }
   return neighbors;
 }
@@ -92,13 +99,23 @@ void KmerIndex::neighborhood(std::string_view word, std::vector<WordHit>& out) c
   if (signed_code < 0) return;
   const auto code = static_cast<std::uint32_t>(signed_code);
 
+  // One reserve covering every neighbour bucket, then raw appends — the
+  // repeated insert() growth was measurable at word_size 3 where a query
+  // word fans out to dozens of buckets.
+  const auto append_buckets = [&](const std::vector<std::uint32_t>& neighbors) {
+    std::size_t total = 0;
+    for (const std::uint32_t n : neighbors) total += table_[n].size();
+    out.reserve(out.size() + total);
+    for (const std::uint32_t n : neighbors) {
+      const auto& bucket = table_[n];
+      out.insert(out.end(), bucket.begin(), bucket.end());
+    }
+  };
+
   {
     std::shared_lock lock(cache_mutex_);
     if (neighbor_cached_[code]) {
-      for (const std::uint32_t n : neighbor_cache_[code]) {
-        const auto& bucket = table_[n];
-        out.insert(out.end(), bucket.begin(), bucket.end());
-      }
+      append_buckets(neighbor_cache_[code]);
       return;
     }
   }
@@ -111,10 +128,7 @@ void KmerIndex::neighborhood(std::string_view word, std::vector<WordHit>& out) c
       neighbor_cached_[code] = true;
     }
   }
-  for (const std::uint32_t n : neighbors) {
-    const auto& bucket = table_[n];
-    out.insert(out.end(), bucket.begin(), bucket.end());
-  }
+  append_buckets(neighbors);
 }
 
 }  // namespace pga::align

@@ -58,6 +58,10 @@ class KmerIndex {
   std::uint64_t total_residues_ = 0;
   std::vector<std::vector<WordHit>> table_;    // word code -> occurrences
   std::vector<std::uint32_t> occupied_codes_;  // codes with any occurrence
+  /// Residues of each occupied code (k chars per entry, parallel to
+  /// occupied_codes_) — decoded once at build so neighborhood scans don't
+  /// re-derive candidate words per query.
+  std::vector<char> occupied_residues_;
 
   mutable std::shared_mutex cache_mutex_;
   mutable std::vector<std::vector<std::uint32_t>> neighbor_cache_;

@@ -62,4 +62,67 @@ int word_score(std::string_view a, std::string_view b) {
   return total;
 }
 
+const ScoringProfile& ScoringProfile::protein_blosum62() {
+  static const ScoringProfile profile = [] {
+    ScoringProfile p;
+    // Codes: 0..19 residues in kAminoAcids order, 20 = '*', 21 = other.
+    constexpr std::uint8_t kStopCode = 20;
+    constexpr std::uint8_t kOtherCode = 21;
+    for (int c = 0; c < 256; ++c) {
+      const char u =
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      if (u == '*') {
+        p.encode_[static_cast<std::size_t>(c)] = kStopCode;
+        continue;
+      }
+      const int idx = bio::amino_index(u);
+      p.encode_[static_cast<std::size_t>(c)] =
+          idx >= 0 ? static_cast<std::uint8_t>(idx) : kOtherCode;
+    }
+    // Score every code pair through a representative character, so the
+    // table agrees with blosum62() by construction.
+    const auto rep = [](std::uint8_t code) {
+      if (code == kStopCode) return '*';
+      if (code < 20) return bio::kAminoAcids[code];
+      return 'X';
+    };
+    for (std::uint8_t a = 0; a <= kOtherCode; ++a) {
+      for (std::uint8_t b = 0; b <= kOtherCode; ++b) {
+        p.table_[(static_cast<std::size_t>(a) << 5) | b] =
+            blosum62(rep(a), rep(b));
+      }
+    }
+    return p;
+  }();
+  return profile;
+}
+
+ScoringProfile ScoringProfile::dna(int match, int mismatch) {
+  ScoringProfile p;
+  // Codes 0..9 cover ACGTN in both cases (char-exact identity, like the
+  // old `a == b` comparison); 31 is the catch-all.
+  constexpr std::string_view kKnown = "ACGTacgtNn";
+  constexpr std::uint8_t kOtherCode = 31;
+  p.encode_.fill(kOtherCode);
+  for (std::size_t i = 0; i < kKnown.size(); ++i) {
+    p.encode_[static_cast<unsigned char>(kKnown[i])] =
+        static_cast<std::uint8_t>(i);
+  }
+  for (std::size_t a = 0; a < kCodes; ++a) {
+    for (std::size_t b = 0; b < kCodes; ++b) {
+      p.table_[(a << 5) | b] =
+          (a == b && a != kOtherCode) ? match : mismatch;
+    }
+  }
+  return p;
+}
+
+void ScoringProfile::encode(std::string_view seq,
+                            std::vector<std::uint8_t>& out) const {
+  out.resize(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    out[i] = encode_[static_cast<unsigned char>(seq[i])];
+  }
+}
+
 }  // namespace pga::align

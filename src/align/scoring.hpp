@@ -1,7 +1,10 @@
 // Protein substitution scoring (BLOSUM62) and BLAST-style statistics.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace pga::align {
 
@@ -33,5 +36,46 @@ double e_value(double bits, double query_residues, double db_residues);
 /// Sum of pairwise BLOSUM62 scores of two equal-length words (no gaps);
 /// the quantity thresholded by BLAST's two-hit word finder.
 int word_score(std::string_view a, std::string_view b);
+
+/// Precomputed substitution table indexed by encoded residues — the DP
+/// kernel's replacement for a per-cell score callback. Sequences are
+/// encoded once per alignment (char -> 5-bit code via a 256-entry map);
+/// the inner loop then reads `row(q_code)[s_code]` with no branching,
+/// case-folding or function-pointer indirection.
+class ScoringProfile {
+ public:
+  static constexpr int kCodes = 32;
+
+  /// BLOSUM62 profile matching blosum62(a, b) for every char pair:
+  /// codes 0..19 = the standard residues, 20 = '*', 21 = X / anything else.
+  static const ScoringProfile& protein_blosum62();
+
+  /// DNA identity profile matching `a == b ? match : mismatch` over
+  /// A/C/G/T/N in both cases. Characters outside that set share one
+  /// catch-all code and score `mismatch` even against themselves (the
+  /// overlap pipeline never feeds such characters; reverse_complement
+  /// rejects them earlier).
+  static ScoringProfile dna(int match, int mismatch);
+
+  /// Substitution score of two encoded residues.
+  [[nodiscard]] int score(std::uint8_t a, std::uint8_t b) const {
+    return table_[(static_cast<std::size_t>(a) << 5) | b];
+  }
+  /// Row of the table for a fixed query code (inner-loop pointer).
+  [[nodiscard]] const int* row(std::uint8_t code) const {
+    return table_.data() + (static_cast<std::size_t>(code) << 5);
+  }
+  [[nodiscard]] std::uint8_t encode_char(char c) const {
+    return encode_[static_cast<unsigned char>(c)];
+  }
+  /// Encodes a sequence into `out` (resized to seq.size()).
+  void encode(std::string_view seq, std::vector<std::uint8_t>& out) const;
+
+ private:
+  ScoringProfile() = default;
+
+  std::array<std::uint8_t, 256> encode_{};
+  std::array<int, kCodes * kCodes> table_{};
+};
 
 }  // namespace pga::align

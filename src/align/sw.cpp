@@ -1,7 +1,7 @@
 #include "align/sw.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <atomic>
 #include <limits>
 #include <vector>
 
@@ -13,159 +13,327 @@ namespace {
 
 constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
 
-// Traceback states.
-enum : unsigned char { kStop = 0, kDiagFromM = 1, kDiagFromX = 2, kDiagFromY = 3,
-                       kXOpen = 4, kXExtend = 5, kYOpen = 6, kYExtend = 7 };
+// Traceback states, packed one byte per in-band cell:
+//   bits 0-1  M-state source (0 = local start, 1 = M, 2 = X, 3 = Y)
+//   bit  2    X-state opened a gap here (else extended)
+//   bit  3    Y-state opened a gap here (else extended)
+constexpr unsigned char kMDirMask = 0x3;
+constexpr unsigned char kDiagFromM = 1;
+constexpr unsigned char kDiagFromX = 2;
+constexpr unsigned char kXOpenBit = 0x4;
+constexpr unsigned char kYOpenBit = 0x8;
 
-/// Gotoh local alignment with affine gaps and an optional band around
-/// `diagonal` (pass band >= |q|+|s| for the unbanded case). The score
-/// callback maps (query char, subject char) -> substitution score.
-LocalAlignment gotoh(std::string_view q, std::string_view s,
-                     const std::function<int(char, char)>& score,
-                     const GapPenalties& gaps, long diagonal, long band) {
-  const std::size_t n = q.size();
-  const std::size_t m = s.size();
-  LocalAlignment result;
-  if (n == 0 || m == 0) return result;
+std::atomic<std::uint64_t> g_cells{0};
+std::atomic<std::uint64_t> g_tracebacks{0};
+std::atomic<std::uint64_t> g_score_only{0};
 
-  const std::size_t stride = m + 1;
-  // M = alignment ends in a substitution; X = gap in query (subject
-  // consumed); Y = gap in subject (query consumed).
-  std::vector<int> mat((n + 1) * stride, 0);
-  std::vector<int> gx((n + 1) * stride, kNegInf);
-  std::vector<int> gy((n + 1) * stride, kNegInf);
-  std::vector<unsigned char> tb_m((n + 1) * stride, kStop);
-  std::vector<unsigned char> tb_x((n + 1) * stride, kStop);
-  std::vector<unsigned char> tb_y((n + 1) * stride, kStop);
+/// Reused per-thread DP storage: encoded sequences, six rolling score rows
+/// and the packed traceback band. Capacity persists across calls, so the
+/// steady-state kernel allocates nothing.
+struct Workspace {
+  std::vector<std::uint8_t> q_codes, s_codes;
+  std::vector<int> rows[6];  // m_prev x_prev y_prev m_cur x_cur y_cur
+  std::vector<unsigned char> tb;
+};
+
+Workspace& workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+/// The band of row i covers columns [row_lo, row_hi] (1-based, clamped to
+/// [1, m]); empty when row_lo > row_hi.
+inline long row_lo(long i, long diagonal, long band) {
+  return std::max(1L, i - diagonal - band);
+}
+inline long row_hi(long i, long diagonal, long band, long m) {
+  return std::min(m, i - diagonal + band);
+}
+
+/// Band-compressed Gotoh kernel. With Traceback, fills ws.tb (W bytes per
+/// row) and `out` with the full alignment; without, only the best score
+/// and its end cell are produced. Cell values are identical to the
+/// classic full-matrix recurrence: neighbours outside the band read as
+/// M = 0, X = Y = -inf, exactly the values the full layout held there.
+template <bool Traceback>
+void gotoh_kernel(std::string_view q, std::string_view s,
+                  const ScoringProfile& profile, const GapPenalties& gaps,
+                  long diagonal, long band, LocalAlignment* aln,
+                  ScoreOnlyResult* score_out) {
+  const long n = static_cast<long>(q.size());
+  const long m = static_cast<long>(s.size());
+  if (n == 0 || m == 0) return;
+  band = std::min(band, n + m);  // wider bands add no reachable cells
+
+  Workspace& ws = workspace();
+  profile.encode(q, ws.q_codes);
+  profile.encode(s, ws.s_codes);
+
+  // Row capacity: a band row never exceeds min(m, 2*band+1) cells.
+  const long w = std::min(m, 2 * band + 1);
+  const auto width = static_cast<std::size_t>(w);
+  for (auto& row : ws.rows) row.resize(width);
+  if (Traceback) ws.tb.resize(static_cast<std::size_t>(n) * width);
+
+  int* m_prev = ws.rows[0].data();
+  int* x_prev = ws.rows[1].data();
+  int* y_prev = ws.rows[2].data();
+  int* m_cur = ws.rows[3].data();
+  int* x_cur = ws.rows[4].data();
+  int* y_cur = ws.rows[5].data();
 
   const int open_cost = gaps.open + gaps.extend;  // cost of a length-1 gap
   int best = 0;
-  std::size_t best_i = 0, best_j = 0;
+  long best_i = 0, best_j = 0;
+  std::uint64_t cells = 0;
 
-  for (std::size_t i = 1; i <= n; ++i) {
-    // Band limits on j for this row: |(i-1) - (j-1) - diagonal| <= band.
-    const long center = static_cast<long>(i) - diagonal;
-    const long lo = std::max<long>(1, center - band);
-    const long hi = std::min<long>(static_cast<long>(m), center + band);
-    for (long jj = lo; jj <= hi; ++jj) {
-      const auto j = static_cast<std::size_t>(jj);
-      const std::size_t idx = i * stride + j;
-      const std::size_t diag = (i - 1) * stride + (j - 1);
-      const std::size_t up = (i - 1) * stride + j;
-      const std::size_t left = i * stride + (j - 1);
+  long lo_prev = 1, hi_prev = 0;  // row 0 holds only defaults
+  for (long i = 1; i <= n; ++i) {
+    const long lo = row_lo(i, diagonal, band);
+    const long hi = row_hi(i, diagonal, band, m);
+    if (lo > hi) {
+      lo_prev = 1;
+      hi_prev = 0;  // next row reads pure defaults
+      continue;
+    }
+    cells += static_cast<std::uint64_t>(hi - lo + 1);
+    const int* score_row = profile.row(ws.q_codes[static_cast<std::size_t>(i - 1)]);
+    // Reads from the previous row; out-of-band cells held M=0, X=Y=-inf.
+    const auto prev_m_at = [&](long j) {
+      return (j >= lo_prev && j <= hi_prev) ? m_prev[j - lo_prev] : 0;
+    };
+    const auto prev_x_at = [&](long j) {
+      return (j >= lo_prev && j <= hi_prev) ? x_prev[j - lo_prev] : kNegInf;
+    };
+    const auto prev_y_at = [&](long j) {
+      return (j >= lo_prev && j <= hi_prev) ? y_prev[j - lo_prev] : kNegInf;
+    };
+    int m_left = 0;        // M at (i, lo-1): column 0 or out-of-band, = 0
+    int x_left = kNegInf;  // X at (i, lo-1)
+    unsigned char* tb_row =
+        Traceback ? ws.tb.data() + static_cast<std::size_t>(i - 1) * width : nullptr;
+    for (long j = lo; j <= hi; ++j) {
+      const int sub = score_row[ws.s_codes[static_cast<std::size_t>(j - 1)]];
 
       // Substitution state.
-      const int sub = score(q[i - 1], s[j - 1]);
       int from = 0;
-      unsigned char dir = kStop;
-      if (mat[diag] > from) { from = mat[diag]; dir = kDiagFromM; }
-      if (gx[diag] > from) { from = gx[diag]; dir = kDiagFromX; }
-      if (gy[diag] > from) { from = gy[diag]; dir = kDiagFromY; }
-      // dir == kStop means the local alignment starts at this cell.
-      const int m_score = from + sub;
-      if (m_score > 0) {
-        mat[idx] = m_score;
-        tb_m[idx] = dir;
-      } else {
-        mat[idx] = 0;
-        tb_m[idx] = kStop;
+      unsigned char dir = 0;
+      const int m_diag = prev_m_at(j - 1);
+      const int x_diag = prev_x_at(j - 1);
+      const int y_diag = prev_y_at(j - 1);
+      if (m_diag > from) { from = m_diag; dir = 1; }
+      if (x_diag > from) { from = x_diag; dir = 2; }
+      if (y_diag > from) { from = y_diag; dir = 3; }
+      // dir == 0 means the local alignment starts at this cell.
+      int m_val = from + sub;
+      unsigned char tb_byte = dir;
+      if (m_val <= 0) {
+        m_val = 0;
+        tb_byte = 0;
       }
 
       // Gap in query (moves left along subject).
-      const int x_open = mat[left] - open_cost;
-      const int x_ext = gx[left] - gaps.extend;
-      if (x_open >= x_ext) { gx[idx] = x_open; tb_x[idx] = kXOpen; }
-      else { gx[idx] = x_ext; tb_x[idx] = kXExtend; }
+      const int x_open = m_left - open_cost;
+      const int x_ext = x_left - gaps.extend;
+      int x_val;
+      if (x_open >= x_ext) {
+        x_val = x_open;
+        tb_byte |= kXOpenBit;
+      } else {
+        x_val = x_ext;
+      }
 
       // Gap in subject (moves up along query).
-      const int y_open = mat[up] - open_cost;
-      const int y_ext = gy[up] - gaps.extend;
-      if (y_open >= y_ext) { gy[idx] = y_open; tb_y[idx] = kYOpen; }
-      else { gy[idx] = y_ext; tb_y[idx] = kYExtend; }
+      const int y_open = prev_m_at(j) - open_cost;
+      const int y_ext = prev_y_at(j) - gaps.extend;
+      int y_val;
+      if (y_open >= y_ext) {
+        y_val = y_open;
+        tb_byte |= kYOpenBit;
+      } else {
+        y_val = y_ext;
+      }
 
-      if (mat[idx] > best) {
-        best = mat[idx];
+      m_cur[j - lo] = m_val;
+      x_cur[j - lo] = x_val;
+      y_cur[j - lo] = y_val;
+      if (Traceback) tb_row[j - lo] = tb_byte;
+      if (m_val > best) {
+        best = m_val;
         best_i = i;
         best_j = j;
       }
+      m_left = m_val;
+      x_left = x_val;
     }
+    std::swap(m_prev, m_cur);
+    std::swap(x_prev, x_cur);
+    std::swap(y_prev, y_cur);
+    lo_prev = lo;
+    hi_prev = hi;
   }
 
-  if (best <= 0) return result;
+  g_cells.fetch_add(cells, std::memory_order_relaxed);
+  if (Traceback) {
+    g_tracebacks.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_score_only.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  // Traceback from the best substitution cell.
-  result.score = best;
-  result.q_end = best_i;
-  result.s_end = best_j;
-  std::size_t i = best_i, j = best_j;
+  if (best <= 0) return;
+
+  if (!Traceback) {
+    score_out->score = best;
+    score_out->q_end = static_cast<std::size_t>(best_i);
+    score_out->s_end = static_cast<std::size_t>(best_j);
+    return;
+  }
+
+  // Traceback from the best substitution cell. Out-of-band reads return
+  // byte 0 — M stops, X/Y extend — matching the defaults the full-matrix
+  // layout kept in its unvisited cells.
+  aln->score = best;
+  aln->q_end = static_cast<std::size_t>(best_i);
+  aln->s_end = static_cast<std::size_t>(best_j);
+  long i = best_i, j = best_j;
   char state = 'M';
   while (i > 0 && j > 0) {
-    const std::size_t idx = i * stride + j;
+    const long lo = row_lo(i, diagonal, band);
+    const long hi = row_hi(i, diagonal, band, m);
+    const unsigned char tb_byte =
+        (j >= lo && j <= hi)
+            ? ws.tb[static_cast<std::size_t>(i - 1) * width +
+                    static_cast<std::size_t>(j - lo)]
+            : 0;
     if (state == 'M') {
-      if (q[i - 1] == s[j - 1]) ++result.matches;
-      else ++result.mismatches;
-      const unsigned char dir = tb_m[idx];
-      --i; --j;
-      if (dir == kStop) break;
+      if (q[static_cast<std::size_t>(i - 1)] == s[static_cast<std::size_t>(j - 1)]) {
+        ++aln->matches;
+      } else {
+        ++aln->mismatches;
+      }
+      const unsigned char dir = tb_byte & kMDirMask;
+      --i;
+      --j;
+      if (dir == 0) break;
       if (dir == kDiagFromM) state = 'M';
       else if (dir == kDiagFromX) state = 'X';
       else state = 'Y';
     } else if (state == 'X') {
-      ++result.gap_residues;
-      const unsigned char dir = tb_x[idx];
+      ++aln->gap_residues;
       --j;
-      if (dir == kXOpen) { ++result.gap_opens; state = 'M'; }
+      if (tb_byte & kXOpenBit) {
+        ++aln->gap_opens;
+        state = 'M';
+      }
     } else {  // 'Y'
-      ++result.gap_residues;
-      const unsigned char dir = tb_y[idx];
+      ++aln->gap_residues;
       --i;
-      if (dir == kYOpen) { ++result.gap_opens; state = 'M'; }
+      if (tb_byte & kYOpenBit) {
+        ++aln->gap_opens;
+        state = 'M';
+      }
     }
   }
-  result.q_begin = i;
-  result.s_begin = j;
-  return result;
+  aln->q_begin = static_cast<std::size_t>(i);
+  aln->s_begin = static_cast<std::size_t>(j);
+}
+
+/// Thread-cached DNA profile: rebuilding costs a 1.3 KB table fill, but
+/// the overlap phase calls the kernel per candidate pair with constant
+/// (match, mismatch), so caching avoids even that.
+const ScoringProfile& dna_profile(int match, int mismatch) {
+  thread_local int cached_match = std::numeric_limits<int>::min();
+  thread_local int cached_mismatch = 0;
+  thread_local ScoringProfile profile = ScoringProfile::dna(1, -2);
+  if (cached_match != match || cached_mismatch != mismatch) {
+    profile = ScoringProfile::dna(match, mismatch);
+    cached_match = match;
+    cached_mismatch = mismatch;
+  }
+  return profile;
+}
+
+void check_dna_params(const char* who, int match, int mismatch) {
+  if (match <= 0 || mismatch >= 0) {
+    throw common::InvalidArgument(std::string(who) +
+                                  ": need match > 0 > mismatch");
+  }
 }
 
 }  // namespace
 
+LocalAlignment banded_align(std::string_view query, std::string_view subject,
+                            const ScoringProfile& profile, long diagonal,
+                            std::size_t band, const GapPenalties& gaps) {
+  LocalAlignment aln;
+  gotoh_kernel<true>(query, subject, profile, gaps, diagonal,
+                     static_cast<long>(std::min<std::size_t>(
+                         band, query.size() + subject.size() + 1)),
+                     &aln, nullptr);
+  return aln;
+}
+
+ScoreOnlyResult banded_score_only(std::string_view query, std::string_view subject,
+                                  const ScoringProfile& profile, long diagonal,
+                                  std::size_t band, const GapPenalties& gaps) {
+  ScoreOnlyResult result;
+  gotoh_kernel<false>(query, subject, profile, gaps, diagonal,
+                      static_cast<long>(std::min<std::size_t>(
+                          band, query.size() + subject.size() + 1)),
+                      nullptr, &result);
+  return result;
+}
+
+ScoreOnlyResult banded_score_only_dna(std::string_view query,
+                                      std::string_view subject, long diagonal,
+                                      std::size_t band, int match, int mismatch,
+                                      const GapPenalties& gaps) {
+  check_dna_params("banded_score_only_dna", match, mismatch);
+  return banded_score_only(query, subject, dna_profile(match, mismatch), diagonal,
+                           band, gaps);
+}
+
 LocalAlignment smith_waterman(std::string_view query, std::string_view subject,
                               const GapPenalties& gaps) {
-  const long band = static_cast<long>(query.size() + subject.size()) + 2;
-  return gotoh(query, subject, [](char a, char b) { return blosum62(a, b); }, gaps,
-               /*diagonal=*/0, band);
+  return banded_align(query, subject, ScoringProfile::protein_blosum62(),
+                      /*diagonal=*/0, query.size() + subject.size() + 2, gaps);
 }
 
 LocalAlignment banded_smith_waterman(std::string_view query, std::string_view subject,
                                      long diagonal, std::size_t band,
                                      const GapPenalties& gaps) {
-  return gotoh(query, subject, [](char a, char b) { return blosum62(a, b); }, gaps,
-               diagonal, static_cast<long>(band));
+  return banded_align(query, subject, ScoringProfile::protein_blosum62(), diagonal,
+                      band, gaps);
 }
 
 LocalAlignment smith_waterman_dna(std::string_view query, std::string_view subject,
                                   int match, int mismatch, const GapPenalties& gaps) {
-  if (match <= 0 || mismatch >= 0) {
-    throw common::InvalidArgument("smith_waterman_dna: need match > 0 > mismatch");
-  }
-  const long band = static_cast<long>(query.size() + subject.size()) + 2;
-  return gotoh(
-      query, subject,
-      [match, mismatch](char a, char b) { return a == b ? match : mismatch; }, gaps,
-      /*diagonal=*/0, band);
+  check_dna_params("smith_waterman_dna", match, mismatch);
+  return banded_align(query, subject, dna_profile(match, mismatch), /*diagonal=*/0,
+                      query.size() + subject.size() + 2, gaps);
 }
 
 LocalAlignment banded_smith_waterman_dna(std::string_view query,
                                          std::string_view subject, long diagonal,
                                          std::size_t band, int match, int mismatch,
                                          const GapPenalties& gaps) {
-  if (match <= 0 || mismatch >= 0) {
-    throw common::InvalidArgument("banded_smith_waterman_dna: need match > 0 > mismatch");
-  }
-  return gotoh(
-      query, subject,
-      [match, mismatch](char a, char b) { return a == b ? match : mismatch; }, gaps,
-      diagonal, static_cast<long>(band));
+  check_dna_params("banded_smith_waterman_dna", match, mismatch);
+  return banded_align(query, subject, dna_profile(match, mismatch), diagonal, band,
+                      gaps);
+}
+
+DpCounters dp_counters() {
+  DpCounters c;
+  c.cells = g_cells.load(std::memory_order_relaxed);
+  c.tracebacks = g_tracebacks.load(std::memory_order_relaxed);
+  c.score_only = g_score_only.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_dp_counters() {
+  g_cells.store(0, std::memory_order_relaxed);
+  g_tracebacks.store(0, std::memory_order_relaxed);
+  g_score_only.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace pga::align

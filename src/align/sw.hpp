@@ -1,7 +1,17 @@
 // Smith–Waterman local alignment (affine gaps), full and banded.
+//
+// The DP kernel is band-compressed: M/X/Y scores live in two rolling rows
+// of at most min(|s|, 2·band+1) cells and the traceback is one packed byte
+// per in-band cell, so a banded alignment costs O(band·n) time and memory
+// instead of the six full (n+1)×(m+1) matrices the naive layout paid.
+// Substitution scores come from a precomputed ScoringProfile over encoded
+// residues (no per-cell callback). A score-only fast pass (no traceback
+// storage at all) serves callers that prune candidates by score before
+// paying for a full alignment.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 
 #include "align/scoring.hpp"
@@ -53,5 +63,45 @@ LocalAlignment banded_smith_waterman_dna(std::string_view query,
                                          std::size_t band, int match = 1,
                                          int mismatch = -2,
                                          const GapPenalties& gaps = {6, 1});
+
+/// Result of a score-only pass: the optimal local score and where that
+/// alignment ends. The score (and end cell) are identical to what the
+/// traceback entry point reports for the same inputs — callers prune on
+/// the score and run the full alignment only for survivors.
+struct ScoreOnlyResult {
+  int score = 0;
+  std::size_t q_end = 0, s_end = 0;
+};
+
+/// Banded local alignment under an arbitrary profile, with traceback.
+LocalAlignment banded_align(std::string_view query, std::string_view subject,
+                            const ScoringProfile& profile, long diagonal,
+                            std::size_t band, const GapPenalties& gaps = {});
+
+/// Score-only banded pass (two rolling rows, no traceback storage).
+ScoreOnlyResult banded_score_only(std::string_view query, std::string_view subject,
+                                  const ScoringProfile& profile, long diagonal,
+                                  std::size_t band, const GapPenalties& gaps = {});
+
+/// DNA score-only pass with the overlap detector's identity scoring.
+ScoreOnlyResult banded_score_only_dna(std::string_view query,
+                                      std::string_view subject, long diagonal,
+                                      std::size_t band, int match = 1,
+                                      int mismatch = -2,
+                                      const GapPenalties& gaps = {6, 1});
+
+/// Cumulative DP work counters (process-wide, relaxed atomics updated once
+/// per kernel invocation). Machine-independent: the CI perf-smoke asserts
+/// cell-count envelopes on these instead of wall-clock seconds.
+struct DpCounters {
+  std::uint64_t cells = 0;        ///< in-band DP cells scored
+  std::uint64_t tracebacks = 0;   ///< full (traceback) kernel invocations
+  std::uint64_t score_only = 0;   ///< score-only kernel invocations
+};
+
+/// Snapshot of the counters since process start / last reset.
+DpCounters dp_counters();
+/// Resets the counters to zero (benchmark harnesses only).
+void reset_dp_counters();
 
 }  // namespace pga::align

@@ -152,8 +152,9 @@ std::vector<bio::SeqRecord> AssemblyResult::all_records() const {
 }
 
 AssemblyResult assemble(const std::vector<bio::SeqRecord>& seqs,
-                        const AssemblyOptions& options) {
-  return assemble_with_overlaps(seqs, find_overlaps(seqs, options.overlap), options);
+                        const AssemblyOptions& options, common::ThreadPool* pool) {
+  return assemble_with_overlaps(seqs, find_overlaps(seqs, options.overlap, pool),
+                                options);
 }
 
 AssemblyResult assemble_with_overlaps(const std::vector<bio::SeqRecord>& seqs,

@@ -50,9 +50,12 @@ struct AssemblyResult {
 
 /// Assembles `seqs`: find overlaps, greedily merge (best overlap first,
 /// skipping merges that conflict with already-placed layouts), call a
-/// consensus per cluster. Deterministic for identical input.
+/// consensus per cluster. Deterministic for identical input; with a pool
+/// the overlap phase runs in parallel and the result is bit-identical to
+/// the serial run for any worker count.
 AssemblyResult assemble(const std::vector<bio::SeqRecord>& seqs,
-                        const AssemblyOptions& options = {});
+                        const AssemblyOptions& options = {},
+                        common::ThreadPool* pool = nullptr);
 
 /// Assembles with precomputed overlaps (used by tests and by callers that
 /// already ran find_overlaps with custom parameters).

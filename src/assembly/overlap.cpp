@@ -1,11 +1,14 @@
 #include "assembly/overlap.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <future>
 #include <string>
 #include <unordered_map>
 
 #include "bio/alphabet.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace pga::assembly {
 
@@ -72,10 +75,43 @@ struct PairEvidence {
 
 constexpr std::size_t kAlignmentBand = 48;
 
+/// One alignment job: a candidate pair with its voted diagonal.
+struct Candidate {
+  std::uint32_t a;
+  std::uint32_t b;
+  bool flipped;
+  long diagonal;
+};
+
 }  // namespace
 
+int min_acceptable_score(const OverlapParams& params,
+                         std::size_t max_alignment_length) {
+  // An acceptable alignment of length L has matches >= p*L/100 (identity
+  // cutoff) and at most L - p*L/100 non-match columns, each costing at
+  // most w = max(-mismatch, open + extend) (a gap run of g residues costs
+  // open + g*extend <= g*(open+extend)). Since match > 0 the score is
+  // increasing in the match count, so
+  //   g(L) = match * p*L/100 - w * L*(1 - p/100)
+  // lower-bounds it; g is linear in L, so its minimum over the length
+  // interval sits at an endpoint. Requires match > 0 and mismatch < 0
+  // (enforced by the DNA kernels' parameter check).
+  const double p = std::min(params.min_identity, 100.0) / 100.0;
+  const double w = std::max<double>(-params.mismatch,
+                                    static_cast<double>(params.gaps.open) +
+                                        static_cast<double>(params.gaps.extend));
+  const auto g = [&](std::size_t len) {
+    const double l = static_cast<double>(len);
+    return params.match * (p * l) - w * (l * (1.0 - p));
+  };
+  const std::size_t lo = params.min_overlap;
+  const std::size_t hi = std::max(max_alignment_length, lo);
+  return static_cast<int>(std::floor(std::min(g(lo), g(hi))));
+}
+
 std::vector<Overlap> find_overlaps(const std::vector<bio::SeqRecord>& seqs,
-                                   const OverlapParams& params) {
+                                   const OverlapParams& params,
+                                   common::ThreadPool* pool, OverlapStats* stats) {
   if (params.kmer < 8 || params.kmer > 32) {
     throw common::InvalidArgument("OverlapParams.kmer must be in [8,32]");
   }
@@ -148,33 +184,108 @@ std::vector<Overlap> find_overlaps(const std::vector<bio::SeqRecord>& seqs,
     }
   }
 
-  // 3. Banded alignment + classification.
-  std::vector<Overlap> overlaps;
+  // 3. Banded alignment + classification over an (a, b, flipped)-sorted
+  // candidate list. The sort pins the work order independently of the
+  // unordered_map above, so serial and parallel runs see identical jobs in
+  // identical chunk positions.
+  std::vector<Candidate> candidates;
+  candidates.reserve(pairs.size());
   for (const auto& [key, ev] : pairs) {
     if (ev.shared_kmers < params.min_shared_kmers) continue;
-    const bool flipped = (key >> 63) != 0;
-    const auto a = static_cast<std::size_t>((key >> 32) & 0x7fffffffULL);
-    const auto b = static_cast<std::size_t>(key & 0xffffffffULL);
-    const std::string& b_oriented = flipped ? rc[b] : seqs[b].seq;
-    const align::LocalAlignment aln = align::banded_smith_waterman_dna(
-        seqs[a].seq, b_oriented, ev.best_diagonal(), kAlignmentBand, params.match,
-        params.mismatch, params.gaps);
-    OverlapKind kind;
-    long shift = 0;
-    if (classify_overlap(aln, seqs[a].seq.size(), b_oriented.size(), params, kind,
-                         shift)) {
-      overlaps.push_back(Overlap{a, b, kind, shift, flipped, aln});
+    candidates.push_back({static_cast<std::uint32_t>((key >> 32) & 0x7fffffffULL),
+                          static_cast<std::uint32_t>(key & 0xffffffffULL),
+                          (key >> 63) != 0, ev.best_diagonal()});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.a != y.a) return x.a < y.a;
+              if (x.b != y.b) return x.b < y.b;
+              return x.flipped < y.flipped;
+            });
+
+  // Score-only pruning pays off only when the bound exceeds what k-mer
+  // sharing already guarantees: every candidate pair shares a full-length
+  // anchor k-mer, so its optimal local score is at least kmer*match and a
+  // bound at or below that can never fire — skip the extra pass entirely.
+  const bool prune =
+      params.score_prune &&
+      min_acceptable_score(params, params.min_overlap) >
+          static_cast<int>(params.kmer) * params.match;
+  const auto align_range = [&](std::size_t begin, std::size_t end,
+                               std::vector<Overlap>& out, OverlapStats& st) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Candidate& c = candidates[i];
+      const std::string& b_oriented = c.flipped ? rc[c.b] : seqs[c.b].seq;
+      if (prune) {
+        const align::ScoreOnlyResult so = align::banded_score_only_dna(
+            seqs[c.a].seq, b_oriented, c.diagonal, kAlignmentBand, params.match,
+            params.mismatch, params.gaps);
+        if (so.score < min_acceptable_score(
+                           params, seqs[c.a].seq.size() + b_oriented.size())) {
+          ++st.pruned;
+          continue;
+        }
+      }
+      ++st.tracebacks;
+      const align::LocalAlignment aln = align::banded_smith_waterman_dna(
+          seqs[c.a].seq, b_oriented, c.diagonal, kAlignmentBand, params.match,
+          params.mismatch, params.gaps);
+      OverlapKind kind;
+      long shift = 0;
+      if (classify_overlap(aln, seqs[c.a].seq.size(), b_oriented.size(), params,
+                           kind, shift)) {
+        ++st.accepted;
+        out.push_back(Overlap{c.a, c.b, kind, shift, c.flipped, aln});
+      }
+    }
+  };
+
+  std::vector<Overlap> overlaps;
+  OverlapStats run_stats;
+  run_stats.candidate_pairs = candidates.size();
+  if (pool == nullptr || candidates.size() < 2) {
+    align_range(0, candidates.size(), overlaps, run_stats);
+  } else {
+    // Contiguous chunks, ~4 per worker; chunk-order concatenation keeps
+    // the pre-sort overlap order equal to the serial run's.
+    const std::size_t chunk_target = std::max<std::size_t>(1, pool->size() * 4);
+    const std::size_t chunk_count = std::min(candidates.size(), chunk_target);
+    const std::size_t base = candidates.size() / chunk_count;
+    const std::size_t extra = candidates.size() % chunk_count;
+    std::vector<std::vector<Overlap>> chunk_out(chunk_count);
+    std::vector<OverlapStats> chunk_stats(chunk_count);
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunk_count);
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunk_count; ++c) {
+      const std::size_t end = begin + base + (c < extra ? 1 : 0);
+      futures.push_back(pool->submit([&, begin, end, c] {
+        align_range(begin, end, chunk_out[c], chunk_stats[c]);
+      }));
+      begin = end;
+    }
+    for (auto& f : futures) f.get();
+    for (std::size_t c = 0; c < chunk_count; ++c) {
+      overlaps.insert(overlaps.end(),
+                      std::make_move_iterator(chunk_out[c].begin()),
+                      std::make_move_iterator(chunk_out[c].end()));
+      run_stats.pruned += chunk_stats[c].pruned;
+      run_stats.tracebacks += chunk_stats[c].tracebacks;
+      run_stats.accepted += chunk_stats[c].accepted;
     }
   }
+  if (stats != nullptr) *stats = run_stats;
 
   // Deterministic order: best alignments first (greedy merge order), ties
-  // broken by indices.
+  // broken by indices then orientation — a total order, so the sort result
+  // does not depend on the pre-sort arrangement.
   std::sort(overlaps.begin(), overlaps.end(), [](const Overlap& x, const Overlap& y) {
     if (x.alignment.score != y.alignment.score) {
       return x.alignment.score > y.alignment.score;
     }
     if (x.a != y.a) return x.a < y.a;
-    return x.b < y.b;
+    if (x.b != y.b) return x.b < y.b;
+    return x.flipped < y.flipped;
   });
   return overlaps;
 }

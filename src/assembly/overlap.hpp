@@ -12,6 +12,10 @@
 #include "align/sw.hpp"
 #include "bio/sequence.hpp"
 
+namespace pga::common {
+class ThreadPool;
+}
+
 namespace pga::assembly {
 
 /// Overlap acceptance thresholds. Defaults mirror CAP3's -o 40 -p 90.
@@ -35,6 +39,13 @@ struct OverlapParams {
   /// Candidate pairs must share at least this many k-mers before the
   /// (expensive) banded alignment runs.
   std::size_t min_shared_kmers = 2;
+  /// Score-only candidate pruning: run the cheap no-traceback DP pass
+  /// first and skip the traceback when the optimal score is provably too
+  /// low to classify (see min_acceptable_score). Automatically inactive
+  /// when the bound cannot exceed the k-mer anchor's guaranteed score
+  /// (true for the CAP3 defaults); this switch exists so tests can compare
+  /// pruned and unpruned runs under stricter cutoffs.
+  bool score_prune = true;
 };
 
 /// How the aligned region relates the two sequences.
@@ -67,10 +78,35 @@ bool classify_overlap(const align::LocalAlignment& aln, std::size_t a_len,
                       std::size_t b_len, const OverlapParams& params,
                       OverlapKind& kind, long& shift);
 
+/// Work counters from one find_overlaps run (pruning effectiveness and
+/// alignment volume; the benchmark/CI envelopes assert on these because
+/// they are machine-independent, unlike wall-clock time).
+struct OverlapStats {
+  std::size_t candidate_pairs = 0;  ///< pairs meeting min_shared_kmers
+  std::size_t pruned = 0;           ///< skipped via the score-only bound
+  std::size_t tracebacks = 0;       ///< full alignments actually run
+  std::size_t accepted = 0;         ///< classified overlaps kept
+};
+
+/// Lower bound on the alignment score of any overlap that could pass the
+/// length/identity cutoffs in `params`, for alignment lengths in
+/// [params.min_overlap, max_alignment_length]. A candidate whose optimal
+/// (score-only) alignment scores below this bound cannot classify as an
+/// overlap, so the traceback can be skipped. Conservative: derived from
+/// the per-column worst case w = max(-mismatch, gap_open + gap_extend),
+/// evaluated at both interval endpoints.
+int min_acceptable_score(const OverlapParams& params,
+                         std::size_t max_alignment_length);
+
 /// Finds all accepted pairwise overlaps among `seqs`.
-/// Candidates are pairs sharing at least one k-mer; each candidate is
-/// aligned once with smith_waterman_dna. O(candidates * alignment).
+/// Candidates are pairs sharing at least one k-mer; each candidate runs a
+/// score-only banded pass and only survivors of min_acceptable_score pay
+/// for a traceback. With a pool, candidates are aligned in parallel in
+/// deterministic chunks — the result is bit-identical to the serial run
+/// for any worker count. `stats`, when non-null, receives work counters.
 std::vector<Overlap> find_overlaps(const std::vector<bio::SeqRecord>& seqs,
-                                   const OverlapParams& params = {});
+                                   const OverlapParams& params = {},
+                                   common::ThreadPool* pool = nullptr,
+                                   OverlapStats* stats = nullptr);
 
 }  // namespace pga::assembly

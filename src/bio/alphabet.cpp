@@ -70,9 +70,14 @@ char complement(char base) {
 
 std::string reverse_complement(std::string_view seq) {
   std::string out;
+  reverse_complement_into(seq, out);
+  return out;
+}
+
+void reverse_complement_into(std::string_view seq, std::string& out) {
+  out.clear();
   out.reserve(seq.size());
   for (auto it = seq.rbegin(); it != seq.rend(); ++it) out.push_back(complement(*it));
-  return out;
 }
 
 int base_index(char c) {

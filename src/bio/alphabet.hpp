@@ -35,6 +35,10 @@ char complement(char base);
 /// Reverse complement of a DNA string.
 std::string reverse_complement(std::string_view seq);
 
+/// Reverse complement into a reusable buffer (cleared, then filled) —
+/// the allocation-free variant hot paths call per frame/candidate.
+void reverse_complement_into(std::string_view seq, std::string& out);
+
 /// Index of a base in kBases (A=0..T=3); -1 for anything else (incl. N).
 int base_index(char c);
 

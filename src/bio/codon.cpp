@@ -48,29 +48,43 @@ char translate_codon(std::string_view codon) {
 }
 
 std::string translate(std::string_view dna, int frame) {
+  std::string protein;
+  translate_into(dna, frame, protein);
+  return protein;
+}
+
+void translate_into(std::string_view dna, int frame, std::string& out) {
   if (frame < 0 || frame > 2) {
     throw common::InvalidArgument("translate: frame must be 0, 1 or 2");
   }
-  std::string protein;
-  if (dna.size() < static_cast<std::size_t>(frame) + 3) return protein;
-  protein.reserve((dna.size() - static_cast<std::size_t>(frame)) / 3);
+  out.clear();
+  if (dna.size() < static_cast<std::size_t>(frame) + 3) return;
+  out.reserve((dna.size() - static_cast<std::size_t>(frame)) / 3);
   for (std::size_t i = static_cast<std::size_t>(frame); i + 3 <= dna.size(); i += 3) {
-    protein.push_back(translate_codon(dna.substr(i, 3)));
+    out.push_back(translate_codon(dna.substr(i, 3)));
   }
-  return protein;
 }
 
 std::vector<FrameTranslation> six_frame_translate(std::string_view dna) {
   std::vector<FrameTranslation> frames;
-  frames.reserve(6);
-  for (int f = 0; f < 3; ++f) {
-    frames.push_back({f + 1, translate(dna, f)});
-  }
-  const std::string rc = reverse_complement(dna);
-  for (int f = 0; f < 3; ++f) {
-    frames.push_back({-(f + 1), translate(rc, f)});
-  }
+  std::string rc;
+  six_frame_translate(dna, frames, rc);
   return frames;
+}
+
+void six_frame_translate(std::string_view dna,
+                         std::vector<FrameTranslation>& frames,
+                         std::string& rc_scratch) {
+  frames.resize(6);
+  for (int f = 0; f < 3; ++f) {
+    frames[static_cast<std::size_t>(f)].frame = f + 1;
+    translate_into(dna, f, frames[static_cast<std::size_t>(f)].protein);
+  }
+  reverse_complement_into(dna, rc_scratch);
+  for (int f = 0; f < 3; ++f) {
+    frames[static_cast<std::size_t>(3 + f)].frame = -(f + 1);
+    translate_into(rc_scratch, f, frames[static_cast<std::size_t>(3 + f)].protein);
+  }
 }
 
 std::size_t frame_to_forward_offset(int frame, std::size_t codon_index,

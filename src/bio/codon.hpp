@@ -17,6 +17,10 @@ char translate_codon(std::string_view codon);
 /// `frame` and the trailing partial codon is ignored.
 std::string translate(std::string_view dna, int frame = 0);
 
+/// Translation into a reusable buffer (cleared, then filled) — the
+/// allocation-free variant per-frame hot paths call.
+void translate_into(std::string_view dna, int frame, std::string& out);
+
 /// One reading frame of a six-frame translation.
 struct FrameTranslation {
   int frame;            ///< +1,+2,+3 forward; -1,-2,-3 reverse strand
@@ -26,6 +30,16 @@ struct FrameTranslation {
 /// All six reading frames, in order +1,+2,+3,-1,-2,-3 — the search space of
 /// a BLASTX-style query.
 std::vector<FrameTranslation> six_frame_translate(std::string_view dna);
+
+/// Six-frame translation into reusable storage: `frames` is resized to 6
+/// and each entry's protein string is refilled in place (capacity kept),
+/// `rc_scratch` holds the reverse complement between calls. A caller that
+/// keeps both across queries does zero steady-state allocation — the
+/// per-frame-per-query string churn showed up right next to the DP in
+/// profiles.
+void six_frame_translate(std::string_view dna,
+                         std::vector<FrameTranslation>& frames,
+                         std::string& rc_scratch);
 
 /// Maps a codon-position on a frame back to the nucleotide offset on the
 /// forward strand: the 0-based position of the codon's first base. For

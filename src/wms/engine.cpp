@@ -202,11 +202,13 @@ RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
   };
 
   {
+    // label() returns by value; the view in the event must outlive emit().
+    const std::string service_label = service.label();
     EngineEvent started;
     started.type = EngineEventType::kRunStarted;
     started.time = service.now();
     started.workflow = workflow.name();
-    started.service = service.label();
+    started.service = service_label;
     started.total_jobs = total_jobs;
     bus.emit(started);
   }

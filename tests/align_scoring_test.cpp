@@ -75,5 +75,50 @@ TEST(WordScore, SumsPairScores) {
   EXPECT_EQ(word_score("AAA", "RRR"), -3);
 }
 
+TEST(ScoringProfile, AgreesWithBlosum62OverEveryBytePair) {
+  // The precomputed 32x32 table must reproduce the callback the DP kernel
+  // used to take, for every possible char pair — residues (either case),
+  // '*', 'X' and arbitrary garbage bytes alike.
+  const ScoringProfile& p = ScoringProfile::protein_blosum62();
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      const char ca = static_cast<char>(a);
+      const char cb = static_cast<char>(b);
+      ASSERT_EQ(p.score(p.encode_char(ca), p.encode_char(cb)), blosum62(ca, cb))
+          << "bytes " << a << ", " << b;
+    }
+  }
+}
+
+TEST(ScoringProfile, DnaScoresAreCharExact) {
+  // The DNA kernel's old comparison was `q[i] == s[j]` on raw chars: case
+  // matters, N matches N. The profile reproduces that over the known
+  // alphabet.
+  const ScoringProfile p = ScoringProfile::dna(1, -2);
+  const std::string_view known = "ACGTacgtNn";
+  for (const char a : known) {
+    for (const char b : known) {
+      EXPECT_EQ(p.score(p.encode_char(a), p.encode_char(b)), a == b ? 1 : -2);
+    }
+  }
+  // Unknown bytes share the catch-all code and never match, even
+  // themselves (documented divergence from raw char equality for exotic
+  // input — overlap inputs are validated DNA, so this is unreachable
+  // there).
+  EXPECT_EQ(p.score(p.encode_char('x'), p.encode_char('x')), -2);
+  EXPECT_EQ(p.score(p.encode_char('A'), p.encode_char('x')), -2);
+}
+
+TEST(ScoringProfile, EncodeMatchesEncodeChar) {
+  const ScoringProfile& p = ScoringProfile::protein_blosum62();
+  const std::string seq = "arNDcq*XEG";
+  std::vector<std::uint8_t> codes;
+  p.encode(seq, codes);
+  ASSERT_EQ(codes.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(codes[i], p.encode_char(seq[i]));
+  }
+}
+
 }  // namespace
 }  // namespace pga::align

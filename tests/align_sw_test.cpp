@@ -167,5 +167,148 @@ TEST(SmithWatermanDna, MismatchPenaltyApplied) {
   EXPECT_EQ(aln.score, 10 - 2);
 }
 
+// ------------------------------------------------------------------------
+// Properties of the band-compressed kernel rewrite.
+
+std::string random_protein(std::size_t n, common::Rng& rng) {
+  static constexpr std::string_view kAas = "ARNDCQEGHILKMFPSTWYV";
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(kAas[rng.below(20)]);
+  return s;
+}
+
+std::string random_dna_seq(std::size_t n, common::Rng& rng) {
+  static constexpr std::string_view kBases = "ACGT";
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(kBases[rng.below(4)]);
+  return s;
+}
+
+void expect_same_alignment(const LocalAlignment& a, const LocalAlignment& b) {
+  EXPECT_EQ(a.score, b.score);
+  EXPECT_EQ(a.q_begin, b.q_begin);
+  EXPECT_EQ(a.q_end, b.q_end);
+  EXPECT_EQ(a.s_begin, b.s_begin);
+  EXPECT_EQ(a.s_end, b.s_end);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.mismatches, b.mismatches);
+  EXPECT_EQ(a.gap_opens, b.gap_opens);
+  EXPECT_EQ(a.gap_residues, b.gap_residues);
+}
+
+TEST(BandedSmithWaterman, CoveringBandEqualsFullForAnyDiagonal) {
+  // With band >= |q| + |s| every cell is in-band regardless of the
+  // diagonal, so the banded kernel must reproduce the full matrix exactly
+  // — unrelated pairs, mutated pairs, and shifted diagonals alike.
+  common::Rng rng(101);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::string q = random_protein(20 + rng.below(80), rng);
+    std::string s;
+    if (trial % 2 == 0) {
+      s = random_protein(20 + rng.below(80), rng);
+    } else {
+      s = q;
+      for (int i = 0; i < 6; ++i) {
+        s[rng.below(s.size())] = "ARNDCQEGHILKMFPSTWYV"[rng.below(20)];
+      }
+    }
+    const long diag = static_cast<long>(rng.below(q.size() + s.size())) -
+                      static_cast<long>(s.size());
+    const auto full = smith_waterman(q, s);
+    const auto banded = banded_smith_waterman(q, s, diag, q.size() + s.size());
+    expect_same_alignment(full, banded);
+  }
+}
+
+TEST(BandedSmithWatermanDna, CoveringBandEqualsFullForAnyDiagonal) {
+  common::Rng rng(103);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::string q = random_dna_seq(30 + rng.below(150), rng);
+    std::string s = q;
+    for (int i = 0; i < 8; ++i) s[rng.below(s.size())] = "ACGT"[rng.below(4)];
+    const long diag = static_cast<long>(rng.below(q.size() + s.size())) -
+                      static_cast<long>(s.size());
+    const auto full = smith_waterman_dna(q, s);
+    const auto banded =
+        banded_smith_waterman_dna(q, s, diag, q.size() + s.size());
+    expect_same_alignment(full, banded);
+  }
+}
+
+TEST(BandedScoreOnly, MatchesTracebackScoreAndEndCell) {
+  common::Rng rng(107);
+  const auto& profile = ScoringProfile::protein_blosum62();
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::string q = random_protein(20 + rng.below(120), rng);
+    std::string s = q;
+    for (std::size_t i = 0; i < s.size(); i += 6) {
+      s[i] = "ARNDCQEGHILKMFPSTWYV"[rng.below(20)];
+    }
+    const long diag = static_cast<long>(rng.below(11)) - 5;
+    const std::size_t band = 4 + rng.below(40);
+    const auto so = banded_score_only(q, s, profile, diag, band);
+    const auto full = banded_align(q, s, profile, diag, band);
+    EXPECT_EQ(so.score, full.score);
+    if (so.score > 0) {
+      EXPECT_EQ(so.q_end, full.q_end);
+      EXPECT_EQ(so.s_end, full.s_end);
+    }
+  }
+}
+
+TEST(BandedScoreOnlyDna, MatchesTracebackScore) {
+  common::Rng rng(109);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::string q = random_dna_seq(40 + rng.below(200), rng);
+    std::string s = q;
+    for (std::size_t i = 0; i < s.size(); i += 9) s[i] = "ACGT"[rng.below(4)];
+    const long diag = static_cast<long>(rng.below(11)) - 5;
+    const std::size_t band = 4 + rng.below(48);
+    const auto so = banded_score_only_dna(q, s, diag, band);
+    const auto full = banded_smith_waterman_dna(q, s, diag, band);
+    EXPECT_EQ(so.score, full.score);
+    if (so.score > 0) {
+      EXPECT_EQ(so.q_end, full.q_end);
+      EXPECT_EQ(so.s_end, full.s_end);
+    }
+  }
+}
+
+TEST(DpCounters, BandedRunScoresExactlyTheInBandCells) {
+  // Closed-form in-band cell count for (n, m, diagonal, band) — the same
+  // envelope the CI perf smoke asserts; a layout regression that scores
+  // out-of-band (or quadratic) work breaks the equality.
+  const auto expected_cells = [](long n, long m, long diagonal, long band) {
+    band = std::min(band, n + m);
+    std::uint64_t cells = 0;
+    for (long i = 1; i <= n; ++i) {
+      const long lo = std::max(1L, i - diagonal - band);
+      const long hi = std::min(m, i - diagonal + band);
+      if (lo <= hi) cells += static_cast<std::uint64_t>(hi - lo + 1);
+    }
+    return cells;
+  };
+  common::Rng rng(113);
+  const std::string q = random_protein(64, rng);
+  const std::string s = random_protein(57, rng);
+  const auto& profile = ScoringProfile::protein_blosum62();
+
+  reset_dp_counters();
+  banded_align(q, s, profile, 2, 7);
+  auto c = dp_counters();
+  EXPECT_EQ(c.cells, expected_cells(64, 57, 2, 7));
+  EXPECT_EQ(c.tracebacks, 1u);
+  EXPECT_EQ(c.score_only, 0u);
+
+  reset_dp_counters();
+  banded_score_only(q, s, profile, 2, 7);
+  c = dp_counters();
+  EXPECT_EQ(c.cells, expected_cells(64, 57, 2, 7));
+  EXPECT_EQ(c.tracebacks, 0u);
+  EXPECT_EQ(c.score_only, 1u);
+}
+
 }  // namespace
 }  // namespace pga::align

@@ -5,6 +5,7 @@
 #include "align/sw.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace pga::assembly {
 namespace {
@@ -233,6 +234,130 @@ TEST(FindOverlaps, ParameterValidation) {
 TEST(FindOverlaps, EmptyAndSingletonInputs) {
   EXPECT_TRUE(find_overlaps({}).empty());
   EXPECT_TRUE(find_overlaps({{"only", "", "ACGTACGTACGTACGTACGT"}}).empty());
+}
+
+// ------------------------------------------------------------------------
+// Parallel overlap phase + score-only pruning.
+
+std::vector<bio::SeqRecord> gene_fragment_set(std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<bio::SeqRecord> seqs;
+  for (int g = 0; g < 3; ++g) {
+    const std::string gene = random_dna(1000 + rng.below(400), rng);
+    for (int f = 0; f < 10; ++f) {
+      const std::size_t len = 300 + rng.below(400);
+      const std::size_t start = rng.below(gene.size() - len + 1);
+      seqs.push_back({"g" + std::to_string(g) + "f" + std::to_string(f), "",
+                      gene.substr(start, len)});
+    }
+  }
+  return seqs;
+}
+
+void expect_same_overlaps(const std::vector<Overlap>& lhs,
+                          const std::vector<Overlap>& rhs) {
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].a, rhs[i].a);
+    EXPECT_EQ(lhs[i].b, rhs[i].b);
+    EXPECT_EQ(lhs[i].kind, rhs[i].kind);
+    EXPECT_EQ(lhs[i].shift, rhs[i].shift);
+    EXPECT_EQ(lhs[i].flipped, rhs[i].flipped);
+    EXPECT_EQ(lhs[i].alignment.score, rhs[i].alignment.score);
+    EXPECT_EQ(lhs[i].alignment.q_begin, rhs[i].alignment.q_begin);
+    EXPECT_EQ(lhs[i].alignment.q_end, rhs[i].alignment.q_end);
+    EXPECT_EQ(lhs[i].alignment.s_begin, rhs[i].alignment.s_begin);
+    EXPECT_EQ(lhs[i].alignment.s_end, rhs[i].alignment.s_end);
+    EXPECT_EQ(lhs[i].alignment.matches, rhs[i].alignment.matches);
+    EXPECT_EQ(lhs[i].alignment.mismatches, rhs[i].alignment.mismatches);
+  }
+}
+
+TEST(FindOverlapsParallel, BitIdenticalAcrossWorkerCounts) {
+  const auto seqs = gene_fragment_set(31);
+  const auto serial = find_overlaps(seqs);
+  EXPECT_FALSE(serial.empty());
+  for (const std::size_t workers : {1u, 2u, 3u, 8u}) {
+    common::ThreadPool pool(workers);
+    const auto parallel = find_overlaps(seqs, {}, &pool);
+    expect_same_overlaps(serial, parallel);
+  }
+}
+
+TEST(FindOverlapsParallel, BitIdenticalWithBothStrands) {
+  auto seqs = gene_fragment_set(37);
+  common::Rng rng(38);
+  for (std::size_t i = 0; i < seqs.size(); i += 2) {
+    std::string rc;
+    for (auto it = seqs[i].seq.rbegin(); it != seqs[i].seq.rend(); ++it) {
+      switch (*it) {
+        case 'A': rc.push_back('T'); break;
+        case 'C': rc.push_back('G'); break;
+        case 'G': rc.push_back('C'); break;
+        default: rc.push_back('A'); break;
+      }
+    }
+    seqs[i].seq = std::move(rc);
+  }
+  OverlapParams params;
+  params.both_strands = true;
+  const auto serial = find_overlaps(seqs, params);
+  EXPECT_FALSE(serial.empty());
+  common::ThreadPool pool(3);
+  const auto parallel = find_overlaps(seqs, params, &pool);
+  expect_same_overlaps(serial, parallel);
+}
+
+TEST(FindOverlapsParallel, StatsAccountForEveryCandidate) {
+  const auto seqs = gene_fragment_set(41);
+  OverlapStats serial_stats;
+  const auto serial = find_overlaps(seqs, {}, nullptr, &serial_stats);
+  EXPECT_EQ(serial_stats.pruned + serial_stats.tracebacks,
+            serial_stats.candidate_pairs);
+  EXPECT_EQ(serial_stats.accepted, serial.size());
+
+  common::ThreadPool pool(4);
+  OverlapStats parallel_stats;
+  find_overlaps(seqs, {}, &pool, &parallel_stats);
+  EXPECT_EQ(parallel_stats.candidate_pairs, serial_stats.candidate_pairs);
+  EXPECT_EQ(parallel_stats.pruned, serial_stats.pruned);
+  EXPECT_EQ(parallel_stats.tracebacks, serial_stats.tracebacks);
+  EXPECT_EQ(parallel_stats.accepted, serial_stats.accepted);
+}
+
+TEST(FindOverlaps, ScorePruningPreservesResults) {
+  // Cutoffs strict enough to push the score floor above the k-mer anchor
+  // guarantee, so the score-only pass actually prunes — and must not
+  // change what is found.
+  const auto seqs = gene_fragment_set(43);
+  OverlapParams strict;
+  strict.min_overlap = 300;
+  strict.min_identity = 95.0;
+  OverlapStats pruned_stats;
+  const auto pruned = find_overlaps(seqs, strict, nullptr, &pruned_stats);
+
+  OverlapParams unpruned_params = strict;
+  unpruned_params.score_prune = false;
+  OverlapStats full_stats;
+  const auto unpruned = find_overlaps(seqs, unpruned_params, nullptr, &full_stats);
+
+  expect_same_overlaps(pruned, unpruned);
+  EXPECT_GT(pruned_stats.pruned, 0u);
+  EXPECT_LT(pruned_stats.tracebacks, full_stats.tracebacks);
+  EXPECT_EQ(full_stats.pruned, 0u);
+}
+
+TEST(MinAcceptableScore, LowerBoundsEveryAcceptedOverlap) {
+  const auto seqs = gene_fragment_set(47);
+  for (const double identity : {90.0, 95.0}) {
+    OverlapParams params;
+    params.min_identity = identity;
+    const auto overlaps = find_overlaps(seqs, params);
+    for (const auto& ov : overlaps) {
+      const std::size_t cap = seqs[ov.a].seq.size() + seqs[ov.b].seq.size();
+      EXPECT_GE(ov.alignment.score, min_acceptable_score(params, cap));
+    }
+  }
 }
 
 }  // namespace

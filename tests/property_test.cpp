@@ -12,6 +12,7 @@
 #include "bio/fasta.hpp"
 #include "bio/transcriptome.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/b2c3_workflow.hpp"
 #include "core/workload.hpp"
 #include "sim/campus_cluster.hpp"
@@ -98,6 +99,35 @@ TEST_P(SeedProperty, AssemblyConservesMembership) {
     EXPECT_LE(c.consensus.size(), total) << c.id;
   }
   EXPECT_EQ(members, txm.transcripts.size());
+}
+
+TEST_P(SeedProperty, ParallelOverlapGraphMatchesSerial) {
+  // The overlap phase promises bit-identical results for any worker
+  // count; the greedy merge consumes overlap order, so this is what keeps
+  // assemblies reproducible under parallelism.
+  const auto txm = small_txm(GetParam());
+  const auto serial = assembly::find_overlaps(txm.transcripts);
+  common::ThreadPool pool(3);
+  const auto parallel = assembly::find_overlaps(txm.transcripts, {}, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].a, parallel[i].a);
+    EXPECT_EQ(serial[i].b, parallel[i].b);
+    EXPECT_EQ(serial[i].kind, parallel[i].kind);
+    EXPECT_EQ(serial[i].shift, parallel[i].shift);
+    EXPECT_EQ(serial[i].flipped, parallel[i].flipped);
+    EXPECT_EQ(serial[i].alignment.score, parallel[i].alignment.score);
+    EXPECT_EQ(serial[i].alignment.q_begin, parallel[i].alignment.q_begin);
+    EXPECT_EQ(serial[i].alignment.s_begin, parallel[i].alignment.s_begin);
+  }
+  // And the pooled assembler built on it returns the serial assembly.
+  const auto a1 = assembly::assemble(txm.transcripts);
+  const auto a2 = assembly::assemble(txm.transcripts, {}, &pool);
+  ASSERT_EQ(a1.contigs.size(), a2.contigs.size());
+  for (std::size_t i = 0; i < a1.contigs.size(); ++i) {
+    EXPECT_EQ(a1.contigs[i].consensus, a2.contigs[i].consensus);
+    EXPECT_EQ(a1.contigs[i].members, a2.contigs[i].members);
+  }
 }
 
 TEST_P(SeedProperty, SimulatedAttemptTimingInvariants) {
