@@ -1,0 +1,275 @@
+// Cross-shape scheduling-policy ablation harness (ISSUE PR 6).
+//
+// Every policy result so far was demonstrated on blast2cap3 alone; this
+// harness re-runs the full policy set (fifo / priority / critical-path /
+// widest-branch) over the workload generator's whole shape taxonomy on
+// both paper platforms and records whether the blast2cap3 ranking
+// ("critical-path beats FIFO under a submit throttle on campus")
+// generalizes. BENCH_shapes.json commits the grid plus a per-shape
+// cross-check verdict.
+//
+// Usage: shape_ablation [--smoke] [--golden [DIR]] [--out PATH]
+//   --smoke   small shapes, campus only, deterministic machine-independent
+//             assertions (planned job counts, engine-event envelopes,
+//             policy-invariant job sets, fifo-vs-critical-path ordering on
+//             the adversarial chain-heavy shape); exits non-zero on any
+//             violation — the CI perf-smoke leg.
+//   --golden  regenerate the generated-shape golden fixtures
+//             (tests/golden/shape_diamond_*.log/.stats) from the scenario
+//             shared with tests/wms_golden_log_test.cpp.
+//   --out     where to write the JSON report (default BENCH_shapes.json)
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "../tests/shape_golden_shared.hpp"
+#include "../tests/wms_test_dags.hpp"
+#include "common/strings.hpp"
+#include "core/experiment.hpp"
+#include "wms/statistics.hpp"
+
+namespace {
+
+using namespace pga;
+
+/// The committed sweep: six shapes spanning serial (chain), wide (fan),
+/// staged (diamond, montage), chain-heavy (ngs) and the paper's pipeline.
+std::vector<workload::ShapeSpec> sweep_shapes() {
+  std::vector<workload::ShapeSpec> shapes;
+  workload::ShapeSpec chain;
+  chain.shape = workload::Shape::kChain;
+  chain.size = 64;
+  chain.seed = 5;
+  shapes.push_back(chain);
+  shapes.push_back(wms::testing::fan_heavy_spec(16));
+  workload::ShapeSpec diamond;
+  diamond.shape = workload::Shape::kDiamond;
+  diamond.size = 60;
+  diamond.seed = 5;
+  shapes.push_back(diamond);
+  workload::ShapeSpec montage;
+  montage.shape = workload::Shape::kMontage;
+  montage.size = 40;
+  montage.seed = 5;
+  shapes.push_back(montage);
+  shapes.push_back(wms::testing::adversarial_ngs_spec(32));
+  workload::ShapeSpec b2c3;
+  b2c3.shape = workload::Shape::kBlast2cap3;
+  b2c3.size = 60;
+  b2c3.seed = 5;
+  shapes.push_back(b2c3);
+  return shapes;
+}
+
+/// Throttled regime where release order is decisive (PR 2's finding:
+/// unthrottled, the platform model does all the scheduling).
+core::ExperimentConfig sweep_config() {
+  core::ExperimentConfig config;
+  config.sandhills.allocated_slots = 16;
+  config.osg.base_slots = 16;
+  config.engine_retries = 100;
+  config.seed = 7;
+  config.max_jobs_in_flight = 8;
+  return config;
+}
+
+struct CrossCheck {
+  std::string shape;
+  double fifo_wall = 0;
+  double cp_wall = 0;
+  bool confirmed = false;  ///< critical-path <= fifo, the blast2cap3 ranking
+};
+
+void write_json(const std::string& path, const core::ShapeAblationResults& results,
+                const std::vector<CrossCheck>& checks, bool smoke) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"benchmark\": \"shape_ablation\",\n";
+  out << "  \"mode\": \"" << (smoke ? "smoke" : "sweep") << "\",\n";
+  out << "  \"config\": \"campus 16 slots / osg 16 base slots, throttle 8, "
+         "retries 100, seed 7\",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.rows.size(); ++i) {
+    const core::ShapeRun& r = results.rows[i];
+    out << "    {\"shape\": \"" << r.shape << "\", \"size\": " << r.size
+        << ", \"seed\": " << r.seed << ", \"platform\": \"" << r.platform
+        << "\", \"policy\": \"" << r.policy << "\", \"jobs\": " << r.jobs
+        << ", \"events\": " << r.events
+        << ", \"wall_seconds\": " << common::format_fixed(r.wall(), 1) << "}"
+        << (i + 1 < results.rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"b2c3_ranking\": \"critical-path beats fifo under throttle "
+         "(PR 2, blast2cap3 / campus)\",\n";
+  out << "  \"cross_check\": [\n";
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    const CrossCheck& c = checks[i];
+    out << "    {\"shape\": \"" << c.shape << "\", \"platform\": \"sandhills\""
+        << ", \"fifo_wall\": " << common::format_fixed(c.fifo_wall, 1)
+        << ", \"critical_path_wall\": " << common::format_fixed(c.cp_wall, 1)
+        << ", \"fifo_over_cp\": "
+        << common::format_fixed(c.cp_wall > 0 ? c.fifo_wall / c.cp_wall : 0, 4)
+        << ", \"confirmed\": " << (c.confirmed ? "true" : "false") << "}"
+        << (i + 1 < checks.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+std::vector<CrossCheck> cross_checks(const core::ShapeAblationResults& results,
+                                     const std::vector<workload::ShapeSpec>& shapes) {
+  std::vector<CrossCheck> checks;
+  for (const auto& spec : shapes) {
+    CrossCheck check;
+    check.shape = workload::shape_name(spec.shape);
+    check.fifo_wall = results.wall(check.shape, "sandhills", "fifo");
+    check.cp_wall = results.wall(check.shape, "sandhills", "critical-path");
+    check.confirmed = check.cp_wall <= check.fifo_wall;
+    checks.push_back(check);
+  }
+  return checks;
+}
+
+int run_sweep(const std::string& out_path) {
+  const auto shapes = sweep_shapes();
+  core::ShapeSweepConfig sweep;
+  sweep.shapes = shapes;
+  const auto results = core::run_shape_ablation(sweep_config(), sweep);
+  const auto checks = cross_checks(results, shapes);
+  for (const auto& r : results.rows) {
+    std::cout << r.shape << " n=" << r.size << " " << r.platform << " "
+              << r.policy << ": jobs=" << r.jobs << " events=" << r.events
+              << " wall=" << common::format_fixed(r.wall(), 1) << "s\n";
+  }
+  for (const auto& c : checks) {
+    std::cout << c.shape << ": fifo/cp = "
+              << common::format_fixed(c.fifo_wall / c.cp_wall, 4)
+              << (c.confirmed ? " (b2c3 ranking confirmed)" : " (refuted)") << "\n";
+  }
+  write_json(out_path, results, checks, /*smoke=*/false);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int run_smoke(const std::string& out_path) {
+  // Campus only, small shapes, slots == throttle == 4: every assertion is
+  // on simulated time or event counts, never walltime, so a violation
+  // fails identically on any machine.
+  core::ExperimentConfig config;
+  config.sandhills.allocated_slots = 4;
+  config.engine_retries = 100;
+  config.seed = 7;
+  config.max_jobs_in_flight = 4;
+
+  std::vector<workload::ShapeSpec> shapes = wms::testing::small_shape_specs();
+  shapes.push_back(wms::testing::fan_heavy_spec(6));
+  shapes.push_back(wms::testing::adversarial_ngs_spec(8));
+
+  core::ShapeAblationResults results;
+  for (const auto& spec : shapes) {
+    const auto counts = workload::closed_form_counts(spec);
+    std::vector<std::vector<std::string>> job_sets;
+    for (const auto& policy : {"fifo", "priority", "critical-path",
+                               "widest-branch"}) {
+      core::ShapeRun run = core::run_shape_point(config, spec, "sandhills", policy);
+      // Planner adds exactly stage_in_0 + stage_out_0 to the closed form.
+      if (run.jobs != counts.jobs + 2) {
+        std::cerr << "smoke: " << workload::spec_name(spec) << "/" << policy
+                  << " planned " << run.jobs << " jobs, expected "
+                  << counts.jobs + 2 << "\n";
+        return 1;
+      }
+      // A clean campus run emits a bounded number of events per job (the
+      // scale_dag envelope); re-emission bugs blow through the ceiling.
+      const std::size_t floor = 4 * run.jobs;
+      const std::size_t ceiling = 6 * run.jobs + 16;
+      if (run.events < floor || run.events > ceiling) {
+        std::cerr << "smoke: " << workload::spec_name(spec) << "/" << policy
+                  << " event count " << run.events << " outside ["
+                  << floor << ", " << ceiling << "]\n";
+        return 1;
+      }
+      job_sets.push_back(run.succeeded_jobs);
+      results.rows.push_back(std::move(run));
+    }
+    // Policies reorder work; they must never change what completes.
+    for (std::size_t i = 1; i < job_sets.size(); ++i) {
+      if (job_sets[i] != job_sets[0]) {
+        std::cerr << "smoke: " << workload::spec_name(spec)
+                  << " job sets differ across policies\n";
+        return 1;
+      }
+    }
+  }
+
+  // The blast2cap3 ranking on the adversarial chain-heavy shape: FIFO
+  // releases the cheap chains first and pays the straggler tail.
+  const auto ngs = wms::testing::adversarial_ngs_spec(8);
+  const double fifo_wall = wms::testing::shape_wall(ngs, "fifo");
+  const double cp_wall = wms::testing::shape_wall(ngs, "critical-path");
+  if (!(cp_wall > 0 && fifo_wall > 0 && cp_wall < fifo_wall)) {
+    std::cerr << "smoke: critical-path (" << cp_wall
+              << "s) did not beat fifo (" << fifo_wall
+              << "s) on the adversarial ngs shape\n";
+    return 1;
+  }
+
+  std::cout << "smoke OK: " << results.rows.size() << " runs across "
+            << shapes.size() << " shapes; adversarial ngs fifo/cp = "
+            << common::format_fixed(fifo_wall / cp_wall, 4) << "\n";
+  write_json(out_path, results, {}, /*smoke=*/true);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int run_golden(const std::string& dir) {
+  for (const std::string site : {"sandhills", "osg"}) {
+    const auto report = golden_shapes::run_diamond(site);
+    if (!report.success) {
+      std::cerr << "golden: diamond run failed on " << site << "\n";
+      return 1;
+    }
+    const std::string stem = dir + "/" + golden_shapes::fixture_stem(site);
+    std::ofstream log(stem + ".log");
+    for (const auto& line : report.jobstate_log) log << line << "\n";
+    std::ofstream stats(stem + ".stats");
+    stats << wms::WorkflowStatistics::from_run(report).render("golden");
+    std::cout << "wrote " << stem << ".log/.stats (" << report.jobstate_log.size()
+              << " log lines)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool golden = false;
+  std::string golden_dir = "tests/golden";
+  std::string out_path = "BENCH_shapes.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--golden") {
+      golden = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') golden_dir = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: shape_ablation [--smoke] [--golden [DIR]] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  try {
+    if (golden) return run_golden(golden_dir);
+    if (smoke) return run_smoke(out_path);
+    return run_sweep(out_path);
+  } catch (const std::exception& err) {
+    std::cerr << "shape_ablation: " << err.what() << "\n";
+    return 1;
+  }
+}

@@ -54,4 +54,15 @@ echo "==> perf smoke (align_e2e --smoke)"
 cmake --build build -j "${jobs}" --target align_e2e
 build/bench/align_e2e --smoke --out build/BENCH_align_smoke.json
 
+# Shape perf smoke: the workload generator's whole taxonomy through
+# planner + engine on the campus backend. Machine-independent guards:
+# planned job counts equal the closed forms + 2 stage jobs, engine event
+# counts stay in the per-job envelope, all four policies complete identical
+# job sets, and critical-path still beats FIFO on the adversarial
+# chain-heavy shape. BENCH_shapes.json in the repo root is the committed
+# full two-platform sweep; regenerate with `build/bench/shape_ablation`.
+echo "==> perf smoke (shape_ablation --smoke)"
+cmake --build build -j "${jobs}" --target shape_ablation
+build/bench/shape_ablation --smoke --out build/BENCH_shapes_smoke.json
+
 echo "==> CI OK (default + asan/ubsan + tsan + perf smokes)"

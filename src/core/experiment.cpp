@@ -39,10 +39,10 @@ struct SingleRun {
   std::size_t preemptions = 0;
 };
 
-/// Registers a storage element per paper site (plus the submit host) on
+/// Registers a storage element per catalog site (plus the submit host) on
 /// `transfers`, deriving bandwidths from the site catalog.
-void add_site_elements(data::TransferManager& transfers, std::size_t transfer_slots) {
-  const wms::SiteCatalog sites = paper_site_catalog();
+void add_site_elements(data::TransferManager& transfers, const wms::SiteCatalog& sites,
+                       std::size_t transfer_slots) {
   for (const auto& name : sites.names()) {
     const wms::SiteEntry& site = sites.site(name);
     data::StorageElementConfig element;
@@ -110,7 +110,7 @@ SingleRun run_once(const ExperimentConfig& config, const std::string& platform,
     // Each repetition draws its own failure stream, like the platforms.
     transfer_config.seed ^= run_seed;
     transfers = std::make_unique<data::TransferManager>(queue, transfer_config);
-    add_site_elements(*transfers, config.data.transfer_slots);
+    add_site_elements(*transfers, paper_site_catalog(), config.data.transfer_slots);
     staging = std::make_unique<data::StagingService>(queue, sim_service, *transfers,
                                                      replicas);
     service = staging.get();
@@ -167,6 +167,130 @@ SweepResults run_platform_sweep(const ExperimentConfig& config) {
   for (const auto& platform : platforms) {
     for (const std::size_t n : config.n_values) {
       results.points.push_back(run_sim_point(config, platform, n));
+    }
+  }
+  return results;
+}
+
+const ShapeRun& ShapeAblationResults::row(const std::string& shape,
+                                          const std::string& platform,
+                                          const std::string& policy) const {
+  for (const auto& r : rows) {
+    if (r.shape == shape && r.platform == platform && r.policy == policy) return r;
+  }
+  throw common::InvalidArgument("no shape run for " + shape + "/" + platform +
+                                "/" + policy);
+}
+
+double ShapeAblationResults::wall(const std::string& shape,
+                                  const std::string& platform,
+                                  const std::string& policy) const {
+  return row(shape, platform, policy).wall();
+}
+
+namespace {
+
+/// Counts engine events — the machine-independent work measure the scale
+/// bench's smoke envelope asserts on.
+struct CountingObserver final : wms::EngineObserver {
+  std::size_t events = 0;
+  void on_event(const wms::EngineEvent&) override { ++events; }
+};
+
+}  // namespace
+
+ShapeRun run_shape_point(const ExperimentConfig& config,
+                         const workload::ShapeSpec& spec,
+                         const std::string& platform, const std::string& policy) {
+  if (platform != "sandhills" && platform != "osg") {
+    throw common::InvalidArgument("unknown shape-sweep platform: " + platform);
+  }
+
+  const auto abstract = workload::build_workflow(spec);
+  const auto sites = workload::generator_site_catalog();
+  const auto transformations = workload::generator_transformation_catalog(abstract);
+  const auto replicas = workload::generator_replica_catalog(abstract, spec);
+  wms::PlannerOptions plan_options;
+  plan_options.target_site = platform;
+  plan_options.expected_output_bytes = workload::expected_output_bytes(spec);
+  const auto concrete =
+      wms::plan(abstract, sites, transformations, replicas, plan_options);
+
+  // Policy deliberately absent from the fold: every policy at one
+  // (shape, platform) faces the same platform randomness.
+  const std::uint64_t run_seed =
+      (config.seed + spec.seed * 0x9e3779b9ULL) ^
+      (std::hash<std::string>{}(platform) * 31 + spec.size);
+
+  sim::EventQueue queue;
+  queue.reserve(concrete.jobs().size() * 4);
+  std::unique_ptr<sim::ExecutionPlatform> sim_platform;
+  if (platform == "sandhills") {
+    auto cfg = config.sandhills;
+    cfg.seed = run_seed;
+    sim_platform = std::make_unique<sim::CampusClusterPlatform>(queue, cfg);
+  } else {
+    auto cfg = config.osg;
+    cfg.seed = run_seed;
+    sim_platform = std::make_unique<sim::OsgPlatform>(queue, cfg);
+  }
+
+  std::unique_ptr<data::SoftwareCache> cache;
+  if (config.data.cache_installs) {
+    cache = std::make_unique<data::SoftwareCache>(config.data.cache);
+    sim_platform->set_install_model(cache.get());
+  }
+
+  wms::SimService sim_service(queue, *sim_platform);
+  std::unique_ptr<data::TransferManager> transfers;
+  std::unique_ptr<data::StagingService> staging;
+  wms::ExecutionService* service = &sim_service;
+  if (config.data.model_staging) {
+    data::TransferConfig transfer_config = config.data.transfers;
+    transfer_config.seed ^= run_seed;
+    transfers = std::make_unique<data::TransferManager>(queue, transfer_config);
+    add_site_elements(*transfers, sites, config.data.transfer_slots);
+    staging = std::make_unique<data::StagingService>(queue, sim_service, *transfers,
+                                                     replicas);
+    service = staging.get();
+  }
+
+  CountingObserver counting;
+  wms::EngineOptions options{.retries = config.engine_retries, .rescue_path = {}};
+  options.max_jobs_in_flight = config.max_jobs_in_flight;
+  options.policy = wms::make_policy(policy);
+  options.observers.push_back(&counting);
+  wms::DagmanEngine engine(std::move(options));
+  const auto report = engine.run(concrete, *service);
+  if (!report.success) {
+    throw common::WorkflowError("shape run failed: " + workload::spec_name(spec) +
+                                " on " + platform + " under " + policy);
+  }
+
+  ShapeRun run;
+  run.shape = workload::shape_name(spec.shape);
+  run.size = spec.size;
+  run.seed = spec.seed;
+  run.platform = platform;
+  run.policy = policy;
+  run.jobs = concrete.jobs().size();
+  run.events = counting.events;
+  run.stats = wms::WorkflowStatistics::from_run(report);
+  for (const auto& job_run : report.runs) {
+    if (job_run.succeeded) run.succeeded_jobs.push_back(job_run.id);
+  }
+  std::sort(run.succeeded_jobs.begin(), run.succeeded_jobs.end());
+  return run;
+}
+
+ShapeAblationResults run_shape_ablation(const ExperimentConfig& base,
+                                        const ShapeSweepConfig& sweep) {
+  ShapeAblationResults results;
+  for (const auto& spec : sweep.shapes) {
+    for (const auto& platform : sweep.platforms) {
+      for (const auto& policy : sweep.policies) {
+        results.rows.push_back(run_shape_point(base, spec, platform, policy));
+      }
     }
   }
   return results;

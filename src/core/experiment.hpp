@@ -17,6 +17,7 @@
 #include "sim/cloud.hpp"
 #include "sim/osg.hpp"
 #include "wms/statistics.hpp"
+#include "workload/generator.hpp"
 
 namespace pga::core {
 
@@ -104,5 +105,61 @@ struct PaperClaims {
 
 /// Evaluates the claims over sweep results.
 PaperClaims evaluate_claims(const SweepResults& results);
+
+// ------------------------------------------------------ cross-shape sweeps
+//
+// Every blast2cap3 result above is one DAG shape; the generated-shape sweep
+// re-runs the scheduling-policy ablation over the workload generator's
+// whole taxonomy (src/workload/) on the same two platforms, so a policy
+// ranking can be confirmed — or refuted — off the paper's pipeline.
+
+/// Which (shape, platform, policy) grid to sweep.
+struct ShapeSweepConfig {
+  std::vector<workload::ShapeSpec> shapes;
+  std::vector<std::string> platforms{"sandhills", "osg"};
+  std::vector<std::string> policies{"fifo", "priority", "critical-path",
+                                    "widest-branch"};
+};
+
+/// One simulated (shape, platform, policy) run.
+struct ShapeRun {
+  std::string shape;      ///< workload::shape_name of the spec
+  std::size_t size = 0;   ///< the spec's scale knob
+  std::uint64_t seed = 0;  ///< the spec's instance seed
+  std::string platform;   ///< "sandhills" | "osg"
+  std::string policy;     ///< wms::make_policy name
+  std::size_t jobs = 0;   ///< concrete (planned) job count
+  std::size_t events = 0;  ///< engine events observed during the run
+  wms::WorkflowStatistics stats;
+  /// Ids of every succeeded job, sorted — identical across policies when
+  /// the policies only reorder work (the cross-shape completeness claim).
+  std::vector<std::string> succeeded_jobs;
+
+  [[nodiscard]] double wall() const { return stats.wall_seconds(); }
+};
+
+/// Grid of ShapeRuns with (shape, platform, policy) lookup.
+struct ShapeAblationResults {
+  std::vector<ShapeRun> rows;
+
+  [[nodiscard]] const ShapeRun& row(const std::string& shape,
+                                    const std::string& platform,
+                                    const std::string& policy) const;
+  [[nodiscard]] double wall(const std::string& shape, const std::string& platform,
+                            const std::string& policy) const;
+};
+
+/// Runs one generated shape on one platform under one policy. The run seed
+/// folds (config.seed, platform, spec) but NOT the policy, so two policies
+/// face byte-identical platform randomness and their walls are comparable.
+/// Honors config.engine_retries, config.max_jobs_in_flight and config.data
+/// (software cache + modeled staging against the generator's catalogs).
+ShapeRun run_shape_point(const ExperimentConfig& config,
+                         const workload::ShapeSpec& spec,
+                         const std::string& platform, const std::string& policy);
+
+/// The full grid: every shape x platform x policy of `sweep`.
+ShapeAblationResults run_shape_ablation(const ExperimentConfig& base,
+                                        const ShapeSweepConfig& sweep);
 
 }  // namespace pga::core

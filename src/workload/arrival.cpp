@@ -1,0 +1,76 @@
+#include "workload/arrival.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pga::workload {
+
+const char* arrival_process_name(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+namespace {
+
+/// SplitMix64 step, matching the generator's seed folding.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<WorkflowRequest> generate_arrivals(const ArrivalParams& params) {
+  if (params.shapes.empty()) {
+    throw common::InvalidArgument("arrival stream: shapes must be non-empty");
+  }
+  if (params.tenants == 0) {
+    throw common::InvalidArgument("arrival stream: tenants must be >= 1");
+  }
+  if (params.process == ArrivalProcess::kPoisson &&
+      params.mean_interarrival_seconds <= 0) {
+    throw common::InvalidArgument(
+        "arrival stream: mean_interarrival_seconds must be positive");
+  }
+  if (params.process == ArrivalProcess::kBursty &&
+      (params.burst_size == 0 || params.burst_gap_seconds <= 0 ||
+       params.intra_burst_seconds <= 0)) {
+    throw common::InvalidArgument(
+        "arrival stream: bursty gaps must be positive and burst_size >= 1");
+  }
+
+  common::Rng rng(params.seed);
+  std::vector<WorkflowRequest> requests;
+  requests.reserve(params.count);
+  double clock = 0;
+  for (std::size_t i = 0; i < params.count; ++i) {
+    switch (params.process) {
+      case ArrivalProcess::kPoisson:
+        clock += rng.exponential(params.mean_interarrival_seconds);
+        break;
+      case ArrivalProcess::kBursty:
+        // A long exponential gap opens each train; within it, requests
+        // land a few seconds apart.
+        clock += rng.exponential(i % params.burst_size == 0
+                                     ? params.burst_gap_seconds
+                                     : params.intra_burst_seconds);
+        break;
+    }
+    WorkflowRequest request;
+    request.index = i;
+    request.arrival_seconds = clock;
+    request.tenant = i % params.tenants;
+    request.spec = params.shapes[i % params.shapes.size()];
+    // Per-request seed fold: same topology family, independent costs.
+    request.spec.seed = mix64(params.seed ^ (request.spec.seed + i));
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace pga::workload

@@ -1,0 +1,59 @@
+// Seeded arrival-process generator: multi-workflow request streams.
+//
+// The substrate for a WaaS-style control plane (ROADMAP item 1): instead of
+// one workflow at t=0, a stream of WorkflowRequests — each a ShapeSpec plus
+// an arrival time and tenant — drawn from either a Poisson process
+// (exponential interarrivals, the classic open-arrival model) or a bursty
+// one (tight trains of requests separated by long gaps, the "campus lab
+// submits 30 workflows at once" pattern the paper's OSG runs absorbed).
+//
+// Deterministic in ArrivalParams: the same params yield byte-identical
+// streams, and each request's spec gets a per-request folded seed so two
+// requests for the same shape differ in costs, never in topology.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace pga::workload {
+
+/// The interarrival law.
+enum class ArrivalProcess { kPoisson, kBursty };
+
+[[nodiscard]] const char* arrival_process_name(ArrivalProcess process);
+
+/// Knobs for one request stream.
+struct ArrivalParams {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  std::size_t count = 32;  ///< total requests to emit
+  /// kPoisson: mean of the exponential interarrival gap. kBursty: ignored
+  /// (gaps come from burst_gap_seconds / intra_burst_seconds below).
+  double mean_interarrival_seconds = 600;
+  std::size_t burst_size = 8;        ///< kBursty: requests per train
+  double burst_gap_seconds = 3600;   ///< kBursty: mean gap between trains
+  double intra_burst_seconds = 5;    ///< kBursty: mean gap within a train
+  std::uint64_t seed = 42;
+  /// Shapes cycled round-robin across requests; empty throws.
+  std::vector<ShapeSpec> shapes = {ShapeSpec{}};
+  std::size_t tenants = 1;  ///< requests are striped over this many tenants
+};
+
+/// One workflow submission in the stream.
+struct WorkflowRequest {
+  std::size_t index = 0;          ///< position in the stream
+  double arrival_seconds = 0;     ///< absolute arrival time (t=0 origin)
+  std::size_t tenant = 0;         ///< owning tenant, index % tenants
+  ShapeSpec spec;                 ///< shape with per-request folded seed
+};
+
+/// Generates the stream: arrival times are nondecreasing, specs cycle over
+/// params.shapes with spec.seed folded per request. Throws InvalidArgument
+/// on empty shapes, zero tenants, or non-positive mean gaps.
+[[nodiscard]] std::vector<WorkflowRequest> generate_arrivals(
+    const ArrivalParams& params);
+
+}  // namespace pga::workload

@@ -114,5 +114,99 @@ TEST(DataChaos, TransferFailuresExhaustingRetriesStillTerminate) {
   EXPECT_GT(outcome.transfers.retries, 0u);
 }
 
+// ---------------------------------------------- generated-shape stacked runs
+//
+// PR 6: run_stacked()'s full stack — staging + software cache + fault
+// injection — replayed over planned generator shapes, with replicas from
+// the generator's own catalog (cost-model-sized bytes) instead of the
+// hand-built staging_heavy fixtures.
+
+ChaosOutcome run_stacked_shape(const workload::ShapeSpec& spec,
+                               std::uint64_t seed, double transfer_failure) {
+  const auto workflow = workload::build_workflow(spec);
+  const auto concrete = workload::plan_shape(spec, "osg");
+
+  sim::EventQueue queue;
+  sim::OsgConfig platform_config;
+  platform_config.seed = seed;
+  platform_config.base_slots = 8;
+  sim::OsgPlatform platform(queue, platform_config);
+  SoftwareCache cache;
+  platform.set_install_model(&cache);
+
+  wms::SimService sim_service(queue, platform);
+  auto chaos = wms::testing::chaos_for(seed);
+  chaos.hang_probability = 0;
+  wms::FaultyService faulty(sim_service, wms::FaultPlan().chaos(chaos));
+
+  TransferConfig transfer_config;
+  transfer_config.failure_probability = transfer_failure;
+  transfer_config.max_retries = 5;
+  transfer_config.retry_backoff_seconds = 10;
+  transfer_config.seed = seed ^ 0xda7aULL;
+  TransferManager transfers(queue, transfer_config);
+  const auto replicas = workload::generator_replica_catalog(workflow, spec);
+  StagingService staging(queue, faulty, transfers, replicas);
+
+  wms::EngineOptions options = wms::testing::hardened_options();
+  options.retries = 10;
+  options.attempt_timeout_seconds = 50'000;
+  wms::DagmanEngine engine(options);
+  const auto report = engine.run(concrete, staging);
+
+  ChaosOutcome outcome;
+  outcome.success = report.success;
+  outcome.jobstate_log = report.jobstate_log;
+  outcome.cache = cache.stats();
+  outcome.transfers = transfers.stats();
+  outcome.total_attempts = report.total_attempts;
+  outcome.wall = report.wall_seconds();
+  return outcome;
+}
+
+std::vector<workload::ShapeSpec> stacked_shape_specs(std::uint64_t seed) {
+  std::vector<workload::ShapeSpec> specs;
+  for (const workload::Shape shape :
+       {workload::Shape::kDiamond, workload::Shape::kFan,
+        workload::Shape::kMontage}) {
+    workload::ShapeSpec spec;
+    spec.shape = shape;
+    spec.size = 6;
+    spec.seed = seed;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+TEST_P(DataChaosSeed, GeneratedShapesSurviveTheFullStack) {
+  const std::uint64_t seed = GetParam();
+  for (const auto& spec : stacked_shape_specs(seed)) {
+    const auto outcome = run_stacked_shape(spec, seed, /*transfer_failure=*/0.3);
+    EXPECT_TRUE(outcome.success) << workload::spec_name(spec);
+    // Real staging happened (the generator's replicas were resolved) and
+    // OSG's cold installs went through the cache.
+    EXPECT_GT(outcome.transfers.completed, 0u) << workload::spec_name(spec);
+    EXPECT_GT(outcome.cache.misses, 0u) << workload::spec_name(spec);
+  }
+}
+
+TEST_P(DataChaosSeed, GeneratedShapesReplayByteIdenticallyOnTheFullStack) {
+  const std::uint64_t seed = GetParam();
+  for (const auto& spec : stacked_shape_specs(seed)) {
+    const auto first = run_stacked_shape(spec, seed, 0.3);
+    const auto second = run_stacked_shape(spec, seed, 0.3);
+    EXPECT_EQ(first.jobstate_log, second.jobstate_log)
+        << workload::spec_name(spec);
+    EXPECT_EQ(first.cache.hits, second.cache.hits) << workload::spec_name(spec);
+    EXPECT_EQ(first.cache.misses, second.cache.misses)
+        << workload::spec_name(spec);
+    EXPECT_EQ(first.transfers.retries, second.transfers.retries)
+        << workload::spec_name(spec);
+    EXPECT_EQ(first.transfers.bytes_moved, second.transfers.bytes_moved)
+        << workload::spec_name(spec);
+    EXPECT_DOUBLE_EQ(first.wall, second.wall) << workload::spec_name(spec);
+  }
+}
+
 }  // namespace
 }  // namespace pga::data

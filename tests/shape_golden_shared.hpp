@@ -1,0 +1,61 @@
+// Shared scenario for the generated-shape golden fixtures: diamond n=100
+// (2 stages, seed 1234) planned and run on each paper platform exactly the
+// way the blast2cap3 fixtures were recorded (campus: 16 slots, seed 11;
+// OSG: seed 11, 100 retries). Included by both tests/wms_golden_log_test.cpp
+// (asserts against tests/golden/shape_diamond_*.log/.stats) and
+// bench/shape_ablation.cpp --golden (regenerates the fixtures), so the two
+// can never drift apart.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/campus_cluster.hpp"
+#include "sim/osg.hpp"
+#include "wms/engine.hpp"
+#include "wms/exec_service.hpp"
+#include "workload/generator.hpp"
+
+namespace pga::golden_shapes {
+
+inline workload::ShapeSpec diamond_n100_spec() {
+  workload::ShapeSpec spec;
+  spec.shape = workload::Shape::kDiamond;
+  spec.size = 100;
+  spec.diamond_stages = 2;
+  spec.seed = 1234;
+  return spec;
+}
+
+inline std::string fixture_stem(const std::string& site) {
+  return "shape_diamond_" + site + "_n100";
+}
+
+inline wms::ConcreteWorkflow plan_diamond(const std::string& site) {
+  return workload::plan_shape(diamond_n100_spec(), site);
+}
+
+/// Runs the scenario on `site` ("sandhills" | "osg") and returns the report
+/// whose jobstate log / rendered statistics the fixtures pin.
+inline wms::RunReport run_diamond(const std::string& site) {
+  const auto concrete = plan_diamond(site);
+  sim::EventQueue queue;
+  std::unique_ptr<sim::ExecutionPlatform> platform;
+  wms::EngineOptions options;
+  if (site == "sandhills") {
+    sim::CampusClusterConfig config;
+    config.allocated_slots = 16;
+    config.seed = 11;
+    platform = std::make_unique<sim::CampusClusterPlatform>(queue, config);
+  } else {
+    sim::OsgConfig config;
+    config.seed = 11;
+    platform = std::make_unique<sim::OsgPlatform>(queue, config);
+    options.retries = 100;
+  }
+  wms::SimService service(queue, *platform);
+  wms::DagmanEngine engine(std::move(options));
+  return engine.run(concrete, service);
+}
+
+}  // namespace pga::golden_shapes

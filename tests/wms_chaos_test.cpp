@@ -10,6 +10,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/fsutil.hpp"
 #include "sim/campus_cluster.hpp"
@@ -269,6 +270,76 @@ TEST_P(ChaosSeed, SurvivesTheOsgBackendToo) {
   EXPECT_EQ(report.total_attempts, attempts);
   EXPECT_EQ(report.total_retries, attempts - launched);
   if (!report.success) EXPECT_GT(report.jobs_failed, 0u);
+}
+
+// ---------------------------------------------- generated-shape chaos sweep
+//
+// PR 6: the invariants above all ran on random_dag(); this sweep replays
+// the core ones over *planned generator shapes* (stage jobs included), so
+// the chaos hardening is demonstrated on the same topologies the policy
+// ablation uses.
+
+/// The sweep's shape grid: one staged, one wide, one level-structured.
+std::vector<workload::ShapeSpec> chaos_shape_specs(std::uint64_t seed) {
+  std::vector<workload::ShapeSpec> specs;
+  for (const workload::Shape shape :
+       {workload::Shape::kDiamond, workload::Shape::kFan,
+        workload::Shape::kMontage}) {
+    workload::ShapeSpec spec;
+    spec.shape = shape;
+    spec.size = 6;
+    spec.seed = seed;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+/// run_chaos() with a planned generator shape instead of random_dag().
+RunReport run_shape_chaos(const workload::ShapeSpec& spec, std::uint64_t seed) {
+  const auto concrete = workload::plan_shape(spec, "sandhills");
+  sim::EventQueue queue;
+  sim::CampusClusterConfig config;
+  config.allocated_slots = 4;
+  config.seed = seed;
+  sim::CampusClusterPlatform platform(queue, config);
+  SimService sim_service(queue, platform);
+  FaultyService faulty(sim_service, FaultPlan().chaos(chaos_for(seed)));
+  DagmanEngine engine(hardened_options());
+  return engine.run(concrete, faulty);
+}
+
+TEST_P(ChaosSeed, GeneratedShapesReplayByteIdenticallyUnderChaos) {
+  const std::uint64_t seed = GetParam();
+  for (const auto& spec : chaos_shape_specs(seed)) {
+    const auto first = run_shape_chaos(spec, seed);
+    const auto second = run_shape_chaos(spec, seed);
+    EXPECT_EQ(first.jobstate_log, second.jobstate_log)
+        << workload::spec_name(spec);
+    EXPECT_EQ(first.success, second.success) << workload::spec_name(spec);
+  }
+}
+
+TEST_P(ChaosSeed, GeneratedShapesKeepAccountingCoherentUnderChaos) {
+  const std::uint64_t seed = GetParam();
+  for (const auto& spec : chaos_shape_specs(seed)) {
+    const auto report = run_shape_chaos(spec, seed);
+    std::size_t attempts = 0, launched = 0;
+    for (const auto& run : report.runs) {
+      attempts += run.attempts.size();
+      if (!run.attempts.empty()) ++launched;
+    }
+    EXPECT_EQ(report.total_attempts, attempts) << workload::spec_name(spec);
+    EXPECT_EQ(report.total_retries, attempts - launched)
+        << workload::spec_name(spec);
+    if (report.success) {
+      // Everything planned (closed form + both stage jobs) finished.
+      EXPECT_EQ(report.jobs_succeeded,
+                workload::closed_form_counts(spec).jobs + 2)
+          << workload::spec_name(spec);
+    } else {
+      EXPECT_GT(report.jobs_failed, 0u) << workload::spec_name(spec);
+    }
+  }
 }
 
 }  // namespace

@@ -25,6 +25,7 @@
 #include "wms/exec_service.hpp"
 #include "wms/fault_injection.hpp"
 #include "wms/statistics.hpp"
+#include "shape_golden_shared.hpp"
 #include "wms_test_dags.hpp"
 
 namespace pga::wms {
@@ -233,6 +234,50 @@ TEST(GoldenLog, ExplicitFifoAndNullPolicyAreIdentical) {
   const auto baseline = run_with(nullptr);
   EXPECT_EQ(run_with(fifo_policy()), baseline);
   EXPECT_EQ(run_with(job_priority_policy()), baseline);
+}
+
+// ------------------------------------------------- generated-shape goldens
+//
+// PR 6: the generator -> planner -> engine byte chain, pinned end-to-end on
+// the diamond n=100 scenario shared with bench/shape_ablation --golden
+// (which regenerates the fixtures after intentional changes).
+
+void expect_matches_shape_golden(const std::string& site) {
+  const auto report = golden_shapes::run_diamond(site);
+  ASSERT_TRUE(report.success) << site;
+  const std::string stem = golden_shapes::fixture_stem(site);
+  expect_matches_golden(report, stem + ".log");
+  EXPECT_EQ(WorkflowStatistics::from_run(report).render("golden"),
+            common::read_file(golden_path(stem + ".stats")))
+      << stem;
+}
+
+TEST(GoldenLog, ShapeDiamondSandhillsN100MatchesFixture) {
+  expect_matches_shape_golden("sandhills");
+}
+
+TEST(GoldenLog, ShapeDiamondOsgN100MatchesFixture) {
+  expect_matches_shape_golden("osg");
+}
+
+TEST(GoldenLog, ShapeDiamondPlansPinTheCostModelBytes) {
+  // The stage jobs' byte prices must come from exactly the spec's IO
+  // model, on both platforms — the planner half of the golden scenario.
+  const auto spec = golden_shapes::diamond_n100_spec();
+  const auto model = workload::cost_model_for(spec);
+  const auto counts = workload::closed_form_counts(spec);
+  std::uint64_t input_bytes = 0;
+  for (std::size_t i = 0; i < counts.inputs; ++i) {
+    input_bytes += model.file_bytes(i);
+  }
+  for (const std::string site : {"sandhills", "osg"}) {
+    const auto concrete = golden_shapes::plan_diamond(site);
+    ASSERT_EQ(concrete.jobs().size(), counts.jobs + 2) << site;
+    EXPECT_EQ(concrete.job("stage_in_0").staged_bytes, input_bytes) << site;
+    EXPECT_EQ(concrete.job("stage_out_0").staged_bytes,
+              workload::expected_output_bytes(spec))
+        << site;
+  }
 }
 
 }  // namespace

@@ -454,5 +454,78 @@ TEST(SchedulingPolicy, CriticalPathBeatsFifoOnTheAdversarialN10Split) {
   EXPECT_LT(cp_wall, fifo_wall * 0.99);
 }
 
+// ---------------------------------------------------- cross-shape claims
+//
+// PR 6: the rankings above were demonstrated on blast2cap3 alone. These
+// tests re-derive them on *generated* shapes from wms::testing's shared
+// specs — the same instances bench/shape_ablation --smoke guards in CI.
+
+TEST(SchedulingPolicy, CriticalPathBeatsFifoOnTheChainHeavyNgsShape) {
+  // The acceptance criterion's "ranking confirmed on another shape": the
+  // blast2cap3 critical-path-beats-FIFO result reproduced on the generated
+  // NGS-pipeline shape (per-sample chains, Zipf costs ascending over build
+  // order). Measured margin at these knobs is ~11%; assert > 1%.
+  const auto spec = testing::adversarial_ngs_spec(8);
+  const double fifo_wall = testing::shape_wall(spec, "fifo");
+  const double cp_wall = testing::shape_wall(spec, "critical-path");
+  ASSERT_GT(fifo_wall, 0);
+  ASSERT_GT(cp_wall, 0);
+  EXPECT_LT(cp_wall, fifo_wall * 0.99);
+}
+
+TEST(SchedulingPolicy, WidestBranchBeatsFifoOnTheFanHeavyShape) {
+  // On the fan-heavy shape (gateway i gates 1 + 2i leaves, heavy subtrees
+  // last in build order) the *widest-branch* policy is the right tool:
+  // FIFO opens the narrow gateways first and meets the wide subtrees as a
+  // serial tail. Margin ~3.8% at slots == throttle == 2.
+  const auto spec = testing::fan_heavy_spec(6);
+  const double fifo_wall = testing::shape_wall(spec, "fifo", 2, 2);
+  const double widest_wall = testing::shape_wall(spec, "widest-branch", 2, 2);
+  ASSERT_GT(fifo_wall, 0);
+  ASSERT_GT(widest_wall, 0);
+  EXPECT_LT(widest_wall, fifo_wall * 0.99);
+}
+
+/// Sorted ids of the jobs that succeeded when `spec` runs under `policy`
+/// on the campus backend (slots == throttle == 4, platform seed 11).
+std::vector<std::string> succeeded_ids(const workload::ShapeSpec& spec,
+                                       const std::string& policy) {
+  const auto concrete = workload::plan_shape(spec, "sandhills");
+  sim::EventQueue queue;
+  sim::CampusClusterConfig config;
+  config.allocated_slots = 4;
+  config.seed = 11;
+  sim::CampusClusterPlatform platform(queue, config);
+  SimService service(queue, platform);
+  EngineOptions options;
+  options.max_jobs_in_flight = 4;
+  options.policy = make_policy(policy);
+  DagmanEngine engine(std::move(options));
+  const auto report = engine.run(concrete, service);
+  EXPECT_TRUE(report.success) << workload::spec_name(spec) << "/" << policy;
+  std::vector<std::string> ids;
+  for (const auto& run : report.runs) {
+    if (run.succeeded) ids.push_back(run.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(SchedulingPolicy, AllPoliciesCompleteEveryShapeWithIdenticalJobSets) {
+  // Policies reorder release; they must never change what runs. Every
+  // generator shape, all four policies, identical succeeded-job sets whose
+  // size is the closed form plus the two stage jobs.
+  for (const auto& spec : testing::small_shape_specs()) {
+    const auto counts = workload::closed_form_counts(spec);
+    const auto baseline = succeeded_ids(spec, "fifo");
+    ASSERT_EQ(baseline.size(), counts.jobs + 2) << workload::spec_name(spec);
+    for (const std::string policy :
+         {"priority", "critical-path", "widest-branch"}) {
+      EXPECT_EQ(succeeded_ids(spec, policy), baseline)
+          << workload::spec_name(spec) << "/" << policy;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pga::wms

@@ -8,11 +8,15 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "sim/campus_cluster.hpp"
 #include "wms/catalog.hpp"
 #include "wms/engine.hpp"
+#include "wms/exec_service.hpp"
 #include "wms/fault_injection.hpp"
+#include "workload/generator.hpp"
 
 namespace pga::wms::testing {
 
@@ -105,6 +109,76 @@ inline ReplicaCatalog staging_heavy_replicas(std::size_t width = 4,
     if (i % 2 == 0) rc.add(lfn, {"/scratch/" + lfn, site, 64ull * 1024 * 1024});
   }
   return rc;
+}
+
+// ------------------------------------------------------- generated shapes
+//
+// Shared specs for the cross-shape suites (scheduler acceptance, chaos,
+// data chaos, shape_ablation --smoke), so test assertions and the CI
+// perf-smoke guard exercise identical workloads.
+
+/// Chain-heavy adversarial shape: per-sample NGS chains with Zipf costs
+/// assigned ASCENDING over build order, so FIFO releases the cheapest
+/// chains first and pays the straggler tail the critical-path policy's
+/// LPT-style release avoids — the generated-shape analogue of the
+/// adversarial blast2cap3 n=10 split.
+inline workload::ShapeSpec adversarial_ngs_spec(std::size_t samples = 8) {
+  workload::ShapeSpec spec;
+  spec.shape = workload::Shape::kNgsPipeline;
+  spec.size = samples;
+  spec.seed = 5;
+  spec.cost.cpu = workload::CostDistribution::kZipf;
+  spec.cost.cpu_order = workload::CostOrder::kAscending;
+  return spec;
+}
+
+/// Fan-heavy shape: gateway i gates 1 + 2i leaves, with Zipf costs
+/// ascending over build order so the wide gateways' subtrees also carry
+/// most of the work (with uniform costs every work-conserving schedule
+/// ties). FIFO starts the narrowest gateway first and meets the wide
+/// subtrees as a tail; widest-branch starts the widest.
+inline workload::ShapeSpec fan_heavy_spec(std::size_t gateways = 6) {
+  workload::ShapeSpec spec;
+  spec.shape = workload::Shape::kFan;
+  spec.size = gateways;
+  spec.fan_arity_step = 2;
+  spec.seed = 5;
+  spec.cost.cpu = workload::CostDistribution::kZipf;
+  spec.cost.cpu_order = workload::CostOrder::kAscending;
+  return spec;
+}
+
+/// One small instance of every generator shape, for completeness sweeps.
+inline std::vector<workload::ShapeSpec> small_shape_specs(std::uint64_t seed = 5) {
+  std::vector<workload::ShapeSpec> specs;
+  for (const workload::Shape shape : workload::all_shapes()) {
+    workload::ShapeSpec spec;
+    spec.shape = shape;
+    spec.size = 8;
+    spec.seed = seed;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+/// Simulated campus wall time of a planned shape under `policy`: slots and
+/// throttle pinned together (the regime where release order is decisive),
+/// platform seed 11 — the knobs every golden scenario uses.
+inline double shape_wall(const workload::ShapeSpec& spec, const std::string& policy,
+                         std::size_t slots = 4, std::size_t throttle = 4) {
+  const auto concrete = workload::plan_shape(spec, "sandhills");
+  sim::EventQueue queue;
+  sim::CampusClusterConfig config;
+  config.allocated_slots = slots;
+  config.seed = 11;
+  sim::CampusClusterPlatform platform(queue, config);
+  SimService service(queue, platform);
+  EngineOptions options;
+  options.max_jobs_in_flight = throttle;
+  options.policy = make_policy(policy);
+  DagmanEngine engine(std::move(options));
+  const auto report = engine.run(concrete, service);
+  return report.success ? report.wall_seconds() : -1.0;
 }
 
 /// Engine options with every hardening feature switched on.
