@@ -20,6 +20,10 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+std::uint64_t mix64(std::uint64_t x) {
+  return splitmix64(x);  // the counter advance is part of the mix
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);

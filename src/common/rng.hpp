@@ -10,6 +10,15 @@
 
 namespace pga::common {
 
+/// One SplitMix64 finalization step: a strong 64-bit mixer. This is the
+/// canonical seed-folding primitive across the codebase — per-request
+/// arrival seeds, per-instance cost streams and the fleet controller's
+/// per-tenant RNG streams all derive sub-seeds as mix64(base ^ salt), so
+/// nearby salts yield unrelated streams. (Rng's constructor uses the same
+/// step, with the internal counter advancing, to expand one seed into its
+/// xoshiro state.)
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
 /// xoshiro256** 1.0 — small, fast, high-quality PRNG.
 ///
 /// Satisfies the C++ UniformRandomBitGenerator concept so it can feed

@@ -49,6 +49,9 @@ class StagingService final : public wms::ExecutionService {
   std::vector<wms::TaskAttempt> wait_for(double timeout_seconds) override;
   void avoid_node(const std::string& node) override { inner_.avoid_node(node); }
   double now() override { return queue_.now(); }
+  [[nodiscard]] double next_event_time() override {
+    return inner_.next_event_time();  // transfers are queue-driven
+  }
   [[nodiscard]] std::string label() const override { return inner_.label(); }
 
   /// Staging attempts intercepted so far (for reporting/tests).

@@ -25,6 +25,7 @@ bool EventQueue::step() {
   Event event = std::move(events_.back());
   events_.pop_back();
   now_ = event.time;
+  ++processed_;
   event.action();
   return true;
 }

@@ -13,6 +13,13 @@ namespace pga::sim {
 /// Simultaneous events run in scheduling (FIFO) order, which makes every
 /// simulation fully deterministic.
 ///
+/// Ownership contract: the queue is the *shared timeline*, owned by the
+/// caller, never by a platform or engine. Any number of platforms and
+/// engine instances may schedule onto one queue and interleave on its
+/// clock — the WaaS fleet controller runs thousands of workflows this way.
+/// Whoever owns the queue owns the clock: only the owner (or a service it
+/// delegates to, bounded by the engines' next_deadline()) may advance it.
+///
 /// Storage is a binary heap on a plain vector (push_heap/pop_heap) rather
 /// than std::priority_queue so callers running million-event workflows can
 /// reserve() capacity up front instead of reallocating mid-heap.
@@ -54,6 +61,11 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return events_.empty(); }
   [[nodiscard]] std::size_t pending() const { return events_.size(); }
 
+  /// Lifetime count of events run via step() (and thus run()). Fleet-scale
+  /// drivers use it as a cheap progress/cost meter across many engines
+  /// sharing the queue, and benches report it instead of re-counting.
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
  private:
   struct Event {
     double time;
@@ -69,6 +81,7 @@ class EventQueue {
 
   double now_ = 0;
   std::uint64_t sequence_ = 0;
+  std::uint64_t processed_ = 0;
   std::vector<Event> events_;  ///< binary min-heap under Later
 };
 

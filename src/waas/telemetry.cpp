@@ -1,0 +1,82 @@
+#include "waas/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace pga::waas {
+
+FleetTelemetry::FleetTelemetry(std::size_t tenants) : tenants_(tenants) {
+  if (tenants == 0) {
+    throw common::InvalidArgument("FleetTelemetry: tenants must be >= 1");
+  }
+}
+
+void FleetTelemetry::set_tenant(std::size_t tenant) {
+  if (tenant >= tenants_.size()) {
+    throw common::InvalidArgument("FleetTelemetry: tenant " +
+                                  std::to_string(tenant) + " out of range");
+  }
+  tenant_ = tenant;
+}
+
+void FleetTelemetry::on_event(const wms::EngineEvent& event) {
+  ++engine_events_;
+  TenantTotals& totals = tenants_[tenant_];
+  switch (event.type) {
+    case wms::EngineEventType::kJobSubmitted:
+      ++totals.jobs_submitted;
+      ++jobs_in_flight_;
+      peak_jobs_in_flight_ = std::max(peak_jobs_in_flight_, jobs_in_flight_);
+      break;
+    case wms::EngineEventType::kAttemptFinished:
+      // Every submitted attempt finishes exactly once (real completion or
+      // the engine's synthesized timeout), so this pairs with kJobSubmitted.
+      --jobs_in_flight_;
+      break;
+    case wms::EngineEventType::kJobSucceeded:
+      ++totals.jobs_succeeded;
+      break;
+    case wms::EngineEventType::kJobFailed:
+      ++totals.jobs_failed;
+      break;
+    default:
+      break;
+  }
+}
+
+void FleetTelemetry::record_admission(std::size_t tenant) {
+  set_tenant(tenant);
+  ++tenants_[tenant].workflows_admitted;
+}
+
+void FleetTelemetry::record_workflow(std::size_t tenant, double makespan_seconds,
+                                     bool success) {
+  set_tenant(tenant);
+  TenantTotals& totals = tenants_[tenant];
+  ++totals.workflows_completed;
+  ++workflows_completed_;
+  if (success) {
+    ++totals.workflows_succeeded;
+    ++workflows_succeeded_;
+  }
+  makespans_.push_back(makespan_seconds);
+}
+
+double FleetTelemetry::makespan_percentile(double p) const {
+  if (makespans_.empty()) return 0;
+  std::vector<double> sorted = makespans_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest value with at least p% of the mass at or
+  // below it.
+  const std::size_t n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(n)));
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  return sorted[rank - 1];
+}
+
+}  // namespace pga::waas

@@ -1,0 +1,74 @@
+// Fleet-level telemetry: one EngineObserver shared by every engine.
+//
+// The fleet controller subscribes a single FleetTelemetry to each
+// EngineInstance it admits and points its tenant context at the owning
+// tenant before constructing or stepping that engine (engines are stepped
+// strictly one at a time on the shared clock, so a plain context field is
+// race-free by construction). The result is the aggregate view a WaaS
+// operator actually watches: jobs in flight across the whole fleet (and
+// its peak), per-tenant submit/success/failure counters, and workflow
+// makespan percentiles (p50/p99) folded in as the controller reaps
+// finished engines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "wms/events.hpp"
+
+namespace pga::waas {
+
+/// Aggregate counters for one tenant.
+struct TenantTotals {
+  std::size_t workflows_admitted = 0;
+  std::size_t workflows_completed = 0;
+  std::size_t workflows_succeeded = 0;
+  std::size_t jobs_submitted = 0;  ///< attempts handed to a platform
+  std::size_t jobs_succeeded = 0;
+  std::size_t jobs_failed = 0;     ///< retry budget exhausted
+};
+
+/// The shared fleet observer. Not thread-safe; the fleet is single-threaded
+/// by design (one clock, one driver).
+class FleetTelemetry final : public wms::EngineObserver {
+ public:
+  /// Sizes the per-tenant table. Events for tenants >= `tenants` throw in
+  /// set_tenant (they would mean a controller bug, not bad input).
+  explicit FleetTelemetry(std::size_t tenants);
+
+  /// Routes subsequent events to `tenant`'s counters. The controller calls
+  /// this before constructing/stepping each engine.
+  void set_tenant(std::size_t tenant);
+
+  void on_event(const wms::EngineEvent& event) override;
+
+  /// Folds one finished workflow into the makespan distribution.
+  void record_workflow(std::size_t tenant, double makespan_seconds, bool success);
+  /// Counts one admission (engines also emit kRunStarted, but admission is
+  /// a controller decision, counted where it is made).
+  void record_admission(std::size_t tenant);
+
+  [[nodiscard]] std::size_t jobs_in_flight() const { return jobs_in_flight_; }
+  [[nodiscard]] std::size_t peak_jobs_in_flight() const { return peak_jobs_in_flight_; }
+  [[nodiscard]] std::size_t engine_events() const { return engine_events_; }
+  [[nodiscard]] std::size_t workflows_completed() const { return workflows_completed_; }
+  [[nodiscard]] std::size_t workflows_succeeded() const { return workflows_succeeded_; }
+  [[nodiscard]] const std::vector<TenantTotals>& tenants() const { return tenants_; }
+
+  /// Makespan percentile over completed workflows, nearest-rank (p in
+  /// [0, 100]); 0 when nothing completed yet.
+  [[nodiscard]] double makespan_percentile(double p) const;
+
+ private:
+  std::vector<TenantTotals> tenants_;
+  std::size_t tenant_ = 0;
+  std::size_t jobs_in_flight_ = 0;
+  std::size_t peak_jobs_in_flight_ = 0;
+  std::size_t engine_events_ = 0;
+  std::size_t workflows_completed_ = 0;
+  std::size_t workflows_succeeded_ = 0;
+  std::vector<double> makespans_;
+};
+
+}  // namespace pga::waas

@@ -168,357 +168,425 @@ RunReport DagmanEngine::run_with_workflow_retries(const ConcreteWorkflow& workfl
 RunReport DagmanEngine::run_internal(const ConcreteWorkflow& workflow,
                                      ExecutionService& service,
                                      const std::set<std::string>& already_done) {
-  const IdTable& ids = workflow.ids();
-  const std::size_t total_jobs = workflow.jobs().size();
-
-  // The three scheduler-core pieces: state machine, policy, event bus.
-  JobStateMachine fsm(workflow);
-
-  std::unique_ptr<SchedulingPolicy> default_policy;
-  SchedulingPolicy* policy = options_.policy.get();
-  if (policy == nullptr) {
-    default_policy = fifo_policy();
-    policy = default_policy.get();
+  EngineInstance instance(options_, workflow, service, already_done);
+  while (instance.step()) {
   }
-  policy->prepare(workflow);
+  return instance.take_report();
+}
 
-  RunReportBuilder builder(workflow);
-  std::unique_ptr<StatusBoardObserver> status_observer;
-  EventBus bus;
-  bus.subscribe(&builder);
+// -------------------------------------------------------- EngineInstance
+
+namespace {
+/// Simultaneity slack shared by deadline and release comparisons.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+EngineInstance::EngineInstance(const EngineOptions& options,
+                               const ConcreteWorkflow& workflow,
+                               ExecutionService& service,
+                               const std::set<std::string>& already_done)
+    : options_(options),
+      workflow_(workflow),
+      ids_(workflow.ids()),
+      service_(service),
+      fsm_(workflow),
+      builder_(workflow),
+      in_flight_(workflow.jobs().size()),
+      stale_attempts_(workflow.jobs().size(), 0),
+      backoff_rng_(options.backoff_seed),
+      timeout_on_(options.attempt_timeout_seconds > 0) {
+  const std::size_t total_jobs = workflow_.jobs().size();
+
+  policy_ = options_.policy.get();
+  if (policy_ == nullptr) {
+    default_policy_ = fifo_policy();
+    policy_ = default_policy_.get();
+  }
+  policy_->prepare(workflow_);
+
+  bus_.subscribe(&builder_);
   if (options_.status != nullptr) {
-    status_observer = std::make_unique<StatusBoardObserver>(*options_.status);
-    bus.subscribe(status_observer.get());
+    status_observer_ = std::make_unique<StatusBoardObserver>(*options_.status);
+    bus_.subscribe(status_observer_.get());
   }
-  for (EngineObserver* observer : options_.observers) bus.subscribe(observer);
-
-  const auto job_event = [&](EngineEventType type, std::uint32_t index) {
-    EngineEvent event;
-    event.type = type;
-    event.time = service.now();
-    event.job = index;
-    event.job_id = ids.name(index);
-    return event;
-  };
+  for (EngineObserver* observer : options_.observers) bus_.subscribe(observer);
 
   {
     // label() returns by value; the view in the event must outlive emit().
-    const std::string service_label = service.label();
+    const std::string service_label = service_.label();
     EngineEvent started;
     started.type = EngineEventType::kRunStarted;
-    started.time = service.now();
-    started.workflow = workflow.name();
+    started.time = service_.now();
+    started.workflow = workflow_.name();
     started.service = service_label;
     started.total_jobs = total_jobs;
-    bus.emit(started);
+    bus_.emit(started);
   }
 
   // Resolve the rescue frontier onto dense handles (ids the workflow does
   // not know are ignored, as the string-keyed lookups always did).
   std::vector<char> rescued(total_jobs, 0);
   for (const auto& id : already_done) {
-    const std::uint32_t index = ids.find(id);
+    const std::uint32_t index = ids_.find(id);
     if (index != IdTable::kInvalid) rescued[index] = 1;
   }
 
   // Seed with rescued jobs: they complete instantly without attempts, then
   // release their children in topological order so rescued chains seed
   // correctly; finally the untouched roots join the ready queue.
-  const auto topo = workflow.topological_order_indices();
-  for (const std::uint32_t index : topo) {
+  topo_ = workflow_.topological_order_indices();
+  for (const std::uint32_t index : topo_) {
     if (rescued[index]) {
-      fsm.mark_skipped(index);
-      bus.emit(job_event(EngineEventType::kJobRescued, index));
+      fsm_.mark_skipped(index);
+      bus_.emit(job_event(EngineEventType::kJobRescued, index));
     }
   }
-  for (const std::uint32_t index : topo) {
+  for (const std::uint32_t index : topo_) {
     if (!rescued[index]) continue;
-    for (const std::uint32_t child : fsm.release_children(index)) {
-      bus.emit(job_event(EngineEventType::kJobReady, child));
+    for (const std::uint32_t child : fsm_.release_children(index)) {
+      bus_.emit(job_event(EngineEventType::kJobReady, child));
     }
   }
-  for (const std::uint32_t index : topo) {
-    if (!rescued[index]) fsm.seed_root(index);
+  for (const std::uint32_t index : topo_) {
+    if (!rescued[index]) fsm_.seed_root(index);
   }
+}
 
-  // Hardening state the state machine does not own: per-attempt deadlines
-  // and the per-node consecutive-failure ledger feeding the blacklist.
-  constexpr double kEps = 1e-9;
-  const bool timeout_on = options_.attempt_timeout_seconds > 0;
-  struct InFlight {
-    double submitted_at = 0;  ///< service time the attempt was handed over
-    double deadline = 0;      ///< submitted_at + attempt timeout
-    std::uint32_t list_pos = 0;  ///< position in inflight_list (swap-remove)
-    bool active = false;
-  };
-  // Dense slots by handle plus a compact list of active handles, so the
-  // per-wake deadline scan is O(#in-flight) without any string keys.
-  std::vector<InFlight> in_flight(total_jobs);
-  std::vector<std::uint32_t> inflight_list;
-  const auto inflight_add = [&](std::uint32_t index, double at) {
-    InFlight& slot = in_flight[index];
-    slot.submitted_at = at;
-    slot.deadline = at + options_.attempt_timeout_seconds;
-    slot.list_pos = static_cast<std::uint32_t>(inflight_list.size());
-    slot.active = true;
-    inflight_list.push_back(index);
-  };
-  const auto inflight_remove = [&](std::uint32_t index) {
-    InFlight& slot = in_flight[index];
-    const std::uint32_t pos = slot.list_pos;
-    const std::uint32_t last = inflight_list.back();
-    inflight_list[pos] = last;
-    in_flight[last].list_pos = pos;
-    inflight_list.pop_back();
-    slot.active = false;
-  };
-  // Attempts we declared timed out whose real completion may still surface
-  // later (a slow LocalService job finishing after the deadline). Counted
-  // per job so stragglers are dropped instead of double-counted.
-  std::vector<int> stale_attempts(total_jobs, 0);
-  std::map<std::string, int> node_fail_streak;
-  std::set<std::string> blacklisted;
-  common::Rng backoff_rng(options_.backoff_seed);
+EngineEvent EngineInstance::job_event(EngineEventType type, std::uint32_t index) {
+  EngineEvent event;
+  event.type = type;
+  event.time = service_.now();
+  event.job = index;
+  event.job_id = ids_.name(index);
+  return event;
+}
 
-  const auto submit = [&](std::size_t position) {
-    const std::uint32_t index = fsm.take_ready(position);
-    EngineEvent event = job_event(EngineEventType::kJobSubmitted, index);
-    event.attempt = fsm.attempts(index);
-    bus.emit(event);
-    inflight_add(index, service.now());
-    service.submit(workflow.job_at(index));
-  };
+// Dense slots by handle plus a compact list of active handles, so the
+// per-wake deadline scan is O(#in-flight) without any string keys.
+void EngineInstance::inflight_add(std::uint32_t index, double at) {
+  InFlight& slot = in_flight_[index];
+  slot.submitted_at = at;
+  slot.deadline = at + options_.attempt_timeout_seconds;
+  slot.list_pos = static_cast<std::uint32_t>(inflight_list_.size());
+  slot.active = true;
+  inflight_list_.push_back(index);
+}
 
-  const auto throttled = [&] {
-    return options_.max_jobs_in_flight != 0 &&
-           fsm.submitted_count() >= options_.max_jobs_in_flight;
-  };
+void EngineInstance::inflight_remove(std::uint32_t index) {
+  InFlight& slot = in_flight_[index];
+  const std::uint32_t pos = slot.list_pos;
+  const std::uint32_t last = inflight_list_.back();
+  inflight_list_[pos] = last;
+  in_flight_[last].list_pos = pos;
+  inflight_list_.pop_back();
+  slot.active = false;
+}
 
-  // Cool-off before the next retry (all `attempts` submissions so far have
-  // failed). Exponential in the retry index, capped, with deterministic
-  // downward jitter.
-  const auto next_backoff = [&](int attempts) -> double {
-    if (options_.backoff_base_seconds <= 0) return 0;
-    const int retry_index = std::max(1, attempts);  // 1 => first retry
-    double delay = options_.backoff_base_seconds *
-                   std::pow(2.0, static_cast<double>(retry_index - 1));
-    delay = std::min(delay, options_.backoff_max_seconds);
-    if (options_.backoff_jitter > 0) {
-      delay *= 1.0 - options_.backoff_jitter * backoff_rng.uniform();
-    }
-    return delay;
-  };
+bool EngineInstance::throttled() const {
+  return options_.max_jobs_in_flight != 0 &&
+         fsm_.submitted_count() >= options_.max_jobs_in_flight;
+}
 
-  // One attempt outcome (real or synthesized) flows through here.
-  const auto handle_attempt = [&](std::uint32_t index, TaskAttempt attempt) {
-    // Node ledger: consecutive failures blacklist a node; success clears it.
-    if (options_.node_blacklist_threshold > 0 && !attempt.node.empty()) {
-      if (attempt.success) {
-        node_fail_streak[attempt.node] = 0;
-      } else if (!blacklisted.count(attempt.node) &&
-                 ++node_fail_streak[attempt.node] >=
-                     options_.node_blacklist_threshold) {
-        blacklisted.insert(attempt.node);
-        service.avoid_node(attempt.node);
-        EngineEvent event = job_event(EngineEventType::kNodeBlacklisted, index);
-        event.node = attempt.node;
-        bus.emit(event);
-        common::log_warn() << "node " << attempt.node << " blacklisted after "
-                           << options_.node_blacklist_threshold
-                           << " consecutive failures";
-      }
-    }
-    {
-      EngineEvent event = job_event(EngineEventType::kAttemptFinished, index);
-      event.attempt = fsm.attempts(index);
-      event.success = attempt.success;
-      event.result = &attempt;
-      bus.emit(event);
-    }
+// Cool-off before the next retry (all `attempts` submissions so far have
+// failed). Exponential in the retry index, capped, with deterministic
+// downward jitter.
+double EngineInstance::next_backoff(int attempts) {
+  if (options_.backoff_base_seconds <= 0) return 0;
+  const int retry_index = std::max(1, attempts);  // 1 => first retry
+  double delay = options_.backoff_base_seconds *
+                 std::pow(2.0, static_cast<double>(retry_index - 1));
+  delay = std::min(delay, options_.backoff_max_seconds);
+  if (options_.backoff_jitter > 0) {
+    delay *= 1.0 - options_.backoff_jitter * backoff_rng_.uniform();
+  }
+  return delay;
+}
+
+void EngineInstance::submit_job(std::size_t position) {
+  const std::uint32_t index = fsm_.take_ready(position);
+  EngineEvent event = job_event(EngineEventType::kJobSubmitted, index);
+  event.attempt = fsm_.attempts(index);
+  bus_.emit(event);
+  inflight_add(index, service_.now());
+  service_.submit(workflow_.job_at(index));
+}
+
+std::size_t EngineInstance::submit_ready(std::size_t budget) {
+  fsm_.release_due(service_.now(), kEps);
+  std::size_t submitted = 0;
+  while (fsm_.has_ready() && !throttled() && submitted < budget) {
+    submit_job(policy_->pick(fsm_.ready()));
+    ++submitted;
+  }
+  return submitted;
+}
+
+// One attempt outcome (real or synthesized) flows through here.
+void EngineInstance::handle_attempt(std::uint32_t index, TaskAttempt attempt) {
+  // Node ledger: consecutive failures blacklist a node; success clears it.
+  if (options_.node_blacklist_threshold > 0 && !attempt.node.empty()) {
     if (attempt.success) {
-      fsm.mark_done(index);
-      bus.emit(job_event(EngineEventType::kJobSucceeded, index));
-      for (const std::uint32_t child : fsm.release_children(index)) {
-        bus.emit(job_event(EngineEventType::kJobReady, child));
-      }
-    } else if (fsm.attempts(index) <= options_.retries) {
-      EngineEvent event = job_event(EngineEventType::kJobRetry, index);
-      event.attempt = fsm.attempts(index);
-      bus.emit(event);
-      common::log_debug() << "job " << ids.name(index) << " failed ("
-                          << attempt.error << "), retrying";
-      const double delay = next_backoff(fsm.attempts(index));
-      if (delay > 0) {
-        EngineEvent backoff = job_event(EngineEventType::kJobBackoff, index);
-        backoff.backoff_seconds = delay;
-        bus.emit(backoff);
-        fsm.start_backoff(index, service.now() + delay);
-      } else {
-        fsm.requeue(index);
-      }
-      bus.emit(job_event(EngineEventType::kJobReady, index));
-    } else {
-      EngineEvent event = job_event(EngineEventType::kJobFailed, index);
-      event.error = attempt.error;
-      bus.emit(event);
-      common::log_warn() << "job " << ids.name(index)
-                         << " exhausted retries: " << attempt.error;
-      fsm.mark_failed(index);
-      // Children of a dead job can never run; DAGMan keeps running the
-      // independent frontier, which this loop does naturally.
-    }
-  };
-
-  // Declares the outstanding attempt of `index` dead by timeout.
-  const auto expire_attempt = [&](std::uint32_t index, const InFlight& info) {
-    TaskAttempt timed_out;
-    timed_out.job_id = std::string(ids.name(index));
-    timed_out.transformation = workflow.job_at(index).transformation;
-    timed_out.success = false;
-    timed_out.error =
-        "attempt timed out after " +
-        common::format_fixed(options_.attempt_timeout_seconds, 3) + " s";
-    timed_out.submit_time = info.submitted_at;
-    timed_out.end_time = service.now();
-    ++stale_attempts[index];
-    EngineEvent event = job_event(EngineEventType::kAttemptTimedOut, index);
-    event.attempt = fsm.attempts(index);
-    event.error = timed_out.error;
-    bus.emit(event);
-    handle_attempt(index, std::move(timed_out));
-  };
-
-  // Set when the simulator aborts the run (event budget exhausted); the
-  // partial report is finalized as a failure carrying this diagnostic.
-  std::string abort_error;
-
-  while (true) {
-    fsm.release_due(service.now(), kEps);
-    while (fsm.has_ready() && !throttled()) {
-      submit(policy->pick(fsm.ready()));
-    }
-    if (fsm.submitted_count() == 0 && !fsm.any_cooling()) break;
-
-    // Wait horizon: the earliest attempt deadline or retry release. With
-    // neither feature active this stays infinite and we use the plain
-    // blocking wait exactly as before.
-    double horizon = fsm.earliest_release();
-    if (timeout_on) {
-      for (const std::uint32_t index : inflight_list) {
-        horizon = std::min(horizon, in_flight[index].deadline);
-      }
-    }
-
-    std::vector<TaskAttempt> attempts;
-    try {
-      if (std::isinf(horizon)) {
-        attempts = service.wait();
-        if (attempts.empty() && fsm.submitted_count() > 0) {
-          throw common::WorkflowError("execution service returned no completions");
-        }
-      } else {
-        attempts = service.wait_for(std::max(0.0, horizon - service.now()));
-      }
-    } catch (const common::SimulationError& err) {
-      abort_error = err.what();
-      common::log_warn() << "run aborted by simulator: " << abort_error;
-      break;
-    }
-
-    bool progress = false;
-    for (auto& attempt : attempts) {
-      // Services that echo the submit handle save the hash lookup; the
-      // name check keeps a buggy echo from corrupting another job.
-      std::uint32_t index = attempt.job;
-      if (index >= total_jobs || ids.name(index) != attempt.job_id) {
-        index = ids.find(attempt.job_id);
-      }
-      const bool current = index != IdTable::kInvalid && in_flight[index].active &&
-                           attempt.submit_time + kEps >= in_flight[index].submitted_at;
-      if (!current) {
-        // A completion for an attempt we already wrote off (timed out), or
-        // one we never submitted: drop it rather than corrupt accounting.
-        if (index != IdTable::kInvalid && stale_attempts[index] > 0) {
-          --stale_attempts[index];
-        }
-        common::log_debug() << "dropping stale completion for " << attempt.job_id;
-        continue;
-      }
-      inflight_remove(index);
-      handle_attempt(index, std::move(attempt));
-      progress = true;
-    }
-
-    if (timeout_on) {
-      // Expire every in-flight attempt whose deadline has passed, in
-      // id-lexicographic order — the old map<string, InFlight> walk.
-      std::vector<std::uint32_t> expired;
-      for (const std::uint32_t index : inflight_list) {
-        if (in_flight[index].deadline <= service.now() + kEps) {
-          expired.push_back(index);
-        }
-      }
-      std::sort(expired.begin(), expired.end(),
-                [&ids](std::uint32_t a, std::uint32_t b) {
-                  return ids.name(a) < ids.name(b);
-                });
-      for (const std::uint32_t index : expired) {
-        const InFlight info = in_flight[index];
-        inflight_remove(index);
-        expire_attempt(index, info);
-        progress = true;
-      }
-    }
-
-    if (!progress && attempts.empty() && !std::isinf(horizon) &&
-        service.now() + kEps < horizon) {
-      // The service could not advance its clock to the horizon (a bare
-      // stub without wait_for support). Force the earliest horizon item
-      // through so the run can never wedge: either release the coolest
-      // retry or expire the next deadline at the current clock.
-      if (fsm.any_cooling() && fsm.earliest_release() <= horizon + kEps) {
-        fsm.force_release_earliest();
-      } else if (timeout_on && !inflight_list.empty()) {
-        // Earliest deadline; ties go to the smaller id, as the old
-        // id-ordered map scan with strict less produced.
-        std::uint32_t victim = inflight_list.front();
-        for (const std::uint32_t index : inflight_list) {
-          if (index == victim) continue;
-          const double d = in_flight[index].deadline;
-          const double best = in_flight[victim].deadline;
-          if (d < best || (d == best && ids.name(index) < ids.name(victim))) {
-            victim = index;
-          }
-        }
-        const InFlight info = in_flight[victim];
-        inflight_remove(victim);
-        expire_attempt(victim, info);
-      }
+      node_fail_streak_[attempt.node] = 0;
+    } else if (!blacklisted_.count(attempt.node) &&
+               ++node_fail_streak_[attempt.node] >=
+                   options_.node_blacklist_threshold) {
+      blacklisted_.insert(attempt.node);
+      service_.avoid_node(attempt.node);
+      EngineEvent event = job_event(EngineEventType::kNodeBlacklisted, index);
+      event.node = attempt.node;
+      bus_.emit(event);
+      common::log_warn() << "node " << attempt.node << " blacklisted after "
+                         << options_.node_blacklist_threshold
+                         << " consecutive failures";
     }
   }
+  {
+    EngineEvent event = job_event(EngineEventType::kAttemptFinished, index);
+    event.attempt = fsm_.attempts(index);
+    event.success = attempt.success;
+    event.result = &attempt;
+    bus_.emit(event);
+  }
+  if (attempt.success) {
+    fsm_.mark_done(index);
+    bus_.emit(job_event(EngineEventType::kJobSucceeded, index));
+    for (const std::uint32_t child : fsm_.release_children(index)) {
+      bus_.emit(job_event(EngineEventType::kJobReady, child));
+    }
+  } else if (fsm_.attempts(index) <= options_.retries) {
+    EngineEvent event = job_event(EngineEventType::kJobRetry, index);
+    event.attempt = fsm_.attempts(index);
+    bus_.emit(event);
+    common::log_debug() << "job " << ids_.name(index) << " failed ("
+                        << attempt.error << "), retrying";
+    const double delay = next_backoff(fsm_.attempts(index));
+    if (delay > 0) {
+      EngineEvent backoff = job_event(EngineEventType::kJobBackoff, index);
+      backoff.backoff_seconds = delay;
+      bus_.emit(backoff);
+      fsm_.start_backoff(index, service_.now() + delay);
+    } else {
+      fsm_.requeue(index);
+    }
+    bus_.emit(job_event(EngineEventType::kJobReady, index));
+  } else {
+    EngineEvent event = job_event(EngineEventType::kJobFailed, index);
+    event.error = attempt.error;
+    bus_.emit(event);
+    common::log_warn() << "job " << ids_.name(index)
+                       << " exhausted retries: " << attempt.error;
+    fsm_.mark_failed(index);
+    // Children of a dead job can never run; DAGMan keeps running the
+    // independent frontier, which this loop does naturally.
+  }
+}
 
+// Declares the outstanding attempt of `index` dead by timeout.
+void EngineInstance::expire_attempt(std::uint32_t index, const InFlight& info) {
+  TaskAttempt timed_out;
+  timed_out.job_id = std::string(ids_.name(index));
+  timed_out.transformation = workflow_.job_at(index).transformation;
+  timed_out.success = false;
+  timed_out.error =
+      "attempt timed out after " +
+      common::format_fixed(options_.attempt_timeout_seconds, 3) + " s";
+  timed_out.submit_time = info.submitted_at;
+  timed_out.end_time = service_.now();
+  ++stale_attempts_[index];
+  EngineEvent event = job_event(EngineEventType::kAttemptTimedOut, index);
+  event.attempt = fsm_.attempts(index);
+  event.error = timed_out.error;
+  bus_.emit(event);
+  handle_attempt(index, std::move(timed_out));
+}
+
+bool EngineInstance::process_attempts(std::vector<TaskAttempt>& attempts) {
+  const std::size_t total_jobs = workflow_.jobs().size();
+  bool progress = false;
+  for (auto& attempt : attempts) {
+    // Services that echo the submit handle save the hash lookup; the
+    // name check keeps a buggy echo from corrupting another job.
+    std::uint32_t index = attempt.job;
+    if (index >= total_jobs || ids_.name(index) != attempt.job_id) {
+      index = ids_.find(attempt.job_id);
+    }
+    const bool current = index != IdTable::kInvalid && in_flight_[index].active &&
+                         attempt.submit_time + kEps >= in_flight_[index].submitted_at;
+    if (!current) {
+      // A completion for an attempt we already wrote off (timed out), or
+      // one we never submitted: drop it rather than corrupt accounting.
+      if (index != IdTable::kInvalid && stale_attempts_[index] > 0) {
+        --stale_attempts_[index];
+      }
+      common::log_debug() << "dropping stale completion for " << attempt.job_id;
+      continue;
+    }
+    inflight_remove(index);
+    handle_attempt(index, std::move(attempt));
+    progress = true;
+  }
+  return progress;
+}
+
+bool EngineInstance::expire_due() {
+  // Expire every in-flight attempt whose deadline has passed, in
+  // id-lexicographic order — the old map<string, InFlight> walk.
+  std::vector<std::uint32_t> expired;
+  for (const std::uint32_t index : inflight_list_) {
+    if (in_flight_[index].deadline <= service_.now() + kEps) {
+      expired.push_back(index);
+    }
+  }
+  std::sort(expired.begin(), expired.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return ids_.name(a) < ids_.name(b);
+            });
+  for (const std::uint32_t index : expired) {
+    const InFlight info = in_flight_[index];
+    inflight_remove(index);
+    expire_attempt(index, info);
+  }
+  return !expired.empty();
+}
+
+double EngineInstance::wait_horizon() const {
+  // The earliest attempt deadline or retry release. With neither feature
+  // active this stays infinite: the instance only needs completions.
+  double horizon = fsm_.earliest_release();
+  if (timeout_on_) {
+    for (const std::uint32_t index : inflight_list_) {
+      horizon = std::min(horizon, in_flight_[index].deadline);
+    }
+  }
+  return horizon;
+}
+
+double EngineInstance::next_deadline() {
+  // For an external clock owner the service's internally-held completions
+  // (e.g. chaos delays) fence the advance too; the blocking step() keeps
+  // using the bare wait_horizon() so run() stays byte-stable.
+  return std::min(wait_horizon(), service_.next_event_time());
+}
+
+bool EngineInstance::step() {
+  if (finished_) return false;
+  submit_ready(std::numeric_limits<std::size_t>::max());
+  if (fsm_.submitted_count() == 0 && !fsm_.any_cooling()) {
+    finalize();
+    return false;
+  }
+
+  // Wait horizon: the earliest attempt deadline or retry release. With
+  // neither feature active this stays infinite and we use the plain
+  // blocking wait exactly as before.
+  const double horizon = wait_horizon();
+
+  std::vector<TaskAttempt> attempts;
+  try {
+    if (std::isinf(horizon)) {
+      attempts = service_.wait();
+      if (attempts.empty() && fsm_.submitted_count() > 0) {
+        throw common::WorkflowError("execution service returned no completions");
+      }
+    } else {
+      attempts = service_.wait_for(std::max(0.0, horizon - service_.now()));
+    }
+  } catch (const common::SimulationError& err) {
+    // The simulator aborted the run (event budget exhausted); the partial
+    // report is finalized as a failure carrying this diagnostic.
+    abort_error_ = err.what();
+    common::log_warn() << "run aborted by simulator: " << abort_error_;
+    finalize();
+    return false;
+  }
+
+  bool progress = process_attempts(attempts);
+  if (timeout_on_) progress |= expire_due();
+
+  if (!progress && attempts.empty() && !std::isinf(horizon) &&
+      service_.now() + kEps < horizon) {
+    // The service could not advance its clock to the horizon (a bare
+    // stub without wait_for support). Force the earliest horizon item
+    // through so the run can never wedge: either release the coolest
+    // retry or expire the next deadline at the current clock.
+    if (fsm_.any_cooling() && fsm_.earliest_release() <= horizon + kEps) {
+      fsm_.force_release_earliest();
+    } else if (timeout_on_ && !inflight_list_.empty()) {
+      // Earliest deadline; ties go to the smaller id, as the old
+      // id-ordered map scan with strict less produced.
+      std::uint32_t victim = inflight_list_.front();
+      for (const std::uint32_t index : inflight_list_) {
+        if (index == victim) continue;
+        const double d = in_flight_[index].deadline;
+        const double best = in_flight_[victim].deadline;
+        if (d < best || (d == best && ids_.name(index) < ids_.name(victim))) {
+          victim = index;
+        }
+      }
+      const InFlight info = in_flight_[victim];
+      inflight_remove(victim);
+      expire_attempt(victim, info);
+    }
+  }
+  return true;
+}
+
+bool EngineInstance::step_cooperative(std::size_t submit_budget) {
+  if (finished_) return false;
+  const std::size_t submitted = submit_ready(submit_budget);
+  // Quiescent only when no work is queued either: unlike the blocking
+  // step(), a zero/exhausted budget can leave ready jobs unsubmitted
+  // here, and that is back-pressure, not completion.
+  if (fsm_.submitted_count() == 0 && !fsm_.any_cooling() && !fsm_.has_ready()) {
+    finalize();
+    return true;  // reaching the terminal state is progress
+  }
+
+  // Consume only what the service has already delivered; the external
+  // driver owns the clock, so a quiet step simply returns false and the
+  // driver pumps the shared event queue (bounded by next_deadline()).
+  std::vector<TaskAttempt> attempts = service_.poll();
+  bool progress = process_attempts(attempts);
+  if (timeout_on_) progress |= expire_due();
+  return progress || submitted > 0;
+}
+
+void EngineInstance::finalize() {
   {
     EngineEvent finished;
     finished.type = EngineEventType::kRunFinished;
-    finished.time = service.now();
-    finished.success = abort_error.empty() && fsm.done_count() == total_jobs;
-    bus.emit(finished);
+    finished.time = service_.now();
+    finished.success =
+        abort_error_.empty() && fsm_.done_count() == workflow_.jobs().size();
+    bus_.emit(finished);
   }
-  RunReport report = builder.take();
-  report.error = abort_error;
-
-  if (!report.success && options_.rescue_path.has_value()) {
+  const bool success =
+      abort_error_.empty() && fsm_.done_count() == workflow_.jobs().size();
+  if (!success && options_.rescue_path.has_value()) {
     std::ostringstream os;
-    os << "# rescue DAG for " << workflow.name() << "\n";
-    for (const std::uint32_t index : topo) {
-      const SchedState state = fsm.state(index);
+    os << "# rescue DAG for " << workflow_.name() << "\n";
+    for (const std::uint32_t index : topo_) {
+      const SchedState state = fsm_.state(index);
       if (state == SchedState::kDone || state == SchedState::kSkipped) {
-        os << "DONE " << ids.name(index) << "\n";
+        os << "DONE " << ids_.name(index) << "\n";
       }
     }
     common::write_file(*options_.rescue_path, os.str());
     common::log_info() << "wrote rescue file to " << options_.rescue_path->string();
   }
+  finished_ = true;
+}
+
+RunReport EngineInstance::take_report() {
+  if (!finished_) {
+    throw common::InvalidArgument("EngineInstance::take_report before is_done()");
+  }
+  if (report_taken_) {
+    throw common::InvalidArgument("EngineInstance::take_report called twice");
+  }
+  report_taken_ = true;
+  RunReport report = builder_.take();
+  report.error = abort_error_;
   return report;
 }
 

@@ -15,14 +15,25 @@
 //     pre-refactor engine);
 //   - an EventBus (wms/events.hpp) publishes every observable step; the
 //     jobstate log, the StatusBoard and RunReport itself are observers.
+//
+// The loop itself lives in EngineInstance, a re-entrant steppable core:
+// run() is a thin drive-to-completion wrapper (`while (step()) {}`), and a
+// multi-workflow driver can instead construct many instances over one
+// shared sim::EventQueue and interleave them with step_cooperative() —
+// the Workflow-as-a-Service fleet controller (src/waas/) does exactly that.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "common/rng.hpp"
 
 #include "wms/events.hpp"
 #include "wms/exec_service.hpp"
@@ -140,6 +151,136 @@ class RunReportBuilder final : public EngineObserver {
   /// Per-job records indexed by dense handle (EngineEvent::job); take()
   /// emits them sorted by id, matching the old map iteration order.
   std::vector<JobRun> runs_;
+};
+
+/// One re-entrant, steppable engine run: everything the drive-to-completion
+/// loop used to keep in stack locals — state machine, policy, event bus,
+/// in-flight deadlines, backoff RNG — owned as an object, so an external
+/// driver (the WaaS fleet controller, src/waas/) can interleave many runs
+/// over one shared sim::EventQueue timeline instead of each run privately
+/// draining a clock to completion.
+///
+/// Two stepping modes:
+///  * step() — one iteration of the classic blocking loop: release due
+///    backoffs, submit ready jobs under the throttle, then wait on the
+///    service for completions (advancing the service's clock as needed).
+///    DagmanEngine::run() is exactly `while (step()) {}` +
+///    take_report(), which keeps the single-workflow path byte-identical
+///    to the golden fixtures.
+///  * step_cooperative(budget) — never blocks and never advances the
+///    clock beyond events already due: consumes completions the service
+///    has delivered (ExecutionService::poll), releases due backoffs,
+///    expires overdue attempt deadlines, and submits at most `budget`
+///    ready jobs (the fleet's fair-share lever). The driver owns the
+///    clock: it pumps the shared event queue itself and uses
+///    next_deadline() to know when a quiet instance needs simulated time
+///    burned for it (a cooling retry or an attempt timeout with nothing
+///    else scheduled).
+///
+/// The workflow and service must outlive the instance; one instance is one
+/// run (construct a fresh one to re-run). Not copyable or movable — the
+/// embedded report builder and bus subscriptions are address-stable.
+class EngineInstance {
+ public:
+  /// Validated `options` (see DagmanEngine's constructor), the workflow to
+  /// run, the service to run it on, and optionally the rescue frontier of
+  /// job ids already done in a previous run.
+  EngineInstance(const EngineOptions& options, const ConcreteWorkflow& workflow,
+                 ExecutionService& service,
+                 const std::set<std::string>& already_done = {});
+  EngineInstance(const EngineInstance&) = delete;
+  EngineInstance& operator=(const EngineInstance&) = delete;
+
+  /// One blocking iteration. Returns false once the run has finished (the
+  /// terminal bookkeeping — kRunFinished, rescue file — has then already
+  /// run); calling again keeps returning false.
+  bool step();
+
+  /// One non-blocking iteration; see class comment. Returns true when the
+  /// step made progress (submitted a job, consumed a completion, expired a
+  /// deadline, or finished the run) — drivers re-step while true, then
+  /// advance the shared clock. Returns false on an already-finished run.
+  bool step_cooperative(
+      std::size_t submit_budget = std::numeric_limits<std::size_t>::max());
+
+  /// True once the run has reached its terminal state.
+  [[nodiscard]] bool is_done() const { return finished_; }
+
+  /// Finalizes and returns the report. Call once, after is_done(); throws
+  /// InvalidArgument otherwise.
+  RunReport take_report();
+
+  /// Earliest future time this instance needs the clock to reach even if
+  /// no queue event fires for it: pending backoff release, attempt-timeout
+  /// deadline, or a completion its service is holding internally
+  /// (ExecutionService::next_event_time, e.g. a chaos-delayed attempt);
+  /// +inf when it is driven purely by event-queue completions.
+  [[nodiscard]] double next_deadline();
+
+  // -------------------------------------------------- fleet introspection
+  /// Attempts currently submitted and not yet resolved.
+  [[nodiscard]] std::size_t jobs_in_flight() const { return fsm_.submitted_count(); }
+  /// Jobs released and waiting for a submission slot.
+  [[nodiscard]] std::size_t ready_count() const { return fsm_.ready().size(); }
+  /// Jobs finished successfully (including rescued ones).
+  [[nodiscard]] std::size_t done_jobs() const { return fsm_.done_count(); }
+  [[nodiscard]] std::size_t total_jobs() const { return fsm_.size(); }
+
+ private:
+  /// Per-attempt hardening state the state machine does not own.
+  struct InFlight {
+    double submitted_at = 0;  ///< service time the attempt was handed over
+    double deadline = 0;      ///< submitted_at + attempt timeout
+    std::uint32_t list_pos = 0;  ///< position in inflight_list_ (swap-remove)
+    bool active = false;
+  };
+
+  [[nodiscard]] EngineEvent job_event(EngineEventType type, std::uint32_t index);
+  void inflight_add(std::uint32_t index, double at);
+  void inflight_remove(std::uint32_t index);
+  [[nodiscard]] bool throttled() const;
+  [[nodiscard]] double next_backoff(int attempts);
+  void submit_job(std::size_t position);
+  /// Loop head: release due backoffs, then submit ready jobs under the
+  /// throttle and `budget`. Returns the number submitted.
+  std::size_t submit_ready(std::size_t budget);
+  /// The blocking-wait horizon (backoff release / attempt deadline only) —
+  /// exactly the pre-refactor computation, which keeps run() byte-stable.
+  [[nodiscard]] double wait_horizon() const;
+  void handle_attempt(std::uint32_t index, TaskAttempt attempt);
+  void expire_attempt(std::uint32_t index, const InFlight& info);
+  /// Matches completions to in-flight attempts and feeds handle_attempt;
+  /// returns true when any attempt was consumed.
+  bool process_attempts(std::vector<TaskAttempt>& attempts);
+  /// Expires every in-flight attempt past its deadline; true if any.
+  bool expire_due();
+  /// Terminal bookkeeping: kRunFinished + rescue file.
+  void finalize();
+
+  EngineOptions options_;
+  const ConcreteWorkflow& workflow_;
+  const IdTable& ids_;
+  ExecutionService& service_;
+
+  JobStateMachine fsm_;
+  std::unique_ptr<SchedulingPolicy> default_policy_;
+  SchedulingPolicy* policy_ = nullptr;
+  RunReportBuilder builder_;
+  std::unique_ptr<StatusBoardObserver> status_observer_;
+  EventBus bus_;
+
+  std::vector<InFlight> in_flight_;
+  std::vector<std::uint32_t> inflight_list_;
+  /// Attempts declared timed out whose real completion may still surface.
+  std::vector<int> stale_attempts_;
+  std::map<std::string, int> node_fail_streak_;
+  std::set<std::string> blacklisted_;
+  common::Rng backoff_rng_;
+  std::vector<std::uint32_t> topo_;
+  std::string abort_error_;
+  bool timeout_on_ = false;
+  bool finished_ = false;
+  bool report_taken_ = false;
 };
 
 /// DAG scheduler. Stateless between runs; safe to reuse.

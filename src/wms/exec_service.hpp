@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <functional>
 #include <map>
 #include <memory>
@@ -66,6 +67,23 @@ class ExecutionService {
   virtual std::vector<TaskAttempt> wait_for(double timeout_seconds) {
     (void)timeout_seconds;
     return wait();
+  }
+
+  /// Non-blocking harvest: returns attempts that have already completed
+  /// without advancing this service's clock past "now". The cooperative
+  /// stepping path (EngineInstance::step_cooperative) uses this so an
+  /// external driver — the WaaS fleet controller — keeps clock ownership.
+  /// The default maps to wait_for(0), which every implementation treats as
+  /// "deliver what is due at exactly the current time, then return".
+  virtual std::vector<TaskAttempt> poll() { return wait_for(0); }
+
+  /// Earliest future instant (in this service's time base) at which a
+  /// poll() might yield something that no shared-event-queue event
+  /// announces — e.g. a fault injector holding a delayed completion.
+  /// Infinity (the default) means completions are purely event-driven.
+  /// External clock owners fold this into their advance fence.
+  [[nodiscard]] virtual double next_event_time() {
+    return std::numeric_limits<double>::infinity();
   }
 
   /// Advisory hint: the scheduler blacklisted `node`; place future attempts

@@ -234,6 +234,14 @@ std::vector<TaskAttempt> FaultyService::wait() {
   }
 }
 
+std::vector<TaskAttempt> FaultyService::poll() {
+  auto batch = inner_.poll();
+  for (auto& attempt : batch) {
+    if (!apply_post(attempt)) due_.push_back(std::move(attempt));
+  }
+  return take_due();
+}
+
 std::vector<TaskAttempt> FaultyService::wait_for(double timeout_seconds) {
   const double deadline = inner_.now() + std::max(0.0, timeout_seconds);
   while (true) {

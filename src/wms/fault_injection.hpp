@@ -13,6 +13,7 @@
 // the chaos suite assert byte-identical jobstate logs across runs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -124,8 +125,20 @@ class FaultyService final : public ExecutionService {
   void submit(const ConcreteJob& job) override;
   std::vector<TaskAttempt> wait() override;
   std::vector<TaskAttempt> wait_for(double timeout_seconds) override;
+  /// Non-blocking: one inner harvest plus anything synthesized or newly
+  /// due. The wait_for(0) default would bail on its expired deadline
+  /// before ever consulting the inner service, which strands completions
+  /// when an external clock owner (the WaaS fleet) pumps the queue.
+  std::vector<TaskAttempt> poll() override;
   void avoid_node(const std::string& node) override { inner_.avoid_node(node); }
   double now() override { return inner_.now(); }
+  /// Delayed completions are parked in held_, invisible to any event
+  /// queue; expose the earliest release so cooperative drivers (the WaaS
+  /// fleet) can fence their clock advance on it.
+  [[nodiscard]] double next_event_time() override {
+    const double inner = inner_.next_event_time();
+    return held_.empty() ? inner : std::min(inner, earliest_release());
+  }
   [[nodiscard]] std::string label() const override {
     return "faulty(" + inner_.label() + ")";
   }

@@ -1,5 +1,7 @@
 #include "workload/arrival.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -15,12 +17,10 @@ const char* arrival_process_name(ArrivalProcess process) {
 
 namespace {
 
-/// SplitMix64 step, matching the generator's seed folding.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
+/// True for a usable mean gap: positive and finite. Written as a positive
+/// assertion so NaN (for which every comparison is false) is rejected too.
+bool valid_mean(double seconds) {
+  return std::isfinite(seconds) && seconds > 0;
 }
 
 }  // namespace
@@ -33,15 +33,22 @@ std::vector<WorkflowRequest> generate_arrivals(const ArrivalParams& params) {
     throw common::InvalidArgument("arrival stream: tenants must be >= 1");
   }
   if (params.process == ArrivalProcess::kPoisson &&
-      params.mean_interarrival_seconds <= 0) {
+      !valid_mean(params.mean_interarrival_seconds)) {
     throw common::InvalidArgument(
-        "arrival stream: mean_interarrival_seconds must be positive");
+        "arrival stream: mean_interarrival_seconds must be positive and finite");
   }
   if (params.process == ArrivalProcess::kBursty &&
-      (params.burst_size == 0 || params.burst_gap_seconds <= 0 ||
-       params.intra_burst_seconds <= 0)) {
+      (params.burst_size == 0 || !valid_mean(params.burst_gap_seconds) ||
+       !valid_mean(params.intra_burst_seconds))) {
     throw common::InvalidArgument(
-        "arrival stream: bursty gaps must be positive and burst_size >= 1");
+        "arrival stream: bursty gaps must be positive and finite and "
+        "burst_size >= 1");
+  }
+  // NaN horizon fails both comparisons below and would silently emit the
+  // full stream; reject it alongside negative horizons.
+  if (std::isnan(params.horizon_seconds) || params.horizon_seconds < 0) {
+    throw common::InvalidArgument(
+        "arrival stream: horizon_seconds must be >= 0 (0 = empty stream)");
   }
 
   common::Rng rng(params.seed);
@@ -61,13 +68,16 @@ std::vector<WorkflowRequest> generate_arrivals(const ArrivalParams& params) {
                                      : params.intra_burst_seconds);
         break;
     }
+    // Horizon cut: the clock only moves forward, so the first request past
+    // the horizon ends the stream (a 0 horizon is an empty stream).
+    if (clock > params.horizon_seconds) break;
     WorkflowRequest request;
     request.index = i;
     request.arrival_seconds = clock;
     request.tenant = i % params.tenants;
     request.spec = params.shapes[i % params.shapes.size()];
     // Per-request seed fold: same topology family, independent costs.
-    request.spec.seed = mix64(params.seed ^ (request.spec.seed + i));
+    request.spec.seed = common::mix64(params.seed ^ (request.spec.seed + i));
     requests.push_back(std::move(request));
   }
   return requests;

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,12 @@ struct ArrivalParams {
   /// Shapes cycled round-robin across requests; empty throws.
   std::vector<ShapeSpec> shapes = {ShapeSpec{}};
   std::size_t tenants = 1;  ///< requests are striped over this many tenants
+  /// Emission horizon: requests that would arrive strictly after this time
+  /// are dropped, so a stream can be bounded by time instead of (or as well
+  /// as) count. The default (infinity) emits exactly `count` requests;
+  /// 0 yields an empty stream (nothing can arrive by t=0 — interarrival
+  /// gaps are strictly positive); negative or NaN throws.
+  double horizon_seconds = std::numeric_limits<double>::infinity();
 };
 
 /// One workflow submission in the stream.
@@ -51,8 +58,11 @@ struct WorkflowRequest {
 };
 
 /// Generates the stream: arrival times are nondecreasing, specs cycle over
-/// params.shapes with spec.seed folded per request. Throws InvalidArgument
-/// on empty shapes, zero tenants, or non-positive mean gaps.
+/// params.shapes with spec.seed folded per request. Defined edge cases
+/// (unit-tested, never UB): count == 0 or horizon_seconds == 0 return an
+/// empty stream; a single tenant puts every request on tenant 0. Throws
+/// InvalidArgument on empty shapes, zero tenants, non-positive or
+/// non-finite mean gaps, zero burst size, or a negative/NaN horizon.
 [[nodiscard]] std::vector<WorkflowRequest> generate_arrivals(
     const ArrivalParams& params);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace pga::workload {
 
@@ -37,13 +38,7 @@ std::vector<Shape> all_shapes() {
 
 namespace {
 
-/// SplitMix64 step — mixes the instance seed into the cost stream.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+using common::mix64;
 
 /// Zero-padded index so id sort order == build order at any size (job ids
 /// order release and adjacency iteration; unpadded "10" < "2" would make

@@ -1,0 +1,120 @@
+// ArrivalProcess edge cases (PR 7 hardening): zero/negative rates, empty
+// shape lists, horizon bounds and the single-tenant degenerate case are
+// defined behaviour — error or empty stream, never UB.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "workload/arrival.hpp"
+
+namespace pga::workload {
+namespace {
+
+TEST(ArrivalEdgeCases, CountZeroYieldsEmptyStream) {
+  ArrivalParams params;
+  params.count = 0;
+  EXPECT_TRUE(generate_arrivals(params).empty());
+}
+
+TEST(ArrivalEdgeCases, HorizonZeroYieldsEmptyStream) {
+  ArrivalParams params;
+  params.count = 100;
+  params.horizon_seconds = 0;
+  EXPECT_TRUE(generate_arrivals(params).empty());
+}
+
+TEST(ArrivalEdgeCases, NegativeOrNanHorizonThrows) {
+  ArrivalParams params;
+  params.horizon_seconds = -1;
+  EXPECT_THROW(generate_arrivals(params), common::InvalidArgument);
+  params.horizon_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(generate_arrivals(params), common::InvalidArgument);
+}
+
+TEST(ArrivalEdgeCases, HorizonCutsTheStream) {
+  ArrivalParams params;
+  params.count = 1000;
+  params.mean_interarrival_seconds = 100;
+  params.horizon_seconds = 2000;
+  const auto requests = generate_arrivals(params);
+  EXPECT_GT(requests.size(), 0u);
+  EXPECT_LT(requests.size(), 1000u);  // ~20 expected; 1000 would need luck
+  for (const auto& request : requests) {
+    EXPECT_LE(request.arrival_seconds, params.horizon_seconds);
+  }
+  // The horizon only truncates: the surviving prefix is unchanged.
+  ArrivalParams unbounded = params;
+  unbounded.horizon_seconds = std::numeric_limits<double>::infinity();
+  const auto full = generate_arrivals(unbounded);
+  ASSERT_GE(full.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(full[i].arrival_seconds, requests[i].arrival_seconds);
+    EXPECT_EQ(full[i].spec.seed, requests[i].spec.seed);
+  }
+}
+
+TEST(ArrivalEdgeCases, BadPoissonRateThrows) {
+  ArrivalParams params;
+  params.mean_interarrival_seconds = 0;
+  EXPECT_THROW(generate_arrivals(params), common::InvalidArgument);
+  params.mean_interarrival_seconds = -5;
+  EXPECT_THROW(generate_arrivals(params), common::InvalidArgument);
+  params.mean_interarrival_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(generate_arrivals(params), common::InvalidArgument);
+  params.mean_interarrival_seconds = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(generate_arrivals(params), common::InvalidArgument);
+}
+
+TEST(ArrivalEdgeCases, BadBurstyParamsThrow) {
+  ArrivalParams params;
+  params.process = ArrivalProcess::kBursty;
+  params.burst_size = 0;
+  EXPECT_THROW(generate_arrivals(params), common::InvalidArgument);
+  params.burst_size = 4;
+  params.burst_gap_seconds = 0;
+  EXPECT_THROW(generate_arrivals(params), common::InvalidArgument);
+  params.burst_gap_seconds = 3600;
+  params.intra_burst_seconds = -1;
+  EXPECT_THROW(generate_arrivals(params), common::InvalidArgument);
+}
+
+TEST(ArrivalEdgeCases, EmptyShapesAndZeroTenantsThrow) {
+  ArrivalParams params;
+  params.shapes.clear();
+  EXPECT_THROW(generate_arrivals(params), common::InvalidArgument);
+  params = ArrivalParams{};
+  params.tenants = 0;
+  EXPECT_THROW(generate_arrivals(params), common::InvalidArgument);
+}
+
+TEST(ArrivalEdgeCases, SingleTenantOwnsEveryRequest) {
+  ArrivalParams params;
+  params.count = 17;
+  params.tenants = 1;
+  for (const auto& request : generate_arrivals(params)) {
+    EXPECT_EQ(request.tenant, 0u);
+  }
+}
+
+TEST(ArrivalEdgeCases, DeterministicAndSeedFoldedViaCommonMix64) {
+  ArrivalParams params;
+  params.count = 9;
+  params.tenants = 3;
+  params.seed = 77;
+  const auto a = generate_arrivals(params);
+  const auto b = generate_arrivals(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+    EXPECT_EQ(a[i].tenant, i % 3);
+    // The per-request seed fold is the shared common::mix64 primitive.
+    EXPECT_EQ(a[i].spec.seed,
+              common::mix64(params.seed ^ (ArrivalParams{}.shapes[0].seed + i)));
+  }
+}
+
+}  // namespace
+}  // namespace pga::workload

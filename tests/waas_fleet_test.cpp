@@ -1,0 +1,276 @@
+// Fleet-controller suite: multi-tenant WaaS over one shared clock.
+// Covers completion/accounting invariants, weighted fair share (equal
+// weights finish together; 3:1 weights yield ~3:1 throughput), cap
+// enforcement, dual-platform placement, staging composition, chaos, and
+// double-run byte identity (the fleet digest).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/event_queue.hpp"
+#include "waas/fleet.hpp"
+#include "workload/arrival.hpp"
+#include "workload/generator.hpp"
+
+namespace pga::waas {
+namespace {
+
+workload::ShapeSpec spec_of(workload::Shape shape, std::size_t size,
+                            std::uint64_t seed) {
+  workload::ShapeSpec spec;
+  spec.shape = shape;
+  spec.size = size;
+  spec.seed = seed;
+  return spec;
+}
+
+/// `count` requests, all arriving at t=0, striped over `tenants`.
+std::vector<workload::WorkflowRequest> burst_requests(
+    std::size_t count, std::size_t tenants, const workload::ShapeSpec& spec) {
+  std::vector<workload::WorkflowRequest> requests;
+  for (std::size_t i = 0; i < count; ++i) {
+    workload::WorkflowRequest request;
+    request.index = i;
+    request.arrival_seconds = 0;
+    request.tenant = i % tenants;
+    request.spec = spec;
+    request.spec.seed = spec.seed + i;  // distinct cost streams
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+FleetResult run_fleet(const FleetOptions& options,
+                      const std::vector<workload::WorkflowRequest>& requests) {
+  sim::EventQueue queue;
+  FleetController controller(queue, options);
+  return controller.run(requests);
+}
+
+TEST(FleetController, RunsAnArrivalStreamToCompletionOnBothPlatforms) {
+  workload::ArrivalParams params;
+  params.count = 12;
+  params.tenants = 2;
+  params.mean_interarrival_seconds = 120;
+  params.shapes = {spec_of(workload::Shape::kBlast2cap3, 4, 5)};
+  const auto requests = workload::generate_arrivals(params);
+
+  FleetOptions options;
+  options.tenants = 2;
+  const FleetResult result = run_fleet(options, requests);
+
+  EXPECT_EQ(result.workflows_completed, 12u);
+  EXPECT_EQ(result.workflows_succeeded, 12u);
+  EXPECT_EQ(result.outcomes.size(), 12u);
+  // blast2cap3 closed form n+6 compute jobs plus the planner's stage pair.
+  const std::size_t expected_jobs =
+      workload::closed_form_counts(params.shapes[0]).jobs + 2;
+  std::size_t on_campus = 0;
+  std::size_t on_osg = 0;
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_TRUE(outcome.success);
+    EXPECT_EQ(outcome.jobs, expected_jobs);
+    EXPECT_GE(outcome.makespan_seconds, 0.0);
+    EXPECT_GE(outcome.admitted_seconds, outcome.arrival_seconds - 1e-9);
+    (outcome.platform == "sandhills" ? on_campus : on_osg) += 1;
+  }
+  // Load balancing must actually use both platforms for a 12-wide burst.
+  EXPECT_GT(on_campus, 0u);
+  EXPECT_GT(on_osg, 0u);
+  EXPECT_GT(result.peak_jobs_in_flight, 0u);
+  EXPECT_GT(result.events_processed, 0u);
+  const std::size_t tenant_total = result.tenants[0].workflows_completed +
+                                   result.tenants[1].workflows_completed;
+  EXPECT_EQ(tenant_total, 12u);
+}
+
+TEST(FleetController, DoubleRunIsByteIdentical) {
+  workload::ArrivalParams params;
+  params.count = 8;
+  params.tenants = 2;
+  params.process = workload::ArrivalProcess::kBursty;
+  params.burst_size = 4;
+  params.shapes = {spec_of(workload::Shape::kDiamond, 5, 9)};
+  const auto requests = workload::generate_arrivals(params);
+
+  FleetOptions options;
+  options.tenants = 2;
+  options.max_jobs_in_flight = 24;
+  const FleetResult first = run_fleet(options, requests);
+  const FleetResult second = run_fleet(options, requests);
+
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.events_processed, second.events_processed);
+  EXPECT_EQ(first.peak_jobs_in_flight, second.peak_jobs_in_flight);
+  ASSERT_EQ(first.outcomes.size(), second.outcomes.size());
+  for (std::size_t i = 0; i < first.outcomes.size(); ++i) {
+    EXPECT_EQ(first.outcomes[i].index, second.outcomes[i].index);
+    EXPECT_EQ(first.outcomes[i].platform, second.outcomes[i].platform);
+    EXPECT_DOUBLE_EQ(first.outcomes[i].finished_seconds,
+                     second.outcomes[i].finished_seconds);
+    EXPECT_EQ(first.outcomes[i].digest, second.outcomes[i].digest);
+  }
+}
+
+TEST(FleetController, DoubleRunIsByteIdenticalUnderChaosAndStaging) {
+  const auto requests =
+      burst_requests(6, 2, spec_of(workload::Shape::kFan, 6, 13));
+
+  FleetOptions options;
+  options.tenants = 2;
+  options.model_staging = true;
+  wms::ChaosConfig chaos;
+  chaos.fail_probability = 0.1;
+  chaos.delay_probability = 0.1;
+  chaos.max_delay_seconds = 200;
+  options.chaos = chaos;
+  options.engine.retries = 20;
+
+  const FleetResult first = run_fleet(options, requests);
+  const FleetResult second = run_fleet(options, requests);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.events_processed, second.events_processed);
+  EXPECT_EQ(first.workflows_completed, 6u);
+  EXPECT_EQ(first.workflows_succeeded, second.workflows_succeeded);
+}
+
+TEST(FleetController, EqualWeightsFinishTogether) {
+  // Two tenants, identical burst of work, equal weights: their last
+  // completions must land close together (neither tenant starves).
+  const auto requests =
+      burst_requests(16, 2, spec_of(workload::Shape::kFan, 8, 17));
+
+  FleetOptions options;
+  options.tenants = 2;
+  options.dual_platform = false;  // one platform: capacity perfectly shared
+  options.max_jobs_in_flight = 12;
+  const FleetResult result = run_fleet(options, requests);
+  ASSERT_EQ(result.workflows_completed, 16u);
+
+  double last[2] = {0, 0};
+  for (const auto& outcome : result.outcomes) {
+    last[outcome.tenant] = std::max(last[outcome.tenant], outcome.finished_seconds);
+  }
+  const double spread = std::abs(last[0] - last[1]);
+  const double horizon = std::max(last[0], last[1]);
+  EXPECT_LT(spread, 0.25 * horizon)
+      << "tenant finish times " << last[0] << " vs " << last[1];
+}
+
+TEST(FleetController, WeightedTenantsGetProportionalThroughput) {
+  // 3:1 weights on identical workloads and a binding jobs-in-flight cap:
+  // the heavy tenant runs ~3x the job throughput, so it drains its half of
+  // the burst well before the light tenant drains its own (whose tail only
+  // accelerates once the heavy tenant's work is gone).
+  const auto requests =
+      burst_requests(24, 2, spec_of(workload::Shape::kFan, 8, 19));
+
+  FleetOptions options;
+  options.tenants = 2;
+  options.tenant_weights = {3.0, 1.0};
+  options.dual_platform = false;
+  options.max_jobs_in_flight = 12;
+  const FleetResult result = run_fleet(options, requests);
+  ASSERT_EQ(result.workflows_completed, 24u);
+  EXPECT_LE(result.peak_jobs_in_flight, 12u);  // the cap is a hard cap
+
+  double last[2] = {0, 0};
+  for (const auto& outcome : result.outcomes) {
+    last[outcome.tenant] = std::max(last[outcome.tenant], outcome.finished_seconds);
+  }
+  EXPECT_LT(last[0], 0.8 * last[1])
+      << "heavy tenant finished at " << last[0] << ", light at " << last[1];
+  // While the heavy tenant was still running, the light tenant should have
+  // completed well under half of its own workflows.
+  std::size_t light_before_heavy_done = 0;
+  for (const auto& outcome : result.outcomes) {
+    if (outcome.tenant == 1 && outcome.finished_seconds <= last[0]) {
+      ++light_before_heavy_done;
+    }
+  }
+  EXPECT_LE(light_before_heavy_done, 8u);
+}
+
+TEST(FleetController, CapIsEnforcedAtPeak) {
+  const auto requests =
+      burst_requests(10, 1, spec_of(workload::Shape::kFan, 12, 23));
+  FleetOptions options;
+  options.tenants = 1;
+  options.max_jobs_in_flight = 8;
+  const FleetResult result = run_fleet(options, requests);
+  EXPECT_EQ(result.workflows_completed, 10u);
+  EXPECT_LE(result.peak_jobs_in_flight, 8u);
+}
+
+TEST(FleetController, ValidatesInputs) {
+  sim::EventQueue queue;
+  {
+    FleetOptions options;
+    options.tenants = 2;
+    options.tenant_weights = {1.0};  // wrong arity
+    EXPECT_THROW(FleetController(queue, options), common::InvalidArgument);
+  }
+  {
+    FleetOptions options;
+    options.tenants = 1;
+    options.tenant_weights = {0.0};  // non-positive weight
+    EXPECT_THROW(FleetController(queue, options), common::InvalidArgument);
+  }
+  {
+    FleetOptions options;
+    options.tenants = 1;
+    FleetController controller(queue, options);
+    auto requests = burst_requests(2, 1, spec_of(workload::Shape::kChain, 2, 3));
+    requests[1].tenant = 5;  // out of range
+    EXPECT_THROW(controller.run(requests), common::InvalidArgument);
+  }
+  {
+    sim::EventQueue fresh;
+    FleetOptions options;
+    options.tenants = 1;
+    FleetController controller(fresh, options);
+    auto requests = burst_requests(2, 1, spec_of(workload::Shape::kChain, 2, 3));
+    requests[0].arrival_seconds = 10;  // unsorted
+    EXPECT_THROW(controller.run(requests), common::InvalidArgument);
+  }
+  {
+    sim::EventQueue fresh;
+    FleetOptions options;
+    options.tenants = 1;
+    FleetController controller(fresh, options);
+    const auto requests =
+        burst_requests(1, 1, spec_of(workload::Shape::kChain, 2, 3));
+    EXPECT_EQ(controller.run(requests).workflows_completed, 1u);
+    EXPECT_THROW(controller.run(requests), common::InvalidArgument);  // reuse
+  }
+}
+
+TEST(FleetController, EmptyRequestStreamIsANoop) {
+  sim::EventQueue queue;
+  FleetOptions options;
+  options.tenants = 1;
+  FleetController controller(queue, options);
+  const FleetResult result = controller.run({});
+  EXPECT_EQ(result.workflows_completed, 0u);
+  EXPECT_EQ(result.outcomes.size(), 0u);
+  EXPECT_EQ(result.p50_makespan_seconds, 0.0);
+  EXPECT_FALSE(result.render().empty());
+}
+
+TEST(FleetController, RendersASummary)
+{
+  const auto requests =
+      burst_requests(3, 1, spec_of(workload::Shape::kChain, 3, 29));
+  FleetOptions options;
+  options.tenants = 1;
+  const FleetResult result = run_fleet(options, requests);
+  const std::string text = result.render();
+  EXPECT_NE(text.find("3 workflows"), std::string::npos);
+  EXPECT_NE(text.find("tenant 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pga::waas
