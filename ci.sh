@@ -76,4 +76,17 @@ echo "==> perf smoke (waas_bench --smoke)"
 cmake --build build -j "${jobs}" --target waas_bench
 build/bench/waas_bench --smoke --out build/BENCH_waas_smoke.json
 
+# Trigger perf smoke: the event-triggered pipeline + sharded replica
+# catalog. Machine-independent guards: the sharded catalog answers every
+# membership / replica-order / best_for_site / entries()-order question
+# exactly like a reference std::map, the triggered pipeline completes the
+# closed-form workflow count with double-run byte identity, and the
+# data-locality-vs-FIFO stage-in byte counts hit their closed forms on the
+# LRU-bounded element. BENCH_trigger.json in the repo root is the
+# committed full run (1e6-replica catalog race asserting the >= 5x lookup
+# claim); regenerate with `build/bench/trigger_bench`.
+echo "==> perf smoke (trigger_bench --smoke)"
+cmake --build build -j "${jobs}" --target trigger_bench
+build/bench/trigger_bench --smoke --out build/BENCH_trigger_smoke.json
+
 echo "==> CI OK (default + asan/ubsan + tsan + perf smokes)"

@@ -25,6 +25,12 @@ bool starts_with(std::string_view text, std::string_view prefix);
 /// True if `text` ends with `suffix`.
 bool ends_with(std::string_view text, std::string_view suffix);
 
+/// Shell-style glob match: '*' matches any run of characters (including
+/// empty), '?' matches exactly one character, everything else is literal.
+/// No character classes or escapes; matching is case-sensitive and
+/// anchored at both ends.
+bool glob_match(std::string_view pattern, std::string_view text);
+
 /// Lower-cases ASCII letters.
 std::string to_lower(std::string_view text);
 

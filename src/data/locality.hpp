@@ -1,0 +1,33 @@
+// Data-locality-aware scheduling: release the ready job with the most of
+// its data already resident where it will run.
+//
+// Lives in pga_data (not pga_wms with the other policies) because it
+// scores against live TransferManager storage-element state, and the wms
+// layer cannot depend on the data layer. Consequently wms::make_policy
+// cannot construct it — callers that want it (FleetController via
+// FleetOptions::policy = "data-locality", benches, tests) build it here
+// with the manager in hand.
+#pragma once
+
+#include <memory>
+
+#include "data/transfer_manager.hpp"
+#include "wms/scheduler.hpp"
+
+namespace pga::data {
+
+/// Knob name accepted by FleetOptions::policy for this policy.
+inline constexpr const char* kLocalityPolicyName = "data-locality";
+
+/// Ranks ready jobs by the total bytes of their argument LFNs already
+/// resident on the job's site's storage element, largest first — a
+/// stage-in whose inputs are still cached beats one whose inputs were
+/// evicted, so hot data is consumed before churn evicts it. Jobs whose
+/// args aren't LFNs (plain compute) score 0; ties (including all-zero
+/// rounds) fall back to FIFO order, so on sites without residency
+/// tracking the policy degrades to exactly FIFO. `manager` is borrowed
+/// and must outlive the policy.
+[[nodiscard]] std::unique_ptr<wms::SchedulingPolicy> make_locality_policy(
+    const TransferManager& manager);
+
+}  // namespace pga::data

@@ -44,6 +44,17 @@ void StagingService::stage(const wms::ConcreteJob& job) {
 
   const bool inbound = job.kind == wms::JobKind::kStageIn;
   for (const auto& lfn : job.args) {
+    if (inbound && config_.reuse_resident && transfers_.has_element(job.site) &&
+        transfers_.element(job.site).holds(lfn)) {
+      // Already resident at the destination: no transfer, just refresh LRU
+      // recency. A fully-resident job completes synchronously here.
+      StorageElement& element = transfers_.element(job.site);
+      bypassed_bytes_ += element.held_bytes(lfn);
+      ++bypassed_files_;
+      element.touch(lfn);
+      if (--staging->remaining == 0) complete(staging);
+      continue;
+    }
     std::string source = inbound ? config_.submit_site : job.site;
     std::string dest = inbound ? job.site : config_.submit_site;
     std::uint64_t bytes = config_.default_file_bytes;
@@ -87,11 +98,14 @@ void StagingService::complete(const std::shared_ptr<StagingJob>& staging) {
   attempt.error = staging->error;
   attempt.node = staging->site + "-se";
   attempt.submit_time = staging->submit_time;
-  attempt.end_time = staging->last_end;
+  // A job whose every file was bypassed never ran a transfer, leaving
+  // last_end at 0 — clamp to the submit instant so time never runs
+  // backwards in the attempt record.
+  attempt.end_time = std::max(staging->last_end, staging->submit_time);
   const double start =
       staging->first_start < 0 ? staging->submit_time : staging->first_start;
   attempt.wait_seconds = start - staging->submit_time;
-  attempt.exec_seconds = staging->last_end - start;
+  attempt.exec_seconds = attempt.end_time - start;
   attempt.transferred_bytes = staging->bytes;
   attempt.transfer_attempts = staging->attempts;
   completed_.push_back(std::move(attempt));

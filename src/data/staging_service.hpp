@@ -32,6 +32,11 @@ struct StagingConfig {
   /// Bytes assumed per staged file when the replica catalog has no size
   /// (notably workflow outputs, which have no replica at plan time).
   std::uint64_t default_file_bytes = 0;
+  /// Skip the transfer for a stage-in file already resident on the
+  /// destination's storage element (touching it for LRU recency) instead
+  /// of re-copying it — what makes data-locality scheduling save bytes.
+  /// Off by default: staging behavior stays byte-identical.
+  bool reuse_resident = false;
 };
 
 /// Decorates a simulation-backed ExecutionService with modeled staging.
@@ -56,6 +61,10 @@ class StagingService final : public wms::ExecutionService {
 
   /// Staging attempts intercepted so far (for reporting/tests).
   [[nodiscard]] std::size_t staged_jobs() const { return staged_jobs_; }
+  /// Stage-in files (and their bytes) skipped because the destination
+  /// already held them (reuse_resident only).
+  [[nodiscard]] std::size_t bypassed_files() const { return bypassed_files_; }
+  [[nodiscard]] std::uint64_t bypassed_bytes() const { return bypassed_bytes_; }
 
  private:
   /// Aggregates the per-file transfers of one staging job.
@@ -89,6 +98,8 @@ class StagingService final : public wms::ExecutionService {
   std::size_t own_outstanding_ = 0;
   std::size_t inner_outstanding_ = 0;
   std::size_t staged_jobs_ = 0;
+  std::size_t bypassed_files_ = 0;
+  std::uint64_t bypassed_bytes_ = 0;
 };
 
 }  // namespace pga::data

@@ -21,23 +21,59 @@ bool StorageElement::holds(const std::string& lfn) const {
   return files_.count(lfn) != 0;
 }
 
+std::uint64_t StorageElement::held_bytes(const std::string& lfn) const {
+  const auto it = files_.find(lfn);
+  return it == files_.end() ? 0 : it->second.bytes;
+}
+
 bool StorageElement::store(const std::string& lfn, std::uint64_t bytes) {
   const auto it = files_.find(lfn);
-  const std::uint64_t previous = it == files_.end() ? 0 : it->second;
-  const std::uint64_t would_use = used_ - previous + bytes;
+  const bool existed = it != files_.end();
+  const std::uint64_t previous = existed ? it->second.bytes : 0;
+  std::uint64_t would_use = used_ - previous + bytes;
   if (config_.capacity_bytes > 0 && would_use > config_.capacity_bytes) {
-    return false;
+    if (!config_.evict_lru || bytes > config_.capacity_bytes) return false;
+    // Drop least-recently-used victims (never the LFN being stored —
+    // overwrite accounting already reclaimed its old bytes) until it fits.
+    // The victim scan is O(n) but deterministic: smallest seq wins, and
+    // seq ties are impossible because every store/touch gets a fresh tick.
+    while (would_use > config_.capacity_bytes) {
+      auto victim = files_.end();
+      for (auto cur = files_.begin(); cur != files_.end(); ++cur) {
+        if (cur->first == lfn) continue;
+        if (victim == files_.end() || cur->second.seq < victim->second.seq) {
+          victim = cur;
+        }
+      }
+      if (victim == files_.end()) return false;  // nothing left to evict
+      used_ -= victim->second.bytes;
+      would_use -= victim->second.bytes;
+      const std::string evicted = victim->first;
+      const std::uint64_t evicted_bytes = victim->second.bytes;
+      files_.erase(victim);
+      emit(StorageEventType::kCacheEvicted, evicted, evicted_bytes);
+    }
   }
-  files_[lfn] = bytes;
+  files_[lfn] = FileInfo{bytes, ++seq_};
   used_ = would_use;
+  if (!existed) emit(StorageEventType::kFileCreated, lfn, bytes);
+  emit(StorageEventType::kFileClosed, lfn, bytes);
   return true;
 }
 
 void StorageElement::evict(const std::string& lfn) {
   const auto it = files_.find(lfn);
   if (it == files_.end()) return;
-  used_ -= it->second;
+  const std::uint64_t bytes = it->second.bytes;
+  used_ -= bytes;
   files_.erase(it);
+  emit(StorageEventType::kFileDeleted, lfn, bytes);
+}
+
+void StorageElement::touch(const std::string& lfn) {
+  const auto it = files_.find(lfn);
+  if (it == files_.end()) return;
+  it->second.seq = ++seq_;
 }
 
 std::uint64_t StorageElement::free_bytes() const {
@@ -61,6 +97,17 @@ void StorageElement::release_slot() {
                                 ": release_slot without acquire");
   }
   --active_transfers_;
+}
+
+void StorageElement::emit(StorageEventType type, const std::string& lfn,
+                          std::uint64_t bytes) {
+  if (events_ == nullptr) return;
+  StorageEvent event;
+  event.type = type;
+  event.site = config_.site;
+  event.lfn = lfn;
+  event.bytes = bytes;
+  events_->emit(event);
 }
 
 }  // namespace pga::data

@@ -1,0 +1,26 @@
+#include "data/storage_events.hpp"
+
+namespace pga::data {
+
+const char* storage_event_name(StorageEventType type) {
+  switch (type) {
+    case StorageEventType::kFileCreated: return "CREATE";
+    case StorageEventType::kFileClosed: return "CLOSEW";
+    case StorageEventType::kFileDeleted: return "DELETE";
+    case StorageEventType::kCacheEvicted: return "EVICT";
+  }
+  return "UNKNOWN";
+}
+
+void StorageEventBus::subscribe(StorageObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void StorageEventBus::emit(StorageEvent event) {
+  if (clock_ != nullptr) event.time = clock_->now();
+  for (StorageObserver* observer : observers_) {
+    observer->on_storage_event(event);
+  }
+}
+
+}  // namespace pga::data

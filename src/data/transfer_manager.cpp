@@ -25,7 +25,13 @@ TransferManager::TransferManager(sim::EventQueue& queue, TransferConfig config)
 void TransferManager::add_element(StorageElementConfig config) {
   const std::string site = config.site;
   elements_.erase(site);
-  elements_.emplace(site, StorageElement(std::move(config)));
+  auto it = elements_.emplace(site, StorageElement(std::move(config))).first;
+  it->second.set_event_sink(event_bus_);
+}
+
+void TransferManager::set_event_bus(StorageEventBus* bus) {
+  event_bus_ = bus;
+  for (auto& [site, element] : elements_) element.set_event_sink(bus);
 }
 
 bool TransferManager::has_element(const std::string& site) const {
@@ -53,7 +59,9 @@ StorageElement& TransferManager::ensure_element(const std::string& site) {
   if (it != elements_.end()) return it->second;
   StorageElementConfig config;
   config.site = site;
-  return elements_.emplace(site, StorageElement(std::move(config))).first->second;
+  auto created = elements_.emplace(site, StorageElement(std::move(config))).first;
+  created->second.set_event_sink(event_bus_);
+  return created->second;
 }
 
 std::optional<wms::Replica> TransferManager::select_source(
@@ -157,6 +165,9 @@ void TransferManager::start(std::shared_ptr<Request> request) {
   const bool same_site = request->source_site == request->dest_site;
   if (!same_site) src.acquire_slot();
   dst.acquire_slot();
+  // Reading from the source counts as a use for LRU recency (no-op when
+  // the source doesn't hold the file or eviction is disabled).
+  src.touch(request->lfn);
   ++in_flight_;
   ++request->attempts;
   if (request->first_start < 0) request->first_start = queue_.now();

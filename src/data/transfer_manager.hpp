@@ -63,6 +63,12 @@ class TransferManager {
   /// elements before transferring).
   void add_element(StorageElementConfig config);
   [[nodiscard]] bool has_element(const std::string& site) const;
+
+  /// Attaches a storage-event stream to every registered element, and to
+  /// every element registered or auto-created afterwards (nullptr
+  /// detaches). The bus is borrowed and must outlive the manager.
+  void set_event_bus(StorageEventBus* bus);
+  [[nodiscard]] StorageEventBus* event_bus() const { return event_bus_; }
   /// Throws InvalidArgument for unregistered sites.
   [[nodiscard]] StorageElement& element(const std::string& site);
   [[nodiscard]] const StorageElement& element(const std::string& site) const;
@@ -123,6 +129,7 @@ class TransferManager {
   TransferConfig config_;
   common::Rng rng_;
   std::map<std::string, StorageElement> elements_;
+  StorageEventBus* event_bus_ = nullptr;
   std::deque<std::shared_ptr<Request>> waiting_;
   std::size_t in_flight_ = 0;
   Stats stats_;

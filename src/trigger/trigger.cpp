@@ -1,0 +1,156 @@
+#include "trigger/trigger.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace pga::trigger {
+
+TriggerEngine::TriggerEngine() : TriggerEngine(Options()) {}
+
+TriggerEngine::TriggerEngine(Options options)
+    : options_(options), next_index_(options.index_base) {}
+
+void TriggerEngine::add_rule(TriggerRule rule) {
+  if (rule.name.empty()) {
+    throw common::InvalidArgument("trigger: rule name must not be empty");
+  }
+  for (const RuleState& state : rules_) {
+    if (state.rule.name == rule.name) {
+      throw common::InvalidArgument("trigger: duplicate rule name " + rule.name);
+    }
+  }
+  if (rule.delay_seconds < 0 || rule.dedup_window_seconds < 0 ||
+      rule.min_interval_seconds < 0) {
+    throw common::InvalidArgument(
+        "trigger: delay/window/interval must be >= 0 (rule " + rule.name + ")");
+  }
+  if (rule.shape.size == 0) {
+    throw common::InvalidArgument("trigger: rule " + rule.name +
+                                  " launches a zero-size shape");
+  }
+  RuleState state;
+  state.rule = std::move(rule);
+  rules_.push_back(std::move(state));
+}
+
+void TriggerEngine::on_storage_event(const data::StorageEvent& event) {
+  ++stats_.events_seen;
+  for (RuleState& state : rules_) {
+    const TriggerRule& rule = state.rule;
+    if (rule.on != event.type) continue;
+    if (!rule.site.empty() && rule.site != event.site) continue;
+    if (!common::glob_match(rule.lfn_glob, event.lfn)) continue;
+    ++stats_.matches;
+
+    if (stats_.fired >= options_.max_total_firings ||
+        (rule.max_firings > 0 && state.firings >= rule.max_firings)) {
+      ++stats_.suppressed_budget;
+      continue;
+    }
+    if (rule.min_interval_seconds > 0 && state.last_fired >= 0 &&
+        event.time - state.last_fired < rule.min_interval_seconds) {
+      ++stats_.suppressed_rate;
+      continue;
+    }
+    const std::string lfn(event.lfn);
+    if (rule.dedup_window_seconds > 0) {
+      const auto it = state.last_fired_by_lfn.find(lfn);
+      if (it != state.last_fired_by_lfn.end() &&
+          event.time - it->second < rule.dedup_window_seconds) {
+        ++stats_.suppressed_dedup;
+        continue;
+      }
+    }
+
+    workload::WorkflowRequest request;
+    request.index = next_index_++;
+    request.arrival_seconds = event.time + rule.delay_seconds;
+    request.tenant = rule.tenant;
+    request.spec = rule.shape;
+    // Same folding discipline as generate_arrivals: topology comes from
+    // the rule's base spec, costs vary per firing.
+    request.spec.seed =
+        common::mix64(options_.seed ^ rule.shape.seed ^ request.index);
+    pending_.push_back(std::move(request));
+
+    ++stats_.fired;
+    ++state.firings;
+    state.last_fired = event.time;
+    if (rule.dedup_window_seconds > 0) state.last_fired_by_lfn[lfn] = event.time;
+  }
+}
+
+std::vector<workload::WorkflowRequest> TriggerEngine::poll(double now) {
+  std::vector<workload::WorkflowRequest> out;
+  auto keep = pending_.begin();
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->arrival_seconds <= now) {
+      out.push_back(std::move(*it));
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  pending_.erase(keep, pending_.end());
+  return out;
+}
+
+double TriggerEngine::next_arrival() const {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& request : pending_) {
+    earliest = std::min(earliest, request.arrival_seconds);
+  }
+  return earliest;
+}
+
+std::size_t TriggerEngine::rule_firings(const std::string& name) const {
+  for (const RuleState& state : rules_) {
+    if (state.rule.name == name) return state.firings;
+  }
+  throw common::InvalidArgument("trigger: unknown rule " + name);
+}
+
+CatalogSync::CatalogSync(wms::ReplicaCatalog& catalog, std::string pfn_prefix)
+    : catalog_(&catalog), pfn_prefix_(std::move(pfn_prefix)) {}
+
+void CatalogSync::on_storage_event(const data::StorageEvent& event) {
+  const std::string lfn(event.lfn);
+  const std::string site(event.site);
+  switch (event.type) {
+    case data::StorageEventType::kFileCreated:
+      break;  // the paired kFileClosed does the registration
+    case data::StorageEventType::kFileClosed: {
+      // Register at most one replica per (lfn, site); an overwrite close
+      // just refreshes nothing (sizes are tracked by the element).
+      const std::vector<wms::Replica>* replicas = catalog_->find(lfn);
+      bool present = false;
+      if (replicas != nullptr) {
+        for (const auto& replica : *replicas) {
+          if (replica.site == site) {
+            present = true;
+            break;
+          }
+        }
+      }
+      if (!present) {
+        wms::Replica replica;
+        replica.pfn = pfn_prefix_ + lfn;
+        replica.site = site;
+        replica.size_bytes = event.bytes;
+        catalog_->add(lfn, std::move(replica));
+        ++registered_;
+      }
+      break;
+    }
+    case data::StorageEventType::kFileDeleted:
+    case data::StorageEventType::kCacheEvicted:
+      removed_ += catalog_->remove(lfn, site);
+      break;
+  }
+}
+
+}  // namespace pga::trigger

@@ -1,0 +1,150 @@
+// Event-triggered workflow rules — the CERN EOS Work Flow Engine pattern
+// (SNIPPETS.md wfe.rst) on our storage-event stream.
+//
+// EOS attaches rules like `sync::closew.default` to directories: when a
+// file write completes, the matching rule fires an action (archive it,
+// fan out a processing job). Here the same shape drives continuous-ingest
+// pipelines: a TriggerEngine subscribes to data::StorageEvents, matches
+// each against registered TriggerRules (event kind + LFN glob + optional
+// site), and synthesizes workload::WorkflowRequests that the
+// waas::FleetController polls through the workload::RequestSource
+// interface — so the stage-out of one workflow's contigs launches the
+// next workflow (blast2cap3 -> downstream annotation), with no human in
+// the loop and no end to the pipeline but the rules' own budgets.
+//
+// Everything is deterministic: rules fire in registration order per
+// event, events arrive in simulation-emission order, synthesized specs
+// get per-firing folded seeds, and per-rule rate limits / dedup windows /
+// firing budgets (plus an engine-wide budget) bound runaway chains —
+// double runs are byte-identical, which tests and trigger_bench pin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/storage_events.hpp"
+#include "wms/catalog.hpp"
+#include "workload/arrival.hpp"
+
+namespace pga::trigger {
+
+/// One registered rule: which events it matches and what it launches.
+struct TriggerRule {
+  std::string name;  ///< unique identifier (thrown on duplicates/empty)
+  /// Event kind to match. Rules chaining off stage-out should use
+  /// kFileClosed — it fires on every successful store, including
+  /// overwrites of a recycled LFN, where kFileCreated only fires once.
+  data::StorageEventType on = data::StorageEventType::kFileClosed;
+  std::string lfn_glob = "*";  ///< common::glob_match over the event LFN
+  std::string site;            ///< exact site to match; empty = any site
+  workload::ShapeSpec shape;   ///< what a firing launches (seed is folded
+                               ///< per firing; the field here is a base)
+  std::size_t tenant = 0;      ///< tenant the synthesized requests bill to
+  double delay_seconds = 0;    ///< arrival = event time + delay
+  /// Suppress a second firing for the same (rule, LFN) within this many
+  /// seconds of the last one — absorbs per-file event storms. 0 = off.
+  double dedup_window_seconds = 0;
+  /// Minimum spacing between any two firings of this rule (whatever the
+  /// LFN) — a per-rule rate limit. 0 = off.
+  double min_interval_seconds = 0;
+  /// Lifetime firing budget for this rule; 0 = unlimited (the engine-wide
+  /// max_total_firings still applies).
+  std::size_t max_firings = 0;
+};
+
+/// Counters across all rules (per-rule firing counts live on the engine).
+struct TriggerStats {
+  std::size_t events_seen = 0;       ///< storage events observed
+  std::size_t matches = 0;           ///< (event, rule) kind+glob+site hits
+  std::size_t fired = 0;             ///< requests actually synthesized
+  std::size_t suppressed_dedup = 0;  ///< matches inside a dedup window
+  std::size_t suppressed_rate = 0;   ///< matches inside min_interval
+  std::size_t suppressed_budget = 0; ///< matches over a firing budget
+};
+
+/// Matches storage events against rules and feeds the fleet.
+///
+/// Wiring: subscribe it to the bus carrying the fleet's storage events
+/// (FleetController::storage_bus()), then pass it as the RequestSource to
+/// FleetController::run. Observer callbacks only enqueue; the fleet pulls
+/// synthesized requests at its own admission rounds, so the trigger never
+/// re-enters the controller mid-event.
+class TriggerEngine final : public data::StorageObserver,
+                            public workload::RequestSource {
+ public:
+  struct Options {
+    /// Synthesized requests get indices index_base, index_base+1, ... so
+    /// they never collide with the static stream's indices.
+    std::size_t index_base = 1'000'000;
+    /// Folded (common::mix64) with each firing's index into the launched
+    /// spec's seed, so two firings of one rule differ in costs, never in
+    /// topology — the same discipline as workload::generate_arrivals.
+    std::uint64_t seed = 42;
+    /// Engine-wide runaway-chain guard: total firings across all rules.
+    /// Further matches are suppressed (counted), never thrown.
+    std::size_t max_total_firings = 100'000;
+  };
+
+  TriggerEngine();
+  explicit TriggerEngine(Options options);
+
+  /// Registers a rule; evaluation order is registration order. Throws
+  /// InvalidArgument on an empty or duplicate name, a negative delay,
+  /// window or interval, or a non-positive shape size.
+  void add_rule(TriggerRule rule);
+
+  // StorageObserver: match + synthesize (enqueue only; no re-entry).
+  void on_storage_event(const data::StorageEvent& event) override;
+
+  // RequestSource: drain synthesized requests whose arrival is due.
+  std::vector<workload::WorkflowRequest> poll(double now) override;
+  [[nodiscard]] double next_arrival() const override;
+
+  [[nodiscard]] const TriggerStats& stats() const { return stats_; }
+  /// Lifetime firings of one rule (by name; throws on unknown).
+  [[nodiscard]] std::size_t rule_firings(const std::string& name) const;
+  /// Requests synthesized but not yet drained by poll().
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct RuleState {
+    TriggerRule rule;
+    std::size_t firings = 0;
+    double last_fired = -1;  ///< <0 = never
+    std::map<std::string, double> last_fired_by_lfn;  ///< dedup window
+  };
+
+  Options options_;
+  std::vector<RuleState> rules_;  ///< registration order
+  std::vector<workload::WorkflowRequest> pending_;  ///< synthesis order
+  std::size_t next_index_;
+  TriggerStats stats_;
+};
+
+/// Mirrors storage events into a ReplicaCatalog so the catalog tracks
+/// what the elements actually hold: a close registers a replica at the
+/// event's site (pfn = prefix + lfn), a delete or eviction removes that
+/// site's replicas. Re-registration after eviction works naturally — the
+/// next close adds the replica back. Subscribe it to the same bus as the
+/// TriggerEngine; the catalog must outlive the sync.
+class CatalogSync final : public data::StorageObserver {
+ public:
+  explicit CatalogSync(wms::ReplicaCatalog& catalog,
+                       std::string pfn_prefix = "/data/");
+
+  void on_storage_event(const data::StorageEvent& event) override;
+
+  [[nodiscard]] std::size_t registered() const { return registered_; }
+  [[nodiscard]] std::size_t removed() const { return removed_; }
+
+ private:
+  wms::ReplicaCatalog* catalog_;
+  std::string pfn_prefix_;
+  std::size_t registered_ = 0;
+  std::size_t removed_ = 0;
+};
+
+}  // namespace pga::trigger

@@ -5,10 +5,13 @@
 #include <limits>
 #include <sstream>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "data/locality.hpp"
 #include "data/staging_service.hpp"
+#include "data/storage_events.hpp"
 #include "data/transfer_manager.hpp"
 #include "wms/exec_service.hpp"
 #include "wms/planner.hpp"
@@ -27,23 +30,6 @@ constexpr std::uint64_t kOsgSalt = 0x4f53470000000002ULL;
 constexpr std::uint64_t kTransferSalt = 0x5452414e53460003ULL;
 constexpr std::uint64_t kChaosSalt = 0x4348414f53000004ULL;
 constexpr std::uint64_t kBackoffSalt = 0x4241434b4f460005ULL;
-
-std::uint64_t fnv1a(std::uint64_t hash, std::string_view text) {
-  for (const unsigned char c : text) {
-    hash ^= c;
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
-
-std::uint64_t log_digest(const std::vector<std::string>& lines) {
-  std::uint64_t hash = 1469598103934665603ULL;
-  for (const auto& line : lines) {
-    hash = fnv1a(hash, line);
-    hash = fnv1a(hash, "\n");
-  }
-  return hash;
-}
 
 /// Registers one storage element per generator-catalog site plus the
 /// submit host (same shape as the core experiment wiring).
@@ -118,6 +104,15 @@ FleetController::FleetController(sim::EventQueue& queue, FleetOptions options)
     transfer_cfg.seed = common::mix64(options_.seed ^ kTransferSalt);
     transfers_ = std::make_unique<data::TransferManager>(queue_, transfer_cfg);
     add_fleet_elements(*transfers_, options_.transfer_slots);
+    storage_bus_ = std::make_unique<data::StorageEventBus>(&queue_);
+    transfers_->set_event_bus(storage_bus_.get());
+  }
+  if (options_.policy == data::kLocalityPolicyName && !options_.model_staging) {
+    throw common::InvalidArgument(
+        "fleet: the data-locality policy requires model_staging");
+  }
+  if (options_.reuse_resident && !options_.model_staging) {
+    throw common::InvalidArgument("fleet: reuse_resident requires model_staging");
   }
 
   tenant_in_flight_.assign(options_.tenants, 0);
@@ -135,6 +130,9 @@ double FleetController::tenant_deficit(std::size_t tenant) const {
 }
 
 void FleetController::admit(const workload::WorkflowRequest& request) {
+  if (request.tenant >= options_.tenants) {
+    throw common::InvalidArgument("fleet: request tenant out of range");
+  }
   // Placement: whichever platform carries fewer of the fleet's in-flight
   // jobs takes the workflow; ties go to the campus cluster (its queue is
   // the better-behaved of the two).
@@ -172,8 +170,10 @@ void FleetController::admit(const workload::WorkflowRequest& request) {
   active->sim_service = std::make_unique<wms::SimService>(queue_, platform);
   wms::ExecutionService* service = active->sim_service.get();
   if (options_.model_staging) {
+    data::StagingConfig staging_cfg;
+    staging_cfg.reuse_resident = options_.reuse_resident;
     active->staging = std::make_unique<data::StagingService>(
-        queue_, *service, *transfers_, active->replicas);
+        queue_, *service, *transfers_, active->replicas, staging_cfg);
     service = active->staging.get();
   }
   if (options_.chaos.has_value()) {
@@ -189,7 +189,9 @@ void FleetController::admit(const workload::WorkflowRequest& request) {
   engine_options.rescue_path.reset();
   // Throttling is fleet-level (per-round budgets), not per-engine.
   engine_options.max_jobs_in_flight = 0;
-  engine_options.policy = wms::make_policy(options_.policy);
+  engine_options.policy = options_.policy == data::kLocalityPolicyName
+                              ? data::make_locality_policy(*transfers_)
+                              : wms::make_policy(options_.policy);
   engine_options.observers = {&telemetry_};
   engine_options.backoff_seed =
       common::mix64(options_.seed ^ (kBackoffSalt + request.index));
@@ -219,7 +221,7 @@ void FleetController::reap(std::size_t slot, std::vector<WorkflowOutcome>& outco
   outcome.success = report.success;
   outcome.jobs = report.jobs_total;
   outcome.retries = report.total_retries;
-  outcome.digest = log_digest(report.jobstate_log);
+  outcome.digest = common::lines_digest(report.jobstate_log);
   telemetry_.record_workflow(active.tenant, outcome.makespan_seconds,
                              outcome.success);
   outcomes.push_back(std::move(outcome));
@@ -229,7 +231,8 @@ void FleetController::reap(std::size_t slot, std::vector<WorkflowOutcome>& outco
 }
 
 FleetResult FleetController::run(
-    const std::vector<workload::WorkflowRequest>& requests) {
+    const std::vector<workload::WorkflowRequest>& requests,
+    workload::RequestSource* source) {
   if (ran_) {
     throw common::InvalidArgument("FleetController::run called twice");
   }
@@ -247,7 +250,10 @@ FleetResult FleetController::run(
   const std::uint64_t start_events = queue_.processed();
   const bool capped = options_.max_jobs_in_flight > 0;
   std::size_t next_arrival = 0;
-  std::vector<std::size_t> due;  ///< arrived, not yet admitted (arrival order)
+  // Arrived but not yet admitted, in arrival order. Holds request values
+  // (not stream indices) so statically-generated and source-synthesized
+  // requests queue identically.
+  std::vector<workload::WorkflowRequest> due;
   std::vector<WorkflowOutcome> outcomes;
   outcomes.reserve(requests.size());
   std::vector<std::size_t> tenant_budget(options_.tenants, 0);
@@ -255,7 +261,12 @@ FleetResult FleetController::run(
   const auto admit_due = [&] {
     while (next_arrival < requests.size() &&
            requests[next_arrival].arrival_seconds <= queue_.now() + kEps) {
-      due.push_back(next_arrival++);
+      due.push_back(requests[next_arrival++]);
+    }
+    if (source != nullptr) {
+      for (auto& request : source->poll(queue_.now() + kEps)) {
+        due.push_back(std::move(request));
+      }
     }
     while (!due.empty() && (options_.max_active_workflows == 0 ||
                             active_.size() < options_.max_active_workflows)) {
@@ -263,14 +274,14 @@ FleetResult FleetController::run(
       // the smallest deficit wins; the scan order keeps FIFO within ties.
       std::size_t best = 0;
       for (std::size_t i = 1; i < due.size(); ++i) {
-        if (tenant_deficit(requests[due[i]].tenant) + kEps <
-            tenant_deficit(requests[due[best]].tenant)) {
+        if (tenant_deficit(due[i].tenant) + kEps <
+            tenant_deficit(due[best].tenant)) {
           best = i;
         }
       }
-      const std::size_t pick = due[best];
+      const workload::WorkflowRequest pick = std::move(due[best]);
       due.erase(due.begin() + static_cast<std::ptrdiff_t>(best));
-      admit(requests[pick]);
+      admit(pick);
     }
   };
 
@@ -301,7 +312,17 @@ FleetResult FleetController::run(
 
   while (true) {
     admit_due();
-    if (active_.empty() && due.empty() && next_arrival == requests.size()) break;
+    if (active_.empty() && due.empty() && next_arrival == requests.size()) {
+      // Static stream drained and nothing running — but the source may
+      // still owe future requests (e.g. a trigger firing with a delay).
+      // Jump the clock to its earliest pending arrival and re-poll.
+      const double pending =
+          source != nullptr ? source->next_arrival()
+                            : std::numeric_limits<double>::infinity();
+      if (std::isinf(pending)) break;
+      queue_.advance_to(std::max(queue_.now(), pending));
+      continue;
+    }
 
     // Per-round fair-share budgets: split the fleet cap across tenants
     // with live engines in proportion to weight; a tenant above its
@@ -366,6 +387,9 @@ FleetResult FleetController::run(
     if (next_arrival < requests.size()) {
       fence = std::min(fence, requests[next_arrival].arrival_seconds);
     }
+    if (source != nullptr) {
+      fence = std::min(fence, source->next_arrival());
+    }
 
     std::size_t pumped = 0;
     while (pumped < options_.pump_batch) {
@@ -407,7 +431,7 @@ FleetResult FleetController::run(
   result.p50_makespan_seconds = telemetry_.makespan_percentile(50);
   result.p99_makespan_seconds = telemetry_.makespan_percentile(99);
   result.tenants = telemetry_.tenants();
-  std::uint64_t digest = 1469598103934665603ULL;
+  std::uint64_t digest = common::kFnv1aOffset;
   for (const auto& outcome : result.outcomes) {
     digest = common::mix64(digest ^ outcome.digest);
   }

@@ -53,6 +53,7 @@
 namespace pga::data {
 class TransferManager;
 class StagingService;
+class StorageEventBus;
 }  // namespace pga::data
 
 namespace pga::waas {
@@ -73,8 +74,10 @@ struct FleetOptions {
   /// Fleet-wide jobs-in-flight cap split across tenants by weight.
   /// 0 = no cap (every engine submits everything ready).
   std::size_t max_jobs_in_flight = 0;
-  /// Scheduling policy per engine (wms::make_policy name). Each engine
-  /// gets its own instance — one policy object must not serve two
+  /// Scheduling policy per engine (wms::make_policy name, or
+  /// "data-locality" — which requires model_staging and ranks ready jobs
+  /// by bytes already resident on their site's storage element). Each
+  /// engine gets its own instance — one policy object must not serve two
   /// concurrently-stepping engines.
   std::string policy = "fifo";
   /// Per-engine options template: retries, backoff, attempt timeout,
@@ -92,6 +95,9 @@ struct FleetOptions {
   /// contention across the whole fleet) instead of flat-cost jobs.
   bool model_staging = false;
   std::size_t transfer_slots = 4;  ///< per storage element when staging
+  /// Stage-in files already resident on the destination element are
+  /// reused (no transfer) instead of re-copied. Needs model_staging.
+  bool reuse_resident = false;
   /// When set, every engine's service is wrapped in a FaultyService in
   /// chaos mode with a per-request folded seed.
   std::optional<wms::ChaosConfig> chaos = {};
@@ -155,7 +161,21 @@ class FleetController {
   /// Runs every request to completion and returns the aggregate result.
   /// Requests must be sorted by arrival_seconds (generate_arrivals output
   /// is) and carry tenant < options.tenants. Call once per controller.
-  FleetResult run(const std::vector<workload::WorkflowRequest>& requests);
+  ///
+  /// `source`, when given, is polled every admission round for
+  /// dynamically-synthesized requests (the trigger subsystem's feed);
+  /// the run only ends once the static stream, the source and every
+  /// engine have drained. Source requests join the same weighted
+  /// fair-share admission queue as static ones.
+  FleetResult run(const std::vector<workload::WorkflowRequest>& requests,
+                  workload::RequestSource* source = nullptr);
+
+  /// The storage-event stream of the fleet's shared TransferManager
+  /// (nullptr unless model_staging). Subscribe observers — e.g. a
+  /// trigger::TriggerEngine — before run().
+  [[nodiscard]] data::StorageEventBus* storage_bus() const {
+    return storage_bus_.get();
+  }
 
  private:
   struct Active;  // one admitted workflow: plan + services + engine
@@ -172,6 +192,7 @@ class FleetController {
   std::unique_ptr<sim::CampusClusterPlatform> campus_;
   std::unique_ptr<sim::OsgPlatform> osg_;
   std::unique_ptr<data::TransferManager> transfers_;
+  std::unique_ptr<data::StorageEventBus> storage_bus_;
 
   std::vector<std::unique_ptr<Active>> active_;   ///< admission order
   std::vector<std::size_t> tenant_in_flight_;     ///< live jobs per tenant

@@ -1,31 +1,55 @@
 #include "wms/catalog.hpp"
 
+#include <algorithm>
 #include <tuple>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 
 namespace pga::wms {
 
+ReplicaCatalog::Shard& ReplicaCatalog::shard_for(std::string_view lfn) {
+  return shards_[common::fnv1a(lfn) & (kShards - 1)];
+}
+
+const ReplicaCatalog::Shard& ReplicaCatalog::shard_for(std::string_view lfn) const {
+  return shards_[common::fnv1a(lfn) & (kShards - 1)];
+}
+
 void ReplicaCatalog::add(const std::string& lfn, Replica replica) {
   if (lfn.empty()) throw common::InvalidArgument("empty LFN");
-  entries_[lfn].push_back(std::move(replica));
+  Shard& shard = shard_for(lfn);
+  const std::uint32_t id = shard.lfns.intern(lfn);
+  if (id >= shard.replicas.size()) shard.replicas.resize(id + 1);
+  if (shard.replicas[id].empty()) ++non_empty_;
+  shard.replicas[id].push_back(std::move(replica));
+}
+
+const std::vector<Replica>* ReplicaCatalog::find(const std::string& lfn) const {
+  const Shard& shard = shard_for(lfn);
+  const std::uint32_t id = shard.lfns.find(lfn);
+  if (id == IdTable::kInvalid || id >= shard.replicas.size() ||
+      shard.replicas[id].empty()) {
+    return nullptr;
+  }
+  return &shard.replicas[id];
 }
 
 std::vector<Replica> ReplicaCatalog::lookup(const std::string& lfn) const {
-  const auto it = entries_.find(lfn);
-  return it == entries_.end() ? std::vector<Replica>{} : it->second;
+  const std::vector<Replica>* replicas = find(lfn);
+  return replicas == nullptr ? std::vector<Replica>{} : *replicas;
 }
 
 std::optional<Replica> ReplicaCatalog::best_for_site(const std::string& lfn,
                                                      const std::string& site) const {
-  const auto it = entries_.find(lfn);
-  if (it == entries_.end() || it->second.empty()) return std::nullopt;
+  const std::vector<Replica>* replicas = find(lfn);
+  if (replicas == nullptr) return std::nullopt;
   // Deterministic selection regardless of insertion order: the same-site
   // replica with the lexicographically smallest pfn wins; with no same-site
   // replica, the smallest (site, pfn) pair anywhere does.
   const Replica* local = nullptr;
   const Replica* any = nullptr;
-  for (const auto& replica : it->second) {
+  for (const auto& replica : *replicas) {
     if (replica.site == site && (local == nullptr || replica.pfn < local->pfn)) {
       local = &replica;
     }
@@ -38,7 +62,42 @@ std::optional<Replica> ReplicaCatalog::best_for_site(const std::string& lfn,
 }
 
 bool ReplicaCatalog::has(const std::string& lfn) const {
-  return entries_.count(lfn) != 0;
+  return find(lfn) != nullptr;
+}
+
+std::size_t ReplicaCatalog::remove(const std::string& lfn, const std::string& site) {
+  Shard& shard = shard_for(lfn);
+  const std::uint32_t id = shard.lfns.find(lfn);
+  if (id == IdTable::kInvalid || id >= shard.replicas.size()) return 0;
+  std::vector<Replica>& replicas = shard.replicas[id];
+  const std::size_t before = replicas.size();
+  replicas.erase(std::remove_if(replicas.begin(), replicas.end(),
+                                [&site](const Replica& replica) {
+                                  return replica.site == site;
+                                }),
+                 replicas.end());
+  if (before != 0 && replicas.empty()) --non_empty_;
+  return before - replicas.size();
+}
+
+std::map<std::string, std::vector<Replica>> ReplicaCatalog::entries() const {
+  std::map<std::string, std::vector<Replica>> out;
+  for (const Shard& shard : shards_) {
+    for (std::size_t id = 0; id < shard.replicas.size(); ++id) {
+      if (shard.replicas[id].empty()) continue;
+      out.emplace(std::string(shard.lfns.name(static_cast<std::uint32_t>(id))),
+                  shard.replicas[id]);
+    }
+  }
+  return out;
+}
+
+void ReplicaCatalog::reserve(std::size_t lfns) {
+  const std::size_t per_shard = lfns / kShards + 1;
+  for (Shard& shard : shards_) {
+    shard.lfns.reserve(per_shard);
+    shard.replicas.reserve(per_shard);
+  }
 }
 
 void TransformationCatalog::add(const std::string& transformation,

@@ -2,11 +2,14 @@
 // (transformation), and what execution sites look like (site).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "wms/id_table.hpp"
 
 namespace pga::wms {
 
@@ -18,10 +21,37 @@ struct Replica {
 };
 
 /// LFN -> replicas. The planner stages inputs in from here.
+///
+/// Layout: LFNs are sharded by FNV-1a hash across kShards independent
+/// IdTables (string -> dense local id, single hash probe), each backed by
+/// a flat vector-of-replica-lists indexed by that id. The string-keyed
+/// std::map this replaces paid an allocation plus O(log n) string
+/// compares per touch; at 10^6 replicas the lookup path is now an order
+/// of magnitude faster (bench/trigger_bench.cpp quantifies it), and the
+/// sharding keeps per-table probe chains short.
+///
+/// The public contract is unchanged from the map-backed catalog:
+/// `best_for_site` selection is byte-pinned by the golden fixtures,
+/// `entries()` still yields LFN-sorted serialization order (now built on
+/// demand), and `has`/`size` count LFNs with at least one replica. One
+/// behavioral difference is intentional: the catalog is move-only now
+/// (IdTable arenas don't copy), and `remove()` exists so the trigger
+/// subsystem can mirror deletions/evictions from the storage-event
+/// stream.
 class ReplicaCatalog {
  public:
+  ReplicaCatalog() = default;
+  ReplicaCatalog(const ReplicaCatalog&) = delete;
+  ReplicaCatalog& operator=(const ReplicaCatalog&) = delete;
+  ReplicaCatalog(ReplicaCatalog&&) = default;
+  ReplicaCatalog& operator=(ReplicaCatalog&&) = default;
+
   void add(const std::string& lfn, Replica replica);
   [[nodiscard]] std::vector<Replica> lookup(const std::string& lfn) const;
+  /// Borrowed view of an LFN's replica list, or nullptr when the LFN has
+  /// no replicas. Valid until the next mutating call; prefer this over
+  /// lookup() on hot paths (no copy).
+  [[nodiscard]] const std::vector<Replica>* find(const std::string& lfn) const;
   /// Deterministic replica selection, independent of insertion order:
   /// the same-site replica with the lexicographically smallest pfn; with
   /// no same-site replica, the replica with the smallest (site, pfn) pair
@@ -30,14 +60,31 @@ class ReplicaCatalog {
   [[nodiscard]] std::optional<Replica> best_for_site(const std::string& lfn,
                                                      const std::string& site) const;
   [[nodiscard]] bool has(const std::string& lfn) const;
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  /// All entries, LFN-ordered (for serialization).
-  [[nodiscard]] const std::map<std::string, std::vector<Replica>>& entries() const {
-    return entries_;
-  }
+  /// Drops every replica of `lfn` at `site`; returns how many were
+  /// dropped. An LFN whose last replica is removed no longer counts for
+  /// has()/size().
+  std::size_t remove(const std::string& lfn, const std::string& site);
+  /// Number of LFNs with at least one replica.
+  [[nodiscard]] std::size_t size() const { return non_empty_; }
+  /// All entries with at least one replica, LFN-ordered (for
+  /// serialization). Built on demand — O(n log n); not a hot-path call.
+  [[nodiscard]] std::map<std::string, std::vector<Replica>> entries() const;
+  /// Pre-sizes the shards for about `lfns` distinct LFNs.
+  void reserve(std::size_t lfns);
 
  private:
-  std::map<std::string, std::vector<Replica>> entries_;
+  static constexpr std::size_t kShards = 16;  ///< power of two (hash & mask)
+
+  struct Shard {
+    IdTable lfns;                                ///< lfn -> dense local id
+    std::vector<std::vector<Replica>> replicas;  ///< local id -> replicas
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view lfn);
+  [[nodiscard]] const Shard& shard_for(std::string_view lfn) const;
+
+  std::array<Shard, kShards> shards_;
+  std::size_t non_empty_ = 0;  ///< LFNs whose replica list is non-empty
 };
 
 /// One installed (or stageable) executable.

@@ -57,6 +57,24 @@ struct WorkflowRequest {
   ShapeSpec spec;                 ///< shape with per-request folded seed
 };
 
+/// A dynamic producer of workflow requests — the pull side of event-
+/// triggered pipelines (src/trigger/). Where generate_arrivals bakes the
+/// whole stream ahead of time, a RequestSource synthesizes requests
+/// while the fleet runs (e.g. a TriggerEngine turning storage events
+/// into follow-on workflows), and the FleetController polls it each
+/// admission round.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+  /// Drains every pending request with arrival_seconds <= now, in
+  /// synthesis order. Each request is returned exactly once.
+  virtual std::vector<WorkflowRequest> poll(double now) = 0;
+  /// Earliest arrival_seconds still pending (+infinity when none) — the
+  /// fleet uses it to fence clock advancement, exactly like the next
+  /// static arrival.
+  [[nodiscard]] virtual double next_arrival() const = 0;
+};
+
 /// Generates the stream: arrival times are nondecreasing, specs cycle over
 /// params.shapes with spec.seed folded per request. Defined edge cases
 /// (unit-tested, never UB): count == 0 or horizon_seconds == 0 return an

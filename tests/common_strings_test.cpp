@@ -66,6 +66,27 @@ TEST(StartsEndsWith, Basics) {
   EXPECT_FALSE(ends_with("x", "xyz"));
 }
 
+TEST(GlobMatch, LiteralsStarsAndQuestionMarks) {
+  EXPECT_TRUE(glob_match("assembly.fasta", "assembly.fasta"));
+  EXPECT_FALSE(glob_match("assembly.fasta", "assembly.fastq"));
+  EXPECT_TRUE(glob_match("*.contigs", "run1.contigs"));
+  EXPECT_FALSE(glob_match("*.contigs", "run1.contigs.bak"));
+  EXPECT_TRUE(glob_match("chunk_?.fa", "chunk_7.fa"));
+  EXPECT_FALSE(glob_match("chunk_?.fa", "chunk_17.fa"));
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("*", "anything/at all"));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("", ""));
+}
+
+TEST(GlobMatch, BacktracksAcrossMultipleStars) {
+  EXPECT_TRUE(glob_match("a*b*c", "aXbYbZc"));
+  EXPECT_FALSE(glob_match("a*b*c", "aXcYb"));
+  EXPECT_TRUE(glob_match("*a*a*", "banana"));
+  EXPECT_TRUE(glob_match("a**b", "ab"));
+  EXPECT_FALSE(glob_match("?*", ""));
+}
+
 TEST(CaseConversion, AsciiOnly) {
   EXPECT_EQ(to_lower("BLASTX"), "blastx");
   EXPECT_EQ(to_upper("cap3"), "CAP3");

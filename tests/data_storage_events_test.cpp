@@ -1,0 +1,324 @@
+// Typed storage-event stream: emission contracts of StorageElement (EOS
+// create/closew/delete/evict semantics, LRU eviction order) and the edge
+// cases the trigger subsystem leans on — eviction during an in-flight
+// transfer, deletion of an LFN with queued stage-ins, and replica
+// re-registration after eviction — each asserted against the recorded
+// event sequence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/staging_service.hpp"
+#include "data/storage_element.hpp"
+#include "data/storage_events.hpp"
+#include "data/transfer_manager.hpp"
+#include "sim/campus_cluster.hpp"
+#include "sim/event_queue.hpp"
+#include "trigger/trigger.hpp"
+#include "wms/catalog.hpp"
+#include "wms/exec_service.hpp"
+
+namespace pga::data {
+namespace {
+
+/// Records every event as "TYPE site lfn bytes[ @time]" for sequence
+/// assertions (copies the views — they die with the callback).
+class Recorder final : public StorageObserver {
+ public:
+  void on_storage_event(const StorageEvent& event) override {
+    lines.push_back(std::string(storage_event_name(event.type)) + " " +
+                    std::string(event.site) + " " + std::string(event.lfn) +
+                    " " + std::to_string(event.bytes));
+    times.push_back(event.time);
+  }
+  std::vector<std::string> lines;
+  std::vector<double> times;
+};
+
+StorageElementConfig bounded(const std::string& site, std::uint64_t capacity,
+                             bool lru) {
+  StorageElementConfig config;
+  config.site = site;
+  config.capacity_bytes = capacity;
+  config.evict_lru = lru;
+  return config;
+}
+
+TEST(StorageEvents, FirstStoreEmitsCreateThenClosewOverwriteOnlyClosew) {
+  StorageEventBus bus;
+  Recorder recorder;
+  bus.subscribe(&recorder);
+  StorageElement element(StorageElementConfig{.site = "local"});
+  element.set_event_sink(&bus);
+
+  EXPECT_TRUE(element.store("a.dat", 10));
+  EXPECT_TRUE(element.store("a.dat", 20));  // overwrite: no second CREATE
+  const std::vector<std::string> expected = {
+      "CREATE local a.dat 10",
+      "CLOSEW local a.dat 10",
+      "CLOSEW local a.dat 20",
+  };
+  EXPECT_EQ(recorder.lines, expected);
+  EXPECT_EQ(element.used_bytes(), 20u);
+}
+
+TEST(StorageEvents, ExplicitEvictEmitsDeleteOnceAndOnlyWhenHeld) {
+  StorageEventBus bus;
+  Recorder recorder;
+  bus.subscribe(&recorder);
+  StorageElement element(StorageElementConfig{.site = "osg"});
+  element.set_event_sink(&bus);
+
+  element.store("x", 5);
+  element.evict("x");
+  element.evict("x");        // no longer held: no event
+  element.evict("never");    // never held: no event
+  const std::vector<std::string> expected = {
+      "CREATE osg x 5",
+      "CLOSEW osg x 5",
+      "DELETE osg x 5",
+  };
+  EXPECT_EQ(recorder.lines, expected);
+}
+
+TEST(StorageEvents, BoundedWithoutLruStillRejectsSilently) {
+  StorageEventBus bus;
+  Recorder recorder;
+  bus.subscribe(&recorder);
+  StorageElement element(bounded("local", 100, /*lru=*/false));
+  element.set_event_sink(&bus);
+
+  EXPECT_TRUE(element.store("a", 80));
+  EXPECT_FALSE(element.store("b", 50));  // pre-existing reject-on-full
+  EXPECT_EQ(recorder.lines.size(), 2u);  // a's CREATE+CLOSEW only
+  EXPECT_FALSE(element.holds("b"));
+}
+
+TEST(StorageEvents, LruEvictsOldestFirstAndEmitsEvictEvents) {
+  StorageEventBus bus;
+  Recorder recorder;
+  bus.subscribe(&recorder);
+  StorageElement element(bounded("local", 100, /*lru=*/true));
+  element.set_event_sink(&bus);
+
+  EXPECT_TRUE(element.store("old", 40));
+  EXPECT_TRUE(element.store("mid", 40));
+  element.touch("old");  // refresh: "mid" is now the LRU victim
+  recorder.lines.clear();
+
+  EXPECT_TRUE(element.store("new", 50));  // needs 30 -> evicts "mid" only
+  const std::vector<std::string> expected = {
+      "EVICT local mid 40",
+      "CREATE local new 50",
+      "CLOSEW local new 50",
+  };
+  EXPECT_EQ(recorder.lines, expected);
+  EXPECT_TRUE(element.holds("old"));
+  EXPECT_FALSE(element.holds("mid"));
+  EXPECT_EQ(element.used_bytes(), 90u);
+}
+
+TEST(StorageEvents, LruEvictsMultipleVictimsInRecencyOrder) {
+  StorageEventBus bus;
+  Recorder recorder;
+  bus.subscribe(&recorder);
+  StorageElement element(bounded("local", 100, /*lru=*/true));
+  element.set_event_sink(&bus);
+  element.store("a", 30);
+  element.store("b", 30);
+  element.store("c", 30);
+  recorder.lines.clear();
+
+  EXPECT_TRUE(element.store("big", 90));  // evicts a, then b, then c
+  const std::vector<std::string> expected = {
+      "EVICT local a 30",
+      "EVICT local b 30",
+      "EVICT local c 30",
+      "CREATE local big 90",
+      "CLOSEW local big 90",
+  };
+  EXPECT_EQ(recorder.lines, expected);
+}
+
+TEST(StorageEvents, OversizedFileFailsEvenWithLruAndEvictsNothing) {
+  StorageEventBus bus;
+  Recorder recorder;
+  bus.subscribe(&recorder);
+  StorageElement element(bounded("local", 100, /*lru=*/true));
+  element.set_event_sink(&bus);
+  element.store("keep", 10);
+  recorder.lines.clear();
+
+  EXPECT_FALSE(element.store("huge", 200));
+  EXPECT_TRUE(recorder.lines.empty());
+  EXPECT_TRUE(element.holds("keep"));
+}
+
+TEST(StorageEvents, BusStampsTimeFromTheSharedClock) {
+  sim::EventQueue queue;
+  StorageEventBus bus(&queue);
+  Recorder recorder;
+  bus.subscribe(&recorder);
+  StorageElement element(StorageElementConfig{.site = "local"});
+  element.set_event_sink(&bus);
+
+  element.store("t0", 1);
+  queue.schedule(42.0, [&] { element.store("t42", 1); });
+  while (queue.step()) {
+  }
+  ASSERT_EQ(recorder.times.size(), 4u);  // CREATE+CLOSEW at t=0 and t=42
+  EXPECT_DOUBLE_EQ(recorder.times[0], 0.0);
+  EXPECT_DOUBLE_EQ(recorder.times[3], 42.0);
+}
+
+// ----------------------------------------------------------------------
+// Edge cases against the full transfer/staging machinery.
+
+TEST(StorageEvents, EvictionDuringInFlightTransferStillLandsTheCopy) {
+  // The source copy is LRU-evicted while a transfer reads from it. The
+  // transfer captured its byte count at submission (bookkeeping model, no
+  // partial reads), so it still completes and the destination store fires
+  // CLOSEW — the event stream shows EVICT at the source strictly before
+  // the destination's CREATE.
+  sim::EventQueue queue;
+  TransferManager transfers(queue);
+  StorageEventBus bus(&queue);
+  transfers.add_element(bounded("src", 100, /*lru=*/true));
+  transfers.add_element(StorageElementConfig{.site = "dst"});
+  transfers.set_event_bus(&bus);
+  Recorder recorder;
+  bus.subscribe(&recorder);
+
+  transfers.element("src").store("hot.dat", 60);
+  bool done = false;
+  transfers.transfer("hot.dat", 60, "src", "dst",
+                     [&](const TransferResult& result) {
+                       EXPECT_TRUE(result.success);
+                       done = true;
+                     });
+  // While the copy is in flight, new data shoves the source copy out.
+  transfers.element("src").store("churn.dat", 80);
+  EXPECT_FALSE(transfers.element("src").holds("hot.dat"));
+  while (queue.step()) {
+  }
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(transfers.element("dst").holds("hot.dat"));
+
+  const std::vector<std::string> expected = {
+      "CREATE src hot.dat 60",  "CLOSEW src hot.dat 60",
+      "EVICT src hot.dat 60",   "CREATE src churn.dat 80",
+      "CLOSEW src churn.dat 80", "CREATE dst hot.dat 60",
+      "CLOSEW dst hot.dat 60",
+  };
+  EXPECT_EQ(recorder.lines, expected);
+}
+
+TEST(StorageEvents, DeleteOfLfnWithQueuedStageInsStillStages) {
+  // A stage-in sits queued behind a saturated slot when the source LFN is
+  // deleted. Byte counts were captured at submission, so the queued
+  // transfer still lands; the stream interleaves the DELETE between the
+  // first file's arrival and the queued file's.
+  sim::EventQueue queue;
+  TransferConfig config;
+  config.latency_seconds = 1.0;
+  TransferManager transfers(queue, config);
+  StorageEventBus bus(&queue);
+  StorageElementConfig src;
+  src.site = "src";
+  src.transfer_slots = 1;  // forces the second transfer to queue
+  transfers.add_element(src);
+  transfers.add_element(StorageElementConfig{.site = "dst"});
+  transfers.set_event_bus(&bus);
+  Recorder recorder;
+  bus.subscribe(&recorder);
+
+  transfers.element("src").store("a.in", 10);
+  transfers.element("src").store("b.in", 10);
+  std::size_t completed = 0;
+  const auto count = [&](const TransferResult& result) {
+    EXPECT_TRUE(result.success);
+    ++completed;
+  };
+  transfers.transfer("a.in", 10, "src", "dst", count);
+  transfers.transfer("b.in", 10, "src", "dst", count);
+  EXPECT_EQ(transfers.queued(), 1u);
+  transfers.element("src").evict("b.in");  // delete with a stage-in queued
+  while (queue.step()) {
+  }
+  EXPECT_EQ(completed, 2u);
+  EXPECT_TRUE(transfers.element("dst").holds("a.in"));
+  EXPECT_TRUE(transfers.element("dst").holds("b.in"));
+  ASSERT_EQ(recorder.lines.size(), 9u);
+  EXPECT_EQ(recorder.lines[4], "DELETE src b.in 10");
+  EXPECT_EQ(recorder.lines[5], "CREATE dst a.in 10");
+  EXPECT_EQ(recorder.lines[7], "CREATE dst b.in 10");
+}
+
+TEST(StorageEvents, ReplicaReRegistrationAfterEviction) {
+  // CatalogSync mirrors the stream into a ReplicaCatalog: a close
+  // registers the replica, an eviction removes it, and the next close
+  // registers it again (the EOS re-ingest cycle).
+  sim::EventQueue queue;
+  StorageEventBus bus(&queue);
+  wms::ReplicaCatalog catalog;
+  trigger::CatalogSync sync(catalog);
+  bus.subscribe(&sync);
+  StorageElement element(bounded("local", 100, /*lru=*/true));
+  element.set_event_sink(&bus);
+
+  element.store("contigs.fasta", 60);
+  EXPECT_TRUE(catalog.has("contigs.fasta"));
+  ASSERT_EQ(catalog.lookup("contigs.fasta").size(), 1u);
+  EXPECT_EQ(catalog.lookup("contigs.fasta")[0].site, "local");
+  EXPECT_EQ(catalog.lookup("contigs.fasta")[0].pfn, "/data/contigs.fasta");
+
+  element.store("churn", 80);  // LRU-evicts contigs.fasta
+  EXPECT_FALSE(element.holds("contigs.fasta"));
+  EXPECT_FALSE(catalog.has("contigs.fasta"));
+
+  element.store("contigs.fasta", 55);  // re-ingest (evicts churn)
+  EXPECT_TRUE(catalog.has("contigs.fasta"));
+  EXPECT_FALSE(catalog.has("churn"));
+  ASSERT_EQ(catalog.lookup("contigs.fasta").size(), 1u);
+  EXPECT_EQ(catalog.lookup("contigs.fasta")[0].size_bytes, 55u);
+  EXPECT_EQ(sync.registered(), 3u);  // contigs, churn, contigs again
+  EXPECT_EQ(sync.removed(), 2u);
+}
+
+TEST(StorageEvents, StagingBypassReusesResidentFiles) {
+  // reuse_resident: a stage-in whose file already sits on the destination
+  // element moves zero bytes and completes at the submit instant.
+  sim::EventQueue queue;
+  TransferManager transfers(queue);
+  transfers.add_element(StorageElementConfig{.site = "local"});
+  transfers.add_element(StorageElementConfig{.site = "osg"});
+  wms::ReplicaCatalog replicas;
+  replicas.add("in.dat", {"/data/in.dat", "local", 1000});
+
+  sim::CampusClusterPlatform platform(queue, {});
+  wms::SimService inner(queue, platform);  // unused: the job is pure stage-in
+  StagingConfig config;
+  config.reuse_resident = true;
+  StagingService staging(queue, inner, transfers, replicas, config);
+
+  transfers.element("osg").store("in.dat", 1000);  // already resident
+  wms::ConcreteJob job;
+  job.id = "stage_in_0";
+  job.kind = wms::JobKind::kStageIn;
+  job.site = "osg";
+  job.args = {"in.dat"};
+  staging.submit(job);
+  const auto attempts = staging.wait();
+  ASSERT_EQ(attempts.size(), 1u);
+  EXPECT_TRUE(attempts[0].success);
+  EXPECT_EQ(attempts[0].transferred_bytes, 0u);
+  EXPECT_GE(attempts[0].end_time, attempts[0].submit_time);
+  EXPECT_EQ(staging.bypassed_files(), 1u);
+  EXPECT_EQ(staging.bypassed_bytes(), 1000u);
+  EXPECT_EQ(transfers.stats().bytes_moved, 0u);
+}
+
+}  // namespace
+}  // namespace pga::data
