@@ -28,7 +28,12 @@
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "align/blastx.hpp"
+#include "align/simd.hpp"
 #include "align/sw.hpp"
 #include "assembly/cap3.hpp"
 #include "b2c3/cluster.hpp"
@@ -44,6 +49,20 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Cores this process may actually run on (the affinity mask, not the
+/// machine's nominal core count) — the honest denominator for any
+/// parallel-speedup claim. Falls back to hardware_concurrency.
+unsigned host_cores() {
+#if defined(__linux__)
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+#endif
+  return std::max(1u, std::thread::hardware_concurrency());
 }
 
 /// Peak resident set size (VmHWM) in bytes; 0 if /proc is unavailable.
@@ -142,7 +161,7 @@ struct KernelResult {
 };
 
 template <typename F>
-double cells_per_sec(F&& run, double min_seconds) {
+double cells_per_sec_once(F&& run, double min_seconds) {
   align::reset_dp_counters();
   const auto start = Clock::now();
   double elapsed = 0;
@@ -153,7 +172,23 @@ double cells_per_sec(F&& run, double min_seconds) {
   return static_cast<double>(align::dp_counters().cells) / elapsed;
 }
 
-KernelResult bench_kernels() {
+// Best-of-3: on a shared host, scheduler preemption during any single
+// timing window suppresses the rate arbitrarily; the max over repetitions
+// is the stable estimate of what the kernel sustains when it has the core.
+template <typename F>
+double cells_per_sec(F&& run, double min_seconds) {
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    best = std::max(best, cells_per_sec_once(run, min_seconds));
+  }
+  return best;
+}
+
+/// Measures all three kernels with the dispatch pinned to `level`, so the
+/// committed numbers always carry a scalar baseline next to the SIMD rate
+/// measured on the same host in the same run.
+KernelResult bench_kernels(align::SimdLevel level) {
+  align::set_simd_level(level);
   common::Rng rng(11);
   const std::string a = random_protein(2048, rng);
   std::string b = a;
@@ -170,6 +205,7 @@ KernelResult bench_kernels() {
   const std::string fb = b.substr(0, 512);
   r.full_cells_per_sec = cells_per_sec(
       [&] { align::smith_waterman(fa, fb); }, 0.3);
+  align::reset_simd_level();
   return r;
 }
 
@@ -384,10 +420,72 @@ int run_smoke(const std::string& out_path) {
            "pruning actually skipped tracebacks");
   }
 
+  // 6. SIMD vs scalar dispatch: identical kernels and identical overlap
+  // output no matter which path ran. On hosts without AVX2 both forced
+  // levels resolve to scalar and the checks still hold (trivially).
+  {
+    const bool have_avx2 = align::cpu_supports_avx2();
+    bool kernels_equal = true;
+    for (int t = 0; t < 25 && kernels_equal; ++t) {
+      const std::string q = random_protein(30 + rng.below(300), rng);
+      const std::string s = random_protein(30 + rng.below(300), rng);
+      const long diag = static_cast<long>(rng.below(33)) - 16;
+      align::set_simd_level(align::SimdLevel::kScalar);
+      const auto sc_so = align::banded_score_only(q, s, profile, diag, 24, {});
+      const auto sc_aln = align::banded_align(q, s, profile, diag, 24, {});
+      align::set_simd_level(align::SimdLevel::kAvx2);
+      const auto vx_so = align::banded_score_only(q, s, profile, diag, 24, {});
+      const auto vx_aln = align::banded_align(q, s, profile, diag, 24, {});
+      align::reset_simd_level();
+      kernels_equal =
+          sc_so.score == vx_so.score && sc_so.q_end == vx_so.q_end &&
+          sc_so.s_end == vx_so.s_end && sc_aln.score == vx_aln.score &&
+          sc_aln.q_begin == vx_aln.q_begin && sc_aln.q_end == vx_aln.q_end &&
+          sc_aln.s_begin == vx_aln.s_begin && sc_aln.s_end == vx_aln.s_end &&
+          sc_aln.matches == vx_aln.matches &&
+          sc_aln.mismatches == vx_aln.mismatches &&
+          sc_aln.gap_opens == vx_aln.gap_opens &&
+          sc_aln.gap_residues == vx_aln.gap_residues;
+    }
+    expect(kernels_equal,
+           have_avx2 ? "avx2 kernel byte-equivalent to scalar (25 pairs)"
+                     : "scalar fallback self-consistent (host lacks AVX2)");
+
+    const auto seqs = gene_fragments(3, 12, 9);
+    align::set_simd_level(align::SimdLevel::kScalar);
+    const auto scalar_ov = assembly::find_overlaps(seqs);
+    align::set_simd_level(align::SimdLevel::kAvx2);
+    common::ThreadPool pool(2);
+    const auto simd_ov = assembly::find_overlaps(seqs, {}, &pool);
+    align::reset_simd_level();
+    expect(serialize_overlaps(scalar_ov) == serialize_overlaps(simd_ov),
+           "overlaps byte-identical across dispatch paths");
+  }
+
+  // 7. Per-thread counters merge: a pool fan-out tallies exactly the
+  // serial cell count times the fan-out.
+  {
+    const std::string q = random_protein(300, rng);
+    const std::string s = random_protein(310, rng);
+    align::reset_dp_counters();
+    align::banded_score_only(q, s, profile, 0, 16, {});
+    const auto one = align::dp_counters();
+    align::reset_dp_counters();
+    common::ThreadPool pool(4);
+    pool.parallel_for(8, 1, [&](std::size_t, std::size_t, std::size_t) {
+      align::banded_score_only(q, s, profile, 0, 16, {});
+    });
+    const auto merged = align::dp_counters();
+    expect(merged.cells == 8 * one.cells && merged.score_only == 8,
+           "per-thread DpCounters merge to the exact pool-run total");
+  }
+
   std::ofstream out(out_path);
   out << "{\n  \"benchmark\": \"align_e2e\",\n  \"mode\": \"smoke\",\n"
+      << "  \"simd_isa\": \"" << align::active_simd_isa() << "\",\n"
       << "  \"failures\": " << failures << "\n}\n";
-  std::printf("align_e2e smoke: %s\n", failures == 0 ? "OK" : "FAILED");
+  std::printf("align_e2e smoke [%s]: %s\n", align::active_simd_isa(),
+              failures == 0 ? "OK" : "FAILED");
   return failures == 0 ? 0 : 1;
 }
 
@@ -396,7 +494,10 @@ int run_smoke(const std::string& out_path) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path;
-  std::size_t workers = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned cores = host_cores();
+  // Default to the 8-worker configuration the acceptance numbers are
+  // quoted at, clamped to what this host can actually run in parallel.
+  std::size_t workers = std::min<std::size_t>(8, cores);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -413,11 +514,31 @@ int main(int argc, char** argv) {
   if (out_path.empty()) out_path = smoke ? "BENCH_align_smoke.json" : "BENCH_align.json";
   if (smoke) return run_smoke(out_path);
 
+  // Honesty guard: oversubscribed "parallel speedup" numbers (more
+  // workers than schedulable cores) are noise, not results. Refuse to
+  // write a full-mode BENCH file rather than commit them.
+  if (workers > cores) {
+    std::fprintf(stderr,
+                 "align_e2e: refusing full benchmark with %zu workers on %u "
+                 "schedulable core(s); rerun with --workers <= %u\n",
+                 workers, cores, cores);
+    return 2;
+  }
+
   std::printf("== align/assembly kernel + e2e benchmark ==\n");
-  const auto kernel = bench_kernels();
-  std::printf("kernel: banded %.1fM cells/s, score-only %.1fM cells/s, full %.1fM cells/s\n",
+  std::printf("host_cores %u, workers %zu, dispatch %s (avx2 %s)\n", cores,
+              workers, align::active_simd_isa(),
+              align::cpu_supports_avx2() ? "supported" : "unavailable");
+  const auto kernel = bench_kernels(align::active_simd_level());
+  const auto kernel_scalar = bench_kernels(align::SimdLevel::kScalar);
+  std::printf("kernel[%s]: banded %.1fM cells/s, score-only %.1fM cells/s, full %.1fM cells/s\n",
+              align::active_simd_isa(),
               kernel.banded_cells_per_sec / 1e6, kernel.score_only_cells_per_sec / 1e6,
               kernel.full_cells_per_sec / 1e6);
+  std::printf("kernel[scalar]: banded %.1fM cells/s, score-only %.1fM cells/s, full %.1fM cells/s\n",
+              kernel_scalar.banded_cells_per_sec / 1e6,
+              kernel_scalar.score_only_cells_per_sec / 1e6,
+              kernel_scalar.full_cells_per_sec / 1e6);
   const auto overlap = bench_overlaps(workers);
   std::printf("overlap: %zu candidates, %zu pruned, serial %.2fs, parallel %.2fs "
               "(x%.2f, identical=%s)\n",
@@ -438,7 +559,14 @@ int main(int argc, char** argv) {
       "  \"mode\": \"full\",\n"
       "  \"host_cores\": %u,\n"
       "  \"workers\": %zu,\n"
+      "  \"simd_isa\": \"%s\",\n"
+      "  \"avx2_supported\": %s,\n"
       "  \"kernel\": {\n"
+      "    \"banded_cells_per_sec\": %.0f,\n"
+      "    \"score_only_cells_per_sec\": %.0f,\n"
+      "    \"full_cells_per_sec\": %.0f\n"
+      "  },\n"
+      "  \"kernel_scalar\": {\n"
       "    \"banded_cells_per_sec\": %.0f,\n"
       "    \"score_only_cells_per_sec\": %.0f,\n"
       "    \"full_cells_per_sec\": %.0f\n"
@@ -465,9 +593,13 @@ int main(int argc, char** argv) {
       "  },\n"
       "  \"peak_rss_mb\": %.1f\n"
       "}\n",
-      std::thread::hardware_concurrency(), workers,
+      cores, workers, align::active_simd_isa(),
+      align::cpu_supports_avx2() ? "true" : "false",
       kernel.banded_cells_per_sec, kernel.score_only_cells_per_sec,
-      kernel.full_cells_per_sec, overlap.sequences, overlap.stats.candidate_pairs,
+      kernel.full_cells_per_sec, kernel_scalar.banded_cells_per_sec,
+      kernel_scalar.score_only_cells_per_sec,
+      kernel_scalar.full_cells_per_sec,
+      overlap.sequences, overlap.stats.candidate_pairs,
       overlap.stats.pruned, overlap.stats.tracebacks, overlap.stats.accepted,
       overlap.serial_seconds, overlap.parallel_seconds,
       overlap.pairs_per_sec_serial, overlap.pairs_per_sec_parallel,

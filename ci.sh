@@ -47,11 +47,16 @@ build/bench/scale_dag --smoke --out build/BENCH_scale_smoke.json
 # Align perf smoke: machine-independent guards on the science kernels —
 # banded DP cell counts match the closed-form in-band envelope (so a band
 # or layout regression that reintroduces quadratic work fails), score-only
-# and traceback kernels agree, and the parallel overlap phase is
-# bit-identical to serial. BENCH_align.json in the repo root is the
-# committed full benchmark; regenerate with `build/bench/align_e2e`.
-echo "==> perf smoke (align_e2e --smoke)"
+# and traceback kernels agree, the AVX2 and scalar kernels are
+# byte-equivalent, and the parallel overlap phase is bit-identical to
+# serial. Runs twice — dispatch forced scalar, then auto (AVX2 where the
+# CPU has it) — so both code paths stay green on every CI run.
+# BENCH_align.json in the repo root is the committed full benchmark;
+# regenerate with `build/bench/align_e2e`.
+echo "==> perf smoke (align_e2e --smoke, forced-scalar + auto dispatch)"
 cmake --build build -j "${jobs}" --target align_e2e
+PGA_SW_DISPATCH=scalar build/bench/align_e2e --smoke \
+  --out build/BENCH_align_smoke_scalar.json
 build/bench/align_e2e --smoke --out build/BENCH_align_smoke.json
 
 # Shape perf smoke: the workload generator's whole taxonomy through

@@ -40,6 +40,7 @@ struct SearchScratch {
   std::vector<WordHit> word_hits;
   std::vector<std::uint64_t> seeds;
   std::vector<std::pair<std::size_t, long>> diags;  // (count, diagonal)
+  PreparedSeq frame_query;  ///< current frame protein, encoded once
 };
 
 SearchScratch& search_scratch() {
@@ -74,6 +75,11 @@ BlastxSearch::BlastxSearch(std::vector<bio::SeqRecord> proteins, BlastxParams pa
     throw common::InvalidArgument("min_seeds_per_diagonal must be >= 1");
   }
   if (params_.band == 0) throw common::InvalidArgument("band must be >= 1");
+  const ScoringProfile& profile = ScoringProfile::protein_blosum62();
+  prepared_subjects_.resize(proteins_.size());
+  for (std::size_t i = 0; i < proteins_.size(); ++i) {
+    prepared_subjects_[i].assign(proteins_[i].seq, profile);
+  }
 }
 
 std::vector<TabularHit> BlastxSearch::search(const bio::SeqRecord& transcript) const {
@@ -90,6 +96,9 @@ std::vector<TabularHit> BlastxSearch::search(const bio::SeqRecord& transcript) c
   for (const auto& ft : scratch.frames) {
     const std::string& fp = ft.protein;
     if (fp.size() < k) continue;
+    // Encode the frame protein once; every candidate diagonal of every
+    // subject below reuses it.
+    scratch.frame_query.assign(fp, profile);
 
     // Collect word seeds as packed (subject, diagonal) keys — a flat
     // append + sort + run-length scan instead of a node-based map insert
@@ -140,8 +149,9 @@ std::vector<TabularHit> BlastxSearch::search(const bio::SeqRecord& transcript) c
       long best_diag = 0;
       bool have_best = false;
       for (const auto& [count, diag] : diags) {
-        const ScoreOnlyResult so = banded_score_only(
-            fp, proteins_[subject].seq, profile, diag, params_.band, params_.gaps);
+        const ScoreOnlyResult so =
+            banded_score_only(scratch.frame_query, prepared_subjects_[subject],
+                              profile, diag, params_.band, params_.gaps);
         if (so.score > best_score) {
           best_score = so.score;
           best_diag = diag;
@@ -149,8 +159,9 @@ std::vector<TabularHit> BlastxSearch::search(const bio::SeqRecord& transcript) c
         }
       }
       if (!have_best) continue;
-      const LocalAlignment best_aln = banded_align(
-          fp, proteins_[subject].seq, profile, best_diag, params_.band, params_.gaps);
+      const LocalAlignment best_aln =
+          banded_align(scratch.frame_query, prepared_subjects_[subject], profile,
+                       best_diag, params_.band, params_.gaps);
       if (static_cast<long>(best_aln.alignment_length()) < params_.min_alignment_length) {
         continue;
       }
@@ -205,34 +216,19 @@ std::vector<TabularHit> BlastxSearch::search_all(
     return all;
   }
 
-  // Fan out in contiguous chunks, ~4 per worker: enough slack for load
-  // balancing across uneven transcripts while paying the packaged_task /
-  // future overhead once per chunk instead of once per transcript.
-  // Chunk-order collection preserves input order exactly like the old
-  // per-transcript fan-out did.
-  const std::size_t chunk_target = std::max<std::size_t>(1, pool->size() * 4);
-  const std::size_t chunk_count = std::min(transcripts.size(), chunk_target);
-  const std::size_t base = transcripts.size() / chunk_count;
-  const std::size_t extra = transcripts.size() % chunk_count;
-  std::vector<std::future<std::vector<TabularHit>>> futures;
-  futures.reserve(chunk_count);
-  std::size_t begin = 0;
-  for (std::size_t c = 0; c < chunk_count; ++c) {
-    const std::size_t end = begin + base + (c < extra ? 1 : 0);
-    futures.push_back(pool->submit([this, &transcripts, begin, end] {
-      std::vector<TabularHit> chunk_hits;
-      for (std::size_t i = begin; i < end; ++i) {
-        auto hits = search(transcripts[i]);
-        chunk_hits.insert(chunk_hits.end(), std::make_move_iterator(hits.begin()),
-                          std::make_move_iterator(hits.end()));
-      }
-      return chunk_hits;
-    }));
-    begin = end;
-  }
+  // Work-stealing fan-out, one transcript per chunk: per-transcript slots
+  // keep the concatenation in input order for any worker count, stealing
+  // absorbs uneven transcripts, and the pool submits one task per worker
+  // instead of one packaged_task + future per chunk.
+  std::vector<std::vector<TabularHit>> per_transcript(transcripts.size());
+  pool->parallel_for(transcripts.size(), /*chunk=*/1,
+                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         per_transcript[i] = search(transcripts[i]);
+                       }
+                     });
   std::vector<TabularHit> all;
-  for (auto& f : futures) {
-    auto hits = f.get();
+  for (auto& hits : per_transcript) {
     all.insert(all.end(), std::make_move_iterator(hits.begin()),
                std::make_move_iterator(hits.end()));
   }

@@ -51,6 +51,10 @@ class BlastxSearch {
   std::vector<bio::SeqRecord> proteins_;
   BlastxParams params_;
   KmerIndex index_;
+  /// Each database protein encoded once at construction (views into
+  /// proteins_, which never changes afterwards); every search() reuses
+  /// them instead of re-encoding the subject per (subject, diagonal).
+  std::vector<PreparedSeq> prepared_subjects_;
 };
 
 }  // namespace pga::align

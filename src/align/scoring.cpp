@@ -1,5 +1,6 @@
 #include "align/scoring.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cctype>
 #include <cmath>
@@ -123,6 +124,16 @@ void ScoringProfile::encode(std::string_view seq,
   for (std::size_t i = 0; i < seq.size(); ++i) {
     out[i] = encode_[static_cast<unsigned char>(seq[i])];
   }
+}
+
+void PreparedSeq::assign(std::string_view seq, const ScoringProfile& profile) {
+  chars_ = seq;
+  codes_.resize(seq.size() + ScoringProfile::kCodePadding);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    codes_[i] = profile.encode_char(seq[i]);
+  }
+  std::fill(codes_.begin() + static_cast<std::ptrdiff_t>(seq.size()),
+            codes_.end(), std::uint8_t{0});
 }
 
 }  // namespace pga::align

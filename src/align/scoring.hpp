@@ -57,6 +57,10 @@ class ScoringProfile {
   /// rejects them earlier).
   static ScoringProfile dna(int match, int mismatch);
 
+  /// Bytes of zero-padding PreparedSeq keeps after the encoded codes, so a
+  /// vector kernel may overread up to one SIMD register past the end.
+  static constexpr std::size_t kCodePadding = 16;
+
   /// Substitution score of two encoded residues.
   [[nodiscard]] int score(std::uint8_t a, std::uint8_t b) const {
     return table_[(static_cast<std::size_t>(a) << 5) | b];
@@ -76,6 +80,40 @@ class ScoringProfile {
 
   std::array<std::uint8_t, 256> encode_{};
   std::array<int, kCodes * kCodes> table_{};
+};
+
+/// A sequence encoded once against a ScoringProfile and reused across many
+/// alignments — the per-pair encode the DP entry points used to pay is
+/// hoisted here, so a blastx search encodes each frame protein and each
+/// database subject exactly once per query instead of once per (subject,
+/// diagonal) pair, and the overlap phase encodes each fragment (and its
+/// reverse complement) once for all its candidate pairs.
+///
+/// Holds a view of the caller's characters (the traceback needs them for
+/// match counting) plus an owned, zero-padded code buffer
+/// (ScoringProfile::kCodePadding slack bytes, so SIMD kernels may overread
+/// a full register past the end). The viewed string must outlive the
+/// PreparedSeq. assign() reuses the code buffer's capacity, so a
+/// thread-local PreparedSeq re-assigned per call allocates nothing in
+/// steady state.
+class PreparedSeq {
+ public:
+  PreparedSeq() = default;
+  PreparedSeq(std::string_view seq, const ScoringProfile& profile) {
+    assign(seq, profile);
+  }
+
+  /// Re-points at `seq` and re-encodes it under `profile`.
+  void assign(std::string_view seq, const ScoringProfile& profile);
+
+  [[nodiscard]] std::string_view chars() const { return chars_; }
+  [[nodiscard]] const std::uint8_t* codes() const { return codes_.data(); }
+  [[nodiscard]] std::size_t size() const { return chars_.size(); }
+  [[nodiscard]] bool empty() const { return chars_.empty(); }
+
+ private:
+  std::string_view chars_;
+  std::vector<std::uint8_t> codes_;
 };
 
 }  // namespace pga::align

@@ -1,0 +1,52 @@
+// Runtime SIMD dispatch for the Smith–Waterman kernels.
+//
+// The banded Gotoh kernel has two interchangeable implementations: the
+// scalar band-compressed loop (the mandatory fallback, and the reference
+// the golden fixtures were pinned against) and an AVX2 row-vectorized
+// rewrite (sw_simd_avx2.cpp). Both evaluate the *identical* integer
+// recurrence — the vector kernel reorders the computation (M/Y from the
+// previous row in one vectorized pass, then the horizontal-gap X state as
+// a Kogge–Stone max-prefix scan) but never changes a single cell value, so
+// every caller gets byte-identical scores, end cells, tracebacks and
+// DpCounters on either path.
+//
+// Dispatch order:
+//   1. the PGA_SW_DISPATCH environment variable ("scalar", "avx2",
+//      "auto"/unset), read once at first use;
+//   2. set_simd_level() — a test/bench hook that overrides the env
+//      decision until reset_simd_level();
+//   3. under "auto": AVX2 when the CPU reports it, else scalar.
+// Requesting "avx2" on a CPU (or build) without it falls back to scalar
+// rather than faulting.
+#pragma once
+
+namespace pga::align {
+
+/// Kernel implementation tiers, ordered by capability.
+enum class SimdLevel {
+  kScalar = 0,  ///< band-compressed scalar loop (always available)
+  kAvx2 = 1,    ///< AVX2 row-vectorized kernel (x86-64 with AVX2 only)
+};
+
+/// True when this build carries the AVX2 kernel and the CPU supports it.
+bool cpu_supports_avx2();
+
+/// The level the next kernel invocation will dispatch to (env knob +
+/// override + CPU detection applied).
+SimdLevel active_simd_level();
+
+/// Human-readable name of a level: "scalar" or "avx2".
+const char* simd_level_name(SimdLevel level);
+
+/// Name of the level active_simd_level() currently resolves to.
+const char* active_simd_isa();
+
+/// Overrides the dispatch decision (clamped to what the CPU supports).
+/// Test and benchmark hook — not thread-safe against concurrently running
+/// kernels; flip it only while no alignments are in flight.
+void set_simd_level(SimdLevel level);
+
+/// Drops any set_simd_level() override, returning to env + auto detection.
+void reset_simd_level();
+
+}  // namespace pga::align

@@ -2,90 +2,97 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <string>
 #include <vector>
 
+#include "align/simd.hpp"
+#include "align/sw_internal.hpp"
 #include "common/error.hpp"
 
 namespace pga::align {
 
 namespace {
 
-constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+using detail::DpWorkspace;
+using detail::KernelParams;
+using detail::KernelSummary;
+using detail::kDiagFromM;
+using detail::kDiagFromX;
+using detail::kMDirMask;
+using detail::kNegInf;
+using detail::kXOpenBit;
+using detail::kYOpenBit;
+using detail::row_hi;
+using detail::row_lo;
 
-// Traceback states, packed one byte per in-band cell:
-//   bits 0-1  M-state source (0 = local start, 1 = M, 2 = X, 3 = Y)
-//   bit  2    X-state opened a gap here (else extended)
-//   bit  3    Y-state opened a gap here (else extended)
-constexpr unsigned char kMDirMask = 0x3;
-constexpr unsigned char kDiagFromM = 1;
-constexpr unsigned char kDiagFromX = 2;
-constexpr unsigned char kXOpenBit = 0x4;
-constexpr unsigned char kYOpenBit = 0x8;
-
-std::atomic<std::uint64_t> g_cells{0};
-std::atomic<std::uint64_t> g_tracebacks{0};
-std::atomic<std::uint64_t> g_score_only{0};
-
-/// Reused per-thread DP storage: encoded sequences, six rolling score rows
-/// and the packed traceback band. Capacity persists across calls, so the
-/// steady-state kernel allocates nothing.
-struct Workspace {
-  std::vector<std::uint8_t> q_codes, s_codes;
-  std::vector<int> rows[6];  // m_prev x_prev y_prev m_cur x_cur y_cur
-  std::vector<unsigned char> tb;
+// ---------------------------------------------------------------------------
+// DP work counters: one cache-line-aligned node per thread, linked into a
+// process-wide list and merged on read. Each node is written only by its
+// owning thread (relaxed atomics keep the reads race-free), so parallel
+// alignment runs stop bouncing a shared counter cache line — the per-item
+// fetch_add contention the old three process-global atomics paid on every
+// kernel invocation from every worker.
+struct alignas(64) CounterNode {
+  std::atomic<std::uint64_t> cells{0};
+  std::atomic<std::uint64_t> tracebacks{0};
+  std::atomic<std::uint64_t> score_only{0};
+  CounterNode* next = nullptr;
 };
 
-Workspace& workspace() {
-  thread_local Workspace ws;
+std::atomic<CounterNode*> g_counter_head{nullptr};
+
+CounterNode& local_counters() {
+  // Nodes are intentionally never freed: a worker thread's tallies remain
+  // visible in dp_counters() after the thread (or its pool) is gone. One
+  // 64-byte node per kernel-touching thread over the process lifetime.
+  thread_local CounterNode* node = [] {
+    auto* n = new CounterNode;
+    CounterNode* head = g_counter_head.load(std::memory_order_relaxed);
+    do {
+      n->next = head;
+    } while (!g_counter_head.compare_exchange_weak(
+        head, n, std::memory_order_release, std::memory_order_relaxed));
+    return n;
+  }();
+  return *node;
+}
+
+DpWorkspace& workspace() {
+  thread_local DpWorkspace ws;
   return ws;
 }
 
-/// The band of row i covers columns [row_lo, row_hi] (1-based, clamped to
-/// [1, m]); empty when row_lo > row_hi.
-inline long row_lo(long i, long diagonal, long band) {
-  return std::max(1L, i - diagonal - band);
-}
-inline long row_hi(long i, long diagonal, long band, long m) {
-  return std::min(m, i - diagonal + band);
-}
-
-/// Band-compressed Gotoh kernel. With Traceback, fills ws.tb (W bytes per
-/// row) and `out` with the full alignment; without, only the best score
-/// and its end cell are produced. Cell values are identical to the
-/// classic full-matrix recurrence: neighbours outside the band read as
-/// M = 0, X = Y = -inf, exactly the values the full layout held there.
+// ---------------------------------------------------------------------------
+// Scalar band-compressed Gotoh kernel — the mandatory fallback and the
+// reference implementation the golden fixtures pin. With Traceback, fills
+// ws.tb (tb_width bytes per row); cell values are identical to the classic
+// full-matrix recurrence: neighbours outside the band read as M = 0,
+// X = Y = -inf, exactly the values the full layout held there.
 template <bool Traceback>
-void gotoh_kernel(std::string_view q, std::string_view s,
-                  const ScoringProfile& profile, const GapPenalties& gaps,
-                  long diagonal, long band, LocalAlignment* aln,
-                  ScoreOnlyResult* score_out) {
-  const long n = static_cast<long>(q.size());
-  const long m = static_cast<long>(s.size());
-  if (n == 0 || m == 0) return;
-  band = std::min(band, n + m);  // wider bands add no reachable cells
+KernelSummary scalar_kernel(const KernelParams& kp, DpWorkspace& ws) {
+  const long n = kp.n;
+  const long m = kp.m;
+  const long diagonal = kp.diagonal;
+  const long band = kp.band;
 
-  Workspace& ws = workspace();
-  profile.encode(q, ws.q_codes);
-  profile.encode(s, ws.s_codes);
-
-  // Row capacity: a band row never exceeds min(m, 2*band+1) cells.
-  const long w = std::min(m, 2 * band + 1);
+  const long w = detail::tb_width(m, band);
   const auto width = static_cast<std::size_t>(w);
-  for (auto& row : ws.rows) row.resize(width);
+  for (auto& row : ws.band_rows) row.resize(width);
   if (Traceback) ws.tb.resize(static_cast<std::size_t>(n) * width);
 
-  int* m_prev = ws.rows[0].data();
-  int* x_prev = ws.rows[1].data();
-  int* y_prev = ws.rows[2].data();
-  int* m_cur = ws.rows[3].data();
-  int* x_cur = ws.rows[4].data();
-  int* y_cur = ws.rows[5].data();
+  int* m_prev = ws.band_rows[0].data();
+  int* x_prev = ws.band_rows[1].data();
+  int* y_prev = ws.band_rows[2].data();
+  int* m_cur = ws.band_rows[3].data();
+  int* x_cur = ws.band_rows[4].data();
+  int* y_cur = ws.band_rows[5].data();
 
-  const int open_cost = gaps.open + gaps.extend;  // cost of a length-1 gap
-  int best = 0;
-  long best_i = 0, best_j = 0;
-  std::uint64_t cells = 0;
+  const int open_cost = kp.open_cost;
+  const int extend = kp.extend;
+  KernelSummary res;
 
   long lo_prev = 1, hi_prev = 0;  // row 0 holds only defaults
   for (long i = 1; i <= n; ++i) {
@@ -96,8 +103,8 @@ void gotoh_kernel(std::string_view q, std::string_view s,
       hi_prev = 0;  // next row reads pure defaults
       continue;
     }
-    cells += static_cast<std::uint64_t>(hi - lo + 1);
-    const int* score_row = profile.row(ws.q_codes[static_cast<std::size_t>(i - 1)]);
+    res.cells += static_cast<std::uint64_t>(hi - lo + 1);
+    const int* score_row = kp.profile->row(kp.q_codes[i - 1]);
     // Reads from the previous row; out-of-band cells held M=0, X=Y=-inf.
     const auto prev_m_at = [&](long j) {
       return (j >= lo_prev && j <= hi_prev) ? m_prev[j - lo_prev] : 0;
@@ -113,7 +120,7 @@ void gotoh_kernel(std::string_view q, std::string_view s,
     unsigned char* tb_row =
         Traceback ? ws.tb.data() + static_cast<std::size_t>(i - 1) * width : nullptr;
     for (long j = lo; j <= hi; ++j) {
-      const int sub = score_row[ws.s_codes[static_cast<std::size_t>(j - 1)]];
+      const int sub = score_row[kp.s_codes[j - 1]];
 
       // Substitution state.
       int from = 0;
@@ -134,7 +141,7 @@ void gotoh_kernel(std::string_view q, std::string_view s,
 
       // Gap in query (moves left along subject).
       const int x_open = m_left - open_cost;
-      const int x_ext = x_left - gaps.extend;
+      const int x_ext = x_left - extend;
       int x_val;
       if (x_open >= x_ext) {
         x_val = x_open;
@@ -145,7 +152,7 @@ void gotoh_kernel(std::string_view q, std::string_view s,
 
       // Gap in subject (moves up along query).
       const int y_open = prev_m_at(j) - open_cost;
-      const int y_ext = prev_y_at(j) - gaps.extend;
+      const int y_ext = prev_y_at(j) - extend;
       int y_val;
       if (y_open >= y_ext) {
         y_val = y_open;
@@ -158,10 +165,10 @@ void gotoh_kernel(std::string_view q, std::string_view s,
       x_cur[j - lo] = x_val;
       y_cur[j - lo] = y_val;
       if (Traceback) tb_row[j - lo] = tb_byte;
-      if (m_val > best) {
-        best = m_val;
-        best_i = i;
-        best_j = j;
+      if (m_val > res.best) {
+        res.best = m_val;
+        res.best_i = i;
+        res.best_j = j;
       }
       m_left = m_val;
       x_left = x_val;
@@ -172,37 +179,93 @@ void gotoh_kernel(std::string_view q, std::string_view s,
     lo_prev = lo;
     hi_prev = hi;
   }
+  return res;
+}
 
-  g_cells.fetch_add(cells, std::memory_order_relaxed);
+// ---------------------------------------------------------------------------
+// Dispatch: PGA_SW_DISPATCH env knob, test override, CPU detection.
+
+std::atomic<int> g_level_override{-1};
+
+SimdLevel env_level() {
+  static const SimdLevel level = [] {
+    if (const char* env = std::getenv("PGA_SW_DISPATCH")) {
+      if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+      if (std::strcmp(env, "avx2") == 0) {
+        return cpu_supports_avx2() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+      }
+      // "auto" and anything unrecognized fall through to detection.
+    }
+    return cpu_supports_avx2() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  }();
+  return level;
+}
+
+// ---------------------------------------------------------------------------
+// Shared entry: run the dispatched kernel, update this thread's counters,
+// then (for traceback runs) walk the packed band both kernels fill.
+
+template <bool Traceback>
+void run_banded(std::string_view q, const std::uint8_t* q_codes,
+                std::string_view s, const std::uint8_t* s_codes,
+                const ScoringProfile& profile, const GapPenalties& gaps,
+                long diagonal, std::size_t band_in, LocalAlignment* aln,
+                ScoreOnlyResult* score_out) {
+  const long n = static_cast<long>(q.size());
+  const long m = static_cast<long>(s.size());
+  if (n == 0 || m == 0) return;
+
+  KernelParams kp;
+  kp.q_codes = q_codes;
+  kp.s_codes = s_codes;
+  kp.n = n;
+  kp.m = m;
+  kp.profile = &profile;
+  kp.open_cost = gaps.open + gaps.extend;
+  kp.extend = gaps.extend;
+  kp.diagonal = diagonal;
+  // Wider bands add no reachable cells.
+  kp.band = static_cast<long>(
+      std::min<std::size_t>(band_in, static_cast<std::size_t>(n + m)));
+
+  DpWorkspace& ws = workspace();
+  const long width = detail::tb_width(m, kp.band);
+  const bool use_avx2 = width >= 8 && active_simd_level() == SimdLevel::kAvx2;
+  const KernelSummary res = use_avx2
+                                ? detail::banded_kernel_avx2(kp, ws, Traceback)
+                                : scalar_kernel<Traceback>(kp, ws);
+
+  CounterNode& counters = local_counters();
+  counters.cells.fetch_add(res.cells, std::memory_order_relaxed);
   if (Traceback) {
-    g_tracebacks.fetch_add(1, std::memory_order_relaxed);
+    counters.tracebacks.fetch_add(1, std::memory_order_relaxed);
   } else {
-    g_score_only.fetch_add(1, std::memory_order_relaxed);
+    counters.score_only.fetch_add(1, std::memory_order_relaxed);
   }
 
-  if (best <= 0) return;
+  if (res.best <= 0) return;
 
   if (!Traceback) {
-    score_out->score = best;
-    score_out->q_end = static_cast<std::size_t>(best_i);
-    score_out->s_end = static_cast<std::size_t>(best_j);
+    score_out->score = res.best;
+    score_out->q_end = static_cast<std::size_t>(res.best_i);
+    score_out->s_end = static_cast<std::size_t>(res.best_j);
     return;
   }
 
   // Traceback from the best substitution cell. Out-of-band reads return
   // byte 0 — M stops, X/Y extend — matching the defaults the full-matrix
   // layout kept in its unvisited cells.
-  aln->score = best;
-  aln->q_end = static_cast<std::size_t>(best_i);
-  aln->s_end = static_cast<std::size_t>(best_j);
-  long i = best_i, j = best_j;
+  aln->score = res.best;
+  aln->q_end = static_cast<std::size_t>(res.best_i);
+  aln->s_end = static_cast<std::size_t>(res.best_j);
+  long i = res.best_i, j = res.best_j;
   char state = 'M';
   while (i > 0 && j > 0) {
-    const long lo = row_lo(i, diagonal, band);
-    const long hi = row_hi(i, diagonal, band, m);
+    const long lo = row_lo(i, diagonal, kp.band);
+    const long hi = row_hi(i, diagonal, kp.band, m);
     const unsigned char tb_byte =
         (j >= lo && j <= hi)
-            ? ws.tb[static_cast<std::size_t>(i - 1) * width +
+            ? ws.tb[static_cast<std::size_t>(i - 1) * static_cast<std::size_t>(width) +
                     static_cast<std::size_t>(j - lo)]
             : 0;
     if (state == 'M') {
@@ -238,6 +301,18 @@ void gotoh_kernel(std::string_view q, std::string_view s,
   aln->s_begin = static_cast<std::size_t>(j);
 }
 
+/// Per-thread PreparedSeq scratch for the string_view entry points: the
+/// encode-once buffers are reused across calls, so the steady-state
+/// kernel still allocates nothing.
+struct PreparedScratch {
+  PreparedSeq query, subject;
+};
+
+PreparedScratch& prepared_scratch() {
+  thread_local PreparedScratch scratch;
+  return scratch;
+}
+
 /// Thread-cached DNA profile: rebuilding costs a 1.3 KB table fill, but
 /// the overlap phase calls the kernel per candidate pair with constant
 /// (match, mismatch), so caching avoids even that.
@@ -262,26 +337,81 @@ void check_dna_params(const char* who, int match, int mismatch) {
 
 }  // namespace
 
-LocalAlignment banded_align(std::string_view query, std::string_view subject,
+// ---------------------------------------------------------------------------
+// Dispatch control (declared in align/simd.hpp).
+
+bool cpu_supports_avx2() {
+#if PGA_HAVE_AVX2_KERNEL
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported && detail::avx2_kernel_compiled();
+#else
+  return false;
+#endif
+}
+
+SimdLevel active_simd_level() {
+  const int forced = g_level_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdLevel>(forced);
+  return env_level();
+}
+
+const char* simd_level_name(SimdLevel level) {
+  return level == SimdLevel::kAvx2 ? "avx2" : "scalar";
+}
+
+const char* active_simd_isa() { return simd_level_name(active_simd_level()); }
+
+void set_simd_level(SimdLevel level) {
+  if (level == SimdLevel::kAvx2 && !cpu_supports_avx2()) {
+    level = SimdLevel::kScalar;
+  }
+  g_level_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void reset_simd_level() {
+  g_level_override.store(-1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points.
+
+LocalAlignment banded_align(const PreparedSeq& query, const PreparedSeq& subject,
                             const ScoringProfile& profile, long diagonal,
                             std::size_t band, const GapPenalties& gaps) {
   LocalAlignment aln;
-  gotoh_kernel<true>(query, subject, profile, gaps, diagonal,
-                     static_cast<long>(std::min<std::size_t>(
-                         band, query.size() + subject.size() + 1)),
-                     &aln, nullptr);
+  run_banded<true>(query.chars(), query.codes(), subject.chars(), subject.codes(),
+                   profile, gaps, diagonal, band, &aln, nullptr);
   return aln;
+}
+
+ScoreOnlyResult banded_score_only(const PreparedSeq& query,
+                                  const PreparedSeq& subject,
+                                  const ScoringProfile& profile, long diagonal,
+                                  std::size_t band, const GapPenalties& gaps) {
+  ScoreOnlyResult result;
+  run_banded<false>(query.chars(), query.codes(), subject.chars(), subject.codes(),
+                    profile, gaps, diagonal, band, nullptr, &result);
+  return result;
+}
+
+LocalAlignment banded_align(std::string_view query, std::string_view subject,
+                            const ScoringProfile& profile, long diagonal,
+                            std::size_t band, const GapPenalties& gaps) {
+  PreparedScratch& scratch = prepared_scratch();
+  scratch.query.assign(query, profile);
+  scratch.subject.assign(subject, profile);
+  return banded_align(scratch.query, scratch.subject, profile, diagonal, band,
+                      gaps);
 }
 
 ScoreOnlyResult banded_score_only(std::string_view query, std::string_view subject,
                                   const ScoringProfile& profile, long diagonal,
                                   std::size_t band, const GapPenalties& gaps) {
-  ScoreOnlyResult result;
-  gotoh_kernel<false>(query, subject, profile, gaps, diagonal,
-                      static_cast<long>(std::min<std::size_t>(
-                          band, query.size() + subject.size() + 1)),
-                      nullptr, &result);
-  return result;
+  PreparedScratch& scratch = prepared_scratch();
+  scratch.query.assign(query, profile);
+  scratch.subject.assign(subject, profile);
+  return banded_score_only(scratch.query, scratch.subject, profile, diagonal,
+                           band, gaps);
 }
 
 ScoreOnlyResult banded_score_only_dna(std::string_view query,
@@ -324,16 +454,22 @@ LocalAlignment banded_smith_waterman_dna(std::string_view query,
 
 DpCounters dp_counters() {
   DpCounters c;
-  c.cells = g_cells.load(std::memory_order_relaxed);
-  c.tracebacks = g_tracebacks.load(std::memory_order_relaxed);
-  c.score_only = g_score_only.load(std::memory_order_relaxed);
+  for (const CounterNode* node = g_counter_head.load(std::memory_order_acquire);
+       node != nullptr; node = node->next) {
+    c.cells += node->cells.load(std::memory_order_relaxed);
+    c.tracebacks += node->tracebacks.load(std::memory_order_relaxed);
+    c.score_only += node->score_only.load(std::memory_order_relaxed);
+  }
   return c;
 }
 
 void reset_dp_counters() {
-  g_cells.store(0, std::memory_order_relaxed);
-  g_tracebacks.store(0, std::memory_order_relaxed);
-  g_score_only.store(0, std::memory_order_relaxed);
+  for (CounterNode* node = g_counter_head.load(std::memory_order_acquire);
+       node != nullptr; node = node->next) {
+    node->cells.store(0, std::memory_order_relaxed);
+    node->tracebacks.store(0, std::memory_order_relaxed);
+    node->score_only.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace pga::align

@@ -83,6 +83,23 @@ ScoreOnlyResult banded_score_only(std::string_view query, std::string_view subje
                                   const ScoringProfile& profile, long diagonal,
                                   std::size_t band, const GapPenalties& gaps = {});
 
+/// Pre-encoded variants: both sequences were encoded once via
+/// PreparedSeq and are reused across many calls — a blastx search prepares
+/// each frame query and every database subject once instead of re-encoding
+/// per (subject, diagonal) pair, and the overlap phase prepares each
+/// fragment once for all its candidate pairs. `profile` must be the one
+/// the PreparedSeqs were encoded with. Results are identical to the
+/// string_view entry points.
+LocalAlignment banded_align(const PreparedSeq& query, const PreparedSeq& subject,
+                            const ScoringProfile& profile, long diagonal,
+                            std::size_t band, const GapPenalties& gaps = {});
+
+/// Score-only pass over pre-encoded sequences.
+ScoreOnlyResult banded_score_only(const PreparedSeq& query,
+                                  const PreparedSeq& subject,
+                                  const ScoringProfile& profile, long diagonal,
+                                  std::size_t band, const GapPenalties& gaps = {});
+
 /// DNA score-only pass with the overlap detector's identity scoring.
 ScoreOnlyResult banded_score_only_dna(std::string_view query,
                                       std::string_view subject, long diagonal,
@@ -90,9 +107,13 @@ ScoreOnlyResult banded_score_only_dna(std::string_view query,
                                       int mismatch = -2,
                                       const GapPenalties& gaps = {6, 1});
 
-/// Cumulative DP work counters (process-wide, relaxed atomics updated once
-/// per kernel invocation). Machine-independent: the CI perf-smoke asserts
-/// cell-count envelopes on these instead of wall-clock seconds.
+/// Cumulative DP work counters. Accumulated per thread (one cache-line-
+/// aligned node per kernel-touching thread, updated once per invocation
+/// with owner-only relaxed atomics) and merged when read, so parallel
+/// alignment runs never bounce a shared counter line. Machine-independent:
+/// the CI perf-smoke asserts cell-count envelopes on these instead of
+/// wall-clock seconds. reset_dp_counters() zeroes every thread's node;
+/// call it only while no kernels are in flight (benchmark harnesses).
 struct DpCounters {
   std::uint64_t cells = 0;        ///< in-band DP cells scored
   std::uint64_t tracebacks = 0;   ///< full (traceback) kernel invocations

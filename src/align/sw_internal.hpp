@@ -1,0 +1,96 @@
+// Internals shared by the scalar and SIMD banded-Gotoh kernels.
+//
+// Both implementations fill the same packed traceback layout and report
+// the same (best, best_i, best_j, cells) summary, so the public entry
+// points in sw.cpp can run either kernel and share one traceback walk,
+// one counter update and one result struct. Nothing here is public API.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "align/scoring.hpp"
+
+// The AVX2 kernel is compiled (behind a runtime CPU check) whenever the
+// toolchain targets x86-64 with GCC/Clang function-level target support.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PGA_HAVE_AVX2_KERNEL 1
+#else
+#define PGA_HAVE_AVX2_KERNEL 0
+#endif
+
+namespace pga::align::detail {
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+// Traceback states, packed one byte per in-band cell:
+//   bits 0-1  M-state source (0 = local start, 1 = M, 2 = X, 3 = Y)
+//   bit  2    X-state opened a gap here (else extended)
+//   bit  3    Y-state opened a gap here (else extended)
+constexpr unsigned char kMDirMask = 0x3;
+constexpr unsigned char kDiagFromM = 1;
+constexpr unsigned char kDiagFromX = 2;
+constexpr unsigned char kYOpenBit = 0x8;
+constexpr unsigned char kXOpenBit = 0x4;
+
+/// The band of row i covers columns [row_lo, row_hi] (1-based, clamped to
+/// [1, m]); empty when row_lo > row_hi.
+inline long row_lo(long i, long diagonal, long band) {
+  return i - diagonal - band < 1 ? 1 : i - diagonal - band;
+}
+inline long row_hi(long i, long diagonal, long band, long m) {
+  return i - diagonal + band > m ? m : i - diagonal + band;
+}
+
+/// Traceback row width shared by both kernels: a band row never holds more
+/// than min(m, 2*band+1) cells.
+inline long tb_width(long m, long band) {
+  return m < 2 * band + 1 ? m : 2 * band + 1;
+}
+
+/// Reused per-thread DP storage. `band_rows` are the scalar kernel's six
+/// rolling band-compressed rows; `col_rows` are the SIMD kernel's six
+/// rolling absolute-column rows (index = subject column, 16 ints of slack
+/// for full-vector overreads/overstores past the band edge); `tb` is the
+/// packed traceback band both kernels fill in the identical
+/// [row * width + (col - row_lo)] layout. Capacity persists across
+/// calls, so the steady-state kernels allocate nothing.
+struct DpWorkspace {
+  std::vector<int> band_rows[6];
+  std::vector<int> col_rows[6];
+  std::vector<unsigned char> tb;
+};
+
+/// One banded-Gotoh invocation, fully described. `band` is pre-clamped to
+/// n + m; code pointers carry ScoringProfile::kCodePadding slack bytes.
+struct KernelParams {
+  const std::uint8_t* q_codes = nullptr;
+  const std::uint8_t* s_codes = nullptr;
+  long n = 0, m = 0;
+  const ScoringProfile* profile = nullptr;
+  int open_cost = 0;  ///< gaps.open + gaps.extend (cost of a length-1 gap)
+  int extend = 0;
+  long diagonal = 0, band = 0;
+};
+
+/// What a kernel reports back: the best substitution-state score, the
+/// first cell attaining it in row-major scan order, and the number of
+/// in-band cells evaluated (the DpCounters increment).
+struct KernelSummary {
+  int best = 0;
+  long best_i = 0, best_j = 0;
+  std::uint64_t cells = 0;
+};
+
+/// AVX2 row-vectorized kernel (sw_simd_avx2.cpp). Requires
+/// tb_width(m, band) >= 8 and cpu_supports_avx2(); fills ws.tb when
+/// `traceback`, cell-for-cell identical to the scalar kernel.
+KernelSummary banded_kernel_avx2(const KernelParams& kp, DpWorkspace& ws,
+                                 bool traceback);
+
+/// True when banded_kernel_avx2 is compiled into this binary (the runtime
+/// CPU check lives in cpu_supports_avx2()).
+bool avx2_kernel_compiled();
+
+}  // namespace pga::align::detail

@@ -1,0 +1,297 @@
+// AVX2 row-vectorized banded Gotoh kernel.
+//
+// Same recurrence as the scalar kernel in sw.cpp, reordered for data
+// parallelism — never a different cell value:
+//
+//   * M (substitution) and Y (gap-in-subject) depend only on the previous
+//     row, so each row computes them 8 columns at a time with plain
+//     vector max/add over the previous row's M/X/Y arrays.
+//   * X (gap-in-query) carries the one intra-row dependency,
+//     X[j] = max(M[j-1] - open, X[j-1] - extend). Expanding the
+//     recurrence, X[j] = max_{k<j}(M[k] - open - (j-1-k)·extend): a
+//     max-prefix scan with linear decay, computed in-register as a
+//     Kogge–Stone scan (shift by 1, 2, 4 lanes, subtracting
+//     d·extend per step) plus a scalar carry between vectors.
+//
+// Unlike Farrar's query-striped layout (which assumes a full, unbanded
+// matrix and a lazy-F fixup), this keeps the band's row-major order, so
+// out-of-band defaults (M = 0, X = Y = -inf), the in-band cell count and
+// the packed traceback band are bit-compatible with the scalar kernel —
+// the golden fixtures pin both paths to the same bytes.
+//
+// Rows live in absolute-column arrays (index = subject column) with 16
+// ints of slack: full vectors may read/write up to 7 lanes past the band
+// edge. Dead lanes compute garbage that is never consumed — the row-max
+// update masks them, the ≤2 boundary columns the next row reads beyond
+// the written band are re-patched to out-of-band defaults, and the
+// traceback walk only visits in-band bytes.
+#include "align/sw_internal.hpp"
+
+#if PGA_HAVE_AVX2_KERNEL
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace pga::align::detail {
+
+namespace {
+
+#define PGA_AVX2_INLINE \
+  __attribute__((target("avx2"), always_inline)) static inline
+
+/// result[l] = v[l - D] for l >= D, else fill[l] (lane shift across the
+/// 128-bit boundary via a full-width permute + immediate blend).
+template <int D>
+PGA_AVX2_INLINE __m256i shift_lanes_left(__m256i v, __m256i fill) {
+  const __m256i idx = _mm256_setr_epi32((0 - D) & 7, (1 - D) & 7, (2 - D) & 7,
+                                        (3 - D) & 7, (4 - D) & 7, (5 - D) & 7,
+                                        (6 - D) & 7, (7 - D) & 7);
+  const __m256i rot = _mm256_permutevar8x32_epi32(v, idx);
+  return _mm256_blend_epi32(rot, fill, (1 << D) - 1);
+}
+
+PGA_AVX2_INLINE int hmax_epi32(__m256i v) {
+  __m128i a =
+      _mm_max_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+  a = _mm_max_epi32(a, _mm_shuffle_epi32(a, _MM_SHUFFLE(1, 0, 3, 2)));
+  a = _mm_max_epi32(a, _mm_shuffle_epi32(a, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(a);
+}
+
+template <bool Traceback>
+__attribute__((target("avx2"))) KernelSummary avx2_kernel(const KernelParams& kp,
+                                                          DpWorkspace& ws) {
+  const long n = kp.n;
+  const long m = kp.m;
+  const long diagonal = kp.diagonal;
+  const long band = kp.band;
+  const long width = tb_width(m, band);
+  KernelSummary res;
+
+  // Rows with any in-band cell form one contiguous i-interval: the band
+  // needs i - diagonal + band >= 1 and i - diagonal - band <= m.
+  const long i_begin = std::max(1L, diagonal - band + 1);
+  const long i_end = std::min(n, m + diagonal + band);
+  if (i_begin > i_end) return res;
+
+  const std::size_t cols = static_cast<std::size_t>(m) + 1 + 16;
+  for (auto& row : ws.col_rows) row.resize(cols);
+  if (Traceback) {
+    ws.tb.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(width) +
+                 16);
+  }
+
+  int* pm = ws.col_rows[0].data();
+  int* px = ws.col_rows[1].data();
+  int* py = ws.col_rows[2].data();
+  int* cm = ws.col_rows[3].data();
+  int* cx = ws.col_rows[4].data();
+  int* cy = ws.col_rows[5].data();
+
+  const int open_cost = kp.open_cost;
+  const int ext = kp.extend;
+
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vone = _mm256_set1_epi32(1);
+  const __m256i vdir2 = _mm256_set1_epi32(2);
+  const __m256i vdir3 = _mm256_set1_epi32(3);
+  const __m256i vneg = _mm256_set1_epi32(kNegInf);
+  const __m256i vopen = _mm256_set1_epi32(open_cost);
+  const __m256i vext = _mm256_set1_epi32(ext);
+  const __m256i vext2 = _mm256_set1_epi32(2 * ext);
+  const __m256i vext4 = _mm256_set1_epi32(4 * ext);
+  const __m256i vxbit = _mm256_set1_epi32(kXOpenBit);
+  const __m256i vybit = _mm256_set1_epi32(kYOpenBit);
+  const __m256i lane_idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i vdecay =
+      _mm256_mullo_epi32(vext, _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 8));
+
+  // Seed the previous row with out-of-band defaults over the first row's
+  // read span; later rows only re-patch the <=1 column the band grew by.
+  {
+    const long lo0 = row_lo(i_begin, diagonal, band);
+    const long hi0 = row_hi(i_begin, diagonal, band, m);
+    for (long c = lo0 - 1; c <= hi0; ++c) {
+      pm[c] = 0;
+      px[c] = kNegInf;
+      py[c] = kNegInf;
+    }
+  }
+  long valid_hi = row_hi(i_begin, diagonal, band, m);
+
+  for (long i = i_begin; i <= i_end; ++i) {
+    const long lo = row_lo(i, diagonal, band);
+    const long hi = row_hi(i, diagonal, band, m);
+    res.cells += static_cast<std::uint64_t>(hi - lo + 1);
+    // Columns the band grew into read as out-of-band in the previous row
+    // (and overwrite any dead-lane garbage a full-vector store left).
+    for (long c = valid_hi + 1; c <= hi; ++c) {
+      pm[c] = 0;
+      px[c] = kNegInf;
+      py[c] = kNegInf;
+    }
+    // Column lo-1 of the current row is out-of-band: the first vector's
+    // j-1 reads (M for the X scan, X for the open/extend tie) and the
+    // next row's diagonal reads land here.
+    cm[lo - 1] = 0;
+    cx[lo - 1] = kNegInf;
+    cy[lo - 1] = kNegInf;
+
+    const int* srow = kp.profile->row(kp.q_codes[i - 1]);
+    unsigned char* tb_row =
+        Traceback
+            ? ws.tb.data() + static_cast<std::size_t>(i - 1) *
+                                 static_cast<std::size_t>(width)
+            : nullptr;
+    __m256i rowmax = vneg;
+    // Lane-7 broadcasts of the previous vector's M and X — the values
+    // column j0-1 holds. Kept in registers: reloading cm/cx at j0-1
+    // right after the j0 store is a partial-overlap load that defeats
+    // store-to-load forwarding and stalls every iteration.
+    __m256i m_carry = vzero;  // M at (i, lo-1) = 0
+    __m256i x_carry = vneg;   // X at (i, lo-1) = kNegInf
+
+    for (long j0 = lo; j0 <= hi; j0 += 8) {
+      // M state (and traceback direction) from the previous row.
+      const __m256i codes = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(kp.s_codes + j0 - 1)));
+      const __m256i sub = _mm256_i32gather_epi32(srow, codes, 4);
+      const __m256i md =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pm + j0 - 1));
+      const __m256i xd =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(px + j0 - 1));
+      const __m256i yd =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(py + j0 - 1));
+      __m256i from;
+      __m256i dir = vzero;
+      if constexpr (Traceback) {
+        // dir = first strict improver over the running max, in the scalar
+        // kernel's 0, M, X, Y comparison order.
+        from = vzero;
+        const __m256i c1 = _mm256_cmpgt_epi32(md, from);
+        from = _mm256_max_epi32(from, md);
+        dir = _mm256_and_si256(c1, vone);
+        const __m256i c2 = _mm256_cmpgt_epi32(xd, from);
+        from = _mm256_max_epi32(from, xd);
+        dir = _mm256_blendv_epi8(dir, vdir2, c2);
+        const __m256i c3 = _mm256_cmpgt_epi32(yd, from);
+        from = _mm256_max_epi32(from, yd);
+        dir = _mm256_blendv_epi8(dir, vdir3, c3);
+      } else {
+        from = _mm256_max_epi32(_mm256_max_epi32(md, xd),
+                                _mm256_max_epi32(yd, vzero));
+      }
+      const __m256i m_raw = _mm256_add_epi32(from, sub);
+      const __m256i m_val = _mm256_max_epi32(m_raw, vzero);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(cm + j0), m_val);
+
+      // Y state — previous row only.
+      const __m256i pmj =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pm + j0));
+      const __m256i pyj =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(py + j0));
+      const __m256i y_open = _mm256_sub_epi32(pmj, vopen);
+      const __m256i y_ext = _mm256_sub_epi32(pyj, vext);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(cy + j0),
+                          _mm256_max_epi32(y_open, y_ext));
+
+      // Track the row maximum over in-band lanes only.
+      const long rem = hi - j0;
+      const __m256i valid = _mm256_cmpgt_epi32(
+          _mm256_set1_epi32(rem >= 7 ? 8 : static_cast<int>(rem + 1)),
+          lane_idx);
+      rowmax =
+          _mm256_max_epi32(rowmax, _mm256_blendv_epi8(vneg, m_val, valid));
+
+      // X state: Kogge–Stone max-prefix scan with linear decay over this
+      // vector's gap-open candidates, then the inter-vector carry. The
+      // left-neighbour M values come from m_val shifted one lane with the
+      // previous vector's lane 7 (m_carry) filling lane 0 — no reload.
+      const __m256i a =
+          _mm256_sub_epi32(shift_lanes_left<1>(m_val, m_carry), vopen);
+      __m256i v = a;
+      v = _mm256_max_epi32(
+          v, _mm256_sub_epi32(shift_lanes_left<1>(v, vneg), vext));
+      v = _mm256_max_epi32(
+          v, _mm256_sub_epi32(shift_lanes_left<2>(v, vneg), vext2));
+      v = _mm256_max_epi32(
+          v, _mm256_sub_epi32(shift_lanes_left<4>(v, vneg), vext4));
+      const __m256i carry_v = _mm256_sub_epi32(x_carry, vdecay);
+      const __m256i x_val = _mm256_max_epi32(v, carry_v);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(cx + j0), x_val);
+
+      if constexpr (Traceback) {
+        // dir survives only where the unclamped M is positive; the gap
+        // bits record open-vs-extend ties exactly like the scalar kernel
+        // (>= favors opening).
+        __m256i tb32 = _mm256_and_si256(dir, _mm256_cmpgt_epi32(m_raw, vzero));
+        tb32 = _mm256_or_si256(
+            tb32, _mm256_andnot_si256(_mm256_cmpgt_epi32(y_ext, y_open), vybit));
+        const __m256i x_prev = shift_lanes_left<1>(x_val, x_carry);
+        const __m256i x_ext_v = _mm256_sub_epi32(x_prev, vext);
+        tb32 = _mm256_or_si256(
+            tb32, _mm256_andnot_si256(_mm256_cmpgt_epi32(x_ext_v, a), vxbit));
+        // Pack the 8 small ints to 8 bytes (dead lanes saturate to
+        // garbage bytes at offsets the walk never visits).
+        const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(tb32),
+                                            _mm256_extracti128_si256(tb32, 1));
+        const __m128i p8 = _mm_packus_epi16(p16, p16);
+        _mm_storel_epi64(reinterpret_cast<__m128i*>(tb_row + (j0 - lo)), p8);
+      }
+
+      const __m256i lane7 = _mm256_set1_epi32(7);
+      m_carry = _mm256_permutevar8x32_epi32(m_val, lane7);
+      x_carry = _mm256_permutevar8x32_epi32(x_val, lane7);
+    }
+
+    // The scalar kernel's strictly-greater update records the first cell
+    // (row-major) attaining the final maximum, i.e. the first row that
+    // improves the running best, and within it the first occurrence of
+    // the row maximum.
+    const int row_max = hmax_epi32(rowmax);
+    if (row_max > res.best) {
+      res.best = row_max;
+      res.best_i = i;
+      for (long j = lo; j <= hi; ++j) {
+        if (cm[j] == row_max) {
+          res.best_j = j;
+          break;
+        }
+      }
+    }
+
+    std::swap(pm, cm);
+    std::swap(px, cx);
+    std::swap(py, cy);
+    valid_hi = hi;
+  }
+  return res;
+}
+
+#undef PGA_AVX2_INLINE
+
+}  // namespace
+
+bool avx2_kernel_compiled() { return true; }
+
+KernelSummary banded_kernel_avx2(const KernelParams& kp, DpWorkspace& ws,
+                                 bool traceback) {
+  return traceback ? avx2_kernel<true>(kp, ws) : avx2_kernel<false>(kp, ws);
+}
+
+}  // namespace pga::align::detail
+
+#else  // !PGA_HAVE_AVX2_KERNEL
+
+namespace pga::align::detail {
+
+bool avx2_kernel_compiled() { return false; }
+
+KernelSummary banded_kernel_avx2(const KernelParams&, DpWorkspace&, bool) {
+  return {};  // unreachable: dispatch never selects AVX2 without support
+}
+
+}  // namespace pga::align::detail
+
+#endif  // PGA_HAVE_AVX2_KERNEL

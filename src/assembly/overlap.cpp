@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <future>
 #include <string>
 #include <unordered_map>
 
@@ -121,6 +120,9 @@ std::vector<Overlap> find_overlaps(const std::vector<bio::SeqRecord>& seqs,
   if (seqs.size() >= (1ULL << 31)) {
     throw common::InvalidArgument("too many sequences");
   }
+  if (params.match <= 0 || params.mismatch >= 0) {
+    throw common::InvalidArgument("OverlapParams: need match > 0 > mismatch");
+  }
 
   // Reverse complements, computed once when strand-agnostic matching is on.
   std::vector<std::string> rc;
@@ -203,6 +205,18 @@ std::vector<Overlap> find_overlaps(const std::vector<bio::SeqRecord>& seqs,
               return x.flipped < y.flipped;
             });
 
+  // Every fragment (and reverse complement) is encoded once under the
+  // run's DNA profile; all candidate alignments reuse the encodings
+  // instead of re-encoding both sequences per pair.
+  const align::ScoringProfile dna_prof =
+      align::ScoringProfile::dna(params.match, params.mismatch);
+  std::vector<align::PreparedSeq> fwd_prep(seqs.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    fwd_prep[i].assign(seqs[i].seq, dna_prof);
+  }
+  std::vector<align::PreparedSeq> rc_prep(rc.size());
+  for (std::size_t i = 0; i < rc.size(); ++i) rc_prep[i].assign(rc[i], dna_prof);
+
   // Score-only pruning pays off only when the bound exceeds what k-mer
   // sharing already guarantees: every candidate pair shares a full-length
   // anchor k-mer, so its optimal local score is at least kmer*match and a
@@ -215,25 +229,22 @@ std::vector<Overlap> find_overlaps(const std::vector<bio::SeqRecord>& seqs,
                                std::vector<Overlap>& out, OverlapStats& st) {
     for (std::size_t i = begin; i < end; ++i) {
       const Candidate& c = candidates[i];
-      const std::string& b_oriented = c.flipped ? rc[c.b] : seqs[c.b].seq;
+      const align::PreparedSeq& pa = fwd_prep[c.a];
+      const align::PreparedSeq& pb = c.flipped ? rc_prep[c.b] : fwd_prep[c.b];
       if (prune) {
-        const align::ScoreOnlyResult so = align::banded_score_only_dna(
-            seqs[c.a].seq, b_oriented, c.diagonal, kAlignmentBand, params.match,
-            params.mismatch, params.gaps);
-        if (so.score < min_acceptable_score(
-                           params, seqs[c.a].seq.size() + b_oriented.size())) {
+        const align::ScoreOnlyResult so = align::banded_score_only(
+            pa, pb, dna_prof, c.diagonal, kAlignmentBand, params.gaps);
+        if (so.score < min_acceptable_score(params, pa.size() + pb.size())) {
           ++st.pruned;
           continue;
         }
       }
       ++st.tracebacks;
-      const align::LocalAlignment aln = align::banded_smith_waterman_dna(
-          seqs[c.a].seq, b_oriented, c.diagonal, kAlignmentBand, params.match,
-          params.mismatch, params.gaps);
+      const align::LocalAlignment aln = align::banded_align(
+          pa, pb, dna_prof, c.diagonal, kAlignmentBand, params.gaps);
       OverlapKind kind;
       long shift = 0;
-      if (classify_overlap(aln, seqs[c.a].seq.size(), b_oriented.size(), params,
-                           kind, shift)) {
+      if (classify_overlap(aln, pa.size(), pb.size(), params, kind, shift)) {
         ++st.accepted;
         out.push_back(Overlap{c.a, c.b, kind, shift, c.flipped, aln});
       }
@@ -246,25 +257,18 @@ std::vector<Overlap> find_overlaps(const std::vector<bio::SeqRecord>& seqs,
   if (pool == nullptr || candidates.size() < 2) {
     align_range(0, candidates.size(), overlaps, run_stats);
   } else {
-    // Contiguous chunks, ~4 per worker; chunk-order concatenation keeps
-    // the pre-sort overlap order equal to the serial run's.
-    const std::size_t chunk_target = std::max<std::size_t>(1, pool->size() * 4);
-    const std::size_t chunk_count = std::min(candidates.size(), chunk_target);
-    const std::size_t base = candidates.size() / chunk_count;
-    const std::size_t extra = candidates.size() % chunk_count;
+    // Work-stealing over fixed-size chunks. The chunk decomposition (and
+    // each chunk's output slot) depends only on the candidate count, so
+    // chunk-order concatenation yields the serial run's pre-sort overlap
+    // order for any worker count — only which thread ran a chunk varies.
+    constexpr std::size_t kChunk = 16;
+    const std::size_t chunk_count = (candidates.size() + kChunk - 1) / kChunk;
     std::vector<std::vector<Overlap>> chunk_out(chunk_count);
     std::vector<OverlapStats> chunk_stats(chunk_count);
-    std::vector<std::future<void>> futures;
-    futures.reserve(chunk_count);
-    std::size_t begin = 0;
-    for (std::size_t c = 0; c < chunk_count; ++c) {
-      const std::size_t end = begin + base + (c < extra ? 1 : 0);
-      futures.push_back(pool->submit([&, begin, end, c] {
-        align_range(begin, end, chunk_out[c], chunk_stats[c]);
-      }));
-      begin = end;
-    }
-    for (auto& f : futures) f.get();
+    pool->parallel_for(candidates.size(), kChunk,
+                       [&](std::size_t begin, std::size_t end, std::size_t c) {
+                         align_range(begin, end, chunk_out[c], chunk_stats[c]);
+                       });
     for (std::size_t c = 0; c < chunk_count; ++c) {
       overlaps.insert(overlaps.end(),
                       std::make_move_iterator(chunk_out[c].begin()),

@@ -5,9 +5,13 @@
 // predicate) and CP.20 (RAII locking only).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -15,6 +19,61 @@
 #include <vector>
 
 namespace pga::common {
+
+namespace detail {
+
+/// One claimant's range of unclaimed chunk indices, packed as
+/// (head << 32) | tail over [head, tail). The owner pops from the front,
+/// thieves pop from the back; both race on the same word with CAS, and
+/// head/tail only ever move toward each other, so a successful exchange
+/// claims its chunk exactly once. Cache-line aligned: each claimant's hot
+/// CAS target lives on its own line.
+struct alignas(64) ChunkDeque {
+  std::atomic<std::uint64_t> range{0};
+
+  static std::uint64_t pack(std::uint32_t head, std::uint32_t tail) {
+    return (static_cast<std::uint64_t>(head) << 32) | tail;
+  }
+
+  /// Owner-side claim of the front chunk; false when empty.
+  bool pop_front(std::size_t& out) {
+    std::uint64_t cur = range.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t head = static_cast<std::uint32_t>(cur >> 32);
+      const std::uint32_t tail = static_cast<std::uint32_t>(cur);
+      if (head >= tail) return false;
+      if (range.compare_exchange_weak(cur, pack(head + 1, tail),
+                                      std::memory_order_acq_rel)) {
+        out = head;
+        return true;
+      }
+    }
+  }
+
+  /// Thief-side claim of the back chunk; false when empty.
+  bool steal_back(std::size_t& out) {
+    std::uint64_t cur = range.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t head = static_cast<std::uint32_t>(cur >> 32);
+      const std::uint32_t tail = static_cast<std::uint32_t>(cur);
+      if (head >= tail) return false;
+      if (range.compare_exchange_weak(cur, pack(head, tail - 1),
+                                      std::memory_order_acq_rel)) {
+        out = tail - 1;
+        return true;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t cur = range.load(std::memory_order_relaxed);
+    const std::uint32_t head = static_cast<std::uint32_t>(cur >> 32);
+    const std::uint32_t tail = static_cast<std::uint32_t>(cur);
+    return head < tail ? tail - head : 0;
+  }
+};
+
+}  // namespace detail
 
 /// A bounded-worker task executor. submit() returns a future; the pool
 /// joins all workers on destruction after draining outstanding tasks.
@@ -42,6 +101,78 @@ class ThreadPool {
     }
     cv_.notify_one();
     return fut;
+  }
+
+  /// Runs fn(begin, end, chunk_index) for every chunk of [0, n), where
+  /// chunk c always covers [c*chunk, min(n, (c+1)*chunk)) — the chunk
+  /// decomposition is a pure function of (n, chunk), never of the worker
+  /// count, so callers that write results into chunk-indexed slots get
+  /// output independent of scheduling. Work-stealing over the pool's
+  /// workers plus the calling thread: the chunk index space is pre-split
+  /// into one contiguous block per claimant; each claimant pops its own
+  /// block front-to-back (preserving locality) and, once empty, steals
+  /// single chunks from the back of the fullest remaining block. One task
+  /// per worker (not per chunk), so per-item submit/future overhead is
+  /// gone. Blocks until every chunk ran; rethrows the first exception fn
+  /// threw (remaining chunks are skipped once a chunk has failed).
+  template <typename F>
+  void parallel_for(std::size_t n, std::size_t chunk, F&& fn) {
+    if (n == 0) return;
+    if (chunk == 0) chunk = 1;
+    const std::size_t num_chunks = (n + chunk - 1) / chunk;
+    const std::size_t claimants = workers_.size() + 1;  // + calling thread
+    std::vector<detail::ChunkDeque> deques(claimants);
+    const std::size_t per = (num_chunks + claimants - 1) / claimants;
+    for (std::size_t c = 0; c < claimants; ++c) {
+      const std::size_t lo = std::min(num_chunks, c * per);
+      const std::size_t hi = std::min(num_chunks, lo + per);
+      deques[c].range.store(detail::ChunkDeque::pack(
+                                static_cast<std::uint32_t>(lo),
+                                static_cast<std::uint32_t>(hi)),
+                            std::memory_order_relaxed);
+    }
+
+    std::atomic<bool> failed{false};
+    std::mutex err_mutex;
+    std::exception_ptr first_error;
+
+    auto run_claimant = [&](std::size_t self) {
+      std::size_t c;
+      for (;;) {
+        if (!deques[self].pop_front(c)) {
+          // Own block drained: steal from the fullest victim, looping
+          // until every block is empty (a lost CAS just rescans).
+          std::size_t victim = claimants;
+          std::size_t best = 0;
+          for (std::size_t v = 0; v < claimants; ++v) {
+            const std::size_t sz = deques[v].size();
+            if (sz > best) {
+              best = sz;
+              victim = v;
+            }
+          }
+          if (victim == claimants) break;
+          if (!deques[victim].steal_back(c)) continue;
+        }
+        if (failed.load(std::memory_order_relaxed)) continue;
+        try {
+          fn(c * chunk, std::min(n, (c + 1) * chunk), c);
+        } catch (...) {
+          const std::scoped_lock lock(err_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    };
+
+    std::vector<std::future<void>> joins;
+    joins.reserve(workers_.size());
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      joins.push_back(submit([&run_claimant, w] { run_claimant(w); }));
+    }
+    run_claimant(claimants - 1);
+    for (auto& j : joins) j.get();
+    if (first_error) std::rethrow_exception(first_error);
   }
 
   /// Blocks until every task submitted so far has finished.

@@ -1,0 +1,226 @@
+// SIMD == scalar properties for the banded Smith–Waterman kernels.
+//
+// The AVX2 kernel must be bit-equivalent to the scalar reference on every
+// input: same scores, same end cells, same tracebacks (observed through
+// the full LocalAlignment), same DpCounters. These tests force each
+// dispatch level in turn over adversarial shapes — empty/tiny inputs,
+// band-edge widths, vector-boundary lengths, lowercase/ambiguous DNA,
+// near-sentinel gap penalties — and require exact equality.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "align/simd.hpp"
+#include "align/sw.hpp"
+#include "common/rng.hpp"
+
+namespace pga::align {
+namespace {
+
+std::string random_protein(std::size_t n, common::Rng& rng) {
+  static constexpr std::string_view kAas = "ARNDCQEGHILKMFPSTWYVX*";
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(kAas[rng.below(kAas.size())]);
+  return s;
+}
+
+std::string random_dna(std::size_t n, common::Rng& rng) {
+  // Includes lowercase and 'N': the encoder must behave identically on
+  // both paths for every byte value the pipeline can feed it.
+  static constexpr std::string_view kBases = "ACGTNacgtn";
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(kBases[rng.below(kBases.size())]);
+  return s;
+}
+
+void expect_same_alignment(const LocalAlignment& a, const LocalAlignment& b) {
+  EXPECT_EQ(a.score, b.score);
+  EXPECT_EQ(a.q_begin, b.q_begin);
+  EXPECT_EQ(a.q_end, b.q_end);
+  EXPECT_EQ(a.s_begin, b.s_begin);
+  EXPECT_EQ(a.s_end, b.s_end);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.mismatches, b.mismatches);
+  EXPECT_EQ(a.gap_opens, b.gap_opens);
+  EXPECT_EQ(a.gap_residues, b.gap_residues);
+}
+
+/// Runs one (query, subject, diagonal, band, gaps) case on both dispatch
+/// levels and requires identical score-only results, alignments and
+/// DpCounters deltas.
+void expect_paths_agree(const std::string& q, const std::string& s,
+                        const ScoringProfile& profile, long diagonal,
+                        std::size_t band, const GapPenalties& gaps) {
+  set_simd_level(SimdLevel::kScalar);
+  reset_dp_counters();
+  const ScoreOnlyResult so_scalar =
+      banded_score_only(q, s, profile, diagonal, band, gaps);
+  const LocalAlignment aln_scalar =
+      banded_align(q, s, profile, diagonal, band, gaps);
+  const DpCounters c_scalar = dp_counters();
+
+  set_simd_level(SimdLevel::kAvx2);
+  reset_dp_counters();
+  const ScoreOnlyResult so_simd =
+      banded_score_only(q, s, profile, diagonal, band, gaps);
+  const LocalAlignment aln_simd =
+      banded_align(q, s, profile, diagonal, band, gaps);
+  const DpCounters c_simd = dp_counters();
+  reset_simd_level();
+
+  EXPECT_EQ(so_scalar.score, so_simd.score);
+  EXPECT_EQ(so_scalar.q_end, so_simd.q_end);
+  EXPECT_EQ(so_scalar.s_end, so_simd.s_end);
+  expect_same_alignment(aln_scalar, aln_simd);
+  EXPECT_EQ(c_scalar.cells, c_simd.cells);
+  EXPECT_EQ(c_scalar.tracebacks, c_simd.tracebacks);
+  EXPECT_EQ(c_scalar.score_only, c_simd.score_only);
+}
+
+bool simd_available() { return cpu_supports_avx2(); }
+
+TEST(SimdDispatch, LevelNamesAndOverride) {
+  EXPECT_STREQ(simd_level_name(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+  set_simd_level(SimdLevel::kScalar);
+  EXPECT_EQ(active_simd_level(), SimdLevel::kScalar);
+  EXPECT_STREQ(active_simd_isa(), "scalar");
+  if (simd_available()) {
+    set_simd_level(SimdLevel::kAvx2);
+    EXPECT_EQ(active_simd_level(), SimdLevel::kAvx2);
+    EXPECT_STREQ(active_simd_isa(), "avx2");
+  } else {
+    // Requesting AVX2 without CPU support clamps to scalar, not a fault.
+    set_simd_level(SimdLevel::kAvx2);
+    EXPECT_EQ(active_simd_level(), SimdLevel::kScalar);
+  }
+  reset_simd_level();
+}
+
+TEST(SimdKernel, ProteinLengthSweep) {
+  if (!simd_available()) GTEST_SKIP() << "CPU lacks AVX2";
+  common::Rng rng(20260809);
+  const ScoringProfile& profile = ScoringProfile::protein_blosum62();
+  // Lengths straddling the vector width, the band width and the
+  // band-vs-matrix clamp; 0/1 exercise the empty-input early-outs.
+  const std::size_t lengths[] = {0, 1, 2, 7, 8, 9, 15, 16, 17, 24, 25, 300};
+  const std::size_t bands[] = {1, 3, 4, 8, 12, 48};
+  for (const std::size_t n : lengths) {
+    for (const std::size_t m : lengths) {
+      const std::string q = random_protein(n, rng);
+      const std::string s = random_protein(m, rng);
+      for (const std::size_t band : bands) {
+        const long span = static_cast<long>(n) + static_cast<long>(m);
+        const long diagonal =
+            span == 0 ? 0
+                      : static_cast<long>(rng.below(
+                            static_cast<std::uint64_t>(span))) -
+                            span / 2;
+        expect_paths_agree(q, s, profile, diagonal, band, GapPenalties{11, 1});
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, DnaWithAmbiguityAndCase) {
+  if (!simd_available()) GTEST_SKIP() << "CPU lacks AVX2";
+  common::Rng rng(4242);
+  const ScoringProfile profile = ScoringProfile::dna(1, -2);
+  for (int round = 0; round < 40; ++round) {
+    const std::string q = random_dna(20 + rng.below(200), rng);
+    const std::string s = random_dna(20 + rng.below(200), rng);
+    const long diagonal = static_cast<long>(rng.below(61)) - 30;
+    expect_paths_agree(q, s, profile, diagonal, 48, GapPenalties{6, 1});
+  }
+}
+
+TEST(SimdKernel, ExtremeGapPenaltiesNearSentinel) {
+  if (!simd_available()) GTEST_SKIP() << "CPU lacks AVX2";
+  common::Rng rng(777);
+  const ScoringProfile& profile = ScoringProfile::protein_blosum62();
+  const std::string q = random_protein(120, rng);
+  const std::string s = random_protein(130, rng);
+  // Huge open/extend costs drive X/Y scores deep toward kNegInf; both
+  // kernels must handle the sentinel arithmetic identically.
+  const GapPenalties extreme[] = {{1 << 20, 3}, {5, 1 << 16}, {1 << 20, 1 << 16}};
+  for (const GapPenalties& gaps : extreme) {
+    expect_paths_agree(q, s, profile, /*diagonal=*/-5, /*band=*/24, gaps);
+  }
+}
+
+TEST(SimdKernel, LongSequences) {
+  if (!simd_available()) GTEST_SKIP() << "CPU lacks AVX2";
+  common::Rng rng(99);
+  const ScoringProfile& profile = ScoringProfile::protein_blosum62();
+  const std::string q = random_protein(4096, rng);
+  // Embed a mutated copy of a query slice so the band contains a real
+  // alignment, not just noise.
+  std::string s = random_protein(1000, rng);
+  s += q.substr(1000, 2000);
+  s += random_protein(1000, rng);
+  for (std::size_t i = 0; i < s.size(); i += 97) s[i] = 'A';
+  expect_paths_agree(q, s, profile, /*diagonal=*/0, /*band=*/32,
+                     GapPenalties{11, 1});
+  expect_paths_agree(q, s, profile, /*diagonal=*/-40, /*band=*/64,
+                     GapPenalties{11, 1});
+}
+
+TEST(SimdKernel, PreparedSeqMatchesStringEntryPoints) {
+  common::Rng rng(5150);
+  const ScoringProfile& profile = ScoringProfile::protein_blosum62();
+  for (int round = 0; round < 20; ++round) {
+    const std::string q = random_protein(10 + rng.below(120), rng);
+    const std::string s = random_protein(10 + rng.below(120), rng);
+    const long diagonal = static_cast<long>(rng.below(21)) - 10;
+    const PreparedSeq pq(q, profile);
+    const PreparedSeq ps(s, profile);
+    const GapPenalties gaps{11, 1};
+    const ScoreOnlyResult so_str =
+        banded_score_only(q, s, profile, diagonal, 12, gaps);
+    const ScoreOnlyResult so_prep =
+        banded_score_only(pq, ps, profile, diagonal, 12, gaps);
+    EXPECT_EQ(so_str.score, so_prep.score);
+    EXPECT_EQ(so_str.q_end, so_prep.q_end);
+    EXPECT_EQ(so_str.s_end, so_prep.s_end);
+    expect_same_alignment(banded_align(q, s, profile, diagonal, 12, gaps),
+                          banded_align(pq, ps, profile, diagonal, 12, gaps));
+  }
+}
+
+TEST(SimdKernel, CountersMergeAcrossThreads) {
+  // Per-thread counter nodes must merge into one process-wide tally.
+  common::Rng rng(31337);
+  const ScoringProfile& profile = ScoringProfile::protein_blosum62();
+  const std::string q = random_protein(200, rng);
+  const std::string s = random_protein(210, rng);
+
+  reset_dp_counters();
+  banded_score_only(q, s, profile, 0, 16, GapPenalties{11, 1});
+  const DpCounters one = dp_counters();
+  ASSERT_GT(one.cells, 0u);
+  ASSERT_EQ(one.score_only, 1u);
+
+  reset_dp_counters();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 3; ++i) {
+        banded_score_only(q, s, profile, 0, 16, GapPenalties{11, 1});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const DpCounters merged = dp_counters();
+  EXPECT_EQ(merged.cells, 12 * one.cells);
+  EXPECT_EQ(merged.score_only, 12u);
+  EXPECT_EQ(merged.tracebacks, 0u);
+}
+
+}  // namespace
+}  // namespace pga::align

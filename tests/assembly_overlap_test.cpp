@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "align/simd.hpp"
 #include "align/sw.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -282,6 +283,32 @@ TEST(FindOverlapsParallel, BitIdenticalAcrossWorkerCounts) {
     const auto parallel = find_overlaps(seqs, {}, &pool);
     expect_same_overlaps(serial, parallel);
   }
+}
+
+TEST(FindOverlapsParallel, BitIdenticalAcrossSeedsAndWorkerCounts) {
+  // Work-stealing must not leak scheduling into results: for every input
+  // shape, any worker count reproduces the serial run bit-for-bit.
+  for (const std::uint64_t seed : {43u, 47u, 53u}) {
+    const auto seqs = gene_fragment_set(seed);
+    const auto serial = find_overlaps(seqs);
+    for (const std::size_t workers : {1u, 2u, 3u, 8u}) {
+      common::ThreadPool pool(workers);
+      expect_same_overlaps(serial, find_overlaps(seqs, {}, &pool));
+    }
+  }
+}
+
+TEST(FindOverlapsParallel, BitIdenticalAcrossSimdDispatch) {
+  // The overlap phase must not observe which alignment kernel ran.
+  const auto seqs = gene_fragment_set(59);
+  align::set_simd_level(align::SimdLevel::kScalar);
+  const auto scalar = find_overlaps(seqs);
+  align::set_simd_level(align::SimdLevel::kAvx2);  // clamps if unsupported
+  common::ThreadPool pool(3);
+  const auto simd = find_overlaps(seqs, {}, &pool);
+  align::reset_simd_level();
+  EXPECT_FALSE(scalar.empty());
+  expect_same_overlaps(scalar, simd);
 }
 
 TEST(FindOverlapsParallel, BitIdenticalWithBothStrands) {

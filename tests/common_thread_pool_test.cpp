@@ -89,6 +89,96 @@ TEST(ThreadPool, ParallelSumMatchesSerial) {
   EXPECT_EQ(total, 10'000L * 10'001 / 2);
 }
 
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t workers : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(hits.size(), /*chunk=*/7,
+                      [&](std::size_t begin, std::size_t end, std::size_t c) {
+                        // Chunk bounds must be the pure function of (n, chunk).
+                        EXPECT_EQ(begin, c * 7);
+                        EXPECT_EQ(end, std::min<std::size_t>(1000, begin + 7));
+                        for (std::size_t i = begin; i < end; ++i) {
+                          hits[i].fetch_add(1, std::memory_order_relaxed);
+                        }
+                      });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeAndOversizedChunk) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 8, [&](std::size_t, std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+  // chunk > n: one chunk covering everything.
+  pool.parallel_for(5, 100,
+                    [&](std::size_t begin, std::size_t end, std::size_t c) {
+                      EXPECT_EQ(begin, 0u);
+                      EXPECT_EQ(end, 5u);
+                      EXPECT_EQ(c, 0u);
+                      calls.fetch_add(1);
+                    });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   100, 1,
+                   [](std::size_t begin, std::size_t, std::size_t) {
+                     if (begin == 42) throw std::runtime_error("chunk boom");
+                   }),
+               std::runtime_error);
+  // The pool survives a failed parallel_for.
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, 2, [&](std::size_t, std::size_t, std::size_t) {
+    ok.fetch_add(1);
+  });
+  EXPECT_EQ(ok.load(), 5);
+}
+
+TEST(ParallelFor, StealsFromSkewedChunks) {
+  // One pathological chunk is much slower than the rest: the other
+  // claimants must steal the remaining chunks instead of idling, so the
+  // whole run takes ~one slow chunk, not slow + everything else serial.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  pool.parallel_for(64, 1,
+                    [&](std::size_t begin, std::size_t, std::size_t) {
+                      if (begin == 0) {
+                        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+                      }
+                      done.fetch_add(1);
+                    });
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ParallelFor, ChunkResultsIndependentOfWorkerCount) {
+  // Writing into chunk-indexed slots then concatenating must give the
+  // same bytes for any worker count.
+  std::vector<std::vector<std::size_t>> reference;
+  for (const std::size_t workers : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    const std::size_t n = 257;
+    const std::size_t chunk = 10;
+    std::vector<std::vector<std::size_t>> slots((n + chunk - 1) / chunk);
+    pool.parallel_for(n, chunk,
+                      [&](std::size_t begin, std::size_t end, std::size_t c) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          slots[c].push_back(i * i);
+                        }
+                      });
+    if (reference.empty()) {
+      reference = slots;
+    } else {
+      EXPECT_EQ(slots, reference);
+    }
+  }
+}
+
 TEST(ThreadPool, ManyTasksOnSingleWorkerKeepOrderOfSideEffects) {
   // A 1-thread pool executes FIFO; verify via sequence stamps.
   ThreadPool pool(1);
