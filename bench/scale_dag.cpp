@@ -1,24 +1,33 @@
-// Million-job DAG throughput harness (ISSUE PR 4).
+// Ten-million-job DAG throughput harness (ISSUE PR 4, rebuilt in PR 10 on
+// streamed materialization).
 //
-// Sweeps a synthetic blast2cap3-shaped workflow (2 roots -> split -> n
-// run_cap3 workers -> merge_joined -> find_unjoined -> final_merge) through
-// the full DagmanEngine at n in {1e4, 1e5, 1e6} and reports scheduling
-// throughput: jobs/sec released, engine events/sec, peak RSS and per-phase
-// timings. An InstantService completes every submitted attempt on the next
-// wait(), so the numbers measure pure engine + observer bookkeeping — no
-// simulated platform time.
+// Sweeps the generator's blast2cap3 shape through the full DagmanEngine at
+// n in {1e4, 1e5, 1e6, 1e7} and reports scheduling throughput: jobs/sec
+// released, engine events/sec, per-point peak RSS, and the build-phase
+// breakdown of workload::build_concrete_streamed (cost model / parallel
+// struct fill / sequential id intern / edge wiring + stage pricing). The
+// 4n regular edges are stored as 4 EdgePatterns and the engine runs in
+// lean-report mode (streamed jobstate digest, no per-job roster), which is
+// what keeps the n=1e7 point under 4 GB with build time below engine time.
+// An InstantService completes submitted attempts on the next wait() — in
+// bounded batches so its completion buffer never scales with the widest
+// wave — so the numbers measure pure engine + observer bookkeeping.
 //
 // For n <= 1e5 it also drains the same DAG through a *legacy reference
-// arm*: a faithful reimplementation of the pre-PR string-keyed layout
+// arm*: a faithful reimplementation of the pre-PR-4 string-keyed layout
 // (std::map<string, set<string>> adjacency, map-keyed run records, events
 // carrying four std::string copies, ostringstream jobstate lines). The
 // jobs/sec ratio between the arms is the speedup the interned-handle
 // rework buys; BENCH_scale.json records the trajectory.
 //
 // Usage: scale_dag [--smoke] [--out PATH]
-//   --smoke   n=1e4 only, no legacy arm, deterministic event-count
-//             assertion (CI perf-smoke leg; exits non-zero on violation)
+//   --smoke   n=1e4 only, no legacy arm; deterministic guards (closed-form
+//             job/edge counts, event-count envelope, peak-RSS bound, and
+//             patterns-vs-explicit double-run digest identity) — the CI
+//             perf-smoke leg, exits non-zero on violation
 //   --out     where to write the JSON report (default BENCH_scale.json)
+#include <malloc.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -33,9 +42,12 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "wms/engine.hpp"
 #include "wms/exec_service.hpp"
 #include "wms/planner.hpp"
+#include "workload/generator.hpp"
+#include "workload/streamed.hpp"
 
 namespace {
 
@@ -47,8 +59,6 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }
 
 /// Peak resident set size (VmHWM) in bytes; 0 if /proc is unavailable.
-/// Process-wide high-water mark, so within a sweep only the largest n's
-/// reading is "its own" — run smallest-first and read after each point.
 std::size_t peak_rss_bytes() {
   std::ifstream status("/proc/self/status");
   std::string line;
@@ -63,57 +73,52 @@ std::size_t peak_rss_bytes() {
   return 0;
 }
 
-/// The blast2cap3 shape at arbitrary n, built directly as a
-/// ConcreteWorkflow (no planner/catalog machinery — this harness measures
-/// the graph core and engine, not planning).
-wms::ConcreteWorkflow make_scaled_b2c3(std::size_t n) {
-  wms::ConcreteWorkflow workflow("b2c3_scale_n" + std::to_string(n), "bench");
-  workflow.reserve(n + 6, (n + 6) * 16);
-  const auto add = [&](std::string id, std::string transformation) {
-    wms::ConcreteJob job;
-    job.id = std::move(id);
-    job.transformation = std::move(transformation);
-    job.cpu_seconds_hint = 1.0;
-    return workflow.add_job(std::move(job));
-  };
-  const std::uint32_t transcripts = add("create_transcripts_list", "create_list");
-  add("create_alignments_list", "create_list");
-  const std::uint32_t split = add("split", "split_alignments");
-  workflow.add_dependency("create_transcripts_list", "split");
-  workflow.add_dependency("create_alignments_list", "split");
-  std::vector<std::uint32_t> workers;
-  workers.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint32_t worker = add("run_cap3_" + std::to_string(i), "run_cap3");
-    workflow.add_dependency(split, worker);
-    workers.push_back(worker);
-  }
-  const std::uint32_t merge = add("merge_joined", "merge_joined");
-  for (const std::uint32_t worker : workers) {
-    workflow.add_dependency(worker, merge);
-  }
-  const std::uint32_t unjoined = add("find_unjoined", "find_unjoined");
-  workflow.add_dependency(transcripts, unjoined);
-  workflow.add_dependency(merge, unjoined);
-  const std::uint32_t final_merge = add("final_merge", "final_merge");
-  workflow.add_dependency(merge, final_merge);
-  workflow.add_dependency(unjoined, final_merge);
-  return workflow;
+/// Makes the next point's VmHWM reading its own: returns freed arenas to
+/// the OS and resets the kernel's high-water mark. Both are best-effort —
+/// when /proc/self/clear_refs is unavailable the sweep still ascends, so a
+/// monotone HWM only over-reports the smaller points.
+void reset_peak_rss() {
+  malloc_trim(0);
+  std::ofstream clear("/proc/self/clear_refs");
+  if (clear.is_open()) clear << "5\n";
 }
 
-/// Completes every submitted attempt on the next wait(), one tick later.
+/// The scale spec: the generator's blast2cap3 shape with constant task
+/// costs (the cost model is not what this harness measures) and the 4n
+/// regular edges pattern-compressed unless the caller says otherwise.
+workload::ShapeSpec scale_spec(std::size_t n, bool edge_patterns) {
+  workload::ShapeSpec spec;
+  spec.shape = workload::Shape::kBlast2cap3;
+  spec.size = n;
+  spec.edge_patterns = edge_patterns;
+  spec.cost.cpu = workload::CostDistribution::kConstant;
+  return spec;
+}
+
+/// Completes submitted attempts on the next wait(), one tick later, at
+/// most kBatch per round. Pending entries are {handle, submit time} — 16
+/// bytes — and ids come back from the workflow's interner at completion,
+/// so the service's resident state never carries job-id strings.
 class InstantService final : public wms::ExecutionService {
  public:
+  static constexpr std::size_t kBatch = 65'536;
+
+  explicit InstantService(const wms::ConcreteWorkflow& workflow)
+      : workflow_(workflow) {}
+
   void submit(const wms::ConcreteJob& job) override {
-    pending_.push_back({job.id, job.index, now_});
+    pending_.push_back({job.index, now_});
   }
   std::vector<wms::TaskAttempt> wait() override {
     now_ += 1.0;
+    const std::size_t take = std::min(pending_.size(), kBatch);
     std::vector<wms::TaskAttempt> out;
-    out.reserve(pending_.size());
-    for (auto& p : pending_) {
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      const Pending p = pending_.front();
+      pending_.pop_front();
       wms::TaskAttempt attempt;
-      attempt.job_id = std::move(p.id);
+      attempt.job_id = std::string(workflow_.ids().name(p.index));
       attempt.job = p.index;  // handle echo: engine matches without hashing
       attempt.transformation = "work";
       attempt.success = true;
@@ -122,7 +127,6 @@ class InstantService final : public wms::ExecutionService {
       attempt.end_time = now_;
       out.push_back(std::move(attempt));
     }
-    pending_.clear();
     return out;
   }
   double now() override { return now_; }
@@ -130,12 +134,12 @@ class InstantService final : public wms::ExecutionService {
 
  private:
   struct Pending {
-    std::string id;
     std::uint32_t index;
     double submitted;
   };
+  const wms::ConcreteWorkflow& workflow_;
   double now_ = 0;
-  std::vector<Pending> pending_;
+  std::deque<Pending> pending_;
 };
 
 struct CountingObserver final : wms::EngineObserver {
@@ -244,9 +248,12 @@ struct Point {
   std::size_t n = 0;
   std::size_t jobs = 0;
   std::size_t edges = 0;
+  workload::StreamedBuildStats build;
   double build_seconds = 0;
   double engine_seconds = 0;
   std::size_t events = 0;
+  std::uint64_t digest = 0;        ///< lean jobstate digest (determinism pin)
+  std::size_t jobstate_lines = 0;
   double jobs_per_sec = 0;
   double events_per_sec = 0;
   std::size_t peak_rss_bytes = 0;
@@ -256,25 +263,40 @@ struct Point {
   double speedup = 0;
 };
 
-Point run_point(std::size_t n, bool run_legacy) {
+Point run_point(std::size_t n, bool run_legacy, bool edge_patterns,
+                common::ThreadPool& pool) {
   Point point;
   point.n = n;
 
   auto t0 = std::chrono::steady_clock::now();
-  const wms::ConcreteWorkflow workflow = make_scaled_b2c3(n);
+  workload::StreamedBuildOptions build_options;
+  build_options.site = "sandhills";
+  build_options.edge_patterns = edge_patterns;
+  build_options.pool = &pool;
+  const wms::ConcreteWorkflow workflow =
+      workload::build_concrete_streamed(scale_spec(n, edge_patterns),
+                                        build_options, &point.build);
   point.build_seconds = seconds_since(t0);
   point.jobs = workflow.jobs().size();
   point.edges = workflow.edge_count();
+  // Closed forms: n workers + 6 pipeline jobs + 2 stage jobs; 4n regular
+  // edges + 4 irregular + 3 stage edges.
+  if (point.jobs != n + 8 || point.edges != 4 * n + 7) {
+    throw common::Error("scale_dag: closed-form mismatch at n=" + std::to_string(n));
+  }
 
-  InstantService service;
+  InstantService service(workflow);
   CountingObserver counter;
   wms::EngineOptions options;
+  options.lean_report = true;  // O(1) report state: digest, not a roster
   options.observers.push_back(&counter);
   wms::DagmanEngine engine(std::move(options));
   t0 = std::chrono::steady_clock::now();
   const wms::RunReport report = engine.run(workflow, service);
   point.engine_seconds = seconds_since(t0);
   point.events = counter.events;
+  point.digest = report.jobstate_digest;
+  point.jobstate_lines = report.jobstate_lines;
   if (!report.success || report.jobs_succeeded != point.jobs) {
     throw common::Error("scale_dag: engine run failed at n=" + std::to_string(n));
   }
@@ -321,38 +343,47 @@ void write_json(const std::string& path, const std::vector<Point>& points,
   out << "{\n";
   out << "  \"benchmark\": \"scale_dag\",\n";
   out << "  \"mode\": \"" << (smoke ? "smoke" : "sweep") << "\",\n";
-  out << "  \"dag\": \"blast2cap3-shaped: 2 roots -> split -> n run_cap3 -> "
-         "merge_joined -> find_unjoined -> final_merge\",\n";
-  out << "  \"service\": \"instant (pure engine+observer bookkeeping)\",\n";
+  out << "  \"dag\": \"generator blast2cap3: stage_in -> 2 roots -> split -> "
+         "n run_cap3 -> merge_joined/find_unjoined -> final_merge -> "
+         "stage_out; 4n edges pattern-compressed\",\n";
+  out << "  \"build\": \"workload::build_concrete_streamed (parallel fill, "
+         "bulk intern, EdgePatterns)\",\n";
+  out << "  \"service\": \"instant, batched (pure engine+observer "
+         "bookkeeping); lean-report engine\",\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
-    out << "    {\n";
-    out << "      \"n\": " << p.n << ",\n";
-    out << "      \"jobs\": " << p.jobs << ",\n";
-    out << "      \"edges\": " << p.edges << ",\n";
-    out << "      \"build_seconds\": " << common::format_fixed(p.build_seconds, 4)
-        << ",\n";
-    out << "      \"engine_seconds\": " << common::format_fixed(p.engine_seconds, 4)
-        << ",\n";
-    out << "      \"events\": " << p.events << ",\n";
-    out << "      \"jobs_per_sec\": " << common::format_fixed(p.jobs_per_sec, 1)
-        << ",\n";
-    out << "      \"events_per_sec\": " << common::format_fixed(p.events_per_sec, 1)
-        << ",\n";
-    out << "      \"peak_rss_mb\": "
-        << common::format_fixed(static_cast<double>(p.peak_rss_bytes) / (1024.0 * 1024.0), 1)
-        << ",\n";
+    std::vector<std::string> fields;
+    const auto field = [&](const std::string& name, const std::string& value) {
+      fields.push_back("      \"" + name + "\": " + value);
+    };
+    field("n", std::to_string(p.n));
+    field("jobs", std::to_string(p.jobs));
+    field("edges", std::to_string(p.edges));
+    field("pattern_edges", std::to_string(p.build.pattern_edges));
+    field("explicit_edges", std::to_string(p.build.explicit_edges));
+    field("build_seconds", common::format_fixed(p.build_seconds, 4));
+    field("build_model_seconds", common::format_fixed(p.build.model_seconds, 4));
+    field("build_fill_seconds", common::format_fixed(p.build.fill_seconds, 4));
+    field("build_intern_seconds", common::format_fixed(p.build.intern_seconds, 4));
+    field("build_wire_seconds", common::format_fixed(p.build.wire_seconds, 4));
+    field("engine_seconds", common::format_fixed(p.engine_seconds, 4));
+    field("events", std::to_string(p.events));
+    field("jobstate_digest", "\"" + std::to_string(p.digest) + "\"");
+    field("jobs_per_sec", common::format_fixed(p.jobs_per_sec, 1));
+    field("events_per_sec", common::format_fixed(p.events_per_sec, 1));
+    field("peak_rss_mb",
+          common::format_fixed(
+              static_cast<double>(p.peak_rss_bytes) / (1024.0 * 1024.0), 1));
+    // Legacy fields appear only when the legacy arm actually ran.
     if (p.has_legacy) {
-      out << "      \"legacy_engine_seconds\": "
-          << common::format_fixed(p.legacy_engine_seconds, 4) << ",\n";
-      out << "      \"legacy_jobs_per_sec\": "
-          << common::format_fixed(p.legacy_jobs_per_sec, 1) << ",\n";
-      out << "      \"speedup_vs_legacy\": " << common::format_fixed(p.speedup, 2)
-          << "\n";
-    } else {
-      out << "      \"legacy_engine_seconds\": null\n";
+      field("legacy_engine_seconds",
+            common::format_fixed(p.legacy_engine_seconds, 4));
+      field("legacy_jobs_per_sec",
+            common::format_fixed(p.legacy_jobs_per_sec, 1));
+      field("speedup_vs_legacy", common::format_fixed(p.speedup, 2));
     }
+    out << "    {\n" << common::join(fields, ",\n") << "\n";
     out << "    }" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
@@ -376,19 +407,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<std::size_t> sweep{10'000, 100'000, 1'000'000};
+  std::vector<std::size_t> sweep{10'000, 100'000, 1'000'000, 10'000'000};
   if (smoke) sweep = {10'000};
 
+  common::ThreadPool pool(0);  // hardware concurrency
   std::vector<Point> points;
   try {
     for (const std::size_t n : sweep) {
-      // Legacy reference arm only up to 1e5: at 1e6 the string-keyed drain
-      // takes minutes and adds nothing to the trajectory.
+      reset_peak_rss();
+      // Legacy reference arm only up to 1e5: at 1e6+ the string-keyed
+      // drain takes minutes and adds nothing to the trajectory.
       const bool run_legacy = !smoke && n <= 100'000;
-      const Point point = run_point(n, run_legacy);
+      const Point point = run_point(n, run_legacy, /*edge_patterns=*/true, pool);
       std::cout << "n=" << point.n << " jobs=" << point.jobs
                 << " edges=" << point.edges << " build=" << point.build_seconds
-                << "s engine=" << point.engine_seconds << "s events=" << point.events
+                << "s (model=" << point.build.model_seconds
+                << " fill=" << point.build.fill_seconds
+                << " intern=" << point.build.intern_seconds
+                << " wire=" << point.build.wire_seconds
+                << ") engine=" << point.engine_seconds
+                << "s events=" << point.events
                 << " jobs/s=" << static_cast<std::size_t>(point.jobs_per_sec)
                 << " rss=" << point.peak_rss_bytes / (1024 * 1024) << "MB";
       if (point.has_legacy) {
@@ -399,27 +437,49 @@ int main(int argc, char** argv) {
       std::cout << "\n";
       points.push_back(point);
     }
+
+    if (smoke) {
+      const Point& p = points.front();
+      // Deterministic complexity guard: a clean run emits a fixed small
+      // number of events per job plus the run bracket. Assert an envelope
+      // on the *event count*, never on walltime, so an algorithmic
+      // regression fails deterministically on any machine.
+      const std::size_t floor = 4 * p.jobs;
+      const std::size_t ceiling = 6 * p.jobs + 16;
+      if (p.events < floor || p.events > ceiling) {
+        std::cerr << "scale_dag --smoke: event count " << p.events
+                  << " outside envelope [" << floor << ", " << ceiling << "]\n";
+        return 1;
+      }
+      // Memory envelope: the n=1e4 point (pattern-compressed edges, lean
+      // report) fits comfortably in tens of MB; 512 MB catches any
+      // reintroduced O(n) blowup (materialized edges, per-job rosters)
+      // while staying machine-independent.
+      const std::size_t rss_cap = 512ull * 1024 * 1024;
+      if (p.peak_rss_bytes == 0 || p.peak_rss_bytes > rss_cap) {
+        std::cerr << "scale_dag --smoke: peak RSS "
+                  << p.peak_rss_bytes / (1024 * 1024)
+                  << "MB outside (0, 512]MB envelope\n";
+        return 1;
+      }
+      // Pattern-compressed and materialized edge storage must drive the
+      // engine through byte-identical schedules.
+      const Point explicit_point =
+          run_point(p.n, /*run_legacy=*/false, /*edge_patterns=*/false, pool);
+      if (explicit_point.digest != p.digest ||
+          explicit_point.jobstate_lines != p.jobstate_lines) {
+        std::cerr << "scale_dag --smoke: patterns-vs-explicit digest mismatch ("
+                  << p.digest << " vs " << explicit_point.digest << ")\n";
+        return 1;
+      }
+      std::cout << "smoke OK: " << p.events << " events within [" << floor
+                << ", " << ceiling << "], rss "
+                << p.peak_rss_bytes / (1024 * 1024)
+                << "MB, patterns==explicit digest " << p.digest << "\n";
+    }
   } catch (const std::exception& err) {
     std::cerr << "scale_dag: " << err.what() << "\n";
     return 1;
-  }
-
-  if (smoke) {
-    // Deterministic complexity guard for CI: a clean run emits exactly one
-    // READY/SUBMIT/ATTEMPT_FINISHED/SUCCEEDED per job plus the run
-    // bracket. Assert a generous envelope on the *event count*, never on
-    // walltime, so an algorithmic regression (events re-emitted per edge,
-    // repeated releases) fails deterministically on any machine.
-    const Point& p = points.front();
-    const std::size_t floor = 4 * p.jobs;
-    const std::size_t ceiling = 6 * p.jobs + 16;
-    if (p.events < floor || p.events > ceiling) {
-      std::cerr << "scale_dag --smoke: event count " << p.events
-                << " outside envelope [" << floor << ", " << ceiling << "]\n";
-      return 1;
-    }
-    std::cout << "smoke OK: " << p.events << " events within [" << floor << ", "
-              << ceiling << "]\n";
   }
 
   write_json(out_path, points, smoke);

@@ -333,7 +333,6 @@ std::uint64_t run_locality_policy(const std::string& policy, std::size_t jobs,
     job.id = "sin_" + std::to_string(i);
     job.transformation = "pegasus-transfer";
     job.kind = wms::JobKind::kStageIn;
-    job.site = "osg";
     job.cpu_seconds_hint = 1;
     const std::size_t group = i % 2;  // FIFO order interleaves the groups
     for (std::size_t f = 0; f < kGroupFiles; ++f) {
@@ -348,6 +347,7 @@ std::uint64_t run_locality_policy(const std::string& policy, std::size_t jobs,
   }
 
   data::StagingConfig staging_config;
+  staging_config.execution_site = "osg";
   staging_config.reuse_resident = true;
   data::StagingService staging(queue, sim_service, transfers, replicas,
                                staging_config);

@@ -33,12 +33,17 @@ run_suite build-asan -DPGA_SANITIZE=address
 run_suite build-tsan -DPGA_SANITIZE=thread
 
 # Perf smoke: run the scale benchmark at n=10^4 in the default (Release)
-# build. --smoke asserts an event-count envelope (exactly one READY /
-# SUBMIT / ATTEMPT_FINISHED / SUCCEEDED per job on a clean run, plus the
-# run bracket), so a complexity regression — duplicate events, retry
-# storms, quadratic re-scans — fails deterministically without depending
-# on machine speed. BENCH_scale.json in the repo root is the committed
-# full-sweep trajectory baseline (n up to 10^6); regenerate it with
+# build. --smoke asserts four machine-independent guards: the streamed
+# builder's closed-form job/edge counts (jobs = n+8, edges = 4n+7 with
+# the 4n regular edges pattern-compressed), an event-count envelope
+# (exactly one READY / SUBMIT / ATTEMPT_FINISHED / SUCCEEDED per job on
+# a clean run, plus the run bracket), a 512 MB peak-RSS memory envelope
+# (catches any reintroduced O(n) blowup: materialized regular edges,
+# per-job report rosters), and a patterns-vs-explicit double run whose
+# lean jobstate digests must match byte-for-byte. A complexity or memory
+# regression fails deterministically without depending on machine speed.
+# BENCH_scale.json in the repo root is the committed full-sweep
+# trajectory baseline (n up to 10^7); regenerate it with
 # `build/bench/scale_dag` when the layout changes.
 echo "==> perf smoke (scale_dag --smoke, n=10^4)"
 cmake --build build -j "${jobs}" --target scale_dag

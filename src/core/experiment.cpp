@@ -111,8 +111,10 @@ SingleRun run_once(const ExperimentConfig& config, const std::string& platform,
     transfer_config.seed ^= run_seed;
     transfers = std::make_unique<data::TransferManager>(queue, transfer_config);
     add_site_elements(*transfers, paper_site_catalog(), config.data.transfer_slots);
+    data::StagingConfig staging_cfg;
+    staging_cfg.execution_site = concrete.site();
     staging = std::make_unique<data::StagingService>(queue, sim_service, *transfers,
-                                                     replicas);
+                                                     replicas, staging_cfg);
     service = staging.get();
   }
 
@@ -250,8 +252,10 @@ ShapeRun run_shape_point(const ExperimentConfig& config,
     transfer_config.seed ^= run_seed;
     transfers = std::make_unique<data::TransferManager>(queue, transfer_config);
     add_site_elements(*transfers, sites, config.data.transfer_slots);
+    data::StagingConfig staging_cfg;
+    staging_cfg.execution_site = concrete.site();
     staging = std::make_unique<data::StagingService>(queue, sim_service, *transfers,
-                                                     replicas);
+                                                     replicas, staging_cfg);
     service = staging.get();
   }
 

@@ -36,8 +36,9 @@ class LocalityPolicy final : public wms::SchedulingPolicy {
   /// the job's site. Args that aren't held (or aren't LFNs at all) add 0.
   [[nodiscard]] std::uint64_t resident_bytes(std::uint32_t index) const {
     const wms::ConcreteJob& job = workflow_->jobs()[index];
-    if (!manager_->has_element(job.site)) return 0;
-    const StorageElement& element = manager_->element(job.site);
+    const std::string& site = workflow_->site();
+    if (!manager_->has_element(site)) return 0;
+    const StorageElement& element = manager_->element(site);
     std::uint64_t total = 0;
     for (const std::string& lfn : job.args) {
       total += element.held_bytes(lfn);

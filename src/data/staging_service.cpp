@@ -18,6 +18,9 @@ StagingService::StagingService(sim::EventQueue& queue, wms::ExecutionService& in
   if (config_.submit_site.empty()) {
     throw common::InvalidArgument("StagingService: empty submit_site");
   }
+  if (config_.execution_site.empty()) {
+    throw common::InvalidArgument("StagingService: empty execution_site");
+  }
 }
 
 void StagingService::submit(const wms::ConcreteJob& job) {
@@ -38,34 +41,35 @@ void StagingService::stage(const wms::ConcreteJob& job) {
   auto staging = std::make_shared<StagingJob>();
   staging->job_id = job.id;
   staging->transformation = job.transformation;
-  staging->site = job.site;
+  staging->site = config_.execution_site;
   staging->submit_time = queue_.now();
   staging->remaining = job.args.size();
 
+  const std::string& exec_site = config_.execution_site;
   const bool inbound = job.kind == wms::JobKind::kStageIn;
   for (const auto& lfn : job.args) {
-    if (inbound && config_.reuse_resident && transfers_.has_element(job.site) &&
-        transfers_.element(job.site).holds(lfn)) {
+    if (inbound && config_.reuse_resident && transfers_.has_element(exec_site) &&
+        transfers_.element(exec_site).holds(lfn)) {
       // Already resident at the destination: no transfer, just refresh LRU
       // recency. A fully-resident job completes synchronously here.
-      StorageElement& element = transfers_.element(job.site);
+      StorageElement& element = transfers_.element(exec_site);
       bypassed_bytes_ += element.held_bytes(lfn);
       ++bypassed_files_;
       element.touch(lfn);
       if (--staging->remaining == 0) complete(staging);
       continue;
     }
-    std::string source = inbound ? config_.submit_site : job.site;
-    std::string dest = inbound ? job.site : config_.submit_site;
+    std::string source = inbound ? config_.submit_site : exec_site;
+    std::string dest = inbound ? exec_site : config_.submit_site;
     std::uint64_t bytes = config_.default_file_bytes;
     if (inbound) {
-      const auto replica = transfers_.select_source(replicas_, lfn, job.site);
+      const auto replica = transfers_.select_source(replicas_, lfn, exec_site);
       if (replica.has_value()) {
         source = replica->site;
         if (replica->size_bytes > 0) bytes = replica->size_bytes;
       }
     } else {
-      const auto replica = replicas_.best_for_site(lfn, job.site);
+      const auto replica = replicas_.best_for_site(lfn, exec_site);
       if (replica.has_value() && replica->size_bytes > 0) bytes = replica->size_bytes;
     }
     transfers_.transfer(lfn, bytes, source, dest,

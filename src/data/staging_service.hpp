@@ -29,6 +29,10 @@ namespace pga::data {
 /// Tunables for the staging decorator.
 struct StagingConfig {
   std::string submit_site = "local";  ///< where inputs start and outputs land
+  /// The execution site all staged jobs run against. The slimmed
+  /// ConcreteJob no longer carries a per-job site (the planner maps one
+  /// workflow to one site), so the decorator takes it once here instead.
+  std::string execution_site;
   /// Bytes assumed per staged file when the replica catalog has no size
   /// (notably workflow outputs, which have no replica at plan time).
   std::uint64_t default_file_bytes = 0;

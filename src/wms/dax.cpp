@@ -1,7 +1,6 @@
 #include "wms/dax.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <string_view>
 
 #include "common/error.hpp"
@@ -39,50 +38,15 @@ std::uint32_t AbstractWorkflow::add_job(AbstractJob job) {
   if (ids_.contains(job.id)) throw InvalidArgument("duplicate job id: " + job.id);
   const std::uint32_t handle = ids_.intern(job.id);  // == jobs_.size(): dense
   jobs_.push_back(std::move(job));
-  children_.emplace_back();
-  parents_.emplace_back();
+  graph_.add_node();
   return handle;
 }
 
-bool AbstractWorkflow::path_exists(std::uint32_t from, std::uint32_t to) const {
-  if (visit_mark_.size() < jobs_.size()) visit_mark_.resize(jobs_.size(), 0);
-  if (++visit_epoch_ == 0) {  // epoch wrapped: old stamps are ambiguous
-    std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
-    visit_epoch_ = 1;
-  }
-  const std::uint32_t epoch = visit_epoch_;
-  std::vector<std::uint32_t> frontier{from};
-  visit_mark_[from] = epoch;
-  while (!frontier.empty()) {
-    const std::uint32_t current = frontier.back();
-    frontier.pop_back();
-    if (current == to) return true;
-    for (const std::uint32_t next : children_[current]) {
-      if (visit_mark_[next] != epoch) {
-        visit_mark_[next] = epoch;
-        frontier.push_back(next);
-      }
-    }
-  }
-  return false;
+void AbstractWorkflow::reserve(std::size_t job_count, std::size_t id_bytes) {
+  jobs_.reserve(job_count);
+  ids_.reserve(job_count, id_bytes);
+  graph_.reserve(job_count);
 }
-
-namespace {
-
-/// Inserts `handle` into `list` keeping it sorted by interned name (the
-/// order the old std::set<std::string> adjacency iterated in). Returns
-/// false for duplicates.
-bool insert_sorted_by_name(std::vector<std::uint32_t>& list,
-                           std::uint32_t handle, const IdTable& ids) {
-  const auto it = std::lower_bound(
-      list.begin(), list.end(), handle,
-      [&ids](std::uint32_t a, std::uint32_t b) { return ids.name(a) < ids.name(b); });
-  if (it != list.end() && *it == handle) return false;
-  list.insert(it, handle);
-  return true;
-}
-
-}  // namespace
 
 void AbstractWorkflow::add_dependency(const std::string& parent,
                                       const std::string& child) {
@@ -101,19 +65,16 @@ void AbstractWorkflow::add_dependency(std::uint32_t parent, std::uint32_t child)
     throw InvalidArgument("unknown child handle: " + std::to_string(child));
   }
   if (parent == child) throw WorkflowError("self-dependency on " + jobs_[parent].id);
-  if (std::binary_search(children_[parent].begin(), children_[parent].end(), child,
-                         [this](std::uint32_t a, std::uint32_t b) {
-                           return ids_.name(a) < ids_.name(b);
-                         })) {
-    return;
-  }
-  if (path_exists(child, parent)) {
+  if (graph_.has_edge(parent, child, ids_)) return;
+  if (graph_.path_exists(child, parent)) {
     throw WorkflowError("dependency " + jobs_[parent].id + " -> " +
                         jobs_[child].id + " creates a cycle");
   }
-  insert_sorted_by_name(children_[parent], child, ids_);
-  insert_sorted_by_name(parents_[child], parent, ids_);
-  ++edge_count_;
+  graph_.add_edge(parent, child, ids_);
+}
+
+void AbstractWorkflow::add_edge_pattern(const EdgePattern& pattern) {
+  graph_.add_pattern(pattern, ids_);
 }
 
 void AbstractWorkflow::infer_dependencies_from_files() {
@@ -159,60 +120,42 @@ std::uint32_t AbstractWorkflow::job_index(const std::string& id) const {
   return handle;
 }
 
-const std::vector<std::uint32_t>& AbstractWorkflow::parents_of(
+std::vector<std::uint32_t> AbstractWorkflow::parents_of(
     std::uint32_t index) const {
-  if (index >= parents_.size()) {
+  if (index >= jobs_.size()) {
     throw InvalidArgument("unknown job handle: " + std::to_string(index));
   }
-  return parents_[index];
+  return graph_.parents_sorted(index, ids_);
 }
 
-const std::vector<std::uint32_t>& AbstractWorkflow::children_of(
+std::vector<std::uint32_t> AbstractWorkflow::children_of(
     std::uint32_t index) const {
-  if (index >= children_.size()) {
+  if (index >= jobs_.size()) {
     throw InvalidArgument("unknown job handle: " + std::to_string(index));
   }
-  return children_[index];
+  return graph_.children_sorted(index, ids_);
 }
 
 std::vector<std::string> AbstractWorkflow::parents(const std::string& id) const {
-  const auto& list = parents_[job_index(id)];
+  const std::uint32_t index = job_index(id);
   std::vector<std::string> out;
-  out.reserve(list.size());
-  for (const std::uint32_t h : list) out.emplace_back(ids_.name(h));
+  out.reserve(graph_.parent_count(index));
+  graph_.for_each_parent(index, ids_,
+                         [&](std::uint32_t h) { out.emplace_back(ids_.name(h)); });
   return out;
 }
 
 std::vector<std::string> AbstractWorkflow::children(const std::string& id) const {
-  const auto& list = children_[job_index(id)];
+  const std::uint32_t index = job_index(id);
   std::vector<std::string> out;
-  out.reserve(list.size());
-  for (const std::uint32_t h : list) out.emplace_back(ids_.name(h));
+  out.reserve(graph_.child_count(index));
+  graph_.for_each_child(index, ids_,
+                        [&](std::uint32_t h) { out.emplace_back(ids_.name(h)); });
   return out;
 }
 
 std::vector<std::uint32_t> AbstractWorkflow::topological_order_indices() const {
-  const std::size_t n = jobs_.size();
-  std::vector<std::uint32_t> in_degree(n, 0);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    in_degree[i] = static_cast<std::uint32_t>(parents_[i].size());
-  }
-  // Seed with roots in insertion order for a stable result.
-  std::vector<std::uint32_t> order;
-  order.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (in_degree[i] == 0) order.push_back(i);
-  }
-  // `order` doubles as the Kahn queue: everything before `head` is final.
-  for (std::size_t head = 0; head < order.size(); ++head) {
-    for (const std::uint32_t kid : children_[order[head]]) {
-      if (--in_degree[kid] == 0) order.push_back(kid);
-    }
-  }
-  if (order.size() != n) {
-    throw WorkflowError("workflow " + name_ + " contains a cycle");
-  }
-  return order;
+  return graph_.topological_order(ids_, "workflow " + name_);
 }
 
 std::vector<std::string> AbstractWorkflow::topological_order() const {

@@ -5,17 +5,20 @@
 // planner (planner.hpp) maps it onto a concrete, executable workflow.
 //
 // Jobs are interned: every id maps to a dense u32 handle (IdTable) and the
-// dependency graph is stored as flat per-node adjacency vectors of handles
-// instead of string-keyed map<set> — one hash probe per touch instead of
-// O(log n) string compares. The string-based parents()/children()/
+// dependency graph lives in a WorkflowGraph — a sparse explicit adjacency
+// plus O(1)-storage EdgePatterns for regular fan-out/fan-in
+// (edge_pattern.hpp). The string-based parents()/children()/
 // topological_order() remain as thin shims over the handle layout and
-// preserve the original sorted-id ordering exactly.
+// preserve the original sorted-id ordering exactly, whether an edge is
+// stored explicitly or arithmetically.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "wms/edge_pattern.hpp"
 #include "wms/id_table.hpp"
 
 namespace pga::wms {
@@ -54,11 +57,26 @@ class AbstractWorkflow {
   /// the job's dense handle (== position in jobs()).
   std::uint32_t add_job(AbstractJob job);
 
+  /// Pre-sizes the job vector, interner arena and adjacency index for
+  /// `job_count` jobs whose ids total ~`id_bytes` — kills realloc/rehash
+  /// churn in million-job builds.
+  void reserve(std::size_t job_count, std::size_t id_bytes);
+
   /// Adds an explicit parent -> child edge; both ids must exist; duplicate
-  /// edges are ignored. Throws WorkflowError if the edge creates a cycle.
+  /// edges are ignored (including edges a pattern already covers). Throws
+  /// WorkflowError if the edge creates a cycle.
   void add_dependency(const std::string& parent, const std::string& child);
   /// Handle-based edge insertion — no id lookups, for bulk graph builds.
   void add_dependency(std::uint32_t parent, std::uint32_t child);
+
+  /// Adds a whole arithmetic family of edges in O(1) storage. All endpoint
+  /// handles must already exist and each strided side must ascend in name
+  /// order (zero-padded ids); see WorkflowGraph::add_pattern for the
+  /// validation rules. No cycle check — validate() catches cycles.
+  void add_edge_pattern(const EdgePattern& pattern);
+  [[nodiscard]] const std::vector<EdgePattern>& edge_patterns() const {
+    return graph_.patterns();
+  }
 
   /// Derives edges from data flow: if job A outputs an LFN that job B
   /// inputs, adds A -> B. Call after all jobs are added (Pegasus does the
@@ -76,10 +94,29 @@ class AbstractWorkflow {
   [[nodiscard]] std::uint32_t job_index(const std::string& id) const;
   /// The job-id interner; handle h names jobs()[h].id.
   [[nodiscard]] const IdTable& ids() const { return ids_; }
-  /// Parent handles of `index`, sorted by parent id.
-  [[nodiscard]] const std::vector<std::uint32_t>& parents_of(std::uint32_t index) const;
+  /// Parent handles of `index`, sorted by parent id (materialized — use
+  /// for_each_parent/parent_count on hot paths).
+  [[nodiscard]] std::vector<std::uint32_t> parents_of(std::uint32_t index) const;
   /// Child handles of `index`, sorted by child id.
-  [[nodiscard]] const std::vector<std::uint32_t>& children_of(std::uint32_t index) const;
+  [[nodiscard]] std::vector<std::uint32_t> children_of(std::uint32_t index) const;
+  [[nodiscard]] std::size_t parent_count(std::uint32_t index) const {
+    return graph_.parent_count(index);
+  }
+  [[nodiscard]] std::size_t child_count(std::uint32_t index) const {
+    return graph_.child_count(index);
+  }
+  /// Visits children/parents of `index` in neighbour-name order without
+  /// materializing a list.
+  template <typename Fn>
+  void for_each_child(std::uint32_t index, Fn&& fn) const {
+    graph_.for_each_child(index, ids_, std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void for_each_parent(std::uint32_t index, Fn&& fn) const {
+    graph_.for_each_parent(index, ids_, std::forward<Fn>(fn));
+  }
+  /// The underlying pattern-compressed graph (planner bulk copies).
+  [[nodiscard]] const WorkflowGraph& graph() const { return graph_; }
   /// Kahn topological order over handles; same sequence as
   /// topological_order() maps to.
   [[nodiscard]] std::vector<std::uint32_t> topological_order_indices() const;
@@ -89,10 +126,11 @@ class AbstractWorkflow {
   [[nodiscard]] std::vector<std::string> parents(const std::string& id) const;
   /// Children of `id` (sorted).
   [[nodiscard]] std::vector<std::string> children(const std::string& id) const;
-  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+  [[nodiscard]] std::size_t edge_count() const { return graph_.edge_count(); }
 
   /// Kahn topological order; throws WorkflowError if the graph is cyclic
-  /// (cannot normally happen — add_dependency rejects cycles).
+  /// (cannot normally happen — add_dependency rejects cycles; patterns are
+  /// only checked here).
   [[nodiscard]] std::vector<std::string> topological_order() const;
 
   /// LFNs consumed by some job but produced by none: the workflow's
@@ -102,26 +140,15 @@ class AbstractWorkflow {
   /// LFNs produced but never consumed: the workflow's final outputs.
   [[nodiscard]] std::vector<std::string> workflow_outputs() const;
 
-  /// Sanity checks: every LFN has at most one producer. Throws
-  /// WorkflowError with a description of the first violation.
+  /// Sanity checks: every LFN has at most one producer, graph acyclic.
+  /// Throws WorkflowError with a description of the first violation.
   void validate() const;
 
  private:
   std::string name_;
   std::vector<AbstractJob> jobs_;
   IdTable ids_;  // job id -> handle == index into jobs_
-  /// Flat adjacency by handle, each list sorted by the neighbour's id so
-  /// the string shims (and everything ordered on top of them) see exactly
-  /// the order the old map<string, set<string>> produced.
-  std::vector<std::vector<std::uint32_t>> children_;
-  std::vector<std::vector<std::uint32_t>> parents_;
-  std::size_t edge_count_ = 0;
-  /// Cycle-check scratch: epoch-stamped visit marks so each BFS touches
-  /// only the nodes it reaches instead of clearing an O(n) bitmap per edge.
-  mutable std::vector<std::uint32_t> visit_mark_;
-  mutable std::uint32_t visit_epoch_ = 0;
-
-  [[nodiscard]] bool path_exists(std::uint32_t from, std::uint32_t to) const;
+  WorkflowGraph graph_;
 };
 
 }  // namespace pga::wms

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 #include "common/fsutil.hpp"
 #include "common/log.hpp"
@@ -95,6 +96,65 @@ RunReport RunReportBuilder::take() {
     report_.runs.push_back(std::move(run));
   }
   runs_.clear();
+  report_.jobstate_digest = common::lines_digest(report_.jobstate_log);
+  report_.jobstate_lines = report_.jobstate_log.size();
+  return std::move(report_);
+}
+
+// ---------------------------------------------------- LeanReportObserver
+
+void LeanReportObserver::on_event(const EngineEvent& event) {
+  if (format_jobstate_line(event, line_)) {
+    // Stream the log through the digest instead of storing it; the fold
+    // matches common::lines_digest (per line, then '\n') byte for byte.
+    digest_ = common::fnv1a(digest_, line_);
+    digest_ = common::fnv1a(digest_, "\n");
+    ++report_.jobstate_lines;
+  }
+  switch (event.type) {
+    case EngineEventType::kRunStarted:
+      report_.workflow = std::string(event.workflow);
+      report_.service = std::string(event.service);
+      report_.jobs_total = event.total_jobs;
+      report_.start_time = event.time;
+      break;
+    case EngineEventType::kJobRescued:
+      ++report_.jobs_skipped;
+      break;
+    case EngineEventType::kAttemptFinished:
+      ++report_.total_attempts;
+      break;
+    case EngineEventType::kJobRetry:
+      ++report_.total_retries;
+      break;
+    case EngineEventType::kJobBackoff:
+      report_.total_backoff_seconds += event.backoff_seconds;
+      break;
+    case EngineEventType::kAttemptTimedOut:
+      ++report_.timed_out_attempts;
+      break;
+    case EngineEventType::kNodeBlacklisted:
+      report_.blacklisted_nodes.emplace_back(event.node);
+      break;
+    case EngineEventType::kJobSucceeded:
+      // Rescued jobs never emit kJobSucceeded, so this counter matches the
+      // full builder's `succeeded && !skipped_by_rescue` tally.
+      ++report_.jobs_succeeded;
+      break;
+    case EngineEventType::kJobFailed:
+      ++report_.jobs_failed;
+      break;
+    case EngineEventType::kRunFinished:
+      report_.end_time = event.time;
+      report_.success = event.success;
+      break;
+    default:
+      break;
+  }
+}
+
+RunReport LeanReportObserver::take() {
+  report_.jobstate_digest = digest_;
   return std::move(report_);
 }
 
@@ -190,7 +250,6 @@ EngineInstance::EngineInstance(const EngineOptions& options,
       ids_(workflow.ids()),
       service_(service),
       fsm_(workflow),
-      builder_(workflow),
       in_flight_(workflow.jobs().size()),
       stale_attempts_(workflow.jobs().size(), 0),
       backoff_rng_(options.backoff_seed),
@@ -204,7 +263,16 @@ EngineInstance::EngineInstance(const EngineOptions& options,
   }
   policy_->prepare(workflow_);
 
-  bus_.subscribe(&builder_);
+  // Full mode keeps the per-job roster and the stored jobstate log; lean
+  // mode never allocates either (the roster alone is ~100 B/job — at 10^7
+  // jobs that is a gigabyte the report cannot afford).
+  if (options_.lean_report) {
+    lean_builder_ = std::make_unique<LeanReportObserver>();
+    bus_.subscribe(lean_builder_.get());
+  } else {
+    builder_ = std::make_unique<RunReportBuilder>(workflow_);
+    bus_.subscribe(builder_.get());
+  }
   if (options_.status != nullptr) {
     status_observer_ = std::make_unique<StatusBoardObserver>(*options_.status);
     bus_.subscribe(status_observer_.get());
@@ -585,7 +653,7 @@ RunReport EngineInstance::take_report() {
     throw common::InvalidArgument("EngineInstance::take_report called twice");
   }
   report_taken_ = true;
-  RunReport report = builder_.take();
+  RunReport report = builder_ != nullptr ? builder_->take() : lean_builder_->take();
   report.error = abort_error_;
   return report;
 }

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/digest.hpp"
 #include "common/rng.hpp"
 
 #include "wms/events.hpp"
@@ -84,6 +85,13 @@ struct EngineOptions {
   /// Extra engine-event observers, notified after the engine's own
   /// (report, status) in this order. Borrowed; must outlive every run.
   std::vector<EngineObserver*> observers = {};
+  /// Scalar-only accounting: the RunReport carries counters and a streamed
+  /// FNV-1a digest of the jobstate lines (jobstate_digest/jobstate_lines)
+  /// but no per-job runs[] roster and no stored jobstate_log — O(1) report
+  /// memory instead of O(jobs), which is what lets a 10^7-job run fit the
+  /// 4 GB envelope. The digest matches common::lines_digest of the log a
+  /// full-mode run would have stored, byte for byte.
+  bool lean_report = false;
 };
 
 /// Everything recorded about one job across its attempts.
@@ -124,8 +132,15 @@ struct RunReport {
   double total_backoff_seconds = 0;    ///< summed retry cool-off across jobs
   /// Nodes blacklisted during the run, in blacklist order.
   std::vector<std::string> blacklisted_nodes;
-  std::vector<JobRun> runs;       ///< per job, in completion order
+  std::vector<JobRun> runs;       ///< per job, in completion order (empty
+                                  ///< under EngineOptions::lean_report)
   std::vector<std::string> jobstate_log;  ///< "<t> <job> <EVENT>" lines
+                                          ///< (empty under lean_report)
+  /// common::lines_digest of the jobstate log and its line count — filled
+  /// in both modes (streamed in lean mode, computed from the stored log
+  /// otherwise), so double-run identity checks work without the log.
+  std::uint64_t jobstate_digest = 0;
+  std::size_t jobstate_lines = 0;
 
   /// "Workflow Wall Time" — the statistic Fig. 4 plots.
   [[nodiscard]] double wall_seconds() const { return end_time - start_time; }
@@ -151,6 +166,22 @@ class RunReportBuilder final : public EngineObserver {
   /// Per-job records indexed by dense handle (EngineEvent::job); take()
   /// emits them sorted by id, matching the old map iteration order.
   std::vector<JobRun> runs_;
+};
+
+/// The lean_report counterpart of RunReportBuilder: accumulates the same
+/// scalar counters from the event stream and hashes each jobstate line as
+/// it is formatted (one shared formatter, events.hpp) without storing the
+/// line or any per-job record — report memory stays O(1) in job count.
+class LeanReportObserver final : public EngineObserver {
+ public:
+  void on_event(const EngineEvent& event) override;
+  /// Finalizes and returns the report. Call once, after kRunFinished.
+  [[nodiscard]] RunReport take();
+
+ private:
+  RunReport report_;
+  std::uint64_t digest_ = common::kFnv1aOffset;  ///< streamed line digest
+  std::string line_;  ///< format scratch, reused across events
 };
 
 /// One re-entrant, steppable engine run: everything the drive-to-completion
@@ -265,7 +296,9 @@ class EngineInstance {
   JobStateMachine fsm_;
   std::unique_ptr<SchedulingPolicy> default_policy_;
   SchedulingPolicy* policy_ = nullptr;
-  RunReportBuilder builder_;
+  /// Exactly one of these is live, chosen by EngineOptions::lean_report.
+  std::unique_ptr<RunReportBuilder> builder_;
+  std::unique_ptr<LeanReportObserver> lean_builder_;
   std::unique_ptr<StatusBoardObserver> status_observer_;
   EventBus bus_;
 

@@ -32,7 +32,7 @@ void EventBus::emit(const EngineEvent& event) {
   for (EngineObserver* observer : observers_) observer->on_event(event);
 }
 
-void JobstateLogObserver::on_event(const EngineEvent& event) {
+bool format_jobstate_line(const EngineEvent& event, std::string& line) {
   std::string_view text;
   std::string_view suffix;  // only BLACKLIST carries one (the node)
   switch (event.type) {
@@ -48,11 +48,11 @@ void JobstateLogObserver::on_event(const EngineEvent& event) {
       text = "BLACKLIST";
       suffix = event.node;
       break;
-    default: return;  // not a jobstate line
+    default: return false;  // not a jobstate line
   }
   // One string build, no stringstream: this runs once per logged event and
   // dominated the observer fan-out's allocation profile at scale.
-  std::string line = common::format_fixed(event.time, 3);
+  line = common::format_fixed(event.time, 3);
   line.reserve(line.size() + event.job_id.size() + text.size() + suffix.size() + 3);
   line += ' ';
   line += event.job_id;
@@ -62,7 +62,12 @@ void JobstateLogObserver::on_event(const EngineEvent& event) {
     line += ' ';
     line += suffix;
   }
-  sink_->push_back(std::move(line));
+  return true;
+}
+
+void JobstateLogObserver::on_event(const EngineEvent& event) {
+  std::string line;
+  if (format_jobstate_line(event, line)) sink_->push_back(std::move(line));
 }
 
 void StatusBoardObserver::on_event(const EngineEvent& event) {

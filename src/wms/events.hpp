@@ -91,6 +91,13 @@ class EventBus {
   std::vector<EngineObserver*> observers_;
 };
 
+/// Formats the DAGMan-style jobstate line ("<t> <job> <EVENT>") for
+/// `event` into `line`; returns false (leaving `line` untouched) for event
+/// types that don't produce one. Shared by JobstateLogObserver (which
+/// stores lines) and the engine's lean-report digest (which hashes them
+/// without storing) — one formatter, byte-identical output.
+bool format_jobstate_line(const EngineEvent& event, std::string& line);
+
 /// Writes DAGMan-style jobstate lines ("<t> <job> <EVENT>") into a sink
 /// vector. Exactly the events the pre-refactor engine logged become lines:
 /// RESCUED, SUBMIT/RETRY, SUCCESS, BACKOFF, FAILED, TIMEOUT,

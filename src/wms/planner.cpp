@@ -16,6 +16,9 @@ ConcreteWorkflow::ConcreteWorkflow(std::string name, std::string site)
     : name_(std::move(name)), site_(std::move(site)) {}
 
 std::uint32_t ConcreteWorkflow::add_job(ConcreteJob job) {
+  if (bulk_open_) {
+    throw InvalidArgument("add_job during an open bulk build");
+  }
   if (job.id.empty()) throw InvalidArgument("concrete job id must not be empty");
   if (ids_.contains(job.id)) {
     throw InvalidArgument("duplicate concrete job: " + job.id);
@@ -23,27 +26,34 @@ std::uint32_t ConcreteWorkflow::add_job(ConcreteJob job) {
   const std::uint32_t handle = ids_.intern(job.id);  // == jobs_.size(): dense
   job.index = handle;
   jobs_.push_back(std::move(job));
-  children_.emplace_back();
-  parents_.emplace_back();
+  graph_.add_node();
   return handle;
 }
 
-namespace {
-
-/// Inserts `handle` into `list` keeping it sorted by interned name (the
-/// order the old std::set<std::string> adjacency iterated in). Returns
-/// false for duplicates.
-bool insert_sorted_by_name(std::vector<std::uint32_t>& list,
-                           std::uint32_t handle, const IdTable& ids) {
-  const auto it = std::lower_bound(
-      list.begin(), list.end(), handle,
-      [&ids](std::uint32_t a, std::uint32_t b) { return ids.name(a) < ids.name(b); });
-  if (it != list.end() && *it == handle) return false;
-  list.insert(it, handle);
-  return true;
+ConcreteJob* ConcreteWorkflow::begin_bulk(std::size_t count) {
+  if (!jobs_.empty() || bulk_open_) {
+    throw InvalidArgument("begin_bulk requires an empty workflow");
+  }
+  bulk_open_ = true;
+  jobs_.resize(count);
+  return jobs_.data();
 }
 
-}  // namespace
+void ConcreteWorkflow::finish_bulk() {
+  if (!bulk_open_) throw InvalidArgument("finish_bulk without begin_bulk");
+  bulk_open_ = false;
+  for (std::uint32_t i = 0; i < jobs_.size(); ++i) {
+    ConcreteJob& job = jobs_[i];
+    if (job.id.empty()) {
+      throw InvalidArgument("bulk job " + std::to_string(i) + " has no id");
+    }
+    if (ids_.intern(job.id) != i) {
+      throw InvalidArgument("duplicate concrete job: " + job.id);
+    }
+    job.index = i;
+  }
+  graph_.set_node_count(jobs_.size());
+}
 
 void ConcreteWorkflow::add_dependency(const std::string& parent,
                                       const std::string& child) {
@@ -62,10 +72,11 @@ void ConcreteWorkflow::add_dependency(std::uint32_t parent, std::uint32_t child)
     throw InvalidArgument("unknown child handle: " + std::to_string(child));
   }
   if (parent == child) throw WorkflowError("self-dependency on " + jobs_[parent].id);
-  if (insert_sorted_by_name(children_[parent], child, ids_)) {
-    insert_sorted_by_name(parents_[child], parent, ids_);
-    ++edge_count_;
-  }
+  graph_.add_edge(parent, child, ids_);
+}
+
+void ConcreteWorkflow::add_edge_pattern(const EdgePattern& pattern) {
+  graph_.add_pattern(pattern, ids_);
 }
 
 const ConcreteJob& ConcreteWorkflow::job(const std::string& id) const {
@@ -95,59 +106,42 @@ const ConcreteJob& ConcreteWorkflow::job_at(std::uint32_t index) const {
   return jobs_[index];
 }
 
-const std::vector<std::uint32_t>& ConcreteWorkflow::parents_of(
+std::vector<std::uint32_t> ConcreteWorkflow::parents_of(
     std::uint32_t index) const {
-  if (index >= parents_.size()) {
+  if (index >= jobs_.size()) {
     throw InvalidArgument("unknown concrete job handle: " + std::to_string(index));
   }
-  return parents_[index];
+  return graph_.parents_sorted(index, ids_);
 }
 
-const std::vector<std::uint32_t>& ConcreteWorkflow::children_of(
+std::vector<std::uint32_t> ConcreteWorkflow::children_of(
     std::uint32_t index) const {
-  if (index >= children_.size()) {
+  if (index >= jobs_.size()) {
     throw InvalidArgument("unknown concrete job handle: " + std::to_string(index));
   }
-  return children_[index];
+  return graph_.children_sorted(index, ids_);
 }
 
 std::vector<std::string> ConcreteWorkflow::parents(const std::string& id) const {
-  const auto& list = parents_[job_index(id)];
+  const std::uint32_t index = job_index(id);
   std::vector<std::string> out;
-  out.reserve(list.size());
-  for (const std::uint32_t h : list) out.emplace_back(ids_.name(h));
+  out.reserve(graph_.parent_count(index));
+  graph_.for_each_parent(index, ids_,
+                         [&](std::uint32_t h) { out.emplace_back(ids_.name(h)); });
   return out;
 }
 
 std::vector<std::string> ConcreteWorkflow::children(const std::string& id) const {
-  const auto& list = children_[job_index(id)];
+  const std::uint32_t index = job_index(id);
   std::vector<std::string> out;
-  out.reserve(list.size());
-  for (const std::uint32_t h : list) out.emplace_back(ids_.name(h));
+  out.reserve(graph_.child_count(index));
+  graph_.for_each_child(index, ids_,
+                        [&](std::uint32_t h) { out.emplace_back(ids_.name(h)); });
   return out;
 }
 
 std::vector<std::uint32_t> ConcreteWorkflow::topological_order_indices() const {
-  const std::size_t n = jobs_.size();
-  std::vector<std::uint32_t> in_degree(n, 0);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    in_degree[i] = static_cast<std::uint32_t>(parents_[i].size());
-  }
-  // Seed with roots in insertion order; `order` doubles as the Kahn queue.
-  std::vector<std::uint32_t> order;
-  order.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (in_degree[i] == 0) order.push_back(i);
-  }
-  for (std::size_t head = 0; head < order.size(); ++head) {
-    for (const std::uint32_t kid : children_[order[head]]) {
-      if (--in_degree[kid] == 0) order.push_back(kid);
-    }
-  }
-  if (order.size() != n) {
-    throw WorkflowError("concrete workflow " + name_ + " contains a cycle");
-  }
-  return order;
+  return graph_.topological_order(ids_, "concrete workflow " + name_);
 }
 
 std::vector<std::string> ConcreteWorkflow::topological_order() const {
@@ -158,11 +152,54 @@ std::vector<std::string> ConcreteWorkflow::topological_order() const {
   return order;
 }
 
+std::string_view ConcreteWorkflow::abstract_id_of(std::uint32_t index) const {
+  const ConcreteJob& job = job_at(index);
+  if (job.kind == JobKind::kCompute) return job.id;
+  return {};
+}
+
+std::vector<std::string> ConcreteWorkflow::constituents_of(
+    std::uint32_t index) const {
+  (void)job_at(index);  // bounds check
+  if (const auto it = constituents_.find(index); it != constituents_.end()) {
+    return it->second;
+  }
+  const auto it = cluster_ranges_.find(index);
+  if (it == cluster_ranges_.end()) return {};
+  const ClusterRange& range = it->second;
+  // Zero-padded to the width of the largest peer tag, like workload::tag.
+  std::size_t width = 1;
+  for (std::size_t v = range.total > 0 ? range.total - 1 : 0; v >= 10; v /= 10) {
+    ++width;
+  }
+  std::vector<std::string> out;
+  out.reserve(range.count);
+  for (std::size_t i = 0; i < range.count; ++i) {
+    std::string digits = std::to_string(range.begin + i);
+    std::string member = range.prefix;
+    member.reserve(member.size() + width);
+    member.append(width > digits.size() ? width - digits.size() : 0, '0');
+    member += digits;
+    out.push_back(std::move(member));
+  }
+  return out;
+}
+
+void ConcreteWorkflow::set_constituents(std::uint32_t index,
+                                        std::vector<std::string> members) {
+  (void)job_at(index);  // bounds check
+  constituents_[index] = std::move(members);
+}
+
+void ConcreteWorkflow::set_cluster_range(std::uint32_t index, ClusterRange range) {
+  (void)job_at(index);  // bounds check
+  cluster_ranges_[index] = std::move(range);
+}
+
 void ConcreteWorkflow::reserve(std::size_t job_count, std::size_t id_bytes) {
   jobs_.reserve(job_count);
-  children_.reserve(job_count);
-  parents_.reserve(job_count);
   ids_.reserve(job_count, id_bytes);
+  graph_.reserve(job_count);
 }
 
 std::size_t ConcreteWorkflow::count(JobKind kind) const {
@@ -186,25 +223,36 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
   const SiteEntry& site = sites.site(options.target_site);
 
   ConcreteWorkflow concrete(abstract.name(), site.name);
+  concrete.reserve(abstract.jobs().size() + 2);
 
-  // 1. Resolve every transformation and decide whether it needs setup.
-  std::map<std::string, bool> job_needs_setup;  // abstract id -> flag
-  std::map<std::string, std::uint64_t> job_bundle_bytes;  // abstract id -> size
+  // 1. Resolve every transformation and decide whether it needs setup —
+  // keyed by transformation (a handful of distinct values), not per job.
+  struct SetupInfo {
+    bool needs = false;
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::string, SetupInfo, std::less<>> setup_by_transformation;
   for (const auto& job : abstract.jobs()) {
+    const auto [it, inserted] = setup_by_transformation.try_emplace(job.transformation);
+    if (!inserted) continue;
     const auto entry = transformations.lookup(job.transformation, site.name);
     if (!entry.has_value()) {
       throw WorkflowError("transformation " + job.transformation +
                           " not available at site " + site.name);
     }
-    job_needs_setup[job.id] = !site.software_preinstalled || !entry->installed;
-    job_bundle_bytes[job.id] = entry->size_bytes;
+    it->second.needs = !site.software_preinstalled || !entry->installed;
+    it->second.bytes = entry->size_bytes;
   }
+  const auto setup_for = [&](const std::string& transformation) -> const SetupInfo& {
+    return setup_by_transformation.find(transformation)->second;
+  };
 
   // 2. Horizontal clustering: group compute jobs with the same
   // transformation and identical parent sets, then pack cluster_factor
   // members per concrete job.
+  const bool clustering = options.cluster_factor > 1;
   std::map<std::string, std::string> to_concrete;  // abstract id -> concrete id
-  if (options.cluster_factor > 1) {
+  if (clustering) {
     std::map<std::string, std::vector<std::string>> groups;  // signature -> ids
     std::vector<std::string> group_order;
     for (const auto& job : abstract.jobs()) {
@@ -224,16 +272,15 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
         if (end - start == 1) {
           // Lone member: stays an ordinary compute job.
           const AbstractJob& a = abstract.job(members[start]);
+          const SetupInfo& setup = setup_for(a.transformation);
           ConcreteJob job;
           job.id = a.id;
           job.transformation = a.transformation;
           job.kind = JobKind::kCompute;
-          job.site = site.name;
           job.args = a.args;
           job.cpu_seconds_hint = a.cpu_seconds_hint;
-          job.needs_software_setup = job_needs_setup[a.id];
-          job.software_bytes = job_bundle_bytes[a.id];
-          job.abstract_id = a.id;
+          job.needs_software_setup = setup.needs;
+          job.software_bytes = setup.bytes;
           to_concrete[a.id] = job.id;
           concrete.add_job(std::move(job));
           continue;
@@ -243,47 +290,64 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
         clustered.transformation =
             abstract.job(members[start]).transformation;
         clustered.kind = JobKind::kClustered;
-        clustered.site = site.name;
+        std::vector<std::string> constituents;
         bool any_setup = false;
         for (std::size_t i = start; i < end; ++i) {
           const AbstractJob& a = abstract.job(members[i]);
+          const SetupInfo& setup = setup_for(a.transformation);
           clustered.cpu_seconds_hint += a.cpu_seconds_hint;
-          clustered.constituents.push_back(a.id);
-          any_setup = any_setup || job_needs_setup[a.id];
+          constituents.push_back(a.id);
+          any_setup = any_setup || setup.needs;
           // Members share one transformation, hence one software bundle.
           clustered.software_bytes =
-              std::max(clustered.software_bytes, job_bundle_bytes[a.id]);
+              std::max(clustered.software_bytes, setup.bytes);
           to_concrete[a.id] = clustered.id;
         }
         // One download/install per clustered job — this is exactly the
         // overhead-amortization clustering exists for.
         clustered.needs_software_setup = any_setup;
-        concrete.add_job(std::move(clustered));
+        const std::uint32_t handle = concrete.add_job(std::move(clustered));
+        concrete.set_constituents(handle, std::move(constituents));
       }
     }
   } else {
     for (const auto& a : abstract.jobs()) {
+      const SetupInfo& setup = setup_for(a.transformation);
       ConcreteJob job;
       job.id = a.id;
       job.transformation = a.transformation;
       job.kind = JobKind::kCompute;
-      job.site = site.name;
       job.args = a.args;
       job.cpu_seconds_hint = a.cpu_seconds_hint;
-      job.needs_software_setup = job_needs_setup[a.id];
-      job.software_bytes = job_bundle_bytes[a.id];
-      job.abstract_id = a.id;
-      to_concrete[a.id] = job.id;
+      job.needs_software_setup = setup.needs;
+      job.software_bytes = setup.bytes;
       concrete.add_job(std::move(job));
     }
   }
+  /// Abstract id -> concrete id (identity when clustering is off: plain
+  /// compute jobs map 1:1 and keep their ids).
+  const auto concrete_id = [&](const std::string& id) -> const std::string& {
+    return clustering ? to_concrete.at(id) : id;
+  };
 
-  // 3. Abstract edges, collapsed through the clustering map.
-  for (const auto& a : abstract.jobs()) {
-    for (const auto& child : abstract.children(a.id)) {
-      const std::string& cp = to_concrete[a.id];
-      const std::string& cc = to_concrete[child];
-      if (cp != cc) concrete.add_dependency(cp, cc);
+  // 3. Abstract edges. Without clustering the handle spaces are identical
+  // (same insertion order), so explicit edges copy by handle and patterns
+  // propagate as patterns — O(explicit + patterns), not O(all edges).
+  if (clustering) {
+    for (const auto& a : abstract.jobs()) {
+      for (const auto& child : abstract.children(a.id)) {
+        const std::string& cp = to_concrete.at(a.id);
+        const std::string& cc = to_concrete.at(child);
+        if (cp != cc) concrete.add_dependency(cp, cc);
+      }
+    }
+  } else {
+    abstract.graph().for_each_explicit_edge(
+        [&](std::uint32_t parent, std::uint32_t child) {
+          concrete.add_dependency(parent, child);
+        });
+    for (const EdgePattern& pattern : abstract.edge_patterns()) {
+      concrete.add_edge_pattern(pattern);
     }
   }
 
@@ -300,7 +364,6 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
       stage_in.id = "stage_in_0";
       stage_in.transformation = "pegasus::transfer";
       stage_in.kind = JobKind::kStageIn;
-      stage_in.site = site.name;
       stage_in.args = inputs;
       for (const auto& lfn : inputs) {
         const auto replica = replicas.best_for_site(lfn, site.name);
@@ -317,7 +380,7 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
       std::set<std::string> consumers;
       for (const auto& a : abstract.jobs()) {
         for (const auto& lfn : a.inputs()) {
-          if (input_set.count(lfn)) consumers.insert(to_concrete[a.id]);
+          if (input_set.count(lfn)) consumers.insert(concrete_id(a.id));
         }
       }
       for (const auto& consumer : consumers) {
@@ -332,7 +395,6 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
       stage_out.id = "stage_out_0";
       stage_out.transformation = "pegasus::transfer";
       stage_out.kind = JobKind::kStageOut;
-      stage_out.site = site.name;
       stage_out.args = outputs;
       stage_out.staged_bytes = options.expected_output_bytes;
       stage_out.cpu_seconds_hint =
@@ -346,7 +408,7 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
       std::set<std::string> producers;
       for (const auto& a : abstract.jobs()) {
         for (const auto& lfn : a.outputs()) {
-          if (output_set.count(lfn)) producers.insert(to_concrete[a.id]);
+          if (output_set.count(lfn)) producers.insert(concrete_id(a.id));
         }
       }
       for (const auto& producer : producers) {
@@ -374,7 +436,7 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
       std::set<std::string> consumers;
       for (const auto& consumer : abstract.jobs()) {
         for (const auto& lfn : consumer.inputs()) {
-          if (intermediate_set.count(lfn)) consumers.insert(to_concrete[consumer.id]);
+          if (intermediate_set.count(lfn)) consumers.insert(concrete_id(consumer.id));
         }
       }
       if (consumers.empty()) continue;  // nothing reads them; keep the files
@@ -383,7 +445,6 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
       cleanup.id = "cleanup_" + producer.id;
       cleanup.transformation = "pegasus::cleanup";
       cleanup.kind = JobKind::kCleanup;
-      cleanup.site = site.name;
       cleanup.args = intermediates;
       cleanup.cpu_seconds_hint = options.cleanup_seconds;
       const std::string cleanup_id = cleanup.id;
@@ -410,7 +471,6 @@ ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites
       setup.id = "setup_" + id;
       setup.transformation = "install_software_stack";
       setup.kind = JobKind::kSetup;
-      setup.site = site.name;
       setup.cpu_seconds_hint = options.setup_seconds;
       concrete.add_job(std::move(setup));
       concrete.add_dependency("setup_" + id, id);

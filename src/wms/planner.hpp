@@ -10,10 +10,14 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "wms/catalog.hpp"
 #include "wms/dax.hpp"
+#include "wms/edge_pattern.hpp"
 #include "wms/id_table.hpp"
 
 namespace pga::wms {
@@ -21,25 +25,19 @@ namespace pga::wms {
 /// Role of a concrete job.
 enum class JobKind { kCompute, kStageIn, kStageOut, kSetup, kClustered, kCleanup };
 
-/// One schedulable job of the concrete workflow.
+/// One schedulable job of the concrete workflow. Kept lean (~128 B): the
+/// execution site lives once on ConcreteWorkflow::site() (the planner binds
+/// the whole workflow to one site), and clustering metadata lives in side
+/// tables keyed by handle — a million-job table pays for none of it.
 struct ConcreteJob {
   std::string id;
   std::string transformation;
-  JobKind kind = JobKind::kCompute;
-  std::string site;
   std::vector<std::string> args;
   double cpu_seconds_hint = 0;
-  /// Pay per-attempt software download/install overhead on the execution
-  /// node (OSG-style sites). Mirrors the paper's "modified tasks".
-  bool needs_software_setup = false;
   /// Size of the stageable software bundle the setup downloads (from
   /// TransformationEntry::size_bytes; 0 = unknown). Drives the per-node
   /// software cache's byte accounting.
   std::uint64_t software_bytes = 0;
-  /// For kClustered: the abstract job ids folded into this job.
-  std::vector<std::string> constituents;
-  /// The abstract job this concrete job realizes (empty for auxiliary jobs).
-  std::string abstract_id;
   /// For transfer jobs: total bytes moved (0 when replica sizes unknown).
   std::uint64_t staged_bytes = 0;
   /// DAGMan-style priority, honored by the "priority" scheduling policy
@@ -52,6 +50,23 @@ struct ConcreteJob {
   /// the engine matches completions without a hash lookup; kInvalid until
   /// the job is added to a workflow.
   std::uint32_t index = 0xFFFFFFFFu;
+  JobKind kind = JobKind::kCompute;
+  /// Pay per-attempt software download/install overhead on the execution
+  /// node (OSG-style sites). Mirrors the paper's "modified tasks".
+  bool needs_software_setup = false;
+};
+
+/// Lazy constituents of one clustered job: members `prefix + tag(begin+i,
+/// total)` for i in [0, count) with the generator's zero-padded tag width
+/// (digits of total-1). Lets a streamed build describe a k-member cluster
+/// in O(1) instead of storing k id strings.
+struct ClusterRange {
+  std::string prefix;
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  std::size_t total = 0;
+
+  friend bool operator==(const ClusterRange&, const ClusterRange&) = default;
 };
 
 /// A planned workflow bound to a site.
@@ -64,6 +79,21 @@ class ConcreteWorkflow {
   void add_dependency(const std::string& parent, const std::string& child);
   /// Handle-based edge insertion — no id lookups, for bulk graph builds.
   void add_dependency(std::uint32_t parent, std::uint32_t child);
+  /// O(1)-storage arithmetic edge family; see WorkflowGraph::add_pattern.
+  void add_edge_pattern(const EdgePattern& pattern);
+  [[nodiscard]] const std::vector<EdgePattern>& edge_patterns() const {
+    return graph_.patterns();
+  }
+
+  // ------------------------------------------------------- streamed build
+  /// Bulk job intake: default-constructs `count` jobs and returns the
+  /// array for the caller to fill (in parallel over disjoint ranges — only
+  /// plain field writes happen here). finish_bulk() then interns every id
+  /// sequentially (the interner is not thread-safe), assigns handles, and
+  /// validates non-empty/unique ids. The workflow must be empty before
+  /// begin_bulk and jobs()/add_job must not be used in between.
+  ConcreteJob* begin_bulk(std::size_t count);
+  void finish_bulk();
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::string& site() const { return site_; }
@@ -80,14 +110,47 @@ class ConcreteWorkflow {
   /// The job-id interner; handle h names jobs()[h].id.
   [[nodiscard]] const IdTable& ids() const { return ids_; }
   /// Parent/child handles of `index`, each list sorted by the neighbour's
-  /// id (the order the old set<string> adjacency iterated in).
-  [[nodiscard]] const std::vector<std::uint32_t>& parents_of(std::uint32_t index) const;
-  [[nodiscard]] const std::vector<std::uint32_t>& children_of(std::uint32_t index) const;
+  /// id (materialized — use for_each_*/counts on hot paths).
+  [[nodiscard]] std::vector<std::uint32_t> parents_of(std::uint32_t index) const;
+  [[nodiscard]] std::vector<std::uint32_t> children_of(std::uint32_t index) const;
+  [[nodiscard]] std::size_t parent_count(std::uint32_t index) const {
+    return graph_.parent_count(index);
+  }
+  [[nodiscard]] std::size_t child_count(std::uint32_t index) const {
+    return graph_.child_count(index);
+  }
+  /// Visits children/parents of `index` in neighbour-name order without
+  /// materializing a list (the engine's release path).
+  template <typename Fn>
+  void for_each_child(std::uint32_t index, Fn&& fn) const {
+    graph_.for_each_child(index, ids_, std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void for_each_parent(std::uint32_t index, Fn&& fn) const {
+    graph_.for_each_parent(index, ids_, std::forward<Fn>(fn));
+  }
+  /// counts[i] = parent_count(i) in one bulk sweep (engine seed).
+  void fill_parent_counts(std::vector<std::uint32_t>& counts) const {
+    graph_.fill_parent_counts(counts);
+  }
+  [[nodiscard]] const WorkflowGraph& graph() const { return graph_; }
   [[nodiscard]] std::vector<std::uint32_t> topological_order_indices() const;
   [[nodiscard]] std::vector<std::string> parents(const std::string& id) const;
   [[nodiscard]] std::vector<std::string> children(const std::string& id) const;
   [[nodiscard]] std::vector<std::string> topological_order() const;
-  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+  [[nodiscard]] std::size_t edge_count() const { return graph_.edge_count(); }
+
+  // --------------------------------------------------- clustering lookups
+  /// The abstract job a concrete job realizes: its own id for plain
+  /// compute jobs (the planner maps them 1:1), empty for auxiliary and
+  /// clustered jobs.
+  [[nodiscard]] std::string_view abstract_id_of(std::uint32_t index) const;
+  /// The abstract job ids folded into a clustered job (empty for
+  /// non-clustered jobs). Materializes lazily from a ClusterRange when the
+  /// cluster was described arithmetically.
+  [[nodiscard]] std::vector<std::string> constituents_of(std::uint32_t index) const;
+  void set_constituents(std::uint32_t index, std::vector<std::string> members);
+  void set_cluster_range(std::uint32_t index, ClusterRange range);
 
   /// Pre-sizes the interner and job storage (scale benches build
   /// million-job workflows; one allocation instead of log2(n) regrows).
@@ -101,9 +164,11 @@ class ConcreteWorkflow {
   std::string site_;
   std::vector<ConcreteJob> jobs_;
   IdTable ids_;  // job id -> handle == index into jobs_
-  std::vector<std::vector<std::uint32_t>> children_;
-  std::vector<std::vector<std::uint32_t>> parents_;
-  std::size_t edge_count_ = 0;
+  WorkflowGraph graph_;
+  bool bulk_open_ = false;
+  /// Clustering side tables: only clustered jobs have entries.
+  std::unordered_map<std::uint32_t, std::vector<std::string>> constituents_;
+  std::unordered_map<std::uint32_t, ClusterRange> cluster_ranges_;
 };
 
 /// Planner knobs.
@@ -135,7 +200,9 @@ struct PlannerOptions {
 
 /// Plans `abstract` onto `options.target_site`. Throws WorkflowError when a
 /// transformation is not in the catalog for the site, or an external input
-/// has no replica.
+/// has no replica. Edge patterns of the abstract workflow propagate to the
+/// concrete graph unmaterialized when clustering is off (handles are
+/// identical); clustering collapses them into explicit cluster-level edges.
 ConcreteWorkflow plan(const AbstractWorkflow& abstract, const SiteCatalog& sites,
                       const TransformationCatalog& transformations,
                       const ReplicaCatalog& replicas, const PlannerOptions& options);

@@ -72,9 +72,9 @@ class CriticalPathPolicy final : public SchedulingPolicy {
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       const std::uint32_t index = *it;
       double below = 0;
-      for (const std::uint32_t child : workflow.children_of(index)) {
+      workflow.for_each_child(index, [&](std::uint32_t child) {
         below = std::max(below, rank_[child]);
-      }
+      });
       rank_[index] = jobs[index].cpu_seconds_hint + below;
     }
   }
@@ -93,7 +93,7 @@ class WidestBranchPolicy final : public SchedulingPolicy {
     fan_out_.clear();
     fan_out_.reserve(workflow.jobs().size());
     for (std::uint32_t i = 0; i < workflow.jobs().size(); ++i) {
-      fan_out_.push_back(workflow.children_of(i).size());
+      fan_out_.push_back(workflow.child_count(i));
     }
   }
   [[nodiscard]] std::size_t pick(const std::deque<std::uint32_t>& ready) override {
@@ -141,9 +141,12 @@ JobStateMachine::JobStateMachine(const ConcreteWorkflow& workflow)
     : workflow_(&workflow) {
   const std::size_t n = workflow.jobs().size();
   nodes_.resize(n);
+  // One bulk sweep over explicit lists + pattern arithmetic instead of a
+  // per-node materialization — the O(1)-per-pattern seed at million scale.
+  std::vector<std::uint32_t> counts;
+  workflow.fill_parent_counts(counts);
   for (std::uint32_t i = 0; i < n; ++i) {
-    nodes_[i].remaining_parents =
-        static_cast<std::uint32_t>(workflow.parents_of(i).size());
+    nodes_[i].remaining_parents = counts[i];
   }
 }
 
@@ -181,14 +184,14 @@ void JobStateMachine::mark_skipped(std::uint32_t index) {
 
 std::vector<std::uint32_t> JobStateMachine::release_children(std::uint32_t index) {
   std::vector<std::uint32_t> released;
-  for (const std::uint32_t child : workflow_->children_of(index)) {
+  workflow_->for_each_child(index, [&](std::uint32_t child) {
     Node& node = nodes_[child];
     if (--node.remaining_parents == 0 && node.state == SchedState::kIdle) {
       node.state = SchedState::kReady;
       ready_.push_back(child);
       released.push_back(child);
     }
-  }
+  });
   return released;
 }
 

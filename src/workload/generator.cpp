@@ -147,8 +147,16 @@ wms::AbstractWorkflow build_workflow(const ShapeSpec& spec) {
   check_size(spec);
   const CostModel model = cost_model_for(spec);
   const std::size_t n = spec.size;
+  const ShapeCounts counts = closed_form_counts(spec);
   AbstractWorkflow wf(spec_name(spec));
+  // Ids average well under 24 bytes across every shape; the estimate only
+  // sizes the interner's arena, overshoot is harmless.
+  wf.reserve(counts.jobs, counts.jobs * 24);
   Builder b{wf, model};
+  // Patterns reference dst handles, so they are recorded after every job
+  // of the family exists (jobs add in the same order either way — the
+  // cost-model ranks, and hence every hint, are unchanged by the knob).
+  const bool patterns = spec.edge_patterns;
 
   switch (spec.shape) {
     case Shape::kChain: {
@@ -167,8 +175,15 @@ wms::AbstractWorkflow build_workflow(const ShapeSpec& spec) {
         }
         const std::uint32_t step = b.add("step_" + tag(i, n), "chain_step",
                                          std::move(uses));
-        if (i > 0) wf.add_dependency(previous, step);
+        if (!patterns && i > 0) wf.add_dependency(previous, step);
         previous = step;
+      }
+      if (patterns && n > 1) {
+        wf.add_edge_pattern({.src_begin = 0,
+                             .dst_begin = 1,
+                             .count = static_cast<std::uint32_t>(n - 1),
+                             .src_stride = 1,
+                             .dst_stride = 1});
       }
       break;
     }
@@ -187,7 +202,7 @@ wms::AbstractWorkflow build_workflow(const ShapeSpec& spec) {
             (step == 0 ? "worker_" : "gateway_") + tag(i, n),
             step == 0 ? "fan_worker" : "fan_gateway",
             {{"fanned.dat", LinkType::kInput}, {gateway_out, LinkType::kOutput}});
-        wf.add_dependency(source, gateway);
+        if (!(patterns && step == 0)) wf.add_dependency(source, gateway);
         if (step == 0) {
           sink_uses.push_back({gateway_out, LinkType::kInput});
           sink_parents.push_back(gateway);
@@ -208,14 +223,34 @@ wms::AbstractWorkflow build_workflow(const ShapeSpec& spec) {
       }
       sink_uses.push_back({"fan_result.dat", LinkType::kOutput});
       const std::uint32_t sink = b.add("sink", "fan_sink", std::move(sink_uses));
-      for (const std::uint32_t parent : sink_parents) {
-        wf.add_dependency(parent, sink);
+      if (patterns && step == 0) {
+        // source -> workers 1..n, workers -> sink; the fan-heavy variant
+        // (step > 0) keeps explicit edges — its leaf arities are irregular.
+        const auto count = static_cast<std::uint32_t>(n);
+        wf.add_edge_pattern({.src_begin = source,
+                             .dst_begin = 1,
+                             .count = count,
+                             .src_stride = 0,
+                             .dst_stride = 1});
+        wf.add_edge_pattern({.src_begin = 1,
+                             .dst_begin = sink,
+                             .count = count,
+                             .src_stride = 1,
+                             .dst_stride = 0});
+      } else {
+        for (const std::uint32_t parent : sink_parents) {
+          wf.add_dependency(parent, sink);
+        }
       }
       break;
     }
 
     case Shape::kDiamond: {
       const std::size_t stages = spec.diamond_stages;
+      // Two patterns per stage; past the pattern cap (very deep diamonds)
+      // the explicit path takes over transparently.
+      const bool stage_patterns =
+          patterns && 2 * stages <= wms::WorkflowGraph::kMaxPatterns;
       const std::uint32_t source =
           b.add("source", "diamond_source",
                 {{"diamond_input.dat", LinkType::kInput},
@@ -231,7 +266,7 @@ wms::AbstractWorkflow build_workflow(const ShapeSpec& spec) {
           const std::uint32_t mid =
               b.add("mid_" + tag(t, stages) + "_" + tag(j, n), "diamond_work",
                     {{stage_in, LinkType::kInput}, {mid_out, LinkType::kOutput}});
-          wf.add_dependency(gate, mid);
+          if (!stage_patterns) wf.add_dependency(gate, mid);
           join_uses.push_back({mid_out, LinkType::kInput});
           mids.push_back(mid);
         }
@@ -241,7 +276,21 @@ wms::AbstractWorkflow build_workflow(const ShapeSpec& spec) {
              LinkType::kOutput});
         const std::uint32_t join =
             b.add("join_" + tag(t, stages), "diamond_join", std::move(join_uses));
-        for (const std::uint32_t mid : mids) wf.add_dependency(mid, join);
+        if (stage_patterns) {
+          const auto count = static_cast<std::uint32_t>(n);
+          wf.add_edge_pattern({.src_begin = gate,
+                               .dst_begin = mids.front(),
+                               .count = count,
+                               .src_stride = 0,
+                               .dst_stride = 1});
+          wf.add_edge_pattern({.src_begin = mids.front(),
+                               .dst_begin = join,
+                               .count = count,
+                               .src_stride = 1,
+                               .dst_stride = 0});
+        } else {
+          for (const std::uint32_t mid : mids) wf.add_dependency(mid, join);
+        }
         gate = join;
       }
       break;
@@ -381,8 +430,10 @@ wms::AbstractWorkflow build_workflow(const ShapeSpec& spec) {
              {"protein_" + s + ".txt", LinkType::kInput},
              {"joined_" + s + ".fasta", LinkType::kOutput},
              {"members_" + s + ".txt", LinkType::kOutput}});
-        wf.add_dependency(transcripts, worker);
-        wf.add_dependency(split, worker);
+        if (!patterns) {
+          wf.add_dependency(transcripts, worker);
+          wf.add_dependency(split, worker);
+        }
         merge_uses.push_back({"joined_" + s + ".fasta", LinkType::kInput});
         unjoined_uses.push_back({"members_" + s + ".txt", LinkType::kInput});
         workers.push_back(worker);
@@ -394,9 +445,36 @@ wms::AbstractWorkflow build_workflow(const ShapeSpec& spec) {
       const std::uint32_t unjoined =
           b.add("find_unjoined", "find_unjoined", std::move(unjoined_uses));
       wf.add_dependency(transcripts, unjoined);
-      for (const std::uint32_t worker : workers) {
-        wf.add_dependency(worker, merge);
-        wf.add_dependency(worker, unjoined);
+      if (patterns) {
+        // The 4n regular edges as 4 patterns: {split, transcripts} fan out
+        // to the workers, the workers fan in to {merge, unjoined}.
+        const std::uint32_t first_worker = workers.front();
+        const auto count = static_cast<std::uint32_t>(n);
+        wf.add_edge_pattern({.src_begin = split,
+                             .dst_begin = first_worker,
+                             .count = count,
+                             .src_stride = 0,
+                             .dst_stride = 1});
+        wf.add_edge_pattern({.src_begin = transcripts,
+                             .dst_begin = first_worker,
+                             .count = count,
+                             .src_stride = 0,
+                             .dst_stride = 1});
+        wf.add_edge_pattern({.src_begin = first_worker,
+                             .dst_begin = merge,
+                             .count = count,
+                             .src_stride = 1,
+                             .dst_stride = 0});
+        wf.add_edge_pattern({.src_begin = first_worker,
+                             .dst_begin = unjoined,
+                             .count = count,
+                             .src_stride = 1,
+                             .dst_stride = 0});
+      } else {
+        for (const std::uint32_t worker : workers) {
+          wf.add_dependency(worker, merge);
+          wf.add_dependency(worker, unjoined);
+        }
       }
       const std::uint32_t final_merge =
           b.add("final_merge", "final_merge",

@@ -63,6 +63,13 @@ struct ShapeSpec {
   /// differing only in seed share topology but not costs.
   std::uint64_t seed = 42;
   CostModelParams cost{};
+  /// Emit the regular fan-out/fan-in families as EdgePattern records
+  /// (O(1) storage per family) instead of materialized edge lists. The
+  /// adjacency every consumer observes is identical either way (the ids
+  /// are zero-padded, so arithmetic handle runs are name-monotonic);
+  /// chain, fan (step 0), diamond (<= 32 stages) and blast2cap3 compress,
+  /// montage/ngs and fan-heavy keep explicit edges.
+  bool edge_patterns = false;
 };
 
 /// Closed-form structure of build_workflow(spec)'s result.

@@ -51,7 +51,9 @@ ChaosOutcome run_stacked(std::uint64_t seed, double transfer_failure) {
   transfer_config.seed = seed ^ 0xda7aULL;
   TransferManager transfers(queue, transfer_config);
   const auto replicas = wms::testing::staging_heavy_replicas(6);
-  StagingService staging(queue, faulty, transfers, replicas);
+  StagingConfig staging_config;
+  staging_config.execution_site = "osg";
+  StagingService staging(queue, faulty, transfers, replicas, staging_config);
 
   wms::EngineOptions options = wms::testing::hardened_options();
   options.retries = 10;
@@ -146,7 +148,9 @@ ChaosOutcome run_stacked_shape(const workload::ShapeSpec& spec,
   transfer_config.seed = seed ^ 0xda7aULL;
   TransferManager transfers(queue, transfer_config);
   const auto replicas = workload::generator_replica_catalog(workflow, spec);
-  StagingService staging(queue, faulty, transfers, replicas);
+  StagingConfig staging_config;
+  staging_config.execution_site = concrete.site();
+  StagingService staging(queue, faulty, transfers, replicas, staging_config);
 
   wms::EngineOptions options = wms::testing::hardened_options();
   options.retries = 10;

@@ -30,7 +30,13 @@ struct Harness {
         sim_service(queue, platform),
         transfers(queue, transfer_config),
         replicas(wms::testing::staging_heavy_replicas(width)),
-        staging(queue, sim_service, transfers, replicas, std::move(config)) {}
+        staging(queue, sim_service, transfers, replicas, on_osg(std::move(config))) {}
+
+  /// The shared scenario executes on "osg"; jobs no longer carry a site.
+  static StagingConfig on_osg(StagingConfig config) {
+    if (config.execution_site.empty()) config.execution_site = "osg";
+    return config;
+  }
 };
 
 TEST(StagingService, RunsTheStagingHeavyDagEndToEnd) {
@@ -119,9 +125,20 @@ TEST(StagingService, RejectsEmptySubmitSite) {
   wms::ReplicaCatalog replicas;
   StagingConfig config;
   config.submit_site = "";
+  config.execution_site = "osg";
   EXPECT_THROW(
       StagingService(queue, sim_service, transfers, replicas, config),
       common::InvalidArgument);
+}
+
+TEST(StagingService, RejectsEmptyExecutionSite) {
+  sim::EventQueue queue;
+  sim::CampusClusterPlatform platform(queue, {});
+  wms::SimService sim_service(queue, platform);
+  TransferManager transfers(queue);
+  wms::ReplicaCatalog replicas;
+  EXPECT_THROW(StagingService(queue, sim_service, transfers, replicas, {}),
+               common::InvalidArgument);
 }
 
 }  // namespace

@@ -300,6 +300,7 @@ TEST(StorageEvents, StagingBypassReusesResidentFiles) {
   sim::CampusClusterPlatform platform(queue, {});
   wms::SimService inner(queue, platform);  // unused: the job is pure stage-in
   StagingConfig config;
+  config.execution_site = "osg";
   config.reuse_resident = true;
   StagingService staging(queue, inner, transfers, replicas, config);
 
@@ -307,7 +308,6 @@ TEST(StorageEvents, StagingBypassReusesResidentFiles) {
   wms::ConcreteJob job;
   job.id = "stage_in_0";
   job.kind = wms::JobKind::kStageIn;
-  job.site = "osg";
   job.args = {"in.dat"};
   staging.submit(job);
   const auto attempts = staging.wait();

@@ -13,18 +13,26 @@
 
 #include <filesystem>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/digest.hpp"
 #include "common/fsutil.hpp"
+#include "common/thread_pool.hpp"
 #include "core/b2c3_workflow.hpp"
 #include "sim/campus_cluster.hpp"
 #include "sim/osg.hpp"
 #include "wms/analyzer.hpp"
+#include "wms/dax_xml.hpp"
+#include "wms/dot.hpp"
 #include "wms/engine.hpp"
 #include "wms/exec_service.hpp"
 #include "wms/fault_injection.hpp"
 #include "wms/statistics.hpp"
+#include "workload/generator.hpp"
+#include "workload/streamed.hpp"
 #include "shape_golden_shared.hpp"
 #include "wms_test_dags.hpp"
 
@@ -258,6 +266,192 @@ TEST(GoldenLog, ShapeDiamondSandhillsN100MatchesFixture) {
 
 TEST(GoldenLog, ShapeDiamondOsgN100MatchesFixture) {
   expect_matches_shape_golden("osg");
+}
+
+// ------------------------------------------- pattern-compressed identity
+//
+// PR 10: pattern-compressed and streamed DAG materialization must be
+// invisible to every consumer — same jobs, same adjacency, same engine
+// bytes as the materialized planner path.
+
+/// Runs `concrete` on its platform (fixture seeds) and returns the report.
+RunReport run_concrete(const ConcreteWorkflow& concrete, bool lean = false) {
+  sim::EventQueue queue;
+  std::unique_ptr<sim::ExecutionPlatform> platform;
+  EngineOptions options;
+  options.lean_report = lean;
+  if (concrete.site() == "sandhills") {
+    sim::CampusClusterConfig config;
+    config.allocated_slots = 16;
+    config.seed = 11;
+    platform = std::make_unique<sim::CampusClusterPlatform>(queue, config);
+  } else {
+    sim::OsgConfig config;
+    config.seed = 11;
+    platform = std::make_unique<sim::OsgPlatform>(queue, config);
+    options.retries = 100;
+  }
+  SimService service(queue, *platform);
+  DagmanEngine engine(std::move(options));
+  return engine.run(concrete, service);
+}
+
+workload::ShapeSpec b2c3_spec(std::size_t n, bool patterns) {
+  workload::ShapeSpec spec;
+  spec.shape = workload::Shape::kBlast2cap3;
+  spec.size = n;
+  spec.edge_patterns = patterns;
+  return spec;
+}
+
+/// Field-level equality of two concrete workflows: jobs in order, every
+/// adjacency list, cluster metadata — the planner-vs-streamed contract.
+void expect_same_concrete(const ConcreteWorkflow& a, const ConcreteWorkflow& b) {
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.site(), b.site());
+  ASSERT_EQ(a.jobs().size(), b.jobs().size());
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (std::uint32_t i = 0; i < a.jobs().size(); ++i) {
+    const ConcreteJob& x = a.jobs()[i];
+    const ConcreteJob& y = b.jobs()[i];
+    ASSERT_EQ(x.id, y.id);
+    EXPECT_EQ(x.transformation, y.transformation);
+    EXPECT_EQ(x.args, y.args);
+    EXPECT_DOUBLE_EQ(x.cpu_seconds_hint, y.cpu_seconds_hint);
+    EXPECT_EQ(x.software_bytes, y.software_bytes);
+    EXPECT_EQ(x.staged_bytes, y.staged_bytes);
+    EXPECT_EQ(x.priority, y.priority);
+    EXPECT_EQ(x.index, y.index);
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.needs_software_setup, y.needs_software_setup);
+    EXPECT_EQ(a.children_of(i), b.children_of(i)) << x.id;
+    EXPECT_EQ(a.parents_of(i), b.parents_of(i)) << x.id;
+    EXPECT_EQ(a.constituents_of(i), b.constituents_of(i)) << x.id;
+    EXPECT_EQ(a.abstract_id_of(i), b.abstract_id_of(i)) << x.id;
+  }
+  EXPECT_EQ(a.topological_order(), b.topological_order());
+}
+
+TEST(PatternedDag, PlannedWorkflowIsBytewiseIndependentOfEdgeStorage) {
+  // Patterns on vs off through the whole generator -> planner -> engine ->
+  // emitters chain: identical structure, identical bytes.
+  for (const std::size_t n : {100u, 300u}) {
+    const auto compressed = workload::plan_shape(b2c3_spec(n, true), "sandhills");
+    const auto materialized =
+        workload::plan_shape(b2c3_spec(n, false), "sandhills");
+    ASSERT_EQ(compressed.edge_count(), 4 * n + 7);
+    EXPECT_EQ(compressed.edge_count() - compressed.graph().explicit_edge_count(),
+              4 * n);
+    EXPECT_EQ(materialized.graph().pattern_edge_count(), 0u);
+    expect_same_concrete(compressed, materialized);
+    EXPECT_EQ(to_dot(compressed), to_dot(materialized));
+
+    const auto abstract_on = workload::build_workflow(b2c3_spec(n, true));
+    const auto abstract_off = workload::build_workflow(b2c3_spec(n, false));
+    EXPECT_EQ(to_dax_xml(abstract_on), to_dax_xml(abstract_off));
+    EXPECT_EQ(to_dot(abstract_on), to_dot(abstract_off));
+  }
+}
+
+TEST(PatternedDag, EngineLogsAreByteIdenticalAcrossEdgeStorageOnBothSites) {
+  for (const std::string site : {"sandhills", "osg"}) {
+    for (const std::size_t n : {100u, 300u}) {
+      const auto on = run_concrete(workload::plan_shape(b2c3_spec(n, true), site));
+      const auto off =
+          run_concrete(workload::plan_shape(b2c3_spec(n, false), site));
+      ASSERT_TRUE(on.success) << site << " n=" << n;
+      EXPECT_EQ(on.jobstate_log, off.jobstate_log) << site << " n=" << n;
+    }
+  }
+}
+
+TEST(PatternedDag, StreamedBuildMatchesPlannerPath) {
+  common::ThreadPool pool(4);
+  for (const std::string site : {"sandhills", "osg"}) {
+    for (const std::size_t n : {1u, 2u, 100u, 257u}) {
+      const auto spec = b2c3_spec(n, true);
+      workload::StreamedBuildOptions options;
+      options.site = site;
+      options.pool = &pool;
+      options.chunk = 64;  // force multi-chunk parallel fill at small n
+      workload::StreamedBuildStats stats;
+      const auto streamed =
+          workload::build_concrete_streamed(spec, options, &stats);
+      const auto planned = workload::plan_shape(spec, site);
+      expect_same_concrete(streamed, planned);
+      EXPECT_EQ(stats.jobs, n + 8) << site << " n=" << n;
+      EXPECT_EQ(stats.pattern_edges + stats.explicit_edges, 4 * n + 7);
+      // Explicit edge storage must stay O(1) when patterns are on.
+      EXPECT_EQ(stats.explicit_edges, 7u);
+    }
+  }
+}
+
+TEST(PatternedDag, StreamedExplicitModeAlsoMatchesPlannerPath) {
+  workload::StreamedBuildOptions options;
+  options.site = "osg";
+  options.edge_patterns = false;
+  const auto streamed =
+      workload::build_concrete_streamed(b2c3_spec(64, false), options);
+  const auto planned = workload::plan_shape(b2c3_spec(64, false), "osg");
+  expect_same_concrete(streamed, planned);
+  EXPECT_EQ(streamed.graph().pattern_edge_count(), 0u);
+}
+
+TEST(PatternedDag, ClusteredStreamMatchesPlannerClustering) {
+  // Streamed clustering must replicate plan()'s grouping exactly: ids,
+  // order, summed hints, constituents (via lazy ClusterRange), edges.
+  // n % k == 1 leaves a lone trailing worker; n % k == 0 is exact.
+  for (const std::string site : {"sandhills", "osg"}) {
+    for (const auto [n, k] : {std::pair<std::size_t, std::size_t>{100, 10},
+                              {101, 10},
+                              {7, 3},
+                              {5, 8}}) {
+      const auto spec = b2c3_spec(n, false);
+      workload::StreamedBuildOptions options;
+      options.site = site;
+      options.cluster_size = k;
+      const auto streamed = workload::build_concrete_streamed(spec, options);
+      const auto planned = workload::plan_shape(spec, site, k);
+      expect_same_concrete(streamed, planned);
+
+      // The clustered job set covers exactly the unclustered compute ids.
+      const auto unclustered = workload::plan_shape(spec, site);
+      std::set<std::string> covered;
+      for (std::uint32_t i = 0; i < streamed.jobs().size(); ++i) {
+        const ConcreteJob& job = streamed.jobs()[i];
+        if (job.kind == JobKind::kCompute) covered.insert(job.id);
+        for (const auto& member : streamed.constituents_of(i)) {
+          EXPECT_TRUE(covered.insert(member).second) << member;
+        }
+      }
+      std::set<std::string> expected;
+      for (const ConcreteJob& job : unclustered.jobs()) {
+        if (job.kind == JobKind::kCompute) expected.insert(job.id);
+      }
+      EXPECT_EQ(covered, expected) << site << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(PatternedDag, LeanReportStreamsTheSameDigestAndCounters) {
+  for (const std::string site : {"sandhills", "osg"}) {
+    const auto concrete = workload::plan_shape(b2c3_spec(100, true), site);
+    const auto full = run_concrete(concrete, /*lean=*/false);
+    const auto lean = run_concrete(concrete, /*lean=*/true);
+    ASSERT_TRUE(full.success);
+    EXPECT_TRUE(lean.jobstate_log.empty());
+    EXPECT_TRUE(lean.runs.empty());
+    EXPECT_EQ(full.jobstate_digest, common::lines_digest(full.jobstate_log));
+    EXPECT_EQ(lean.jobstate_digest, full.jobstate_digest) << site;
+    EXPECT_EQ(lean.jobstate_lines, full.jobstate_log.size());
+    EXPECT_EQ(lean.jobs_total, full.jobs_total);
+    EXPECT_EQ(lean.jobs_succeeded, full.jobs_succeeded);
+    EXPECT_EQ(lean.total_attempts, full.total_attempts);
+    EXPECT_EQ(lean.total_retries, full.total_retries);
+    EXPECT_DOUBLE_EQ(lean.end_time, full.end_time);
+    EXPECT_EQ(lean.success, full.success);
+  }
 }
 
 TEST(GoldenLog, ShapeDiamondPlansPinTheCostModelBytes) {

@@ -159,7 +159,7 @@ TEST(Planner, HorizontalClusteringPacksCap3Jobs) {
   double clustered_cost = 0;
   for (const auto& job : concrete.jobs()) {
     if (job.kind == JobKind::kClustered) {
-      EXPECT_EQ(job.constituents.size(), 2u);
+      EXPECT_EQ(concrete.constituents_of(concrete.job_index(job.id)).size(), 2u);
       EXPECT_EQ(job.transformation, "run_cap3");
       clustered_cost += job.cpu_seconds_hint;
       // Cluster edges: split -> cluster -> merge (no external inputs, so
@@ -274,8 +274,8 @@ TEST(Planner, AbstractIdCarriedThrough) {
   Fixture fx;
   const auto concrete =
       plan(fx.wf, fx.sites, fx.transformations, fx.replicas, opts("sandhills"));
-  EXPECT_EQ(concrete.job("split").abstract_id, "split");
-  EXPECT_EQ(concrete.job("stage_in_0").abstract_id, "");
+  EXPECT_EQ(concrete.abstract_id_of(concrete.job_index("split")), "split");
+  EXPECT_EQ(concrete.abstract_id_of(concrete.job_index("stage_in_0")), "");
 }
 
 }  // namespace

@@ -66,7 +66,6 @@ inline ConcreteWorkflow staging_heavy_dag(std::size_t width = 4,
   stage_in.id = "stage_in_0";
   stage_in.transformation = "pegasus-transfer";
   stage_in.kind = JobKind::kStageIn;
-  stage_in.site = site;
   stage_in.cpu_seconds_hint = 60;
   for (std::size_t i = 0; i < width; ++i) {
     stage_in.args.push_back("reference_" + std::to_string(i) + ".fasta");
@@ -76,13 +75,11 @@ inline ConcreteWorkflow staging_heavy_dag(std::size_t width = 4,
   stage_out.id = "stage_out_0";
   stage_out.transformation = "pegasus-transfer";
   stage_out.kind = JobKind::kStageOut;
-  stage_out.site = site;
   stage_out.cpu_seconds_hint = 60;
   for (std::size_t i = 0; i < width; ++i) {
     ConcreteJob job;
     job.id = "run_cap3_" + std::to_string(i);
     job.transformation = "run_cap3";
-    job.site = site;
     job.cpu_seconds_hint = 200 + 10.0 * static_cast<double>(i);
     job.needs_software_setup = site == "osg";
     job.software_bytes = 350ull * 1024 * 1024;
